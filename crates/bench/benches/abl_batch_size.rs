@@ -1,0 +1,81 @@
+//! **ABL-BATCH** — the paper notes "both the batch and row sizes are
+//! configurable parameters" with a 4 MB default batch. This ablation
+//! sweeps the batch size and measures index build (append) and point
+//! lookup, showing the default is on the flat part of both curves.
+//!
+//! Run: `cargo bench -p idf-bench --bench abl_batch_size`
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use idf_core::prelude::*;
+use idf_engine::chunk::Chunk;
+use idf_engine::schema::{Field, Schema};
+use idf_engine::types::{DataType, Value};
+
+fn dataset(rows: i64) -> (idf_engine::schema::SchemaRef, Chunk) {
+    let schema = Arc::new(Schema::new(vec![
+        Field::new("k", DataType::Int64),
+        Field::new("v", DataType::Utf8),
+    ]));
+    let rows: Vec<Vec<Value>> = (0..rows)
+        .map(|i| vec![Value::Int64(i % 5_000), Value::Utf8(format!("payload-{i}"))])
+        .collect();
+    let chunk = Chunk::from_rows(&schema, &rows).expect("chunk");
+    (schema, chunk)
+}
+
+fn bench_batch_size(c: &mut Criterion) {
+    let (schema, chunk) = dataset(50_000);
+    let mut group = c.benchmark_group("abl_batch_size");
+    group.sample_size(10);
+    for &batch_size in &[64 << 10, 256 << 10, 1 << 20, 4 << 20] {
+        let cfg = IndexConfig { batch_size, num_partitions: 4, ..Default::default() };
+        group.bench_with_input(
+            BenchmarkId::new("build", format!("{}KiB", batch_size >> 10)),
+            &cfg,
+            |b, cfg| {
+                b.iter(|| {
+                    IndexedTable::from_chunk(
+                        Arc::clone(&schema),
+                        0,
+                        cfg.clone(),
+                        &chunk,
+                    )
+                    .expect("build")
+                })
+            },
+        );
+        let table =
+            IndexedTable::from_chunk(Arc::clone(&schema), 0, cfg.clone(), &chunk)
+                .expect("build");
+        group.bench_with_input(
+            BenchmarkId::new("lookup", format!("{}KiB", batch_size >> 10)),
+            &table,
+            |b, t| {
+                let mut k = 0i64;
+                b.iter(|| {
+                    k = (k + 997) % 5_000;
+                    t.lookup_chunk(&Value::Int64(k), None).expect("lookup")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+
+/// Short measurement windows so `cargo bench --workspace` stays tractable
+/// on small machines; raise for more precision.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_batch_size
+}
+criterion_main!(benches);

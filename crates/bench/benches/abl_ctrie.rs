@@ -1,0 +1,163 @@
+//! **ABL-CTRIE** — why the cTrie? The paper builds on "a built-in
+//! concurrent cTrie index that allows for sub-linear lookup". This
+//! ablation compares the lock-free cTrie against the persistent-HAMT
+//! reference and a mutex-guarded `HashMap` on the index's actual
+//! operations: insert, lookup, snapshot-then-read, and concurrent
+//! reader/writer mixes.
+//!
+//! Run: `cargo bench -p idf-bench --bench abl_ctrie`
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use idf_ctrie::{CTrie, Hamt};
+use parking_lot::Mutex;
+
+const N: u64 = 100_000;
+
+fn bench_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("abl_ctrie_insert");
+    group.sample_size(10);
+    group.bench_function("ctrie", |b| {
+        b.iter(|| {
+            let t: CTrie<u64, u64> = CTrie::new();
+            for i in 0..N {
+                t.insert(i, i);
+            }
+            t
+        })
+    });
+    group.bench_function("hamt", |b| {
+        b.iter(|| {
+            let t: Hamt<u64, u64> = Hamt::new();
+            for i in 0..N {
+                t.insert(i, i);
+            }
+            t
+        })
+    });
+    group.bench_function("mutex_hashmap", |b| {
+        b.iter(|| {
+            let t: Mutex<HashMap<u64, u64>> = Mutex::new(HashMap::new());
+            for i in 0..N {
+                t.lock().insert(i, i);
+            }
+            t
+        })
+    });
+    group.finish();
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let ctrie: CTrie<u64, u64> = CTrie::new();
+    let hamt: Hamt<u64, u64> = Hamt::new();
+    let map: Mutex<HashMap<u64, u64>> = Mutex::new(HashMap::new());
+    for i in 0..N {
+        ctrie.insert(i, i);
+        hamt.insert(i, i);
+        map.lock().insert(i, i);
+    }
+    let mut group = c.benchmark_group("abl_ctrie_lookup");
+    group.sample_size(10);
+    let mut k = 0u64;
+    group.bench_function("ctrie", |b| {
+        b.iter(|| {
+            k = (k + 7919) % N;
+            ctrie.lookup(&k)
+        })
+    });
+    group.bench_function("hamt", |b| {
+        b.iter(|| {
+            k = (k + 7919) % N;
+            hamt.lookup(&k)
+        })
+    });
+    group.bench_function("mutex_hashmap", |b| {
+        b.iter(|| {
+            k = (k + 7919) % N;
+            map.lock().get(&k).copied()
+        })
+    });
+    group.finish();
+}
+
+fn bench_snapshot(c: &mut Criterion) {
+    // Snapshot cost while the structure keeps growing: the cTrie/HAMT are
+    // O(1); the mutex HashMap must deep-clone.
+    let mut group = c.benchmark_group("abl_ctrie_snapshot");
+    group.sample_size(10);
+    let ctrie: CTrie<u64, u64> = CTrie::new();
+    let hamt: Hamt<u64, u64> = Hamt::new();
+    let map: Mutex<HashMap<u64, u64>> = Mutex::new(HashMap::new());
+    for i in 0..N {
+        ctrie.insert(i, i);
+        hamt.insert(i, i);
+        map.lock().insert(i, i);
+    }
+    group.bench_function("ctrie_readonly_snapshot", |b| {
+        b.iter(|| ctrie.read_only_snapshot())
+    });
+    group.bench_function("hamt_snapshot", |b| b.iter(|| hamt.snapshot()));
+    group.bench_function("hashmap_clone", |b| b.iter(|| map.lock().clone()));
+    group.finish();
+}
+
+fn bench_concurrent(c: &mut Criterion) {
+    let mut group = c.benchmark_group("abl_ctrie_concurrent");
+    group.sample_size(10);
+    for readers in [1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("ctrie_read_during_writes", readers),
+            &readers,
+            |b, &readers| {
+                b.iter(|| {
+                    let t = Arc::new(CTrie::<u64, u64>::new());
+                    for i in 0..10_000 {
+                        t.insert(i, i);
+                    }
+                    std::thread::scope(|s| {
+                        let writer = {
+                            let t = Arc::clone(&t);
+                            s.spawn(move || {
+                                for i in 10_000..20_000 {
+                                    t.insert(i, i);
+                                }
+                            })
+                        };
+                        for _ in 0..readers {
+                            let t = Arc::clone(&t);
+                            s.spawn(move || {
+                                let mut hits = 0u64;
+                                for i in 0..10_000 {
+                                    if t.lookup(&(i % 10_000)).is_some() {
+                                        hits += 1;
+                                    }
+                                }
+                                hits
+                            });
+                        }
+                        writer.join().expect("writer");
+                    });
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+
+/// Short measurement windows so `cargo bench --workspace` stays tractable
+/// on small machines; raise for more precision.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_insert, bench_lookup, bench_snapshot, bench_concurrent
+}
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! **ABL-JOIN** — the paper's indexed join shuffles the probe side "or
+//! falls back to a broadcast-join instead of a shuffle" when the probe is
+//! small. This ablation sweeps the probe size under both strategies
+//! (forced via the broadcast threshold) to expose the crossover.
+//!
+//! Run: `cargo bench -p idf-bench --bench abl_join_strategy`
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use idf_core::prelude::*;
+use idf_engine::chunk::Chunk;
+use idf_engine::config::EngineConfig;
+use idf_engine::prelude::*;
+use idf_engine::schema::SchemaRef;
+
+fn build_schema() -> SchemaRef {
+    Arc::new(Schema::new(vec![
+        Field::new("id", DataType::Int64),
+        Field::new("payload", DataType::Utf8),
+    ]))
+}
+
+fn probe_schema() -> SchemaRef {
+    Arc::new(Schema::new(vec![
+        Field::new("fk", DataType::Int64),
+        Field::new("w", DataType::Int64),
+    ]))
+}
+
+/// A session whose broadcast threshold forces one strategy.
+fn session_with_threshold(threshold: usize) -> Session {
+    Session::with_config(EngineConfig {
+        broadcast_threshold_rows: threshold,
+        ..Default::default()
+    })
+}
+
+fn setup(session: &Session, build_rows: i64, probe_rows: i64) -> (IndexedDataFrame, DataFrame) {
+    let build_chunk = Chunk::from_rows(
+        &build_schema(),
+        &(0..build_rows)
+            .map(|i| vec![Value::Int64(i), Value::Utf8(format!("row{i}"))])
+            .collect::<Vec<_>>(),
+    )
+    .expect("build chunk");
+    let table = Arc::new(
+        IndexedTable::from_chunk(build_schema(), 0, IndexConfig::default(), &build_chunk)
+            .expect("indexed table"),
+    );
+    let indexed = IndexedDataFrame::from_table(session.clone(), table);
+    let probe_chunk = Chunk::from_rows(
+        &probe_schema(),
+        &(0..probe_rows)
+            .map(|i| vec![Value::Int64(i % build_rows), Value::Int64(i)])
+            .collect::<Vec<_>>(),
+    )
+    .expect("probe chunk");
+    let probe = session.dataframe_from_chunk(probe_schema(), probe_chunk);
+    (indexed, probe)
+}
+
+fn bench_join_strategy(c: &mut Criterion) {
+    const BUILD_ROWS: i64 = 100_000;
+    let mut group = c.benchmark_group("abl_join_strategy");
+    group.sample_size(10);
+    for &probe_rows in &[100i64, 1_000, 10_000, 100_000] {
+        for (strategy, threshold) in [("broadcast", usize::MAX), ("shuffle", 0)] {
+            let session = session_with_threshold(threshold);
+            let (indexed, probe) = setup(&session, BUILD_ROWS, probe_rows);
+            let joined = indexed.join(&probe, "id", "fk").expect("plan join");
+            group.bench_with_input(
+                BenchmarkId::new(strategy, probe_rows),
+                &joined,
+                |b, df| b.iter(|| df.count().expect("join run")),
+            );
+        }
+    }
+    group.finish();
+}
+
+
+/// Short measurement windows so `cargo bench --workspace` stays tractable
+/// on small machines; raise for more precision.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_join_strategy
+}
+criterion_main!(benches);

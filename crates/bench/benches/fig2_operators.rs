@@ -1,0 +1,47 @@
+//! Criterion counterpart of **Figure 2**: each SQL operator over
+//! `person_knows_person` (join pairs it with `person`), in both modes.
+//!
+//! Run: `cargo bench -p idf-bench --bench fig2_operators`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use idf_bench::fig2::operator_queries;
+use idf_bench::workload::Workload;
+
+fn bench_fig2(c: &mut Criterion) {
+    let w = Workload::new(1.0).expect("workload");
+    let key = w.data.max_person_id / 2;
+    let cutoff = idf_snb::gen::EPOCH_MS + 180 * idf_snb::gen::DAY_MS;
+    let mut group = c.benchmark_group("fig2");
+    group.sample_size(10);
+    for (label, sql) in operator_queries(key, cutoff) {
+        let indexed = w.indexed.sql(&sql).expect("plan indexed");
+        let vanilla = w.vanilla.sql(&sql).expect("plan vanilla");
+        group.bench_with_input(
+            BenchmarkId::new(label, "indexed"),
+            &indexed,
+            |b, df| b.iter(|| df.collect().expect("indexed run")),
+        );
+        group.bench_with_input(
+            BenchmarkId::new(label, "vanilla"),
+            &vanilla,
+            |b, df| b.iter(|| df.collect().expect("vanilla run")),
+        );
+    }
+    group.finish();
+}
+
+
+/// Short measurement windows so `cargo bench --workspace` stays tractable
+/// on small machines; raise for more precision.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_fig2
+}
+criterion_main!(benches);

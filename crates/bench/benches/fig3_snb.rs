@@ -1,0 +1,62 @@
+//! Criterion counterpart of **Figure 3**: the SNB simple reads SQ1–SQ7 in
+//! both modes (the paper plots these on a log axis; Criterion reports the
+//! per-query latencies that produce the same series).
+//!
+//! Run: `cargo bench -p idf-bench --bench fig3_snb`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use idf_bench::fig3::params;
+use idf_bench::workload::Workload;
+use idf_snb::query;
+
+fn bench_fig3(c: &mut Criterion) {
+    let w = Workload::new(1.0).expect("workload");
+    let bindings = params(&w, 4);
+    let mut group = c.benchmark_group("fig3");
+    group.sample_size(10);
+    for q in 1..=7usize {
+        let indexed: Vec<_> =
+            bindings.iter().map(|p| query(&w.indexed, q, p).expect("plan")).collect();
+        let vanilla: Vec<_> =
+            bindings.iter().map(|p| query(&w.vanilla, q, p).expect("plan")).collect();
+        group.bench_with_input(
+            BenchmarkId::new(format!("SQ{q}"), "indexed"),
+            &indexed,
+            |b, dfs| {
+                b.iter(|| {
+                    for df in dfs {
+                        df.collect().expect("indexed run");
+                    }
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new(format!("SQ{q}"), "vanilla"),
+            &vanilla,
+            |b, dfs| {
+                b.iter(|| {
+                    for df in dfs {
+                        df.collect().expect("vanilla run");
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+
+/// Short measurement windows so `cargo bench --workspace` stays tractable
+/// on small machines; raise for more precision.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_fig3
+}
+criterion_main!(benches);

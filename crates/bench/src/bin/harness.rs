@@ -1,0 +1,170 @@
+//! The paper-figure harness: prints the rows/series of every figure in the
+//! paper's evaluation plus the ablations from DESIGN.md.
+//!
+//! ```text
+//! harness fig2    [--scale S] [--runs N]     Figure 2 operator comparison
+//! harness fig3    [--scale S] [--runs N]     Figure 3 SNB short reads
+//! harness complex [--scale S] [--runs N]     CQ1-CQ3 complex reads (supplementary)
+//! harness speedup [--runs N]                 §5 "up to 8×" scale sweep
+//! harness memory  [--scale S]                ABL-MEM memory overhead
+//! harness all     [--scale S] [--runs N]     everything above
+//! ```
+//!
+//! Use `--release` for meaningful numbers.
+
+use idf_bench::{fig2, fig3, memory, render_comparisons, speedup};
+use idf_bench::workload::Workload;
+
+struct Args {
+    command: String,
+    scale: f64,
+    runs: usize,
+    json: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args { command: "all".to_string(), scale: 2.0, runs: 5, json: false };
+    let mut it = std::env::args().skip(1);
+    if let Some(cmd) = it.next() {
+        args.command = cmd;
+    }
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--scale" => {
+                args.scale = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--scale expects a number"));
+            }
+            "--runs" => {
+                args.runs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--runs expects an integer"));
+            }
+            "--json" => args.json = true,
+            other => die(&format!("unknown flag {other}")),
+        }
+    }
+    args
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: harness [fig2|fig3|complex|speedup|memory|all] [--scale S] [--runs N] [--json]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args = parse_args();
+    if cfg!(debug_assertions) {
+        eprintln!("warning: debug build — run with --release for meaningful timings");
+    }
+    let run = |what: &str| -> Result<(), idf_engine::error::EngineError> {
+        match what {
+            "fig2" => {
+                eprintln!(
+                    "# FIG2: building scale {} dataset (both modes)...",
+                    args.scale
+                );
+                let w = Workload::new(args.scale)?;
+                let rows = fig2::run(&w, args.runs)?;
+                if args.json {
+                    println!("{}", serde_json::to_string_pretty(&rows).expect("json"));
+                } else {
+                    println!(
+                        "{}",
+                        render_comparisons(
+                            &format!(
+                                "FIG2: SQL operators on person_knows_person \
+                                 (scale {}, {} knows rows)",
+                                args.scale,
+                                w.data.knows.len()
+                            ),
+                            &rows
+                        )
+                    );
+                }
+            }
+            "fig3" => {
+                eprintln!(
+                    "# FIG3: building scale {} dataset (both modes)...",
+                    args.scale
+                );
+                let w = Workload::new(args.scale)?;
+                let rows = fig3::run(&w, args.runs, 8)?;
+                if args.json {
+                    println!("{}", serde_json::to_string_pretty(&rows).expect("json"));
+                } else {
+                    println!(
+                        "{}",
+                        render_comparisons(
+                            &format!(
+                                "FIG3: SNB simple reads SQ1-SQ7 (scale {}, 8 bindings \
+                                 per query; SQ5/SQ6 cannot use the index)",
+                                args.scale
+                            ),
+                            &rows
+                        )
+                    );
+                }
+            }
+            "complex" => {
+                eprintln!(
+                    "# COMPLEX: building scale {} dataset (both modes)...",
+                    args.scale
+                );
+                let w = Workload::new(args.scale)?;
+                let rows = fig3::run_complex(&w, args.runs, 8)?;
+                if args.json {
+                    println!("{}", serde_json::to_string_pretty(&rows).expect("json"));
+                } else {
+                    println!(
+                        "{}",
+                        render_comparisons(
+                            &format!(
+                                "COMPLEX: LDBC-IC-style reads CQ1-CQ3 (scale {},                                  8 bindings per query)",
+                                args.scale
+                            ),
+                            &rows
+                        )
+                    );
+                }
+            }
+            "speedup" => {
+                eprintln!("# CLAIM-8X: sweeping scales...");
+                let scales = [0.5, 1.0, 2.0, 4.0, 8.0];
+                let points = speedup::run(&scales, args.runs)?;
+                if args.json {
+                    println!("{}", serde_json::to_string_pretty(&points).expect("json"));
+                } else {
+                    println!("{}", speedup::render(&points));
+                }
+            }
+            "memory" => {
+                let rows = memory::run(args.scale)?;
+                if args.json {
+                    println!("{}", serde_json::to_string_pretty(&rows).expect("json"));
+                } else {
+                    println!("{}", memory::render(&rows));
+                }
+            }
+            other => die(&format!("unknown command {other}")),
+        }
+        Ok(())
+    };
+    let commands: Vec<String> = match args.command.as_str() {
+        "all" => ["fig2", "fig3", "complex", "speedup", "memory"]
+            .into_iter()
+            .map(String::from)
+            .collect(),
+        single => vec![single.to_string()],
+    };
+    for c in &commands {
+        if let Err(e) = run(c) {
+            eprintln!("error running {c}: {e}");
+            std::process::exit(1);
+        }
+        println!();
+    }
+}

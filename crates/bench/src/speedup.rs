@@ -1,0 +1,106 @@
+//! **CLAIM-8X** — the paper's §5 headline: *"the Indexed DataFrame can
+//! achieve up to 8X speed-ups relatively to the vanilla Spark
+//! implementation"*. We sweep the dataset scale and report the
+//! join/equality-filter speedups; the index's advantage grows with data
+//! size (O(1) lookup vs O(n) work per query), so the headline number is a
+//! function of scale — the harness shows where the curve crosses 8×.
+
+use idf_engine::error::Result;
+
+use crate::workload::{compare_sql, Workload};
+use crate::Comparison;
+
+/// One sweep point.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct SweepPoint {
+    /// Scale factor used.
+    pub scale: f64,
+    /// Rows in the probed table.
+    pub knows_rows: usize,
+    /// Bulk join comparison (whole tables).
+    pub join: Comparison,
+    /// Equality-filter comparison.
+    pub filter: Comparison,
+    /// Interactive lookup-join: one person's neighborhood joined with the
+    /// person table — the paper's dashboard query pattern.
+    pub lookup_join: Comparison,
+}
+
+/// Run the sweep over `scales`.
+pub fn run(scales: &[f64], runs: usize) -> Result<Vec<SweepPoint>> {
+    let mut out = Vec::new();
+    for &scale in scales {
+        let w = Workload::new(scale)?;
+        let key = w.data.max_person_id / 2;
+        let join = compare_sql(
+            &w,
+            "join",
+            "SELECT count(*) FROM knows k JOIN person p ON k.person1_id = p.id",
+            runs,
+        )?;
+        let filter = compare_sql(
+            &w,
+            "eq-filter",
+            &format!("SELECT * FROM knows WHERE person1_id = {key}"),
+            runs,
+        )?;
+        let lookup_join = compare_sql(
+            &w,
+            "lookup-join",
+            &format!(
+                "SELECT p.first_name, p.last_name, k.creation_date                  FROM knows k JOIN person p ON k.person2_id = p.id                  WHERE k.person1_id = {key}"
+            ),
+            runs,
+        )?;
+        out.push(SweepPoint {
+            scale,
+            knows_rows: w.data.knows.len(),
+            join,
+            filter,
+            lookup_join,
+        });
+    }
+    Ok(out)
+}
+
+/// Render the sweep as a table.
+pub fn render(points: &[SweepPoint]) -> String {
+    let headers = vec![
+        "scale".to_string(),
+        "knows rows".to_string(),
+        "bulk-join speedup".to_string(),
+        "eq-filter speedup".to_string(),
+        "lookup-join speedup".to_string(),
+    ];
+    let body: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{}", p.scale),
+                p.knows_rows.to_string(),
+                format!("{:.2}x", p.join.speedup()),
+                format!("{:.2}x", p.filter.speedup()),
+                format!("{:.2}x", p.lookup_join.speedup()),
+            ]
+        })
+        .collect();
+    format!(
+        "== CLAIM-8X: speedup vs scale ==\n{}",
+        idf_engine::pretty::format_table(&headers, &body)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_runs() {
+        let points = run(&[0.02, 0.05], 1).unwrap();
+        assert_eq!(points.len(), 2);
+        assert!(points[1].knows_rows > points[0].knows_rows);
+        let table = render(&points);
+        assert!(table.contains("bulk-join speedup"));
+        assert!(table.contains("lookup-join speedup"));
+    }
+}

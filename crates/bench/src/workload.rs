@@ -1,0 +1,90 @@
+//! Shared benchmark setup: one generated dataset registered into two
+//! sessions — vanilla (cached columnar) and indexed — so every experiment
+//! runs the *same query text* against both, exactly as the paper's demo
+//! does.
+
+use idf_engine::error::Result;
+use idf_engine::prelude::Session;
+use idf_snb::{generate, register, IndexedTables, Mode, SnbConfig, SnbData};
+
+/// A dual-mode workload environment.
+pub struct Workload {
+    /// The generated dataset.
+    pub data: SnbData,
+    /// Session with vanilla cached tables.
+    pub vanilla: Session,
+    /// Session with indexed tables.
+    pub indexed: Session,
+    /// Handles to the indexed tables (for append workloads).
+    pub tables: IndexedTables,
+}
+
+impl Workload {
+    /// Generate at `scale_factor` and register both modes.
+    pub fn new(scale_factor: f64) -> Result<Workload> {
+        Self::with_config(SnbConfig::with_scale(scale_factor))
+    }
+
+    /// Generate with an explicit config and register both modes.
+    pub fn with_config(config: SnbConfig) -> Result<Workload> {
+        let data = generate(config)?;
+        let vanilla = Session::new();
+        register(&vanilla, &data, Mode::Vanilla)?;
+        let indexed = Session::new();
+        let tables = register(&indexed, &data, Mode::Indexed)?
+            .expect("indexed mode returns table handles");
+        Ok(Workload { data, vanilla, indexed, tables })
+    }
+
+    /// Run `sql` in both sessions, returning (indexed rows, vanilla rows);
+    /// asserts row counts agree.
+    pub fn check_agreement(&self, sql: &str) -> Result<usize> {
+        let a = self.indexed.sql(sql)?.count()?;
+        let b = self.vanilla.sql(sql)?.count()?;
+        assert_eq!(a, b, "modes diverged on: {sql}");
+        Ok(a)
+    }
+}
+
+/// Time `sql` in both sessions and package the comparison.
+pub fn compare_sql(
+    w: &Workload,
+    label: &str,
+    sql: &str,
+    runs: usize,
+) -> Result<crate::Comparison> {
+    let indexed_df = w.indexed.sql(sql)?;
+    let vanilla_df = w.vanilla.sql(sql)?;
+    let rows_indexed = indexed_df.count()?;
+    let rows_vanilla = vanilla_df.count()?;
+    assert_eq!(rows_indexed, rows_vanilla, "modes diverged on {label}: {sql}");
+    let indexed_ms = crate::median_ms(runs, || {
+        indexed_df.collect().expect("indexed query failed")
+    });
+    let vanilla_ms = crate::median_ms(runs, || {
+        vanilla_df.collect().expect("vanilla query failed")
+    });
+    Ok(crate::Comparison {
+        label: label.to_string(),
+        indexed_ms,
+        vanilla_ms,
+        rows: rows_indexed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_builds_and_agrees() {
+        let w = Workload::new(0.05).unwrap();
+        let n = w
+            .check_agreement("SELECT count(*) FROM knows WHERE person1_id = 3")
+            .unwrap();
+        assert_eq!(n, 1);
+        let c = compare_sql(&w, "probe", "SELECT * FROM person WHERE id = 5", 3).unwrap();
+        assert_eq!(c.rows, 1);
+        assert!(c.indexed_ms > 0.0 && c.vanilla_ms > 0.0);
+    }
+}

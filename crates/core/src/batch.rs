@@ -1,0 +1,247 @@
+//! Row batches: fixed-capacity, append-only binary buffers.
+//!
+//! Paper, §2: *"a set of row batches, which stores the tabular data …
+//! collections of binary, unsafe arrays (e.g., of 4 MB in size)"*.
+//!
+//! A batch is allocated at full capacity up front and **never reallocates**,
+//! so a published row's bytes are stable for the batch's lifetime. A single
+//! writer (appends within a partition are sequential, as in Spark) bumps a
+//! committed-length watermark with `Release` ordering after writing row
+//! bytes; readers load it with `Acquire` and only ever dereference below
+//! it. This gives lock-free, wait-free reads concurrent with appends — the
+//! storage half of the paper's multi-version concurrency (the index half is
+//! the cTrie snapshot).
+//!
+//! Stored row format:
+//!
+//! ```text
+//! | stored_len: u16 | prev_ptr: u64 | payload ... |
+//! ```
+//!
+//! `prev_ptr` is the backward pointer: a packed [`RowPtr`] to the previous
+//! row with the same key (the per-key linked list of the paper), carrying
+//! that row's stored size. `stored_len` makes full scans self-delimiting.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::pointer::RowPtr;
+
+/// Bytes of per-row framing: u16 stored length + u64 backward pointer.
+pub const ROW_HEADER: usize = 2 + 8;
+
+/// One append-only binary row batch.
+pub struct RowBatch {
+    buf: Box<[UnsafeCell<u8>]>,
+    /// Committed byte count; bytes below this are immutable.
+    len: AtomicUsize,
+}
+
+// SAFETY: bytes below `len` are immutable once published (Release store
+// after the writes, Acquire load before the reads); bytes above `len` are
+// touched only by the partition's single writer.
+unsafe impl Send for RowBatch {}
+unsafe impl Sync for RowBatch {}
+
+impl RowBatch {
+    /// Allocate a batch of fixed `capacity` bytes.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let mut v = Vec::with_capacity(capacity);
+        v.resize_with(capacity, || UnsafeCell::new(0));
+        RowBatch { buf: v.into_boxed_slice(), len: AtomicUsize::new(0) }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Committed (readable) bytes.
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Acquire)
+    }
+
+    /// Whether no rows have been committed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Free bytes.
+    pub fn remaining(&self) -> usize {
+        self.capacity() - self.len()
+    }
+
+    /// Append one stored row; returns its byte offset, or `None` if the
+    /// batch is full.
+    ///
+    /// Must only be called by the partition's single writer (enforced by
+    /// the partition's append lock).
+    pub(crate) fn append_row(&self, prev: RowPtr, payload: &[u8]) -> Option<usize> {
+        let stored = ROW_HEADER + payload.len();
+        let offset = self.len.load(Ordering::Relaxed);
+        if offset + stored > self.capacity() {
+            return None;
+        }
+        // SAFETY: single writer; the region [offset, offset+stored) is
+        // above the committed watermark, so no reader can observe it yet.
+        unsafe {
+            let base = self.buf.as_ptr() as *mut u8;
+            let dst = base.add(offset);
+            let len_bytes = (stored as u16).to_le_bytes();
+            std::ptr::copy_nonoverlapping(len_bytes.as_ptr(), dst, 2);
+            let prev_bytes = prev.raw().to_le_bytes();
+            std::ptr::copy_nonoverlapping(prev_bytes.as_ptr(), dst.add(2), 8);
+            std::ptr::copy_nonoverlapping(payload.as_ptr(), dst.add(ROW_HEADER), payload.len());
+        }
+        // Publish: readers that see the new watermark also see the bytes.
+        self.len.store(offset + stored, Ordering::Release);
+        Some(offset)
+    }
+
+    /// Read the committed bytes `[offset, offset + size)`.
+    ///
+    /// # Panics
+    /// Panics if the range is not fully committed.
+    pub fn read(&self, offset: usize, size: usize) -> &[u8] {
+        let committed = self.len();
+        assert!(
+            offset + size <= committed,
+            "read [{offset}, {}) beyond committed {committed}",
+            offset + size
+        );
+        // SAFETY: the committed prefix is immutable.
+        let committed_slice = unsafe {
+            std::slice::from_raw_parts(self.buf.as_ptr() as *const u8, committed)
+        };
+        &committed_slice[offset..offset + size]
+    }
+
+    /// Decode the stored row at `offset`: `(stored_size, prev, payload)`.
+    pub fn row_at(&self, offset: usize) -> (usize, RowPtr, &[u8]) {
+        let head = self.read(offset, ROW_HEADER);
+        let stored = u16::from_le_bytes(head[..2].try_into().expect("u16")) as usize;
+        let prev = RowPtr::from_raw(u64::from_le_bytes(head[2..].try_into().expect("u64")));
+        let payload = &self.read(offset, stored)[ROW_HEADER..];
+        (stored, prev, payload)
+    }
+
+    /// Iterate rows sequentially up to `watermark` committed bytes
+    /// (a snapshot boundary): yields `(offset, prev, payload)`.
+    pub fn iter_rows(&self, watermark: usize) -> RowBatchIter<'_> {
+        debug_assert!(watermark <= self.len());
+        RowBatchIter { batch: self, offset: 0, watermark }
+    }
+}
+
+impl std::fmt::Debug for RowBatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "RowBatch({} / {} bytes)", self.len(), self.capacity())
+    }
+}
+
+/// Sequential row iterator over one batch (see [`RowBatch::iter_rows`]).
+pub struct RowBatchIter<'a> {
+    batch: &'a RowBatch,
+    offset: usize,
+    watermark: usize,
+}
+
+impl<'a> Iterator for RowBatchIter<'a> {
+    type Item = (usize, RowPtr, &'a [u8]);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.offset >= self.watermark {
+            return None;
+        }
+        let (stored, prev, payload) = self.batch.row_at(self.offset);
+        let offset = self.offset;
+        self.offset += stored;
+        Some((offset, prev, payload))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_and_read_back() {
+        let b = RowBatch::with_capacity(1024);
+        let off1 = b.append_row(RowPtr::NULL, b"hello").unwrap();
+        let off2 = b.append_row(RowPtr::new(0, off1, ROW_HEADER + 5), b"world!").unwrap();
+        assert_eq!(off1, 0);
+        assert_eq!(off2, ROW_HEADER + 5);
+        let (s1, p1, pay1) = b.row_at(off1);
+        assert_eq!((s1, p1, pay1), (ROW_HEADER + 5, RowPtr::NULL, &b"hello"[..]));
+        let (_, p2, pay2) = b.row_at(off2);
+        assert_eq!(pay2, b"world!");
+        assert_eq!(p2.offset(), off1);
+        assert_eq!(p2.size(), ROW_HEADER + 5);
+    }
+
+    #[test]
+    fn fills_up_exactly() {
+        let b = RowBatch::with_capacity(2 * (ROW_HEADER + 4));
+        assert!(b.append_row(RowPtr::NULL, b"aaaa").is_some());
+        assert!(b.append_row(RowPtr::NULL, b"bbbb").is_some());
+        assert!(b.append_row(RowPtr::NULL, b"").is_none(), "full batch rejects appends");
+        assert_eq!(b.remaining(), 0);
+    }
+
+    #[test]
+    fn sequential_iteration() {
+        let b = RowBatch::with_capacity(4096);
+        for i in 0..10u8 {
+            b.append_row(RowPtr::NULL, &[i; 3]).unwrap();
+        }
+        let watermark = b.len();
+        b.append_row(RowPtr::NULL, &[99; 3]).unwrap();
+        let rows: Vec<_> = b.iter_rows(watermark).collect();
+        assert_eq!(rows.len(), 10, "row past the watermark is invisible");
+        for (i, (_, _, payload)) in rows.iter().enumerate() {
+            assert_eq!(*payload, [i as u8; 3]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond committed")]
+    fn read_past_watermark_panics() {
+        let b = RowBatch::with_capacity(64);
+        b.append_row(RowPtr::NULL, b"x").unwrap();
+        b.read(0, 64);
+    }
+
+    #[test]
+    fn concurrent_readers_during_appends() {
+        use std::sync::Arc;
+        let b = Arc::new(RowBatch::with_capacity(1 << 20));
+        // Seed some rows so the reader always observes progress.
+        for i in 0..100u64 {
+            b.append_row(RowPtr::NULL, &i.to_le_bytes()).unwrap();
+        }
+        let reader = {
+            let b = Arc::clone(&b);
+            std::thread::spawn(move || {
+                let mut max_seen = 0;
+                for _ in 0..300 {
+                    let n = b.iter_rows(b.len()).count();
+                    assert!(n >= max_seen, "committed rows must not vanish");
+                    max_seen = n;
+                    for (_, _, payload) in b.iter_rows(b.len()) {
+                        assert_eq!(payload.len(), 8);
+                        let v = u64::from_le_bytes(payload.try_into().unwrap());
+                        assert!(v < 20_000);
+                    }
+                }
+                max_seen
+            })
+        };
+        for i in 100..20_000u64 {
+            if b.append_row(RowPtr::NULL, &i.to_le_bytes()).is_none() {
+                break;
+            }
+        }
+        let seen = reader.join().unwrap();
+        assert!(seen >= 100);
+    }
+}

@@ -1,0 +1,80 @@
+//! Indexed DataFrame configuration.
+
+/// Tunables for the indexed representation.
+///
+/// The paper: *"The row batches are collections of binary, unsafe arrays
+/// (e.g., of 4 MB in size) … Both the batch and row sizes are configurable
+/// parameters."*
+#[derive(Debug, Clone)]
+pub struct IndexConfig {
+    /// Capacity of one row batch in bytes (default 4 MiB; max 8 MiB, the
+    /// packed pointer's offset width).
+    pub batch_size: usize,
+    /// Maximum encoded row size in bytes (default and max 1 KiB, the packed
+    /// pointer's size width).
+    pub max_row_size: usize,
+    /// Number of hash partitions (defaults to the machine parallelism).
+    pub num_partitions: usize,
+    /// Preferred rows per chunk when scanning.
+    pub scan_chunk_rows: usize,
+}
+
+impl Default for IndexConfig {
+    fn default() -> Self {
+        IndexConfig {
+            batch_size: 4 << 20,
+            max_row_size: crate::pointer::MAX_ROW_SIZE,
+            num_partitions: idf_engine::config::default_parallelism(),
+            scan_chunk_rows: 8192,
+        }
+    }
+}
+
+impl IndexConfig {
+    /// Validate against the packed-pointer field widths.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.batch_size > crate::pointer::MAX_BATCH_SIZE {
+            return Err(format!(
+                "batch_size {} exceeds the packed pointer's offset range {}",
+                self.batch_size,
+                crate::pointer::MAX_BATCH_SIZE
+            ));
+        }
+        if self.max_row_size > crate::pointer::MAX_ROW_SIZE {
+            return Err(format!(
+                "max_row_size {} exceeds the packed pointer's size range {}",
+                self.max_row_size,
+                crate::pointer::MAX_ROW_SIZE
+            ));
+        }
+        if self.batch_size < self.max_row_size {
+            return Err("batch_size must be at least max_row_size".to_string());
+        }
+        if self.num_partitions == 0 || self.scan_chunk_rows == 0 {
+            return Err("num_partitions and scan_chunk_rows must be positive".to_string());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        assert!(IndexConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let c = IndexConfig { batch_size: 16 << 20, ..Default::default() };
+        assert!(c.validate().is_err());
+        let c = IndexConfig { max_row_size: 4096, ..Default::default() };
+        assert!(c.validate().is_err());
+        let c = IndexConfig { batch_size: 512, ..Default::default() };
+        assert!(c.validate().is_err());
+        let c = IndexConfig { num_partitions: 0, ..Default::default() };
+        assert!(c.validate().is_err());
+    }
+}

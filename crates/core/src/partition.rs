@@ -1,0 +1,532 @@
+//! One indexed partition: cTrie index + row batches + backward pointers.
+//!
+//! Paper, §2: *"Each RDD partition is composed of three data structures:
+//! (1) a cTrie, which represents the index, (2) a set of row batches, which
+//! stores the tabular data, and (3) a set of backward pointers, which are
+//! used to crawl the partition for rows that are indexed on the same key."*
+//!
+//! Append protocol (single writer per partition, concurrent readers):
+//!
+//! 1. read the key's current head pointer from the cTrie;
+//! 2. write the row into a batch with that pointer as its backward link
+//!    (publishing via the batch watermark);
+//! 3. point the cTrie at the new row.
+//!
+//! A reader that snapshots the cTrie (O(1), non-blocking) therefore sees a
+//! consistent prefix: every pointer in the snapshot refers to fully
+//! published bytes, and chains never dangle. This is the paper's
+//! "multi-version concurrency".
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use idf_ctrie::CTrie;
+use idf_engine::chunk::Chunk;
+use idf_engine::column::ColumnBuilder;
+use idf_engine::error::{EngineError, Result};
+use idf_engine::schema::SchemaRef;
+use idf_engine::types::Value;
+use parking_lot::{Mutex, RwLock};
+
+use crate::batch::{RowBatch, ROW_HEADER};
+use crate::config::IndexConfig;
+use crate::layout::RowLayout;
+use crate::pointer::RowPtr;
+
+/// A single hash partition of an Indexed DataFrame.
+pub struct IndexedPartition {
+    layout: RowLayout,
+    key_col: usize,
+    config: IndexConfig,
+    /// key → packed pointer to the *latest* row with that key.
+    index: CTrie<Value, u64>,
+    batches: RwLock<Vec<Arc<RowBatch>>>,
+    /// Serializes writers ("Spark transformations within a partition are
+    /// sequentially executed on a single core" — paper, §2).
+    append_lock: Mutex<()>,
+    row_count: AtomicUsize,
+}
+
+impl IndexedPartition {
+    /// An empty partition indexing `schema[key_col]`.
+    pub fn new(schema: SchemaRef, key_col: usize, config: IndexConfig) -> Self {
+        debug_assert!(config.validate().is_ok());
+        IndexedPartition {
+            layout: RowLayout::new(schema),
+            key_col,
+            config,
+            index: CTrie::new(),
+            batches: RwLock::new(Vec::new()),
+            append_lock: Mutex::new(()),
+            row_count: AtomicUsize::new(0),
+        }
+    }
+
+    /// The row schema.
+    pub fn schema(&self) -> &SchemaRef {
+        self.layout.schema()
+    }
+
+    /// Index column position.
+    pub fn key_col(&self) -> usize {
+        self.key_col
+    }
+
+    /// Rows appended so far.
+    pub fn row_count(&self) -> usize {
+        self.row_count.load(Ordering::Acquire)
+    }
+
+    /// Append one row. Rows with a NULL key are stored (visible to scans)
+    /// but not indexed, matching SQL equality semantics.
+    pub fn append_row(&self, values: &[Value]) -> Result<()> {
+        let _writer = self.append_lock.lock();
+        let mut payload = Vec::with_capacity(64);
+        self.layout.encode(values, &mut payload)?;
+        let stored = ROW_HEADER + payload.len();
+        if stored > self.config.max_row_size {
+            return Err(EngineError::exec(format!(
+                "encoded row is {stored} bytes; the Indexed DataFrame stores rows of at \
+                 most {} bytes (configure IndexConfig.max_row_size)",
+                self.config.max_row_size
+            )));
+        }
+        let key = &values[self.key_col];
+        // 1. current chain head becomes the new row's backward pointer.
+        let prev_raw = if key.is_null() { None } else { self.index.lookup(key) };
+        let prev = prev_raw.map(RowPtr::from_raw).unwrap_or(RowPtr::NULL);
+        // 2. write + publish the row bytes.
+        let (batch_idx, offset) = self.write_row(prev, &payload)?;
+        let ptr = RowPtr::new(batch_idx, offset, stored);
+        // 3. point the index at the new head.
+        if !key.is_null() {
+            let old = self.index.insert(key.clone(), ptr.raw());
+            debug_assert_eq!(old, prev_raw, "single-writer invariant violated");
+        }
+        self.row_count.fetch_add(1, Ordering::AcqRel);
+        Ok(())
+    }
+
+    /// Write into the open batch, rolling over to a fresh batch when full.
+    fn write_row(&self, prev: RowPtr, payload: &[u8]) -> Result<(usize, usize)> {
+        // Fast path: room in the last batch.
+        {
+            let batches = self.batches.read();
+            if let Some(last) = batches.last() {
+                if let Some(offset) = last.append_row(prev, payload) {
+                    return Ok((batches.len() - 1, offset));
+                }
+            }
+        }
+        // Roll over.
+        let mut batches = self.batches.write();
+        if batches.len() >= crate::pointer::MAX_BATCHES {
+            return Err(EngineError::exec("partition exceeded 2^31 row batches"));
+        }
+        let batch = Arc::new(RowBatch::with_capacity(self.config.batch_size));
+        let offset = batch
+            .append_row(prev, payload)
+            .ok_or_else(|| EngineError::internal("fresh batch rejected a validated row"))?;
+        batches.push(batch);
+        Ok((batches.len() - 1, offset))
+    }
+
+    /// Take a consistent point-in-time read view (O(1), non-blocking).
+    pub fn snapshot(&self) -> PartitionSnapshot {
+        // Order matters: snapshot the index first, then the watermarks, so
+        // every pointer in the index view lands below its watermark.
+        let index = self.index.read_only_snapshot();
+        let batches: Vec<Arc<RowBatch>> = self.batches.read().clone();
+        let watermarks: Vec<usize> = batches.iter().map(|b| b.len()).collect();
+        PartitionSnapshot {
+            layout: self.layout.clone(),
+            key_col: self.key_col,
+            index,
+            batches,
+            watermarks,
+        }
+    }
+
+    /// Memory accounting for the paper's "low memory overhead" claim.
+    pub fn memory_stats(&self) -> PartitionMemory {
+        let batches = self.batches.read();
+        let data_bytes = batches.iter().map(|b| b.len()).sum();
+        let reserved_bytes = batches.iter().map(|b| b.capacity()).sum();
+        PartitionMemory {
+            data_bytes,
+            reserved_bytes,
+            index_entries: self.index.len(),
+            rows: self.row_count(),
+        }
+    }
+}
+
+impl std::fmt::Debug for IndexedPartition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "IndexedPartition(rows={}, batches={})",
+            self.row_count(),
+            self.batches.read().len()
+        )
+    }
+}
+
+/// Memory accounting numbers for one partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionMemory {
+    /// Committed row bytes.
+    pub data_bytes: usize,
+    /// Allocated batch bytes (committed + slack in open batches).
+    pub reserved_bytes: usize,
+    /// Number of distinct indexed keys.
+    pub index_entries: usize,
+    /// Number of stored rows.
+    pub rows: usize,
+}
+
+/// A frozen, consistent view of a partition.
+pub struct PartitionSnapshot {
+    layout: RowLayout,
+    key_col: usize,
+    index: CTrie<Value, u64>,
+    batches: Vec<Arc<RowBatch>>,
+    watermarks: Vec<usize>,
+}
+
+impl PartitionSnapshot {
+    /// The row schema.
+    pub fn schema(&self) -> &SchemaRef {
+        self.layout.schema()
+    }
+
+    /// Number of rows visible in this snapshot.
+    pub fn row_count(&self) -> usize {
+        self.batches
+            .iter()
+            .zip(&self.watermarks)
+            .map(|(b, &w)| b.iter_rows(w).count())
+            .sum()
+    }
+
+    /// Follow the backward-pointer chain for `key`, latest row first,
+    /// yielding decoded payload slices.
+    pub fn lookup_payloads(&self, key: &Value) -> ChainIter<'_> {
+        let head = if key.is_null() {
+            RowPtr::NULL
+        } else {
+            self.index.lookup(key).map(RowPtr::from_raw).unwrap_or(RowPtr::NULL)
+        };
+        ChainIter { snapshot: self, next: head }
+    }
+
+    /// All rows bound to `key` as a chunk (latest first), with optional
+    /// column projection. This is the paper's `getRows` on one partition.
+    pub fn lookup_chunk(&self, key: &Value, projection: Option<&[usize]>) -> Result<Chunk> {
+        let cols: Vec<usize> = match projection {
+            Some(p) => p.to_vec(),
+            None => (0..self.layout.schema().len()).collect(),
+        };
+        let mut builders: Vec<ColumnBuilder> = cols
+            .iter()
+            .map(|&c| ColumnBuilder::new(self.layout.schema().field(c).data_type))
+            .collect();
+        let mut n = 0usize;
+        for payload in self.lookup_payloads(key) {
+            self.layout.decode_into(payload, &cols, &mut builders)?;
+            n += 1;
+        }
+        if builders.is_empty() {
+            return Ok(Chunk::new_empty_columns(n));
+        }
+        Chunk::new(builders.into_iter().map(|b| Arc::new(b.finish())).collect())
+    }
+
+    /// Number of rows bound to `key`.
+    pub fn lookup_count(&self, key: &Value) -> usize {
+        self.lookup_payloads(key).count()
+    }
+
+    /// Full scan into chunks of at most `chunk_rows` rows — the paper's
+    /// `transformToRowRDD` fallback that lets regular operators run over
+    /// the indexed representation.
+    pub fn scan_chunks(
+        &self,
+        projection: Option<&[usize]>,
+        chunk_rows: usize,
+    ) -> Result<Vec<Chunk>> {
+        let cols: Vec<usize> = match projection {
+            Some(p) => p.to_vec(),
+            None => (0..self.layout.schema().len()).collect(),
+        };
+        let mut out = Vec::new();
+        let mut builders: Vec<ColumnBuilder> = cols
+            .iter()
+            .map(|&c| ColumnBuilder::new(self.layout.schema().field(c).data_type))
+            .collect();
+        let mut rows_in_chunk = 0usize;
+        for (batch, &watermark) in self.batches.iter().zip(&self.watermarks) {
+            for (_, _, payload) in batch.iter_rows(watermark) {
+                self.layout.decode_into(payload, &cols, &mut builders)?;
+                rows_in_chunk += 1;
+                if rows_in_chunk >= chunk_rows {
+                    out.push(finish_chunk(&cols, &mut builders, self.schema(), rows_in_chunk)?);
+                    rows_in_chunk = 0;
+                }
+            }
+        }
+        if rows_in_chunk > 0 || out.is_empty() {
+            out.push(finish_chunk(&cols, &mut builders, self.schema(), rows_in_chunk)?);
+        }
+        Ok(out)
+    }
+
+    /// Decode one payload into scalars.
+    pub fn decode_row(&self, payload: &[u8]) -> Vec<Value> {
+        self.layout.decode_row(payload)
+    }
+
+    /// Decode the projected columns of one payload.
+    pub fn decode_projected(&self, payload: &[u8], cols: &[usize]) -> Vec<Value> {
+        cols.iter().map(|&c| self.layout.decode_column(payload, c)).collect()
+    }
+
+    /// Decode a single column of one payload without allocation overhead.
+    pub fn decode_value(&self, payload: &[u8], col: usize) -> Value {
+        self.layout.decode_column(payload, col)
+    }
+
+    /// Vectorized gather: decode one column across many payloads.
+    pub fn decode_column_batch(
+        &self,
+        payloads: &[&[u8]],
+        col: usize,
+    ) -> idf_engine::column::Column {
+        self.layout.decode_column_batch(payloads, col)
+    }
+
+    /// The index column position.
+    pub fn key_col(&self) -> usize {
+        self.key_col
+    }
+
+    /// Distinct keys in the snapshot's index.
+    pub fn key_count(&self) -> usize {
+        self.index.len()
+    }
+}
+
+fn finish_chunk(
+    cols: &[usize],
+    builders: &mut [ColumnBuilder],
+    schema: &SchemaRef,
+    rows: usize,
+) -> Result<Chunk> {
+    if builders.is_empty() {
+        return Ok(Chunk::new_empty_columns(rows));
+    }
+    let finished: Vec<_> = cols
+        .iter()
+        .zip(builders.iter_mut())
+        .map(|(&c, b)| {
+            let done = std::mem::replace(b, ColumnBuilder::new(schema.field(c).data_type));
+            Arc::new(done.finish())
+        })
+        .collect();
+    Chunk::new(finished)
+}
+
+/// Iterator over a key's backward-pointer chain (latest row first).
+pub struct ChainIter<'a> {
+    snapshot: &'a PartitionSnapshot,
+    next: RowPtr,
+}
+
+impl<'a> Iterator for ChainIter<'a> {
+    type Item = &'a [u8];
+
+    fn next(&mut self) -> Option<&'a [u8]> {
+        if self.next.is_null() {
+            return None;
+        }
+        let ptr = self.next;
+        let batch = &self.snapshot.batches[ptr.batch()];
+        let (stored, prev, payload) = batch.row_at(ptr.offset());
+        debug_assert_eq!(stored, ptr.size(), "pointer size must match stored row");
+        self.next = prev;
+        Some(payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idf_engine::schema::{Field, Schema};
+    use idf_engine::types::DataType;
+
+    fn schema() -> SchemaRef {
+        Arc::new(Schema::new(vec![
+            Field::new("k", DataType::Int64),
+            Field::new("v", DataType::Utf8),
+        ]))
+    }
+
+    fn partition() -> IndexedPartition {
+        IndexedPartition::new(schema(), 0, IndexConfig::default())
+    }
+
+    fn row(k: i64, v: &str) -> Vec<Value> {
+        vec![Value::Int64(k), Value::Utf8(v.into())]
+    }
+
+    #[test]
+    fn append_and_point_lookup() {
+        let p = partition();
+        p.append_row(&row(1, "a")).unwrap();
+        p.append_row(&row(2, "b")).unwrap();
+        p.append_row(&row(1, "c")).unwrap();
+        let s = p.snapshot();
+        let chunk = s.lookup_chunk(&Value::Int64(1), None).unwrap();
+        assert_eq!(chunk.len(), 2);
+        // Latest first.
+        assert_eq!(chunk.value_at(1, 0), Value::Utf8("c".into()));
+        assert_eq!(chunk.value_at(1, 1), Value::Utf8("a".into()));
+        assert_eq!(s.lookup_count(&Value::Int64(2)), 1);
+        assert_eq!(s.lookup_count(&Value::Int64(99)), 0);
+    }
+
+    #[test]
+    fn long_chains_across_batches() {
+        let cfg = IndexConfig {
+            batch_size: 256, // force many tiny batches
+            max_row_size: 200,
+            ..Default::default()
+        };
+        let p = IndexedPartition::new(schema(), 0, cfg);
+        for i in 0..500 {
+            p.append_row(&row(7, &format!("v{i}"))).unwrap();
+        }
+        let s = p.snapshot();
+        assert_eq!(s.lookup_count(&Value::Int64(7)), 500);
+        let payloads: Vec<_> = s.lookup_payloads(&Value::Int64(7)).collect();
+        let first = s.decode_row(payloads[0]);
+        assert_eq!(first[1], Value::Utf8("v499".into()));
+        let last = s.decode_row(payloads[499]);
+        assert_eq!(last[1], Value::Utf8("v0".into()));
+    }
+
+    #[test]
+    fn scan_sees_all_rows_in_order() {
+        let p = partition();
+        for i in 0..100 {
+            p.append_row(&row(i % 10, &format!("r{i}"))).unwrap();
+        }
+        let s = p.snapshot();
+        assert_eq!(s.row_count(), 100);
+        let chunks = s.scan_chunks(None, 32).unwrap();
+        let total: usize = chunks.iter().map(Chunk::len).sum();
+        assert_eq!(total, 100);
+        assert_eq!(chunks[0].value_at(1, 0), Value::Utf8("r0".into()));
+    }
+
+    #[test]
+    fn scan_with_projection() {
+        let p = partition();
+        p.append_row(&row(1, "abc")).unwrap();
+        let s = p.snapshot();
+        let chunks = s.scan_chunks(Some(&[1]), 10).unwrap();
+        assert_eq!(chunks[0].num_columns(), 1);
+        assert_eq!(chunks[0].value_at(0, 0), Value::Utf8("abc".into()));
+    }
+
+    #[test]
+    fn null_keys_scanned_not_indexed() {
+        let p = partition();
+        p.append_row(&[Value::Null, Value::Utf8("ghost".into())]).unwrap();
+        p.append_row(&row(1, "real")).unwrap();
+        let s = p.snapshot();
+        assert_eq!(s.row_count(), 2);
+        assert_eq!(s.lookup_count(&Value::Null), 0);
+        assert_eq!(s.key_count(), 1);
+    }
+
+    #[test]
+    fn snapshot_isolation_from_later_appends() {
+        let p = partition();
+        p.append_row(&row(1, "a")).unwrap();
+        let s = p.snapshot();
+        p.append_row(&row(1, "b")).unwrap();
+        p.append_row(&row(2, "c")).unwrap();
+        assert_eq!(s.lookup_count(&Value::Int64(1)), 1);
+        assert_eq!(s.lookup_count(&Value::Int64(2)), 0);
+        assert_eq!(s.row_count(), 1);
+        let s2 = p.snapshot();
+        assert_eq!(s2.lookup_count(&Value::Int64(1)), 2);
+        assert_eq!(s2.row_count(), 3);
+    }
+
+    #[test]
+    fn oversized_row_rejected() {
+        let p = partition();
+        let big = "x".repeat(2000);
+        let err = p.append_row(&row(1, &big)).unwrap_err();
+        assert!(err.to_string().contains("at most"));
+        assert_eq!(p.row_count(), 0);
+    }
+
+    #[test]
+    fn concurrent_readers_while_appending() {
+        let p = Arc::new(partition());
+        let writer = {
+            let p = Arc::clone(&p);
+            std::thread::spawn(move || {
+                for i in 0..5_000 {
+                    p.append_row(&[Value::Int64(i % 50), Value::Utf8(format!("v{i}"))])
+                        .unwrap();
+                }
+            })
+        };
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let p = Arc::clone(&p);
+                std::thread::spawn(move || {
+                    let mut last_total = 0;
+                    for _ in 0..50 {
+                        let s = p.snapshot();
+                        let mut total = 0;
+                        for k in 0..50 {
+                            total += s.lookup_count(&Value::Int64(k));
+                        }
+                        assert!(total >= last_total, "chains must only grow");
+                        last_total = total;
+                        // every chain is readable end-to-end
+                        for payload in s.lookup_payloads(&Value::Int64(0)) {
+                            let vals = s.decode_row(payload);
+                            assert_eq!(vals[0], Value::Int64(0));
+                        }
+                    }
+                })
+            })
+            .collect();
+        writer.join().unwrap();
+        for r in readers {
+            r.join().unwrap();
+        }
+        let s = p.snapshot();
+        assert_eq!(s.row_count(), 5_000);
+        assert_eq!(s.lookup_count(&Value::Int64(5)), 100);
+    }
+
+    #[test]
+    fn memory_stats_track_data() {
+        let p = partition();
+        for i in 0..100 {
+            p.append_row(&row(i, "some value here")).unwrap();
+        }
+        let m = p.memory_stats();
+        assert_eq!(m.rows, 100);
+        assert_eq!(m.index_entries, 100);
+        assert!(m.data_bytes > 100 * ROW_HEADER);
+        assert!(m.reserved_bytes >= m.data_bytes);
+    }
+}

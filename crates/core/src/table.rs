@@ -1,0 +1,342 @@
+//! The hash-partitioned indexed table.
+//!
+//! Paper, §2 (*Index Creation*): *"The Indexed DataFrame is hash
+//! partitioned on the indexed column … when an index is created on a
+//! regular Dataframe, its rows are shuffled based on the hash partitioning
+//! scheme to their respective Indexed DataFrame partitions."*
+//!
+//! Partition routing uses the engine's shuffle hash
+//! ([`idf_engine::physical::hash_values`]), which is what co-partitions a
+//! shuffled probe side with the index during indexed joins.
+
+use std::sync::Arc;
+
+use idf_engine::chunk::Chunk;
+use idf_engine::error::{EngineError, Result};
+use idf_engine::physical::hash_values;
+use idf_engine::schema::SchemaRef;
+use idf_engine::types::Value;
+
+use crate::config::IndexConfig;
+use crate::partition::{IndexedPartition, PartitionMemory, PartitionSnapshot};
+
+/// A partitioned, updatable, indexed, in-memory table.
+pub struct IndexedTable {
+    schema: SchemaRef,
+    key_col: usize,
+    config: IndexConfig,
+    partitions: Vec<Arc<IndexedPartition>>,
+}
+
+impl IndexedTable {
+    /// An empty table indexing `schema[key_col]`.
+    pub fn new(schema: SchemaRef, key_col: usize, config: IndexConfig) -> Result<Self> {
+        config.validate().map_err(EngineError::Plan)?;
+        if key_col >= schema.len() {
+            return Err(EngineError::plan(format!(
+                "index column {key_col} out of range for schema of width {}",
+                schema.len()
+            )));
+        }
+        let partitions = (0..config.num_partitions)
+            .map(|_| {
+                Arc::new(IndexedPartition::new(Arc::clone(&schema), key_col, config.clone()))
+            })
+            .collect();
+        Ok(IndexedTable { schema, key_col, config, partitions })
+    }
+
+    /// Build from an existing chunk (index creation): rows are routed to
+    /// their hash partitions and inserted in parallel, one task per
+    /// partition (appends within a partition stay sequential).
+    pub fn from_chunk(
+        schema: SchemaRef,
+        key_col: usize,
+        config: IndexConfig,
+        chunk: &Chunk,
+    ) -> Result<Self> {
+        let table = Self::new(schema, key_col, config)?;
+        table.append_chunk(chunk)?;
+        Ok(table)
+    }
+
+    /// The table schema.
+    pub fn schema(&self) -> SchemaRef {
+        Arc::clone(&self.schema)
+    }
+
+    /// The indexed column position.
+    pub fn key_col(&self) -> usize {
+        self.key_col
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &IndexConfig {
+        &self.config
+    }
+
+    /// Number of hash partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// The partition a key routes to.
+    pub fn partition_of(&self, key: &Value) -> usize {
+        (hash_values(std::slice::from_ref(key)) % self.partitions.len() as u64) as usize
+    }
+
+    /// Partition handle (for the scan source and joins).
+    pub fn partition(&self, i: usize) -> &Arc<IndexedPartition> {
+        &self.partitions[i]
+    }
+
+    /// Append one row.
+    pub fn append_row(&self, values: &[Value]) -> Result<()> {
+        if values.len() != self.schema.len() {
+            return Err(EngineError::internal(format!(
+                "row width {} vs schema width {}",
+                values.len(),
+                self.schema.len()
+            )));
+        }
+        let p = self.partition_of(&values[self.key_col]);
+        self.partitions[p].append_row(values)
+    }
+
+    /// Append every row of `chunk`, routing by key hash. Rows for distinct
+    /// partitions are inserted in parallel.
+    pub fn append_chunk(&self, chunk: &Chunk) -> Result<()> {
+        if chunk.num_columns() != self.schema.len() {
+            return Err(EngineError::type_err(format!(
+                "appended data has {} columns, table has {}",
+                chunk.num_columns(),
+                self.schema.len()
+            )));
+        }
+        let n = self.partitions.len();
+        // Route rows.
+        let key_col = chunk.column(self.key_col);
+        let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for row in 0..chunk.len() {
+            let key = key_col.value_at(row);
+            let p = (hash_values(std::slice::from_ref(&key)) % n as u64) as usize;
+            buckets[p].push(row as u32);
+        }
+        // Insert per-partition, in parallel.
+        let results: Vec<Result<()>> = std::thread::scope(|s| {
+            let handles: Vec<_> = buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, rows)| !rows.is_empty())
+                .map(|(p, rows)| {
+                    let partition = Arc::clone(&self.partitions[p]);
+                    s.spawn(move || -> Result<()> {
+                        let sub = chunk.take(rows)?;
+                        for r in 0..sub.len() {
+                            partition.append_row(&sub.row_values(r))?;
+                        }
+                        Ok(())
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("append task panicked")).collect()
+        });
+        for r in results {
+            r?;
+        }
+        Ok(())
+    }
+
+    /// Point lookup across the table (single-partition by hash routing).
+    pub fn lookup_chunk(&self, key: &Value, projection: Option<&[usize]>) -> Result<Chunk> {
+        if key.is_null() {
+            let cols = projection.map_or(self.schema.len(), <[usize]>::len);
+            let proj: Vec<usize> =
+                projection.map_or_else(|| (0..cols).collect(), <[usize]>::to_vec);
+            return Ok(Chunk::empty(&Arc::new(self.schema.project(&proj))));
+        }
+        let p = self.partition_of(key);
+        self.partitions[p].snapshot().lookup_chunk(key, projection)
+    }
+
+    /// Total rows.
+    pub fn row_count(&self) -> usize {
+        self.partitions.iter().map(|p| p.row_count()).sum()
+    }
+
+    /// Consistent snapshot of every partition.
+    pub fn snapshot(&self) -> TableSnapshot {
+        TableSnapshot {
+            schema: Arc::clone(&self.schema),
+            key_col: self.key_col,
+            partitions: self.partitions.iter().map(|p| p.snapshot()).collect(),
+        }
+    }
+
+    /// Aggregated memory accounting.
+    pub fn memory_stats(&self) -> PartitionMemory {
+        let mut total =
+            PartitionMemory { data_bytes: 0, reserved_bytes: 0, index_entries: 0, rows: 0 };
+        for p in &self.partitions {
+            let m = p.memory_stats();
+            total.data_bytes += m.data_bytes;
+            total.reserved_bytes += m.reserved_bytes;
+            total.index_entries += m.index_entries;
+            total.rows += m.rows;
+        }
+        total
+    }
+}
+
+impl std::fmt::Debug for IndexedTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "IndexedTable(key={}, partitions={}, rows={})",
+            self.schema.field(self.key_col).name,
+            self.partitions.len(),
+            self.row_count()
+        )
+    }
+}
+
+/// A frozen, consistent view of every partition.
+pub struct TableSnapshot {
+    schema: SchemaRef,
+    key_col: usize,
+    partitions: Vec<PartitionSnapshot>,
+}
+
+impl TableSnapshot {
+    /// The table schema.
+    pub fn schema(&self) -> SchemaRef {
+        Arc::clone(&self.schema)
+    }
+
+    /// The indexed column position.
+    pub fn key_col(&self) -> usize {
+        self.key_col
+    }
+
+    /// Partition views.
+    pub fn partitions(&self) -> &[PartitionSnapshot] {
+        &self.partitions
+    }
+
+    /// Point lookup within the snapshot.
+    pub fn lookup_chunk(&self, key: &Value, projection: Option<&[usize]>) -> Result<Chunk> {
+        let p =
+            (hash_values(std::slice::from_ref(key)) % self.partitions.len() as u64) as usize;
+        self.partitions[p].lookup_chunk(key, projection)
+    }
+
+    /// Total rows visible.
+    pub fn row_count(&self) -> usize {
+        self.partitions.iter().map(PartitionSnapshot::row_count).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idf_engine::schema::{Field, Schema};
+    use idf_engine::types::DataType;
+
+    fn schema() -> SchemaRef {
+        Arc::new(Schema::new(vec![
+            Field::new("k", DataType::Int64),
+            Field::new("v", DataType::Int64),
+        ]))
+    }
+
+    fn cfg(n: usize) -> IndexConfig {
+        IndexConfig { num_partitions: n, ..Default::default() }
+    }
+
+    fn chunk(rows: impl Iterator<Item = (i64, i64)>) -> Chunk {
+        let rows: Vec<Vec<Value>> =
+            rows.map(|(k, v)| vec![Value::Int64(k), Value::Int64(v)]).collect();
+        Chunk::from_rows(&schema(), &rows).unwrap()
+    }
+
+    #[test]
+    fn build_from_chunk_and_lookup() {
+        let data = chunk((0..1000).map(|i| (i % 100, i)));
+        let t = IndexedTable::from_chunk(schema(), 0, cfg(4), &data).unwrap();
+        assert_eq!(t.row_count(), 1000);
+        for k in 0..100 {
+            let c = t.lookup_chunk(&Value::Int64(k), None).unwrap();
+            assert_eq!(c.len(), 10, "key {k}");
+            for r in 0..c.len() {
+                assert_eq!(c.value_at(0, r), Value::Int64(k));
+            }
+        }
+        assert_eq!(t.lookup_chunk(&Value::Int64(1234), None).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn routing_is_stable() {
+        let t = IndexedTable::new(schema(), 0, cfg(7)).unwrap();
+        for k in 0..100 {
+            let v = Value::Int64(k);
+            assert_eq!(t.partition_of(&v), t.partition_of(&v));
+            assert!(t.partition_of(&v) < 7);
+        }
+    }
+
+    #[test]
+    fn append_after_build() {
+        let data = chunk((0..10).map(|i| (i, i)));
+        let t = IndexedTable::from_chunk(schema(), 0, cfg(2), &data).unwrap();
+        t.append_row(&[Value::Int64(3), Value::Int64(999)]).unwrap();
+        let c = t.lookup_chunk(&Value::Int64(3), None).unwrap();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.value_at(1, 0), Value::Int64(999), "latest first");
+    }
+
+    #[test]
+    fn table_snapshot_consistency() {
+        let data = chunk((0..100).map(|i| (i, i)));
+        let t = IndexedTable::from_chunk(schema(), 0, cfg(3), &data).unwrap();
+        let snap = t.snapshot();
+        t.append_chunk(&chunk((100..200).map(|i| (i, i)))).unwrap();
+        assert_eq!(snap.row_count(), 100);
+        assert_eq!(t.row_count(), 200);
+        assert_eq!(snap.lookup_chunk(&Value::Int64(150), None).unwrap().len(), 0);
+        assert_eq!(t.lookup_chunk(&Value::Int64(150), None).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn null_key_lookup_is_empty() {
+        let data = chunk((0..10).map(|i| (i, i)));
+        let t = IndexedTable::from_chunk(schema(), 0, cfg(2), &data).unwrap();
+        assert_eq!(t.lookup_chunk(&Value::Null, None).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn rejects_bad_construction() {
+        assert!(IndexedTable::new(schema(), 5, cfg(2)).is_err());
+        let mut bad = cfg(2);
+        bad.batch_size = 1 << 30;
+        assert!(IndexedTable::new(schema(), 0, bad).is_err());
+    }
+
+    #[test]
+    fn wrong_width_append_rejected() {
+        let t = IndexedTable::new(schema(), 0, cfg(2)).unwrap();
+        assert!(t.append_row(&[Value::Int64(1)]).is_err());
+        let narrow = Arc::new(Schema::new(vec![Field::new("x", DataType::Int64)]));
+        let c = Chunk::from_rows(&narrow, &[vec![Value::Int64(1)]]).unwrap();
+        assert!(t.append_chunk(&c).is_err());
+    }
+
+    #[test]
+    fn memory_stats_aggregate() {
+        let data = chunk((0..500).map(|i| (i, i)));
+        let t = IndexedTable::from_chunk(schema(), 0, cfg(4), &data).unwrap();
+        let m = t.memory_stats();
+        assert_eq!(m.rows, 500);
+        assert_eq!(m.index_entries, 500);
+        assert!(m.data_bytes > 0);
+    }
+}

@@ -1,0 +1,496 @@
+//! A persistent hash array mapped trie behind a lock: the *reference*
+//! implementation used to differentially test the lock-free [`crate::CTrie`]
+//! and as an ablation baseline in the benchmark harness.
+//!
+//! Every update path-copies the affected spine and swaps the root `Arc`
+//! under a write lock; readers clone the root `Arc` under a read lock and
+//! traverse entirely lock-free thereafter. Snapshots are O(1) root clones.
+//! Observable semantics are identical to the cTrie — the property-based
+//! tests in `tests/differential.rs` assert exactly that.
+
+use std::hash::{BuildHasher, Hash};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::hash::FxBuildHasher;
+use crate::{SnapshotMap, SnapshotReader};
+
+const W: u32 = 5;
+const LEVEL_MASK: u64 = (1 << W) - 1;
+const HASH_BITS: u32 = 64;
+
+enum Node<K, V> {
+    Branch { bitmap: u32, children: Vec<Arc<Node<K, V>>> },
+    Leaf { hash: u64, key: K, value: V },
+    /// Full 64-bit hash collisions.
+    Collision { hash: u64, entries: Vec<(K, V)> },
+}
+
+impl<K: Eq + Clone, V: Clone> Node<K, V> {
+    fn empty() -> Arc<Self> {
+        Arc::new(Node::Branch { bitmap: 0, children: Vec::new() })
+    }
+
+    fn lookup(&self, hash: u64, key: &K, level: u32) -> Option<&V> {
+        match self {
+            Node::Branch { bitmap, children } => {
+                let idx = ((hash >> level) & LEVEL_MASK) as u32;
+                let flag = 1u32 << idx;
+                if bitmap & flag == 0 {
+                    return None;
+                }
+                let pos = (bitmap & flag.wrapping_sub(1)).count_ones() as usize;
+                children[pos].lookup(hash, key, level + W)
+            }
+            Node::Leaf { hash: h, key: k, value } => {
+                if *h == hash && k == key {
+                    Some(value)
+                } else {
+                    None
+                }
+            }
+            Node::Collision { hash: h, entries } => {
+                if *h != hash {
+                    return None;
+                }
+                entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+            }
+        }
+    }
+
+    /// Returns (new node, previous value).
+    fn inserted(&self, hash: u64, key: &K, value: &V, level: u32) -> (Arc<Self>, Option<V>) {
+        match self {
+            Node::Branch { bitmap, children } => {
+                let idx = ((hash >> level) & LEVEL_MASK) as u32;
+                let flag = 1u32 << idx;
+                let pos = (bitmap & flag.wrapping_sub(1)).count_ones() as usize;
+                if bitmap & flag == 0 {
+                    let mut nc = Vec::with_capacity(children.len() + 1);
+                    nc.extend_from_slice(&children[..pos]);
+                    nc.push(Arc::new(Node::Leaf {
+                        hash,
+                        key: key.clone(),
+                        value: value.clone(),
+                    }));
+                    nc.extend_from_slice(&children[pos..]);
+                    (Arc::new(Node::Branch { bitmap: bitmap | flag, children: nc }), None)
+                } else {
+                    let (child, old) = children[pos].inserted(hash, key, value, level + W);
+                    let mut nc = children.clone();
+                    nc[pos] = child;
+                    (Arc::new(Node::Branch { bitmap: *bitmap, children: nc }), old)
+                }
+            }
+            Node::Leaf { hash: h, key: k, value: v } => {
+                if *h == hash && k == key {
+                    let old = v.clone();
+                    (
+                        Arc::new(Node::Leaf { hash, key: key.clone(), value: value.clone() }),
+                        Some(old),
+                    )
+                } else if level >= HASH_BITS {
+                    debug_assert_eq!(*h, hash, "collision node requires equal hashes");
+                    (
+                        Arc::new(Node::Collision {
+                            hash,
+                            entries: vec![
+                                (k.clone(), v.clone()),
+                                (key.clone(), value.clone()),
+                            ],
+                        }),
+                        None,
+                    )
+                } else {
+                    // Split: push the existing leaf down and re-insert.
+                    let idx = ((*h >> level) & LEVEL_MASK) as u32;
+                    let existing = Arc::new(Node::Leaf {
+                        hash: *h,
+                        key: k.clone(),
+                        value: v.clone(),
+                    });
+                    let branch = Node::Branch { bitmap: 1u32 << idx, children: vec![existing] };
+                    branch.inserted(hash, key, value, level)
+                }
+            }
+            Node::Collision { hash: h, entries } => {
+                debug_assert_eq!(*h, hash);
+                let mut ne = entries.clone();
+                let old = match ne.iter_mut().find(|(k, _)| k == key) {
+                    Some(slot) => Some(std::mem::replace(&mut slot.1, value.clone())),
+                    None => {
+                        ne.push((key.clone(), value.clone()));
+                        None
+                    }
+                };
+                (Arc::new(Node::Collision { hash: *h, entries: ne }), old)
+            }
+        }
+    }
+
+    /// Returns (replacement node or None if emptied, removed value).
+    fn removed(&self, hash: u64, key: &K, level: u32) -> (Option<Arc<Self>>, Option<V>) {
+        match self {
+            Node::Branch { bitmap, children } => {
+                let idx = ((hash >> level) & LEVEL_MASK) as u32;
+                let flag = 1u32 << idx;
+                if bitmap & flag == 0 {
+                    return (None, None);
+                }
+                let pos = (bitmap & flag.wrapping_sub(1)).count_ones() as usize;
+                let (replacement, old) = children[pos].removed(hash, key, level + W);
+                if old.is_none() {
+                    return (None, None);
+                }
+                match replacement {
+                    Some(child) => {
+                        let mut nc = children.clone();
+                        nc[pos] = child;
+                        (Some(Arc::new(Node::Branch { bitmap: *bitmap, children: nc })), old)
+                    }
+                    None => {
+                        let nb = bitmap & !flag;
+                        if nb == 0 && level > 0 {
+                            (None, old)
+                        } else {
+                            let mut nc = Vec::with_capacity(children.len() - 1);
+                            nc.extend_from_slice(&children[..pos]);
+                            nc.extend_from_slice(&children[pos + 1..]);
+                            (Some(Arc::new(Node::Branch { bitmap: nb, children: nc })), old)
+                        }
+                    }
+                }
+            }
+            Node::Leaf { hash: h, key: k, value } => {
+                if *h == hash && k == key {
+                    (None, Some(value.clone()))
+                } else {
+                    (None, None)
+                }
+            }
+            Node::Collision { hash: h, entries } => {
+                if *h != hash {
+                    return (None, None);
+                }
+                let Some(pos) = entries.iter().position(|(k, _)| k == key) else {
+                    return (None, None);
+                };
+                let old = entries[pos].1.clone();
+                let mut ne = entries.clone();
+                ne.remove(pos);
+                let node = if ne.len() == 1 {
+                    let (k, v) = ne.pop().expect("len checked");
+                    Arc::new(Node::Leaf { hash: *h, key: k, value: v })
+                } else {
+                    Arc::new(Node::Collision { hash: *h, entries: ne })
+                };
+                (Some(node), Some(old))
+            }
+        }
+    }
+
+    fn count(&self) -> usize {
+        match self {
+            Node::Branch { children, .. } => children.iter().map(|c| c.count()).sum(),
+            Node::Leaf { .. } => 1,
+            Node::Collision { entries, .. } => entries.len(),
+        }
+    }
+
+    fn collect_into(&self, out: &mut Vec<(K, V)>) {
+        match self {
+            Node::Branch { children, .. } => {
+                for c in children {
+                    c.collect_into(out);
+                }
+            }
+            Node::Leaf { key, value, .. } => out.push((key.clone(), value.clone())),
+            Node::Collision { entries, .. } => out.extend(entries.iter().cloned()),
+        }
+    }
+}
+
+/// A persistent HAMT with `Arc` structural sharing behind a root lock.
+///
+/// Readers take the read lock only long enough to clone the root `Arc`;
+/// writers path-copy under the write lock. Snapshots are O(1).
+pub struct Hamt<K, V, S = FxBuildHasher> {
+    root: RwLock<Arc<Node<K, V>>>,
+    hasher: S,
+}
+
+impl<K, V> Hamt<K, V, FxBuildHasher>
+where
+    K: Eq + Hash + Clone,
+    V: Clone,
+{
+    /// Create an empty HAMT with the default hasher.
+    pub fn new() -> Self {
+        Self::with_hasher(FxBuildHasher)
+    }
+}
+
+impl<K, V> Default for Hamt<K, V, FxBuildHasher>
+where
+    K: Eq + Hash + Clone,
+    V: Clone,
+{
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K, V, S> Hamt<K, V, S>
+where
+    K: Eq + Hash + Clone,
+    V: Clone,
+    S: BuildHasher + Clone,
+{
+    /// Create an empty HAMT with a custom hasher.
+    pub fn with_hasher(hasher: S) -> Self {
+        Hamt { root: RwLock::new(Node::empty()), hasher }
+    }
+
+    fn hash_key(&self, key: &K) -> u64 {
+        
+        
+        self.hasher.hash_one(key)
+    }
+
+    /// Insert `key → value`, returning the previously bound value.
+    pub fn insert(&self, key: K, value: V) -> Option<V> {
+        let hash = self.hash_key(&key);
+        let mut root = self.root.write();
+        let (nroot, old) = root.inserted(hash, &key, &value, 0);
+        *root = nroot;
+        old
+    }
+
+    /// Look up the value bound to `key`.
+    pub fn lookup(&self, key: &K) -> Option<V> {
+        let hash = self.hash_key(key);
+        let root = Arc::clone(&self.root.read());
+        root.lookup(hash, key, 0).cloned()
+    }
+
+    /// Remove the binding for `key`, returning the removed value.
+    pub fn remove(&self, key: &K) -> Option<V> {
+        let hash = self.hash_key(key);
+        let mut root = self.root.write();
+        let (replacement, old) = root.removed(hash, key, 0);
+        if old.is_some() {
+            *root = replacement.unwrap_or_else(Node::empty);
+        }
+        old
+    }
+
+    /// O(1) point-in-time snapshot.
+    pub fn snapshot(&self) -> HamtSnapshot<K, V, S> {
+        HamtSnapshot { root: Arc::clone(&self.root.read()), hasher: self.hasher.clone() }
+    }
+
+    /// Number of bindings (O(n)).
+    pub fn len(&self) -> usize {
+        self.root.read().count()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All bindings, unordered.
+    pub fn entries(&self) -> Vec<(K, V)> {
+        let mut out = Vec::new();
+        self.root.read().collect_into(&mut out);
+        out
+    }
+}
+
+/// A frozen point-in-time view of a [`Hamt`].
+pub struct HamtSnapshot<K, V, S = FxBuildHasher> {
+    root: Arc<Node<K, V>>,
+    hasher: S,
+}
+
+impl<K, V, S> HamtSnapshot<K, V, S>
+where
+    K: Eq + Hash + Clone,
+    V: Clone,
+    S: BuildHasher,
+{
+    /// Look up the value bound to `key` in the snapshot.
+    pub fn lookup(&self, key: &K) -> Option<V> {
+        
+        
+        self.root.lookup(self.hasher.hash_one(key), key, 0).cloned()
+    }
+
+    /// Number of bindings in the snapshot.
+    pub fn len(&self) -> usize {
+        self.root.count()
+    }
+
+    /// Whether the snapshot is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All bindings, unordered.
+    pub fn entries(&self) -> Vec<(K, V)> {
+        let mut out = Vec::new();
+        self.root.collect_into(&mut out);
+        out
+    }
+}
+
+impl<K, V, S> SnapshotMap<K, V> for Hamt<K, V, S>
+where
+    K: Eq + Hash + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+    S: BuildHasher + Clone + Send + Sync + 'static,
+{
+    fn insert(&self, key: K, value: V) -> Option<V> {
+        Hamt::insert(self, key, value)
+    }
+
+    fn lookup(&self, key: &K) -> Option<V> {
+        Hamt::lookup(self, key)
+    }
+
+    fn remove(&self, key: &K) -> Option<V> {
+        Hamt::remove(self, key)
+    }
+
+    fn snapshot_reader(&self) -> Box<dyn SnapshotReader<K, V>> {
+        Box::new(self.snapshot())
+    }
+
+    fn count(&self) -> usize {
+        self.len()
+    }
+}
+
+impl<K, V, S> SnapshotReader<K, V> for HamtSnapshot<K, V, S>
+where
+    K: Eq + Hash + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+    S: BuildHasher + Clone + Send + Sync + 'static,
+{
+    fn lookup(&self, key: &K) -> Option<V> {
+        HamtSnapshot::lookup(self, key)
+    }
+
+    fn count(&self) -> usize {
+        self.len()
+    }
+
+    fn entries(&self) -> Vec<(K, V)> {
+        HamtSnapshot::entries(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hasher;
+
+    #[test]
+    fn insert_lookup_remove() {
+        let h: Hamt<u64, u64> = Hamt::new();
+        for i in 0..5000 {
+            assert_eq!(h.insert(i, i + 1), None);
+        }
+        for i in 0..5000 {
+            assert_eq!(h.lookup(&i), Some(i + 1));
+        }
+        assert_eq!(h.insert(7, 99), Some(8));
+        for i in 0..5000 {
+            assert!(h.remove(&i).is_some());
+        }
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn snapshot_isolation() {
+        let h: Hamt<u64, u64> = Hamt::new();
+        for i in 0..100 {
+            h.insert(i, i);
+        }
+        let snap = h.snapshot();
+        h.insert(500, 500);
+        h.remove(&0);
+        assert_eq!(snap.len(), 100);
+        assert_eq!(snap.lookup(&0), Some(0));
+        assert_eq!(snap.lookup(&500), None);
+    }
+
+    #[test]
+    fn entries_complete() {
+        let h: Hamt<u64, u64> = Hamt::new();
+        for i in 0..1000 {
+            h.insert(i, i * 2);
+        }
+        let mut e = h.entries();
+        e.sort_unstable();
+        assert_eq!(e.len(), 1000);
+        assert_eq!(e[999], (999, 1998));
+    }
+
+    /// All-collide hasher to force Collision nodes.
+    #[derive(Clone, Copy, Default)]
+    struct CollideAll;
+    struct CollideHasher;
+    impl Hasher for CollideHasher {
+        fn finish(&self) -> u64 {
+            7
+        }
+        fn write(&mut self, _: &[u8]) {}
+    }
+    impl BuildHasher for CollideAll {
+        type Hasher = CollideHasher;
+        fn build_hasher(&self) -> CollideHasher {
+            CollideHasher
+        }
+    }
+
+    #[test]
+    fn collisions() {
+        let h: Hamt<u64, u64, CollideAll> = Hamt::with_hasher(CollideAll);
+        for i in 0..32 {
+            assert_eq!(h.insert(i, i), None);
+        }
+        for i in 0..32 {
+            assert_eq!(h.lookup(&i), Some(i));
+        }
+        assert_eq!(h.len(), 32);
+        for i in 0..31 {
+            assert_eq!(h.remove(&i), Some(i));
+        }
+        assert_eq!(h.lookup(&31), Some(31));
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_readers_during_writes() {
+        let h = std::sync::Arc::new(Hamt::<u64, u64>::new());
+        let writer = {
+            let h = std::sync::Arc::clone(&h);
+            std::thread::spawn(move || {
+                for i in 0..50_000u64 {
+                    h.insert(i, i);
+                }
+            })
+        };
+        for _ in 0..20 {
+            let snap = h.snapshot();
+            let n = snap.len();
+            for k in 0..n as u64 {
+                assert_eq!(snap.lookup(&k), Some(k));
+            }
+        }
+        writer.join().unwrap();
+        assert_eq!(h.len(), 50_000);
+    }
+}

@@ -1,0 +1,141 @@
+//! A fast, dependency-free hasher.
+//!
+//! The trie's shape is determined directly by hash bits (5 bits per level),
+//! so the hash must scatter well even for sequential integer keys — the
+//! common case for the Indexed DataFrame, whose keys are row identifiers.
+//! `FxHasher` is an FNV-1a byte loop with dedicated fast paths for integer
+//! writes, finalised with the splitmix64 avalanche so every output bit
+//! depends on every input bit.
+
+use std::hash::{BuildHasher, Hasher};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// splitmix64 finalizer: full-avalanche mixing of a 64-bit value.
+#[inline]
+pub fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A fast non-cryptographic hasher (FNV-1a core, splitmix64 finalizer).
+#[derive(Clone, Debug)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl Default for FxHasher {
+    fn default() -> Self {
+        FxHasher { state: FNV_OFFSET }
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        mix64(self.state)
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state = (self.state ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.state = mix64(self.state ^ i);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.write_u64(u64::from(i));
+    }
+
+    #[inline]
+    fn write_i64(&mut self, i: i64) {
+        self.write_u64(i as u64);
+    }
+
+    #[inline]
+    fn write_i32(&mut self, i: i32) {
+        self.write_u64(i as u32 as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.write_u64(i as u64);
+    }
+}
+
+/// [`BuildHasher`] for [`FxHasher`]; the default hasher of [`crate::CTrie`].
+#[derive(Clone, Copy, Default, Debug)]
+pub struct FxBuildHasher;
+
+impl BuildHasher for FxBuildHasher {
+    type Hasher = FxHasher;
+
+    #[inline]
+    fn build_hasher(&self) -> FxHasher {
+        FxHasher::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_of<T: Hash>(v: T) -> u64 {
+        
+        
+        FxBuildHasher.hash_one(&v)
+    }
+
+    #[test]
+    fn sequential_keys_scatter_across_top_level() {
+        // The trie uses the low 5 bits first; sequential keys must not all
+        // land in one slot.
+        let mut slots = [0usize; 32];
+        for i in 0u64..1024 {
+            slots[(hash_of(i) & 31) as usize] += 1;
+        }
+        let max = *slots.iter().max().unwrap();
+        let min = *slots.iter().min().unwrap();
+        assert!(min > 0, "some top-level slot never hit: {slots:?}");
+        assert!(max < 4 * 32, "pathologically skewed: {slots:?}");
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_of(42u64), hash_of(42u64));
+        assert_eq!(hash_of("hello"), hash_of("hello"));
+    }
+
+    #[test]
+    fn distinct_inputs_rarely_collide() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0u64..100_000 {
+            seen.insert(hash_of(i));
+        }
+        assert_eq!(seen.len(), 100_000);
+    }
+
+    #[test]
+    fn string_hashing_differs_by_content() {
+        assert_ne!(hash_of("a"), hash_of("b"));
+        assert_ne!(hash_of("ab"), hash_of("ba"));
+    }
+
+    #[test]
+    fn mix64_is_bijective_sample() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0u64..10_000 {
+            assert!(seen.insert(mix64(i)));
+        }
+    }
+}

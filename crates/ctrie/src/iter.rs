@@ -1,0 +1,134 @@
+//! Iteration over a point-in-time view of a [`CTrie`].
+//!
+//! The iterator owns a *read-only snapshot*, so it observes a consistent
+//! view no matter how the source trie is mutated concurrently. Traversal
+//! clones `Arc`s of main nodes into an explicit stack, so no epoch guard is
+//! held across `next()` calls.
+
+use std::hash::{BuildHasher, Hash};
+use std::sync::Arc;
+
+use crate::hash::FxBuildHasher;
+use crate::node::{Branch, MainKind, MainNode};
+use crate::trie::CTrie;
+
+/// An iterator over the `(key, value)` bindings of a trie snapshot.
+/// Order is unspecified (hash order).
+pub struct Iter<K, V, S = FxBuildHasher> {
+    trie: CTrie<K, V, S>,
+    /// Stack of (node, next child index) frames.
+    stack: Vec<(Arc<MainNode<K, V>>, usize)>,
+}
+
+impl<K, V, S> Iter<K, V, S>
+where
+    K: Eq + Hash + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+    S: BuildHasher + Clone + Send + Sync + 'static,
+{
+    pub(crate) fn new(snapshot: CTrie<K, V, S>) -> Self {
+        debug_assert!(snapshot.is_read_only());
+        let root = snapshot.root_main_arc();
+        Iter { trie: snapshot, stack: vec![(root, 0)] }
+    }
+}
+
+impl<K, V, S> Iterator for Iter<K, V, S>
+where
+    K: Eq + Hash + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+    S: BuildHasher + Clone + Send + Sync + 'static,
+{
+    type Item = (K, V);
+
+    fn next(&mut self) -> Option<(K, V)> {
+        loop {
+            let (node, idx) = {
+                let top = self.stack.last()?;
+                (Arc::clone(&top.0), top.1)
+            };
+            match &node.kind {
+                MainKind::C(cn) => {
+                    if idx >= cn.array.len() {
+                        self.stack.pop();
+                        continue;
+                    }
+                    self.stack.last_mut().expect("frame").1 += 1;
+                    match &cn.array[idx] {
+                        Branch::S(sn) => return Some((sn.key.clone(), sn.value.clone())),
+                        Branch::I(inode) => {
+                            let m = self.trie.resolve_main(inode);
+                            self.stack.push((m, 0));
+                            continue;
+                        }
+                    }
+                }
+                MainKind::T(sn) => {
+                    self.stack.pop();
+                    return Some((sn.key.clone(), sn.value.clone()));
+                }
+                MainKind::L(ln) => {
+                    if idx >= ln.entries.len() {
+                        self.stack.pop();
+                        continue;
+                    }
+                    self.stack.last_mut().expect("frame").1 += 1;
+                    let sn = &ln.entries[idx];
+                    return Some((sn.key.clone(), sn.value.clone()));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::CTrie;
+
+    #[test]
+    fn iterates_all_entries_once() {
+        let t: CTrie<u64, u64> = CTrie::new();
+        for i in 0..5000 {
+            t.insert(i, i * 3);
+        }
+        let mut seen: Vec<(u64, u64)> = t.iter().collect();
+        seen.sort_unstable();
+        assert_eq!(seen.len(), 5000);
+        for (i, (k, v)) in seen.into_iter().enumerate() {
+            assert_eq!(k, i as u64);
+            assert_eq!(v, k * 3);
+        }
+    }
+
+    #[test]
+    fn empty_trie_yields_nothing() {
+        let t: CTrie<u64, u64> = CTrie::new();
+        assert_eq!(t.iter().count(), 0);
+    }
+
+    #[test]
+    fn iteration_isolated_from_concurrent_writes() {
+        let t: CTrie<u64, u64> = CTrie::new();
+        for i in 0..100 {
+            t.insert(i, i);
+        }
+        let iter = t.iter();
+        for i in 100..200 {
+            t.insert(i, i);
+        }
+        assert_eq!(iter.count(), 100);
+    }
+
+    #[test]
+    fn single_entry_after_removals_iterates() {
+        let t: CTrie<u64, u64> = CTrie::new();
+        for i in 0..100 {
+            t.insert(i, i);
+        }
+        for i in 1..100 {
+            t.remove(&i);
+        }
+        let all: Vec<_> = t.iter().collect();
+        assert_eq!(all, vec![(0, 0)]);
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based differential testing: the lock-free cTrie, the
+//! persistent HAMT, and `std::collections::HashMap` must agree on every
+//! operation sequence — including interleaved snapshots, which the
+//! HashMap model handles by cloning.
+
+use std::collections::HashMap;
+
+use idf_ctrie::{CTrie, Hamt};
+use proptest::prelude::*;
+
+/// One step of a generated workload.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u16, u32),
+    Remove(u16),
+    Lookup(u16),
+    Snapshot,
+    /// Check a key in the most recent snapshot.
+    SnapshotLookup(u16),
+    Len,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (any::<u16>(), any::<u32>()).prop_map(|(k, v)| Op::Insert(k % 512, v)),
+        2 => any::<u16>().prop_map(|k| Op::Remove(k % 512)),
+        3 => any::<u16>().prop_map(|k| Op::Lookup(k % 512)),
+        1 => Just(Op::Snapshot),
+        1 => any::<u16>().prop_map(|k| Op::SnapshotLookup(k % 512)),
+        1 => Just(Op::Len),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn ctrie_hamt_hashmap_agree(ops in proptest::collection::vec(op_strategy(), 1..400)) {
+        let trie: CTrie<u16, u32> = CTrie::new();
+        let hamt: Hamt<u16, u32> = Hamt::new();
+        let mut model: HashMap<u16, u32> = HashMap::new();
+
+        let mut trie_snap: Option<CTrie<u16, u32>> = None;
+        let mut hamt_snap = None;
+        let mut model_snap: Option<HashMap<u16, u32>> = None;
+
+        for op in ops {
+            match op {
+                Op::Insert(k, v) => {
+                    let a = trie.insert(k, v);
+                    let b = hamt.insert(k, v);
+                    let c = model.insert(k, v);
+                    prop_assert_eq!(a, c);
+                    prop_assert_eq!(b, c);
+                }
+                Op::Remove(k) => {
+                    let a = trie.remove(&k);
+                    let b = hamt.remove(&k);
+                    let c = model.remove(&k);
+                    prop_assert_eq!(a, c);
+                    prop_assert_eq!(b, c);
+                }
+                Op::Lookup(k) => {
+                    let c = model.get(&k).copied();
+                    prop_assert_eq!(trie.lookup(&k), c);
+                    prop_assert_eq!(hamt.lookup(&k), c);
+                }
+                Op::Snapshot => {
+                    trie_snap = Some(trie.read_only_snapshot());
+                    hamt_snap = Some(hamt.snapshot());
+                    model_snap = Some(model.clone());
+                }
+                Op::SnapshotLookup(k) => {
+                    if let (Some(ts), Some(hs), Some(ms)) =
+                        (&trie_snap, &hamt_snap, &model_snap)
+                    {
+                        let c = ms.get(&k).copied();
+                        prop_assert_eq!(ts.lookup(&k), c);
+                        prop_assert_eq!(hs.lookup(&k), c);
+                    }
+                }
+                Op::Len => {
+                    prop_assert_eq!(trie.len(), model.len());
+                    prop_assert_eq!(hamt.len(), model.len());
+                }
+            }
+        }
+        // Final full-content comparison.
+        let mut trie_all: Vec<(u16, u32)> = trie.iter().collect();
+        trie_all.sort_unstable();
+        let mut hamt_all = hamt.entries();
+        hamt_all.sort_unstable();
+        let mut model_all: Vec<(u16, u32)> = model.into_iter().collect();
+        model_all.sort_unstable();
+        prop_assert_eq!(trie_all, model_all.clone());
+        prop_assert_eq!(hamt_all, model_all);
+    }
+
+    #[test]
+    fn writable_snapshot_fully_isolates(
+        base in proptest::collection::vec((any::<u16>(), any::<u32>()), 1..200),
+        after_a in proptest::collection::vec((any::<u16>(), any::<u32>()), 1..100),
+        after_b in proptest::collection::vec((any::<u16>(), any::<u32>()), 1..100),
+    ) {
+        let trie: CTrie<u16, u32> = CTrie::new();
+        let mut model: HashMap<u16, u32> = HashMap::new();
+        for (k, v) in base {
+            trie.insert(k, v);
+            model.insert(k, v);
+        }
+        let fork = trie.snapshot();
+        let mut fork_model = model.clone();
+        for (k, v) in after_a {
+            trie.insert(k, v);
+            model.insert(k, v);
+        }
+        for (k, v) in after_b {
+            fork.insert(k, v);
+            fork_model.insert(k, v);
+        }
+        for k in 0u16..1024 {
+            prop_assert_eq!(trie.lookup(&k), model.get(&k).copied());
+            prop_assert_eq!(fork.lookup(&k), fork_model.get(&k).copied());
+        }
+    }
+
+    #[test]
+    fn insert_returns_previous_value_chains(
+        keys in proptest::collection::vec(any::<u8>(), 1..300)
+    ) {
+        // The Indexed DataFrame depends on insert returning the previous
+        // binding to thread its backward pointers; verify the chain of
+        // returned values reconstructs insertion order per key.
+        let trie: CTrie<u8, u64> = CTrie::new();
+        let mut last_for_key: HashMap<u8, u64> = HashMap::new();
+        for (seq, k) in keys.iter().enumerate() {
+            let prev = trie.insert(*k, seq as u64);
+            prop_assert_eq!(prev, last_for_key.insert(*k, seq as u64));
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! Table sources and the session catalog.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::chunk::Chunk;
+use crate::error::{EngineError, Result};
+use crate::expr::Expr;
+use crate::schema::SchemaRef;
+
+/// Iterator of chunks produced by one partition of a source or operator.
+pub type ChunkIter = Box<dyn Iterator<Item = Result<Chunk>> + Send>;
+
+/// Coarse statistics used for planning (broadcast-join decisions).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Statistics {
+    /// Estimated number of rows, if known.
+    pub row_count: Option<usize>,
+    /// Estimated total bytes, if known.
+    pub byte_size: Option<usize>,
+}
+
+/// A table that can be scanned partition-by-partition.
+///
+/// This is the extension seam the Indexed DataFrame plugs into: its
+/// `IndexedSource` implements this trait, advertises filter pushdown for
+/// equality predicates on the indexed column, and is recognized (via
+/// [`TableSource::as_any`] downcasting) by the index-aware planning
+/// strategy — the analogue of the paper's custom Catalyst rules.
+pub trait TableSource: Send + Sync {
+    /// The table's schema (unqualified).
+    fn schema(&self) -> SchemaRef;
+
+    /// Number of scan partitions.
+    fn num_partitions(&self) -> usize;
+
+    /// Scan one partition, optionally projecting a subset of columns
+    /// (indices into [`TableSource::schema`]).
+    fn scan(&self, partition: usize, projection: Option<&[usize]>) -> Result<ChunkIter>;
+
+    /// Whether the source can evaluate `filter` natively during the scan
+    /// (e.g. an index lookup). Sources returning `true` must apply the
+    /// filter in [`TableSource::scan_with_filters`].
+    fn supports_filter_pushdown(&self, _filter: &Expr) -> bool {
+        false
+    }
+
+    /// Scan with pushed-down filters. Only called with filters for which
+    /// [`TableSource::supports_filter_pushdown`] returned `true`.
+    fn scan_with_filters(
+        &self,
+        partition: usize,
+        projection: Option<&[usize]>,
+        _filters: &[Expr],
+    ) -> Result<ChunkIter> {
+        self.scan(partition, projection)
+    }
+
+    /// Planning statistics.
+    fn statistics(&self) -> Statistics {
+        Statistics::default()
+    }
+
+    /// Downcast support for custom planning strategies.
+    fn as_any(&self) -> &dyn Any;
+}
+
+/// An in-memory, partitioned, columnar table — the engine's analogue of a
+/// cached (vanilla) Spark DataFrame.
+pub struct MemTable {
+    schema: SchemaRef,
+    partitions: Vec<Vec<Chunk>>,
+}
+
+impl MemTable {
+    /// Build from pre-partitioned chunks.
+    pub fn new(schema: SchemaRef, partitions: Vec<Vec<Chunk>>) -> Self {
+        MemTable { schema, partitions }
+    }
+
+    /// Build a single-partition table from one chunk.
+    pub fn from_chunk(schema: SchemaRef, chunk: Chunk) -> Self {
+        MemTable { schema, partitions: vec![vec![chunk]] }
+    }
+
+    /// Split `chunk` round-robin into `n` partitions.
+    pub fn from_chunk_partitioned(schema: SchemaRef, chunk: Chunk, n: usize) -> Result<Self> {
+        let n = n.max(1);
+        let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for row in 0..chunk.len() {
+            buckets[row % n].push(row as u32);
+        }
+        let partitions = buckets
+            .into_iter()
+            .map(|idx| Ok(vec![chunk.take(&idx)?]))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(MemTable { schema, partitions })
+    }
+
+    /// The chunks of every partition.
+    pub fn partitions(&self) -> &[Vec<Chunk>] {
+        &self.partitions
+    }
+
+    /// Total rows across partitions.
+    pub fn row_count(&self) -> usize {
+        self.partitions.iter().flatten().map(Chunk::len).sum()
+    }
+}
+
+impl TableSource for MemTable {
+    fn schema(&self) -> SchemaRef {
+        Arc::clone(&self.schema)
+    }
+
+    fn num_partitions(&self) -> usize {
+        self.partitions.len().max(1)
+    }
+
+    fn scan(&self, partition: usize, projection: Option<&[usize]>) -> Result<ChunkIter> {
+        let chunks = self.partitions.get(partition).cloned().unwrap_or_default();
+        let projected: Vec<Chunk> = match projection {
+            Some(idx) => {
+                let idx = idx.to_vec();
+                chunks.iter().map(|c| c.project(&idx)).collect()
+            }
+            None => chunks,
+        };
+        Ok(Box::new(projected.into_iter().map(Ok)))
+    }
+
+    fn statistics(&self) -> Statistics {
+        let rows = self.row_count();
+        let bytes = self.partitions.iter().flatten().map(Chunk::byte_size).sum();
+        Statistics { row_count: Some(rows), byte_size: Some(bytes) }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// The session's table registry.
+#[derive(Default)]
+pub struct Catalog {
+    tables: RwLock<HashMap<String, Arc<dyn TableSource>>>,
+}
+
+impl Catalog {
+    /// Empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register (or replace) a table under `name`.
+    pub fn register(&self, name: impl Into<String>, table: Arc<dyn TableSource>) {
+        self.tables.write().insert(name.into(), table);
+    }
+
+    /// Remove the table registered under `name`.
+    pub fn deregister(&self, name: &str) -> Option<Arc<dyn TableSource>> {
+        self.tables.write().remove(name)
+    }
+
+    /// Fetch the table registered under `name`.
+    pub fn get(&self, name: &str) -> Result<Arc<dyn TableSource>> {
+        self.tables
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| EngineError::TableNotFound(name.to_string()))
+    }
+
+    /// Names of all registered tables, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tables.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Field, Schema};
+    use crate::types::{DataType, Value};
+
+    fn table() -> MemTable {
+        let schema = Arc::new(Schema::new(vec![Field::new("x", DataType::Int64)]));
+        let chunk = Chunk::from_rows(
+            &schema,
+            &(0..10).map(|i| vec![Value::Int64(i)]).collect::<Vec<_>>(),
+        )
+        .unwrap();
+        MemTable::from_chunk_partitioned(schema, chunk, 3).unwrap()
+    }
+
+    #[test]
+    fn partitioning_covers_all_rows() {
+        let t = table();
+        assert_eq!(t.num_partitions(), 3);
+        assert_eq!(t.row_count(), 10);
+        let mut all: Vec<i64> = Vec::new();
+        for p in 0..3 {
+            for chunk in t.scan(p, None).unwrap() {
+                let chunk = chunk.unwrap();
+                for r in 0..chunk.len() {
+                    if let Value::Int64(v) = chunk.value_at(0, r) {
+                        all.push(v);
+                    }
+                }
+            }
+        }
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scan_projection() {
+        let schema = Arc::new(Schema::new(vec![
+            Field::new("a", DataType::Int64),
+            Field::new("b", DataType::Utf8),
+        ]));
+        let chunk = Chunk::from_rows(
+            &schema,
+            &[vec![Value::Int64(1), Value::Utf8("x".into())]],
+        )
+        .unwrap();
+        let t = MemTable::from_chunk(schema, chunk);
+        let got: Vec<Chunk> =
+            t.scan(0, Some(&[1])).unwrap().collect::<Result<_>>().unwrap();
+        assert_eq!(got[0].num_columns(), 1);
+        assert_eq!(got[0].value_at(0, 0), Value::Utf8("x".into()));
+    }
+
+    #[test]
+    fn catalog_register_lookup() {
+        let c = Catalog::new();
+        assert!(c.get("t").is_err());
+        c.register("t", Arc::new(table()));
+        assert!(c.get("t").is_ok());
+        assert_eq!(c.table_names(), vec!["t"]);
+        c.deregister("t");
+        assert!(c.get("t").is_err());
+    }
+
+    #[test]
+    fn statistics_populated() {
+        let t = table();
+        let s = t.statistics();
+        assert_eq!(s.row_count, Some(10));
+        assert!(s.byte_size.unwrap() >= 80);
+    }
+}

@@ -1,0 +1,43 @@
+//! Session / execution configuration.
+
+/// Tunable execution parameters (the analogue of `spark.conf`).
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Number of partitions produced by shuffles and repartitions
+    /// (`spark.sql.shuffle.partitions`).
+    pub target_partitions: usize,
+    /// Probe/build sides smaller than this many rows are broadcast instead
+    /// of shuffled in joins (`spark.sql.autoBroadcastJoinThreshold`, in rows
+    /// here since all tables are in-memory).
+    pub broadcast_threshold_rows: usize,
+    /// Preferred maximum rows per produced chunk.
+    pub batch_size: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            target_partitions: default_parallelism(),
+            broadcast_threshold_rows: 10_000,
+            batch_size: 8192,
+        }
+    }
+}
+
+/// Number of partitions to default to: the machine's available parallelism.
+pub fn default_parallelism() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = EngineConfig::default();
+        assert!(c.target_partitions >= 1);
+        assert!(c.batch_size > 0);
+        assert!(c.broadcast_threshold_rows > 0);
+    }
+}

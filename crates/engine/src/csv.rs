@@ -1,0 +1,215 @@
+//! Minimal CSV import/export (no external dependencies).
+//!
+//! Enough to move datasets in and out of the engine: RFC-4180-style
+//! quoting, header row, schema-driven parsing with `NULL`/empty-as-null
+//! handling. The SNB generator can dump its tables for external tools and
+//! users can load their own data.
+
+use std::io::{BufRead, Write};
+
+use crate::chunk::Chunk;
+use crate::column::ColumnBuilder;
+use crate::error::{EngineError, Result};
+use crate::schema::SchemaRef;
+use crate::types::{DataType, Value};
+
+/// Split one CSV record, honouring double quotes and `""` escapes.
+fn split_record(line: &str) -> Result<Vec<String>> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    cur.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            }
+            '"' if cur.is_empty() => in_quotes = true,
+            '"' => {
+                return Err(EngineError::exec(format!(
+                    "stray quote inside unquoted CSV field: {line}"
+                )))
+            }
+            ',' if !in_quotes => {
+                fields.push(std::mem::take(&mut cur));
+            }
+            other => cur.push(other),
+        }
+    }
+    if in_quotes {
+        return Err(EngineError::exec(format!("unterminated quote in CSV record: {line}")));
+    }
+    fields.push(cur);
+    Ok(fields)
+}
+
+fn parse_value(field: &str, dt: DataType) -> Result<Value> {
+    if field.is_empty() || field == "NULL" {
+        return Ok(Value::Null);
+    }
+    let bad = |what: &str| {
+        EngineError::exec(format!("cannot parse {field:?} as {what}"))
+    };
+    Ok(match dt {
+        DataType::Boolean => Value::Boolean(match field {
+            "true" | "TRUE" | "1" => true,
+            "false" | "FALSE" | "0" => false,
+            _ => return Err(bad("BOOLEAN")),
+        }),
+        DataType::Int32 => Value::Int32(field.parse().map_err(|_| bad("INT32"))?),
+        DataType::Int64 => Value::Int64(field.parse().map_err(|_| bad("INT64"))?),
+        DataType::Float64 => Value::Float64(field.parse().map_err(|_| bad("FLOAT64"))?),
+        DataType::Utf8 => Value::Utf8(field.to_string()),
+        DataType::Timestamp => Value::Timestamp(field.parse().map_err(|_| bad("TIMESTAMP"))?),
+    })
+}
+
+/// Read CSV (with a header row that must match `schema`'s column names)
+/// into a single chunk.
+pub fn read_csv(reader: impl BufRead, schema: &SchemaRef) -> Result<Chunk> {
+    let mut lines = reader.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| EngineError::exec("empty CSV input"))?
+        .map_err(|e| EngineError::exec(format!("CSV read error: {e}")))?;
+    let names = split_record(&header)?;
+    if names.len() != schema.len()
+        || names.iter().zip(&schema.fields).any(|(n, f)| *n != f.name)
+    {
+        return Err(EngineError::exec(format!(
+            "CSV header {names:?} does not match schema {schema}"
+        )));
+    }
+    let mut builders: Vec<ColumnBuilder> =
+        schema.fields.iter().map(|f| ColumnBuilder::new(f.data_type)).collect();
+    for (lineno, line) in lines.enumerate() {
+        let line = line.map_err(|e| EngineError::exec(format!("CSV read error: {e}")))?;
+        if line.is_empty() {
+            continue;
+        }
+        let fields = split_record(&line)?;
+        if fields.len() != schema.len() {
+            return Err(EngineError::exec(format!(
+                "CSV record {} has {} fields, expected {}",
+                lineno + 2,
+                fields.len(),
+                schema.len()
+            )));
+        }
+        for ((b, field), f) in builders.iter_mut().zip(&fields).zip(&schema.fields) {
+            b.push(&parse_value(field, f.data_type)?)?;
+        }
+    }
+    Chunk::new(builders.into_iter().map(|b| std::sync::Arc::new(b.finish())).collect())
+}
+
+fn quote(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Write `chunk` as CSV with a header row (nulls as empty fields).
+pub fn write_csv(writer: &mut impl Write, schema: &SchemaRef, chunk: &Chunk) -> Result<()> {
+    let io_err = |e: std::io::Error| EngineError::exec(format!("CSV write error: {e}"));
+    let header: Vec<String> = schema.fields.iter().map(|f| quote(&f.name)).collect();
+    writeln!(writer, "{}", header.join(",")).map_err(io_err)?;
+    for row in 0..chunk.len() {
+        let fields: Vec<String> = (0..chunk.num_columns())
+            .map(|c| match chunk.value_at(c, row) {
+                Value::Null => String::new(),
+                v => quote(&v.to_string()),
+            })
+            .collect();
+        writeln!(writer, "{}", fields.join(",")).map_err(io_err)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Field, Schema};
+    use std::sync::Arc;
+
+    fn schema() -> SchemaRef {
+        Arc::new(Schema::new(vec![
+            Field::new("id", DataType::Int64),
+            Field::new("name", DataType::Utf8),
+            Field::new("score", DataType::Float64),
+            Field::new("ok", DataType::Boolean),
+        ]))
+    }
+
+    #[test]
+    fn roundtrip() {
+        let s = schema();
+        let chunk = Chunk::from_rows(
+            &s,
+            &[
+                vec![
+                    Value::Int64(1),
+                    Value::Utf8("plain".into()),
+                    Value::Float64(1.5),
+                    Value::Boolean(true),
+                ],
+                vec![
+                    Value::Int64(2),
+                    Value::Utf8("with, comma and \"quotes\"".into()),
+                    Value::Null,
+                    Value::Boolean(false),
+                ],
+            ],
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &s, &chunk).unwrap();
+        let back = read_csv(std::io::Cursor::new(&buf), &s).unwrap();
+        assert_eq!(back.to_rows(), chunk.to_rows());
+    }
+
+    #[test]
+    fn parses_nulls_and_rejects_garbage() {
+        let s = schema();
+        let csv = "id,name,score,ok\n1,alice,,true\n,NULL,2.5,0\n";
+        let chunk = read_csv(std::io::Cursor::new(csv), &s).unwrap();
+        assert_eq!(chunk.len(), 2);
+        assert_eq!(chunk.value_at(2, 0), Value::Null);
+        assert_eq!(chunk.value_at(0, 1), Value::Null);
+        // The literal "NULL" token reads back as SQL NULL, even for strings.
+        assert_eq!(chunk.value_at(1, 1), Value::Null);
+        let bad = "id,name,score,ok\nxx,a,1.0,true\n";
+        assert!(read_csv(std::io::Cursor::new(bad), &s).is_err());
+    }
+
+    #[test]
+    fn header_mismatch_rejected() {
+        let s = schema();
+        assert!(read_csv(std::io::Cursor::new("a,b,c,d\n"), &s).is_err());
+        assert!(read_csv(std::io::Cursor::new("id,name,score\n"), &s).is_err());
+        assert!(read_csv(std::io::Cursor::new(""), &s).is_err());
+    }
+
+    #[test]
+    fn quoted_field_edge_cases() {
+        assert_eq!(split_record("a,\"b,c\",d").unwrap(), vec!["a", "b,c", "d"]);
+        assert_eq!(split_record("\"he said \"\"hi\"\"\"").unwrap(), vec!["he said \"hi\""]);
+        assert_eq!(split_record("a,,c").unwrap(), vec!["a", "", "c"]);
+        assert!(split_record("a\"b").is_err());
+        assert!(split_record("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn wrong_arity_rejected() {
+        let s = schema();
+        let csv = "id,name,score,ok\n1,a\n";
+        assert!(read_csv(std::io::Cursor::new(csv), &s).is_err());
+    }
+}

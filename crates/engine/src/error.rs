@@ -1,0 +1,81 @@
+//! Engine error type.
+
+use std::fmt;
+
+/// All errors surfaced by the engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// A query referenced a column that does not exist (or is ambiguous).
+    ColumnNotFound(String),
+    /// A query referenced a table that is not registered.
+    TableNotFound(String),
+    /// The expression or plan is not well typed.
+    Type(String),
+    /// SQL text failed to lex or parse.
+    Sql(String),
+    /// A plan could not be turned into a physical plan.
+    Plan(String),
+    /// A runtime failure during execution.
+    Execution(String),
+    /// The operation is not (yet) supported.
+    Unsupported(String),
+    /// Internal invariant violation — a bug in the engine.
+    Internal(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::ColumnNotFound(c) => write!(f, "column not found: {c}"),
+            EngineError::TableNotFound(t) => write!(f, "table not found: {t}"),
+            EngineError::Type(m) => write!(f, "type error: {m}"),
+            EngineError::Sql(m) => write!(f, "SQL error: {m}"),
+            EngineError::Plan(m) => write!(f, "planning error: {m}"),
+            EngineError::Execution(m) => write!(f, "execution error: {m}"),
+            EngineError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            EngineError::Internal(m) => write!(f, "internal error (bug): {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Convenience result alias used across the engine.
+pub type Result<T, E = EngineError> = std::result::Result<T, E>;
+
+/// Shorthand constructors, used pervasively.
+impl EngineError {
+    /// Build a type error.
+    pub fn type_err(msg: impl Into<String>) -> Self {
+        EngineError::Type(msg.into())
+    }
+
+    /// Build an execution error.
+    pub fn exec(msg: impl Into<String>) -> Self {
+        EngineError::Execution(msg.into())
+    }
+
+    /// Build an internal-invariant error.
+    pub fn internal(msg: impl Into<String>) -> Self {
+        EngineError::Internal(msg.into())
+    }
+
+    /// Build a planning error.
+    pub fn plan(msg: impl Into<String>) -> Self {
+        EngineError::Plan(msg.into())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(
+            EngineError::ColumnNotFound("x".into()).to_string(),
+            "column not found: x"
+        );
+        assert!(EngineError::internal("oops").to_string().contains("bug"));
+    }
+}

@@ -1,0 +1,277 @@
+//! Constant folding and predicate simplification.
+
+use crate::error::Result;
+use crate::expr::{BinaryOp, Expr};
+use crate::logical::LogicalPlan;
+use crate::optimizer::{map_children, OptimizerRule};
+use crate::types::Value;
+
+/// Evaluates literal-only subtrees at plan time.
+pub struct ConstantFolding;
+
+impl OptimizerRule for ConstantFolding {
+    fn name(&self) -> &str {
+        "constant_folding"
+    }
+
+    fn optimize(&self, plan: &LogicalPlan) -> Result<LogicalPlan> {
+        rewrite_exprs(plan, &fold_expr)
+    }
+}
+
+/// Drops always-true filters; collapses always-false filters into empty
+/// `Values` relations.
+pub struct SimplifyPredicates;
+
+impl OptimizerRule for SimplifyPredicates {
+    fn name(&self) -> &str {
+        "simplify_predicates"
+    }
+
+    fn optimize(&self, plan: &LogicalPlan) -> Result<LogicalPlan> {
+        let plan = map_children(plan, &mut |c| self.optimize(c))?;
+        if let LogicalPlan::Filter { input, predicate } = &plan {
+            match predicate {
+                Expr::Literal(Value::Boolean(true)) => return Ok(input.as_ref().clone()),
+                Expr::Literal(Value::Boolean(false)) | Expr::Literal(Value::Null) => {
+                    return Ok(LogicalPlan::Values { schema: input.schema(), rows: vec![] })
+                }
+                _ => {}
+            }
+        }
+        Ok(plan)
+    }
+}
+
+/// Apply `f` to every expression in the plan, bottom-up through children.
+fn rewrite_exprs(
+    plan: &LogicalPlan,
+    f: &impl Fn(&Expr) -> Expr,
+) -> Result<LogicalPlan> {
+    let plan = map_children(plan, &mut |c| rewrite_exprs(c, f))?;
+    Ok(match plan {
+        LogicalPlan::Filter { input, predicate } => {
+            LogicalPlan::Filter { input, predicate: f(&predicate) }
+        }
+        LogicalPlan::Projection { input, exprs, schema } => LogicalPlan::Projection {
+            input,
+            exprs: exprs.iter().map(f).collect(),
+            schema,
+        },
+        LogicalPlan::Join { left, right, on, join_type, schema } => LogicalPlan::Join {
+            left,
+            right,
+            on: on.iter().map(|(l, r)| (f(l), f(r))).collect(),
+            join_type,
+            schema,
+        },
+        LogicalPlan::Aggregate { input, group_exprs, agg_exprs, schema } => {
+            LogicalPlan::Aggregate {
+                input,
+                group_exprs: group_exprs.iter().map(f).collect(),
+                agg_exprs: agg_exprs.iter().map(f).collect(),
+                schema,
+            }
+        }
+        other => other,
+    })
+}
+
+/// Fold literal subtrees of one expression.
+pub(crate) fn fold_expr(expr: &Expr) -> Expr {
+    match expr {
+        Expr::Binary { left, op, right } => {
+            let l = fold_expr(left);
+            let r = fold_expr(right);
+            if let (Expr::Literal(lv), Expr::Literal(rv)) = (&l, &r) {
+                if let Some(v) = eval_binary_literal(lv, *op, rv) {
+                    return Expr::Literal(v);
+                }
+            }
+            // Boolean identities.
+            match op {
+                BinaryOp::And => {
+                    if matches!(l, Expr::Literal(Value::Boolean(true))) {
+                        return r;
+                    }
+                    if matches!(r, Expr::Literal(Value::Boolean(true))) {
+                        return l;
+                    }
+                    if matches!(l, Expr::Literal(Value::Boolean(false)))
+                        || matches!(r, Expr::Literal(Value::Boolean(false)))
+                    {
+                        return Expr::Literal(Value::Boolean(false));
+                    }
+                }
+                BinaryOp::Or => {
+                    if matches!(l, Expr::Literal(Value::Boolean(false))) {
+                        return r;
+                    }
+                    if matches!(r, Expr::Literal(Value::Boolean(false))) {
+                        return l;
+                    }
+                    if matches!(l, Expr::Literal(Value::Boolean(true)))
+                        || matches!(r, Expr::Literal(Value::Boolean(true)))
+                    {
+                        return Expr::Literal(Value::Boolean(true));
+                    }
+                }
+                _ => {}
+            }
+            Expr::Binary { left: Box::new(l), op: *op, right: Box::new(r) }
+        }
+        Expr::Not(e) => {
+            let e = fold_expr(e);
+            if let Expr::Literal(Value::Boolean(b)) = e {
+                return Expr::Literal(Value::Boolean(!b));
+            }
+            Expr::Not(Box::new(e))
+        }
+        Expr::Cast { expr: inner, to } => {
+            let e = fold_expr(inner);
+            if let Expr::Literal(v) = &e {
+                if let Some(c) = v.cast(*to) {
+                    return Expr::Literal(c);
+                }
+            }
+            Expr::Cast { expr: Box::new(e), to: *to }
+        }
+        Expr::IsNull(e) => {
+            let e = fold_expr(e);
+            if let Expr::Literal(v) = &e {
+                return Expr::Literal(Value::Boolean(v.is_null()));
+            }
+            Expr::IsNull(Box::new(e))
+        }
+        Expr::IsNotNull(e) => {
+            let e = fold_expr(e);
+            if let Expr::Literal(v) = &e {
+                return Expr::Literal(Value::Boolean(!v.is_null()));
+            }
+            Expr::IsNotNull(Box::new(e))
+        }
+        Expr::Alias(e, n) => Expr::Alias(Box::new(fold_expr(e)), n.clone()),
+        Expr::Aggregate { func, arg } => Expr::Aggregate {
+            func: *func,
+            arg: arg.as_ref().map(|a| Box::new(fold_expr(a))),
+        },
+        Expr::Scalar { func, args } => {
+            Expr::Scalar { func: *func, args: args.iter().map(fold_expr).collect() }
+        }
+        Expr::InList { expr, list, negated } => Expr::InList {
+            expr: Box::new(fold_expr(expr)),
+            list: list.iter().map(fold_expr).collect(),
+            negated: *negated,
+        },
+        Expr::Like { expr, pattern, negated } => Expr::Like {
+            expr: Box::new(fold_expr(expr)),
+            pattern: pattern.clone(),
+            negated: *negated,
+        },
+        other => other.clone(),
+    }
+}
+
+fn eval_binary_literal(l: &Value, op: BinaryOp, r: &Value) -> Option<Value> {
+    use std::cmp::Ordering;
+    if l.is_null() || r.is_null() {
+        // NULL op x is NULL for comparisons/arithmetic; handled by
+        // execution anyway — fold to NULL only for comparisons where it is
+        // unambiguous.
+        return match op {
+            BinaryOp::And | BinaryOp::Or => None,
+            _ => Some(Value::Null),
+        };
+    }
+    if op.is_comparison() {
+        if l.data_type() != r.data_type() {
+            return None; // analyzer inserts casts; don't guess here
+        }
+        let ord = l.cmp(r);
+        let b = match op {
+            BinaryOp::Eq => ord == Ordering::Equal,
+            BinaryOp::NotEq => ord != Ordering::Equal,
+            BinaryOp::Lt => ord == Ordering::Less,
+            BinaryOp::LtEq => ord != Ordering::Greater,
+            BinaryOp::Gt => ord == Ordering::Greater,
+            BinaryOp::GtEq => ord != Ordering::Less,
+            _ => unreachable!(),
+        };
+        return Some(Value::Boolean(b));
+    }
+    if op.is_logic() {
+        let (Value::Boolean(a), Value::Boolean(b)) = (l, r) else { return None };
+        return Some(Value::Boolean(match op {
+            BinaryOp::And => *a && *b,
+            BinaryOp::Or => *a || *b,
+            _ => unreachable!(),
+        }));
+    }
+    // Arithmetic on same-typed numerics.
+    match (l, r) {
+        (Value::Int64(a), Value::Int64(b)) => {
+            let v = match op {
+                BinaryOp::Plus => a.checked_add(*b),
+                BinaryOp::Minus => a.checked_sub(*b),
+                BinaryOp::Multiply => a.checked_mul(*b),
+                BinaryOp::Divide => a.checked_div(*b),
+                BinaryOp::Modulo => a.checked_rem(*b),
+                _ => None,
+            };
+            Some(v.map_or(Value::Null, Value::Int64))
+        }
+        (Value::Float64(a), Value::Float64(b)) => {
+            let v = match op {
+                BinaryOp::Plus => a + b,
+                BinaryOp::Minus => a - b,
+                BinaryOp::Multiply => a * b,
+                BinaryOp::Divide => a / b,
+                BinaryOp::Modulo => a % b,
+                _ => return None,
+            };
+            Some(Value::Float64(v))
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{col, lit};
+
+    #[test]
+    fn folds_arithmetic() {
+        let e = fold_expr(&lit(2i64).add(lit(3i64)).mul(lit(4i64)));
+        assert_eq!(e, lit(20i64));
+    }
+
+    #[test]
+    fn folds_comparisons_and_logic() {
+        let e = fold_expr(&lit(2i64).lt(lit(3i64)).and(lit(true)));
+        assert_eq!(e, lit(true));
+        let e2 = fold_expr(&col("x").gt(lit(1i64)).and(lit(true)));
+        assert_eq!(e2, col("x").gt(lit(1i64)));
+        let e3 = fold_expr(&col("x").gt(lit(1i64)).or(lit(true)));
+        assert_eq!(e3, lit(true));
+    }
+
+    #[test]
+    fn folds_casts_and_null_checks() {
+        let e = fold_expr(&lit(5i32).cast(crate::types::DataType::Int64));
+        assert_eq!(e, lit(5i64));
+        assert_eq!(fold_expr(&lit(5i64).is_null()), lit(false));
+        assert_eq!(fold_expr(&Expr::Literal(Value::Null).is_null()), lit(true));
+    }
+
+    #[test]
+    fn does_not_fold_columns() {
+        let e = col("x").add(lit(1i64));
+        assert_eq!(fold_expr(&e), e);
+    }
+
+    #[test]
+    fn div_by_zero_folds_to_null() {
+        assert_eq!(fold_expr(&lit(1i64).div(lit(0i64))), Expr::Literal(Value::Null));
+    }
+}

@@ -1,0 +1,367 @@
+//! Predicate pushdown.
+//!
+//! Filters move toward the data: through projections (when they only touch
+//! pass-through columns), through sorts, into both sides of joins, into
+//! union branches, through aggregates (on group keys), and finally *into*
+//! table sources that support native filter evaluation — which is how an
+//! equality predicate over an Indexed DataFrame column becomes a cTrie
+//! lookup instead of a scan.
+
+use std::sync::Arc;
+
+use crate::error::Result;
+use crate::expr::Expr;
+use crate::logical::{JoinType, LogicalPlan};
+use crate::optimizer::{map_children, OptimizerRule};
+
+/// The pushdown rule.
+pub struct PredicatePushdown;
+
+impl OptimizerRule for PredicatePushdown {
+    fn name(&self) -> &str {
+        "predicate_pushdown"
+    }
+
+    fn optimize(&self, plan: &LogicalPlan) -> Result<LogicalPlan> {
+        let plan = map_children(plan, &mut |c| self.optimize(c))?;
+        if let LogicalPlan::Filter { input, predicate } = &plan {
+            let conjuncts: Vec<Expr> =
+                predicate.split_conjunction().into_iter().cloned().collect();
+            return Ok(push_into(input.as_ref().clone(), conjuncts));
+        }
+        Ok(plan)
+    }
+}
+
+/// Wrap `plan` in a filter for `conjuncts` (no-op when empty).
+fn attach(plan: LogicalPlan, conjuncts: Vec<Expr>) -> LogicalPlan {
+    match Expr::conjunction(conjuncts) {
+        Some(p) => LogicalPlan::Filter { input: Arc::new(plan), predicate: p },
+        None => plan,
+    }
+}
+
+/// Push `conjuncts` as deep into `plan` as legality allows.
+fn push_into(plan: LogicalPlan, conjuncts: Vec<Expr>) -> LogicalPlan {
+    let (plan, rest) = try_push(plan, conjuncts);
+    attach(plan, rest)
+}
+
+/// Attempt to absorb `conjuncts` into `plan`; returns the rewritten plan and
+/// the conjuncts that must stay above it.
+fn try_push(plan: LogicalPlan, conjuncts: Vec<Expr>) -> (LogicalPlan, Vec<Expr>) {
+    match plan {
+        LogicalPlan::Scan { table, source, schema, projection, mut filters } => {
+            let mut rest = Vec::new();
+            for c in conjuncts {
+                // Scan filters are expressed against the full source
+                // schema; remap through the scan projection if present.
+                let remapped = match &projection {
+                    Some(p) => c.map_column_indices(&|i| p[i]),
+                    None => c.clone(),
+                };
+                if source.supports_filter_pushdown(&remapped) {
+                    filters.push(remapped);
+                } else {
+                    rest.push(c);
+                }
+            }
+            (LogicalPlan::Scan { table, source, schema, projection, filters }, rest)
+        }
+        LogicalPlan::Filter { input, predicate } => {
+            // Merge with the lower filter and keep pushing.
+            let mut all: Vec<Expr> =
+                predicate.split_conjunction().into_iter().cloned().collect();
+            all.extend(conjuncts);
+            let (new_input, rest) = try_push(input.as_ref().clone(), all);
+            (new_input, rest)
+        }
+        LogicalPlan::Projection { input, exprs, schema } => {
+            // Output column -> input column, when the projection is a pure
+            // pass-through for that column.
+            let mapping: Vec<Option<usize>> = exprs
+                .iter()
+                .map(|e| match unalias(e) {
+                    Expr::Column(c) => c.index,
+                    _ => None,
+                })
+                .collect();
+            let mut below = Vec::new();
+            let mut rest = Vec::new();
+            for c in conjuncts {
+                let mut refs = Vec::new();
+                c.referenced_indices(&mut refs);
+                if refs.iter().all(|&i| mapping.get(i).copied().flatten().is_some()) {
+                    below.push(c.map_column_indices(&|i| {
+                        mapping[i].expect("checked above")
+                    }));
+                } else {
+                    rest.push(c);
+                }
+            }
+            let new_input = push_into(input.as_ref().clone(), below);
+            (
+                LogicalPlan::Projection { input: Arc::new(new_input), exprs, schema },
+                rest,
+            )
+        }
+        LogicalPlan::Join { left, right, on, join_type, schema } => {
+            let left_width = left.schema().len();
+            let mut to_left = Vec::new();
+            let mut to_right = Vec::new();
+            let mut rest = Vec::new();
+            for c in conjuncts {
+                let mut refs = Vec::new();
+                c.referenced_indices(&mut refs);
+                let all_left = refs.iter().all(|&i| i < left_width);
+                let all_right = refs.iter().all(|&i| i >= left_width);
+                if all_left {
+                    to_left.push(c);
+                } else if all_right && matches!(join_type, JoinType::Inner) {
+                    to_right.push(c.map_column_indices(&|i| i - left_width));
+                } else {
+                    rest.push(c);
+                }
+            }
+            let new_left = push_into(left.as_ref().clone(), to_left);
+            let new_right = push_into(right.as_ref().clone(), to_right);
+            (
+                LogicalPlan::Join {
+                    left: Arc::new(new_left),
+                    right: Arc::new(new_right),
+                    on,
+                    join_type,
+                    schema,
+                },
+                rest,
+            )
+        }
+        LogicalPlan::Sort { input, exprs } => {
+            let new_input = push_into(input.as_ref().clone(), conjuncts);
+            (LogicalPlan::Sort { input: Arc::new(new_input), exprs }, Vec::new())
+        }
+        LogicalPlan::Union { inputs, schema } => {
+            let new_inputs = inputs
+                .iter()
+                .map(|i| Arc::new(push_into(i.as_ref().clone(), conjuncts.clone())))
+                .collect();
+            (LogicalPlan::Union { inputs: new_inputs, schema }, Vec::new())
+        }
+        LogicalPlan::Aggregate { input, group_exprs, agg_exprs, schema } => {
+            // A conjunct referencing only pass-through group keys can run
+            // before the aggregation.
+            let n_groups = group_exprs.len();
+            let mapping: Vec<Option<usize>> = group_exprs
+                .iter()
+                .map(|e| match unalias(e) {
+                    Expr::Column(c) => c.index,
+                    _ => None,
+                })
+                .collect();
+            let mut below = Vec::new();
+            let mut rest = Vec::new();
+            for c in conjuncts {
+                let mut refs = Vec::new();
+                c.referenced_indices(&mut refs);
+                let pushable = refs
+                    .iter()
+                    .all(|&i| i < n_groups && mapping[i].is_some());
+                if pushable {
+                    below.push(
+                        c.map_column_indices(&|i| mapping[i].expect("checked above")),
+                    );
+                } else {
+                    rest.push(c);
+                }
+            }
+            let new_input = push_into(input.as_ref().clone(), below);
+            (
+                LogicalPlan::Aggregate {
+                    input: Arc::new(new_input),
+                    group_exprs,
+                    agg_exprs,
+                    schema,
+                },
+                rest,
+            )
+        }
+        // Limit and Values are barriers.
+        other => (other, conjuncts),
+    }
+}
+
+fn unalias(e: &Expr) -> &Expr {
+    match e {
+        Expr::Alias(inner, _) => unalias(inner),
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyzer::resolve_expr;
+    use crate::catalog::MemTable;
+    use crate::chunk::Chunk;
+    use crate::expr::{col, lit};
+    use crate::schema::{Field, Schema};
+    use crate::types::DataType;
+
+    fn scan() -> LogicalPlan {
+        let schema = Arc::new(Schema::new(vec![
+            Field::new("a", DataType::Int64),
+            Field::new("b", DataType::Int64),
+        ]));
+        let source =
+            Arc::new(MemTable::from_chunk(Arc::clone(&schema), Chunk::empty(&schema)));
+        LogicalPlan::Scan {
+            table: "t".into(),
+            source,
+            schema,
+            projection: None,
+            filters: vec![],
+        }
+    }
+
+    fn bound(e: &Expr, plan: &LogicalPlan) -> Expr {
+        resolve_expr(e, &plan.schema()).unwrap()
+    }
+
+    #[test]
+    fn pushes_through_sort() {
+        let s = scan();
+        let pred = bound(&col("a").eq(lit(1i64)), &s);
+        let plan = LogicalPlan::Filter {
+            input: Arc::new(LogicalPlan::Sort { input: Arc::new(s), exprs: vec![] }),
+            predicate: pred,
+        };
+        let out = PredicatePushdown.optimize(&plan).unwrap();
+        // Filter must now be below the sort.
+        let LogicalPlan::Sort { input, .. } = &out else {
+            panic!("expected Sort on top, got {out:?}")
+        };
+        assert!(matches!(input.as_ref(), LogicalPlan::Filter { .. }));
+    }
+
+    #[test]
+    fn does_not_push_through_limit() {
+        let s = scan();
+        let pred = bound(&col("a").eq(lit(1i64)), &s);
+        let plan = LogicalPlan::Filter {
+            input: Arc::new(LogicalPlan::Limit { input: Arc::new(s), n: 5 }),
+            predicate: pred,
+        };
+        let out = PredicatePushdown.optimize(&plan).unwrap();
+        assert!(matches!(out, LogicalPlan::Filter { .. }));
+    }
+
+    #[test]
+    fn splits_conjuncts_across_inner_join() {
+        let l = scan();
+        let r = scan();
+        let join_schema = Arc::new(l.schema().join(&r.schema()));
+        let join = LogicalPlan::Join {
+            left: Arc::new(l),
+            right: Arc::new(r),
+            on: vec![],
+            join_type: JoinType::Inner,
+            schema: Arc::clone(&join_schema),
+        };
+        // a (index 0) on left; index 2 is right's a.
+        let p_left = resolve_expr(&col("a").eq(lit(1i64)), &join_schema);
+        // ambiguous name; build bound refs manually instead
+        drop(p_left);
+        let mut left_ref = col("a");
+        if let Expr::Column(c) = &mut left_ref {
+            c.index = Some(0);
+        }
+        let mut right_ref = col("a");
+        if let Expr::Column(c) = &mut right_ref {
+            c.index = Some(2);
+        }
+        let pred = left_ref.eq(lit(1i64)).and(right_ref.eq(lit(2i64)));
+        let plan = LogicalPlan::Filter { input: Arc::new(join), predicate: pred };
+        let out = PredicatePushdown.optimize(&plan).unwrap();
+        let LogicalPlan::Join { left, right, .. } = &out else {
+            panic!("expected bare Join, got {out:?}")
+        };
+        assert!(matches!(left.as_ref(), LogicalPlan::Filter { .. }));
+        let LogicalPlan::Filter { predicate, .. } = right.as_ref() else {
+            panic!("right side must have filter")
+        };
+        let mut refs = Vec::new();
+        predicate.referenced_indices(&mut refs);
+        assert_eq!(refs, vec![0], "right-side predicate must be remapped");
+    }
+
+    #[test]
+    fn left_join_keeps_right_conjuncts_above() {
+        let l = scan();
+        let r = scan();
+        let join_schema = Arc::new(l.schema().join(&r.schema()));
+        let join = LogicalPlan::Join {
+            left: Arc::new(l),
+            right: Arc::new(r),
+            on: vec![],
+            join_type: JoinType::Left,
+            schema: join_schema,
+        };
+        let mut right_ref = col("a");
+        if let Expr::Column(c) = &mut right_ref {
+            c.index = Some(2);
+        }
+        let plan = LogicalPlan::Filter {
+            input: Arc::new(join),
+            predicate: right_ref.eq(lit(2i64)),
+        };
+        let out = PredicatePushdown.optimize(&plan).unwrap();
+        assert!(matches!(out, LogicalPlan::Filter { .. }), "must stay above left join");
+    }
+
+    #[test]
+    fn pushes_through_passthrough_projection() {
+        let s = scan();
+        let in_schema = s.schema();
+        let exprs = vec![
+            resolve_expr(&col("b"), &in_schema).unwrap(),
+            resolve_expr(&col("a").add(col("b")).alias("ab"), &in_schema).unwrap(),
+        ];
+        let out_schema = Arc::new(Schema::new(vec![
+            Field::new("b", DataType::Int64),
+            Field::new("ab", DataType::Int64),
+        ]));
+        let proj = LogicalPlan::Projection {
+            input: Arc::new(s),
+            exprs,
+            schema: Arc::clone(&out_schema),
+        };
+        // Predicate on output col 0 ("b") — pass-through, pushable.
+        let mut b_ref = col("b");
+        if let Expr::Column(c) = &mut b_ref {
+            c.index = Some(0);
+        }
+        // Predicate on output col 1 ("ab") — computed, not pushable.
+        let mut ab_ref = col("ab");
+        if let Expr::Column(c) = &mut ab_ref {
+            c.index = Some(1);
+        }
+        let plan = LogicalPlan::Filter {
+            input: Arc::new(proj),
+            predicate: b_ref.eq(lit(1i64)).and(ab_ref.gt(lit(0i64))),
+        };
+        let out = PredicatePushdown.optimize(&plan).unwrap();
+        let LogicalPlan::Filter { input, predicate } = &out else {
+            panic!("computed-column filter must remain, got {out:?}")
+        };
+        assert!(predicate.to_string().contains("ab"));
+        let LogicalPlan::Projection { input: pin, .. } = input.as_ref() else {
+            panic!("projection expected")
+        };
+        let LogicalPlan::Filter { predicate: below, .. } = pin.as_ref() else {
+            panic!("pushed filter expected below projection")
+        };
+        let mut refs = Vec::new();
+        below.referenced_indices(&mut refs);
+        assert_eq!(refs, vec![1], "b is column 1 of the scan");
+    }
+}

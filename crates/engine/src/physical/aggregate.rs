@@ -1,0 +1,587 @@
+//! Hash aggregation.
+//!
+//! The operator aggregates its input partition completely; for grouped
+//! aggregates the planner first shuffles on the group keys (so equal groups
+//! are co-located), and for global aggregates it coalesces to a single
+//! partition.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::catalog::ChunkIter;
+use crate::chunk::Chunk;
+use crate::column::ColumnBuilder;
+use crate::error::{EngineError, Result};
+use crate::expr::AggFunc;
+use crate::physical::{ExecPlanRef, ExecutionPlan, PhysicalExprRef, TaskContext};
+use crate::schema::SchemaRef;
+use crate::types::{DataType, Value};
+
+/// One aggregate to compute.
+#[derive(Debug, Clone)]
+pub struct AggregateSpec {
+    /// The aggregate function.
+    pub func: AggFunc,
+    /// Argument expression (`None` = `COUNT(*)`).
+    pub arg: Option<PhysicalExprRef>,
+    /// Output type (from the analyzer).
+    pub output_type: DataType,
+}
+
+/// A running accumulator for one (group, aggregate) pair.
+#[derive(Debug, Clone)]
+enum Acc {
+    Count { n: i64 },
+    SumI { v: Option<i64> },
+    SumF { v: Option<f64> },
+    Min { v: Option<Value> },
+    Max { v: Option<Value> },
+    Avg { sum: f64, n: i64 },
+}
+
+impl Acc {
+    fn new(spec: &AggregateSpec) -> Acc {
+        match spec.func {
+            AggFunc::Count => Acc::Count { n: 0 },
+            AggFunc::Sum => match spec.output_type {
+                DataType::Float64 => Acc::SumF { v: None },
+                _ => Acc::SumI { v: None },
+            },
+            AggFunc::Min => Acc::Min { v: None },
+            AggFunc::Max => Acc::Max { v: None },
+            AggFunc::Avg => Acc::Avg { sum: 0.0, n: 0 },
+        }
+    }
+
+    fn update(&mut self, v: &Value) {
+        match self {
+            Acc::Count { n } => {
+                if !v.is_null() {
+                    *n += 1;
+                }
+            }
+            Acc::SumI { v: acc } => {
+                if let Some(x) = v.as_i64() {
+                    *acc = Some(acc.unwrap_or(0).wrapping_add(x));
+                }
+            }
+            Acc::SumF { v: acc } => {
+                if let Some(x) = v.as_f64() {
+                    *acc = Some(acc.unwrap_or(0.0) + x);
+                }
+            }
+            Acc::Min { v: acc } => {
+                if !v.is_null() && acc.as_ref().is_none_or(|m| v < m) {
+                    *acc = Some(v.clone());
+                }
+            }
+            Acc::Max { v: acc } => {
+                if !v.is_null() && acc.as_ref().is_none_or(|m| v > m) {
+                    *acc = Some(v.clone());
+                }
+            }
+            Acc::Avg { sum, n } => {
+                if let Some(x) = v.as_f64() {
+                    *sum += x;
+                    *n += 1;
+                }
+            }
+        }
+    }
+
+    /// Vectorized update from a whole column (global-aggregate fast path).
+    fn update_from_column(&mut self, col: &crate::column::Column) {
+        use crate::column::Column;
+        match (&mut *self, col) {
+            (Acc::Count { n }, c) => {
+                let valid = (0..c.len()).filter(|&i| c.is_valid(i)).count();
+                *n += valid as i64;
+            }
+            (Acc::SumI { v }, Column::Int64(p)) => {
+                let mut sum = v.unwrap_or(0);
+                let mut any = v.is_some();
+                match &p.validity {
+                    None => {
+                        for &x in &p.values {
+                            sum = sum.wrapping_add(x);
+                        }
+                        any |= !p.values.is_empty();
+                    }
+                    Some(b) => {
+                        for (i, &x) in p.values.iter().enumerate() {
+                            if b.get(i) {
+                                sum = sum.wrapping_add(x);
+                                any = true;
+                            }
+                        }
+                    }
+                }
+                *v = any.then_some(sum);
+            }
+            (Acc::SumI { v }, Column::Int32(p)) => {
+                let mut sum = v.unwrap_or(0);
+                let mut any = v.is_some();
+                for i in 0..p.len() {
+                    if let Some(x) = p.get(i) {
+                        sum = sum.wrapping_add(i64::from(x));
+                        any = true;
+                    }
+                }
+                *v = any.then_some(sum);
+            }
+            (Acc::SumF { v }, Column::Float64(p)) => {
+                let mut sum = v.unwrap_or(0.0);
+                let mut any = v.is_some();
+                match &p.validity {
+                    None => {
+                        for &x in &p.values {
+                            sum += x;
+                        }
+                        any |= !p.values.is_empty();
+                    }
+                    Some(b) => {
+                        for (i, &x) in p.values.iter().enumerate() {
+                            if b.get(i) {
+                                sum += x;
+                                any = true;
+                            }
+                        }
+                    }
+                }
+                *v = any.then_some(sum);
+            }
+            (Acc::Avg { sum, n }, Column::Float64(p)) => {
+                for i in 0..p.len() {
+                    if let Some(x) = p.get(i) {
+                        *sum += x;
+                        *n += 1;
+                    }
+                }
+            }
+            (Acc::Avg { sum, n }, Column::Int64(p)) => {
+                for i in 0..p.len() {
+                    if let Some(x) = p.get(i) {
+                        *sum += x as f64;
+                        *n += 1;
+                    }
+                }
+            }
+            // Min/max and remaining type combinations: scalar fallback.
+            (acc, c) => {
+                for i in 0..c.len() {
+                    acc.update(&c.value_at(i));
+                }
+            }
+        }
+    }
+
+    /// `COUNT(*)` fast path: every row counts.
+    fn count_rows(&mut self, rows: usize) {
+        if let Acc::Count { n } = self {
+            *n += rows as i64;
+        }
+    }
+
+    fn finish(self, output_type: DataType) -> Value {
+        match self {
+            Acc::Count { n } => Value::Int64(n),
+            Acc::SumI { v } => v.map_or(Value::Null, Value::Int64),
+            Acc::SumF { v } => v.map_or(Value::Null, Value::Float64),
+            Acc::Min { v } | Acc::Max { v } => v.unwrap_or(Value::Null),
+            Acc::Avg { sum, n } => {
+                if n == 0 {
+                    Value::Null
+                } else {
+                    Value::Float64(sum / n as f64)
+                }
+            }
+        }
+        .cast(output_type)
+        .unwrap_or(Value::Null)
+    }
+}
+
+/// Hash-based grouped aggregation over one partition.
+#[derive(Debug)]
+pub struct HashAggregateExec {
+    /// Input operator (shuffled/coalesced by the planner).
+    pub input: ExecPlanRef,
+    /// Group-by key expressions.
+    pub group_exprs: Vec<PhysicalExprRef>,
+    /// Aggregates to compute.
+    pub aggs: Vec<AggregateSpec>,
+    /// Output schema: group columns then aggregate columns.
+    pub schema: SchemaRef,
+}
+
+impl ExecutionPlan for HashAggregateExec {
+    fn name(&self) -> &'static str {
+        "HashAggregate"
+    }
+
+    fn schema(&self) -> SchemaRef {
+        Arc::clone(&self.schema)
+    }
+
+    fn output_partitions(&self) -> usize {
+        self.input.output_partitions()
+    }
+
+    fn children(&self) -> Vec<ExecPlanRef> {
+        vec![Arc::clone(&self.input)]
+    }
+
+    fn execute(&self, partition: usize, ctx: &TaskContext) -> Result<ChunkIter> {
+        let mut groups: HashMap<Vec<Value>, Vec<Acc>> = HashMap::new();
+        for chunk in self.input.execute(partition, ctx)? {
+            let chunk = chunk?;
+            if chunk.is_empty() {
+                continue;
+            }
+            // Global aggregates take a vectorized path: whole-column
+            // accumulation with no per-cell scalar boxing.
+            if self.group_exprs.is_empty() {
+                let accs = groups
+                    .entry(Vec::new())
+                    .or_insert_with(|| self.aggs.iter().map(Acc::new).collect());
+                for (spec, acc) in self.aggs.iter().zip(accs.iter_mut()) {
+                    match &spec.arg {
+                        Some(e) => {
+                            let column = e.evaluate(&chunk)?;
+                            acc.update_from_column(&column);
+                        }
+                        None => acc.count_rows(chunk.len()),
+                    }
+                }
+                continue;
+            }
+            let key_cols = self
+                .group_exprs
+                .iter()
+                .map(|e| e.evaluate(&chunk))
+                .collect::<Result<Vec<_>>>()?;
+            let arg_cols = self
+                .aggs
+                .iter()
+                .map(|a| a.arg.as_ref().map(|e| e.evaluate(&chunk)).transpose())
+                .collect::<Result<Vec<_>>>()?;
+            let mut key: Vec<Value> = Vec::with_capacity(key_cols.len());
+            for row in 0..chunk.len() {
+                key.clear();
+                key.extend(key_cols.iter().map(|c| c.value_at(row)));
+                // Reuse the key buffer; clone only for new groups.
+                let accs = match groups.get_mut(key.as_slice()) {
+                    Some(accs) => accs,
+                    None => groups
+                        .entry(key.clone())
+                        .or_insert_with(|| self.aggs.iter().map(Acc::new).collect()),
+                };
+                for (i, acc) in accs.iter_mut().enumerate() {
+                    match &arg_cols[i] {
+                        Some(c) => acc.update(&c.value_at(row)),
+                        // COUNT(*): every row counts.
+                        None => acc.update(&Value::Int64(1)),
+                    }
+                }
+            }
+        }
+        // Global aggregate over empty input still yields one identity row.
+        if groups.is_empty() && self.group_exprs.is_empty() && partition == 0 {
+            groups.insert(Vec::new(), self.aggs.iter().map(Acc::new).collect());
+        }
+        let mut builders: Vec<ColumnBuilder> =
+            self.schema.fields.iter().map(|f| ColumnBuilder::new(f.data_type)).collect();
+        for (key, accs) in groups {
+            for (i, v) in key.iter().enumerate() {
+                push_coerced(&mut builders[i], v)?;
+            }
+            for (i, acc) in accs.into_iter().enumerate() {
+                let out_i = self.group_exprs.len() + i;
+                let v = acc.finish(self.aggs[i].output_type);
+                push_coerced(&mut builders[out_i], &v)?;
+            }
+        }
+        let chunk =
+            Chunk::new(builders.into_iter().map(|b| Arc::new(b.finish())).collect())?;
+        Ok(ctx.instrument(self, Box::new(std::iter::once(Ok(chunk)))))
+    }
+
+    fn detail(&self) -> String {
+        format!("{} groups keys, {} aggs", self.group_exprs.len(), self.aggs.len())
+    }
+}
+
+/// Push `v` into `b`, casting when the scalar's runtime type differs from
+/// the declared column type (e.g. Int32 group keys).
+fn push_coerced(b: &mut ColumnBuilder, v: &Value) -> Result<()> {
+    if v.is_null() {
+        return b.push(&Value::Null);
+    }
+    if v.data_type() == Some(b.data_type()) {
+        return b.push(v);
+    }
+    match v.cast(b.data_type()) {
+        Some(c) => b.push(&c),
+        None => Err(EngineError::type_err(format!(
+            "aggregate output {v:?} does not fit column type {}",
+            b.data_type()
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyzer::resolve_expr;
+    use crate::expr::col;
+    use crate::physical::expr::create_physical_expr;
+    use crate::physical::scan::ValuesExec;
+    use crate::physical::execute_collect;
+    use crate::schema::{Field, Schema};
+
+    fn input() -> (ExecPlanRef, SchemaRef) {
+        let schema = Arc::new(Schema::new(vec![
+            Field::new("g", DataType::Utf8),
+            Field::new("v", DataType::Int64),
+        ]));
+        let rows = vec![
+            vec![Value::Utf8("a".into()), Value::Int64(1)],
+            vec![Value::Utf8("b".into()), Value::Int64(10)],
+            vec![Value::Utf8("a".into()), Value::Int64(2)],
+            vec![Value::Utf8("b".into()), Value::Null],
+            vec![Value::Utf8("a".into()), Value::Int64(3)],
+        ];
+        (Arc::new(ValuesExec { schema: Arc::clone(&schema), rows }), schema)
+    }
+
+    fn pe(schema: &SchemaRef, name: &str) -> PhysicalExprRef {
+        let e = resolve_expr(&col(name), schema).unwrap();
+        create_physical_expr(&e, schema).unwrap()
+    }
+
+    #[test]
+    fn grouped_aggregates() {
+        let (inp, schema) = input();
+        let out_schema = Arc::new(Schema::new(vec![
+            Field::new("g", DataType::Utf8),
+            Field::new("count", DataType::Int64),
+            Field::new("sum", DataType::Int64),
+            Field::new("min", DataType::Int64),
+            Field::new("avg", DataType::Float64),
+        ]));
+        let plan: ExecPlanRef = Arc::new(HashAggregateExec {
+            input: inp,
+            group_exprs: vec![pe(&schema, "g")],
+            aggs: vec![
+                AggregateSpec {
+                    func: AggFunc::Count,
+                    arg: Some(pe(&schema, "v")),
+                    output_type: DataType::Int64,
+                },
+                AggregateSpec {
+                    func: AggFunc::Sum,
+                    arg: Some(pe(&schema, "v")),
+                    output_type: DataType::Int64,
+                },
+                AggregateSpec {
+                    func: AggFunc::Min,
+                    arg: Some(pe(&schema, "v")),
+                    output_type: DataType::Int64,
+                },
+                AggregateSpec {
+                    func: AggFunc::Avg,
+                    arg: Some(pe(&schema, "v")),
+                    output_type: DataType::Float64,
+                },
+            ],
+            schema: out_schema,
+        });
+        let out = execute_collect(&plan, &TaskContext::default()).unwrap();
+        assert_eq!(out.len(), 2);
+        let row_a = (0..2).find(|&r| out.value_at(0, r) == Value::Utf8("a".into())).unwrap();
+        let row_b = 1 - row_a;
+        assert_eq!(out.value_at(1, row_a), Value::Int64(3));
+        assert_eq!(out.value_at(2, row_a), Value::Int64(6));
+        assert_eq!(out.value_at(3, row_a), Value::Int64(1));
+        assert_eq!(out.value_at(4, row_a), Value::Float64(2.0));
+        assert_eq!(out.value_at(1, row_b), Value::Int64(1), "count skips null");
+        assert_eq!(out.value_at(2, row_b), Value::Int64(10));
+    }
+
+    #[test]
+    fn global_aggregate_on_empty_input_yields_identity() {
+        let schema = Arc::new(Schema::new(vec![Field::new("v", DataType::Int64)]));
+        let empty: ExecPlanRef =
+            Arc::new(ValuesExec { schema: Arc::clone(&schema), rows: vec![] });
+        let out_schema = Arc::new(Schema::new(vec![
+            Field::new("count(*)", DataType::Int64),
+            Field::new("sum", DataType::Int64),
+        ]));
+        let plan: ExecPlanRef = Arc::new(HashAggregateExec {
+            input: empty,
+            group_exprs: vec![],
+            aggs: vec![
+                AggregateSpec { func: AggFunc::Count, arg: None, output_type: DataType::Int64 },
+                AggregateSpec {
+                    func: AggFunc::Sum,
+                    arg: Some(pe(&schema, "v")),
+                    output_type: DataType::Int64,
+                },
+            ],
+            schema: out_schema,
+        });
+        let out = execute_collect(&plan, &TaskContext::default()).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.value_at(0, 0), Value::Int64(0));
+        assert_eq!(out.value_at(1, 0), Value::Null);
+    }
+
+    #[test]
+    fn count_star_counts_null_rows() {
+        let (inp, _) = input();
+        let out_schema = Arc::new(Schema::new(vec![Field::new("n", DataType::Int64)]));
+        let plan: ExecPlanRef = Arc::new(HashAggregateExec {
+            input: inp,
+            group_exprs: vec![],
+            aggs: vec![AggregateSpec {
+                func: AggFunc::Count,
+                arg: None,
+                output_type: DataType::Int64,
+            }],
+            schema: out_schema,
+        });
+        let out = execute_collect(&plan, &TaskContext::default()).unwrap();
+        assert_eq!(out.value_at(0, 0), Value::Int64(5));
+    }
+
+    #[test]
+    fn vectorized_global_path_handles_nulls_and_types() {
+        let schema = Arc::new(Schema::new(vec![
+            Field::new("i", DataType::Int64),
+            Field::new("f", DataType::Float64),
+            Field::new("s", DataType::Utf8),
+        ]));
+        let inp: ExecPlanRef = Arc::new(ValuesExec {
+            schema: Arc::clone(&schema),
+            rows: vec![
+                vec![Value::Int64(1), Value::Float64(0.5), Value::Utf8("b".into())],
+                vec![Value::Null, Value::Null, Value::Null],
+                vec![Value::Int64(3), Value::Float64(1.5), Value::Utf8("a".into())],
+            ],
+        });
+        let out_schema = Arc::new(Schema::new(vec![
+            Field::new("n", DataType::Int64),
+            Field::new("ni", DataType::Int64),
+            Field::new("si", DataType::Int64),
+            Field::new("sf", DataType::Float64),
+            Field::new("af", DataType::Float64),
+            Field::new("mn", DataType::Utf8),
+            Field::new("mx", DataType::Utf8),
+        ]));
+        let arg = |name: &str| Some(pe(&schema, name));
+        let plan: ExecPlanRef = Arc::new(HashAggregateExec {
+            input: inp,
+            group_exprs: vec![],
+            aggs: vec![
+                AggregateSpec { func: AggFunc::Count, arg: None, output_type: DataType::Int64 },
+                AggregateSpec {
+                    func: AggFunc::Count,
+                    arg: arg("i"),
+                    output_type: DataType::Int64,
+                },
+                AggregateSpec {
+                    func: AggFunc::Sum,
+                    arg: arg("i"),
+                    output_type: DataType::Int64,
+                },
+                AggregateSpec {
+                    func: AggFunc::Sum,
+                    arg: arg("f"),
+                    output_type: DataType::Float64,
+                },
+                AggregateSpec {
+                    func: AggFunc::Avg,
+                    arg: arg("f"),
+                    output_type: DataType::Float64,
+                },
+                AggregateSpec {
+                    func: AggFunc::Min,
+                    arg: arg("s"),
+                    output_type: DataType::Utf8,
+                },
+                AggregateSpec {
+                    func: AggFunc::Max,
+                    arg: arg("s"),
+                    output_type: DataType::Utf8,
+                },
+            ],
+            schema: out_schema,
+        });
+        let out = execute_collect(&plan, &TaskContext::default()).unwrap();
+        assert_eq!(out.value_at(0, 0), Value::Int64(3), "count(*) counts null rows");
+        assert_eq!(out.value_at(1, 0), Value::Int64(2), "count(i) skips nulls");
+        assert_eq!(out.value_at(2, 0), Value::Int64(4));
+        assert_eq!(out.value_at(3, 0), Value::Float64(2.0));
+        assert_eq!(out.value_at(4, 0), Value::Float64(1.0));
+        assert_eq!(out.value_at(5, 0), Value::Utf8("a".into()));
+        assert_eq!(out.value_at(6, 0), Value::Utf8("b".into()));
+    }
+
+    #[test]
+    fn distinct_shape_zero_aggregates() {
+        // SELECT DISTINCT compiles to an Aggregate with no agg outputs.
+        let schema = Arc::new(Schema::new(vec![Field::new("g", DataType::Int64)]));
+        let inp: ExecPlanRef = Arc::new(ValuesExec {
+            schema: Arc::clone(&schema),
+            rows: vec![
+                vec![Value::Int64(1)],
+                vec![Value::Int64(2)],
+                vec![Value::Int64(1)],
+                vec![Value::Null],
+                vec![Value::Null],
+            ],
+        });
+        let plan: ExecPlanRef = Arc::new(HashAggregateExec {
+            input: inp,
+            group_exprs: vec![pe(&schema, "g")],
+            aggs: vec![],
+            schema,
+        });
+        let out = execute_collect(&plan, &TaskContext::default()).unwrap();
+        assert_eq!(out.len(), 3, "1, 2, NULL");
+    }
+
+    #[test]
+    fn null_group_keys_form_a_group() {
+        let schema = Arc::new(Schema::new(vec![
+            Field::new("g", DataType::Int64),
+            Field::new("v", DataType::Int64),
+        ]));
+        let inp: ExecPlanRef = Arc::new(ValuesExec {
+            schema: Arc::clone(&schema),
+            rows: vec![
+                vec![Value::Null, Value::Int64(1)],
+                vec![Value::Null, Value::Int64(2)],
+                vec![Value::Int64(1), Value::Int64(3)],
+            ],
+        });
+        let out_schema = Arc::new(Schema::new(vec![
+            Field::new("g", DataType::Int64),
+            Field::new("sum", DataType::Int64),
+        ]));
+        let plan: ExecPlanRef = Arc::new(HashAggregateExec {
+            input: inp,
+            group_exprs: vec![pe(&schema, "g")],
+            aggs: vec![AggregateSpec {
+                func: AggFunc::Sum,
+                arg: Some(pe(&schema, "v")),
+                output_type: DataType::Int64,
+            }],
+            schema: out_schema,
+        });
+        let out = execute_collect(&plan, &TaskContext::default()).unwrap();
+        assert_eq!(out.len(), 2);
+        let null_row = (0..2).find(|&r| out.value_at(0, r) == Value::Null).unwrap();
+        assert_eq!(out.value_at(1, null_row), Value::Int64(3));
+    }
+}

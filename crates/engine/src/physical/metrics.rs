@@ -1,0 +1,157 @@
+//! Operator-level execution metrics (`EXPLAIN ANALYZE`).
+//!
+//! When a [`TaskContext`](crate::physical::TaskContext) carries a
+//! [`MetricsRegistry`], every operator wraps its output iterator with a
+//! probe that counts produced rows/chunks and accumulates wall time spent
+//! *inside* the operator's iterator (time-to-next-chunk), aggregated across
+//! partitions. With no registry attached the instrumentation is skipped
+//! entirely.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use crate::catalog::ChunkIter;
+
+/// Counters for one operator (aggregated over partitions).
+#[derive(Debug, Default)]
+pub struct OperatorMetrics {
+    /// Rows produced.
+    pub rows: AtomicU64,
+    /// Chunks produced.
+    pub chunks: AtomicU64,
+    /// Nanoseconds spent producing them (summed across partitions).
+    pub elapsed_ns: AtomicU64,
+    /// Partition executions.
+    pub invocations: AtomicU64,
+}
+
+/// Registry shared by all operators of one query execution.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    ops: Mutex<HashMap<String, Arc<OperatorMetrics>>>,
+}
+
+impl MetricsRegistry {
+    /// Fresh registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The metrics slot for operator `key`.
+    pub fn operator(&self, key: &str) -> Arc<OperatorMetrics> {
+        Arc::clone(self.ops.lock().entry(key.to_string()).or_default())
+    }
+
+    /// Snapshot of all operators, sorted by elapsed time descending.
+    pub fn report(&self) -> Vec<(String, u64, u64, u64, u64)> {
+        let mut rows: Vec<(String, u64, u64, u64, u64)> = self
+            .ops
+            .lock()
+            .iter()
+            .map(|(k, m)| {
+                (
+                    k.clone(),
+                    m.rows.load(Ordering::Relaxed),
+                    m.chunks.load(Ordering::Relaxed),
+                    m.elapsed_ns.load(Ordering::Relaxed),
+                    m.invocations.load(Ordering::Relaxed),
+                )
+            })
+            .collect();
+        rows.sort_by_key(|r| std::cmp::Reverse(r.3));
+        rows
+    }
+
+    /// Render the report as an ASCII table.
+    pub fn render(&self) -> String {
+        let headers = vec![
+            "operator".to_string(),
+            "rows".to_string(),
+            "chunks".to_string(),
+            "time [ms]".to_string(),
+            "partitions".to_string(),
+        ];
+        let body: Vec<Vec<String>> = self
+            .report()
+            .into_iter()
+            .map(|(k, rows, chunks, ns, inv)| {
+                vec![
+                    k,
+                    rows.to_string(),
+                    chunks.to_string(),
+                    format!("{:.3}", ns as f64 / 1e6),
+                    inv.to_string(),
+                ]
+            })
+            .collect();
+        crate::pretty::format_table(&headers, &body)
+    }
+}
+
+/// Wrap `iter` so rows/time are attributed to `metrics`.
+pub fn instrument(metrics: Arc<OperatorMetrics>, iter: ChunkIter) -> ChunkIter {
+    metrics.invocations.fetch_add(1, Ordering::Relaxed);
+    Box::new(InstrumentedIter { metrics, inner: iter })
+}
+
+struct InstrumentedIter {
+    metrics: Arc<OperatorMetrics>,
+    inner: ChunkIter,
+}
+
+impl Iterator for InstrumentedIter {
+    type Item = crate::error::Result<crate::chunk::Chunk>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let start = Instant::now();
+        let item = self.inner.next();
+        self.metrics
+            .elapsed_ns
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        if let Some(Ok(chunk)) = &item {
+            self.metrics.rows.fetch_add(chunk.len() as u64, Ordering::Relaxed);
+            self.metrics.chunks.fetch_add(1, Ordering::Relaxed);
+        }
+        item
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunk::Chunk;
+
+    #[test]
+    fn counts_rows_and_time() {
+        let reg = MetricsRegistry::new();
+        let m = reg.operator("Scan: t");
+        let chunks: Vec<crate::error::Result<Chunk>> =
+            vec![Ok(Chunk::new_empty_columns(10)), Ok(Chunk::new_empty_columns(5))];
+        let it = instrument(Arc::clone(&m), Box::new(chunks.into_iter()));
+        assert_eq!(it.count(), 2);
+        assert_eq!(m.rows.load(Ordering::Relaxed), 15);
+        assert_eq!(m.chunks.load(Ordering::Relaxed), 2);
+        assert_eq!(m.invocations.load(Ordering::Relaxed), 1);
+        let report = reg.report();
+        assert_eq!(report.len(), 1);
+        assert_eq!(report[0].1, 15);
+        assert!(reg.render().contains("Scan: t"));
+    }
+
+    #[test]
+    fn same_key_aggregates() {
+        let reg = MetricsRegistry::new();
+        for _ in 0..3 {
+            let m = reg.operator("Filter");
+            let chunks: Vec<crate::error::Result<Chunk>> =
+                vec![Ok(Chunk::new_empty_columns(1))];
+            let _ = instrument(m, Box::new(chunks.into_iter())).count();
+        }
+        assert_eq!(reg.report()[0].4, 3, "three partition invocations");
+        assert_eq!(reg.report()[0].1, 3);
+    }
+}

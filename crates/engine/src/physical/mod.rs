@@ -1,0 +1,275 @@
+//! Physical query plans: executable, partitioned operators.
+//!
+//! The execution model is partition-parallel pull (Volcano per partition,
+//! vectorized over [`Chunk`]s): `execute(p)` returns an iterator of chunks
+//! for output partition `p`; the driver runs all output partitions on a
+//! thread pool. Pipeline breakers ([`ShuffleExec`], [`SortExec`],
+//! [`HashAggregateExec`] and join build sides) materialize lazily and
+//! exactly once behind `OnceLock`s, which is the single-process analogue of
+//! Spark's shuffle files and broadcast variables.
+
+mod aggregate;
+pub mod expr;
+pub mod metrics;
+mod filter;
+mod join;
+mod limit;
+mod project;
+mod scan;
+mod shuffle;
+pub mod sort;
+mod union;
+
+pub use aggregate::{AggregateSpec, HashAggregateExec};
+pub use expr::{create_physical_expr, evaluate_predicate, PhysicalExpr, PhysicalExprRef};
+pub use filter::FilterExec;
+pub use join::{BroadcastHashJoinExec, HashJoinExec};
+pub use limit::LimitExec;
+pub use metrics::MetricsRegistry;
+pub use project::ProjectionExec;
+pub use scan::{SourceScanExec, ValuesExec};
+pub use shuffle::{CoalesceExec, ShuffleExec};
+pub use sort::{PhysicalSortKey, SortExec};
+pub use union::UnionExec;
+
+use std::fmt;
+use std::sync::Arc;
+
+pub use crate::catalog::ChunkIter;
+use crate::chunk::Chunk;
+use crate::config::EngineConfig;
+use crate::error::Result;
+use crate::schema::SchemaRef;
+use crate::types::Value;
+
+/// Per-query execution context handed to every operator.
+#[derive(Debug, Clone)]
+#[derive(Default)]
+pub struct TaskContext {
+    /// Engine configuration snapshot.
+    pub config: EngineConfig,
+    /// When present, operators report per-operator metrics here
+    /// (`EXPLAIN ANALYZE`).
+    pub metrics: Option<Arc<MetricsRegistry>>,
+}
+
+impl TaskContext {
+    /// Context with the given configuration.
+    pub fn new(config: EngineConfig) -> Self {
+        TaskContext { config, metrics: None }
+    }
+
+    /// Context that records per-operator metrics into `registry`.
+    pub fn with_metrics(config: EngineConfig, registry: Arc<MetricsRegistry>) -> Self {
+        TaskContext { config, metrics: Some(registry) }
+    }
+
+    /// Attribute `iter`'s output to `plan` in the metrics registry
+    /// (no-op without one). Operators call this on their result.
+    pub fn instrument(&self, plan: &dyn ExecutionPlan, iter: ChunkIter) -> ChunkIter {
+        match &self.metrics {
+            Some(registry) => {
+                let detail = plan.detail();
+                let key = if detail.is_empty() {
+                    plan.name().to_string()
+                } else {
+                    format!("{}: {}", plan.name(), detail)
+                };
+                metrics::instrument(registry.operator(&key), iter)
+            }
+            None => iter,
+        }
+    }
+}
+
+
+/// An executable operator.
+pub trait ExecutionPlan: Send + Sync + fmt::Debug {
+    /// Operator name for `EXPLAIN` output.
+    fn name(&self) -> &'static str;
+    /// Output schema.
+    fn schema(&self) -> SchemaRef;
+    /// Number of output partitions.
+    fn output_partitions(&self) -> usize;
+    /// Child operators.
+    fn children(&self) -> Vec<Arc<dyn ExecutionPlan>>;
+    /// Produce output partition `partition`.
+    fn execute(&self, partition: usize, ctx: &TaskContext) -> Result<ChunkIter>;
+    /// One-line detail string appended to [`ExecutionPlan::name`] in
+    /// `EXPLAIN` output.
+    fn detail(&self) -> String {
+        String::new()
+    }
+}
+
+/// Shared physical plan handle.
+pub type ExecPlanRef = Arc<dyn ExecutionPlan>;
+
+/// Render a physical plan tree as indented text.
+pub fn display_exec(plan: &dyn ExecutionPlan) -> String {
+    fn rec(plan: &dyn ExecutionPlan, out: &mut String, indent: usize) {
+        out.push_str(&"  ".repeat(indent));
+        out.push_str(plan.name());
+        let d = plan.detail();
+        if !d.is_empty() {
+            out.push_str(": ");
+            out.push_str(&d);
+        }
+        out.push('\n');
+        for c in plan.children() {
+            rec(c.as_ref(), out, indent + 1);
+        }
+    }
+    let mut s = String::new();
+    rec(plan, &mut s, 0);
+    s
+}
+
+/// Drain every output partition of `plan` in parallel and return the chunks
+/// per partition. This is the driver's "run the job" entry point.
+pub fn execute_collect_partitions(
+    plan: &ExecPlanRef,
+    ctx: &TaskContext,
+) -> Result<Vec<Vec<Chunk>>> {
+    let n = plan.output_partitions();
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    if n == 1 {
+        let chunks: Result<Vec<Chunk>> = plan.execute(0, ctx)?.collect();
+        return Ok(vec![chunks?]);
+    }
+    let mut out: Vec<Result<Vec<Chunk>>> = Vec::with_capacity(n);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..n)
+            .map(|p| {
+                let plan = Arc::clone(plan);
+                let ctx = ctx.clone();
+                s.spawn(move || -> Result<Vec<Chunk>> { plan.execute(p, &ctx)?.collect() })
+            })
+            .collect();
+        for h in handles {
+            out.push(h.join().expect("partition task panicked"));
+        }
+    });
+    out.into_iter().collect()
+}
+
+/// Drain every partition and concatenate into a single chunk.
+pub fn execute_collect(plan: &ExecPlanRef, ctx: &TaskContext) -> Result<Chunk> {
+    let parts = execute_collect_partitions(plan, ctx)?;
+    let mut chunks: Vec<Chunk> = parts.into_iter().flatten().collect();
+    if chunks.is_empty() {
+        return Ok(Chunk::empty(&plan.schema()));
+    }
+    if chunks.len() == 1 {
+        return Ok(chunks.pop().expect("len checked"));
+    }
+    Chunk::concat(&chunks)
+}
+
+/// Stable 64-bit hash of a scalar, used for shuffle partitioning and join
+/// keys. Must agree between the build and probe sides of a join and with
+/// the Indexed DataFrame's partitioner (`idf-core` re-exports it).
+pub fn hash_value(v: &Value) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = idf_hash::FxHasher::default();
+    v.hash(&mut h);
+    h.finish()
+}
+
+/// Combined hash of a composite key.
+pub fn hash_values(vs: &[Value]) -> u64 {
+    let mut acc = 0xcbf2_9ce4_8422_2325u64;
+    for v in vs {
+        acc = idf_hash::mix64(acc ^ hash_value(v));
+    }
+    acc
+}
+
+/// Minimal local Fx-style hasher so the engine does not depend on
+/// `idf-ctrie` (which depends on nothing here; the dependency must stay
+/// one-way for the workspace layering).
+mod idf_hash {
+    /// splitmix64 finalizer.
+    #[inline]
+    pub fn mix64(mut z: u64) -> u64 {
+        z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// FNV-1a with splitmix64 finalizer (same construction as
+    /// `idf_ctrie::hash::FxHasher`).
+    pub struct FxHasher {
+        state: u64,
+    }
+
+    impl Default for FxHasher {
+        fn default() -> Self {
+            FxHasher { state: 0xcbf2_9ce4_8422_2325 }
+        }
+    }
+
+    impl std::hash::Hasher for FxHasher {
+        #[inline]
+        fn finish(&self) -> u64 {
+            mix64(self.state)
+        }
+
+        #[inline]
+        fn write(&mut self, bytes: &[u8]) {
+            for &b in bytes {
+                self.state =
+                    (self.state ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+
+        #[inline]
+        fn write_u64(&mut self, i: u64) {
+            self.state = mix64(self.state ^ i);
+        }
+
+        #[inline]
+        fn write_i64(&mut self, i: i64) {
+            self.write_u64(i as u64);
+        }
+
+        #[inline]
+        fn write_u32(&mut self, i: u32) {
+            self.write_u64(u64::from(i));
+        }
+
+        #[inline]
+        fn write_i32(&mut self, i: i32) {
+            self.write_u64(i as u32 as u64);
+        }
+
+        #[inline]
+        fn write_usize(&mut self, i: usize) {
+            self.write_u64(i as u64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_value_stable_and_type_tagged() {
+        assert_eq!(hash_value(&Value::Int64(5)), hash_value(&Value::Int64(5)));
+        assert_ne!(hash_value(&Value::Int64(5)), hash_value(&Value::Int64(6)));
+        // discriminant participates: Int32(5) != Int64(5)
+        assert_ne!(hash_value(&Value::Int32(5)), hash_value(&Value::Int64(5)));
+    }
+
+    #[test]
+    fn hash_values_order_sensitive() {
+        let a = [Value::Int64(1), Value::Int64(2)];
+        let b = [Value::Int64(2), Value::Int64(1)];
+        assert_ne!(hash_values(&a), hash_values(&b));
+        assert_eq!(hash_values(&a), hash_values(&a));
+    }
+}

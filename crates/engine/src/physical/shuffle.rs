@@ -1,0 +1,254 @@
+//! Exchange operators: hash repartitioning (shuffle) and coalescing.
+//!
+//! The single-process analogue of Spark's shuffle: the first output
+//! partition to be pulled materializes *all* input partitions in parallel
+//! behind a `OnceLock`, bucketing rows by key hash; every output partition
+//! then reads its bucket. The Indexed DataFrame's hash partitioning on the
+//! indexed key uses the same [`hash_values`] function, which is what makes
+//! its indexed joins co-partitioned with shuffled probe sides.
+
+use std::sync::{Arc, OnceLock};
+
+use crate::catalog::ChunkIter;
+use crate::chunk::Chunk;
+use crate::error::Result;
+use crate::physical::{
+    hash_values, ExecPlanRef, ExecutionPlan, PhysicalExprRef, TaskContext,
+};
+use crate::schema::SchemaRef;
+
+/// Hash-repartition rows on key expressions into `num_partitions` buckets.
+pub struct ShuffleExec {
+    /// Input operator.
+    pub input: ExecPlanRef,
+    /// Partitioning key expressions.
+    pub keys: Vec<PhysicalExprRef>,
+    /// Number of output partitions.
+    pub num_partitions: usize,
+    state: OnceLock<Result<Arc<Vec<Vec<Chunk>>>>>,
+}
+
+impl std::fmt::Debug for ShuffleExec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ShuffleExec(n={})", self.num_partitions)
+    }
+}
+
+impl ShuffleExec {
+    /// Create a shuffle of `input` on `keys`.
+    pub fn new(input: ExecPlanRef, keys: Vec<PhysicalExprRef>, num_partitions: usize) -> Self {
+        ShuffleExec { input, keys, num_partitions: num_partitions.max(1), state: OnceLock::new() }
+    }
+
+    /// Bucket one chunk's rows by key hash.
+    fn bucket_chunk(
+        chunk: &Chunk,
+        keys: &[PhysicalExprRef],
+        n: usize,
+    ) -> Result<Vec<Vec<u32>>> {
+        let key_cols =
+            keys.iter().map(|k| k.evaluate(chunk)).collect::<Result<Vec<_>>>()?;
+        let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut key = Vec::with_capacity(key_cols.len());
+        for row in 0..chunk.len() {
+            key.clear();
+            for c in &key_cols {
+                key.push(c.value_at(row));
+            }
+            let b = (hash_values(&key) % n as u64) as usize;
+            buckets[b].push(row as u32);
+        }
+        Ok(buckets)
+    }
+
+    fn materialize(&self, ctx: &TaskContext) -> Result<Arc<Vec<Vec<Chunk>>>> {
+        self.state
+            .get_or_init(|| {
+                let n = self.num_partitions;
+                let inputs = crate::physical::execute_collect_partitions(&self.input, ctx)?;
+                let mut out: Vec<Vec<Chunk>> = vec![Vec::new(); n];
+                for chunks in inputs {
+                    for chunk in chunks {
+                        if chunk.is_empty() {
+                            continue;
+                        }
+                        let buckets = Self::bucket_chunk(&chunk, &self.keys, n)?;
+                        for (b, rows) in buckets.into_iter().enumerate() {
+                            if !rows.is_empty() {
+                                out[b].push(chunk.take(&rows)?);
+                            }
+                        }
+                    }
+                }
+                Ok(Arc::new(out))
+            })
+            .clone()
+    }
+}
+
+impl ExecutionPlan for ShuffleExec {
+    fn name(&self) -> &'static str {
+        "Shuffle"
+    }
+
+    fn schema(&self) -> SchemaRef {
+        self.input.schema()
+    }
+
+    fn output_partitions(&self) -> usize {
+        self.num_partitions
+    }
+
+    fn children(&self) -> Vec<ExecPlanRef> {
+        vec![Arc::clone(&self.input)]
+    }
+
+    fn execute(&self, partition: usize, ctx: &TaskContext) -> Result<ChunkIter> {
+        let buckets = self.materialize(ctx)?;
+        let chunks = buckets[partition].clone();
+        Ok(ctx.instrument(self, Box::new(chunks.into_iter().map(Ok))))
+    }
+
+    fn detail(&self) -> String {
+        format!("hash, {} partitions", self.num_partitions)
+    }
+}
+
+/// Merge all input partitions into one.
+pub struct CoalesceExec {
+    /// Input operator.
+    pub input: ExecPlanRef,
+    state: OnceLock<Result<Arc<Vec<Chunk>>>>,
+}
+
+impl std::fmt::Debug for CoalesceExec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CoalesceExec")
+    }
+}
+
+impl CoalesceExec {
+    /// Coalesce `input` into a single partition.
+    pub fn new(input: ExecPlanRef) -> Self {
+        CoalesceExec { input, state: OnceLock::new() }
+    }
+}
+
+impl ExecutionPlan for CoalesceExec {
+    fn name(&self) -> &'static str {
+        "Coalesce"
+    }
+
+    fn schema(&self) -> SchemaRef {
+        self.input.schema()
+    }
+
+    fn output_partitions(&self) -> usize {
+        1
+    }
+
+    fn children(&self) -> Vec<ExecPlanRef> {
+        vec![Arc::clone(&self.input)]
+    }
+
+    fn execute(&self, _partition: usize, ctx: &TaskContext) -> Result<ChunkIter> {
+        let chunks = self
+            .state
+            .get_or_init(|| {
+                let parts = crate::physical::execute_collect_partitions(&self.input, ctx)?;
+                Ok(Arc::new(parts.into_iter().flatten().collect::<Vec<Chunk>>()))
+            })
+            .clone()?;
+        Ok(ctx.instrument(self, Box::new(chunks.as_ref().clone().into_iter().map(Ok))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyzer::resolve_expr;
+    use crate::catalog::MemTable;
+    use crate::expr::col;
+    use crate::physical::expr::create_physical_expr;
+    use crate::physical::scan::SourceScanExec;
+    use crate::physical::{execute_collect, execute_collect_partitions};
+    use crate::schema::{Field, Schema};
+    use crate::types::{DataType, Value};
+
+    fn scan(n_rows: i64, parts: usize) -> (ExecPlanRef, SchemaRef) {
+        let schema = Arc::new(Schema::new(vec![Field::new("k", DataType::Int64)]));
+        let chunk = Chunk::from_rows(
+            &schema,
+            &(0..n_rows).map(|i| vec![Value::Int64(i % 10)]).collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let source = Arc::new(
+            MemTable::from_chunk_partitioned(Arc::clone(&schema), chunk, parts).unwrap(),
+        );
+        (
+            Arc::new(SourceScanExec {
+                table: "t".into(),
+                source,
+                schema: Arc::clone(&schema),
+                projection: None,
+                filters: vec![],
+            }),
+            schema,
+        )
+    }
+
+    #[test]
+    fn shuffle_groups_equal_keys_together() {
+        let (input, schema) = scan(100, 4);
+        let key = resolve_expr(&col("k"), &schema).unwrap();
+        let plan: ExecPlanRef = Arc::new(ShuffleExec::new(
+            input,
+            vec![create_physical_expr(&key, &schema).unwrap()],
+            3,
+        ));
+        let parts = execute_collect_partitions(&plan, &TaskContext::default()).unwrap();
+        assert_eq!(parts.len(), 3);
+        // Every key value must land in exactly one partition.
+        let mut seen: std::collections::HashMap<i64, usize> = Default::default();
+        let mut total = 0;
+        for (p, chunks) in parts.iter().enumerate() {
+            for c in chunks {
+                total += c.len();
+                for r in 0..c.len() {
+                    let Value::Int64(k) = c.value_at(0, r) else { panic!() };
+                    if let Some(prev) = seen.insert(k, p) {
+                        assert_eq!(prev, p, "key {k} split across partitions");
+                    }
+                }
+            }
+        }
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn coalesce_merges_everything() {
+        let (input, _) = scan(50, 5);
+        let plan: ExecPlanRef = Arc::new(CoalesceExec::new(input));
+        assert_eq!(plan.output_partitions(), 1);
+        let out = execute_collect(&plan, &TaskContext::default()).unwrap();
+        assert_eq!(out.len(), 50);
+    }
+
+    #[test]
+    fn shuffle_is_deterministic_across_runs() {
+        for _ in 0..2 {
+            let (input, schema) = scan(40, 2);
+            let key = resolve_expr(&col("k"), &schema).unwrap();
+            let plan: ExecPlanRef = Arc::new(ShuffleExec::new(
+                input,
+                vec![create_physical_expr(&key, &schema).unwrap()],
+                4,
+            ));
+            let parts =
+                execute_collect_partitions(&plan, &TaskContext::default()).unwrap();
+            let sizes: Vec<usize> =
+                parts.iter().map(|c| c.iter().map(Chunk::len).sum()).collect();
+            assert_eq!(sizes.iter().sum::<usize>(), 40);
+        }
+    }
+}

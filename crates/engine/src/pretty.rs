@@ -1,0 +1,89 @@
+//! ASCII rendering of result chunks (for `DataFrame::show` and the
+//! benchmark harness).
+
+use crate::chunk::Chunk;
+use crate::schema::Schema;
+
+/// Format `chunk` as a boxed ASCII table with `schema`'s column names.
+pub fn format_chunk(schema: &Schema, chunk: &Chunk) -> String {
+    let headers: Vec<String> =
+        schema.fields.iter().map(|f| f.qualified_name()).collect();
+    let mut rows: Vec<Vec<String>> = Vec::with_capacity(chunk.len());
+    for r in 0..chunk.len() {
+        rows.push((0..chunk.num_columns()).map(|c| chunk.value_at(c, r).to_string()).collect());
+    }
+    format_table(&headers, &rows)
+}
+
+/// Format a generic table.
+pub fn format_table(headers: &[String], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(String::len).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let sep = {
+        let mut s = String::from("+");
+        for w in &widths {
+            s.push_str(&"-".repeat(w + 2));
+            s.push('+');
+        }
+        s.push('\n');
+        s
+    };
+    let fmt_row = |cells: &[String]| {
+        let mut s = String::from("|");
+        for (i, w) in widths.iter().enumerate() {
+            let cell = cells.get(i).map(String::as_str).unwrap_or("");
+            s.push_str(&format!(" {cell:w$} |", w = w));
+        }
+        s.push('\n');
+        s
+    };
+    let mut out = String::new();
+    out.push_str(&sep);
+    out.push_str(&fmt_row(headers));
+    out.push_str(&sep);
+    for row in rows {
+        out.push_str(&fmt_row(row));
+    }
+    out.push_str(&sep);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunk::Chunk;
+    use crate::schema::Field;
+    use crate::types::{DataType, Value};
+    use std::sync::Arc;
+
+    #[test]
+    fn renders_table() {
+        let schema = Arc::new(Schema::new(vec![
+            Field::new("id", DataType::Int64),
+            Field::new("name", DataType::Utf8),
+        ]));
+        let chunk = Chunk::from_rows(
+            &schema,
+            &[
+                vec![Value::Int64(1), Value::Utf8("amsterdam".into())],
+                vec![Value::Int64(2), Value::Null],
+            ],
+        )
+        .unwrap();
+        let s = format_chunk(&schema, &chunk);
+        assert!(s.contains("| id | name      |"), "{s}");
+        assert!(s.contains("| 2  | NULL      |"), "{s}");
+        assert_eq!(s.matches('+').count() % 3, 0);
+    }
+
+    #[test]
+    fn empty_table() {
+        let s = format_table(&["a".into()], &[]);
+        assert!(s.contains("| a |"));
+    }
+}

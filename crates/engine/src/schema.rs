@@ -1,0 +1,188 @@
+//! Schemas: named, typed, optionally table-qualified fields.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::{EngineError, Result};
+use crate::types::DataType;
+
+/// One column of a schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Column name.
+    pub name: String,
+    /// Column type.
+    pub data_type: DataType,
+    /// Whether nulls may appear.
+    pub nullable: bool,
+    /// Table alias the field came from, used to disambiguate in joins
+    /// (`person.id` vs `knows.id`).
+    pub qualifier: Option<String>,
+}
+
+impl Field {
+    /// A nullable field with no qualifier.
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        Field { name: name.into(), data_type, nullable: true, qualifier: None }
+    }
+
+    /// A non-nullable field with no qualifier.
+    pub fn required(name: impl Into<String>, data_type: DataType) -> Self {
+        Field { name: name.into(), data_type, nullable: false, qualifier: None }
+    }
+
+    /// Copy of the field carrying `qualifier`.
+    pub fn with_qualifier(&self, qualifier: impl Into<String>) -> Self {
+        Field { qualifier: Some(qualifier.into()), ..self.clone() }
+    }
+
+    /// `qualifier.name` if qualified, else `name`.
+    pub fn qualified_name(&self) -> String {
+        match &self.qualifier {
+            Some(q) => format!("{q}.{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// An ordered collection of fields.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    /// The fields, in column order.
+    pub fields: Vec<Field>,
+}
+
+/// Shared schema handle.
+pub type SchemaRef = Arc<Schema>;
+
+impl Schema {
+    /// Build a schema from fields.
+    pub fn new(fields: Vec<Field>) -> Self {
+        Schema { fields }
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Whether the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Field at `i`.
+    pub fn field(&self, i: usize) -> &Field {
+        &self.fields[i]
+    }
+
+    /// Index of the unique field matching `name` (optionally qualified as
+    /// `table.column`). Errors if missing or ambiguous.
+    pub fn index_of(&self, qualifier: Option<&str>, name: &str) -> Result<usize> {
+        let matches: Vec<usize> = self
+            .fields
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| {
+                f.name == name
+                    && match qualifier {
+                        Some(q) => f.qualifier.as_deref() == Some(q),
+                        None => true,
+                    }
+            })
+            .map(|(i, _)| i)
+            .collect();
+        match matches.as_slice() {
+            [i] => Ok(*i),
+            [] => Err(EngineError::ColumnNotFound(match qualifier {
+                Some(q) => format!("{q}.{name}"),
+                None => name.to_string(),
+            })),
+            _ => Err(EngineError::ColumnNotFound(format!(
+                "ambiguous column reference: {name} (qualify it, e.g. table.{name})"
+            ))),
+        }
+    }
+
+    /// Concatenate two schemas (for join outputs).
+    pub fn join(&self, other: &Schema) -> Schema {
+        let mut fields = self.fields.clone();
+        fields.extend(other.fields.iter().cloned());
+        Schema { fields }
+    }
+
+    /// Schema with only the columns at `indices`.
+    pub fn project(&self, indices: &[usize]) -> Schema {
+        Schema { fields: indices.iter().map(|&i| self.fields[i].clone()).collect() }
+    }
+
+    /// Copy of the schema with every field re-qualified as `qualifier`.
+    pub fn qualified(&self, qualifier: &str) -> Schema {
+        Schema { fields: self.fields.iter().map(|f| f.with_qualifier(qualifier)).collect() }
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, field) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}: {}", field.qualified_name(), field.data_type)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        Schema::new(vec![
+            Field::new("id", DataType::Int64).with_qualifier("person"),
+            Field::new("name", DataType::Utf8).with_qualifier("person"),
+            Field::new("id", DataType::Int64).with_qualifier("knows"),
+        ])
+    }
+
+    #[test]
+    fn index_of_qualified() {
+        let s = sample();
+        assert_eq!(s.index_of(Some("person"), "id").unwrap(), 0);
+        assert_eq!(s.index_of(Some("knows"), "id").unwrap(), 2);
+        assert_eq!(s.index_of(None, "name").unwrap(), 1);
+    }
+
+    #[test]
+    fn index_of_ambiguous_errors() {
+        let s = sample();
+        let err = s.index_of(None, "id").unwrap_err();
+        assert!(err.to_string().contains("ambiguous"));
+    }
+
+    #[test]
+    fn index_of_missing_errors() {
+        let s = sample();
+        assert!(matches!(s.index_of(None, "zzz"), Err(EngineError::ColumnNotFound(_))));
+        assert!(s.index_of(Some("nope"), "id").is_err());
+    }
+
+    #[test]
+    fn join_and_project() {
+        let a = Schema::new(vec![Field::new("x", DataType::Int64)]);
+        let b = Schema::new(vec![Field::new("y", DataType::Utf8)]);
+        let j = a.join(&b);
+        assert_eq!(j.len(), 2);
+        let p = j.project(&[1]);
+        assert_eq!(p.field(0).name, "y");
+    }
+
+    #[test]
+    fn qualified_display() {
+        let s = sample();
+        let shown = format!("{s}");
+        assert!(shown.contains("person.id: INT64"));
+    }
+}

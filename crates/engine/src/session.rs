@@ -1,0 +1,217 @@
+//! The session: catalog + configuration + optimizer/planner extension
+//! registries. The analogue of Spark's `SparkSession`.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::catalog::{Catalog, MemTable, TableSource};
+use crate::chunk::Chunk;
+use crate::config::EngineConfig;
+use crate::dataframe::DataFrame;
+use crate::error::Result;
+use crate::logical::LogicalPlan;
+use crate::optimizer::{Optimizer, OptimizerRule};
+use crate::planner::{Planner, PhysicalStrategy};
+use crate::schema::SchemaRef;
+use crate::types::Value;
+
+struct SessionState {
+    catalog: Catalog,
+    config: EngineConfig,
+    rules: RwLock<Vec<Arc<dyn OptimizerRule>>>,
+    strategies: RwLock<Vec<Arc<dyn PhysicalStrategy>>>,
+}
+
+/// A query session. Cheap to clone (shared state).
+#[derive(Clone)]
+pub struct Session {
+    state: Arc<SessionState>,
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Session {
+    /// Session with default configuration.
+    pub fn new() -> Self {
+        Self::with_config(EngineConfig::default())
+    }
+
+    /// Session with explicit configuration.
+    pub fn with_config(config: EngineConfig) -> Self {
+        Session {
+            state: Arc::new(SessionState {
+                catalog: Catalog::new(),
+                config,
+                rules: RwLock::new(Vec::new()),
+                strategies: RwLock::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// The session configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.state.config
+    }
+
+    /// The table catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.state.catalog
+    }
+
+    /// Register a table source under `name`.
+    pub fn register_table(&self, name: impl Into<String>, table: Arc<dyn TableSource>) {
+        self.state.catalog.register(name, table);
+    }
+
+    /// Register an extra logical optimizer rule (runs after the built-ins).
+    ///
+    /// This is the extension point libraries use — the analogue of
+    /// injecting rules into Catalyst's `extraOptimizations`.
+    pub fn register_rule(&self, rule: Arc<dyn OptimizerRule>) {
+        self.state.rules.write().push(rule);
+    }
+
+    /// Register a physical planning strategy (consulted before built-ins).
+    ///
+    /// The analogue of Catalyst's `extraStrategies` — this is how the
+    /// Indexed DataFrame injects its indexed join/lookup operators.
+    /// Registering a strategy with a name that is already present is a
+    /// no-op, so libraries can register idempotently.
+    pub fn register_strategy(&self, strategy: Arc<dyn PhysicalStrategy>) {
+        let mut strategies = self.state.strategies.write();
+        if strategies.iter().any(|s| s.name() == strategy.name()) {
+            return;
+        }
+        strategies.push(strategy);
+    }
+
+    /// Names of the registered strategies, in consultation order.
+    pub fn strategy_names(&self) -> Vec<String> {
+        self.state.strategies.read().iter().map(|s| s.name().to_string()).collect()
+    }
+
+    /// A DataFrame scanning a registered table.
+    pub fn table(&self, name: &str) -> Result<DataFrame> {
+        let source = self.state.catalog.get(name)?;
+        let schema = Arc::new(source.schema().qualified(name));
+        Ok(DataFrame::new(
+            self.clone(),
+            LogicalPlan::Scan {
+                table: name.to_string(),
+                source,
+                schema,
+                projection: None,
+                filters: vec![],
+            },
+        ))
+    }
+
+    /// A DataFrame over literal rows.
+    pub fn create_dataframe(&self, schema: SchemaRef, rows: Vec<Vec<Value>>) -> DataFrame {
+        DataFrame::new(self.clone(), LogicalPlan::Values { schema, rows })
+    }
+
+    /// A DataFrame over an existing chunk (single partition).
+    pub fn dataframe_from_chunk(&self, schema: SchemaRef, chunk: Chunk) -> DataFrame {
+        let source = Arc::new(MemTable::from_chunk(Arc::clone(&schema), chunk));
+        DataFrame::new(
+            self.clone(),
+            LogicalPlan::Scan {
+                table: "inline".to_string(),
+                source,
+                schema,
+                projection: None,
+                filters: vec![],
+            },
+        )
+    }
+
+    /// Parse and bind a SQL query into a DataFrame.
+    pub fn sql(&self, query: &str) -> Result<DataFrame> {
+        crate::sql::plan_sql(self, query)
+    }
+
+    /// The optimizer for this session (built-ins + registered rules).
+    pub fn optimizer(&self) -> Optimizer {
+        Optimizer::with_rules(self.state.rules.read().clone())
+    }
+
+    /// The planner for this session (registered strategies first).
+    pub fn planner(&self) -> Planner {
+        Planner::new(self.state.config.clone(), self.state.strategies.read().clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{col, lit};
+    use crate::schema::{Field, Schema};
+    use crate::types::DataType;
+
+    fn session_with_table() -> Session {
+        let s = Session::new();
+        let schema = Arc::new(Schema::new(vec![
+            Field::new("id", DataType::Int64),
+            Field::new("name", DataType::Utf8),
+        ]));
+        let chunk = Chunk::from_rows(
+            &schema,
+            &[
+                vec![Value::Int64(1), Value::Utf8("a".into())],
+                vec![Value::Int64(2), Value::Utf8("b".into())],
+            ],
+        )
+        .unwrap();
+        s.register_table("t", Arc::new(MemTable::from_chunk(schema, chunk)));
+        s
+    }
+
+    #[test]
+    fn table_scan_collects() {
+        let s = session_with_table();
+        let out = s.table("t").unwrap().collect().unwrap();
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn table_schema_is_qualified() {
+        let s = session_with_table();
+        let df = s.table("t").unwrap();
+        assert_eq!(df.schema().field(0).qualifier.as_deref(), Some("t"));
+    }
+
+    #[test]
+    fn missing_table_errors() {
+        let s = Session::new();
+        assert!(s.table("nope").is_err());
+    }
+
+    #[test]
+    fn filter_end_to_end() {
+        let s = session_with_table();
+        let out = s
+            .table("t")
+            .unwrap()
+            .filter(col("id").eq(lit(2i64)))
+            .unwrap()
+            .collect()
+            .unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.value_at(1, 0), Value::Utf8("b".into()));
+    }
+
+    #[test]
+    fn create_dataframe_literal_rows() {
+        let s = Session::new();
+        let schema = Arc::new(Schema::new(vec![Field::new("x", DataType::Int64)]));
+        let df = s.create_dataframe(schema, vec![vec![Value::Int64(9)]]);
+        let out = df.collect().unwrap();
+        assert_eq!(out.value_at(0, 0), Value::Int64(9));
+    }
+}

@@ -1,0 +1,24 @@
+//! SQL front end: lexer, parser, and binder.
+//!
+//! Users can address registered tables (including Indexed DataFrames —
+//! "users write SQL queries or use the Dataframe API", paper Figure 1)
+//! with a practical SQL subset: SELECT/FROM/JOIN/WHERE/GROUP BY/HAVING/
+//! ORDER BY/LIMIT, subqueries in FROM, aggregates, CAST, and three-valued
+//! boolean logic.
+
+pub mod binder;
+pub mod lexer;
+pub mod parser;
+
+pub use binder::to_expr;
+pub use parser::parse;
+
+use crate::dataframe::DataFrame;
+use crate::error::Result;
+use crate::session::Session;
+
+/// Parse `query` and bind it against `session`'s catalog.
+pub fn plan_sql(session: &Session, query: &str) -> Result<DataFrame> {
+    let stmt = parser::parse(query)?;
+    binder::bind(session, &stmt)
+}

@@ -1,0 +1,315 @@
+//! Data types and scalar values.
+
+use std::fmt;
+
+/// The engine's column data types.
+///
+/// The Indexed DataFrame paper recommends indexing primitive column types —
+/// integers, floats, strings and datetimes — which is exactly this set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// Boolean.
+    Boolean,
+    /// 32-bit signed integer.
+    Int32,
+    /// 64-bit signed integer.
+    Int64,
+    /// 64-bit IEEE float.
+    Float64,
+    /// UTF-8 string.
+    Utf8,
+    /// Milliseconds since the Unix epoch.
+    Timestamp,
+}
+
+impl DataType {
+    /// Whether the type is numeric (participates in arithmetic).
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, DataType::Int32 | DataType::Int64 | DataType::Float64)
+    }
+
+    /// Numeric widening rank used by the coercion rules
+    /// (Int32 < Int64 < Float64).
+    pub(crate) fn numeric_rank(&self) -> Option<u8> {
+        match self {
+            DataType::Int32 => Some(0),
+            DataType::Int64 => Some(1),
+            DataType::Float64 => Some(2),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Boolean => "BOOLEAN",
+            DataType::Int32 => "INT32",
+            DataType::Int64 => "INT64",
+            DataType::Float64 => "FLOAT64",
+            DataType::Utf8 => "UTF8",
+            DataType::Timestamp => "TIMESTAMP",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A scalar value (one cell of a column, or a literal in an expression).
+///
+/// `Eq`/`Ord`/`Hash` are total: floats compare via their IEEE bit patterns
+/// for hashing and use `total_cmp` for ordering, and `Null` sorts first.
+/// This makes `Value` directly usable as a join/group key.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// Boolean value.
+    Boolean(bool),
+    /// 32-bit integer value.
+    Int32(i32),
+    /// 64-bit integer value.
+    Int64(i64),
+    /// 64-bit float value.
+    Float64(f64),
+    /// String value.
+    Utf8(String),
+    /// Milliseconds since the Unix epoch.
+    Timestamp(i64),
+}
+
+impl Value {
+    /// The value's data type, or `None` for `Null`.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Boolean(_) => Some(DataType::Boolean),
+            Value::Int32(_) => Some(DataType::Int32),
+            Value::Int64(_) => Some(DataType::Int64),
+            Value::Float64(_) => Some(DataType::Float64),
+            Value::Utf8(_) => Some(DataType::Utf8),
+            Value::Timestamp(_) => Some(DataType::Timestamp),
+        }
+    }
+
+    /// Whether this is `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Interpret as i64 if losslessly possible.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int32(v) => Some(i64::from(*v)),
+            Value::Int64(v) | Value::Timestamp(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Interpret as f64 if numerically possible.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int32(v) => Some(f64::from(*v)),
+            Value::Int64(v) => Some(*v as f64),
+            Value::Float64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Interpret as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Utf8(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Cast to `to`, following SQL semantics (`Null` stays `Null`).
+    pub fn cast(&self, to: DataType) -> Option<Value> {
+        if self.is_null() {
+            return Some(Value::Null);
+        }
+        match to {
+            DataType::Boolean => match self {
+                Value::Boolean(b) => Some(Value::Boolean(*b)),
+                _ => None,
+            },
+            DataType::Int32 => match self {
+                Value::Int32(v) => Some(Value::Int32(*v)),
+                Value::Int64(v) => i32::try_from(*v).ok().map(Value::Int32),
+                Value::Float64(v) => Some(Value::Int32(*v as i32)),
+                _ => None,
+            },
+            DataType::Int64 => match self {
+                Value::Int32(v) => Some(Value::Int64(i64::from(*v))),
+                Value::Int64(v) => Some(Value::Int64(*v)),
+                Value::Float64(v) => Some(Value::Int64(*v as i64)),
+                Value::Timestamp(v) => Some(Value::Int64(*v)),
+                _ => None,
+            },
+            DataType::Float64 => self.as_f64().map(Value::Float64),
+            DataType::Utf8 => Some(Value::Utf8(self.to_string())),
+            DataType::Timestamp => match self {
+                Value::Int64(v) | Value::Timestamp(v) => Some(Value::Timestamp(*v)),
+                Value::Int32(v) => Some(Value::Timestamp(i64::from(*v))),
+                _ => None,
+            },
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => true,
+            (Boolean(a), Boolean(b)) => a == b,
+            (Int32(a), Int32(b)) => a == b,
+            (Int64(a), Int64(b)) => a == b,
+            (Float64(a), Float64(b)) => a.to_bits() == b.to_bits(),
+            (Utf8(a), Utf8(b)) => a == b,
+            (Timestamp(a), Timestamp(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        core::mem::discriminant(self).hash(state);
+        match self {
+            Value::Null => {}
+            Value::Boolean(b) => b.hash(state),
+            Value::Int32(v) => v.hash(state),
+            Value::Int64(v) => v.hash(state),
+            Value::Float64(v) => v.to_bits().hash(state),
+            Value::Utf8(s) => s.hash(state),
+            Value::Timestamp(v) => v.hash(state),
+        }
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        use std::cmp::Ordering;
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Null, _) => Ordering::Less,
+            (_, Null) => Ordering::Greater,
+            (Boolean(a), Boolean(b)) => a.cmp(b),
+            (Int32(a), Int32(b)) => a.cmp(b),
+            (Int64(a), Int64(b)) => a.cmp(b),
+            (Float64(a), Float64(b)) => a.total_cmp(b),
+            (Utf8(a), Utf8(b)) => a.cmp(b),
+            (Timestamp(a), Timestamp(b)) => a.cmp(b),
+            // Mixed numeric comparison (post-coercion plans never hit this,
+            // but sorting heterogeneous literal rows must not panic).
+            (a, b) => match (a.as_f64(), b.as_f64()) {
+                (Some(x), Some(y)) => x.total_cmp(&y),
+                _ => format!("{a}").cmp(&format!("{b}")),
+            },
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("NULL"),
+            Value::Boolean(b) => write!(f, "{b}"),
+            Value::Int32(v) => write!(f, "{v}"),
+            Value::Int64(v) => write!(f, "{v}"),
+            Value::Float64(v) => write!(f, "{v}"),
+            Value::Utf8(s) => f.write_str(s),
+            Value::Timestamp(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Boolean(v)
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int32(v)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int64(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float64(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Utf8(v.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Utf8(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_rank_ordering() {
+        assert!(DataType::Int32.numeric_rank() < DataType::Int64.numeric_rank());
+        assert!(DataType::Int64.numeric_rank() < DataType::Float64.numeric_rank());
+        assert_eq!(DataType::Utf8.numeric_rank(), None);
+    }
+
+    #[test]
+    fn value_casts() {
+        assert_eq!(Value::Int32(5).cast(DataType::Int64), Some(Value::Int64(5)));
+        assert_eq!(Value::Int64(5).cast(DataType::Float64), Some(Value::Float64(5.0)));
+        assert_eq!(Value::Null.cast(DataType::Int64), Some(Value::Null));
+        assert_eq!(Value::Utf8("x".into()).cast(DataType::Int64), None);
+        assert_eq!(
+            Value::Int64(i64::from(i32::MAX) + 1).cast(DataType::Int32),
+            None,
+            "overflowing narrow must fail"
+        );
+    }
+
+    #[test]
+    fn null_sorts_first() {
+        let mut vals = [Value::Int64(2), Value::Null, Value::Int64(1)];
+        vals.sort();
+        assert_eq!(vals[0], Value::Null);
+        assert_eq!(vals[1], Value::Int64(1));
+    }
+
+    #[test]
+    fn float_eq_and_hash_total() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(Value::Float64(f64::NAN));
+        assert!(set.contains(&Value::Float64(f64::NAN)));
+        assert!(!set.contains(&Value::Float64(0.0)));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::Utf8("hi".into()).to_string(), "hi");
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Boolean(true).to_string(), "true");
+    }
+}

@@ -1,0 +1,203 @@
+//! Property-based tests: the vectorized expression kernels must agree with
+//! a naive scalar interpreter over random chunks, and relational-algebra
+//! identities must hold end to end.
+
+use std::sync::Arc;
+
+use idf_engine::analyzer::resolve_expr;
+use idf_engine::chunk::Chunk;
+use idf_engine::expr::{col, lit, BinaryOp, Expr};
+use idf_engine::physical::create_physical_expr;
+use idf_engine::prelude::*;
+use proptest::prelude::*;
+
+fn schema() -> SchemaRef {
+    Arc::new(Schema::new(vec![
+        Field::new("a", DataType::Int64),
+        Field::new("b", DataType::Int64),
+        Field::new("s", DataType::Utf8),
+    ]))
+}
+
+fn rows_strategy() -> impl Strategy<Value = Vec<Vec<Value>>> {
+    proptest::collection::vec(
+        (
+            prop_oneof![1 => Just(Value::Null), 4 => (-50i64..50).prop_map(Value::Int64)],
+            prop_oneof![1 => Just(Value::Null), 4 => (-50i64..50).prop_map(Value::Int64)],
+            prop_oneof![1 => Just(Value::Null), 4 => "[a-c]{0,3}".prop_map(Value::Utf8)],
+        )
+            .prop_map(|(a, b, s)| vec![a, b, s]),
+        1..60,
+    )
+}
+
+/// Naive scalar three-valued-logic interpreter for the expression subset
+/// the generator produces.
+fn scalar_eval(e: &Expr, row: &[Value]) -> Value {
+    match e {
+        Expr::Column(c) => row[c.index.expect("bound")].clone(),
+        Expr::Literal(v) => v.clone(),
+        Expr::Cast { expr, to } => {
+            scalar_eval(expr, row).cast(*to).unwrap_or(Value::Null)
+        }
+        Expr::Not(i) => match scalar_eval(i, row) {
+            Value::Boolean(b) => Value::Boolean(!b),
+            _ => Value::Null,
+        },
+        Expr::IsNull(i) => Value::Boolean(scalar_eval(i, row).is_null()),
+        Expr::IsNotNull(i) => Value::Boolean(!scalar_eval(i, row).is_null()),
+        Expr::Binary { left, op, right } => {
+            let l = scalar_eval(left, row);
+            let r = scalar_eval(right, row);
+            match op {
+                BinaryOp::And | BinaryOp::Or => {
+                    let lb = match &l {
+                        Value::Boolean(b) => Some(*b),
+                        _ => None,
+                    };
+                    let rb = match &r {
+                        Value::Boolean(b) => Some(*b),
+                        _ => None,
+                    };
+                    let out = if *op == BinaryOp::And {
+                        match (lb, rb) {
+                            (Some(false), _) | (_, Some(false)) => Some(false),
+                            (Some(true), Some(true)) => Some(true),
+                            _ => None,
+                        }
+                    } else {
+                        match (lb, rb) {
+                            (Some(true), _) | (_, Some(true)) => Some(true),
+                            (Some(false), Some(false)) => Some(false),
+                            _ => None,
+                        }
+                    };
+                    out.map_or(Value::Null, Value::Boolean)
+                }
+                _ if l.is_null() || r.is_null() => Value::Null,
+                BinaryOp::Eq => Value::Boolean(l == r),
+                BinaryOp::NotEq => Value::Boolean(l != r),
+                BinaryOp::Lt => Value::Boolean(l < r),
+                BinaryOp::LtEq => Value::Boolean(l <= r),
+                BinaryOp::Gt => Value::Boolean(l > r),
+                BinaryOp::GtEq => Value::Boolean(l >= r),
+                arith => {
+                    let (Some(x), Some(y)) = (l.as_i64(), r.as_i64()) else {
+                        return Value::Null;
+                    };
+                    let v = match arith {
+                        BinaryOp::Plus => x.checked_add(y),
+                        BinaryOp::Minus => x.checked_sub(y),
+                        BinaryOp::Multiply => x.checked_mul(y),
+                        BinaryOp::Divide => x.checked_div(y),
+                        BinaryOp::Modulo => x.checked_rem(y),
+                        _ => unreachable!(),
+                    };
+                    v.map_or(Value::Null, Value::Int64)
+                }
+            }
+        }
+        other => panic!("generator does not produce {other:?}"),
+    }
+}
+
+/// Random integer-typed expressions over (a, b) — arithmetic only, so
+/// every nesting is well typed.
+fn int_expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        Just(col("a")),
+        Just(col("b")),
+        (-20i64..20).prop_map(lit),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| l.add(r)),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| l.sub(r)),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| l.mul(r)),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| l.div(r)),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| l.rem(r)),
+        ]
+    })
+}
+
+/// Random well-typed expressions: integer arithmetic optionally capped by
+/// a boolean combinator layer.
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let ie = int_expr_strategy;
+    prop_oneof![
+        ie(),
+        (ie(), ie()).prop_map(|(l, r)| l.eq(r)),
+        (ie(), ie()).prop_map(|(l, r)| l.not_eq(r)),
+        (ie(), ie()).prop_map(|(l, r)| l.lt_eq(r)),
+        (ie(), ie(), ie(), ie()).prop_map(|(a, b, c, d)| a.eq(b).and(c.lt(d))),
+        (ie(), ie(), ie(), ie()).prop_map(|(a, b, c, d)| a.gt(b).or(c.gt_eq(d))),
+        (ie(), ie()).prop_map(|(l, r)| l.eq(r).not()),
+        ie().prop_map(|e| e.is_null()),
+        ie().prop_map(|e| e.is_not_null()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    #[test]
+    fn kernels_agree_with_scalar_interpreter(
+        rows in rows_strategy(),
+        expr in expr_strategy(),
+    ) {
+        let schema = schema();
+        let chunk = Chunk::from_rows(&schema, &rows).expect("chunk");
+        let bound = resolve_expr(&expr, &schema).expect("analyzable");
+        let pe = create_physical_expr(&bound, &schema).expect("compile");
+        let out = pe.evaluate(&chunk).expect("evaluate");
+        prop_assert_eq!(out.len(), rows.len());
+        for (i, row) in rows.iter().enumerate() {
+            let expected = scalar_eval(&bound, row);
+            prop_assert_eq!(
+                out.value_at(i),
+                expected,
+                "row {} of {} under {}",
+                i,
+                rows.len(),
+                bound
+            );
+        }
+    }
+
+    #[test]
+    fn filter_then_count_equals_scalar_count(
+        rows in rows_strategy(),
+        threshold in -50i64..50,
+    ) {
+        let session = Session::new();
+        let df = session.create_dataframe(schema(), rows.clone());
+        let n = df
+            .filter(col("a").gt(lit(threshold)))
+            .expect("filter")
+            .count()
+            .expect("count");
+        let expected = rows
+            .iter()
+            .filter(|r| matches!(r[0], Value::Int64(v) if v > threshold))
+            .count();
+        prop_assert_eq!(n, expected);
+    }
+
+    #[test]
+    fn union_is_additive_and_sort_is_total(rows in rows_strategy()) {
+        let session = Session::new();
+        let df = session.create_dataframe(schema(), rows.clone());
+        let doubled = df.union(&df).expect("union");
+        prop_assert_eq!(doubled.count().expect("count"), rows.len() * 2);
+        let sorted = doubled
+            .sort(vec![SortExpr::asc(col("a")), SortExpr::asc(col("s"))])
+            .expect("sort")
+            .collect()
+            .expect("collect");
+        for i in 1..sorted.len() {
+            let prev = (sorted.value_at(0, i - 1), sorted.value_at(2, i - 1));
+            let cur = (sorted.value_at(0, i), sorted.value_at(2, i));
+            prop_assert!(prev <= cur, "row {i} out of order: {prev:?} > {cur:?}");
+        }
+    }
+}

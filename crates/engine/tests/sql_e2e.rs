@@ -1,0 +1,374 @@
+//! End-to-end SQL tests over the full stack: parse → bind → analyze →
+//! optimize → plan → parallel execution.
+
+use std::sync::Arc;
+
+use idf_engine::prelude::*;
+
+fn session() -> Session {
+    let s = Session::new();
+    let person_schema = Arc::new(Schema::new(vec![
+        Field::new("id", DataType::Int64),
+        Field::new("name", DataType::Utf8),
+        Field::new("city", DataType::Utf8),
+        Field::new("age", DataType::Int64),
+    ]));
+    let person_rows: Vec<Vec<Value>> = (0..1000)
+        .map(|i| {
+            vec![
+                Value::Int64(i),
+                Value::Utf8(format!("p{i}")),
+                Value::Utf8(["ams", "sfo", "nyc"][(i % 3) as usize].to_string()),
+                Value::Int64(18 + i % 60),
+            ]
+        })
+        .collect();
+    let chunk = Chunk::from_rows(&person_schema, &person_rows).unwrap();
+    s.register_table(
+        "person",
+        Arc::new(MemTable::from_chunk_partitioned(person_schema, chunk, 4).unwrap()),
+    );
+
+    let knows_schema = Arc::new(Schema::new(vec![
+        Field::new("src", DataType::Int64),
+        Field::new("dst", DataType::Int64),
+        Field::new("since", DataType::Int64),
+    ]));
+    let knows_rows: Vec<Vec<Value>> = (0..5000)
+        .map(|i| {
+            vec![
+                Value::Int64(i % 1000),
+                Value::Int64((i * 7 + 3) % 1000),
+                Value::Int64(2000 + i % 20),
+            ]
+        })
+        .collect();
+    let chunk = Chunk::from_rows(&knows_schema, &knows_rows).unwrap();
+    s.register_table(
+        "knows",
+        Arc::new(MemTable::from_chunk_partitioned(knows_schema, chunk, 4).unwrap()),
+    );
+    s
+}
+
+#[test]
+fn point_select() {
+    let s = session();
+    let out = s.sql("SELECT name FROM person WHERE id = 42").unwrap().collect().unwrap();
+    assert_eq!(out.len(), 1);
+    assert_eq!(out.value_at(0, 0), Value::Utf8("p42".into()));
+}
+
+#[test]
+fn select_star_with_limit() {
+    let s = session();
+    let out = s.sql("SELECT * FROM person LIMIT 5").unwrap().collect().unwrap();
+    assert_eq!(out.len(), 5);
+    assert_eq!(out.num_columns(), 4);
+}
+
+#[test]
+fn range_filter_count() {
+    let s = session();
+    let out = s
+        .sql("SELECT count(*) AS n FROM person WHERE age >= 18 AND age < 28")
+        .unwrap()
+        .collect()
+        .unwrap();
+    let Value::Int64(n) = out.value_at(0, 0) else { panic!() };
+    // ages cycle 18..78, so 10 of every 60.
+    assert_eq!(n, (0..1000).filter(|i| (18 + i % 60) < 28).count() as i64);
+}
+
+#[test]
+fn join_two_tables() {
+    let s = session();
+    let out = s
+        .sql(
+            "SELECT p.name, k.dst FROM person p JOIN knows k ON p.id = k.src \
+             WHERE p.id = 7",
+        )
+        .unwrap()
+        .collect()
+        .unwrap();
+    assert_eq!(out.len(), 5, "person 7 has 5 outgoing edges");
+    for r in 0..out.len() {
+        assert_eq!(out.value_at(0, r), Value::Utf8("p7".into()));
+    }
+}
+
+#[test]
+fn group_by_having_order() {
+    let s = session();
+    let out = s
+        .sql(
+            "SELECT city, count(*) AS n, avg(age) AS a FROM person \
+             GROUP BY city HAVING count(*) > 100 ORDER BY city",
+        )
+        .unwrap()
+        .collect()
+        .unwrap();
+    assert_eq!(out.len(), 3);
+    assert_eq!(out.value_at(0, 0), Value::Utf8("ams".into()));
+    let Value::Int64(n) = out.value_at(1, 0) else { panic!() };
+    assert_eq!(n, 334); // ceil(1000/3)
+}
+
+#[test]
+fn order_by_desc_limit_topk() {
+    let s = session();
+    let out = s
+        .sql("SELECT id FROM person ORDER BY id DESC LIMIT 3")
+        .unwrap()
+        .collect()
+        .unwrap();
+    assert_eq!(out.len(), 3);
+    assert_eq!(out.value_at(0, 0), Value::Int64(999));
+    assert_eq!(out.value_at(0, 2), Value::Int64(997));
+}
+
+#[test]
+fn left_join_preserves_unmatched() {
+    let s = session();
+    // dst values only go up to 999; join on a filtered right side.
+    let out = s
+        .sql(
+            "SELECT p.id, k.src FROM person p \
+             LEFT JOIN (SELECT src FROM knows WHERE src < 10) k ON p.id = k.src \
+             WHERE p.id < 20",
+        )
+        .unwrap()
+        .collect()
+        .unwrap();
+    // ids 0..10 match 5 edges each → 50 rows; ids 10..20 unmatched → 10 rows.
+    assert_eq!(out.len(), 60);
+    let nulls = (0..out.len()).filter(|&r| out.value_at(1, r) == Value::Null).count();
+    assert_eq!(nulls, 10);
+}
+
+#[test]
+fn subquery_in_from() {
+    let s = session();
+    let out = s
+        .sql(
+            "SELECT city, n FROM \
+             (SELECT city, count(*) AS n FROM person GROUP BY city) sub \
+             WHERE n > 300 ORDER BY n DESC",
+        )
+        .unwrap()
+        .collect()
+        .unwrap();
+    assert_eq!(out.len(), 3);
+}
+
+#[test]
+fn self_join_with_aliases() {
+    let s = session();
+    let out = s
+        .sql(
+            "SELECT a.name, b.name FROM person a JOIN person b ON a.id = b.id \
+             WHERE a.id = 1",
+        )
+        .unwrap()
+        .collect()
+        .unwrap();
+    assert_eq!(out.len(), 1);
+}
+
+#[test]
+fn arithmetic_and_aliases_in_select() {
+    let s = session();
+    let out = s
+        .sql("SELECT id * 2 + 1 AS odd FROM person WHERE id = 10")
+        .unwrap()
+        .collect()
+        .unwrap();
+    assert_eq!(out.value_at(0, 0), Value::Int64(21));
+}
+
+#[test]
+fn aggregate_expression_in_select() {
+    let s = session();
+    let out = s
+        .sql("SELECT count(*) * 2 AS double_n FROM person")
+        .unwrap()
+        .collect()
+        .unwrap();
+    assert_eq!(out.value_at(0, 0), Value::Int64(2000));
+}
+
+#[test]
+fn error_cases() {
+    let s = session();
+    assert!(s.sql("SELECT nope FROM person").is_err());
+    assert!(s.sql("SELECT * FROM missing_table").is_err());
+    assert!(s.sql("SELECT city FROM person GROUP BY age").is_err());
+    assert!(s.sql("SELECT count(*) FROM person WHERE count(*) > 1").is_err());
+    assert!(s.sql("SELECT * FROM person JOIN knows ON person.id < knows.src").is_err());
+}
+
+#[test]
+fn explain_pushes_filters_and_prunes_columns() {
+    let s = session();
+    let df = s.sql("SELECT name FROM person WHERE age > 70").unwrap();
+    let text = df.explain().unwrap();
+    // Pruning should narrow the scan to name+age.
+    assert!(text.contains("projection="), "{text}");
+}
+
+#[test]
+fn is_null_and_boolean_literals() {
+    let s = session();
+    let out = s
+        .sql("SELECT count(*) FROM person WHERE name IS NOT NULL AND TRUE")
+        .unwrap()
+        .collect()
+        .unwrap();
+    assert_eq!(out.value_at(0, 0), Value::Int64(1000));
+}
+
+#[test]
+fn cast_in_sql() {
+    let s = session();
+    let out = s
+        .sql("SELECT CAST(id AS DOUBLE) / 4 AS q FROM person WHERE id = 1")
+        .unwrap()
+        .collect()
+        .unwrap();
+    assert_eq!(out.value_at(0, 0), Value::Float64(0.25));
+}
+
+#[test]
+fn distinct_deduplicates() {
+    let s = session();
+    let out = s.sql("SELECT DISTINCT city FROM person").unwrap().collect().unwrap();
+    assert_eq!(out.len(), 3);
+    let n = s
+        .sql("SELECT count(*) FROM (SELECT DISTINCT city, age FROM person) d")
+        .unwrap()
+        .collect()
+        .unwrap();
+    // city = i%3 is determined by age = 18 + i%60 (3 divides 60), so the
+    // distinct (city, age) pairs collapse to the 60 distinct ages.
+    assert_eq!(n.value_at(0, 0), Value::Int64(60));
+}
+
+#[test]
+fn in_list_predicate() {
+    let s = session();
+    let out = s
+        .sql("SELECT count(*) FROM person WHERE city IN ('ams', 'nyc')")
+        .unwrap()
+        .collect()
+        .unwrap();
+    let Value::Int64(n) = out.value_at(0, 0) else { panic!() };
+    assert_eq!(n, (0..1000).filter(|i| i % 3 != 1).count() as i64);
+    let none = s
+        .sql("SELECT count(*) FROM person WHERE id NOT IN (1, 2, 3)")
+        .unwrap()
+        .collect()
+        .unwrap();
+    assert_eq!(none.value_at(0, 0), Value::Int64(997));
+}
+
+#[test]
+fn like_patterns() {
+    let s = session();
+    // names are p0..p999; p1% matches p1, p1x, p1xx.
+    let out = s
+        .sql("SELECT count(*) FROM person WHERE name LIKE 'p1%'")
+        .unwrap()
+        .collect()
+        .unwrap();
+    assert_eq!(out.value_at(0, 0), Value::Int64(111));
+    let underscore = s
+        .sql("SELECT count(*) FROM person WHERE name LIKE 'p_'")
+        .unwrap()
+        .collect()
+        .unwrap();
+    assert_eq!(underscore.value_at(0, 0), Value::Int64(10));
+    let not_like = s
+        .sql("SELECT count(*) FROM person WHERE name NOT LIKE 'p%'")
+        .unwrap()
+        .collect()
+        .unwrap();
+    assert_eq!(not_like.value_at(0, 0), Value::Int64(0));
+}
+
+#[test]
+fn between_predicate() {
+    let s = session();
+    let out = s
+        .sql("SELECT count(*) FROM person WHERE id BETWEEN 10 AND 19")
+        .unwrap()
+        .collect()
+        .unwrap();
+    assert_eq!(out.value_at(0, 0), Value::Int64(10));
+    let out = s
+        .sql("SELECT count(*) FROM person WHERE id NOT BETWEEN 10 AND 989")
+        .unwrap()
+        .collect()
+        .unwrap();
+    assert_eq!(out.value_at(0, 0), Value::Int64(20));
+}
+
+#[test]
+fn scalar_functions() {
+    let s = session();
+    let out = s
+        .sql(
+            "SELECT upper(city) AS u, lower(name) AS l, length(name) AS n, \
+                    abs(id - 999) AS a, coalesce(name, 'x') AS c \
+             FROM person WHERE id = 1",
+        )
+        .unwrap()
+        .collect()
+        .unwrap();
+    assert_eq!(out.value_at(0, 0), Value::Utf8("SFO".into()));
+    assert_eq!(out.value_at(1, 0), Value::Utf8("p1".into()));
+    assert_eq!(out.value_at(2, 0), Value::Int64(2));
+    assert_eq!(out.value_at(3, 0), Value::Int64(998));
+    assert_eq!(out.value_at(4, 0), Value::Utf8("p1".into()));
+}
+
+#[test]
+fn scalar_function_type_errors() {
+    let s = session();
+    assert!(s.sql("SELECT upper(id) FROM person").is_err());
+    assert!(s.sql("SELECT abs(name) FROM person").is_err());
+    assert!(s.sql("SELECT length() FROM person").is_err());
+    assert!(s.sql("SELECT id IN ('x') FROM person").is_err(), "IN type mismatch");
+    assert!(s.sql("SELECT id LIKE 'x' FROM person").is_err(), "LIKE over int");
+}
+
+#[test]
+fn scalar_functions_in_predicates_and_groups() {
+    let s = session();
+    let out = s
+        .sql(
+            "SELECT upper(city) AS u, count(*) AS n FROM person \
+             WHERE length(name) >= 2 GROUP BY upper(city) ORDER BY u",
+        )
+        .unwrap()
+        .collect()
+        .unwrap();
+    assert_eq!(out.len(), 3);
+    assert_eq!(out.value_at(0, 0), Value::Utf8("AMS".into()));
+}
+
+#[test]
+fn explain_analyze_reports_operator_metrics() {
+    let s = session();
+    let report = s
+        .sql(
+            "SELECT city, count(*) AS n FROM person WHERE age > 30 \
+             GROUP BY city ORDER BY n DESC",
+        )
+        .unwrap()
+        .explain_analyze()
+        .unwrap();
+    assert!(report.contains("== Metrics"), "{report}");
+    assert!(report.contains("HashAggregate"), "{report}");
+    assert!(report.contains("SourceScan"), "{report}");
+    assert!(report.contains("Filter"), "{report}");
+}

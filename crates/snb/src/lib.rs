@@ -1,0 +1,22 @@
+//! # idf-snb — SNB-like workload for the Indexed DataFrame reproduction
+//!
+//! Deterministic social-network data generation (persons, power-law
+//! friendship edges, messages/replies, forums — modelled on the LDBC SNB
+//! Datagen tables the paper evaluates on), a Kafka-like update stream, and
+//! the seven *simple read* queries of the paper's Figure 3, written once
+//! and run against either a vanilla (cached columnar) or an indexed
+//! registration of the same data.
+
+#![deny(missing_docs)]
+
+pub mod gen;
+pub mod load;
+pub mod queries;
+pub mod stream;
+
+pub use gen::{generate, SnbConfig, SnbData};
+pub use load::{register, register_indexed, register_vanilla, IndexedTables, Mode};
+pub use queries::{query, uses_index, QueryParams};
+pub use stream::{UpdateEvent, UpdateStream};
+
+pub use queries::{cq1, cq2, cq3};

@@ -1,0 +1,269 @@
+//! The seven SNB *simple read* queries of the paper's Figure 3, written
+//! once against logical table names so the identical text runs on both the
+//! vanilla and the indexed registration (see [`crate::load`]).
+//!
+//! SQ1–SQ4 and SQ7 touch indexed access paths (point lookups on person,
+//! messages by creator, friends-of, message by id, replies-of) and are the
+//! queries the paper shows speeding up; SQ5 and SQ6 traverse the
+//! *unindexed* forum tables and "cannot make use of the index", matching
+//! the paper's observation for its Q5/Q6.
+
+use idf_engine::dataframe::DataFrame;
+use idf_engine::error::Result;
+use idf_engine::prelude::Session;
+
+/// Parameters for one short-read invocation.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryParams {
+    /// The person of interest (SQ1, SQ2, SQ3).
+    pub person_id: i64,
+    /// The message of interest (SQ4, SQ7).
+    pub message_id: i64,
+    /// The forum of interest (SQ5, SQ6).
+    pub forum_id: i64,
+}
+
+impl QueryParams {
+    /// Deterministic parameters derived from a sequence number, bounded by
+    /// the dataset maxima.
+    pub fn nth(i: u64, max_person: i64, max_message: i64, max_forum: i64) -> QueryParams {
+        let mix = idf_ctrie::hash::mix64(i);
+        QueryParams {
+            person_id: (mix % (max_person.max(1) as u64)) as i64,
+            message_id: (idf_ctrie::hash::mix64(mix) % (max_message.max(1) as u64)) as i64,
+            forum_id: (idf_ctrie::hash::mix64(mix ^ 0xf0) % (max_forum.max(1) as u64)) as i64,
+        }
+    }
+}
+
+/// SQ1 — person profile: everything about one person (LDBC IS1).
+pub fn sq1(session: &Session, p: &QueryParams) -> Result<DataFrame> {
+    session.sql(&format!(
+        "SELECT first_name, last_name, birthday, location_ip, browser_used, city_id, \
+                creation_date \
+         FROM person WHERE id = {}",
+        p.person_id
+    ))
+}
+
+/// SQ2 — recent messages of a person: last 10 by creation date (LDBC IS2).
+pub fn sq2(session: &Session, p: &QueryParams) -> Result<DataFrame> {
+    session.sql(&format!(
+        "SELECT id, content, creation_date FROM message_by_creator \
+         WHERE creator_id = {} \
+         ORDER BY creation_date DESC, id DESC LIMIT 10",
+        p.person_id
+    ))
+}
+
+/// SQ3 — friends of a person, most recent friendships first (LDBC IS3).
+pub fn sq3(session: &Session, p: &QueryParams) -> Result<DataFrame> {
+    session.sql(&format!(
+        "SELECT p.id, p.first_name, p.last_name, k.creation_date \
+         FROM knows k JOIN person p ON k.person2_id = p.id \
+         WHERE k.person1_id = {} \
+         ORDER BY k.creation_date DESC, p.id",
+        p.person_id
+    ))
+}
+
+/// SQ4 — content of a message (LDBC IS4).
+pub fn sq4(session: &Session, p: &QueryParams) -> Result<DataFrame> {
+    session.sql(&format!(
+        "SELECT creation_date, content FROM message WHERE id = {}",
+        p.message_id
+    ))
+}
+
+/// SQ5 — forum summary: moderator and activity of one forum. Touches only
+/// the unindexed forum access paths (forum scan + join on `forum_id`), so
+/// it runs identically in both modes — the paper's "Q5 cannot make use of
+/// the index".
+pub fn sq5(session: &Session, p: &QueryParams) -> Result<DataFrame> {
+    session.sql(&format!(
+        "SELECT f.title, f.moderator_id, count(*) AS messages \
+         FROM forum f JOIN message m ON m.forum_id = f.id \
+         WHERE f.id = {} \
+         GROUP BY f.title, f.moderator_id",
+        p.forum_id
+    ))
+}
+
+/// SQ6 — membership roll of one forum, newest members first. Unindexed
+/// (the paper's "Q6 cannot make use of the index").
+pub fn sq6(session: &Session, p: &QueryParams) -> Result<DataFrame> {
+    session.sql(&format!(
+        "SELECT hm.person_id, hm.join_date \
+         FROM forum_hasmember hm \
+         WHERE hm.forum_id = {} \
+         ORDER BY hm.join_date DESC, hm.person_id LIMIT 20",
+        p.forum_id
+    ))
+}
+
+/// SQ7 — replies to a message, with reply author info (LDBC IS7).
+pub fn sq7(session: &Session, p: &QueryParams) -> Result<DataFrame> {
+    session.sql(&format!(
+        "SELECT r.id, r.content, r.creation_date, p.id, p.first_name, p.last_name \
+         FROM message_by_reply r JOIN person p ON r.creator_id = p.id \
+         WHERE r.reply_of_id = {} \
+         ORDER BY r.creation_date DESC, r.id",
+        p.message_id
+    ))
+}
+
+/// All seven queries, by number (1-based).
+pub fn query(session: &Session, number: usize, p: &QueryParams) -> Result<DataFrame> {
+    match number {
+        1 => sq1(session, p),
+        2 => sq2(session, p),
+        3 => sq3(session, p),
+        4 => sq4(session, p),
+        5 => sq5(session, p),
+        6 => sq6(session, p),
+        7 => sq7(session, p),
+        other => Err(idf_engine::error::EngineError::plan(format!(
+            "SNB short reads are numbered 1–7, got {other}"
+        ))),
+    }
+}
+
+/// Whether the query is expected to benefit from the index deployment.
+pub fn uses_index(number: usize) -> bool {
+    !matches!(number, 5 | 6)
+}
+
+/// CQ1 — friends-of-friends (LDBC IC-style complex read): distinct
+/// profiles reachable in two hops, excluding the person themselves.
+/// Exercises *chained* indexed joins.
+pub fn cq1(session: &Session, p: &QueryParams) -> Result<DataFrame> {
+    session.sql(&format!(
+        "SELECT DISTINCT p2.id, p2.first_name, p2.last_name \
+         FROM knows k1 \
+         JOIN knows k2 ON k1.person2_id = k2.person1_id \
+         JOIN person p2 ON k2.person2_id = p2.id \
+         WHERE k1.person1_id = {id} AND k2.person2_id <> {id} \
+         ORDER BY p2.id LIMIT 50",
+        id = p.person_id
+    ))
+}
+
+/// CQ2 — recent messages of friends (LDBC IC9-style): the 20 newest
+/// messages created by direct friends.
+pub fn cq2(session: &Session, p: &QueryParams) -> Result<DataFrame> {
+    session.sql(&format!(
+        "SELECT m.id, m.creator_id, m.content, m.creation_date \
+         FROM knows k \
+         JOIN message_by_creator m ON m.creator_id = k.person2_id \
+         WHERE k.person1_id = {} \
+         ORDER BY m.creation_date DESC, m.id DESC LIMIT 20",
+        p.person_id
+    ))
+}
+
+/// CQ3 — browser usage among a person's friends (aggregation over an
+/// indexed traversal).
+pub fn cq3(session: &Session, p: &QueryParams) -> Result<DataFrame> {
+    session.sql(&format!(
+        "SELECT p2.browser_used, count(*) AS n \
+         FROM knows k JOIN person p2 ON k.person2_id = p2.id \
+         WHERE k.person1_id = {} \
+         GROUP BY p2.browser_used ORDER BY n DESC, p2.browser_used",
+        p.person_id
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, SnbConfig};
+    use crate::load::{register, Mode};
+
+    fn sessions() -> (Session, Session, crate::gen::SnbData) {
+        let data = generate(SnbConfig::with_scale(0.1)).unwrap();
+        let vanilla = Session::new();
+        register(&vanilla, &data, Mode::Vanilla).unwrap();
+        let indexed = Session::new();
+        register(&indexed, &data, Mode::Indexed).unwrap();
+        (vanilla, indexed, data)
+    }
+
+    #[test]
+    fn all_queries_agree_across_modes() {
+        let (vanilla, indexed, data) = sessions();
+        for i in 0..5u64 {
+            let p = QueryParams::nth(
+                i,
+                data.max_person_id,
+                data.max_message_id,
+                data.config.forums as i64,
+            );
+            for q in 1..=7 {
+                let a = query(&vanilla, q, &p).unwrap().collect().unwrap();
+                let b = query(&indexed, q, &p).unwrap().collect().unwrap();
+                // Ordered queries compare row-for-row; SQ1 has ≤1 row.
+                assert_eq!(
+                    a.to_rows(),
+                    b.to_rows(),
+                    "SQ{q} diverged for params {p:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn indexed_mode_uses_indexed_plans_where_expected() {
+        let (_, indexed, data) = sessions();
+        let p = QueryParams::nth(
+            1,
+            data.max_person_id,
+            data.max_message_id,
+            data.config.forums as i64,
+        );
+        for q in 1..=7 {
+            let plan = query(&indexed, q, &p).unwrap().explain().unwrap();
+            let physical = plan.split("== Physical ==").nth(1).unwrap().to_string();
+            let is_indexed =
+                physical.contains("IndexedJoin") || physical.contains("pushed=");
+            assert_eq!(
+                is_indexed,
+                uses_index(q),
+                "SQ{q} index usage mismatch:\n{plan}"
+            );
+        }
+    }
+
+    #[test]
+    fn sq2_returns_at_most_ten_ordered() {
+        let (vanilla, _, data) = sessions();
+        for i in 0..10u64 {
+            let p = QueryParams::nth(
+                i,
+                data.max_person_id,
+                data.max_message_id,
+                data.config.forums as i64,
+            );
+            let out = sq2(&vanilla, &p).unwrap().collect().unwrap();
+            assert!(out.len() <= 10);
+            for r in 1..out.len() {
+                assert!(out.value_at(2, r - 1) >= out.value_at(2, r));
+            }
+        }
+    }
+
+    #[test]
+    fn params_are_deterministic_and_bounded() {
+        let a = QueryParams::nth(5, 100, 1000, 10);
+        let b = QueryParams::nth(5, 100, 1000, 10);
+        assert_eq!(a.person_id, b.person_id);
+        assert!(a.person_id < 100 && a.message_id < 1000 && a.forum_id < 10);
+    }
+
+    #[test]
+    fn invalid_query_number_rejected() {
+        let (vanilla, _, _) = sessions();
+        let p = QueryParams { person_id: 0, message_id: 0, forum_id: 0 };
+        assert!(query(&vanilla, 0, &p).is_err());
+        assert!(query(&vanilla, 8, &p).is_err());
+    }
+}

@@ -1,0 +1,194 @@
+//! The update stream: a deterministic, timestamped event feed emulating
+//! the Kafka stream the paper's demo uses to mutate the graph ("the Apache
+//! Kafka engine to handle the constant updating stream that is mutating
+//! the graph").
+
+use idf_engine::error::Result;
+use idf_engine::types::Value;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::gen::{SnbData, DAY_MS, EPOCH_MS};
+
+/// One update event, as the row it inserts.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UpdateEvent {
+    /// A new person row.
+    AddPerson(Vec<Value>),
+    /// A new friendship (both directions).
+    AddKnows(Vec<Value>, Vec<Value>),
+    /// A new message row.
+    AddMessage(Vec<Value>),
+}
+
+impl UpdateEvent {
+    /// Event kind label.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            UpdateEvent::AddPerson(_) => "person",
+            UpdateEvent::AddKnows(..) => "knows",
+            UpdateEvent::AddMessage(_) => "message",
+        }
+    }
+}
+
+/// A deterministic stream of update events continuing a generated dataset.
+pub struct UpdateStream {
+    rng: StdRng,
+    next_person: i64,
+    next_message: i64,
+    clock: i64,
+    forums: i64,
+}
+
+impl UpdateStream {
+    /// A stream continuing after `data`'s id ranges.
+    pub fn new(data: &SnbData, seed: u64) -> Self {
+        UpdateStream {
+            rng: StdRng::seed_from_u64(seed),
+            next_person: data.max_person_id + 1,
+            next_message: data.max_message_id + 1,
+            clock: EPOCH_MS + 366 * DAY_MS,
+            forums: data.config.forums as i64,
+        }
+    }
+
+    /// Produce the next `n` events.
+    pub fn take_events(&mut self, n: usize) -> Vec<UpdateEvent> {
+        (0..n).map(|_| self.next_event()).collect()
+    }
+
+    /// Produce one event. Mix: 70% messages, 25% edges, 5% new persons —
+    /// messages dominate real feeds.
+    pub fn next_event(&mut self) -> UpdateEvent {
+        self.clock += self.rng.gen_range(1..2000);
+        let roll = self.rng.gen_range(0..100);
+        if roll < 5 {
+            let id = self.next_person;
+            self.next_person += 1;
+            UpdateEvent::AddPerson(vec![
+                Value::Int64(id),
+                Value::Utf8(format!("new{id}")),
+                Value::Utf8("Arrival".to_string()),
+                Value::Timestamp(EPOCH_MS - 25 * 365 * DAY_MS),
+                Value::Utf8("10.0.0.1".to_string()),
+                Value::Utf8("Chrome".to_string()),
+                Value::Int64(self.rng.gen_range(0..1000)),
+                Value::Timestamp(self.clock),
+            ])
+        } else if roll < 30 {
+            let p1 = self.rng.gen_range(0..self.next_person);
+            let p2 = (p1 + self.rng.gen_range(1..self.next_person.max(2)))
+                % self.next_person.max(1);
+            let ts = Value::Timestamp(self.clock);
+            UpdateEvent::AddKnows(
+                vec![Value::Int64(p1), Value::Int64(p2), ts.clone()],
+                vec![Value::Int64(p2), Value::Int64(p1), ts],
+            )
+        } else {
+            let id = self.next_message;
+            self.next_message += 1;
+            let creator = self.rng.gen_range(0..self.next_person);
+            let is_comment = self.rng.gen_bool(0.5) && id > 0;
+            let (forum, reply) = if is_comment {
+                (Value::Null, Value::Int64(self.rng.gen_range(0..id)))
+            } else {
+                (Value::Int64(self.rng.gen_range(0..self.forums.max(1))), Value::Null)
+            };
+            UpdateEvent::AddMessage(vec![
+                Value::Int64(id),
+                Value::Utf8(format!("live update {id}")),
+                Value::Int32(14),
+                Value::Timestamp(self.clock),
+                Value::Int64(creator),
+                forum,
+                reply,
+                Value::Utf8("Chrome".to_string()),
+            ])
+        }
+    }
+
+    /// Apply one event to the indexed tables (the demo's consumer side).
+    pub fn apply(event: &UpdateEvent, tables: &crate::load::IndexedTables) -> Result<()> {
+        match event {
+            UpdateEvent::AddPerson(row) => tables.person.append_row(row),
+            UpdateEvent::AddKnows(fwd, bwd) => {
+                tables.knows.append_row(fwd)?;
+                tables.knows.append_row(bwd)
+            }
+            UpdateEvent::AddMessage(row) => tables.append_message_row(row),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, SnbConfig};
+    use crate::load::{register_indexed, Mode};
+    use idf_engine::prelude::Session;
+
+    #[test]
+    fn stream_is_deterministic() {
+        let data = generate(SnbConfig::with_scale(0.05)).unwrap();
+        let a: Vec<_> = UpdateStream::new(&data, 1).take_events(100);
+        let b: Vec<_> = UpdateStream::new(&data, 1).take_events(100);
+        assert_eq!(a, b);
+        let c: Vec<_> = UpdateStream::new(&data, 2).take_events(100);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn ids_continue_from_dataset() {
+        let data = generate(SnbConfig::with_scale(0.05)).unwrap();
+        let mut s = UpdateStream::new(&data, 1);
+        for e in s.take_events(500) {
+            match e {
+                UpdateEvent::AddPerson(row) => {
+                    let Value::Int64(id) = row[0] else { panic!() };
+                    assert!(id > data.max_person_id);
+                }
+                UpdateEvent::AddMessage(row) => {
+                    let Value::Int64(id) = row[0] else { panic!() };
+                    assert!(id > data.max_message_id);
+                }
+                UpdateEvent::AddKnows(fwd, bwd) => {
+                    assert_eq!(fwd[0], bwd[1]);
+                    assert_eq!(fwd[1], bwd[0]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn events_apply_to_indexed_tables() {
+        let data = generate(SnbConfig::with_scale(0.05)).unwrap();
+        let session = Session::new();
+        let tables = register_indexed(&session, &data).unwrap();
+        let persons_before = tables.person.row_count();
+        let mut s = UpdateStream::new(&data, 3);
+        let events = s.take_events(300);
+        let mut new_messages = 0;
+        for e in &events {
+            UpdateStream::apply(e, &tables).unwrap();
+            if matches!(e, UpdateEvent::AddMessage(_)) {
+                new_messages += 1;
+            }
+        }
+        assert!(tables.person.row_count() >= persons_before);
+        // New messages are queryable through every message index.
+        if let Some(UpdateEvent::AddMessage(row)) =
+            events.iter().find(|e| matches!(e, UpdateEvent::AddMessage(_)))
+        {
+            let Value::Int64(id) = row[0] else { panic!() };
+            let out = session
+                .sql(&format!("SELECT content FROM message WHERE id = {id}"))
+                .unwrap()
+                .collect()
+                .unwrap();
+            assert_eq!(out.len(), 1);
+        }
+        assert!(new_messages > 0);
+        let _ = Mode::Indexed;
+    }
+}

@@ -1,0 +1,78 @@
+//! The complex-read queries must agree across modes and actually use
+//! chained indexed execution in indexed mode.
+
+use idf_engine::prelude::Session;
+use idf_snb::{cq1, cq2, cq3, generate, register, Mode, QueryParams, SnbConfig};
+
+fn sessions() -> (Session, Session, idf_snb::SnbData) {
+    let data = generate(SnbConfig::with_scale(0.1)).unwrap();
+    let vanilla = Session::new();
+    register(&vanilla, &data, Mode::Vanilla).unwrap();
+    let indexed = Session::new();
+    register(&indexed, &data, Mode::Indexed).unwrap();
+    (vanilla, indexed, data)
+}
+
+type QueryFn = fn(
+    &Session,
+    &QueryParams,
+) -> idf_engine::error::Result<idf_engine::dataframe::DataFrame>;
+
+const QUERIES: [(&str, QueryFn); 3] = [("cq1", cq1), ("cq2", cq2), ("cq3", cq3)];
+
+#[test]
+fn complex_reads_agree_across_modes() {
+    let (vanilla, indexed, data) = sessions();
+    for i in 0..4u64 {
+        let p = QueryParams::nth(
+            i,
+            data.max_person_id,
+            data.max_message_id,
+            data.config.forums as i64,
+        );
+        for (name, q) in QUERIES {
+            let a = q(&vanilla, &p).unwrap().collect().unwrap();
+            let b = q(&indexed, &p).unwrap().collect().unwrap();
+            assert_eq!(a.to_rows(), b.to_rows(), "{name} diverged for {p:?}");
+        }
+    }
+}
+
+#[test]
+fn complex_reads_use_indexed_joins() {
+    let (_, indexed, data) = sessions();
+    let p = QueryParams::nth(
+        2,
+        data.max_person_id,
+        data.max_message_id,
+        data.config.forums as i64,
+    );
+    for (name, q) in QUERIES {
+        let plan = q(&indexed, &p).unwrap().explain().unwrap();
+        assert!(
+            plan.contains("IndexedJoin") || plan.contains("pushed="),
+            "{name} should use the index:\n{plan}"
+        );
+    }
+}
+
+#[test]
+fn cq1_excludes_self() {
+    let (vanilla, _, data) = sessions();
+    for i in 0..3u64 {
+        let p = QueryParams::nth(
+            i,
+            data.max_person_id,
+            data.max_message_id,
+            data.config.forums as i64,
+        );
+        let out = cq1(&vanilla, &p).unwrap().collect().unwrap();
+        for r in 0..out.len() {
+            assert_ne!(
+                out.value_at(0, r),
+                idf_engine::types::Value::Int64(p.person_id),
+                "friends-of-friends must exclude the person"
+            );
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! SNB short reads, both modes side by side — a miniature of the paper's
+//! Figure 3 you can run in seconds.
+//!
+//! ```text
+//! cargo run --release --example snb_short_reads
+//! ```
+
+use std::time::Instant;
+
+use indexed_dataframe::engine::prelude::*;
+use indexed_dataframe::snb::{
+    generate, query, register, uses_index, Mode, QueryParams, SnbConfig,
+};
+
+fn main() -> Result<()> {
+    let scale = 1.0;
+    println!("generating SNB dataset at scale {scale}...");
+    let data = generate(SnbConfig::with_scale(scale))?;
+
+    let vanilla = Session::new();
+    register(&vanilla, &data, Mode::Vanilla)?;
+    let indexed = Session::new();
+    register(&indexed, &data, Mode::Indexed)?;
+    println!(
+        "loaded {} persons, {} knows edges, {} messages\n",
+        data.person.len(),
+        data.knows.len(),
+        data.message.len()
+    );
+
+    println!(
+        "{:<5} {:>14} {:>14} {:>9}  index used?",
+        "query", "indexed [µs]", "vanilla [µs]", "speedup"
+    );
+    for q in 1..=7usize {
+        let mut indexed_us = 0u128;
+        let mut vanilla_us = 0u128;
+        let mut rows = (0usize, 0usize);
+        for i in 0..10u64 {
+            let p = QueryParams::nth(
+                i,
+                data.max_person_id,
+                data.max_message_id,
+                data.config.forums as i64,
+            );
+            let df = query(&indexed, q, &p)?;
+            let t = Instant::now();
+            rows.0 += df.collect()?.len();
+            indexed_us += t.elapsed().as_micros();
+            let df = query(&vanilla, q, &p)?;
+            let t = Instant::now();
+            rows.1 += df.collect()?.len();
+            vanilla_us += t.elapsed().as_micros();
+        }
+        assert_eq!(rows.0, rows.1, "SQ{q} modes must agree");
+        println!(
+            "SQ{q:<4} {:>14} {:>14} {:>8.2}x  {}",
+            indexed_us / 10,
+            vanilla_us / 10,
+            vanilla_us as f64 / indexed_us as f64,
+            if uses_index(q) { "yes" } else { "no (forum path)" }
+        );
+    }
+
+    println!("\nexample plan for SQ3 (indexed mode):");
+    let p = QueryParams::nth(0, data.max_person_id, data.max_message_id, 1);
+    println!("{}", query(&indexed, 3, &p)?.explain()?);
+    Ok(())
+}

