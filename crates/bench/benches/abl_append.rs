@@ -34,7 +34,10 @@ fn bench_append(c: &mut Criterion) {
                 let table = IndexedTable::new(
                     Arc::clone(&schema),
                     0,
-                    IndexConfig { num_partitions: 4, ..Default::default() },
+                    IndexConfig {
+                        num_partitions: 4,
+                        ..Default::default()
+                    },
                 )
                 .expect("table");
                 b.iter(|| table.append_chunk(update).expect("append"));
@@ -43,7 +46,6 @@ fn bench_append(c: &mut Criterion) {
     }
     group.finish();
 }
-
 
 /// Short measurement windows so `cargo bench --workspace` stays tractable
 /// on small machines; raise for more precision.

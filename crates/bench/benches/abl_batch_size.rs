@@ -30,25 +30,23 @@ fn bench_batch_size(c: &mut Criterion) {
     let mut group = c.benchmark_group("abl_batch_size");
     group.sample_size(10);
     for &batch_size in &[64 << 10, 256 << 10, 1 << 20, 4 << 20] {
-        let cfg = IndexConfig { batch_size, num_partitions: 4, ..Default::default() };
+        let cfg = IndexConfig {
+            batch_size,
+            num_partitions: 4,
+            ..Default::default()
+        };
         group.bench_with_input(
             BenchmarkId::new("build", format!("{}KiB", batch_size >> 10)),
             &cfg,
             |b, cfg| {
                 b.iter(|| {
-                    IndexedTable::from_chunk(
-                        Arc::clone(&schema),
-                        0,
-                        cfg.clone(),
-                        &chunk,
-                    )
-                    .expect("build")
+                    IndexedTable::from_chunk(Arc::clone(&schema), 0, cfg.clone(), &chunk)
+                        .expect("build")
                 })
             },
         );
         let table =
-            IndexedTable::from_chunk(Arc::clone(&schema), 0, cfg.clone(), &chunk)
-                .expect("build");
+            IndexedTable::from_chunk(Arc::clone(&schema), 0, cfg.clone(), &chunk).expect("build");
         group.bench_with_input(
             BenchmarkId::new("lookup", format!("{}KiB", batch_size >> 10)),
             &table,
@@ -63,7 +61,6 @@ fn bench_batch_size(c: &mut Criterion) {
     }
     group.finish();
 }
-
 
 /// Short measurement windows so `cargo bench --workspace` stays tractable
 /// on small machines; raise for more precision.

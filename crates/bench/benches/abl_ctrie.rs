@@ -146,7 +146,6 @@ fn bench_concurrent(c: &mut Criterion) {
     group.finish();
 }
 
-
 /// Short measurement windows so `cargo bench --workspace` stays tractable
 /// on small machines; raise for more precision.
 fn quick() -> Criterion {

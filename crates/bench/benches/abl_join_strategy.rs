@@ -69,16 +69,13 @@ fn bench_join_strategy(c: &mut Criterion) {
             let session = session_with_threshold(threshold);
             let (indexed, probe) = setup(&session, BUILD_ROWS, probe_rows);
             let joined = indexed.join(&probe, "id", "fk").expect("plan join");
-            group.bench_with_input(
-                BenchmarkId::new(strategy, probe_rows),
-                &joined,
-                |b, df| b.iter(|| df.count().expect("join run")),
-            );
+            group.bench_with_input(BenchmarkId::new(strategy, probe_rows), &joined, |b, df| {
+                b.iter(|| df.count().expect("join run"))
+            });
         }
     }
     group.finish();
 }
-
 
 /// Short measurement windows so `cargo bench --workspace` stays tractable
 /// on small machines; raise for more precision.

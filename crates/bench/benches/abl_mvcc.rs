@@ -27,10 +27,7 @@ fn table(rows: i64) -> Arc<IndexedTable> {
             .collect::<Vec<_>>(),
     )
     .expect("chunk");
-    Arc::new(
-        IndexedTable::from_chunk(schema, 0, IndexConfig::default(), &chunk)
-            .expect("table"),
-    )
+    Arc::new(IndexedTable::from_chunk(schema, 0, IndexConfig::default(), &chunk).expect("table"))
 }
 
 fn bench_mvcc(c: &mut Criterion) {
@@ -59,16 +56,19 @@ fn bench_mvcc(c: &mut Criterion) {
             std::thread::spawn(move || {
                 let mut i = 0i64;
                 while !stop.load(Ordering::Relaxed) {
-                    t.append_row(&[
-                        Value::Int64(i % 10_000),
-                        Value::Utf8(format!("live{i}")),
-                    ])
-                    .expect("append");
+                    t.append_row(&[Value::Int64(i % 10_000), Value::Utf8(format!("live{i}"))])
+                        .expect("append");
                     i += 1;
                 }
                 i
             })
         };
+        // Wait for the stream to actually start before measuring — in
+        // `--test` smoke mode the single iteration can finish before the
+        // writer thread gets scheduled at all.
+        while t.row_count() == 100_000 {
+            std::thread::yield_now();
+        }
         let mut k = 0i64;
         group.bench_function("lookup_under_appends", |b| {
             b.iter(|| {
@@ -84,14 +84,11 @@ fn bench_mvcc(c: &mut Criterion) {
     // Snapshot acquisition cost (the per-query MVCC overhead).
     {
         let t = table(100_000);
-        group.bench_function("snapshot_acquisition", |b| {
-            b.iter(|| t.snapshot())
-        });
+        group.bench_function("snapshot_acquisition", |b| b.iter(|| t.snapshot()));
     }
 
     group.finish();
 }
-
 
 /// Short measurement windows so `cargo bench --workspace` stays tractable
 /// on small machines; raise for more precision.

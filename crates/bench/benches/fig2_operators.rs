@@ -16,20 +16,15 @@ fn bench_fig2(c: &mut Criterion) {
     for (label, sql) in operator_queries(key, cutoff) {
         let indexed = w.indexed.sql(&sql).expect("plan indexed");
         let vanilla = w.vanilla.sql(&sql).expect("plan vanilla");
-        group.bench_with_input(
-            BenchmarkId::new(label, "indexed"),
-            &indexed,
-            |b, df| b.iter(|| df.collect().expect("indexed run")),
-        );
-        group.bench_with_input(
-            BenchmarkId::new(label, "vanilla"),
-            &vanilla,
-            |b, df| b.iter(|| df.collect().expect("vanilla run")),
-        );
+        group.bench_with_input(BenchmarkId::new(label, "indexed"), &indexed, |b, df| {
+            b.iter(|| df.collect().expect("indexed run"))
+        });
+        group.bench_with_input(BenchmarkId::new(label, "vanilla"), &vanilla, |b, df| {
+            b.iter(|| df.collect().expect("vanilla run"))
+        });
     }
     group.finish();
 }
-
 
 /// Short measurement windows so `cargo bench --workspace` stays tractable
 /// on small machines; raise for more precision.

@@ -15,10 +15,14 @@ fn bench_fig3(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig3");
     group.sample_size(10);
     for q in 1..=7usize {
-        let indexed: Vec<_> =
-            bindings.iter().map(|p| query(&w.indexed, q, p).expect("plan")).collect();
-        let vanilla: Vec<_> =
-            bindings.iter().map(|p| query(&w.vanilla, q, p).expect("plan")).collect();
+        let indexed: Vec<_> = bindings
+            .iter()
+            .map(|p| query(&w.indexed, q, p).expect("plan"))
+            .collect();
+        let vanilla: Vec<_> = bindings
+            .iter()
+            .map(|p| query(&w.vanilla, q, p).expect("plan"))
+            .collect();
         group.bench_with_input(
             BenchmarkId::new(format!("SQ{q}"), "indexed"),
             &indexed,
@@ -44,7 +48,6 @@ fn bench_fig3(c: &mut Criterion) {
     }
     group.finish();
 }
-
 
 /// Short measurement windows so `cargo bench --workspace` stays tractable
 /// on small machines; raise for more precision.

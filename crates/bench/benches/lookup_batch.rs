@@ -1,0 +1,77 @@
+//! **BENCH-lookup (criterion)** — batched multi-key probes versus a loop
+//! of single-key `get_rows` on a 1 M-row indexed table, plus the raw
+//! single-key probe for the latency baseline. The batched path dedups the
+//! key set, groups keys by hash partition, and probes partitions in
+//! parallel against one snapshot — the win grows with batch size.
+//!
+//! Run: `cargo bench -p idf-bench --bench lookup_batch`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use idf_bench::lookup::build_table;
+use idf_engine::types::Value;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// 250 k keys × 4 versions = 1 M rows.
+const N_KEYS: usize = 250_000;
+const VERSIONS: usize = 4;
+
+fn bench_single_key(c: &mut Criterion) {
+    let idf = build_table(N_KEYS, VERSIONS).expect("build");
+    let mut group = c.benchmark_group("lookup_single");
+    group.sample_size(10);
+    let mut k = 0i64;
+    group.bench_function("get_rows", |b| {
+        b.iter(|| {
+            k = (k + 7919) % N_KEYS as i64;
+            idf.get_rows_chunk(k).expect("probe")
+        })
+    });
+    group.finish();
+}
+
+fn bench_batch_vs_loop(c: &mut Criterion) {
+    let idf = build_table(N_KEYS, VERSIONS).expect("build");
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut group = c.benchmark_group("lookup_batch_vs_loop");
+    group.sample_size(10);
+    for batch in [64usize, 1024] {
+        let keys: Vec<Value> = (0..batch)
+            .map(|_| Value::Int64(rng.gen_range(0..N_KEYS as i64)))
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("get_rows_batch", batch),
+            &keys,
+            |b, keys| b.iter(|| idf.get_rows_chunk_batch(keys).expect("batch")),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("looped_get_rows", batch),
+            &keys,
+            |b, keys| {
+                b.iter(|| {
+                    let mut rows = 0usize;
+                    for key in keys {
+                        rows += idf.get_rows_chunk(key.clone()).expect("probe").len();
+                    }
+                    rows
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Short measurement windows so `cargo bench --workspace` stays tractable
+/// on small machines; raise for more precision.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_single_key, bench_batch_vs_loop
+}
+criterion_main!(benches);

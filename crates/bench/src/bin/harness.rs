@@ -7,13 +7,14 @@
 //! harness complex [--scale S] [--runs N]     CQ1-CQ3 complex reads (supplementary)
 //! harness speedup [--runs N]                 §5 "up to 8×" scale sweep
 //! harness memory  [--scale S]                ABL-MEM memory overhead
+//! harness lookup  [--scale S]                BENCH-lookup point-lookup path (writes BENCH_lookup.json)
 //! harness all     [--scale S] [--runs N]     everything above
 //! ```
 //!
 //! Use `--release` for meaningful numbers.
 
-use idf_bench::{fig2, fig3, memory, render_comparisons, speedup};
 use idf_bench::workload::Workload;
+use idf_bench::{fig2, fig3, lookup, memory, render_comparisons, speedup};
 
 struct Args {
     command: String,
@@ -23,7 +24,12 @@ struct Args {
 }
 
 fn parse_args() -> Args {
-    let mut args = Args { command: "all".to_string(), scale: 2.0, runs: 5, json: false };
+    let mut args = Args {
+        command: "all".to_string(),
+        scale: 2.0,
+        runs: 5,
+        json: false,
+    };
     let mut it = std::env::args().skip(1);
     if let Some(cmd) = it.next() {
         args.command = cmd;
@@ -51,7 +57,7 @@ fn parse_args() -> Args {
 
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
-    eprintln!("usage: harness [fig2|fig3|complex|speedup|memory|all] [--scale S] [--runs N] [--json]");
+    eprintln!("usage: harness [fig2|fig3|complex|speedup|memory|lookup|all] [--scale S] [--runs N] [--json]");
     std::process::exit(2);
 }
 
@@ -70,7 +76,7 @@ fn main() {
                 let w = Workload::new(args.scale)?;
                 let rows = fig2::run(&w, args.runs)?;
                 if args.json {
-                    println!("{}", serde_json::to_string_pretty(&rows).expect("json"));
+                    println!("{}", idf_bench::json::to_string_pretty(&rows));
                 } else {
                     println!(
                         "{}",
@@ -94,7 +100,7 @@ fn main() {
                 let w = Workload::new(args.scale)?;
                 let rows = fig3::run(&w, args.runs, 8)?;
                 if args.json {
-                    println!("{}", serde_json::to_string_pretty(&rows).expect("json"));
+                    println!("{}", idf_bench::json::to_string_pretty(&rows));
                 } else {
                     println!(
                         "{}",
@@ -117,7 +123,7 @@ fn main() {
                 let w = Workload::new(args.scale)?;
                 let rows = fig3::run_complex(&w, args.runs, 8)?;
                 if args.json {
-                    println!("{}", serde_json::to_string_pretty(&rows).expect("json"));
+                    println!("{}", idf_bench::json::to_string_pretty(&rows));
                 } else {
                     println!(
                         "{}",
@@ -136,15 +142,32 @@ fn main() {
                 let scales = [0.5, 1.0, 2.0, 4.0, 8.0];
                 let points = speedup::run(&scales, args.runs)?;
                 if args.json {
-                    println!("{}", serde_json::to_string_pretty(&points).expect("json"));
+                    println!("{}", idf_bench::json::to_string_pretty(&points));
                 } else {
                     println!("{}", speedup::render(&points));
+                }
+            }
+            "lookup" => {
+                eprintln!(
+                    "# BENCH-lookup: building {} rows...",
+                    ((args.scale * 125_000.0) as usize).max(1_000) * 4
+                );
+                let report = lookup::run(&lookup::LookupConfig::for_scale(args.scale))?;
+                let json = idf_bench::json::to_string_pretty(&report);
+                std::fs::write("BENCH_lookup.json", format!("{json}\n")).map_err(|e| {
+                    idf_engine::error::EngineError::exec(format!("writing BENCH_lookup.json: {e}"))
+                })?;
+                eprintln!("# wrote BENCH_lookup.json");
+                if args.json {
+                    println!("{json}");
+                } else {
+                    println!("{}", lookup::render(&report));
                 }
             }
             "memory" => {
                 let rows = memory::run(args.scale)?;
                 if args.json {
-                    println!("{}", serde_json::to_string_pretty(&rows).expect("json"));
+                    println!("{}", idf_bench::json::to_string_pretty(&rows));
                 } else {
                     println!("{}", memory::render(&rows));
                 }
@@ -154,7 +177,7 @@ fn main() {
         Ok(())
     };
     let commands: Vec<String> = match args.command.as_str() {
-        "all" => ["fig2", "fig3", "complex", "speedup", "memory"]
+        "all" => ["fig2", "fig3", "complex", "speedup", "memory", "lookup"]
             .into_iter()
             .map(String::from)
             .collect(),

@@ -42,10 +42,8 @@ pub fn run(w: &Workload, runs: usize, param_count: usize) -> Result<Vec<Comparis
             .iter()
             .map(|p| query(&w.vanilla, q, p))
             .collect::<Result<_>>()?;
-        let rows_indexed: usize =
-            indexed.iter().map(|df| df.count()).sum::<Result<usize>>()?;
-        let rows_vanilla: usize =
-            vanilla.iter().map(|df| df.count()).sum::<Result<usize>>()?;
+        let rows_indexed: usize = indexed.iter().map(|df| df.count()).sum::<Result<usize>>()?;
+        let rows_vanilla: usize = vanilla.iter().map(|df| df.count()).sum::<Result<usize>>()?;
         assert_eq!(rows_indexed, rows_vanilla, "SQ{q} diverged");
         let indexed_ms = median_ms(runs, || {
             for df in &indexed {
@@ -73,22 +71,22 @@ pub fn run(w: &Workload, runs: usize, param_count: usize) -> Result<Vec<Comparis
 /// `harness complex` as supplementary evidence.
 pub fn run_complex(w: &Workload, runs: usize, param_count: usize) -> Result<Vec<Comparison>> {
     use idf_snb::{cq1, cq2, cq3};
-    type QueryFn = fn(
-        &idf_engine::prelude::Session,
-        &QueryParams,
-    ) -> Result<idf_engine::dataframe::DataFrame>;
+    type QueryFn =
+        fn(&idf_engine::prelude::Session, &QueryParams) -> Result<idf_engine::dataframe::DataFrame>;
     let queries: [(&str, QueryFn); 3] = [("CQ1", cq1), ("CQ2", cq2), ("CQ3", cq3)];
     let bindings = params(w, param_count);
     let mut out = Vec::new();
     for (label, q) in queries {
-        let indexed: Vec<_> =
-            bindings.iter().map(|p| q(&w.indexed, p)).collect::<Result<_>>()?;
-        let vanilla: Vec<_> =
-            bindings.iter().map(|p| q(&w.vanilla, p)).collect::<Result<_>>()?;
-        let rows_indexed: usize =
-            indexed.iter().map(|df| df.count()).sum::<Result<usize>>()?;
-        let rows_vanilla: usize =
-            vanilla.iter().map(|df| df.count()).sum::<Result<usize>>()?;
+        let indexed: Vec<_> = bindings
+            .iter()
+            .map(|p| q(&w.indexed, p))
+            .collect::<Result<_>>()?;
+        let vanilla: Vec<_> = bindings
+            .iter()
+            .map(|p| q(&w.vanilla, p))
+            .collect::<Result<_>>()?;
+        let rows_indexed: usize = indexed.iter().map(|df| df.count()).sum::<Result<usize>>()?;
+        let rows_vanilla: usize = vanilla.iter().map(|df| df.count()).sum::<Result<usize>>()?;
         assert_eq!(rows_indexed, rows_vanilla, "{label} diverged");
         let indexed_ms = median_ms(runs, || {
             for df in &indexed {

@@ -1,0 +1,165 @@
+//! Minimal JSON emission for harness output.
+//!
+//! The offline build environment has no `serde`/`serde_json`, and the
+//! harness only ever *writes* JSON (never parses), so a small value tree
+//! plus a pretty printer covers the whole need.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Integral number.
+    Int(i64),
+    /// Floating number (non-finite values render as `null`).
+    Num(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object with insertion-ordered fields.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An object builder from `(name, value)` pairs.
+    pub fn obj(fields: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Pretty-print with two-space indentation (the shape
+    /// `serde_json::to_string_pretty` produced before the offline port).
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent);
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::Num(n) => {
+                if n.is_finite() {
+                    let _ = write!(out, "{n}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    let _ = write!(out, "{pad}  ");
+                    item.write(out, indent + 1);
+                    out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+                }
+                let _ = write!(out, "{pad}]");
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    let _ = write!(out, "{pad}  ");
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                    out.push_str(if i + 1 < fields.len() { ",\n" } else { "\n" });
+                }
+                let _ = write!(out, "{pad}}}");
+            }
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Conversion into a [`Json`] tree (the harness's `Serialize` analogue).
+pub trait ToJson {
+    /// Build the JSON value for `self`.
+    fn to_json(&self) -> Json;
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+/// Pretty-printed JSON for any [`ToJson`] value.
+pub fn to_string_pretty<T: ToJson + ?Sized>(v: &T) -> String {
+    v.to_json().pretty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_and_nests() {
+        let j = Json::obj([
+            ("s", Json::Str("a\"b\\c\nd".into())),
+            ("n", Json::Num(1.5)),
+            ("i", Json::Int(-3)),
+            ("bad", Json::Num(f64::NAN)),
+            ("arr", Json::Arr(vec![Json::Bool(true), Json::Null])),
+            ("empty", Json::Obj(vec![])),
+        ]);
+        let s = j.pretty();
+        assert!(s.contains("\"a\\\"b\\\\c\\nd\""));
+        assert!(s.contains("\"bad\": null"));
+        assert!(s.contains("\"empty\": {}"));
+        assert!(s.starts_with("{\n"));
+        assert!(s.ends_with('}'));
+    }
+
+    #[test]
+    fn arrays_indent() {
+        let j = Json::Arr(vec![Json::obj([("x", Json::Int(1))])]);
+        assert_eq!(j.pretty(), "[\n  {\n    \"x\": 1\n  }\n]");
+    }
+}

@@ -5,6 +5,8 @@
 //! * [`fig2`] — Figure 2: SQL operators, Indexed DataFrame vs vanilla.
 //! * [`fig3`] — Figure 3: SNB simple reads SQ1–SQ7, both modes.
 //! * [`speedup`] — the §5 "up to 8× speed-ups" claim, swept over scale.
+//! * [`lookup`] — BENCH-lookup: the point-lookup hot path (single-key
+//!   p50/p99, batched probe throughput, lookup-under-append).
 //! * [`memory`] — ABL-MEM: memory overhead of the indexed representation.
 //! * [`workload`] — shared setup: datasets, dual-mode sessions, timing.
 //!
@@ -15,6 +17,8 @@
 
 pub mod fig2;
 pub mod fig3;
+pub mod json;
+pub mod lookup;
 pub mod memory;
 pub mod speedup;
 pub mod workload;
@@ -37,7 +41,7 @@ pub fn median_ms<T>(runs: usize, mut f: impl FnMut() -> T) -> f64 {
 }
 
 /// A labelled (indexed vs vanilla) measurement.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct Comparison {
     /// Workload label (operator or query name).
     pub label: String,
@@ -53,6 +57,17 @@ impl Comparison {
     /// vanilla / indexed (>1 ⇒ the index wins).
     pub fn speedup(&self) -> f64 {
         self.vanilla_ms / self.indexed_ms
+    }
+}
+
+impl json::ToJson for Comparison {
+    fn to_json(&self) -> json::Json {
+        json::Json::obj([
+            ("label", json::Json::Str(self.label.clone())),
+            ("indexed_ms", json::Json::Num(self.indexed_ms)),
+            ("vanilla_ms", json::Json::Num(self.vanilla_ms)),
+            ("rows", json::Json::Int(self.rows as i64)),
+        ])
     }
 }
 
@@ -77,7 +92,10 @@ pub fn render_comparisons(title: &str, rows: &[Comparison]) -> String {
             ]
         })
         .collect();
-    format!("== {title} ==\n{}", idf_engine::pretty::format_table(&headers, &body))
+    format!(
+        "== {title} ==\n{}",
+        idf_engine::pretty::format_table(&headers, &body)
+    )
 }
 
 #[cfg(test)]

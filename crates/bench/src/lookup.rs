@@ -1,0 +1,307 @@
+//! **BENCH-lookup** — the point-lookup hot path: single-key `getRows`
+//! latency (p50/p99), batched multi-key probe throughput versus a loop of
+//! single-key probes, and lookup latency while an append storm is running.
+//!
+//! This is the microbenchmark behind the paper's core latency pitch
+//! (*"low-latency access to individual rows"*): the numbers land in
+//! `BENCH_lookup.json` via `harness lookup`.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use idf_core::prelude::*;
+use idf_engine::chunk::Chunk;
+use idf_engine::error::Result;
+use idf_engine::prelude::Session;
+use idf_engine::schema::{Field, Schema};
+use idf_engine::types::{DataType, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Workload shape for one lookup benchmark run.
+#[derive(Debug, Clone)]
+pub struct LookupConfig {
+    /// Distinct keys in the table.
+    pub n_keys: usize,
+    /// Versions (chained appends) per key; total rows = keys × versions.
+    pub versions: usize,
+    /// Single-key probes for the latency histogram.
+    pub single_probes: usize,
+    /// Keys per batched probe.
+    pub batch_size: usize,
+    /// Batched probes (and loops) per throughput measurement.
+    pub batches: usize,
+    /// Single-key probes measured while the append storm runs.
+    pub storm_probes: usize,
+}
+
+impl LookupConfig {
+    /// The harness shape: `scale 2.0` ⇒ 250 k keys × 4 versions = 1 M rows.
+    pub fn for_scale(scale: f64) -> LookupConfig {
+        LookupConfig {
+            n_keys: ((scale * 125_000.0) as usize).max(1_000),
+            versions: 4,
+            single_probes: 20_000,
+            batch_size: 1_024,
+            batches: 16,
+            storm_probes: 10_000,
+        }
+    }
+}
+
+/// Results of one lookup benchmark run (the `BENCH_lookup.json` payload).
+#[derive(Debug, Clone)]
+pub struct LookupReport {
+    /// Total rows stored.
+    pub rows: usize,
+    /// Distinct keys.
+    pub keys: usize,
+    /// Versions per key.
+    pub versions: usize,
+    /// Quiescent single-key `getRows` median latency (µs).
+    pub single_p50_us: f64,
+    /// Quiescent single-key `getRows` 99th-percentile latency (µs).
+    pub single_p99_us: f64,
+    /// Keys per batched probe.
+    pub batch_size: usize,
+    /// `get_rows_batch` throughput (keys/s).
+    pub batch_keys_per_sec: f64,
+    /// Looped single-key `get_rows` throughput (keys/s).
+    pub looped_keys_per_sec: f64,
+    /// Single-key p50 while appends stream in (µs).
+    pub storm_p50_us: f64,
+    /// Single-key p99 while appends stream in (µs).
+    pub storm_p99_us: f64,
+    /// Rows the storm writer appended while probes ran.
+    pub storm_appends: usize,
+}
+
+impl LookupReport {
+    /// batched / looped throughput (>1 ⇒ batching wins).
+    pub fn batch_speedup(&self) -> f64 {
+        self.batch_keys_per_sec / self.looped_keys_per_sec.max(f64::MIN_POSITIVE)
+    }
+}
+
+impl crate::json::ToJson for LookupReport {
+    fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        Json::obj([
+            ("rows", Json::Int(self.rows as i64)),
+            ("keys", Json::Int(self.keys as i64)),
+            ("versions", Json::Int(self.versions as i64)),
+            ("single_p50_us", Json::Num(self.single_p50_us)),
+            ("single_p99_us", Json::Num(self.single_p99_us)),
+            ("batch_size", Json::Int(self.batch_size as i64)),
+            ("batch_keys_per_sec", Json::Num(self.batch_keys_per_sec)),
+            ("looped_keys_per_sec", Json::Num(self.looped_keys_per_sec)),
+            ("batch_speedup", Json::Num(self.batch_speedup())),
+            ("storm_p50_us", Json::Num(self.storm_p50_us)),
+            ("storm_p99_us", Json::Num(self.storm_p99_us)),
+            ("storm_appends", Json::Int(self.storm_appends as i64)),
+        ])
+    }
+}
+
+/// The benchmark table schema: `(k Int64, v Int64)` indexed on `k`.
+pub fn build_table(n_keys: usize, versions: usize) -> Result<IndexedDataFrame> {
+    let schema = Arc::new(Schema::new(vec![
+        Field::new("k", DataType::Int64),
+        Field::new("v", DataType::Int64),
+    ]));
+    let rows: Vec<Vec<Value>> = (0..versions as i64)
+        .flat_map(|ver| {
+            (0..n_keys as i64)
+                .map(move |k| vec![Value::Int64(k), Value::Int64(ver * n_keys as i64 + k)])
+        })
+        .collect();
+    let chunk = Chunk::from_rows(&schema, &rows)?;
+    let table = Arc::new(IndexedTable::from_chunk(
+        schema,
+        0,
+        IndexConfig::default(),
+        &chunk,
+    )?);
+    Ok(IndexedDataFrame::from_table(Session::new(), table))
+}
+
+fn percentile_us(sorted_ns: &[u64], p: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0) * (sorted_ns.len() - 1) as f64).round() as usize;
+    sorted_ns[idx.min(sorted_ns.len() - 1)] as f64 / 1e3
+}
+
+/// Per-probe single-key latencies (ns, sorted ascending).
+fn probe_latencies(
+    idf: &IndexedDataFrame,
+    n_keys: usize,
+    probes: usize,
+    rng: &mut StdRng,
+) -> Result<Vec<u64>> {
+    let mut ns = Vec::with_capacity(probes);
+    for _ in 0..probes {
+        let key = Value::Int64(rng.gen_range(0..n_keys as i64));
+        let start = Instant::now();
+        let chunk = idf.get_rows_chunk(key)?;
+        ns.push(start.elapsed().as_nanos() as u64);
+        assert!(!chunk.is_empty(), "probe missed a resident key");
+    }
+    ns.sort_unstable();
+    Ok(ns)
+}
+
+/// Run the full lookup benchmark.
+pub fn run(cfg: &LookupConfig) -> Result<LookupReport> {
+    let idf = build_table(cfg.n_keys, cfg.versions)?;
+    let mut rng = StdRng::seed_from_u64(0x1df_b00c);
+
+    // Warm up, then the quiescent latency histogram.
+    let _ = probe_latencies(&idf, cfg.n_keys, cfg.single_probes / 10 + 1, &mut rng)?;
+    let single = probe_latencies(&idf, cfg.n_keys, cfg.single_probes, &mut rng)?;
+
+    // Batched vs looped throughput over identical key sets.
+    let key_sets: Vec<Vec<Value>> = (0..cfg.batches)
+        .map(|_| {
+            (0..cfg.batch_size)
+                .map(|_| Value::Int64(rng.gen_range(0..cfg.n_keys as i64)))
+                .collect()
+        })
+        .collect();
+    let total_keys = (cfg.batches * cfg.batch_size) as f64;
+    let start = Instant::now();
+    for keys in &key_sets {
+        let chunk = idf.get_rows_chunk_batch(keys)?;
+        assert!(!chunk.is_empty());
+    }
+    let batch_keys_per_sec = total_keys / start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    for keys in &key_sets {
+        for key in keys {
+            let chunk = idf.get_rows_chunk(key.clone())?;
+            assert!(!chunk.is_empty());
+        }
+    }
+    let looped_keys_per_sec = total_keys / start.elapsed().as_secs_f64();
+
+    // Lookup latency during an append storm.
+    let stop = AtomicBool::new(false);
+    let appended = AtomicUsize::new(0);
+    let mut storm = Vec::new();
+    std::thread::scope(|s| -> Result<()> {
+        let writer = s.spawn(|| -> Result<()> {
+            let mut w = 0i64;
+            while !stop.load(Ordering::Relaxed) {
+                let key = (w as usize % cfg.n_keys) as i64;
+                idf.append_row(&[Value::Int64(key), Value::Int64(w)])?;
+                appended.fetch_add(1, Ordering::Relaxed);
+                w += 1;
+            }
+            Ok(())
+        });
+        let probed = probe_latencies(&idf, cfg.n_keys, cfg.storm_probes, &mut rng);
+        stop.store(true, Ordering::Relaxed);
+        writer.join().expect("storm writer panicked")?;
+        storm = probed?;
+        Ok(())
+    })?;
+
+    Ok(LookupReport {
+        rows: cfg.n_keys * cfg.versions,
+        keys: cfg.n_keys,
+        versions: cfg.versions,
+        single_p50_us: percentile_us(&single, 50.0),
+        single_p99_us: percentile_us(&single, 99.0),
+        batch_size: cfg.batch_size,
+        batch_keys_per_sec,
+        looped_keys_per_sec,
+        storm_p50_us: percentile_us(&storm, 50.0),
+        storm_p99_us: percentile_us(&storm, 99.0),
+        storm_appends: appended.load(Ordering::Relaxed),
+    })
+}
+
+/// Render as the harness table.
+pub fn render(r: &LookupReport) -> String {
+    let headers = vec!["metric".to_string(), "value".to_string()];
+    let body = vec![
+        vec![
+            "rows (keys × versions)".into(),
+            format!("{} ({} × {})", r.rows, r.keys, r.versions),
+        ],
+        vec![
+            "single-key p50 [µs]".into(),
+            format!("{:.2}", r.single_p50_us),
+        ],
+        vec![
+            "single-key p99 [µs]".into(),
+            format!("{:.2}", r.single_p99_us),
+        ],
+        vec![
+            format!("batched ({} keys) [keys/s]", r.batch_size),
+            format!("{:.0}", r.batch_keys_per_sec),
+        ],
+        vec![
+            "looped single-key [keys/s]".into(),
+            format!("{:.0}", r.looped_keys_per_sec),
+        ],
+        vec!["batch speedup".into(), format!("{:.2}x", r.batch_speedup())],
+        vec![
+            "under-append p50 [µs]".into(),
+            format!("{:.2}", r.storm_p50_us),
+        ],
+        vec![
+            "under-append p99 [µs]".into(),
+            format!("{:.2}", r.storm_p99_us),
+        ],
+        vec![
+            "rows appended during storm".into(),
+            r.storm_appends.to_string(),
+        ],
+    ];
+    format!(
+        "== BENCH-lookup: point-lookup hot path ==\n{}",
+        idf_engine::pretty::format_table(&headers, &body)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_report_populated_and_consistent() {
+        let cfg = LookupConfig {
+            n_keys: 2_000,
+            versions: 2,
+            single_probes: 200,
+            batch_size: 64,
+            batches: 2,
+            storm_probes: 200,
+        };
+        let r = run(&cfg).unwrap();
+        assert_eq!(r.rows, 4_000);
+        assert!(r.single_p50_us > 0.0 && r.single_p99_us >= r.single_p50_us);
+        assert!(r.batch_keys_per_sec > 0.0 && r.looped_keys_per_sec > 0.0);
+        assert!(r.storm_p99_us >= r.storm_p50_us);
+        assert!(r.storm_appends > 0, "storm writer never ran");
+        let json = crate::json::to_string_pretty(&r);
+        assert!(json.contains("\"batch_speedup\""));
+    }
+
+    #[test]
+    fn batched_probe_agrees_with_singles() {
+        let idf = build_table(500, 3).unwrap();
+        let keys: Vec<Value> = [7i64, 13, 7, 499].into_iter().map(Value::Int64).collect();
+        let batched = idf.get_rows_chunk_batch(&keys).unwrap();
+        // 3 distinct keys × 3 versions.
+        assert_eq!(batched.len(), 9);
+        let singles: usize = [7i64, 13, 499]
+            .into_iter()
+            .map(|k| idf.get_rows_chunk(k).unwrap().len())
+            .sum();
+        assert_eq!(batched.len(), singles);
+    }
+}

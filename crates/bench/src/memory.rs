@@ -8,7 +8,7 @@ use idf_engine::error::Result;
 use std::sync::Arc;
 
 /// Memory comparison for one table.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct MemoryRow {
     /// Table label.
     pub table: String,
@@ -39,22 +39,41 @@ impl MemoryRow {
     }
 }
 
+impl crate::json::ToJson for MemoryRow {
+    fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        Json::obj([
+            ("table", Json::Str(self.table.clone())),
+            ("rows", Json::Int(self.rows as i64)),
+            ("columnar_bytes", Json::Int(self.columnar_bytes as i64)),
+            ("row_batch_bytes", Json::Int(self.row_batch_bytes as i64)),
+            ("reserved_bytes", Json::Int(self.reserved_bytes as i64)),
+            ("index_entries", Json::Int(self.index_entries as i64)),
+            (
+                "index_bytes_estimate",
+                Json::Int(self.index_bytes_estimate as i64),
+            ),
+        ])
+    }
+}
+
 /// Measure one generated dataset.
 pub fn run(scale: f64) -> Result<Vec<MemoryRow>> {
     let data = idf_snb::generate(idf_snb::SnbConfig::with_scale(scale))?;
     let cases = [
-        ("person", idf_snb::gen::person_schema(), &data.person, 0usize),
+        (
+            "person",
+            idf_snb::gen::person_schema(),
+            &data.person,
+            0usize,
+        ),
         ("knows", idf_snb::gen::knows_schema(), &data.knows, 0),
         ("message", idf_snb::gen::message_schema(), &data.message, 0),
     ];
     let mut out = Vec::new();
     for (name, schema, chunk, key) in cases {
-        let table = IndexedTable::from_chunk(
-            Arc::clone(&schema),
-            key,
-            IndexConfig::default(),
-            chunk,
-        )?;
+        let table =
+            IndexedTable::from_chunk(Arc::clone(&schema), key, IndexConfig::default(), chunk)?;
         let m = table.memory_stats();
         out.push(MemoryRow {
             table: name.to_string(),

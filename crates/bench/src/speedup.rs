@@ -11,7 +11,7 @@ use crate::workload::{compare_sql, Workload};
 use crate::Comparison;
 
 /// One sweep point.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct SweepPoint {
     /// Scale factor used.
     pub scale: f64,
@@ -24,6 +24,19 @@ pub struct SweepPoint {
     /// Interactive lookup-join: one person's neighborhood joined with the
     /// person table — the paper's dashboard query pattern.
     pub lookup_join: Comparison,
+}
+
+impl crate::json::ToJson for SweepPoint {
+    fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        Json::obj([
+            ("scale", Json::Num(self.scale)),
+            ("knows_rows", Json::Int(self.knows_rows as i64)),
+            ("join", self.join.to_json()),
+            ("filter", self.filter.to_json()),
+            ("lookup_join", self.lookup_join.to_json()),
+        ])
+    }
 }
 
 /// Run the sweep over `scales`.

@@ -31,9 +31,14 @@ impl Workload {
         let vanilla = Session::new();
         register(&vanilla, &data, Mode::Vanilla)?;
         let indexed = Session::new();
-        let tables = register(&indexed, &data, Mode::Indexed)?
-            .expect("indexed mode returns table handles");
-        Ok(Workload { data, vanilla, indexed, tables })
+        let tables =
+            register(&indexed, &data, Mode::Indexed)?.expect("indexed mode returns table handles");
+        Ok(Workload {
+            data,
+            vanilla,
+            indexed,
+            tables,
+        })
     }
 
     /// Run `sql` in both sessions, returning (indexed rows, vanilla rows);
@@ -47,23 +52,17 @@ impl Workload {
 }
 
 /// Time `sql` in both sessions and package the comparison.
-pub fn compare_sql(
-    w: &Workload,
-    label: &str,
-    sql: &str,
-    runs: usize,
-) -> Result<crate::Comparison> {
+pub fn compare_sql(w: &Workload, label: &str, sql: &str, runs: usize) -> Result<crate::Comparison> {
     let indexed_df = w.indexed.sql(sql)?;
     let vanilla_df = w.vanilla.sql(sql)?;
     let rows_indexed = indexed_df.count()?;
     let rows_vanilla = vanilla_df.count()?;
-    assert_eq!(rows_indexed, rows_vanilla, "modes diverged on {label}: {sql}");
-    let indexed_ms = crate::median_ms(runs, || {
-        indexed_df.collect().expect("indexed query failed")
-    });
-    let vanilla_ms = crate::median_ms(runs, || {
-        vanilla_df.collect().expect("vanilla query failed")
-    });
+    assert_eq!(
+        rows_indexed, rows_vanilla,
+        "modes diverged on {label}: {sql}"
+    );
+    let indexed_ms = crate::median_ms(runs, || indexed_df.collect().expect("indexed query failed"));
+    let vanilla_ms = crate::median_ms(runs, || vanilla_df.collect().expect("vanilla query failed"));
     Ok(crate::Comparison {
         label: label.to_string(),
         indexed_ms,

@@ -47,8 +47,7 @@ pub trait CreateIndexExt {
     fn create_index(&self, column: &str) -> Result<IndexedDataFrame>;
 
     /// Like [`CreateIndexExt::create_index`] with explicit tuning.
-    fn create_index_with(&self, column: &str, config: IndexConfig)
-        -> Result<IndexedDataFrame>;
+    fn create_index_with(&self, column: &str, config: IndexConfig) -> Result<IndexedDataFrame>;
 }
 
 impl CreateIndexExt for DataFrame {
@@ -56,11 +55,7 @@ impl CreateIndexExt for DataFrame {
         self.create_index_with(column, IndexConfig::default())
     }
 
-    fn create_index_with(
-        &self,
-        column: &str,
-        config: IndexConfig,
-    ) -> Result<IndexedDataFrame> {
+    fn create_index_with(&self, column: &str, config: IndexConfig) -> Result<IndexedDataFrame> {
         let in_schema = self.schema();
         let (qualifier, name) = match column.split_once('.') {
             Some((q, n)) => (Some(q), n),
@@ -79,8 +74,7 @@ impl CreateIndexExt for DataFrame {
                 .collect(),
         ));
         let chunk = self.collect()?;
-        let table =
-            Arc::new(IndexedTable::from_chunk(schema, key_col, config, &chunk)?);
+        let table = Arc::new(IndexedTable::from_chunk(schema, key_col, config, &chunk)?);
         let session = self.session().clone();
         // Inject the index-aware planning strategy (idempotent) — the
         // paper's "integration with Catalyst".
@@ -168,12 +162,31 @@ impl IndexedDataFrame {
     /// containing the required rows"*).
     pub fn get_rows(&self, key: impl Into<Value>) -> Result<DataFrame> {
         let chunk = self.get_rows_chunk(key)?;
-        Ok(self.session.dataframe_from_chunk(self.table.schema(), chunk))
+        Ok(self
+            .session
+            .dataframe_from_chunk(self.table.schema(), chunk))
     }
 
     /// `getRows` without the DataFrame wrapper.
     pub fn get_rows_chunk(&self, key: impl Into<Value>) -> Result<Chunk> {
         self.table.lookup_chunk(&key.into(), None)
+    }
+
+    /// Batched `getRows`: all rows bound to *any* of `keys` as one
+    /// DataFrame. Every key is probed against a single table snapshot, the
+    /// key set is deduplicated, and distinct hash partitions are probed in
+    /// parallel — substantially faster than looping [`Self::get_rows`]
+    /// when the keys spread over several partitions.
+    pub fn get_rows_batch(&self, keys: &[Value]) -> Result<DataFrame> {
+        let chunk = self.get_rows_chunk_batch(keys)?;
+        Ok(self
+            .session
+            .dataframe_from_chunk(self.table.schema(), chunk))
+    }
+
+    /// Batched `getRows` without the DataFrame wrapper.
+    pub fn get_rows_chunk_batch(&self, keys: &[Value]) -> Result<Chunk> {
+        self.table.lookup_chunk_batch(keys, None)
     }
 
     /// `appendRows`: append every row of a regular DataFrame. Both
@@ -208,12 +221,7 @@ impl IndexedDataFrame {
     /// relation is the build side, `other` is the probe side (shuffled to
     /// the index partitioning, or broadcast when small). The result is a
     /// regular DataFrame.
-    pub fn join(
-        &self,
-        other: &DataFrame,
-        indexed_col: &str,
-        other_col: &str,
-    ) -> Result<DataFrame> {
+    pub fn join(&self, other: &DataFrame, indexed_col: &str, other_col: &str) -> Result<DataFrame> {
         let left = self.df();
         left.join(other, vec![(indexed_col, other_col)], JoinType::Inner)
     }

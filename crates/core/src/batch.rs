@@ -25,6 +25,8 @@
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use idf_engine::error::{EngineError, Result};
+
 use crate::pointer::RowPtr;
 
 /// Bytes of per-row framing: u16 stored length + u64 backward pointer.
@@ -48,7 +50,10 @@ impl RowBatch {
     pub fn with_capacity(capacity: usize) -> Self {
         let mut v = Vec::with_capacity(capacity);
         v.resize_with(capacity, || UnsafeCell::new(0));
-        RowBatch { buf: v.into_boxed_slice(), len: AtomicUsize::new(0) }
+        RowBatch {
+            buf: v.into_boxed_slice(),
+            len: AtomicUsize::new(0),
+        }
     }
 
     /// Total capacity in bytes.
@@ -100,36 +105,52 @@ impl RowBatch {
 
     /// Read the committed bytes `[offset, offset + size)`.
     ///
-    /// # Panics
-    /// Panics if the range is not fully committed.
-    pub fn read(&self, offset: usize, size: usize) -> &[u8] {
+    /// # Errors
+    /// Returns an internal error if the range is not fully committed —
+    /// a corrupt pointer must surface as a query error, not a panic that
+    /// poisons the whole process.
+    pub fn read(&self, offset: usize, size: usize) -> Result<&[u8]> {
         let committed = self.len();
-        assert!(
-            offset + size <= committed,
-            "read [{offset}, {}) beyond committed {committed}",
-            offset + size
-        );
+        let end = offset
+            .checked_add(size)
+            .ok_or_else(|| EngineError::internal(format!("read [{offset}, +{size}) overflows")))?;
+        if end > committed {
+            return Err(EngineError::internal(format!(
+                "read [{offset}, {end}) beyond committed {committed}"
+            )));
+        }
         // SAFETY: the committed prefix is immutable.
-        let committed_slice = unsafe {
-            std::slice::from_raw_parts(self.buf.as_ptr() as *const u8, committed)
-        };
-        &committed_slice[offset..offset + size]
+        let committed_slice =
+            unsafe { std::slice::from_raw_parts(self.buf.as_ptr() as *const u8, committed) };
+        Ok(&committed_slice[offset..end])
     }
 
     /// Decode the stored row at `offset`: `(stored_size, prev, payload)`.
-    pub fn row_at(&self, offset: usize) -> (usize, RowPtr, &[u8]) {
-        let head = self.read(offset, ROW_HEADER);
+    ///
+    /// # Errors
+    /// Fails when `offset` does not point at a committed, well-formed row.
+    pub fn row_at(&self, offset: usize) -> Result<(usize, RowPtr, &[u8])> {
+        let head = self.read(offset, ROW_HEADER)?;
         let stored = u16::from_le_bytes(head[..2].try_into().expect("u16")) as usize;
+        if stored < ROW_HEADER {
+            return Err(EngineError::internal(format!(
+                "row at {offset} declares {stored} stored bytes, below the {ROW_HEADER}-byte header"
+            )));
+        }
         let prev = RowPtr::from_raw(u64::from_le_bytes(head[2..].try_into().expect("u64")));
-        let payload = &self.read(offset, stored)[ROW_HEADER..];
-        (stored, prev, payload)
+        let payload = &self.read(offset, stored)?[ROW_HEADER..];
+        Ok((stored, prev, payload))
     }
 
     /// Iterate rows sequentially up to `watermark` committed bytes
     /// (a snapshot boundary): yields `(offset, prev, payload)`.
     pub fn iter_rows(&self, watermark: usize) -> RowBatchIter<'_> {
         debug_assert!(watermark <= self.len());
-        RowBatchIter { batch: self, offset: 0, watermark }
+        RowBatchIter {
+            batch: self,
+            offset: 0,
+            watermark,
+        }
     }
 }
 
@@ -147,16 +168,24 @@ pub struct RowBatchIter<'a> {
 }
 
 impl<'a> Iterator for RowBatchIter<'a> {
-    type Item = (usize, RowPtr, &'a [u8]);
+    type Item = Result<(usize, RowPtr, &'a [u8])>;
 
     fn next(&mut self) -> Option<Self::Item> {
         if self.offset >= self.watermark {
             return None;
         }
-        let (stored, prev, payload) = self.batch.row_at(self.offset);
-        let offset = self.offset;
-        self.offset += stored;
-        Some((offset, prev, payload))
+        match self.batch.row_at(self.offset) {
+            Ok((stored, prev, payload)) => {
+                let offset = self.offset;
+                self.offset += stored;
+                Some(Ok((offset, prev, payload)))
+            }
+            Err(e) => {
+                // Fuse: a malformed row makes every later offset suspect.
+                self.offset = self.watermark;
+                Some(Err(e))
+            }
+        }
     }
 }
 
@@ -168,12 +197,17 @@ mod tests {
     fn append_and_read_back() {
         let b = RowBatch::with_capacity(1024);
         let off1 = b.append_row(RowPtr::NULL, b"hello").unwrap();
-        let off2 = b.append_row(RowPtr::new(0, off1, ROW_HEADER + 5), b"world!").unwrap();
+        let off2 = b
+            .append_row(RowPtr::new(0, off1, ROW_HEADER + 5), b"world!")
+            .unwrap();
         assert_eq!(off1, 0);
         assert_eq!(off2, ROW_HEADER + 5);
-        let (s1, p1, pay1) = b.row_at(off1);
-        assert_eq!((s1, p1, pay1), (ROW_HEADER + 5, RowPtr::NULL, &b"hello"[..]));
-        let (_, p2, pay2) = b.row_at(off2);
+        let (s1, p1, pay1) = b.row_at(off1).unwrap();
+        assert_eq!(
+            (s1, p1, pay1),
+            (ROW_HEADER + 5, RowPtr::NULL, &b"hello"[..])
+        );
+        let (_, p2, pay2) = b.row_at(off2).unwrap();
         assert_eq!(pay2, b"world!");
         assert_eq!(p2.offset(), off1);
         assert_eq!(p2.size(), ROW_HEADER + 5);
@@ -184,7 +218,10 @@ mod tests {
         let b = RowBatch::with_capacity(2 * (ROW_HEADER + 4));
         assert!(b.append_row(RowPtr::NULL, b"aaaa").is_some());
         assert!(b.append_row(RowPtr::NULL, b"bbbb").is_some());
-        assert!(b.append_row(RowPtr::NULL, b"").is_none(), "full batch rejects appends");
+        assert!(
+            b.append_row(RowPtr::NULL, b"").is_none(),
+            "full batch rejects appends"
+        );
         assert_eq!(b.remaining(), 0);
     }
 
@@ -196,7 +233,7 @@ mod tests {
         }
         let watermark = b.len();
         b.append_row(RowPtr::NULL, &[99; 3]).unwrap();
-        let rows: Vec<_> = b.iter_rows(watermark).collect();
+        let rows: Vec<_> = b.iter_rows(watermark).collect::<Result<_>>().unwrap();
         assert_eq!(rows.len(), 10, "row past the watermark is invisible");
         for (i, (_, _, payload)) in rows.iter().enumerate() {
             assert_eq!(*payload, [i as u8; 3]);
@@ -204,11 +241,38 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "beyond committed")]
-    fn read_past_watermark_panics() {
+    fn read_past_watermark_is_an_error_not_a_panic() {
         let b = RowBatch::with_capacity(64);
         b.append_row(RowPtr::NULL, b"x").unwrap();
-        b.read(0, 64);
+        let err = b.read(0, 64).unwrap_err();
+        assert!(err.to_string().contains("beyond committed"), "got: {err}");
+        let err = b.row_at(48).unwrap_err();
+        assert!(err.to_string().contains("beyond committed"), "got: {err}");
+        // Offsets near usize::MAX must not wrap around the bounds check.
+        assert!(b.read(usize::MAX, 2).is_err());
+        // Committed reads still succeed afterwards.
+        assert_eq!(b.row_at(0).unwrap().2, b"x");
+    }
+
+    #[test]
+    fn malformed_row_fuses_the_iterator() {
+        let b = RowBatch::with_capacity(64);
+        // A stored_len below ROW_HEADER would loop forever in a scan;
+        // forge one via a raw header-only write.
+        let bad_stored = 3u16;
+        b.append_row(RowPtr::NULL, b"ok").unwrap();
+        let off = b.len();
+        unsafe {
+            let base = b.buf.as_ptr() as *mut u8;
+            let dst = base.add(off);
+            std::ptr::copy_nonoverlapping(bad_stored.to_le_bytes().as_ptr(), dst, 2);
+            std::ptr::copy_nonoverlapping(RowPtr::NULL.raw().to_le_bytes().as_ptr(), dst.add(2), 8);
+        }
+        b.len.store(off + ROW_HEADER, Ordering::Release);
+        let mut it = b.iter_rows(b.len());
+        assert!(it.next().unwrap().is_ok(), "first row is fine");
+        assert!(it.next().unwrap().is_err(), "forged row surfaces an error");
+        assert!(it.next().is_none(), "iterator is fused after the error");
     }
 
     #[test]
@@ -227,7 +291,8 @@ mod tests {
                     let n = b.iter_rows(b.len()).count();
                     assert!(n >= max_seen, "committed rows must not vanish");
                     max_seen = n;
-                    for (_, _, payload) in b.iter_rows(b.len()) {
+                    for row in b.iter_rows(b.len()) {
+                        let (_, _, payload) = row.unwrap();
                         assert_eq!(payload.len(), 8);
                         let v = u64::from_le_bytes(payload.try_into().unwrap());
                         assert!(v < 20_000);

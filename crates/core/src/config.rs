@@ -68,13 +68,25 @@ mod tests {
 
     #[test]
     fn rejects_out_of_range() {
-        let c = IndexConfig { batch_size: 16 << 20, ..Default::default() };
+        let c = IndexConfig {
+            batch_size: 16 << 20,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        let c = IndexConfig { max_row_size: 4096, ..Default::default() };
+        let c = IndexConfig {
+            max_row_size: 4096,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        let c = IndexConfig { batch_size: 512, ..Default::default() };
+        let c = IndexConfig {
+            batch_size: 512,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        let c = IndexConfig { num_partitions: 0, ..Default::default() };
+        let c = IndexConfig {
+            num_partitions: 0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
     }
 }

@@ -13,14 +13,12 @@
 //! and appends keep it current — this is where the paper's join speedups
 //! come from.
 
-use std::sync::{Arc, OnceLock};
+use std::sync::Arc;
 
 use idf_engine::catalog::ChunkIter;
 use idf_engine::chunk::Chunk;
 use idf_engine::error::{EngineError, Result};
-use idf_engine::physical::{
-    ExecPlanRef, ExecutionPlan, PhysicalExprRef, TaskContext,
-};
+use idf_engine::physical::{ExecCache, ExecPlanRef, ExecutionPlan, PhysicalExprRef, TaskContext};
 use idf_engine::schema::SchemaRef;
 
 use crate::partition::PartitionSnapshot;
@@ -55,7 +53,10 @@ pub struct IndexedJoinExec {
     pub schema: SchemaRef,
     /// Probe delivery mode.
     pub mode: ProbeMode,
-    broadcast: OnceLock<Result<Arc<Vec<Chunk>>>>,
+    /// Per-execution cache of the broadcast probe side (see
+    /// [`ExecCache`]: a plain `OnceLock` would replay stale probe data
+    /// when the same plan is executed again).
+    broadcast: ExecCache<Arc<Vec<Chunk>>>,
 }
 
 impl IndexedJoinExec {
@@ -78,7 +79,7 @@ impl IndexedJoinExec {
             indexed_is_left,
             schema,
             mode,
-            broadcast: OnceLock::new(),
+            broadcast: ExecCache::new(),
         }
     }
 
@@ -86,16 +87,10 @@ impl IndexedJoinExec {
         match self.mode {
             ProbeMode::Shuffled => self.probe.execute(partition, ctx)?.collect(),
             ProbeMode::Broadcast => {
-                let all = self
-                    .broadcast
-                    .get_or_init(|| {
-                        let parts = idf_engine::physical::execute_collect_partitions(
-                            &self.probe,
-                            ctx,
-                        )?;
-                        Ok(Arc::new(parts.into_iter().flatten().collect()))
-                    })
-                    .clone()?;
+                let all = self.broadcast.get_or_try_init(ctx, || {
+                    let parts = idf_engine::physical::execute_collect_partitions(&self.probe, ctx)?;
+                    Ok(Arc::new(parts.into_iter().flatten().collect()))
+                })?;
                 Ok(all.as_ref().clone())
             }
         }
@@ -124,7 +119,7 @@ impl IndexedJoinExec {
             }
             // THE index probe: cTrie lookup + backward-pointer walk.
             for payload in snapshot.lookup_payloads(&key) {
-                matched.push(payload);
+                matched.push(payload?);
                 probe_rows.push(row as u32);
             }
         }

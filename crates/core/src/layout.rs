@@ -69,8 +69,7 @@ impl RowLayout {
                 (DataType::Int32, Value::Int32(x)) => {
                     out[slot..slot + 4].copy_from_slice(&x.to_le_bytes())
                 }
-                (DataType::Int64, Value::Int64(x))
-                | (DataType::Timestamp, Value::Timestamp(x)) => {
+                (DataType::Int64, Value::Int64(x)) | (DataType::Timestamp, Value::Timestamp(x)) => {
                     out[slot..slot + 8].copy_from_slice(&x.to_le_bytes())
                 }
                 (DataType::Float64, Value::Float64(x)) => {
@@ -139,7 +138,9 @@ impl RowLayout {
 
     /// Decode an entire row.
     pub fn decode_row(&self, payload: &[u8]) -> Vec<Value> {
-        (0..self.schema.len()).map(|c| self.decode_column(payload, c)).collect()
+        (0..self.schema.len())
+            .map(|c| self.decode_column(payload, c))
+            .collect()
     }
 
     /// Decode one column across many payloads into a column vector —
@@ -240,23 +241,17 @@ impl RowLayout {
                 }
                 ColumnBuilder::Int32(v) => {
                     v.push(valid.then(|| {
-                        i32::from_le_bytes(
-                            payload[slot..slot + 4].try_into().expect("slot width"),
-                        )
+                        i32::from_le_bytes(payload[slot..slot + 4].try_into().expect("slot width"))
                     }));
                 }
                 ColumnBuilder::Int64(v) | ColumnBuilder::Timestamp(v) => {
                     v.push(valid.then(|| {
-                        i64::from_le_bytes(
-                            payload[slot..slot + 8].try_into().expect("slot width"),
-                        )
+                        i64::from_le_bytes(payload[slot..slot + 8].try_into().expect("slot width"))
                     }));
                 }
                 ColumnBuilder::Float64(v) => {
                     v.push(valid.then(|| {
-                        f64::from_le_bytes(
-                            payload[slot..slot + 8].try_into().expect("slot width"),
-                        )
+                        f64::from_le_bytes(payload[slot..slot + 8].try_into().expect("slot width"))
                     }));
                 }
                 ColumnBuilder::Utf8(v) => {
@@ -365,8 +360,10 @@ mod tests {
             &mut buf,
         )
         .unwrap();
-        let mut builders =
-            vec![ColumnBuilder::new(DataType::Utf8), ColumnBuilder::new(DataType::Int64)];
+        let mut builders = vec![
+            ColumnBuilder::new(DataType::Utf8),
+            ColumnBuilder::new(DataType::Int64),
+        ];
         l.decode_into(&buf, &[1, 0], &mut builders).unwrap();
         let name_col = builders.remove(0).finish();
         assert_eq!(name_col.value_at(0), Value::Utf8("x".into()));

@@ -42,8 +42,10 @@ pub struct IndexedPartition {
     index: CTrie<Value, u64>,
     batches: RwLock<Vec<Arc<RowBatch>>>,
     /// Serializes writers ("Spark transformations within a partition are
-    /// sequentially executed on a single core" — paper, §2).
-    append_lock: Mutex<()>,
+    /// sequentially executed on a single core" — paper, §2). Guards the
+    /// row-encode scratch buffer, which is reused across appends so the
+    /// steady-state append path performs no allocation.
+    append_lock: Mutex<Vec<u8>>,
     row_count: AtomicUsize,
 }
 
@@ -57,7 +59,7 @@ impl IndexedPartition {
             config,
             index: CTrie::new(),
             batches: RwLock::new(Vec::new()),
-            append_lock: Mutex::new(()),
+            append_lock: Mutex::new(Vec::new()),
             row_count: AtomicUsize::new(0),
         }
     }
@@ -80,8 +82,8 @@ impl IndexedPartition {
     /// Append one row. Rows with a NULL key are stored (visible to scans)
     /// but not indexed, matching SQL equality semantics.
     pub fn append_row(&self, values: &[Value]) -> Result<()> {
-        let _writer = self.append_lock.lock();
-        let mut payload = Vec::with_capacity(64);
+        let mut payload = self.append_lock.lock();
+        payload.clear();
         self.layout.encode(values, &mut payload)?;
         let stored = ROW_HEADER + payload.len();
         if stored > self.config.max_row_size {
@@ -93,7 +95,11 @@ impl IndexedPartition {
         }
         let key = &values[self.key_col];
         // 1. current chain head becomes the new row's backward pointer.
-        let prev_raw = if key.is_null() { None } else { self.index.lookup(key) };
+        let prev_raw = if key.is_null() {
+            None
+        } else {
+            self.index.lookup(key)
+        };
         let prev = prev_raw.map(RowPtr::from_raw).unwrap_or(RowPtr::NULL);
         // 2. write + publish the row bytes.
         let (batch_idx, offset) = self.write_row(prev, &payload)?;
@@ -201,40 +207,63 @@ impl PartitionSnapshot {
     }
 
     /// Number of rows visible in this snapshot.
+    ///
+    /// Malformed rows (which only a storage bug could produce) terminate
+    /// their batch's walk early rather than failing the count.
     pub fn row_count(&self) -> usize {
         self.batches
             .iter()
             .zip(&self.watermarks)
-            .map(|(b, &w)| b.iter_rows(w).count())
+            .map(|(b, &w)| b.iter_rows(w).map_while(|r| r.ok()).count())
             .sum()
     }
 
     /// Follow the backward-pointer chain for `key`, latest row first,
     /// yielding decoded payload slices.
+    ///
+    /// The probe goes through the cTrie's borrowed-key entry point: no
+    /// `Value` is cloned and no heap allocation happens on this path.
     pub fn lookup_payloads(&self, key: &Value) -> ChainIter<'_> {
         let head = if key.is_null() {
             RowPtr::NULL
         } else {
-            self.index.lookup(key).map(RowPtr::from_raw).unwrap_or(RowPtr::NULL)
+            self.index
+                .lookup_with_borrowed(key, |raw| RowPtr::from_raw(*raw))
+                .unwrap_or(RowPtr::NULL)
         };
-        ChainIter { snapshot: self, next: head }
+        ChainIter {
+            snapshot: self,
+            next: head,
+        }
     }
 
     /// All rows bound to `key` as a chunk (latest first), with optional
     /// column projection. This is the paper's `getRows` on one partition.
     pub fn lookup_chunk(&self, key: &Value, projection: Option<&[usize]>) -> Result<Chunk> {
-        let cols: Vec<usize> = match projection {
-            Some(p) => p.to_vec(),
-            None => (0..self.layout.schema().len()).collect(),
-        };
-        let mut builders: Vec<ColumnBuilder> = cols
-            .iter()
-            .map(|&c| ColumnBuilder::new(self.layout.schema().field(c).data_type))
-            .collect();
+        let cols = self.projected_cols(projection);
+        let mut builders = self.new_builders(&cols);
+        let n = self.decode_chain_into(key, &cols, &mut builders)?;
+        if builders.is_empty() {
+            return Ok(Chunk::new_empty_columns(n));
+        }
+        Chunk::new(builders.into_iter().map(|b| Arc::new(b.finish())).collect())
+    }
+
+    /// All rows bound to *any* of `keys` as one chunk, sharing a single
+    /// set of column builders across every probe. Rows are grouped by key
+    /// in the order given, each key's chain latest-first. Callers pass the
+    /// partition-local slice of a batched `getRows` — see
+    /// [`crate::table::TableSnapshot::lookup_batch`].
+    pub fn lookup_chunk_multi(
+        &self,
+        keys: &[Value],
+        projection: Option<&[usize]>,
+    ) -> Result<Chunk> {
+        let cols = self.projected_cols(projection);
+        let mut builders = self.new_builders(&cols);
         let mut n = 0usize;
-        for payload in self.lookup_payloads(key) {
-            self.layout.decode_into(payload, &cols, &mut builders)?;
-            n += 1;
+        for key in keys {
+            n += self.decode_chain_into(key, &cols, &mut builders)?;
         }
         if builders.is_empty() {
             return Ok(Chunk::new_empty_columns(n));
@@ -242,9 +271,42 @@ impl PartitionSnapshot {
         Chunk::new(builders.into_iter().map(|b| Arc::new(b.finish())).collect())
     }
 
+    fn projected_cols(&self, projection: Option<&[usize]>) -> Vec<usize> {
+        match projection {
+            Some(p) => p.to_vec(),
+            None => (0..self.layout.schema().len()).collect(),
+        }
+    }
+
+    fn new_builders(&self, cols: &[usize]) -> Vec<ColumnBuilder> {
+        cols.iter()
+            .map(|&c| ColumnBuilder::new(self.layout.schema().field(c).data_type))
+            .collect()
+    }
+
+    /// Decode `key`'s whole chain into `builders`; returns the row count.
+    fn decode_chain_into(
+        &self,
+        key: &Value,
+        cols: &[usize],
+        builders: &mut [ColumnBuilder],
+    ) -> Result<usize> {
+        let mut n = 0usize;
+        for payload in self.lookup_payloads(key) {
+            self.layout.decode_into(payload?, cols, builders)?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
     /// Number of rows bound to `key`.
-    pub fn lookup_count(&self, key: &Value) -> usize {
-        self.lookup_payloads(key).count()
+    pub fn lookup_count(&self, key: &Value) -> Result<usize> {
+        let mut n = 0usize;
+        for payload in self.lookup_payloads(key) {
+            payload?;
+            n += 1;
+        }
+        Ok(n)
     }
 
     /// Full scan into chunks of at most `chunk_rows` rows — the paper's
@@ -255,28 +317,33 @@ impl PartitionSnapshot {
         projection: Option<&[usize]>,
         chunk_rows: usize,
     ) -> Result<Vec<Chunk>> {
-        let cols: Vec<usize> = match projection {
-            Some(p) => p.to_vec(),
-            None => (0..self.layout.schema().len()).collect(),
-        };
+        let cols = self.projected_cols(projection);
         let mut out = Vec::new();
-        let mut builders: Vec<ColumnBuilder> = cols
-            .iter()
-            .map(|&c| ColumnBuilder::new(self.layout.schema().field(c).data_type))
-            .collect();
+        let mut builders = self.new_builders(&cols);
         let mut rows_in_chunk = 0usize;
         for (batch, &watermark) in self.batches.iter().zip(&self.watermarks) {
-            for (_, _, payload) in batch.iter_rows(watermark) {
+            for row in batch.iter_rows(watermark) {
+                let (_, _, payload) = row?;
                 self.layout.decode_into(payload, &cols, &mut builders)?;
                 rows_in_chunk += 1;
                 if rows_in_chunk >= chunk_rows {
-                    out.push(finish_chunk(&cols, &mut builders, self.schema(), rows_in_chunk)?);
+                    out.push(finish_chunk(
+                        &cols,
+                        &mut builders,
+                        self.schema(),
+                        rows_in_chunk,
+                    )?);
                     rows_in_chunk = 0;
                 }
             }
         }
         if rows_in_chunk > 0 || out.is_empty() {
-            out.push(finish_chunk(&cols, &mut builders, self.schema(), rows_in_chunk)?);
+            out.push(finish_chunk(
+                &cols,
+                &mut builders,
+                self.schema(),
+                rows_in_chunk,
+            )?);
         }
         Ok(out)
     }
@@ -288,7 +355,9 @@ impl PartitionSnapshot {
 
     /// Decode the projected columns of one payload.
     pub fn decode_projected(&self, payload: &[u8], cols: &[usize]) -> Vec<Value> {
-        cols.iter().map(|&c| self.layout.decode_column(payload, c)).collect()
+        cols.iter()
+            .map(|&c| self.layout.decode_column(payload, c))
+            .collect()
     }
 
     /// Decode a single column of one payload without allocation overhead.
@@ -337,24 +406,39 @@ fn finish_chunk(
 }
 
 /// Iterator over a key's backward-pointer chain (latest row first).
+/// Fused: a corrupt pointer yields one `Err` and then terminates.
 pub struct ChainIter<'a> {
     snapshot: &'a PartitionSnapshot,
     next: RowPtr,
 }
 
 impl<'a> Iterator for ChainIter<'a> {
-    type Item = &'a [u8];
+    type Item = Result<&'a [u8]>;
 
-    fn next(&mut self) -> Option<&'a [u8]> {
+    fn next(&mut self) -> Option<Result<&'a [u8]>> {
         if self.next.is_null() {
             return None;
         }
         let ptr = self.next;
-        let batch = &self.snapshot.batches[ptr.batch()];
-        let (stored, prev, payload) = batch.row_at(ptr.offset());
-        debug_assert_eq!(stored, ptr.size(), "pointer size must match stored row");
-        self.next = prev;
-        Some(payload)
+        let Some(batch) = self.snapshot.batches.get(ptr.batch()) else {
+            self.next = RowPtr::NULL;
+            return Some(Err(EngineError::internal(format!(
+                "chain pointer names batch {} of {}",
+                ptr.batch(),
+                self.snapshot.batches.len()
+            ))));
+        };
+        match batch.row_at(ptr.offset()) {
+            Ok((stored, prev, payload)) => {
+                debug_assert_eq!(stored, ptr.size(), "pointer size must match stored row");
+                self.next = prev;
+                Some(Ok(payload))
+            }
+            Err(e) => {
+                self.next = RowPtr::NULL;
+                Some(Err(e))
+            }
+        }
     }
 }
 
@@ -391,8 +475,8 @@ mod tests {
         // Latest first.
         assert_eq!(chunk.value_at(1, 0), Value::Utf8("c".into()));
         assert_eq!(chunk.value_at(1, 1), Value::Utf8("a".into()));
-        assert_eq!(s.lookup_count(&Value::Int64(2)), 1);
-        assert_eq!(s.lookup_count(&Value::Int64(99)), 0);
+        assert_eq!(s.lookup_count(&Value::Int64(2)).unwrap(), 1);
+        assert_eq!(s.lookup_count(&Value::Int64(99)).unwrap(), 0);
     }
 
     #[test]
@@ -407,8 +491,11 @@ mod tests {
             p.append_row(&row(7, &format!("v{i}"))).unwrap();
         }
         let s = p.snapshot();
-        assert_eq!(s.lookup_count(&Value::Int64(7)), 500);
-        let payloads: Vec<_> = s.lookup_payloads(&Value::Int64(7)).collect();
+        assert_eq!(s.lookup_count(&Value::Int64(7)).unwrap(), 500);
+        let payloads: Vec<_> = s
+            .lookup_payloads(&Value::Int64(7))
+            .collect::<Result<_>>()
+            .unwrap();
         let first = s.decode_row(payloads[0]);
         assert_eq!(first[1], Value::Utf8("v499".into()));
         let last = s.decode_row(payloads[499]);
@@ -442,11 +529,12 @@ mod tests {
     #[test]
     fn null_keys_scanned_not_indexed() {
         let p = partition();
-        p.append_row(&[Value::Null, Value::Utf8("ghost".into())]).unwrap();
+        p.append_row(&[Value::Null, Value::Utf8("ghost".into())])
+            .unwrap();
         p.append_row(&row(1, "real")).unwrap();
         let s = p.snapshot();
         assert_eq!(s.row_count(), 2);
-        assert_eq!(s.lookup_count(&Value::Null), 0);
+        assert_eq!(s.lookup_count(&Value::Null).unwrap(), 0);
         assert_eq!(s.key_count(), 1);
     }
 
@@ -457,11 +545,11 @@ mod tests {
         let s = p.snapshot();
         p.append_row(&row(1, "b")).unwrap();
         p.append_row(&row(2, "c")).unwrap();
-        assert_eq!(s.lookup_count(&Value::Int64(1)), 1);
-        assert_eq!(s.lookup_count(&Value::Int64(2)), 0);
+        assert_eq!(s.lookup_count(&Value::Int64(1)).unwrap(), 1);
+        assert_eq!(s.lookup_count(&Value::Int64(2)).unwrap(), 0);
         assert_eq!(s.row_count(), 1);
         let s2 = p.snapshot();
-        assert_eq!(s2.lookup_count(&Value::Int64(1)), 2);
+        assert_eq!(s2.lookup_count(&Value::Int64(1)).unwrap(), 2);
         assert_eq!(s2.row_count(), 3);
     }
 
@@ -495,13 +583,13 @@ mod tests {
                         let s = p.snapshot();
                         let mut total = 0;
                         for k in 0..50 {
-                            total += s.lookup_count(&Value::Int64(k));
+                            total += s.lookup_count(&Value::Int64(k)).unwrap();
                         }
                         assert!(total >= last_total, "chains must only grow");
                         last_total = total;
                         // every chain is readable end-to-end
                         for payload in s.lookup_payloads(&Value::Int64(0)) {
-                            let vals = s.decode_row(payload);
+                            let vals = s.decode_row(payload.unwrap());
                             assert_eq!(vals[0], Value::Int64(0));
                         }
                     }
@@ -514,7 +602,7 @@ mod tests {
         }
         let s = p.snapshot();
         assert_eq!(s.row_count(), 5_000);
-        assert_eq!(s.lookup_count(&Value::Int64(5)), 100);
+        assert_eq!(s.lookup_count(&Value::Int64(5)).unwrap(), 100);
     }
 
     #[test]

@@ -2,10 +2,12 @@
 //!
 //! This is where the Catalyst-analog integration happens on the *filter*
 //! path: [`IndexedSource::supports_filter_pushdown`] advertises equality
-//! predicates on the indexed column, so the engine's predicate-pushdown
-//! rule moves them into the scan, and [`IndexedSource::scan_with_filters`]
-//! answers them with a cTrie lookup plus backward-pointer traversal instead
-//! of a full scan (paper: *"Equality filter"* indexed operator).
+//! predicates (`key = lit`) and IN-lists of literals (`key IN (…)`) on the
+//! indexed column, so the engine's predicate-pushdown rule moves them into
+//! the scan, and [`IndexedSource::scan_with_filters`] answers them with
+//! cTrie lookups plus backward-pointer traversals instead of a full scan
+//! (paper: *"Equality filter"* indexed operator, extended to multi-key
+//! probes). A conjunction of pushed filters intersects their key sets.
 //! Everything else falls back to `transformToRowRDD`-style full scans over
 //! the row batches.
 
@@ -33,13 +35,19 @@ pub struct IndexedSource {
 impl IndexedSource {
     /// A live source over `table`.
     pub fn live(table: Arc<IndexedTable>) -> Self {
-        IndexedSource { table, frozen: None }
+        IndexedSource {
+            table,
+            frozen: None,
+        }
     }
 
     /// A source pinned to a consistent snapshot of `table`.
     pub fn frozen(table: Arc<IndexedTable>) -> Self {
         let snap = Arc::new(table.snapshot());
-        IndexedSource { table, frozen: Some(snap) }
+        IndexedSource {
+            table,
+            frozen: Some(snap),
+        }
     }
 
     /// The underlying table.
@@ -58,13 +66,17 @@ impl IndexedSource {
     /// Accepted shapes (post constant-folding): `key = lit` and
     /// `lit = key`, where the literal's type matches the key column.
     pub fn key_equality_literal(&self, filter: &Expr) -> Option<Value> {
-        let Expr::Binary { left, op: BinaryOp::Eq, right } = filter else {
+        let Expr::Binary {
+            left,
+            op: BinaryOp::Eq,
+            right,
+        } = filter
+        else {
             return None;
         };
         let key_dt = self.table.schema().field(self.table.key_col()).data_type;
-        let is_key_col = |e: &Expr| {
-            matches!(e, Expr::Column(c) if c.index == Some(self.table.key_col()))
-        };
+        let is_key_col =
+            |e: &Expr| matches!(e, Expr::Column(c) if c.index == Some(self.table.key_col()));
         let literal_of = |e: &Expr| match e {
             Expr::Literal(v) if v.data_type() == Some(key_dt) => Some(v.clone()),
             _ => None,
@@ -78,10 +90,57 @@ impl IndexedSource {
         None
     }
 
+    /// Extract the key literals of an IN-list filter on the indexed
+    /// column: `key IN (lit, …)`, not negated, every entry a literal of
+    /// the key type or NULL.
+    ///
+    /// NULL entries are dropped: in a *filter* position `key IN (…, NULL)`
+    /// can only add NULL outcomes, and a filter treats NULL as false — so
+    /// the non-null entries alone decide which rows survive. Duplicates
+    /// are removed. An empty result (`Some(vec![])`) means the filter is
+    /// unsatisfiable.
+    pub fn key_in_list_literals(&self, filter: &Expr) -> Option<Vec<Value>> {
+        let Expr::InList {
+            expr,
+            list,
+            negated: false,
+        } = filter
+        else {
+            return None;
+        };
+        if !matches!(&**expr, Expr::Column(c) if c.index == Some(self.table.key_col())) {
+            return None;
+        }
+        let key_dt = self.table.schema().field(self.table.key_col()).data_type;
+        let mut keys: Vec<Value> = Vec::with_capacity(list.len());
+        for entry in list {
+            match entry {
+                Expr::Literal(Value::Null) => {}
+                Expr::Literal(v) if v.data_type() == Some(key_dt) => {
+                    if !keys.contains(v) {
+                        keys.push(v.clone());
+                    }
+                }
+                _ => return None,
+            }
+        }
+        Some(keys)
+    }
+
+    /// The key set a pushed filter selects, if it has a pushable shape.
+    fn key_set_of(&self, filter: &Expr) -> Option<Vec<Value>> {
+        if let Some(k) = self.key_equality_literal(filter) {
+            return Some(vec![k]);
+        }
+        self.key_in_list_literals(filter)
+    }
+
     fn partition_snapshot(&self, partition: usize) -> Result<PartitionView<'_>> {
         match &self.frozen {
             Some(snap) => Ok(PartitionView::Frozen(snap, partition)),
-            None => Ok(PartitionView::Live(self.table.partition(partition).snapshot())),
+            None => Ok(PartitionView::Live(
+                self.table.partition(partition).snapshot(),
+            )),
         }
     }
 }
@@ -111,13 +170,14 @@ impl TableSource for IndexedSource {
 
     fn scan(&self, partition: usize, projection: Option<&[usize]>) -> Result<ChunkIter> {
         let view = self.partition_snapshot(partition)?;
-        let chunks =
-            view.get().scan_chunks(projection, self.table.config().scan_chunk_rows)?;
+        let chunks = view
+            .get()
+            .scan_chunks(projection, self.table.config().scan_chunk_rows)?;
         Ok(Box::new(chunks.into_iter().map(Ok)))
     }
 
     fn supports_filter_pushdown(&self, filter: &Expr) -> bool {
-        self.key_equality_literal(filter).is_some()
+        self.key_set_of(filter).is_some()
     }
 
     fn scan_with_filters(
@@ -126,44 +186,45 @@ impl TableSource for IndexedSource {
         projection: Option<&[usize]>,
         filters: &[Expr],
     ) -> Result<ChunkIter> {
-        // Collect the key literals of the pushed filters; any filter we
-        // did not claim would not be here.
-        let mut keys: Vec<Value> = Vec::new();
+        // Intersect the key sets of the pushed filters (they are ANDed);
+        // any filter we did not claim would not be here.
+        let mut keys: Option<Vec<Value>> = None;
         for f in filters {
-            match self.key_equality_literal(f) {
-                Some(k) => {
-                    if !keys.contains(&k) {
-                        keys.push(k);
-                    }
-                }
-                None => {
-                    // Defensive: fall back to a full scan + let the engine
-                    // re-filter (should not happen with the built-in rule).
-                    return self.scan(partition, projection);
-                }
-            }
+            let Some(set) = self.key_set_of(f) else {
+                // Defensive: fall back to a full scan + let the engine
+                // re-filter (should not happen with the built-in rule).
+                return self.scan(partition, projection);
+            };
+            keys = Some(match keys {
+                None => set,
+                Some(prev) => prev.into_iter().filter(|k| set.contains(k)).collect(),
+            });
         }
-        if keys.len() > 1 {
-            // k = a AND k = b (a ≠ b) is unsatisfiable.
-            let schema = project_schema(&self.table.schema(), projection);
-            return Ok(Box::new(std::iter::once(Ok(Chunk::empty(&schema)))));
-        }
-        let key = keys.remove(0);
-        // Index lookup instead of a scan — and only in the key's own
-        // partition; the others are pruned to empty results.
-        let home = self.table.partition_of(&key);
-        if home != partition {
-            let schema = project_schema(&self.table.schema(), projection);
-            return Ok(Box::new(std::iter::once(Ok(Chunk::empty(&schema)))));
-        }
+        // Keep the keys that hash-route to THIS partition; the rest are
+        // pruned — their home partitions answer for them.
+        let local: Vec<Value> = keys
+            .unwrap_or_default()
+            .into_iter()
+            .filter(|k| self.table.partition_of(k) == partition)
+            .collect();
         let view = self.partition_snapshot(partition)?;
-        let chunk = view.get().lookup_chunk(&key, projection)?;
+        let chunk = match local.as_slice() {
+            // Empty intersection (or no local keys): nothing here.
+            [] => Chunk::empty(&project_schema(&self.table.schema(), projection)),
+            // Index lookup instead of a scan.
+            [key] => view.get().lookup_chunk(key, projection)?,
+            // Multi-key probe sharing one set of column builders.
+            many => view.get().lookup_chunk_multi(many, projection)?,
+        };
         Ok(Box::new(std::iter::once(Ok(chunk))))
     }
 
     fn statistics(&self) -> Statistics {
         let m = self.table.memory_stats();
-        Statistics { row_count: Some(m.rows), byte_size: Some(m.data_bytes) }
+        Statistics {
+            row_count: Some(m.rows),
+            byte_size: Some(m.data_bytes),
+        }
     }
 
     fn as_any(&self) -> &dyn Any {
@@ -199,19 +260,30 @@ mod tests {
             IndexedTable::from_chunk(
                 schema,
                 0,
-                IndexConfig { num_partitions: 4, ..Default::default() },
+                IndexConfig {
+                    num_partitions: 4,
+                    ..Default::default()
+                },
                 &chunk,
             )
             .unwrap(),
         )
     }
 
-    fn bound_key_eq(v: i64) -> Expr {
-        let mut c = col("k");
+    fn bound_col(name: &str, index: usize) -> Expr {
+        let mut c = col(name);
         if let Expr::Column(cr) = &mut c {
-            cr.index = Some(0);
+            cr.index = Some(index);
         }
-        c.eq(lit(v))
+        c
+    }
+
+    fn bound_key_eq(v: i64) -> Expr {
+        bound_col("k", 0).eq(lit(v))
+    }
+
+    fn bound_key_in(vs: &[i64]) -> Expr {
+        bound_col("k", 0).in_list(vs.iter().map(|&v| lit(v)).collect())
     }
 
     #[test]
@@ -261,6 +333,67 @@ mod tests {
     }
 
     #[test]
+    fn recognizes_in_list_filters() {
+        let s = IndexedSource::live(table());
+        assert!(s.supports_filter_pushdown(&bound_key_in(&[3, 7])));
+        // NULL entries are tolerated (dropped in filter position).
+        let with_null = bound_col("k", 0).in_list(vec![lit(3i64), Expr::Literal(Value::Null)]);
+        assert_eq!(
+            s.key_in_list_literals(&with_null),
+            Some(vec![Value::Int64(3)])
+        );
+        // NOT IN is not pushable.
+        assert!(!s.supports_filter_pushdown(&bound_col("k", 0).not_in_list(vec![lit(3i64)])));
+        // Wrong column, non-literal entry, mismatched type: not pushable.
+        assert!(!s.supports_filter_pushdown(&bound_col("v", 1).in_list(vec![lit("x")])));
+        assert!(!s.supports_filter_pushdown(&bound_col("k", 0).in_list(vec![bound_col("k", 0)])));
+        assert!(!s.supports_filter_pushdown(&bound_col("k", 0).in_list(vec![lit("three")])));
+    }
+
+    #[test]
+    fn in_list_scan_probes_each_key_once() {
+        let s = IndexedSource::live(table());
+        let mut total = 0;
+        for p in 0..s.num_partitions() {
+            // Duplicate 3 must not double its rows.
+            for chunk in s
+                .scan_with_filters(p, None, &[bound_key_in(&[3, 7, 3, 999])])
+                .unwrap()
+            {
+                let chunk = chunk.unwrap();
+                for r in 0..chunk.len() {
+                    let k = chunk.value_at(0, r);
+                    assert!(k == Value::Int64(3) || k == Value::Int64(7), "got {k:?}");
+                }
+                total += chunk.len();
+            }
+        }
+        assert_eq!(total, 20);
+    }
+
+    #[test]
+    fn eq_and_in_list_intersect() {
+        let s = IndexedSource::live(table());
+        let count = |filters: &[Expr]| {
+            let mut total = 0;
+            for p in 0..s.num_partitions() {
+                for chunk in s.scan_with_filters(p, None, filters).unwrap() {
+                    total += chunk.unwrap().len();
+                }
+            }
+            total
+        };
+        // k IN (3, 7) AND k = 3  →  only key 3.
+        assert_eq!(count(&[bound_key_in(&[3, 7]), bound_key_eq(3)]), 10);
+        // k IN (3, 7) AND k = 4  →  empty.
+        assert_eq!(count(&[bound_key_in(&[3, 7]), bound_key_eq(4)]), 0);
+        // k IN (3, 7) AND k IN (7, 8)  →  only key 7.
+        assert_eq!(count(&[bound_key_in(&[3, 7]), bound_key_in(&[7, 8])]), 10);
+        // Empty IN-list is unsatisfiable.
+        assert_eq!(count(&[bound_key_in(&[])]), 0);
+    }
+
+    #[test]
     fn contradictory_filters_yield_empty() {
         let s = IndexedSource::live(table());
         let mut total = 0;
@@ -291,7 +424,8 @@ mod tests {
     fn frozen_source_is_consistent() {
         let t = table();
         let s = IndexedSource::frozen(Arc::clone(&t));
-        t.append_row(&[Value::Int64(3), Value::Utf8("new".into())]).unwrap();
+        t.append_row(&[Value::Int64(3), Value::Utf8("new".into())])
+            .unwrap();
         let mut total = 0;
         for p in 0..s.num_partitions() {
             for chunk in s.scan_with_filters(p, None, &[bound_key_eq(3)]).unwrap() {

@@ -41,7 +41,13 @@ struct IndexedSide {
 /// If `plan` is a bare scan of an [`IndexedSource`] (optionally projected,
 /// with no pushed filters), return it.
 fn as_indexed_scan(plan: &LogicalPlan) -> Option<IndexedSide> {
-    let LogicalPlan::Scan { source, projection, filters, .. } = plan else {
+    let LogicalPlan::Scan {
+        source,
+        projection,
+        filters,
+        ..
+    } = plan
+    else {
         return None;
     };
     if !filters.is_empty() {
@@ -58,7 +64,10 @@ fn as_indexed_scan(plan: &LogicalPlan) -> Option<IndexedSide> {
         return None;
     }
     let concrete = Arc::new(IndexedSource::live(Arc::clone(any.table())));
-    Some(IndexedSide { source: concrete, projection: projection.clone() })
+    Some(IndexedSide {
+        source: concrete,
+        projection: projection.clone(),
+    })
 }
 
 /// Does the join-key expression over this scan resolve to the indexed
@@ -82,7 +91,13 @@ impl PhysicalStrategy for IndexedJoinStrategy {
     }
 
     fn plan(&self, plan: &LogicalPlan, planner: &Planner) -> Result<Option<ExecPlanRef>> {
-        let LogicalPlan::Join { left, right, on, join_type: JoinType::Inner, schema } = plan
+        let LogicalPlan::Join {
+            left,
+            right,
+            on,
+            join_type: JoinType::Inner,
+            schema,
+        } = plan
         else {
             return Ok(None);
         };
@@ -96,12 +111,10 @@ impl PhysicalStrategy for IndexedJoinStrategy {
         let (side, probe_plan, probe_key, indexed_is_left) =
             match as_indexed_scan(left).filter(|s| key_is_indexed(left_key, s)) {
                 Some(side) => (side, right, right_key, true),
-                None => {
-                    match as_indexed_scan(right).filter(|s| key_is_indexed(right_key, s)) {
-                        Some(side) => (side, left, left_key, false),
-                        None => return Ok(None),
-                    }
-                }
+                None => match as_indexed_scan(right).filter(|s| key_is_indexed(right_key, s)) {
+                    Some(side) => (side, left, left_key, false),
+                    None => return Ok(None),
+                },
             };
         let probe_schema = probe_plan.schema();
         let probe_exec = planner.create_plan(probe_plan)?;

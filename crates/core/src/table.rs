@@ -40,10 +40,19 @@ impl IndexedTable {
         }
         let partitions = (0..config.num_partitions)
             .map(|_| {
-                Arc::new(IndexedPartition::new(Arc::clone(&schema), key_col, config.clone()))
+                Arc::new(IndexedPartition::new(
+                    Arc::clone(&schema),
+                    key_col,
+                    config.clone(),
+                ))
             })
             .collect();
-        Ok(IndexedTable { schema, key_col, config, partitions })
+        Ok(IndexedTable {
+            schema,
+            key_col,
+            config,
+            partitions,
+        })
     }
 
     /// Build from an existing chunk (index creation): rows are routed to
@@ -139,7 +148,10 @@ impl IndexedTable {
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("append task panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("append task panicked"))
+                .collect()
         });
         for r in results {
             r?;
@@ -159,6 +171,17 @@ impl IndexedTable {
         self.partitions[p].snapshot().lookup_chunk(key, projection)
     }
 
+    /// Batched point lookup: every key probed against **one** table-wide
+    /// snapshot (see [`TableSnapshot::lookup_batch`]), so all results
+    /// reflect the same point in time even while appends are in flight.
+    pub fn lookup_chunk_batch(
+        &self,
+        keys: &[Value],
+        projection: Option<&[usize]>,
+    ) -> Result<Chunk> {
+        self.snapshot().lookup_batch(keys, projection)
+    }
+
     /// Total rows.
     pub fn row_count(&self) -> usize {
         self.partitions.iter().map(|p| p.row_count()).sum()
@@ -175,8 +198,12 @@ impl IndexedTable {
 
     /// Aggregated memory accounting.
     pub fn memory_stats(&self) -> PartitionMemory {
-        let mut total =
-            PartitionMemory { data_bytes: 0, reserved_bytes: 0, index_entries: 0, rows: 0 };
+        let mut total = PartitionMemory {
+            data_bytes: 0,
+            reserved_bytes: 0,
+            index_entries: 0,
+            rows: 0,
+        };
         for p in &self.partitions {
             let m = p.memory_stats();
             total.data_bytes += m.data_bytes;
@@ -200,7 +227,22 @@ impl std::fmt::Debug for IndexedTable {
     }
 }
 
-/// A frozen, consistent view of every partition.
+/// A frozen view of every partition.
+///
+/// # Consistency contract
+///
+/// Each [`PartitionSnapshot`] is individually consistent: it is an atomic
+/// point-in-time view of its partition (index and row bytes agree, chains
+/// never dangle, later appends to that partition are invisible). The
+/// *table* snapshot, however, is assembled by snapshotting partitions one
+/// after another **without pausing writers**, so it is per-partition
+/// consistent, not globally serializable: a multi-row append racing with
+/// `snapshot()` may be visible in a later-snapshotted partition while its
+/// sibling rows in an earlier-snapshotted partition are not. This mirrors
+/// the paper's Spark semantics, where each partition is an independently
+/// versioned RDD block. Appends routed to a single partition (every row of
+/// one key, since routing hashes the key) are therefore always observed
+/// atomically; only *cross-partition* batches can be observed partially.
 pub struct TableSnapshot {
     schema: SchemaRef,
     key_col: usize,
@@ -225,14 +267,75 @@ impl TableSnapshot {
 
     /// Point lookup within the snapshot.
     pub fn lookup_chunk(&self, key: &Value, projection: Option<&[usize]>) -> Result<Chunk> {
-        let p =
-            (hash_values(std::slice::from_ref(key)) % self.partitions.len() as u64) as usize;
+        let p = (hash_values(std::slice::from_ref(key)) % self.partitions.len() as u64) as usize;
         self.partitions[p].lookup_chunk(key, projection)
+    }
+
+    /// Batched point lookup: probe many keys against this one snapshot and
+    /// return all matching rows as a single chunk.
+    ///
+    /// Keys are deduplicated (and NULLs dropped — a NULL never equals any
+    /// indexed key), grouped by their hash partition, and the involved
+    /// partitions are probed **in parallel**, each sharing one set of
+    /// column builders across all of its keys. Row order: grouped by
+    /// partition in partition order; within a partition, keys in
+    /// first-occurrence order, each key's chain latest-first. Callers that
+    /// need a specific order sort the resulting chunk.
+    pub fn lookup_batch(&self, keys: &[Value], projection: Option<&[usize]>) -> Result<Chunk> {
+        let n = self.partitions.len();
+        // Route distinct non-null keys to their partitions.
+        let mut buckets: Vec<Vec<&Value>> = vec![Vec::new(); n];
+        let mut seen: std::collections::HashSet<&Value> = std::collections::HashSet::new();
+        for key in keys {
+            if key.is_null() || !seen.insert(key) {
+                continue;
+            }
+            let p = (hash_values(std::slice::from_ref(key)) % n as u64) as usize;
+            buckets[p].push(key);
+        }
+        let involved: Vec<(usize, Vec<Value>)> = buckets
+            .into_iter()
+            .enumerate()
+            .filter(|(_, keys)| !keys.is_empty())
+            .map(|(p, keys)| (p, keys.into_iter().cloned().collect()))
+            .collect();
+        let chunks: Vec<Chunk> = match involved.len() {
+            0 => {
+                let proj: Vec<usize> =
+                    projection.map_or_else(|| (0..self.schema.len()).collect(), <[usize]>::to_vec);
+                return Ok(Chunk::empty(&Arc::new(self.schema.project(&proj))));
+            }
+            // One partition involved: probe inline, no thread overhead.
+            1 => {
+                let (p, keys) = &involved[0];
+                vec![self.partitions[*p].lookup_chunk_multi(keys, projection)?]
+            }
+            _ => {
+                let results: Vec<Result<Chunk>> = std::thread::scope(|s| {
+                    let handles: Vec<_> = involved
+                        .iter()
+                        .map(|(p, keys)| {
+                            let part = &self.partitions[*p];
+                            s.spawn(move || part.lookup_chunk_multi(keys, projection))
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("lookup task panicked"))
+                        .collect()
+                });
+                results.into_iter().collect::<Result<_>>()?
+            }
+        };
+        Chunk::concat(&chunks)
     }
 
     /// Total rows visible.
     pub fn row_count(&self) -> usize {
-        self.partitions.iter().map(PartitionSnapshot::row_count).sum()
+        self.partitions
+            .iter()
+            .map(PartitionSnapshot::row_count)
+            .sum()
     }
 }
 
@@ -250,12 +353,16 @@ mod tests {
     }
 
     fn cfg(n: usize) -> IndexConfig {
-        IndexConfig { num_partitions: n, ..Default::default() }
+        IndexConfig {
+            num_partitions: n,
+            ..Default::default()
+        }
     }
 
     fn chunk(rows: impl Iterator<Item = (i64, i64)>) -> Chunk {
-        let rows: Vec<Vec<Value>> =
-            rows.map(|(k, v)| vec![Value::Int64(k), Value::Int64(v)]).collect();
+        let rows: Vec<Vec<Value>> = rows
+            .map(|(k, v)| vec![Value::Int64(k), Value::Int64(v)])
+            .collect();
         Chunk::from_rows(&schema(), &rows).unwrap()
     }
 
@@ -302,8 +409,124 @@ mod tests {
         t.append_chunk(&chunk((100..200).map(|i| (i, i)))).unwrap();
         assert_eq!(snap.row_count(), 100);
         assert_eq!(t.row_count(), 200);
-        assert_eq!(snap.lookup_chunk(&Value::Int64(150), None).unwrap().len(), 0);
+        assert_eq!(
+            snap.lookup_chunk(&Value::Int64(150), None).unwrap().len(),
+            0
+        );
         assert_eq!(t.lookup_chunk(&Value::Int64(150), None).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn batched_lookup_matches_singles() {
+        let data = chunk((0..1000).map(|i| (i % 100, i)));
+        let t = IndexedTable::from_chunk(schema(), 0, cfg(4), &data).unwrap();
+        // Duplicates and NULLs in the request collapse / drop.
+        let keys: Vec<Value> = [3i64, 17, 3, 99, 1234]
+            .iter()
+            .map(|&k| Value::Int64(k))
+            .chain([Value::Null])
+            .collect();
+        let batch = t.lookup_chunk_batch(&keys, None).unwrap();
+        assert_eq!(
+            batch.len(),
+            30,
+            "3 present keys x 10 rows, misses and nulls empty"
+        );
+        // Same multiset of rows as looping the single-key path.
+        let mut batched: Vec<(Value, Value)> = (0..batch.len())
+            .map(|r| (batch.value_at(0, r), batch.value_at(1, r)))
+            .collect();
+        let mut single = Vec::new();
+        for k in [3i64, 17, 99] {
+            let c = t.lookup_chunk(&Value::Int64(k), None).unwrap();
+            for r in 0..c.len() {
+                single.push((c.value_at(0, r), c.value_at(1, r)));
+            }
+        }
+        batched.sort();
+        single.sort();
+        assert_eq!(batched, single);
+        // Projection applies to the whole batch.
+        let proj = t.lookup_chunk_batch(&keys, Some(&[1])).unwrap();
+        assert_eq!(proj.num_columns(), 1);
+        assert_eq!(proj.len(), 30);
+        // All-miss and empty requests produce a projected empty chunk.
+        let empty = t
+            .lookup_chunk_batch(&[Value::Int64(7777)], Some(&[1]))
+            .unwrap();
+        assert_eq!((empty.len(), empty.num_columns()), (0, 1));
+        let none = t.lookup_chunk_batch(&[], None).unwrap();
+        assert_eq!((none.len(), none.num_columns()), (0, 2));
+    }
+
+    #[test]
+    fn batched_lookup_sees_one_snapshot_under_appends() {
+        // A batch probe taken mid-append-storm must answer every key from
+        // the same point in time *per partition*: for any single key, the
+        // observed chain is a prefix of the final chain, and the batched
+        // result equals re-probing the same snapshot key by key.
+        let data = chunk((0..100).map(|i| (i % 10, i)));
+        let t = Arc::new(IndexedTable::from_chunk(schema(), 0, cfg(4), &data).unwrap());
+        let keys: Vec<Value> = (0..10).map(Value::Int64).collect();
+        std::thread::scope(|s| {
+            let writer = {
+                let t = Arc::clone(&t);
+                s.spawn(move || {
+                    for i in 100..2000 {
+                        t.append_row(&[Value::Int64(i % 10), Value::Int64(i)])
+                            .unwrap();
+                    }
+                })
+            };
+            for _ in 0..20 {
+                let snap = t.snapshot();
+                let batch = snap.lookup_batch(&keys, None).unwrap();
+                let singles: usize = keys
+                    .iter()
+                    .map(|k| snap.lookup_chunk(k, None).unwrap().len())
+                    .sum();
+                assert_eq!(batch.len(), singles, "batch equals singles on one snapshot");
+            }
+            writer.join().unwrap();
+        });
+        assert_eq!(t.snapshot().lookup_batch(&keys, None).unwrap().len(), 2000);
+    }
+
+    #[test]
+    fn snapshot_is_per_partition_consistent() {
+        // The documented contract: all rows of ONE key live in one
+        // partition, so a key's chain can never be observed torn — even
+        // though a cross-partition append may be observed partially.
+        let t = Arc::new(IndexedTable::new(schema(), 0, cfg(4)).unwrap());
+        std::thread::scope(|s| {
+            let writer = {
+                let t = Arc::clone(&t);
+                // Each round appends one row per key; a key's chain length
+                // counts completed rounds.
+                s.spawn(move || {
+                    for round in 0..300 {
+                        for k in 0..8 {
+                            t.append_row(&[Value::Int64(k), Value::Int64(round)])
+                                .unwrap();
+                        }
+                    }
+                })
+            };
+            for _ in 0..30 {
+                let snap = t.snapshot();
+                for k in 0..8 {
+                    let c = snap.lookup_chunk(&Value::Int64(k), None).unwrap();
+                    if !c.is_empty() {
+                        // Chain is latest-first and contiguous: rounds
+                        // len-1, len-2, ..., 0 with nothing missing.
+                        assert_eq!(c.value_at(1, 0), Value::Int64(c.len() as i64 - 1));
+                        assert_eq!(c.value_at(1, c.len() - 1), Value::Int64(0));
+                    }
+                }
+            }
+            writer.join().unwrap();
+        });
+        assert_eq!(t.row_count(), 2400);
     }
 
     #[test]

@@ -29,7 +29,11 @@ fn setup() -> (Session, IndexedDataFrame) {
     let session = Session::new();
     let person_rows: Vec<Vec<Value>> = (0..500)
         .map(|i| {
-            vec![Value::Int64(i), Value::Utf8(format!("p{i}")), Value::Int64(20 + i % 40)]
+            vec![
+                Value::Int64(i),
+                Value::Utf8(format!("p{i}")),
+                Value::Int64(20 + i % 40),
+            ]
         })
         .collect();
     let chunk = Chunk::from_rows(&person_schema(), &person_rows).unwrap();
@@ -52,7 +56,11 @@ fn setup() -> (Session, IndexedDataFrame) {
         Arc::new(MemTable::from_chunk_partitioned(knows_schema(), chunk, 4).unwrap()),
     );
     // Index person on id; register so SQL can see it.
-    let indexed = session.table("person_plain").unwrap().create_index("id").unwrap();
+    let indexed = session
+        .table("person_plain")
+        .unwrap()
+        .create_index("id")
+        .unwrap();
     indexed.cache().register("person");
     (session, indexed)
 }
@@ -60,12 +68,21 @@ fn setup() -> (Session, IndexedDataFrame) {
 #[test]
 fn equality_filter_becomes_index_lookup() {
     let (session, _) = setup();
-    let df = session.sql("SELECT name FROM person WHERE id = 123").unwrap();
+    let df = session
+        .sql("SELECT name FROM person WHERE id = 123")
+        .unwrap();
     let plan = df.explain().unwrap();
     // The filter must be pushed into the scan (no Filter operator left).
-    assert!(plan.contains("pushed="), "expected pushed filter, got:\n{plan}");
     assert!(
-        !plan.split("== Physical ==").nth(1).unwrap().contains("Filter"),
+        plan.contains("pushed="),
+        "expected pushed filter, got:\n{plan}"
+    );
+    assert!(
+        !plan
+            .split("== Physical ==")
+            .nth(1)
+            .unwrap()
+            .contains("Filter"),
         "no residual filter expected:\n{plan}"
     );
     let out = df.collect().unwrap();
@@ -76,7 +93,12 @@ fn equality_filter_becomes_index_lookup() {
 #[test]
 fn get_rows_returns_all_versions_latest_first() {
     let (_, indexed) = setup();
-    indexed.append_row(&[Value::Int64(7), Value::Utf8("p7 v2".into()), Value::Int64(99)])
+    indexed
+        .append_row(&[
+            Value::Int64(7),
+            Value::Utf8("p7 v2".into()),
+            Value::Int64(99),
+        ])
         .unwrap();
     let rows = indexed.get_rows_chunk(7i64).unwrap();
     assert_eq!(rows.len(), 2);
@@ -93,7 +115,10 @@ fn indexed_join_is_planned_and_correct() {
     let knows = session.table("knows").unwrap();
     let joined = indexed.join(&knows, "id", "src").unwrap();
     let plan = joined.explain().unwrap();
-    assert!(plan.contains("IndexedJoin"), "expected IndexedJoin:\n{plan}");
+    assert!(
+        plan.contains("IndexedJoin"),
+        "expected IndexedJoin:\n{plan}"
+    );
     // Compare against the vanilla plan on the plain table.
     let vanilla = session
         .table("person_plain")
@@ -157,10 +182,15 @@ fn sql_join_over_registered_indexed_table() {
 fn non_indexed_operations_fall_back() {
     let (session, _) = setup();
     // Range filter cannot use the index.
-    let df = session.sql("SELECT count(*) FROM person WHERE id > 400").unwrap();
+    let df = session
+        .sql("SELECT count(*) FROM person WHERE id > 400")
+        .unwrap();
     let plan = df.explain().unwrap();
     assert!(
-        plan.split("== Physical ==").nth(1).unwrap().contains("Filter"),
+        plan.split("== Physical ==")
+            .nth(1)
+            .unwrap()
+            .contains("Filter"),
         "range filter must stay:\n{plan}"
     );
     let out = df.collect().unwrap();
@@ -180,7 +210,13 @@ fn append_rows_batched_and_fine_grained() {
     let before = indexed.row_count();
     // Batched: a 100-row regular DataFrame.
     let rows: Vec<Vec<Value>> = (1000..1100)
-        .map(|i| vec![Value::Int64(i), Value::Utf8(format!("n{i}")), Value::Int64(30)])
+        .map(|i| {
+            vec![
+                Value::Int64(i),
+                Value::Utf8(format!("n{i}")),
+                Value::Int64(30),
+            ]
+        })
         .collect();
     let batch_df = session.create_dataframe(person_schema(), rows);
     indexed.append_rows(&batch_df).unwrap();
@@ -188,13 +224,19 @@ fn append_rows_batched_and_fine_grained() {
     for i in 1100..1110 {
         let one = session.create_dataframe(
             person_schema(),
-            vec![vec![Value::Int64(i), Value::Utf8(format!("n{i}")), Value::Int64(31)]],
+            vec![vec![
+                Value::Int64(i),
+                Value::Utf8(format!("n{i}")),
+                Value::Int64(31),
+            ]],
         );
         indexed.append_rows(&one).unwrap();
     }
     assert_eq!(indexed.row_count(), before + 110);
     // New rows are immediately visible to indexed queries.
-    let out = session.sql("SELECT name FROM person WHERE id = 1105").unwrap();
+    let out = session
+        .sql("SELECT name FROM person WHERE id = 1105")
+        .unwrap();
     assert_eq!(out.count().unwrap(), 1);
 }
 
@@ -214,7 +256,12 @@ fn snapshot_df_is_repeatable_under_appends() {
     let snap = indexed.snapshot_df();
     let live = indexed.df();
     let n0 = snap.count().unwrap();
-    indexed.append_row(&[Value::Int64(9999), Value::Utf8("late".into()), Value::Int64(1)])
+    indexed
+        .append_row(&[
+            Value::Int64(9999),
+            Value::Utf8("late".into()),
+            Value::Int64(1),
+        ])
         .unwrap();
     assert_eq!(snap.count().unwrap(), n0, "frozen view must not move");
     assert_eq!(live.count().unwrap(), n0 + 1);
@@ -244,7 +291,10 @@ fn frozen_joins_respect_the_snapshot() {
         .unwrap();
     assert_eq!(joined_before.count().unwrap(), n_before);
     let live = indexed.join(&knows, "id", "src").unwrap();
-    assert!(live.count().unwrap() > n_before, "live join sees the new row's matches");
+    assert!(
+        live.count().unwrap() > n_before,
+        "live join sees the new row's matches"
+    );
 }
 
 #[test]
@@ -266,12 +316,16 @@ fn concurrent_queries_during_append_stream() {
     };
     // Interactive lookups while the update stream runs (the demo scenario).
     for _ in 0..50 {
-        let out = session.sql("SELECT name FROM person WHERE id = 250").unwrap();
+        let out = session
+            .sql("SELECT name FROM person WHERE id = 250")
+            .unwrap();
         assert_eq!(out.count().unwrap(), 1);
     }
     writer.join().unwrap();
     assert_eq!(indexed.row_count(), 2500);
-    let out = session.sql("SELECT name FROM person WHERE id = 11999").unwrap();
+    let out = session
+        .sql("SELECT name FROM person WHERE id = 11999")
+        .unwrap();
     assert_eq!(out.count().unwrap(), 1);
 }
 
@@ -301,8 +355,15 @@ fn multi_version_lookup_counts_grow() {
     let (_, indexed) = setup();
     for v in 0..10 {
         indexed
-            .append_row(&[Value::Int64(42), Value::Utf8(format!("v{v}")), Value::Int64(v)])
+            .append_row(&[
+                Value::Int64(42),
+                Value::Utf8(format!("v{v}")),
+                Value::Int64(v),
+            ])
             .unwrap();
-        assert_eq!(indexed.get_rows_chunk(42i64).unwrap().len(), (v + 2) as usize);
+        assert_eq!(
+            indexed.get_rows_chunk(42i64).unwrap().len(),
+            (v + 2) as usize
+        );
     }
 }

@@ -1,6 +1,7 @@
-//! Property-based tests for the core storage invariants: packed pointers,
-//! the binary row layout, and the partition's chain/scan semantics against
-//! a naive model.
+//! Randomized tests for the core storage invariants: packed pointers,
+//! the binary row layout, and the partition's chain/scan semantics
+//! against a naive model. Seeded generation keeps every case
+//! reproducible: a failure message names the seed that replays it.
 
 use std::sync::Arc;
 
@@ -10,56 +11,57 @@ use idf_core::partition::IndexedPartition;
 use idf_core::pointer::{RowPtr, MAX_BATCHES, MAX_BATCH_SIZE, MAX_ROW_SIZE};
 use idf_engine::schema::{Field, Schema};
 use idf_engine::types::{DataType, Value};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-proptest! {
-    #[test]
-    fn packed_pointer_roundtrips(
-        batch in 0..MAX_BATCHES,
-        offset in 0..MAX_BATCH_SIZE,
-        size in 1..=MAX_ROW_SIZE,
-    ) {
+#[test]
+fn packed_pointer_roundtrips() {
+    let mut rng = StdRng::seed_from_u64(0xb17_0001);
+    let check = |batch: usize, offset: usize, size: usize| {
         let p = RowPtr::new(batch, offset, size);
-        prop_assert_eq!(p.batch(), batch);
-        prop_assert_eq!(p.offset(), offset);
-        prop_assert_eq!(p.size(), size);
-        prop_assert!(!p.is_null());
-        prop_assert_eq!(RowPtr::from_raw(p.raw()), p);
+        assert_eq!(p.batch(), batch);
+        assert_eq!(p.offset(), offset);
+        assert_eq!(p.size(), size);
+        assert!(!p.is_null());
+        assert_eq!(RowPtr::from_raw(p.raw()), p);
+    };
+    // Boundary corners plus random interior points.
+    for batch in [0, 1, MAX_BATCHES - 1] {
+        for offset in [0, 1, MAX_BATCH_SIZE - 1] {
+            for size in [1, MAX_ROW_SIZE] {
+                check(batch, offset, size);
+            }
+        }
+    }
+    for _ in 0..2000 {
+        check(
+            rng.gen_range(0..MAX_BATCHES),
+            rng.gen_range(0..MAX_BATCH_SIZE),
+            rng.gen_range(1..MAX_ROW_SIZE + 1),
+        );
     }
 }
 
-fn value_strategy(dt: DataType) -> BoxedStrategy<Value> {
+fn random_value(rng: &mut StdRng, dt: DataType) -> Value {
+    if rng.gen_bool(0.2) {
+        return Value::Null;
+    }
     match dt {
-        DataType::Boolean => prop_oneof![
-            1 => Just(Value::Null),
-            4 => any::<bool>().prop_map(Value::Boolean),
-        ]
-        .boxed(),
-        DataType::Int32 => prop_oneof![
-            1 => Just(Value::Null),
-            4 => any::<i32>().prop_map(Value::Int32),
-        ]
-        .boxed(),
-        DataType::Int64 => prop_oneof![
-            1 => Just(Value::Null),
-            4 => any::<i64>().prop_map(Value::Int64),
-        ]
-        .boxed(),
-        DataType::Float64 => prop_oneof![
-            1 => Just(Value::Null),
-            4 => any::<f64>().prop_map(Value::Float64),
-        ]
-        .boxed(),
-        DataType::Utf8 => prop_oneof![
-            1 => Just(Value::Null),
-            4 => "[a-zA-Z0-9 àéλ🦀]{0,40}".prop_map(Value::Utf8),
-        ]
-        .boxed(),
-        DataType::Timestamp => prop_oneof![
-            1 => Just(Value::Null),
-            4 => any::<i64>().prop_map(Value::Timestamp),
-        ]
-        .boxed(),
+        DataType::Boolean => Value::Boolean(rng.gen_bool(0.5)),
+        DataType::Int32 => Value::Int32(rng.gen_range(i32::MIN..i32::MAX)),
+        DataType::Int64 => Value::Int64(rng.gen_range(i64::MIN..i64::MAX)),
+        DataType::Float64 => Value::Float64(rng.gen_range(-1e18..1e18)),
+        DataType::Utf8 => {
+            // Mixed-width code points exercise the var-length section.
+            const ALPHABET: &[char] = &['a', 'Z', '9', ' ', 'à', 'é', 'λ', '🦀'];
+            let len = rng.gen_range(0..41usize);
+            Value::Utf8(
+                (0..len)
+                    .map(|_| ALPHABET[rng.gen_range(0..ALPHABET.len())])
+                    .collect(),
+            )
+        }
+        DataType::Timestamp => Value::Timestamp(rng.gen_range(i64::MIN..i64::MAX)),
     }
 }
 
@@ -75,29 +77,36 @@ fn wide_schema() -> Arc<Schema> {
     ]))
 }
 
-fn row_strategy() -> impl Strategy<Value = Vec<Value>> {
-    let schema = wide_schema();
-    let fields: Vec<BoxedStrategy<Value>> =
-        schema.fields.iter().map(|f| value_strategy(f.data_type)).collect();
-    fields
+fn random_row(rng: &mut StdRng, schema: &Schema) -> Vec<Value> {
+    schema
+        .fields
+        .iter()
+        .map(|f| random_value(rng, f.data_type))
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
-
-    #[test]
-    fn row_layout_roundtrips(row in row_strategy()) {
-        let layout = RowLayout::new(wide_schema());
+#[test]
+fn row_layout_roundtrips() {
+    let schema = wide_schema();
+    let layout = RowLayout::new(Arc::clone(&schema));
+    for seed in 0..128u64 {
+        let mut rng = StdRng::seed_from_u64(0x1a70_0000 + seed);
+        let row = random_row(&mut rng, &schema);
         let mut buf = Vec::new();
         layout.encode(&row, &mut buf).expect("encode");
-        prop_assert_eq!(layout.decode_row(&buf), row);
+        assert_eq!(layout.decode_row(&buf), row, "seed {seed}");
     }
+}
 
-    #[test]
-    fn rows_in_one_buffer_do_not_interfere(
-        rows in proptest::collection::vec(row_strategy(), 1..20)
-    ) {
-        let layout = RowLayout::new(wide_schema());
+#[test]
+fn rows_in_one_buffer_do_not_interfere() {
+    let schema = wide_schema();
+    let layout = RowLayout::new(Arc::clone(&schema));
+    for seed in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(0xb0f_0000 + seed);
+        let rows: Vec<Vec<Value>> = (0..rng.gen_range(1..20usize))
+            .map(|_| random_row(&mut rng, &schema))
+            .collect();
         let mut buf = Vec::new();
         let mut spans = Vec::new();
         for row in &rows {
@@ -105,23 +114,27 @@ proptest! {
             layout.encode(row, &mut buf).expect("encode");
             spans.push((start, buf.len()));
         }
-        for (row, (start, end)) in rows.iter().zip(spans) {
-            prop_assert_eq!(&layout.decode_row(&buf[start..end]), row);
+        for (i, (row, (start, end))) in rows.iter().zip(spans).enumerate() {
+            assert_eq!(
+                &layout.decode_row(&buf[start..end]),
+                row,
+                "seed {seed}, row {i}"
+            );
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
-
-    #[test]
-    fn partition_matches_naive_model(
-        ops in proptest::collection::vec((0i64..40, 0u32..1000), 1..300)
-    ) {
-        let schema = Arc::new(Schema::new(vec![
-            Field::new("k", DataType::Int64),
-            Field::new("v", DataType::Int64),
-        ]));
+#[test]
+fn partition_matches_naive_model() {
+    let schema = Arc::new(Schema::new(vec![
+        Field::new("k", DataType::Int64),
+        Field::new("v", DataType::Int64),
+    ]));
+    for seed in 0..32u64 {
+        let mut rng = StdRng::seed_from_u64(0x9a57_0000 + seed);
+        let ops: Vec<(i64, i64)> = (0..rng.gen_range(1..300usize))
+            .map(|_| (rng.gen_range(0..40i64), rng.gen_range(0..1000i64)))
+            .collect();
         let cfg = IndexConfig {
             batch_size: 512, // force frequent batch rollover
             max_row_size: 128,
@@ -132,27 +145,31 @@ proptest! {
         // model: per-key vec of values, append order
         let mut model: std::collections::HashMap<i64, Vec<i64>> = Default::default();
         for (k, v) in &ops {
-            let v = i64::from(*v);
-            p.append_row(&[Value::Int64(*k), Value::Int64(v)]).expect("append");
-            model.entry(*k).or_default().push(v);
+            p.append_row(&[Value::Int64(*k), Value::Int64(*v)])
+                .expect("append");
+            model.entry(*k).or_default().push(*v);
         }
         let snap = p.snapshot();
-        prop_assert_eq!(snap.row_count(), ops.len());
+        assert_eq!(snap.row_count(), ops.len(), "seed {seed}");
         for (k, versions) in &model {
             let chunk = snap.lookup_chunk(&Value::Int64(*k), None).expect("lookup");
-            prop_assert_eq!(chunk.len(), versions.len());
+            assert_eq!(chunk.len(), versions.len(), "seed {seed}, key {k}");
             // chains run latest-first
             for (i, expected) in versions.iter().rev().enumerate() {
-                prop_assert_eq!(chunk.value_at(1, i), Value::Int64(*expected));
+                assert_eq!(
+                    chunk.value_at(1, i),
+                    Value::Int64(*expected),
+                    "seed {seed}, key {k}, version {i}"
+                );
             }
         }
-        // scan covers exactly the appended multiset, in append order per batch walk
+        // scan covers exactly the appended multiset
         let scanned: usize = snap
             .scan_chunks(None, 64)
             .expect("scan")
             .iter()
             .map(idf_engine::chunk::Chunk::len)
             .sum();
-        prop_assert_eq!(scanned, ops.len());
+        assert_eq!(scanned, ops.len(), "seed {seed}");
     }
 }

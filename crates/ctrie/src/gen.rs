@@ -41,7 +41,10 @@ mod tests {
         let handles: Vec<_> = (0..8)
             .map(|_| std::thread::spawn(|| (0..1000).map(|_| Gen::fresh().0).collect::<Vec<_>>()))
             .collect();
-        let mut all: Vec<u64> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        let mut all: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
         let n = all.len();
         all.sort_unstable();
         all.dedup();

@@ -21,15 +21,28 @@ const LEVEL_MASK: u64 = (1 << W) - 1;
 const HASH_BITS: u32 = 64;
 
 enum Node<K, V> {
-    Branch { bitmap: u32, children: Vec<Arc<Node<K, V>>> },
-    Leaf { hash: u64, key: K, value: V },
+    Branch {
+        bitmap: u32,
+        children: Vec<Arc<Node<K, V>>>,
+    },
+    Leaf {
+        hash: u64,
+        key: K,
+        value: V,
+    },
     /// Full 64-bit hash collisions.
-    Collision { hash: u64, entries: Vec<(K, V)> },
+    Collision {
+        hash: u64,
+        entries: Vec<(K, V)>,
+    },
 }
 
 impl<K: Eq + Clone, V: Clone> Node<K, V> {
     fn empty() -> Arc<Self> {
-        Arc::new(Node::Branch { bitmap: 0, children: Vec::new() })
+        Arc::new(Node::Branch {
+            bitmap: 0,
+            children: Vec::new(),
+        })
     }
 
     fn lookup(&self, hash: u64, key: &K, level: u32) -> Option<&V> {
@@ -43,7 +56,11 @@ impl<K: Eq + Clone, V: Clone> Node<K, V> {
                 let pos = (bitmap & flag.wrapping_sub(1)).count_ones() as usize;
                 children[pos].lookup(hash, key, level + W)
             }
-            Node::Leaf { hash: h, key: k, value } => {
+            Node::Leaf {
+                hash: h,
+                key: k,
+                value,
+            } => {
                 if *h == hash && k == key {
                     Some(value)
                 } else {
@@ -75,19 +92,39 @@ impl<K: Eq + Clone, V: Clone> Node<K, V> {
                         value: value.clone(),
                     }));
                     nc.extend_from_slice(&children[pos..]);
-                    (Arc::new(Node::Branch { bitmap: bitmap | flag, children: nc }), None)
+                    (
+                        Arc::new(Node::Branch {
+                            bitmap: bitmap | flag,
+                            children: nc,
+                        }),
+                        None,
+                    )
                 } else {
                     let (child, old) = children[pos].inserted(hash, key, value, level + W);
                     let mut nc = children.clone();
                     nc[pos] = child;
-                    (Arc::new(Node::Branch { bitmap: *bitmap, children: nc }), old)
+                    (
+                        Arc::new(Node::Branch {
+                            bitmap: *bitmap,
+                            children: nc,
+                        }),
+                        old,
+                    )
                 }
             }
-            Node::Leaf { hash: h, key: k, value: v } => {
+            Node::Leaf {
+                hash: h,
+                key: k,
+                value: v,
+            } => {
                 if *h == hash && k == key {
                     let old = v.clone();
                     (
-                        Arc::new(Node::Leaf { hash, key: key.clone(), value: value.clone() }),
+                        Arc::new(Node::Leaf {
+                            hash,
+                            key: key.clone(),
+                            value: value.clone(),
+                        }),
                         Some(old),
                     )
                 } else if level >= HASH_BITS {
@@ -95,10 +132,7 @@ impl<K: Eq + Clone, V: Clone> Node<K, V> {
                     (
                         Arc::new(Node::Collision {
                             hash,
-                            entries: vec![
-                                (k.clone(), v.clone()),
-                                (key.clone(), value.clone()),
-                            ],
+                            entries: vec![(k.clone(), v.clone()), (key.clone(), value.clone())],
                         }),
                         None,
                     )
@@ -110,7 +144,10 @@ impl<K: Eq + Clone, V: Clone> Node<K, V> {
                         key: k.clone(),
                         value: v.clone(),
                     });
-                    let branch = Node::Branch { bitmap: 1u32 << idx, children: vec![existing] };
+                    let branch = Node::Branch {
+                        bitmap: 1u32 << idx,
+                        children: vec![existing],
+                    };
                     branch.inserted(hash, key, value, level)
                 }
             }
@@ -124,7 +161,13 @@ impl<K: Eq + Clone, V: Clone> Node<K, V> {
                         None
                     }
                 };
-                (Arc::new(Node::Collision { hash: *h, entries: ne }), old)
+                (
+                    Arc::new(Node::Collision {
+                        hash: *h,
+                        entries: ne,
+                    }),
+                    old,
+                )
             }
         }
     }
@@ -147,7 +190,13 @@ impl<K: Eq + Clone, V: Clone> Node<K, V> {
                     Some(child) => {
                         let mut nc = children.clone();
                         nc[pos] = child;
-                        (Some(Arc::new(Node::Branch { bitmap: *bitmap, children: nc })), old)
+                        (
+                            Some(Arc::new(Node::Branch {
+                                bitmap: *bitmap,
+                                children: nc,
+                            })),
+                            old,
+                        )
                     }
                     None => {
                         let nb = bitmap & !flag;
@@ -157,12 +206,22 @@ impl<K: Eq + Clone, V: Clone> Node<K, V> {
                             let mut nc = Vec::with_capacity(children.len() - 1);
                             nc.extend_from_slice(&children[..pos]);
                             nc.extend_from_slice(&children[pos + 1..]);
-                            (Some(Arc::new(Node::Branch { bitmap: nb, children: nc })), old)
+                            (
+                                Some(Arc::new(Node::Branch {
+                                    bitmap: nb,
+                                    children: nc,
+                                })),
+                                old,
+                            )
                         }
                     }
                 }
             }
-            Node::Leaf { hash: h, key: k, value } => {
+            Node::Leaf {
+                hash: h,
+                key: k,
+                value,
+            } => {
                 if *h == hash && k == key {
                     (None, Some(value.clone()))
                 } else {
@@ -181,9 +240,16 @@ impl<K: Eq + Clone, V: Clone> Node<K, V> {
                 ne.remove(pos);
                 let node = if ne.len() == 1 {
                     let (k, v) = ne.pop().expect("len checked");
-                    Arc::new(Node::Leaf { hash: *h, key: k, value: v })
+                    Arc::new(Node::Leaf {
+                        hash: *h,
+                        key: k,
+                        value: v,
+                    })
                 } else {
-                    Arc::new(Node::Collision { hash: *h, entries: ne })
+                    Arc::new(Node::Collision {
+                        hash: *h,
+                        entries: ne,
+                    })
                 };
                 (Some(node), Some(old))
             }
@@ -249,12 +315,13 @@ where
 {
     /// Create an empty HAMT with a custom hasher.
     pub fn with_hasher(hasher: S) -> Self {
-        Hamt { root: RwLock::new(Node::empty()), hasher }
+        Hamt {
+            root: RwLock::new(Node::empty()),
+            hasher,
+        }
     }
 
     fn hash_key(&self, key: &K) -> u64 {
-        
-        
         self.hasher.hash_one(key)
     }
 
@@ -287,7 +354,10 @@ where
 
     /// O(1) point-in-time snapshot.
     pub fn snapshot(&self) -> HamtSnapshot<K, V, S> {
-        HamtSnapshot { root: Arc::clone(&self.root.read()), hasher: self.hasher.clone() }
+        HamtSnapshot {
+            root: Arc::clone(&self.root.read()),
+            hasher: self.hasher.clone(),
+        }
     }
 
     /// Number of bindings (O(n)).
@@ -322,8 +392,6 @@ where
 {
     /// Look up the value bound to `key` in the snapshot.
     pub fn lookup(&self, key: &K) -> Option<V> {
-        
-        
         self.root.lookup(self.hasher.hash_one(key), key, 0).cloned()
     }
 

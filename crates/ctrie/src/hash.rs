@@ -91,8 +91,6 @@ mod tests {
     use std::hash::Hash;
 
     fn hash_of<T: Hash>(v: T) -> u64 {
-        
-        
         FxBuildHasher.hash_one(&v)
     }
 

@@ -29,7 +29,10 @@ where
     pub(crate) fn new(snapshot: CTrie<K, V, S>) -> Self {
         debug_assert!(snapshot.is_read_only());
         let root = snapshot.root_main_arc();
-        Iter { trie: snapshot, stack: vec![(root, 0)] }
+        Iter {
+            trie: snapshot,
+            stack: vec![(root, 0)],
+        }
     }
 }
 

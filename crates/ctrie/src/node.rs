@@ -156,7 +156,9 @@ impl<K, V> Drop for INode<K, V> {
         // SAFETY: `&mut self` proves no concurrent access; the cell owns one
         // count of its pointee.
         unsafe {
-            let p = self.main.load(Ordering::Relaxed, crossbeam_epoch::unprotected());
+            let p = self
+                .main
+                .load(Ordering::Relaxed, crossbeam_epoch::unprotected());
             if !p.is_null() {
                 drop(Arc::from_raw(p.as_raw()));
             }
@@ -187,16 +189,30 @@ impl<K, V> CNode<K, V> {
     pub(crate) fn updated(&self, pos: usize, branch: Branch<K, V>, gen: Gen) -> CNode<K, V> {
         let mut array = self.array.clone();
         array[pos] = branch;
-        CNode { bitmap: self.bitmap, array, gen }
+        CNode {
+            bitmap: self.bitmap,
+            array,
+            gen,
+        }
     }
 
     /// Copy with a new branch spliced in at `pos` under bitmap bit `flag`.
-    pub(crate) fn inserted(&self, pos: usize, flag: u32, branch: Branch<K, V>, gen: Gen) -> CNode<K, V> {
+    pub(crate) fn inserted(
+        &self,
+        pos: usize,
+        flag: u32,
+        branch: Branch<K, V>,
+        gen: Gen,
+    ) -> CNode<K, V> {
         let mut array = Vec::with_capacity(self.array.len() + 1);
         array.extend_from_slice(&self.array[..pos]);
         array.push(branch);
         array.extend_from_slice(&self.array[pos..]);
-        CNode { bitmap: self.bitmap | flag, array, gen }
+        CNode {
+            bitmap: self.bitmap | flag,
+            array,
+            gen,
+        }
     }
 
     /// Copy with the branch at `pos` removed and bitmap bit `flag` cleared.
@@ -204,7 +220,11 @@ impl<K, V> CNode<K, V> {
         let mut array = Vec::with_capacity(self.array.len() - 1);
         array.extend_from_slice(&self.array[..pos]);
         array.extend_from_slice(&self.array[pos + 1..]);
-        CNode { bitmap: self.bitmap & !flag, array, gen }
+        CNode {
+            bitmap: self.bitmap & !flag,
+            array,
+            gen,
+        }
     }
 }
 
@@ -215,21 +235,36 @@ pub(crate) struct LNode<K, V> {
 }
 
 impl<K: Eq, V> LNode<K, V> {
-    pub(crate) fn get(&self, key: &K) -> Option<&Arc<SNode<K, V>>> {
-        self.entries.iter().find(|sn| sn.key == *key)
+    pub(crate) fn get<Q>(&self, key: &Q) -> Option<&Arc<SNode<K, V>>>
+    where
+        K: std::borrow::Borrow<Q>,
+        Q: ?Sized + Eq,
+    {
+        self.entries.iter().find(|sn| sn.key.borrow() == key)
     }
 
     /// Copy with `key` bound to `sn` (replacing any existing binding).
     pub(crate) fn inserted(&self, sn: Arc<SNode<K, V>>) -> LNode<K, V> {
-        let mut entries: Vec<_> =
-            self.entries.iter().filter(|e| e.key != sn.key).cloned().collect();
+        let mut entries: Vec<_> = self
+            .entries
+            .iter()
+            .filter(|e| e.key != sn.key)
+            .cloned()
+            .collect();
         entries.push(sn);
         LNode { entries }
     }
 
     /// Copy with `key` removed.
     pub(crate) fn removed(&self, key: &K) -> LNode<K, V> {
-        LNode { entries: self.entries.iter().filter(|e| e.key != *key).cloned().collect() }
+        LNode {
+            entries: self
+                .entries
+                .iter()
+                .filter(|e| e.key != *key)
+                .cloned()
+                .collect(),
+        }
     }
 }
 
@@ -260,7 +295,10 @@ pub(crate) struct MainNode<K, V> {
 
 impl<K, V> MainNode<K, V> {
     pub(crate) fn from_kind(kind: MainKind<K, V>) -> Arc<Self> {
-        Arc::new(MainNode { kind, prev: Atomic::null() })
+        Arc::new(MainNode {
+            kind,
+            prev: Atomic::null(),
+        })
     }
 
     pub(crate) fn cnode(c: CNode<K, V>) -> Arc<Self> {
@@ -280,7 +318,9 @@ impl<K, V> Drop for MainNode<K, V> {
     fn drop(&mut self) {
         // SAFETY: `&mut self`; a non-null prev cell owns one count.
         unsafe {
-            let p = self.prev.load(Ordering::Relaxed, crossbeam_epoch::unprotected());
+            let p = self
+                .prev
+                .load(Ordering::Relaxed, crossbeam_epoch::unprotected());
             if !p.is_null() {
                 drop(Arc::from_raw(p.with_tag(0).as_raw()));
             }
@@ -299,7 +339,9 @@ pub(crate) fn dual<K, V>(
     gen: Gen,
 ) -> Arc<MainNode<K, V>> {
     if level >= HASH_BITS {
-        return MainNode::lnode(LNode { entries: vec![x, y] });
+        return MainNode::lnode(LNode {
+            entries: vec![x, y],
+        });
     }
     let xi = (x.hash >> level) & LEVEL_MASK;
     let yi = (y.hash >> level) & LEVEL_MASK;
@@ -314,7 +356,11 @@ pub(crate) fn dual<K, V>(
     } else {
         let inner = dual(x, y, level + W, gen);
         let child = Arc::new(INode::new(inner, gen));
-        MainNode::cnode(CNode { bitmap: 1u32 << xi, array: vec![Branch::I(child)], gen })
+        MainNode::cnode(CNode {
+            bitmap: 1u32 << xi,
+            array: vec![Branch::I(child)],
+            gen,
+        })
     }
 }
 
@@ -347,7 +393,11 @@ mod tests {
         let gen = Gen::fresh();
         let sn1 = Arc::new(SNode::new(1, 1u64, 10u64));
         let sn2 = Arc::new(SNode::new(2, 2u64, 20u64));
-        let c0 = CNode { bitmap: 1 << 1, array: vec![Branch::S(sn1)], gen };
+        let c0 = CNode {
+            bitmap: 1 << 1,
+            array: vec![Branch::S(sn1)],
+            gen,
+        };
         let c1 = c0.inserted(1, 1 << 2, Branch::S(sn2), gen);
         assert_eq!(c1.array.len(), 2);
         assert_eq!(c1.bitmap, (1 << 1) | (1 << 2));

@@ -15,6 +15,7 @@
 //! See [`crate::node`] for the strong-count ownership protocol used in place
 //! of the JVM garbage collector.
 
+use std::borrow::Borrow;
 use std::hash::{BuildHasher, Hash};
 use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
 use std::sync::Arc;
@@ -26,8 +27,7 @@ use crate::hash::FxBuildHasher;
 use crate::iter::Iter;
 use crate::node::{
     arc_clone_from_shared, arc_from_shared, arc_into_shared, defer_drop_arc, dual, Branch, CNode,
-    INode, MainKind, MainNode, SNode, SendPtr, PREV_FAILED, PREV_PENDING, ROOT_DESC,
-    ROOT_INODE, W,
+    INode, MainKind, MainNode, SNode, SendPtr, PREV_FAILED, PREV_PENDING, ROOT_DESC, ROOT_INODE, W,
 };
 use crate::{SnapshotMap, SnapshotReader};
 
@@ -96,9 +96,18 @@ where
     /// Create an empty trie with a custom hasher.
     pub fn with_hasher(hasher: S) -> Self {
         let gen = Gen::fresh();
-        let empty = MainNode::cnode(CNode { bitmap: 0, array: Vec::new(), gen });
+        let empty = MainNode::cnode(CNode {
+            bitmap: 0,
+            array: Vec::new(),
+            gen,
+        });
         let root = Arc::new(INode::new(empty, gen));
-        CTrie { root: Self::root_cell(root, ROOT_INODE), read_only: false, hasher, _marker: std::marker::PhantomData }
+        CTrie {
+            root: Self::root_cell(root, ROOT_INODE),
+            read_only: false,
+            hasher,
+            _marker: std::marker::PhantomData,
+        }
     }
 
     fn root_cell(inode: Arc<INode<K, V>>, tag: usize) -> Atomic<u64> {
@@ -109,7 +118,7 @@ where
         cell
     }
 
-    fn hash_key(&self, key: &K) -> u64 {
+    fn hash_key<Q: ?Sized + Hash>(&self, key: &Q) -> u64 {
         self.hasher.hash_one(key)
     }
 
@@ -153,11 +162,19 @@ where
                 ov.with_tag(0).as_raw() as *const INode<K, V>
             ))
         };
-        let desc = Arc::new(Descriptor { ov: ov_arc, exp, nv, committed: AtomicBool::new(false) });
+        let desc = Arc::new(Descriptor {
+            ov: ov_arc,
+            exp,
+            nv,
+            committed: AtomicBool::new(false),
+        });
         let desc_probe = Arc::clone(&desc);
         let desc_shared: Shared<'_, u64> =
             Shared::from(Arc::into_raw(desc).cast::<u64>()).with_tag(ROOT_DESC);
-        match self.root.compare_exchange(ov, desc_shared, SeqCst, SeqCst, g) {
+        match self
+            .root
+            .compare_exchange(ov, desc_shared, SeqCst, SeqCst, g)
+        {
             Ok(_) => {
                 // The cell's former count of `ov` is now orphaned.
                 unsafe { Self::defer_drop_root(g, ov) };
@@ -196,7 +213,9 @@ where
                     }
                     Err(_) => {
                         unsafe {
-                            drop(Arc::from_raw(shared.with_tag(0).as_raw() as *const INode<K, V>));
+                            drop(Arc::from_raw(
+                                shared.with_tag(0).as_raw() as *const INode<K, V>
+                            ));
                         }
                         false
                     }
@@ -295,7 +314,10 @@ where
             // Pending: commit iff our generation is still current and this
             // handle may write; otherwise poison it as failed.
             if root.gen == inode.gen && !self.read_only {
-                match mref.prev.compare_exchange(prev, Shared::null(), SeqCst, SeqCst, g) {
+                match mref
+                    .prev
+                    .compare_exchange(prev, Shared::null(), SeqCst, SeqCst, g)
+                {
                     Ok(_) => {
                         // prev's count of the old main is released.
                         unsafe { defer_drop_arc(g, prev) };
@@ -304,9 +326,9 @@ where
                     Err(_) => continue,
                 }
             } else {
-                let _ = mref
-                    .prev
-                    .compare_exchange(prev, prev.with_tag(PREV_FAILED), SeqCst, SeqCst, g);
+                let _ =
+                    mref.prev
+                        .compare_exchange(prev, prev.with_tag(PREV_FAILED), SeqCst, SeqCst, g);
                 continue;
             }
         }
@@ -325,7 +347,10 @@ where
         unsafe { Arc::increment_strong_count(old.as_raw()) };
         new.prev.store(old.with_tag(PREV_PENDING), SeqCst);
         let new_shared = arc_into_shared(new);
-        match inode.main.compare_exchange(old, new_shared, SeqCst, SeqCst, g) {
+        match inode
+            .main
+            .compare_exchange(old, new_shared, SeqCst, SeqCst, g)
+        {
             Ok(_) => {
                 // The cell's count of `old` is orphaned (rollback takes a
                 // fresh count if needed).
@@ -365,7 +390,11 @@ where
                 Branch::S(s) => Branch::S(Arc::clone(s)),
             })
             .collect();
-        CNode { bitmap: cn.bitmap, array, gen }
+        CNode {
+            bitmap: cn.bitmap,
+            array,
+            gen,
+        }
     }
 
     /// Contract a single-singleton C-node into a tomb (if below the root).
@@ -395,7 +424,14 @@ where
                 Branch::S(s) => Branch::S(Arc::clone(s)),
             })
             .collect();
-        Self::contracted(CNode { bitmap: cn.bitmap, array, gen }, level)
+        Self::contracted(
+            CNode {
+                bitmap: cn.bitmap,
+                array,
+                gen,
+            },
+            level,
+        )
     }
 
     /// Replace `inode`'s C-node main with its compression.
@@ -540,8 +576,7 @@ where
                 }
                 MainKind::L(ln) => {
                     let old = ln.get(key).map(|sn| sn.value.clone());
-                    let nln =
-                        ln.inserted(Arc::new(SNode::new(hash, key.clone(), value.clone())));
+                    let nln = ln.inserted(Arc::new(SNode::new(hash, key.clone(), value.clone())));
                     if self.gcas(inode, m, MainNode::lnode(nln), g) {
                         return Op::Done(old);
                     }
@@ -563,6 +598,28 @@ where
     /// Look up `key` and project the bound value through `f` without
     /// cloning it first.
     pub fn lookup_with<R>(&self, key: &K, f: impl FnOnce(&V) -> R) -> Option<R> {
+        self.lookup_with_borrowed(key, f)
+    }
+
+    /// Look up through any borrowed form of the key type, so callers can
+    /// probe without materialising an owned `K` (e.g. a `CTrie<String, _>`
+    /// probed with a `&str`). Mirrors `HashMap::get`'s `Borrow` contract:
+    /// `Q`'s `Hash` and `Eq` must agree with `K`'s.
+    pub fn lookup_borrowed<Q>(&self, key: &Q) -> Option<V>
+    where
+        K: Borrow<Q>,
+        Q: ?Sized + Hash + Eq,
+    {
+        self.lookup_with_borrowed(key, V::clone)
+    }
+
+    /// [`Self::lookup_borrowed`] with a projection applied in place of the
+    /// final clone — the zero-allocation probe entry point.
+    pub fn lookup_with_borrowed<Q, R>(&self, key: &Q, f: impl FnOnce(&V) -> R) -> Option<R>
+    where
+        K: Borrow<Q>,
+        Q: ?Sized + Hash + Eq,
+    {
         let hash = self.hash_key(key);
         let g = &epoch::pin();
         let mut f = Some(f);
@@ -576,17 +633,21 @@ where
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn rec_lookup<R>(
+    fn rec_lookup<Q, R>(
         &self,
         inode: &INode<K, V>,
         hash: u64,
-        key: &K,
+        key: &Q,
         level: u32,
         parent: Option<&INode<K, V>>,
         startgen: Gen,
         f: &mut Option<impl FnOnce(&V) -> R>,
         g: &Guard,
-    ) -> Op<Option<R>> {
+    ) -> Op<Option<R>>
+    where
+        K: Borrow<Q>,
+        Q: ?Sized + Hash + Eq,
+    {
         loop {
             let m = self.gcas_read(inode, g);
             // SAFETY: pinned by `g`.
@@ -619,7 +680,7 @@ where
                             return Op::Restart;
                         }
                         Branch::S(sn) => {
-                            if sn.hash == hash && sn.key == *key {
+                            if sn.hash == hash && sn.key.borrow() == key {
                                 let func = f.take().expect("projection applied twice");
                                 return Op::Done(Some(func(&sn.value)));
                             }
@@ -630,7 +691,7 @@ where
                 MainKind::T(sn) => {
                     if self.read_only {
                         // Snapshots never clean; answer straight from the tomb.
-                        if sn.hash == hash && sn.key == *key {
+                        if sn.hash == hash && sn.key.borrow() == key {
                             let func = f.take().expect("projection applied twice");
                             return Op::Done(Some(func(&sn.value)));
                         }
@@ -775,12 +836,16 @@ where
         loop {
             let pm = self.gcas_read(parent, g);
             // SAFETY: pinned by `g`.
-            let MainKind::C(cn) = &unsafe { pm.deref() }.kind else { return };
+            let MainKind::C(cn) = &unsafe { pm.deref() }.kind else {
+                return;
+            };
             let (flag, pos) = CNode::<K, V>::flag_pos(hash, parent_level, cn.bitmap);
             if cn.bitmap & flag == 0 {
                 return;
             }
-            let Branch::I(sub) = &cn.array[pos] else { return };
+            let Branch::I(sub) = &cn.array[pos] else {
+                return;
+            };
             if !std::ptr::eq(Arc::as_ptr(sub), tombed as *const _) {
                 return;
             }
@@ -837,7 +902,7 @@ where
             // SAFETY: root_shared holds a live I-node under `g`.
             let root_arc = unsafe {
                 arc_clone_from_shared::<INode<K, V>>(Shared::from(
-                    root_shared.with_tag(0).as_raw() as *const INode<K, V>,
+                    root_shared.with_tag(0).as_raw() as *const INode<K, V>
                 ))
             };
             return CTrie {
@@ -856,7 +921,7 @@ where
             // SAFETY: root_shared holds a live I-node under `g`.
             let old_root = unsafe {
                 arc_clone_from_shared::<INode<K, V>>(Shared::from(
-                    root_shared.with_tag(0).as_raw() as *const INode<K, V>,
+                    root_shared.with_tag(0).as_raw() as *const INode<K, V>
                 ))
             };
             let exp = unsafe { arc_clone_from_shared(main) };
@@ -1021,6 +1086,24 @@ mod tests {
         }
         assert_eq!(t.len(), 1);
         assert_eq!(t.lookup(&4999), Some(4999));
+    }
+
+    #[test]
+    fn borrowed_lookup_never_builds_an_owned_key() {
+        let t: CTrie<String, u64> = CTrie::new();
+        for i in 0..1000u64 {
+            t.insert(format!("key-{i}"), i);
+        }
+        // Probe with `&str` — no `String` is allocated on the lookup path.
+        assert_eq!(t.lookup_borrowed("key-7"), Some(7));
+        assert_eq!(t.lookup_borrowed("key-999"), Some(999));
+        assert_eq!(t.lookup_borrowed("missing"), None);
+        assert_eq!(t.lookup_with_borrowed("key-41", |v| v + 1), Some(42));
+        // Snapshots answer through the same borrowed path.
+        let snap = t.read_only_snapshot();
+        t.insert("key-7".to_string(), 70);
+        assert_eq!(snap.lookup_borrowed("key-7"), Some(7));
+        assert_eq!(t.lookup_borrowed("key-7"), Some(70));
     }
 
     #[test]
@@ -1219,12 +1302,20 @@ mod tests {
             // exactly the prefix 0..n. Verify a bounded sample plus the
             // boundaries.
             for k in (0..n as u64).step_by(1 + n / 64) {
-                assert_eq!(snap.lookup(&k), Some(k), "snapshot of size {n} missing key {k}");
+                assert_eq!(
+                    snap.lookup(&k),
+                    Some(k),
+                    "snapshot of size {n} missing key {k}"
+                );
             }
             if n > 0 {
                 assert_eq!(snap.lookup(&(n as u64 - 1)), Some(n as u64 - 1));
             }
-            assert_eq!(snap.lookup(&(n as u64)), None, "snapshot of size {n} leaked key {n}");
+            assert_eq!(
+                snap.lookup(&(n as u64)),
+                None,
+                "snapshot of size {n} leaked key {n}"
+            );
             last = n;
         }
         writer.join().unwrap();

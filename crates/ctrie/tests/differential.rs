@@ -1,12 +1,14 @@
-//! Property-based differential testing: the lock-free cTrie, the
-//! persistent HAMT, and `std::collections::HashMap` must agree on every
-//! operation sequence — including interleaved snapshots, which the
-//! HashMap model handles by cloning.
+//! Randomized differential testing: the lock-free cTrie, the persistent
+//! HAMT, and `std::collections::HashMap` must agree on every operation
+//! sequence — including interleaved snapshots, which the HashMap model
+//! handles by cloning. Seeded generation keeps every case reproducible:
+//! a failure message names the seed that replays it.
 
 use std::collections::HashMap;
 
 use idf_ctrie::{CTrie, Hamt};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// One step of a generated workload.
 #[derive(Debug, Clone)]
@@ -20,22 +22,23 @@ enum Op {
     Len,
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        4 => (any::<u16>(), any::<u32>()).prop_map(|(k, v)| Op::Insert(k % 512, v)),
-        2 => any::<u16>().prop_map(|k| Op::Remove(k % 512)),
-        3 => any::<u16>().prop_map(|k| Op::Lookup(k % 512)),
-        1 => Just(Op::Snapshot),
-        1 => any::<u16>().prop_map(|k| Op::SnapshotLookup(k % 512)),
-        1 => Just(Op::Len),
-    ]
+fn random_op(rng: &mut StdRng) -> Op {
+    // Weights mirror the original property test: 4/2/3/1/1/1.
+    match rng.gen_range(0..12) {
+        0..=3 => Op::Insert(rng.gen_range(0..512u16), rng.gen_range(0..u32::MAX)),
+        4..=5 => Op::Remove(rng.gen_range(0..512u16)),
+        6..=8 => Op::Lookup(rng.gen_range(0..512u16)),
+        9 => Op::Snapshot,
+        10 => Op::SnapshotLookup(rng.gen_range(0..512u16)),
+        _ => Op::Len,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
-
-    #[test]
-    fn ctrie_hamt_hashmap_agree(ops in proptest::collection::vec(op_strategy(), 1..400)) {
+#[test]
+fn ctrie_hamt_hashmap_agree() {
+    for seed in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n_ops = rng.gen_range(1..400usize);
         let trie: CTrie<u16, u32> = CTrie::new();
         let hamt: Hamt<u16, u32> = Hamt::new();
         let mut model: HashMap<u16, u32> = HashMap::new();
@@ -44,26 +47,34 @@ proptest! {
         let mut hamt_snap = None;
         let mut model_snap: Option<HashMap<u16, u32>> = None;
 
-        for op in ops {
-            match op {
+        for step in 0..n_ops {
+            match random_op(&mut rng) {
                 Op::Insert(k, v) => {
                     let a = trie.insert(k, v);
                     let b = hamt.insert(k, v);
                     let c = model.insert(k, v);
-                    prop_assert_eq!(a, c);
-                    prop_assert_eq!(b, c);
+                    assert_eq!(a, c, "seed {seed}, step {step}: ctrie insert({k})");
+                    assert_eq!(b, c, "seed {seed}, step {step}: hamt insert({k})");
                 }
                 Op::Remove(k) => {
                     let a = trie.remove(&k);
                     let b = hamt.remove(&k);
                     let c = model.remove(&k);
-                    prop_assert_eq!(a, c);
-                    prop_assert_eq!(b, c);
+                    assert_eq!(a, c, "seed {seed}, step {step}: ctrie remove({k})");
+                    assert_eq!(b, c, "seed {seed}, step {step}: hamt remove({k})");
                 }
                 Op::Lookup(k) => {
                     let c = model.get(&k).copied();
-                    prop_assert_eq!(trie.lookup(&k), c);
-                    prop_assert_eq!(hamt.lookup(&k), c);
+                    assert_eq!(
+                        trie.lookup(&k),
+                        c,
+                        "seed {seed}, step {step}: ctrie lookup({k})"
+                    );
+                    assert_eq!(
+                        hamt.lookup(&k),
+                        c,
+                        "seed {seed}, step {step}: hamt lookup({k})"
+                    );
                 }
                 Op::Snapshot => {
                     trie_snap = Some(trie.read_only_snapshot());
@@ -71,17 +82,23 @@ proptest! {
                     model_snap = Some(model.clone());
                 }
                 Op::SnapshotLookup(k) => {
-                    if let (Some(ts), Some(hs), Some(ms)) =
-                        (&trie_snap, &hamt_snap, &model_snap)
-                    {
+                    if let (Some(ts), Some(hs), Some(ms)) = (&trie_snap, &hamt_snap, &model_snap) {
                         let c = ms.get(&k).copied();
-                        prop_assert_eq!(ts.lookup(&k), c);
-                        prop_assert_eq!(hs.lookup(&k), c);
+                        assert_eq!(ts.lookup(&k), c, "seed {seed}: snap ctrie lookup({k})");
+                        assert_eq!(hs.lookup(&k), c, "seed {seed}: snap hamt lookup({k})");
                     }
                 }
                 Op::Len => {
-                    prop_assert_eq!(trie.len(), model.len());
-                    prop_assert_eq!(hamt.len(), model.len());
+                    assert_eq!(
+                        trie.len(),
+                        model.len(),
+                        "seed {seed}, step {step}: ctrie len"
+                    );
+                    assert_eq!(
+                        hamt.len(),
+                        model.len(),
+                        "seed {seed}, step {step}: hamt len"
+                    );
                 }
             }
         }
@@ -92,16 +109,25 @@ proptest! {
         hamt_all.sort_unstable();
         let mut model_all: Vec<(u16, u32)> = model.into_iter().collect();
         model_all.sort_unstable();
-        prop_assert_eq!(trie_all, model_all.clone());
-        prop_assert_eq!(hamt_all, model_all);
+        assert_eq!(trie_all, model_all, "seed {seed}: ctrie final contents");
+        assert_eq!(hamt_all, model_all, "seed {seed}: hamt final contents");
     }
+}
 
-    #[test]
-    fn writable_snapshot_fully_isolates(
-        base in proptest::collection::vec((any::<u16>(), any::<u32>()), 1..200),
-        after_a in proptest::collection::vec((any::<u16>(), any::<u32>()), 1..100),
-        after_b in proptest::collection::vec((any::<u16>(), any::<u32>()), 1..100),
-    ) {
+#[test]
+fn writable_snapshot_fully_isolates() {
+    fn pairs(rng: &mut StdRng, max: usize) -> Vec<(u16, u32)> {
+        let n = rng.gen_range(1..max);
+        (0..n)
+            .map(|_| (rng.gen_range(0..1024u16), rng.gen_range(0..u32::MAX)))
+            .collect()
+    }
+    for seed in 0..24u64 {
+        let mut rng = StdRng::seed_from_u64(0x5eed_0000 + seed);
+        let base = pairs(&mut rng, 200);
+        let after_a = pairs(&mut rng, 100);
+        let after_b = pairs(&mut rng, 100);
+
         let trie: CTrie<u16, u32> = CTrie::new();
         let mut model: HashMap<u16, u32> = HashMap::new();
         for (k, v) in base {
@@ -119,23 +145,38 @@ proptest! {
             fork_model.insert(k, v);
         }
         for k in 0u16..1024 {
-            prop_assert_eq!(trie.lookup(&k), model.get(&k).copied());
-            prop_assert_eq!(fork.lookup(&k), fork_model.get(&k).copied());
+            assert_eq!(
+                trie.lookup(&k),
+                model.get(&k).copied(),
+                "seed {seed}, key {k}"
+            );
+            assert_eq!(
+                fork.lookup(&k),
+                fork_model.get(&k).copied(),
+                "seed {seed}, fork key {k}"
+            );
         }
     }
+}
 
-    #[test]
-    fn insert_returns_previous_value_chains(
-        keys in proptest::collection::vec(any::<u8>(), 1..300)
-    ) {
-        // The Indexed DataFrame depends on insert returning the previous
-        // binding to thread its backward pointers; verify the chain of
-        // returned values reconstructs insertion order per key.
+#[test]
+fn insert_returns_previous_value_chains() {
+    // The Indexed DataFrame depends on insert returning the previous
+    // binding to thread its backward pointers; verify the chain of
+    // returned values reconstructs insertion order per key.
+    for seed in 0..32u64 {
+        let mut rng = StdRng::seed_from_u64(0xc4a1_0000 + seed);
+        let n = rng.gen_range(1..300usize);
         let trie: CTrie<u8, u64> = CTrie::new();
         let mut last_for_key: HashMap<u8, u64> = HashMap::new();
-        for (seq, k) in keys.iter().enumerate() {
-            let prev = trie.insert(*k, seq as u64);
-            prop_assert_eq!(prev, last_for_key.insert(*k, seq as u64));
+        for seq in 0..n {
+            let k = rng.gen_range(0..256u16) as u8;
+            let prev = trie.insert(k, seq as u64);
+            assert_eq!(
+                prev,
+                last_for_key.insert(k, seq as u64),
+                "seed {seed}, step {seq}, key {k}"
+            );
         }
     }
 }

@@ -36,9 +36,10 @@ fn bind_columns(expr: &Expr, schema: &Schema) -> Result<Expr> {
         Expr::Not(e) => Expr::Not(Box::new(bind_columns(e, schema)?)),
         Expr::IsNull(e) => Expr::IsNull(Box::new(bind_columns(e, schema)?)),
         Expr::IsNotNull(e) => Expr::IsNotNull(Box::new(bind_columns(e, schema)?)),
-        Expr::Cast { expr, to } => {
-            Expr::Cast { expr: Box::new(bind_columns(expr, schema)?), to: *to }
-        }
+        Expr::Cast { expr, to } => Expr::Cast {
+            expr: Box::new(bind_columns(expr, schema)?),
+            to: *to,
+        },
         Expr::Alias(e, n) => Expr::Alias(Box::new(bind_columns(e, schema)?), n.clone()),
         Expr::Aggregate { func, arg } => Expr::Aggregate {
             func: *func,
@@ -49,14 +50,28 @@ fn bind_columns(expr: &Expr, schema: &Schema) -> Result<Expr> {
         },
         Expr::Scalar { func, args } => Expr::Scalar {
             func: *func,
-            args: args.iter().map(|a| bind_columns(a, schema)).collect::<Result<_>>()?,
+            args: args
+                .iter()
+                .map(|a| bind_columns(a, schema))
+                .collect::<Result<_>>()?,
         },
-        Expr::InList { expr, list, negated } => Expr::InList {
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => Expr::InList {
             expr: Box::new(bind_columns(expr, schema)?),
-            list: list.iter().map(|e| bind_columns(e, schema)).collect::<Result<_>>()?,
+            list: list
+                .iter()
+                .map(|e| bind_columns(e, schema))
+                .collect::<Result<_>>()?,
             negated: *negated,
         },
-        Expr::Like { expr, pattern, negated } => Expr::Like {
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => Expr::Like {
             expr: Box::new(bind_columns(expr, schema)?),
             pattern: pattern.clone(),
             negated: *negated,
@@ -81,10 +96,18 @@ fn coerce(expr: &Expr, schema: &Schema) -> Result<Expr> {
                         )));
                     }
                 }
-                return Ok(Expr::Binary { left: Box::new(l), op: *op, right: Box::new(r) });
+                return Ok(Expr::Binary {
+                    left: Box::new(l),
+                    op: *op,
+                    right: Box::new(r),
+                });
             }
             let (l, r) = unify_operands(l, lt, r, rt, *op)?;
-            Expr::Binary { left: Box::new(l), op: *op, right: Box::new(r) }
+            Expr::Binary {
+                left: Box::new(l),
+                op: *op,
+                right: Box::new(r),
+            }
         }
         Expr::Not(e) => {
             let e = coerce(e, schema)?;
@@ -95,7 +118,10 @@ fn coerce(expr: &Expr, schema: &Schema) -> Result<Expr> {
         }
         Expr::IsNull(e) => Expr::IsNull(Box::new(coerce(e, schema)?)),
         Expr::IsNotNull(e) => Expr::IsNotNull(Box::new(coerce(e, schema)?)),
-        Expr::Cast { expr, to } => Expr::Cast { expr: Box::new(coerce(expr, schema)?), to: *to },
+        Expr::Cast { expr, to } => Expr::Cast {
+            expr: Box::new(coerce(expr, schema)?),
+            to: *to,
+        },
         Expr::Alias(e, n) => Expr::Alias(Box::new(coerce(e, schema)?), n.clone()),
         Expr::Aggregate { func, arg } => {
             let arg = match arg {
@@ -117,18 +143,30 @@ fn coerce(expr: &Expr, schema: &Schema) -> Result<Expr> {
             Expr::Aggregate { func: *func, arg }
         }
         Expr::Scalar { func, args } => {
-            let args: Vec<Expr> =
-                args.iter().map(|a| coerce(a, schema)).collect::<Result<_>>()?;
+            let args: Vec<Expr> = args
+                .iter()
+                .map(|a| coerce(a, schema))
+                .collect::<Result<_>>()?;
             check_scalar_args(*func, &args, schema)?;
             Expr::Scalar { func: *func, args }
         }
-        Expr::InList { expr, list, negated } => {
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
             let tested = coerce(expr, schema)?;
             let tt = expr_type(&tested, schema)?;
             let list = list
                 .iter()
                 .map(|e| {
                     let e = coerce(e, schema)?;
+                    // A NULL entry is valid against any tested type —
+                    // under three-valued logic it can only ever yield
+                    // NULL, never a type error.
+                    if matches!(&e, Expr::Literal(crate::types::Value::Null)) {
+                        return Ok(e);
+                    }
                     let et = expr_type(&e, schema)?;
                     if et == tt {
                         return Ok(e);
@@ -142,14 +180,26 @@ fn coerce(expr: &Expr, schema: &Schema) -> Result<Expr> {
                     )))
                 })
                 .collect::<Result<_>>()?;
-            Expr::InList { expr: Box::new(tested), list, negated: *negated }
+            Expr::InList {
+                expr: Box::new(tested),
+                list,
+                negated: *negated,
+            }
         }
-        Expr::Like { expr, pattern, negated } => {
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => {
             let tested = coerce(expr, schema)?;
             if expr_type(&tested, schema)? != DataType::Utf8 {
                 return Err(EngineError::type_err("LIKE requires a UTF8 operand"));
             }
-            Expr::Like { expr: Box::new(tested), pattern: pattern.clone(), negated: *negated }
+            Expr::Like {
+                expr: Box::new(tested),
+                pattern: pattern.clone(),
+                negated: *negated,
+            }
         }
         other => other.clone(),
     })
@@ -162,13 +212,17 @@ fn check_scalar_args(func: ScalarFunc, args: &[Expr], schema: &Schema) -> Result
         _ => args.len() == 1,
     };
     if !arity_ok {
-        return Err(EngineError::type_err(format!("wrong number of arguments to {func}")));
+        return Err(EngineError::type_err(format!(
+            "wrong number of arguments to {func}"
+        )));
     }
     match func {
         ScalarFunc::Upper | ScalarFunc::Lower | ScalarFunc::Length => {
             let t = expr_type(&args[0], schema)?;
             if t != DataType::Utf8 {
-                return Err(EngineError::type_err(format!("{func} requires UTF8, got {t}")));
+                return Err(EngineError::type_err(format!(
+                    "{func} requires UTF8, got {t}"
+                )));
             }
         }
         ScalarFunc::Abs => {
@@ -225,7 +279,9 @@ fn unify_operands(
     if ts_pair {
         return Ok((l.cast(DataType::Int64), r.cast(DataType::Int64)));
     }
-    Err(EngineError::type_err(format!("cannot apply {op} to {lt} and {rt}")))
+    Err(EngineError::type_err(format!(
+        "cannot apply {op} to {lt} and {rt}"
+    )))
 }
 
 /// The data type `expr` evaluates to over `schema`. Requires bound columns.
@@ -268,7 +324,9 @@ pub fn expr_type(expr: &Expr, schema: &Schema) -> Result<DataType> {
             AggFunc::Min | AggFunc::Max => match arg {
                 Some(a) => expr_type(a, schema)?,
                 None => {
-                    return Err(EngineError::type_err(format!("{func} requires an argument")))
+                    return Err(EngineError::type_err(format!(
+                        "{func} requires an argument"
+                    )))
                 }
             },
         },
@@ -314,7 +372,12 @@ pub fn expr_to_field(expr: &Expr, schema: &Schema) -> Result<Field> {
             .or_else(|| c.qualifier.clone()),
         _ => None,
     };
-    Ok(Field { name: expr.output_name(), data_type: dt, nullable, qualifier })
+    Ok(Field {
+        name: expr.output_name(),
+        data_type: dt,
+        nullable,
+        qualifier,
+    })
 }
 
 #[cfg(test)]
@@ -330,6 +393,19 @@ mod tests {
             Field::new("t", DataType::Timestamp),
             Field::new("f", DataType::Float64),
         ])
+    }
+
+    #[test]
+    fn in_list_accepts_null_entries_and_rejects_type_mismatches() {
+        let s = schema();
+        // NULL entries type-check against any tested type (3VL).
+        let e = resolve_expr(
+            &col("b").in_list(vec![lit(5i64), Expr::Literal(crate::types::Value::Null)]),
+            &s,
+        );
+        assert!(e.is_ok(), "NULL IN-list entry must be accepted: {e:?}");
+        // Genuine mismatches still error.
+        assert!(resolve_expr(&col("b").in_list(vec![lit("x")]), &s).is_err());
     }
 
     #[test]

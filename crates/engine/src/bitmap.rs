@@ -11,12 +11,18 @@ pub struct Bitmap {
 impl Bitmap {
     /// All-zeros bitmap of length `len`.
     pub fn zeros(len: usize) -> Self {
-        Bitmap { words: vec![0; len.div_ceil(64)], len }
+        Bitmap {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
     }
 
     /// All-ones bitmap of length `len`.
     pub fn ones(len: usize) -> Self {
-        let mut b = Bitmap { words: vec![u64::MAX; len.div_ceil(64)], len };
+        let mut b = Bitmap {
+            words: vec![u64::MAX; len.div_ceil(64)],
+            len,
+        };
         b.clear_trailing();
         b
     }
@@ -103,15 +109,31 @@ impl Bitmap {
     /// Bitwise AND with another bitmap of the same length.
     pub fn and(&self, other: &Bitmap) -> Bitmap {
         assert_eq!(self.len, other.len, "bitmap length mismatch");
-        let words = self.words.iter().zip(&other.words).map(|(a, b)| a & b).collect();
-        Bitmap { words, len: self.len }
+        let words = self
+            .words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| a & b)
+            .collect();
+        Bitmap {
+            words,
+            len: self.len,
+        }
     }
 
     /// Bitwise OR with another bitmap of the same length.
     pub fn or(&self, other: &Bitmap) -> Bitmap {
         assert_eq!(self.len, other.len, "bitmap length mismatch");
-        let words = self.words.iter().zip(&other.words).map(|(a, b)| a | b).collect();
-        Bitmap { words, len: self.len }
+        let words = self
+            .words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| a | b)
+            .collect();
+        Bitmap {
+            words,
+            len: self.len,
+        }
     }
 
     /// Bitwise NOT.

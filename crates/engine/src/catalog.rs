@@ -83,7 +83,10 @@ impl MemTable {
 
     /// Build a single-partition table from one chunk.
     pub fn from_chunk(schema: SchemaRef, chunk: Chunk) -> Self {
-        MemTable { schema, partitions: vec![vec![chunk]] }
+        MemTable {
+            schema,
+            partitions: vec![vec![chunk]],
+        }
     }
 
     /// Split `chunk` round-robin into `n` partitions.
@@ -135,7 +138,10 @@ impl TableSource for MemTable {
     fn statistics(&self) -> Statistics {
         let rows = self.row_count();
         let bytes = self.partitions.iter().flatten().map(Chunk::byte_size).sum();
-        Statistics { row_count: Some(rows), byte_size: Some(bytes) }
+        Statistics {
+            row_count: Some(rows),
+            byte_size: Some(bytes),
+        }
     }
 
     fn as_any(&self) -> &dyn Any {
@@ -224,14 +230,14 @@ mod tests {
             Field::new("a", DataType::Int64),
             Field::new("b", DataType::Utf8),
         ]));
-        let chunk = Chunk::from_rows(
-            &schema,
-            &[vec![Value::Int64(1), Value::Utf8("x".into())]],
-        )
-        .unwrap();
+        let chunk =
+            Chunk::from_rows(&schema, &[vec![Value::Int64(1), Value::Utf8("x".into())]]).unwrap();
         let t = MemTable::from_chunk(schema, chunk);
-        let got: Vec<Chunk> =
-            t.scan(0, Some(&[1])).unwrap().collect::<Result<_>>().unwrap();
+        let got: Vec<Chunk> = t
+            .scan(0, Some(&[1]))
+            .unwrap()
+            .collect::<Result<_>>()
+            .unwrap();
         assert_eq!(got[0].num_columns(), 1);
         assert_eq!(got[0].value_at(0, 0), Value::Utf8("x".into()));
     }

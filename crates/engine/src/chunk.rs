@@ -35,13 +35,19 @@ impl Chunk {
     /// A zero-column chunk that still reports `len` rows (for `COUNT(*)`
     /// over projections that need no columns).
     pub fn new_empty_columns(len: usize) -> Chunk {
-        Chunk { columns: Vec::new(), len }
+        Chunk {
+            columns: Vec::new(),
+            len,
+        }
     }
 
     /// An empty chunk matching `schema`.
     pub fn empty(schema: &SchemaRef) -> Chunk {
-        let columns =
-            schema.fields.iter().map(|f| Arc::new(Column::empty(f.data_type))).collect();
+        let columns = schema
+            .fields
+            .iter()
+            .map(|f| Arc::new(Column::empty(f.data_type)))
+            .collect();
         Chunk { columns, len: 0 }
     }
 
@@ -89,14 +95,27 @@ impl Chunk {
 
     /// Gather rows at `indices`.
     pub fn take(&self, indices: &[u32]) -> Result<Chunk> {
-        let columns = self.columns.iter().map(|c| Arc::new(c.take(indices))).collect();
-        Ok(Chunk { columns, len: indices.len() })
+        let columns = self
+            .columns
+            .iter()
+            .map(|c| Arc::new(c.take(indices)))
+            .collect();
+        Ok(Chunk {
+            columns,
+            len: indices.len(),
+        })
     }
 
     /// Keep only the columns at `indices` (cheap: `Arc` clones).
     pub fn project(&self, indices: &[usize]) -> Chunk {
-        let columns = indices.iter().map(|&i| Arc::clone(&self.columns[i])).collect();
-        Chunk { columns, len: self.len }
+        let columns = indices
+            .iter()
+            .map(|&i| Arc::clone(&self.columns[i]))
+            .collect();
+        Chunk {
+            columns,
+            len: self.len,
+        }
     }
 
     /// First `n` rows.
@@ -134,8 +153,11 @@ impl Chunk {
     /// Build a chunk from rows of scalars, one builder per field of
     /// `schema`.
     pub fn from_rows(schema: &SchemaRef, rows: &[Vec<Value>]) -> Result<Chunk> {
-        let mut builders: Vec<ColumnBuilder> =
-            schema.fields.iter().map(|f| ColumnBuilder::new(f.data_type)).collect();
+        let mut builders: Vec<ColumnBuilder> = schema
+            .fields
+            .iter()
+            .map(|f| ColumnBuilder::new(f.data_type))
+            .collect();
         for row in rows {
             if row.len() != builders.len() {
                 return Err(EngineError::internal(format!(
@@ -236,11 +258,8 @@ mod tests {
         let c = Chunk::new_empty_columns(42);
         assert_eq!(c.len(), 42);
         assert_eq!(c.num_columns(), 0);
-        let cc = Chunk::concat(&[
-            Chunk::new_empty_columns(1),
-            Chunk::new_empty_columns(2),
-        ])
-        .unwrap();
+        let cc =
+            Chunk::concat(&[Chunk::new_empty_columns(1), Chunk::new_empty_columns(2)]).unwrap();
         assert_eq!(cc.len(), 3);
     }
 

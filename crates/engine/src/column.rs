@@ -44,7 +44,10 @@ pub struct PrimVec<T> {
 impl<T: Copy + Default> PrimVec<T> {
     /// All-valid vector.
     pub fn from_values(values: Vec<T>) -> Self {
-        PrimVec { values, validity: None }
+        PrimVec {
+            values,
+            validity: None,
+        }
     }
 
     /// Vector from optional values.
@@ -64,7 +67,10 @@ impl<T: Copy + Default> PrimVec<T> {
                 }
             }
         }
-        PrimVec { values: out, validity: if any_null { Some(validity) } else { None } }
+        PrimVec {
+            values: out,
+            validity: if any_null { Some(validity) } else { None },
+        }
     }
 
     /// Number of slots.
@@ -128,7 +134,11 @@ pub struct StrVec {
 impl StrVec {
     /// Empty string vector.
     pub fn new() -> Self {
-        StrVec { offsets: vec![0], bytes: Vec::new(), validity: None }
+        StrVec {
+            offsets: vec![0],
+            bytes: Vec::new(),
+            validity: None,
+        }
     }
 
     /// Build from string slices.
@@ -340,9 +350,7 @@ impl Column {
         match self {
             Column::Boolean(v) => v.values.len() + validity(&v.validity),
             Column::Int32(v) => v.values.len() * 4 + validity(&v.validity),
-            Column::Int64(v) | Column::Timestamp(v) => {
-                v.values.len() * 8 + validity(&v.validity)
-            }
+            Column::Int64(v) | Column::Timestamp(v) => v.values.len() * 8 + validity(&v.validity),
             Column::Float64(v) => v.values.len() * 8 + validity(&v.validity),
             Column::Utf8(v) => v.bytes.len() + v.offsets.len() * 4 + validity(&v.validity),
         }
@@ -474,7 +482,12 @@ mod tests {
 
     #[test]
     fn column_take_filter() {
-        let c = Column::Int64(PrimVec::from_options(vec![Some(10), None, Some(30), Some(40)]));
+        let c = Column::Int64(PrimVec::from_options(vec![
+            Some(10),
+            None,
+            Some(30),
+            Some(40),
+        ]));
         let t = c.take(&[3, 0]);
         assert_eq!(t.value_at(0), Value::Int64(40));
         assert_eq!(t.value_at(1), Value::Int64(10));
@@ -509,11 +522,8 @@ mod tests {
 
     #[test]
     fn from_values_and_repeat() {
-        let c = Column::from_values(
-            DataType::Utf8,
-            &[Value::Utf8("a".into()), Value::Null],
-        )
-        .unwrap();
+        let c =
+            Column::from_values(DataType::Utf8, &[Value::Utf8("a".into()), Value::Null]).unwrap();
         assert_eq!(c.value_at(0), Value::Utf8("a".into()));
         assert_eq!(c.value_at(1), Value::Null);
         let r = Column::repeat(DataType::Int32, &Value::Int32(7), 5).unwrap();

@@ -26,7 +26,9 @@ impl Default for EngineConfig {
 
 /// Number of partitions to default to: the machine's available parallelism.
 pub fn default_parallelism() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
 }
 
 #[cfg(test)]

@@ -42,7 +42,9 @@ fn split_record(line: &str) -> Result<Vec<String>> {
         }
     }
     if in_quotes {
-        return Err(EngineError::exec(format!("unterminated quote in CSV record: {line}")));
+        return Err(EngineError::exec(format!(
+            "unterminated quote in CSV record: {line}"
+        )));
     }
     fields.push(cur);
     Ok(fields)
@@ -52,9 +54,7 @@ fn parse_value(field: &str, dt: DataType) -> Result<Value> {
     if field.is_empty() || field == "NULL" {
         return Ok(Value::Null);
     }
-    let bad = |what: &str| {
-        EngineError::exec(format!("cannot parse {field:?} as {what}"))
-    };
+    let bad = |what: &str| EngineError::exec(format!("cannot parse {field:?} as {what}"));
     Ok(match dt {
         DataType::Boolean => Value::Boolean(match field {
             "true" | "TRUE" | "1" => true,
@@ -78,15 +78,16 @@ pub fn read_csv(reader: impl BufRead, schema: &SchemaRef) -> Result<Chunk> {
         .ok_or_else(|| EngineError::exec("empty CSV input"))?
         .map_err(|e| EngineError::exec(format!("CSV read error: {e}")))?;
     let names = split_record(&header)?;
-    if names.len() != schema.len()
-        || names.iter().zip(&schema.fields).any(|(n, f)| *n != f.name)
-    {
+    if names.len() != schema.len() || names.iter().zip(&schema.fields).any(|(n, f)| *n != f.name) {
         return Err(EngineError::exec(format!(
             "CSV header {names:?} does not match schema {schema}"
         )));
     }
-    let mut builders: Vec<ColumnBuilder> =
-        schema.fields.iter().map(|f| ColumnBuilder::new(f.data_type)).collect();
+    let mut builders: Vec<ColumnBuilder> = schema
+        .fields
+        .iter()
+        .map(|f| ColumnBuilder::new(f.data_type))
+        .collect();
     for (lineno, line) in lines.enumerate() {
         let line = line.map_err(|e| EngineError::exec(format!("CSV read error: {e}")))?;
         if line.is_empty() {
@@ -105,7 +106,12 @@ pub fn read_csv(reader: impl BufRead, schema: &SchemaRef) -> Result<Chunk> {
             b.push(&parse_value(field, f.data_type)?)?;
         }
     }
-    Chunk::new(builders.into_iter().map(|b| std::sync::Arc::new(b.finish())).collect())
+    Chunk::new(
+        builders
+            .into_iter()
+            .map(|b| std::sync::Arc::new(b.finish()))
+            .collect(),
+    )
 }
 
 fn quote(field: &str) -> String {
@@ -200,7 +206,10 @@ mod tests {
     #[test]
     fn quoted_field_edge_cases() {
         assert_eq!(split_record("a,\"b,c\",d").unwrap(), vec!["a", "b,c", "d"]);
-        assert_eq!(split_record("\"he said \"\"hi\"\"\"").unwrap(), vec!["he said \"hi\""]);
+        assert_eq!(
+            split_record("\"he said \"\"hi\"\"\"").unwrap(),
+            vec!["he said \"hi\""]
+        );
         assert_eq!(split_record("a,,c").unwrap(), vec!["a", "", "c"]);
         assert!(split_record("a\"b").is_err());
         assert!(split_record("\"unterminated").is_err());

@@ -28,7 +28,10 @@ pub struct DataFrame {
 impl DataFrame {
     /// Wrap a logical plan (used by [`Session`] and library extensions).
     pub fn new(session: Session, plan: LogicalPlan) -> Self {
-        DataFrame { session, plan: Arc::new(plan) }
+        DataFrame {
+            session,
+            plan: Arc::new(plan),
+        }
     }
 
     /// The output schema.
@@ -193,18 +196,27 @@ impl DataFrame {
         let exprs = keys
             .into_iter()
             .map(|k| {
-                Ok(SortExpr { expr: resolve_expr(&k.expr, &in_schema)?, ascending: k.ascending })
+                Ok(SortExpr {
+                    expr: resolve_expr(&k.expr, &in_schema)?,
+                    ascending: k.ascending,
+                })
             })
             .collect::<Result<Vec<_>>>()?;
-        Ok(self.with_plan(LogicalPlan::Sort { input: Arc::clone(&self.plan), exprs }))
+        Ok(self.with_plan(LogicalPlan::Sort {
+            input: Arc::clone(&self.plan),
+            exprs,
+        }))
     }
 
     /// Deduplicate rows (SELECT DISTINCT): a grouped aggregation on every
     /// column with no aggregate outputs.
     pub fn distinct(&self) -> Result<DataFrame> {
         let schema = self.schema();
-        let group: Vec<Expr> =
-            schema.fields.iter().map(|f| crate::expr::col(&f.qualified_name())).collect();
+        let group: Vec<Expr> = schema
+            .fields
+            .iter()
+            .map(|f| crate::expr::col(&f.qualified_name()))
+            .collect();
         let group = group
             .iter()
             .map(|e| resolve_expr(e, &schema))
@@ -219,7 +231,10 @@ impl DataFrame {
 
     /// Keep at most `n` rows.
     pub fn limit(&self, n: usize) -> DataFrame {
-        self.with_plan(LogicalPlan::Limit { input: Arc::clone(&self.plan), n })
+        self.with_plan(LogicalPlan::Limit {
+            input: Arc::clone(&self.plan),
+            n,
+        })
     }
 
     /// Bag union with another frame of identical column types.
@@ -341,8 +356,11 @@ impl DataFrame {
         let chunk = self.collect()?;
         let schema = self.schema();
         let parts = self.session.config().target_partitions;
-        let table =
-            Arc::new(MemTable::from_chunk_partitioned(Arc::clone(&schema), chunk, parts)?);
+        let table = Arc::new(MemTable::from_chunk_partitioned(
+            Arc::clone(&schema),
+            chunk,
+            parts,
+        )?);
         Ok(self.with_plan(LogicalPlan::Scan {
             table: "cached".to_string(),
             source: table,
@@ -353,7 +371,10 @@ impl DataFrame {
     }
 
     fn with_plan(&self, plan: LogicalPlan) -> DataFrame {
-        DataFrame { session: self.session.clone(), plan: Arc::new(plan) }
+        DataFrame {
+            session: self.session.clone(),
+            plan: Arc::new(plan),
+        }
     }
 }
 
@@ -410,7 +431,12 @@ mod tests {
             .unwrap()
             .aggregate(
                 vec![col("city")],
-                vec![count_star(), sum(col("age")), avg(col("age")), max(col("id"))],
+                vec![
+                    count_star(),
+                    sum(col("age")),
+                    avg(col("age")),
+                    max(col("id")),
+                ],
             )
             .unwrap()
             .sort(vec![SortExpr::asc(col("city"))])
@@ -480,15 +506,22 @@ mod tests {
         let s = session();
         let cached = s.table("people").unwrap().cache().unwrap();
         assert_eq!(cached.count().unwrap(), 100);
-        let filtered =
-            cached.filter(col("id").lt(lit(10i64))).unwrap().count().unwrap();
+        let filtered = cached
+            .filter(col("id").lt(lit(10i64)))
+            .unwrap()
+            .count()
+            .unwrap();
         assert_eq!(filtered, 10);
     }
 
     #[test]
     fn bad_filter_type_rejected() {
         let s = session();
-        assert!(s.table("people").unwrap().filter(col("id").add(lit(1i64))).is_err());
+        assert!(s
+            .table("people")
+            .unwrap()
+            .filter(col("id").add(lit(1i64)))
+            .is_err());
     }
 
     #[test]

@@ -81,7 +81,11 @@ impl BinaryOp {
     pub fn is_arithmetic(&self) -> bool {
         matches!(
             self,
-            BinaryOp::Plus | BinaryOp::Minus | BinaryOp::Multiply | BinaryOp::Divide | BinaryOp::Modulo
+            BinaryOp::Plus
+                | BinaryOp::Minus
+                | BinaryOp::Multiply
+                | BinaryOp::Divide
+                | BinaryOp::Modulo
         )
     }
 }
@@ -255,7 +259,11 @@ impl Expr {
                 expr.output_name(),
                 if *negated { " NOT" } else { "" }
             ),
-            Expr::Like { expr, pattern, negated } => format!(
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => format!(
                 "{}{} LIKE '{pattern}'",
                 expr.output_name(),
                 if *negated { " NOT" } else { "" }
@@ -334,9 +342,10 @@ impl Expr {
             Expr::Not(e) => Expr::Not(Box::new(e.map_column_indices(f))),
             Expr::IsNull(e) => Expr::IsNull(Box::new(e.map_column_indices(f))),
             Expr::IsNotNull(e) => Expr::IsNotNull(Box::new(e.map_column_indices(f))),
-            Expr::Cast { expr, to } => {
-                Expr::Cast { expr: Box::new(expr.map_column_indices(f)), to: *to }
-            }
+            Expr::Cast { expr, to } => Expr::Cast {
+                expr: Box::new(expr.map_column_indices(f)),
+                to: *to,
+            },
             Expr::Alias(e, n) => Expr::Alias(Box::new(e.map_column_indices(f)), n.clone()),
             Expr::Aggregate { func, arg } => Expr::Aggregate {
                 func: *func,
@@ -346,12 +355,20 @@ impl Expr {
                 func: *func,
                 args: args.iter().map(|a| a.map_column_indices(f)).collect(),
             },
-            Expr::InList { expr, list, negated } => Expr::InList {
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => Expr::InList {
                 expr: Box::new(expr.map_column_indices(f)),
                 list: list.iter().map(|e| e.map_column_indices(f)).collect(),
                 negated: *negated,
             },
-            Expr::Like { expr, pattern, negated } => Expr::Like {
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => Expr::Like {
                 expr: Box::new(expr.map_column_indices(f)),
                 pattern: pattern.clone(),
                 negated: *negated,
@@ -362,7 +379,11 @@ impl Expr {
     /// Split a conjunctive predicate into its AND-ed parts.
     pub fn split_conjunction(&self) -> Vec<&Expr> {
         match self {
-            Expr::Binary { left, op: BinaryOp::And, right } => {
+            Expr::Binary {
+                left,
+                op: BinaryOp::And,
+                right,
+            } => {
                 let mut parts = left.split_conjunction();
                 parts.extend(right.split_conjunction());
                 parts
@@ -454,23 +475,42 @@ impl Expr {
     }
     /// `CAST(self AS to)`
     pub fn cast(self, to: DataType) -> Expr {
-        Expr::Cast { expr: Box::new(self), to }
+        Expr::Cast {
+            expr: Box::new(self),
+            to,
+        }
     }
     /// `self IN (list...)`
     pub fn in_list(self, list: Vec<Expr>) -> Expr {
-        Expr::InList { expr: Box::new(self), list, negated: false }
+        Expr::InList {
+            expr: Box::new(self),
+            list,
+            negated: false,
+        }
     }
     /// `self NOT IN (list...)`
     pub fn not_in_list(self, list: Vec<Expr>) -> Expr {
-        Expr::InList { expr: Box::new(self), list, negated: true }
+        Expr::InList {
+            expr: Box::new(self),
+            list,
+            negated: true,
+        }
     }
     /// `self LIKE pattern` (`%` any run, `_` any single char)
     pub fn like(self, pattern: impl Into<String>) -> Expr {
-        Expr::Like { expr: Box::new(self), pattern: pattern.into(), negated: false }
+        Expr::Like {
+            expr: Box::new(self),
+            pattern: pattern.into(),
+            negated: false,
+        }
     }
     /// `self NOT LIKE pattern`
     pub fn not_like(self, pattern: impl Into<String>) -> Expr {
-        Expr::Like { expr: Box::new(self), pattern: pattern.into(), negated: true }
+        Expr::Like {
+            expr: Box::new(self),
+            pattern: pattern.into(),
+            negated: true,
+        }
     }
     /// `self BETWEEN low AND high` (inclusive; plain sugar)
     pub fn between(self, low: Expr, high: Expr) -> Expr {
@@ -482,7 +522,11 @@ impl Expr {
     }
 
     fn binary(self, op: BinaryOp, other: Expr) -> Expr {
-        Expr::Binary { left: Box::new(self), op, right: Box::new(other) }
+        Expr::Binary {
+            left: Box::new(self),
+            op,
+            right: Box::new(other),
+        }
     }
 }
 
@@ -506,7 +550,11 @@ impl fmt::Display for Expr {
                 let parts: Vec<String> = args.iter().map(|a| a.to_string()).collect();
                 write!(f, "{func}({})", parts.join(", "))
             }
-            Expr::InList { expr, list, negated } => {
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
                 let parts: Vec<String> = list.iter().map(|a| a.to_string()).collect();
                 write!(
                     f,
@@ -515,8 +563,16 @@ impl fmt::Display for Expr {
                     parts.join(", ")
                 )
             }
-            Expr::Like { expr, pattern, negated } => {
-                write!(f, "{expr}{} LIKE '{pattern}'", if *negated { " NOT" } else { "" })
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => {
+                write!(
+                    f,
+                    "{expr}{} LIKE '{pattern}'",
+                    if *negated { " NOT" } else { "" }
+                )
             }
         }
     }
@@ -530,9 +586,11 @@ pub fn col(name: &str) -> Expr {
             name: n.to_string(),
             index: None,
         }),
-        None => {
-            Expr::Column(ColumnRefExpr { qualifier: None, name: name.to_string(), index: None })
-        }
+        None => Expr::Column(ColumnRefExpr {
+            qualifier: None,
+            name: name.to_string(),
+            index: None,
+        }),
     }
 }
 
@@ -543,32 +601,50 @@ pub fn lit(v: impl Into<Value>) -> Expr {
 
 /// `COUNT(*)`.
 pub fn count_star() -> Expr {
-    Expr::Aggregate { func: AggFunc::Count, arg: None }
+    Expr::Aggregate {
+        func: AggFunc::Count,
+        arg: None,
+    }
 }
 
 /// `COUNT(expr)`.
 pub fn count(e: Expr) -> Expr {
-    Expr::Aggregate { func: AggFunc::Count, arg: Some(Box::new(e)) }
+    Expr::Aggregate {
+        func: AggFunc::Count,
+        arg: Some(Box::new(e)),
+    }
 }
 
 /// `SUM(expr)`.
 pub fn sum(e: Expr) -> Expr {
-    Expr::Aggregate { func: AggFunc::Sum, arg: Some(Box::new(e)) }
+    Expr::Aggregate {
+        func: AggFunc::Sum,
+        arg: Some(Box::new(e)),
+    }
 }
 
 /// `MIN(expr)`.
 pub fn min(e: Expr) -> Expr {
-    Expr::Aggregate { func: AggFunc::Min, arg: Some(Box::new(e)) }
+    Expr::Aggregate {
+        func: AggFunc::Min,
+        arg: Some(Box::new(e)),
+    }
 }
 
 /// `MAX(expr)`.
 pub fn max(e: Expr) -> Expr {
-    Expr::Aggregate { func: AggFunc::Max, arg: Some(Box::new(e)) }
+    Expr::Aggregate {
+        func: AggFunc::Max,
+        arg: Some(Box::new(e)),
+    }
 }
 
 /// `AVG(expr)`.
 pub fn avg(e: Expr) -> Expr {
-    Expr::Aggregate { func: AggFunc::Avg, arg: Some(Box::new(e)) }
+    Expr::Aggregate {
+        func: AggFunc::Avg,
+        arg: Some(Box::new(e)),
+    }
 }
 
 /// A sort key: expression plus direction.
@@ -583,12 +659,18 @@ pub struct SortExpr {
 impl SortExpr {
     /// Ascending sort on `expr`.
     pub fn asc(expr: Expr) -> Self {
-        SortExpr { expr, ascending: true }
+        SortExpr {
+            expr,
+            ascending: true,
+        }
     }
 
     /// Descending sort on `expr`.
     pub fn desc(expr: Expr) -> Self {
-        SortExpr { expr, ascending: false }
+        SortExpr {
+            expr,
+            ascending: false,
+        }
     }
 }
 
@@ -617,7 +699,10 @@ mod tests {
 
     #[test]
     fn split_and_rebuild_conjunction() {
-        let e = col("a").eq(lit(1i64)).and(col("b").eq(lit(2i64))).and(col("c").eq(lit(3i64)));
+        let e = col("a")
+            .eq(lit(1i64))
+            .and(col("b").eq(lit(2i64)))
+            .and(col("c").eq(lit(3i64)));
         let parts = e.split_conjunction();
         assert_eq!(parts.len(), 3);
         let rebuilt = Expr::conjunction(parts.into_iter().cloned().collect()).unwrap();

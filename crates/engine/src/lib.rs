@@ -66,9 +66,7 @@ pub mod prelude {
     pub use crate::chunk::Chunk;
     pub use crate::dataframe::DataFrame;
     pub use crate::error::{EngineError, Result};
-    pub use crate::expr::{
-        avg, col, count, count_star, lit, max, min, sum, Expr, SortExpr,
-    };
+    pub use crate::expr::{avg, col, count, count_star, lit, max, min, sum, Expr, SortExpr};
     pub use crate::logical::JoinType;
     pub use crate::schema::{Field, Schema, SchemaRef};
     pub use crate::session::Session;

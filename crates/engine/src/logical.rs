@@ -177,7 +177,12 @@ impl LogicalPlan {
     fn fmt_indent(&self, out: &mut String, indent: usize) {
         let pad = "  ".repeat(indent);
         let line = match self {
-            LogicalPlan::Scan { table, projection, filters, .. } => {
+            LogicalPlan::Scan {
+                table,
+                projection,
+                filters,
+                ..
+            } => {
                 let mut s = format!("Scan: {table}");
                 if let Some(p) = projection {
                     s.push_str(&format!(" projection={p:?}"));
@@ -194,21 +199,26 @@ impl LogicalPlan {
                 format!("Projection: {}", es.join(", "))
             }
             LogicalPlan::Join { on, join_type, .. } => {
-                let keys: Vec<String> =
-                    on.iter().map(|(l, r)| format!("{l} = {r}")).collect();
+                let keys: Vec<String> = on.iter().map(|(l, r)| format!("{l} = {r}")).collect();
                 format!("Join({join_type}): {}", keys.join(", "))
             }
-            LogicalPlan::Aggregate { group_exprs, agg_exprs, .. } => {
+            LogicalPlan::Aggregate {
+                group_exprs,
+                agg_exprs,
+                ..
+            } => {
                 let gs: Vec<String> = group_exprs.iter().map(|e| e.to_string()).collect();
                 let as_: Vec<String> = agg_exprs.iter().map(|e| e.to_string()).collect();
-                format!("Aggregate: group=[{}] aggs=[{}]", gs.join(", "), as_.join(", "))
+                format!(
+                    "Aggregate: group=[{}] aggs=[{}]",
+                    gs.join(", "),
+                    as_.join(", ")
+                )
             }
             LogicalPlan::Sort { exprs, .. } => {
                 let es: Vec<String> = exprs
                     .iter()
-                    .map(|s| {
-                        format!("{} {}", s.expr, if s.ascending { "ASC" } else { "DESC" })
-                    })
+                    .map(|s| format!("{} {}", s.expr, if s.ascending { "ASC" } else { "DESC" }))
                     .collect();
                 format!("Sort: {}", es.join(", "))
             }
@@ -269,9 +279,15 @@ mod tests {
     #[test]
     fn schema_propagates_through_filter_sort_limit() {
         let s = Arc::new(scan());
-        let f = LogicalPlan::Filter { input: Arc::clone(&s), predicate: lit(true) };
+        let f = LogicalPlan::Filter {
+            input: Arc::clone(&s),
+            predicate: lit(true),
+        };
         assert_eq!(f.schema(), s.schema());
-        let l = LogicalPlan::Limit { input: Arc::new(f), n: 1 };
+        let l = LogicalPlan::Limit {
+            input: Arc::new(f),
+            n: 1,
+        };
         assert_eq!(l.schema().fields[0].name, "x");
     }
 

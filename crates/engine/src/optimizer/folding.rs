@@ -34,7 +34,10 @@ impl OptimizerRule for SimplifyPredicates {
             match predicate {
                 Expr::Literal(Value::Boolean(true)) => return Ok(input.as_ref().clone()),
                 Expr::Literal(Value::Boolean(false)) | Expr::Literal(Value::Null) => {
-                    return Ok(LogicalPlan::Values { schema: input.schema(), rows: vec![] })
+                    return Ok(LogicalPlan::Values {
+                        schema: input.schema(),
+                        rows: vec![],
+                    })
                 }
                 _ => {}
             }
@@ -44,35 +47,46 @@ impl OptimizerRule for SimplifyPredicates {
 }
 
 /// Apply `f` to every expression in the plan, bottom-up through children.
-fn rewrite_exprs(
-    plan: &LogicalPlan,
-    f: &impl Fn(&Expr) -> Expr,
-) -> Result<LogicalPlan> {
+fn rewrite_exprs(plan: &LogicalPlan, f: &impl Fn(&Expr) -> Expr) -> Result<LogicalPlan> {
     let plan = map_children(plan, &mut |c| rewrite_exprs(c, f))?;
     Ok(match plan {
-        LogicalPlan::Filter { input, predicate } => {
-            LogicalPlan::Filter { input, predicate: f(&predicate) }
-        }
-        LogicalPlan::Projection { input, exprs, schema } => LogicalPlan::Projection {
+        LogicalPlan::Filter { input, predicate } => LogicalPlan::Filter {
+            input,
+            predicate: f(&predicate),
+        },
+        LogicalPlan::Projection {
+            input,
+            exprs,
+            schema,
+        } => LogicalPlan::Projection {
             input,
             exprs: exprs.iter().map(f).collect(),
             schema,
         },
-        LogicalPlan::Join { left, right, on, join_type, schema } => LogicalPlan::Join {
+        LogicalPlan::Join {
+            left,
+            right,
+            on,
+            join_type,
+            schema,
+        } => LogicalPlan::Join {
             left,
             right,
             on: on.iter().map(|(l, r)| (f(l), f(r))).collect(),
             join_type,
             schema,
         },
-        LogicalPlan::Aggregate { input, group_exprs, agg_exprs, schema } => {
-            LogicalPlan::Aggregate {
-                input,
-                group_exprs: group_exprs.iter().map(f).collect(),
-                agg_exprs: agg_exprs.iter().map(f).collect(),
-                schema,
-            }
-        }
+        LogicalPlan::Aggregate {
+            input,
+            group_exprs,
+            agg_exprs,
+            schema,
+        } => LogicalPlan::Aggregate {
+            input,
+            group_exprs: group_exprs.iter().map(f).collect(),
+            agg_exprs: agg_exprs.iter().map(f).collect(),
+            schema,
+        },
         other => other,
     })
 }
@@ -118,7 +132,11 @@ pub(crate) fn fold_expr(expr: &Expr) -> Expr {
                 }
                 _ => {}
             }
-            Expr::Binary { left: Box::new(l), op: *op, right: Box::new(r) }
+            Expr::Binary {
+                left: Box::new(l),
+                op: *op,
+                right: Box::new(r),
+            }
         }
         Expr::Not(e) => {
             let e = fold_expr(e);
@@ -134,7 +152,10 @@ pub(crate) fn fold_expr(expr: &Expr) -> Expr {
                     return Expr::Literal(c);
                 }
             }
-            Expr::Cast { expr: Box::new(e), to: *to }
+            Expr::Cast {
+                expr: Box::new(e),
+                to: *to,
+            }
         }
         Expr::IsNull(e) => {
             let e = fold_expr(e);
@@ -155,21 +176,94 @@ pub(crate) fn fold_expr(expr: &Expr) -> Expr {
             func: *func,
             arg: arg.as_ref().map(|a| Box::new(fold_expr(a))),
         },
-        Expr::Scalar { func, args } => {
-            Expr::Scalar { func: *func, args: args.iter().map(fold_expr).collect() }
-        }
-        Expr::InList { expr, list, negated } => Expr::InList {
-            expr: Box::new(fold_expr(expr)),
-            list: list.iter().map(fold_expr).collect(),
-            negated: *negated,
+        Expr::Scalar { func, args } => Expr::Scalar {
+            func: *func,
+            args: args.iter().map(fold_expr).collect(),
         },
-        Expr::Like { expr, pattern, negated } => Expr::Like {
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            let tested = fold_expr(expr);
+            let mut entries: Vec<Expr> = Vec::with_capacity(list.len());
+            for e in list {
+                let e = fold_expr(e);
+                // Exact duplicate literals contribute nothing (NULLs
+                // included: one NULL entry already forces the miss → NULL
+                // outcome, extra copies are noise).
+                if matches!(e, Expr::Literal(_)) && entries.contains(&e) {
+                    continue;
+                }
+                entries.push(e);
+            }
+            // All-literal IN over a literal tested value folds completely.
+            if let Expr::Literal(v) = &tested {
+                let lits: Option<Vec<&Value>> = entries
+                    .iter()
+                    .map(|e| match e {
+                        Expr::Literal(l) => Some(l),
+                        _ => None,
+                    })
+                    .collect();
+                if let Some(lits) = lits {
+                    return Expr::Literal(eval_in_list_literal(v, &lits, *negated));
+                }
+            }
+            // `x IN (a)` ⇔ `x = a`, `x NOT IN (a)` ⇔ `x <> a` — exact
+            // under three-valued logic, and it exposes the single-key
+            // equality shape to index pushdown.
+            if entries.len() == 1 {
+                let op = if *negated {
+                    BinaryOp::NotEq
+                } else {
+                    BinaryOp::Eq
+                };
+                return fold_expr(&Expr::Binary {
+                    left: Box::new(tested),
+                    op,
+                    right: Box::new(entries.remove(0)),
+                });
+            }
+            Expr::InList {
+                expr: Box::new(tested),
+                list: entries,
+                negated: *negated,
+            }
+        }
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => Expr::Like {
             expr: Box::new(fold_expr(expr)),
             pattern: pattern.clone(),
             negated: *negated,
         },
         other => other.clone(),
     }
+}
+
+/// `v IN (entries)` under SQL three-valued logic (flip for `NOT IN`):
+/// NULL tested → NULL; a match → TRUE; no match but a NULL entry → NULL;
+/// otherwise FALSE. Mirrors the physical `InListExpr` exactly, including
+/// its strict `Value` equality.
+fn eval_in_list_literal(v: &Value, entries: &[&Value], negated: bool) -> Value {
+    if v.is_null() {
+        return Value::Null;
+    }
+    let mut saw_null = false;
+    for e in entries {
+        if e.is_null() {
+            saw_null = true;
+        } else if *e == v {
+            return Value::Boolean(!negated);
+        }
+    }
+    if saw_null {
+        return Value::Null;
+    }
+    Value::Boolean(negated)
 }
 
 fn eval_binary_literal(l: &Value, op: BinaryOp, r: &Value) -> Option<Value> {
@@ -200,7 +294,9 @@ fn eval_binary_literal(l: &Value, op: BinaryOp, r: &Value) -> Option<Value> {
         return Some(Value::Boolean(b));
     }
     if op.is_logic() {
-        let (Value::Boolean(a), Value::Boolean(b)) = (l, r) else { return None };
+        let (Value::Boolean(a), Value::Boolean(b)) = (l, r) else {
+            return None;
+        };
         return Some(Value::Boolean(match op {
             BinaryOp::And => *a && *b,
             BinaryOp::Or => *a || *b,
@@ -272,6 +368,70 @@ mod tests {
 
     #[test]
     fn div_by_zero_folds_to_null() {
-        assert_eq!(fold_expr(&lit(1i64).div(lit(0i64))), Expr::Literal(Value::Null));
+        assert_eq!(
+            fold_expr(&lit(1i64).div(lit(0i64))),
+            Expr::Literal(Value::Null)
+        );
+    }
+
+    #[test]
+    fn in_list_dedupes_literal_entries() {
+        let e = fold_expr(&col("x").in_list(vec![lit(1i64), lit(2i64), lit(1i64)]));
+        assert_eq!(e, col("x").in_list(vec![lit(1i64), lit(2i64)]));
+        // Dedup can leave a single entry, which then rewrites to equality.
+        let e = fold_expr(&col("x").in_list(vec![lit(5i64), lit(5i64)]));
+        assert_eq!(e, col("x").eq(lit(5i64)));
+    }
+
+    #[test]
+    fn single_entry_in_list_becomes_equality() {
+        assert_eq!(
+            fold_expr(&col("x").in_list(vec![lit(3i64)])),
+            col("x").eq(lit(3i64))
+        );
+        assert_eq!(
+            fold_expr(&col("x").not_in_list(vec![lit(3i64)])),
+            col("x").not_eq(lit(3i64))
+        );
+        // Folds inside entries happen first: x IN (1 + 2) → x = 3.
+        assert_eq!(
+            fold_expr(&col("x").in_list(vec![lit(1i64).add(lit(2i64))])),
+            col("x").eq(lit(3i64))
+        );
+    }
+
+    #[test]
+    fn all_literal_in_list_folds_with_three_valued_logic() {
+        let null = || Expr::Literal(Value::Null);
+        // Plain hit and miss.
+        assert_eq!(
+            fold_expr(&lit(2i64).in_list(vec![lit(1i64), lit(2i64)])),
+            lit(true)
+        );
+        assert_eq!(
+            fold_expr(&lit(9i64).in_list(vec![lit(1i64), lit(2i64)])),
+            lit(false)
+        );
+        assert_eq!(
+            fold_expr(&lit(9i64).not_in_list(vec![lit(1i64), lit(2i64)])),
+            lit(true)
+        );
+        // Miss with a NULL entry is NULL, not false; a hit still wins.
+        assert_eq!(
+            fold_expr(&lit(9i64).in_list(vec![lit(1i64), null()])),
+            Expr::Literal(Value::Null)
+        );
+        assert_eq!(
+            fold_expr(&lit(1i64).in_list(vec![lit(1i64), null()])),
+            lit(true)
+        );
+        // NULL tested is NULL even over an empty list.
+        assert_eq!(
+            fold_expr(&null().in_list(vec![])),
+            Expr::Literal(Value::Null)
+        );
+        // Non-literal entries block complete folding but keep the list.
+        let kept = fold_expr(&lit(1i64).in_list(vec![lit(2i64), col("x")]));
+        assert_eq!(kept, lit(1i64).in_list(vec![lit(2i64), col("x")]));
     }
 }

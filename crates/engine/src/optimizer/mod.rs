@@ -83,34 +83,52 @@ pub(crate) fn map_children(
             input: Arc::new(f(input)?),
             predicate: predicate.clone(),
         },
-        LogicalPlan::Projection { input, exprs, schema } => LogicalPlan::Projection {
+        LogicalPlan::Projection {
+            input,
+            exprs,
+            schema,
+        } => LogicalPlan::Projection {
             input: Arc::new(f(input)?),
             exprs: exprs.clone(),
             schema: Arc::clone(schema),
         },
-        LogicalPlan::Join { left, right, on, join_type, schema } => LogicalPlan::Join {
+        LogicalPlan::Join {
+            left,
+            right,
+            on,
+            join_type,
+            schema,
+        } => LogicalPlan::Join {
             left: Arc::new(f(left)?),
             right: Arc::new(f(right)?),
             on: on.clone(),
             join_type: *join_type,
             schema: Arc::clone(schema),
         },
-        LogicalPlan::Aggregate { input, group_exprs, agg_exprs, schema } => {
-            LogicalPlan::Aggregate {
-                input: Arc::new(f(input)?),
-                group_exprs: group_exprs.clone(),
-                agg_exprs: agg_exprs.clone(),
-                schema: Arc::clone(schema),
-            }
-        }
-        LogicalPlan::Sort { input, exprs } => {
-            LogicalPlan::Sort { input: Arc::new(f(input)?), exprs: exprs.clone() }
-        }
-        LogicalPlan::Limit { input, n } => {
-            LogicalPlan::Limit { input: Arc::new(f(input)?), n: *n }
-        }
+        LogicalPlan::Aggregate {
+            input,
+            group_exprs,
+            agg_exprs,
+            schema,
+        } => LogicalPlan::Aggregate {
+            input: Arc::new(f(input)?),
+            group_exprs: group_exprs.clone(),
+            agg_exprs: agg_exprs.clone(),
+            schema: Arc::clone(schema),
+        },
+        LogicalPlan::Sort { input, exprs } => LogicalPlan::Sort {
+            input: Arc::new(f(input)?),
+            exprs: exprs.clone(),
+        },
+        LogicalPlan::Limit { input, n } => LogicalPlan::Limit {
+            input: Arc::new(f(input)?),
+            n: *n,
+        },
         LogicalPlan::Union { inputs, schema } => LogicalPlan::Union {
-            inputs: inputs.iter().map(|i| f(i).map(Arc::new)).collect::<Result<_>>()?,
+            inputs: inputs
+                .iter()
+                .map(|i| f(i).map(Arc::new))
+                .collect::<Result<_>>()?,
             schema: Arc::clone(schema),
         },
     })

@@ -28,33 +28,39 @@ impl OptimizerRule for ProjectionPruning {
     fn optimize(&self, plan: &LogicalPlan) -> Result<LogicalPlan> {
         let plan = map_children(plan, &mut |c| self.optimize(c))?;
         Ok(match &plan {
-            LogicalPlan::Projection { input, exprs, schema } => {
-                match input.as_ref() {
-                    LogicalPlan::Join { .. } => {
-                        prune_join_under_projection(input, exprs, schema)
-                            .unwrap_or(plan)
-                    }
-                    _ => {
-                        let required = exprs_refs(exprs);
-                        let plan = match narrow(input, &required) {
-                            Some((new_input, mapping)) => {
-                                let exprs = exprs
-                                    .iter()
-                                    .map(|e| e.map_column_indices(&|i| mapping[&i]))
-                                    .collect();
-                                LogicalPlan::Projection {
-                                    input: Arc::new(new_input),
-                                    exprs,
-                                    schema: Arc::clone(schema),
-                                }
-                            }
-                            None => plan,
-                        };
-                        collapse_column_projection(&plan).unwrap_or(plan)
-                    }
+            LogicalPlan::Projection {
+                input,
+                exprs,
+                schema,
+            } => match input.as_ref() {
+                LogicalPlan::Join { .. } => {
+                    prune_join_under_projection(input, exprs, schema).unwrap_or(plan)
                 }
-            }
-            LogicalPlan::Aggregate { input, group_exprs, agg_exprs, schema } => {
+                _ => {
+                    let required = exprs_refs(exprs);
+                    let plan = match narrow(input, &required) {
+                        Some((new_input, mapping)) => {
+                            let exprs = exprs
+                                .iter()
+                                .map(|e| e.map_column_indices(&|i| mapping[&i]))
+                                .collect();
+                            LogicalPlan::Projection {
+                                input: Arc::new(new_input),
+                                exprs,
+                                schema: Arc::clone(schema),
+                            }
+                        }
+                        None => plan,
+                    };
+                    collapse_column_projection(&plan).unwrap_or(plan)
+                }
+            },
+            LogicalPlan::Aggregate {
+                input,
+                group_exprs,
+                agg_exprs,
+                schema,
+            } => {
                 let mut required = exprs_refs(group_exprs);
                 required.extend(exprs_refs(agg_exprs));
                 let narrowed = match input.as_ref() {
@@ -63,12 +69,11 @@ impl OptimizerRule for ProjectionPruning {
                 };
                 match narrowed {
                     Some((new_input, mapping)) => {
-                        let remap =
-                            |es: &Vec<Expr>| -> Vec<Expr> {
-                                es.iter()
-                                    .map(|e| e.map_column_indices(&|i| mapping[&i]))
-                                    .collect()
-                            };
+                        let remap = |es: &Vec<Expr>| -> Vec<Expr> {
+                            es.iter()
+                                .map(|e| e.map_column_indices(&|i| mapping[&i]))
+                                .collect()
+                        };
                         LogicalPlan::Aggregate {
                             input: Arc::new(new_input),
                             group_exprs: remap(group_exprs),
@@ -91,10 +96,22 @@ impl OptimizerRule for ProjectionPruning {
 /// recognizable to custom planning strategies such as the Indexed
 /// DataFrame's, and removes one operator from the pipeline.
 fn collapse_column_projection(plan: &LogicalPlan) -> Option<LogicalPlan> {
-    let LogicalPlan::Projection { input, exprs, schema } = plan else {
+    let LogicalPlan::Projection {
+        input,
+        exprs,
+        schema,
+    } = plan
+    else {
         return None;
     };
-    let LogicalPlan::Scan { table, source, projection, filters, .. } = input.as_ref() else {
+    let LogicalPlan::Scan {
+        table,
+        source,
+        projection,
+        filters,
+        ..
+    } = input.as_ref()
+    else {
         return None;
     };
     let mut scan_cols = Vec::with_capacity(exprs.len());
@@ -136,7 +153,13 @@ type Mapping = std::collections::HashMap<usize, usize>;
 
 fn narrow(plan: &LogicalPlan, required: &BTreeSet<usize>) -> Option<(LogicalPlan, Mapping)> {
     match plan {
-        LogicalPlan::Scan { table, source, schema, projection, filters } => {
+        LogicalPlan::Scan {
+            table,
+            source,
+            schema,
+            projection,
+            filters,
+        } => {
             if required.len() == schema.len() {
                 return None; // nothing to prune
             }
@@ -146,8 +169,11 @@ fn narrow(plan: &LogicalPlan, required: &BTreeSet<usize>) -> Option<(LogicalPlan
                 None => req.clone(),
             };
             let new_schema = Arc::new(schema.project(&req));
-            let mapping: Mapping =
-                req.iter().enumerate().map(|(new, &old)| (old, new)).collect();
+            let mapping: Mapping = req
+                .iter()
+                .enumerate()
+                .map(|(new, &old)| (old, new))
+                .collect();
             Some((
                 LogicalPlan::Scan {
                     table: table.clone(),
@@ -167,7 +193,10 @@ fn narrow(plan: &LogicalPlan, required: &BTreeSet<usize>) -> Option<(LogicalPlan
             let (new_input, mapping) = narrow(input, &need)?;
             let predicate = predicate.map_column_indices(&|i| mapping[&i]);
             Some((
-                LogicalPlan::Filter { input: Arc::new(new_input), predicate },
+                LogicalPlan::Filter {
+                    input: Arc::new(new_input),
+                    predicate,
+                },
                 mapping,
             ))
         }
@@ -178,8 +207,18 @@ fn narrow(plan: &LogicalPlan, required: &BTreeSet<usize>) -> Option<(LogicalPlan
 /// Prune both inputs of `join` so only the `required` output columns (plus
 /// the join keys) survive; returns the rewritten join and the old→new
 /// output-index mapping for the surviving columns.
-fn prune_join_sides(join: &LogicalPlan, required: &BTreeSet<usize>) -> Option<(LogicalPlan, Mapping)> {
-    let LogicalPlan::Join { left, right, on, join_type, .. } = join else {
+fn prune_join_sides(
+    join: &LogicalPlan,
+    required: &BTreeSet<usize>,
+) -> Option<(LogicalPlan, Mapping)> {
+    let LogicalPlan::Join {
+        left,
+        right,
+        on,
+        join_type,
+        ..
+    } = join
+    else {
         return None;
     };
     let left_width = left.schema().len();
@@ -192,8 +231,11 @@ fn prune_join_sides(join: &LogicalPlan, required: &BTreeSet<usize>) -> Option<(L
         r.referenced_indices(&mut refs);
         required.extend(refs.iter().map(|&i| i + left_width));
     }
-    let left_req: BTreeSet<usize> =
-        required.iter().copied().filter(|&i| i < left_width).collect();
+    let left_req: BTreeSet<usize> = required
+        .iter()
+        .copied()
+        .filter(|&i| i < left_width)
+        .collect();
     let right_req: BTreeSet<usize> = required
         .iter()
         .copied()
@@ -207,10 +249,16 @@ fn prune_join_sides(join: &LogicalPlan, required: &BTreeSet<usize>) -> Option<(L
         return None;
     }
     let (new_left, left_map) = narrowed_left.unwrap_or_else(|| {
-        (left.as_ref().clone(), (0..left_width).map(|i| (i, i)).collect())
+        (
+            left.as_ref().clone(),
+            (0..left_width).map(|i| (i, i)).collect(),
+        )
     });
     let (new_right, right_map) = narrowed_right.unwrap_or_else(|| {
-        ((*right).as_ref().clone(), (0..right.schema().len()).map(|i| (i, i)).collect())
+        (
+            (*right).as_ref().clone(),
+            (0..right.schema().len()).map(|i| (i, i)).collect(),
+        )
     });
     let new_left_width = new_left.schema().len();
     let new_on: Vec<(Expr, Expr)> = on
@@ -250,8 +298,10 @@ fn prune_join_under_projection(
     out_schema: &crate::schema::SchemaRef,
 ) -> Option<LogicalPlan> {
     let (new_join, mapping) = prune_join_sides(join, &exprs_refs(exprs))?;
-    let new_exprs: Vec<Expr> =
-        exprs.iter().map(|e| e.map_column_indices(&|i| mapping[&i])).collect();
+    let new_exprs: Vec<Expr> = exprs
+        .iter()
+        .map(|e| e.map_column_indices(&|i| mapping[&i]))
+        .collect();
     Some(LogicalPlan::Projection {
         input: Arc::new(new_join),
         exprs: new_exprs,
@@ -275,8 +325,10 @@ mod tests {
             Field::new("b", DataType::Int64),
             Field::new("c", DataType::Utf8),
         ]));
-        let source =
-            Arc::new(MemTable::from_chunk(Arc::clone(&schema), Chunk::empty(&schema)));
+        let source = Arc::new(MemTable::from_chunk(
+            Arc::clone(&schema),
+            Chunk::empty(&schema),
+        ));
         LogicalPlan::Scan {
             table: "t".into(),
             source,
@@ -288,12 +340,21 @@ mod tests {
 
     fn projection_of(plan: LogicalPlan, names: &[&str]) -> LogicalPlan {
         let in_schema = plan.schema();
-        let exprs: Vec<Expr> =
-            names.iter().map(|n| resolve_expr(&col(n), &in_schema).unwrap()).collect();
+        let exprs: Vec<Expr> = names
+            .iter()
+            .map(|n| resolve_expr(&col(n), &in_schema).unwrap())
+            .collect();
         let schema = Arc::new(Schema::new(
-            exprs.iter().map(|e| expr_to_field(e, &in_schema).unwrap()).collect(),
+            exprs
+                .iter()
+                .map(|e| expr_to_field(e, &in_schema).unwrap())
+                .collect(),
         ));
-        LogicalPlan::Projection { input: Arc::new(plan), exprs, schema }
+        LogicalPlan::Projection {
+            input: Arc::new(plan),
+            exprs,
+            schema,
+        }
     }
 
     #[test]
@@ -301,7 +362,10 @@ mod tests {
         let plan = projection_of(scan3(), &["c"]);
         let out = ProjectionPruning.optimize(&plan).unwrap();
         // A bare-column projection collapses straight into the scan.
-        let LogicalPlan::Scan { projection, schema, .. } = &out else {
+        let LogicalPlan::Scan {
+            projection, schema, ..
+        } = &out
+        else {
             panic!("collapsed scan expected, got {out:?}")
         };
         assert_eq!(projection.as_deref(), Some(&[2usize][..]));
@@ -313,30 +377,50 @@ mod tests {
     fn computed_projection_is_not_collapsed() {
         let s = scan3();
         let in_schema = s.schema();
-        let exprs =
-            vec![resolve_expr(&col("a").add(col("b")).alias("ab"), &in_schema).unwrap()];
+        let exprs = vec![resolve_expr(&col("a").add(col("b")).alias("ab"), &in_schema).unwrap()];
         let schema = Arc::new(Schema::new(vec![Field::new("ab", DataType::Int64)]));
-        let plan = LogicalPlan::Projection { input: Arc::new(s), exprs, schema };
+        let plan = LogicalPlan::Projection {
+            input: Arc::new(s),
+            exprs,
+            schema,
+        };
         let out = ProjectionPruning.optimize(&plan).unwrap();
         let LogicalPlan::Projection { input, .. } = &out else {
             panic!("computed projection must remain")
         };
-        let LogicalPlan::Scan { projection, .. } = input.as_ref() else { panic!() };
-        assert_eq!(projection.as_deref(), Some(&[0usize, 1][..]), "c pruned away");
+        let LogicalPlan::Scan { projection, .. } = input.as_ref() else {
+            panic!()
+        };
+        assert_eq!(
+            projection.as_deref(),
+            Some(&[0usize, 1][..]),
+            "c pruned away"
+        );
     }
 
     #[test]
     fn narrows_through_filter_keeping_predicate_columns() {
         let s = scan3();
         let pred = resolve_expr(&col("b").gt(lit(1i64)), &s.schema()).unwrap();
-        let filtered = LogicalPlan::Filter { input: Arc::new(s), predicate: pred };
+        let filtered = LogicalPlan::Filter {
+            input: Arc::new(s),
+            predicate: pred,
+        };
         let plan = projection_of(filtered, &["a"]);
         let out = ProjectionPruning.optimize(&plan).unwrap();
-        let LogicalPlan::Projection { input, .. } = &out else { panic!() };
-        let LogicalPlan::Filter { input: scan, predicate } = input.as_ref() else {
+        let LogicalPlan::Projection { input, .. } = &out else {
+            panic!()
+        };
+        let LogicalPlan::Filter {
+            input: scan,
+            predicate,
+        } = input.as_ref()
+        else {
             panic!("filter expected")
         };
-        let LogicalPlan::Scan { projection, .. } = scan.as_ref() else { panic!() };
+        let LogicalPlan::Scan { projection, .. } = scan.as_ref() else {
+            panic!()
+        };
         assert_eq!(projection.as_deref(), Some(&[0usize, 1][..]), "a + b kept");
         let mut refs = Vec::new();
         predicate.referenced_indices(&mut refs);
@@ -360,8 +444,12 @@ mod tests {
             schema,
         };
         let out = ProjectionPruning.optimize(&plan).unwrap();
-        let LogicalPlan::Aggregate { input, .. } = &out else { panic!() };
-        let LogicalPlan::Scan { projection, .. } = input.as_ref() else { panic!() };
+        let LogicalPlan::Aggregate { input, .. } = &out else {
+            panic!()
+        };
+        let LogicalPlan::Scan { projection, .. } = input.as_ref() else {
+            panic!()
+        };
         assert_eq!(projection.as_deref(), Some(&[0usize][..]));
     }
 
@@ -369,7 +457,10 @@ mod tests {
     fn identity_projection_collapses_into_scan() {
         let plan = projection_of(scan3(), &["a", "b", "c"]);
         let out = ProjectionPruning.optimize(&plan).unwrap();
-        let LogicalPlan::Scan { projection, schema, .. } = &out else {
+        let LogicalPlan::Scan {
+            projection, schema, ..
+        } = &out
+        else {
             panic!("collapsed scan expected, got {out:?}")
         };
         assert_eq!(projection.as_deref(), Some(&[0usize, 1, 2][..]));
@@ -408,11 +499,26 @@ mod tests {
             schema: out_schema,
         };
         let out = ProjectionPruning.optimize(&plan).unwrap();
-        let LogicalPlan::Projection { input, exprs, .. } = &out else { panic!() };
-        let LogicalPlan::Join { left, right, on, .. } = input.as_ref() else { panic!() };
-        let LogicalPlan::Scan { projection: lp, .. } = left.as_ref() else { panic!() };
-        let LogicalPlan::Scan { projection: rp, .. } = right.as_ref() else { panic!() };
-        assert_eq!(lp.as_deref(), Some(&[0usize][..]), "left keeps only the key");
+        let LogicalPlan::Projection { input, exprs, .. } = &out else {
+            panic!()
+        };
+        let LogicalPlan::Join {
+            left, right, on, ..
+        } = input.as_ref()
+        else {
+            panic!()
+        };
+        let LogicalPlan::Scan { projection: lp, .. } = left.as_ref() else {
+            panic!()
+        };
+        let LogicalPlan::Scan { projection: rp, .. } = right.as_ref() else {
+            panic!()
+        };
+        assert_eq!(
+            lp.as_deref(),
+            Some(&[0usize][..]),
+            "left keeps only the key"
+        );
         assert_eq!(rp.as_deref(), Some(&[0usize, 2][..]), "right keeps key + c");
         let mut refs = Vec::new();
         exprs[0].referenced_indices(&mut refs);

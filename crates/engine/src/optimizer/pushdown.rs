@@ -25,8 +25,7 @@ impl OptimizerRule for PredicatePushdown {
     fn optimize(&self, plan: &LogicalPlan) -> Result<LogicalPlan> {
         let plan = map_children(plan, &mut |c| self.optimize(c))?;
         if let LogicalPlan::Filter { input, predicate } = &plan {
-            let conjuncts: Vec<Expr> =
-                predicate.split_conjunction().into_iter().cloned().collect();
+            let conjuncts: Vec<Expr> = predicate.split_conjunction().into_iter().cloned().collect();
             return Ok(push_into(input.as_ref().clone(), conjuncts));
         }
         Ok(plan)
@@ -36,7 +35,10 @@ impl OptimizerRule for PredicatePushdown {
 /// Wrap `plan` in a filter for `conjuncts` (no-op when empty).
 fn attach(plan: LogicalPlan, conjuncts: Vec<Expr>) -> LogicalPlan {
     match Expr::conjunction(conjuncts) {
-        Some(p) => LogicalPlan::Filter { input: Arc::new(plan), predicate: p },
+        Some(p) => LogicalPlan::Filter {
+            input: Arc::new(plan),
+            predicate: p,
+        },
         None => plan,
     }
 }
@@ -51,7 +53,13 @@ fn push_into(plan: LogicalPlan, conjuncts: Vec<Expr>) -> LogicalPlan {
 /// the conjuncts that must stay above it.
 fn try_push(plan: LogicalPlan, conjuncts: Vec<Expr>) -> (LogicalPlan, Vec<Expr>) {
     match plan {
-        LogicalPlan::Scan { table, source, schema, projection, mut filters } => {
+        LogicalPlan::Scan {
+            table,
+            source,
+            schema,
+            projection,
+            mut filters,
+        } => {
             let mut rest = Vec::new();
             for c in conjuncts {
                 // Scan filters are expressed against the full source
@@ -66,17 +74,29 @@ fn try_push(plan: LogicalPlan, conjuncts: Vec<Expr>) -> (LogicalPlan, Vec<Expr>)
                     rest.push(c);
                 }
             }
-            (LogicalPlan::Scan { table, source, schema, projection, filters }, rest)
+            (
+                LogicalPlan::Scan {
+                    table,
+                    source,
+                    schema,
+                    projection,
+                    filters,
+                },
+                rest,
+            )
         }
         LogicalPlan::Filter { input, predicate } => {
             // Merge with the lower filter and keep pushing.
-            let mut all: Vec<Expr> =
-                predicate.split_conjunction().into_iter().cloned().collect();
+            let mut all: Vec<Expr> = predicate.split_conjunction().into_iter().cloned().collect();
             all.extend(conjuncts);
             let (new_input, rest) = try_push(input.as_ref().clone(), all);
             (new_input, rest)
         }
-        LogicalPlan::Projection { input, exprs, schema } => {
+        LogicalPlan::Projection {
+            input,
+            exprs,
+            schema,
+        } => {
             // Output column -> input column, when the projection is a pure
             // pass-through for that column.
             let mapping: Vec<Option<usize>> = exprs
@@ -91,21 +111,32 @@ fn try_push(plan: LogicalPlan, conjuncts: Vec<Expr>) -> (LogicalPlan, Vec<Expr>)
             for c in conjuncts {
                 let mut refs = Vec::new();
                 c.referenced_indices(&mut refs);
-                if refs.iter().all(|&i| mapping.get(i).copied().flatten().is_some()) {
-                    below.push(c.map_column_indices(&|i| {
-                        mapping[i].expect("checked above")
-                    }));
+                if refs
+                    .iter()
+                    .all(|&i| mapping.get(i).copied().flatten().is_some())
+                {
+                    below.push(c.map_column_indices(&|i| mapping[i].expect("checked above")));
                 } else {
                     rest.push(c);
                 }
             }
             let new_input = push_into(input.as_ref().clone(), below);
             (
-                LogicalPlan::Projection { input: Arc::new(new_input), exprs, schema },
+                LogicalPlan::Projection {
+                    input: Arc::new(new_input),
+                    exprs,
+                    schema,
+                },
                 rest,
             )
         }
-        LogicalPlan::Join { left, right, on, join_type, schema } => {
+        LogicalPlan::Join {
+            left,
+            right,
+            on,
+            join_type,
+            schema,
+        } => {
             let left_width = left.schema().len();
             let mut to_left = Vec::new();
             let mut to_right = Vec::new();
@@ -138,16 +169,33 @@ fn try_push(plan: LogicalPlan, conjuncts: Vec<Expr>) -> (LogicalPlan, Vec<Expr>)
         }
         LogicalPlan::Sort { input, exprs } => {
             let new_input = push_into(input.as_ref().clone(), conjuncts);
-            (LogicalPlan::Sort { input: Arc::new(new_input), exprs }, Vec::new())
+            (
+                LogicalPlan::Sort {
+                    input: Arc::new(new_input),
+                    exprs,
+                },
+                Vec::new(),
+            )
         }
         LogicalPlan::Union { inputs, schema } => {
             let new_inputs = inputs
                 .iter()
                 .map(|i| Arc::new(push_into(i.as_ref().clone(), conjuncts.clone())))
                 .collect();
-            (LogicalPlan::Union { inputs: new_inputs, schema }, Vec::new())
+            (
+                LogicalPlan::Union {
+                    inputs: new_inputs,
+                    schema,
+                },
+                Vec::new(),
+            )
         }
-        LogicalPlan::Aggregate { input, group_exprs, agg_exprs, schema } => {
+        LogicalPlan::Aggregate {
+            input,
+            group_exprs,
+            agg_exprs,
+            schema,
+        } => {
             // A conjunct referencing only pass-through group keys can run
             // before the aggregation.
             let n_groups = group_exprs.len();
@@ -163,13 +211,9 @@ fn try_push(plan: LogicalPlan, conjuncts: Vec<Expr>) -> (LogicalPlan, Vec<Expr>)
             for c in conjuncts {
                 let mut refs = Vec::new();
                 c.referenced_indices(&mut refs);
-                let pushable = refs
-                    .iter()
-                    .all(|&i| i < n_groups && mapping[i].is_some());
+                let pushable = refs.iter().all(|&i| i < n_groups && mapping[i].is_some());
                 if pushable {
-                    below.push(
-                        c.map_column_indices(&|i| mapping[i].expect("checked above")),
-                    );
+                    below.push(c.map_column_indices(&|i| mapping[i].expect("checked above")));
                 } else {
                     rest.push(c);
                 }
@@ -212,8 +256,10 @@ mod tests {
             Field::new("a", DataType::Int64),
             Field::new("b", DataType::Int64),
         ]));
-        let source =
-            Arc::new(MemTable::from_chunk(Arc::clone(&schema), Chunk::empty(&schema)));
+        let source = Arc::new(MemTable::from_chunk(
+            Arc::clone(&schema),
+            Chunk::empty(&schema),
+        ));
         LogicalPlan::Scan {
             table: "t".into(),
             source,
@@ -232,7 +278,10 @@ mod tests {
         let s = scan();
         let pred = bound(&col("a").eq(lit(1i64)), &s);
         let plan = LogicalPlan::Filter {
-            input: Arc::new(LogicalPlan::Sort { input: Arc::new(s), exprs: vec![] }),
+            input: Arc::new(LogicalPlan::Sort {
+                input: Arc::new(s),
+                exprs: vec![],
+            }),
             predicate: pred,
         };
         let out = PredicatePushdown.optimize(&plan).unwrap();
@@ -248,7 +297,10 @@ mod tests {
         let s = scan();
         let pred = bound(&col("a").eq(lit(1i64)), &s);
         let plan = LogicalPlan::Filter {
-            input: Arc::new(LogicalPlan::Limit { input: Arc::new(s), n: 5 }),
+            input: Arc::new(LogicalPlan::Limit {
+                input: Arc::new(s),
+                n: 5,
+            }),
             predicate: pred,
         };
         let out = PredicatePushdown.optimize(&plan).unwrap();
@@ -280,7 +332,10 @@ mod tests {
             c.index = Some(2);
         }
         let pred = left_ref.eq(lit(1i64)).and(right_ref.eq(lit(2i64)));
-        let plan = LogicalPlan::Filter { input: Arc::new(join), predicate: pred };
+        let plan = LogicalPlan::Filter {
+            input: Arc::new(join),
+            predicate: pred,
+        };
         let out = PredicatePushdown.optimize(&plan).unwrap();
         let LogicalPlan::Join { left, right, .. } = &out else {
             panic!("expected bare Join, got {out:?}")
@@ -315,7 +370,10 @@ mod tests {
             predicate: right_ref.eq(lit(2i64)),
         };
         let out = PredicatePushdown.optimize(&plan).unwrap();
-        assert!(matches!(out, LogicalPlan::Filter { .. }), "must stay above left join");
+        assert!(
+            matches!(out, LogicalPlan::Filter { .. }),
+            "must stay above left join"
+        );
     }
 
     #[test]
@@ -357,7 +415,10 @@ mod tests {
         let LogicalPlan::Projection { input: pin, .. } = input.as_ref() else {
             panic!("projection expected")
         };
-        let LogicalPlan::Filter { predicate: below, .. } = pin.as_ref() else {
+        let LogicalPlan::Filter {
+            predicate: below, ..
+        } = pin.as_ref()
+        else {
             panic!("pushed filter expected below projection")
         };
         let mut refs = Vec::new();

@@ -289,8 +289,12 @@ impl ExecutionPlan for HashAggregateExec {
         if groups.is_empty() && self.group_exprs.is_empty() && partition == 0 {
             groups.insert(Vec::new(), self.aggs.iter().map(Acc::new).collect());
         }
-        let mut builders: Vec<ColumnBuilder> =
-            self.schema.fields.iter().map(|f| ColumnBuilder::new(f.data_type)).collect();
+        let mut builders: Vec<ColumnBuilder> = self
+            .schema
+            .fields
+            .iter()
+            .map(|f| ColumnBuilder::new(f.data_type))
+            .collect();
         for (key, accs) in groups {
             for (i, v) in key.iter().enumerate() {
                 push_coerced(&mut builders[i], v)?;
@@ -301,13 +305,16 @@ impl ExecutionPlan for HashAggregateExec {
                 push_coerced(&mut builders[out_i], &v)?;
             }
         }
-        let chunk =
-            Chunk::new(builders.into_iter().map(|b| Arc::new(b.finish())).collect())?;
+        let chunk = Chunk::new(builders.into_iter().map(|b| Arc::new(b.finish())).collect())?;
         Ok(ctx.instrument(self, Box::new(std::iter::once(Ok(chunk)))))
     }
 
     fn detail(&self) -> String {
-        format!("{} groups keys, {} aggs", self.group_exprs.len(), self.aggs.len())
+        format!(
+            "{} groups keys, {} aggs",
+            self.group_exprs.len(),
+            self.aggs.len()
+        )
     }
 }
 
@@ -334,9 +341,9 @@ mod tests {
     use super::*;
     use crate::analyzer::resolve_expr;
     use crate::expr::col;
+    use crate::physical::execute_collect;
     use crate::physical::expr::create_physical_expr;
     use crate::physical::scan::ValuesExec;
-    use crate::physical::execute_collect;
     use crate::schema::{Field, Schema};
 
     fn input() -> (ExecPlanRef, SchemaRef) {
@@ -351,7 +358,13 @@ mod tests {
             vec![Value::Utf8("b".into()), Value::Null],
             vec![Value::Utf8("a".into()), Value::Int64(3)],
         ];
-        (Arc::new(ValuesExec { schema: Arc::clone(&schema), rows }), schema)
+        (
+            Arc::new(ValuesExec {
+                schema: Arc::clone(&schema),
+                rows,
+            }),
+            schema,
+        )
     }
 
     fn pe(schema: &SchemaRef, name: &str) -> PhysicalExprRef {
@@ -398,7 +411,9 @@ mod tests {
         });
         let out = execute_collect(&plan, &TaskContext::default()).unwrap();
         assert_eq!(out.len(), 2);
-        let row_a = (0..2).find(|&r| out.value_at(0, r) == Value::Utf8("a".into())).unwrap();
+        let row_a = (0..2)
+            .find(|&r| out.value_at(0, r) == Value::Utf8("a".into()))
+            .unwrap();
         let row_b = 1 - row_a;
         assert_eq!(out.value_at(1, row_a), Value::Int64(3));
         assert_eq!(out.value_at(2, row_a), Value::Int64(6));
@@ -411,8 +426,10 @@ mod tests {
     #[test]
     fn global_aggregate_on_empty_input_yields_identity() {
         let schema = Arc::new(Schema::new(vec![Field::new("v", DataType::Int64)]));
-        let empty: ExecPlanRef =
-            Arc::new(ValuesExec { schema: Arc::clone(&schema), rows: vec![] });
+        let empty: ExecPlanRef = Arc::new(ValuesExec {
+            schema: Arc::clone(&schema),
+            rows: vec![],
+        });
         let out_schema = Arc::new(Schema::new(vec![
             Field::new("count(*)", DataType::Int64),
             Field::new("sum", DataType::Int64),
@@ -421,7 +438,11 @@ mod tests {
             input: empty,
             group_exprs: vec![],
             aggs: vec![
-                AggregateSpec { func: AggFunc::Count, arg: None, output_type: DataType::Int64 },
+                AggregateSpec {
+                    func: AggFunc::Count,
+                    arg: None,
+                    output_type: DataType::Int64,
+                },
                 AggregateSpec {
                     func: AggFunc::Sum,
                     arg: Some(pe(&schema, "v")),
@@ -464,9 +485,17 @@ mod tests {
         let inp: ExecPlanRef = Arc::new(ValuesExec {
             schema: Arc::clone(&schema),
             rows: vec![
-                vec![Value::Int64(1), Value::Float64(0.5), Value::Utf8("b".into())],
+                vec![
+                    Value::Int64(1),
+                    Value::Float64(0.5),
+                    Value::Utf8("b".into()),
+                ],
                 vec![Value::Null, Value::Null, Value::Null],
-                vec![Value::Int64(3), Value::Float64(1.5), Value::Utf8("a".into())],
+                vec![
+                    Value::Int64(3),
+                    Value::Float64(1.5),
+                    Value::Utf8("a".into()),
+                ],
             ],
         });
         let out_schema = Arc::new(Schema::new(vec![
@@ -483,7 +512,11 @@ mod tests {
             input: inp,
             group_exprs: vec![],
             aggs: vec![
-                AggregateSpec { func: AggFunc::Count, arg: None, output_type: DataType::Int64 },
+                AggregateSpec {
+                    func: AggFunc::Count,
+                    arg: None,
+                    output_type: DataType::Int64,
+                },
                 AggregateSpec {
                     func: AggFunc::Count,
                     arg: arg("i"),
@@ -518,7 +551,11 @@ mod tests {
             schema: out_schema,
         });
         let out = execute_collect(&plan, &TaskContext::default()).unwrap();
-        assert_eq!(out.value_at(0, 0), Value::Int64(3), "count(*) counts null rows");
+        assert_eq!(
+            out.value_at(0, 0),
+            Value::Int64(3),
+            "count(*) counts null rows"
+        );
         assert_eq!(out.value_at(1, 0), Value::Int64(2), "count(i) skips nulls");
         assert_eq!(out.value_at(2, 0), Value::Int64(4));
         assert_eq!(out.value_at(3, 0), Value::Float64(2.0));

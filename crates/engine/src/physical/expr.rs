@@ -38,7 +38,10 @@ pub fn create_physical_expr(expr: &Expr, schema: &Schema) -> Result<PhysicalExpr
                     c.display_name()
                 ))
             })?;
-            Arc::new(ColumnExpr { index, dt: schema.field(index).data_type })
+            Arc::new(ColumnExpr {
+                index,
+                dt: schema.field(index).data_type,
+            })
         }
         Expr::Literal(v) => Arc::new(LiteralExpr { value: v.clone() }),
         Expr::Binary { left, op, right } => {
@@ -51,18 +54,28 @@ pub fn create_physical_expr(expr: &Expr, schema: &Schema) -> Result<PhysicalExpr
             } else {
                 r.data_type()
             };
-            Arc::new(BinaryExpr { left: l, op: *op, right: r, dt })
+            Arc::new(BinaryExpr {
+                left: l,
+                op: *op,
+                right: r,
+                dt,
+            })
         }
-        Expr::Not(e) => Arc::new(NotExpr { input: create_physical_expr(e, schema)? }),
-        Expr::IsNull(e) => {
-            Arc::new(IsNullExpr { input: create_physical_expr(e, schema)?, negated: false })
-        }
-        Expr::IsNotNull(e) => {
-            Arc::new(IsNullExpr { input: create_physical_expr(e, schema)?, negated: true })
-        }
-        Expr::Cast { expr, to } => {
-            Arc::new(CastExpr { input: create_physical_expr(expr, schema)?, to: *to })
-        }
+        Expr::Not(e) => Arc::new(NotExpr {
+            input: create_physical_expr(e, schema)?,
+        }),
+        Expr::IsNull(e) => Arc::new(IsNullExpr {
+            input: create_physical_expr(e, schema)?,
+            negated: false,
+        }),
+        Expr::IsNotNull(e) => Arc::new(IsNullExpr {
+            input: create_physical_expr(e, schema)?,
+            negated: true,
+        }),
+        Expr::Cast { expr, to } => Arc::new(CastExpr {
+            input: create_physical_expr(expr, schema)?,
+            to: *to,
+        }),
         Expr::Alias(e, _) => create_physical_expr(e, schema)?,
         Expr::Aggregate { .. } => {
             return Err(EngineError::plan(
@@ -79,9 +92,17 @@ pub fn create_physical_expr(expr: &Expr, schema: &Schema) -> Result<PhysicalExpr
                 ScalarFunc::Length => DataType::Int64,
                 ScalarFunc::Abs | ScalarFunc::Coalesce => args[0].data_type(),
             };
-            Arc::new(ScalarFuncExpr { func: *func, args, dt })
+            Arc::new(ScalarFuncExpr {
+                func: *func,
+                args,
+                dt,
+            })
         }
-        Expr::InList { expr, list, negated } => {
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
             let tested = create_physical_expr(expr, schema)?;
             // The analyzer guarantees list entries are literal-typed
             // expressions of the tested type; evaluate constants eagerly
@@ -90,9 +111,17 @@ pub fn create_physical_expr(expr: &Expr, schema: &Schema) -> Result<PhysicalExpr
                 .iter()
                 .map(|e| create_physical_expr(e, schema))
                 .collect::<Result<Vec<_>>>()?;
-            Arc::new(InListExpr { tested, entries, negated: *negated })
+            Arc::new(InListExpr {
+                tested,
+                entries,
+                negated: *negated,
+            })
         }
-        Expr::Like { expr, pattern, negated } => Arc::new(LikeExpr {
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => Arc::new(LikeExpr {
             input: create_physical_expr(expr, schema)?,
             pattern: pattern.clone(),
             negated: *negated,
@@ -135,7 +164,11 @@ impl PhysicalExpr for LiteralExpr {
     }
 
     fn evaluate(&self, chunk: &Chunk) -> Result<ColumnRef> {
-        Ok(Arc::new(Column::repeat(self.data_type(), &self.value, chunk.len())?))
+        Ok(Arc::new(Column::repeat(
+            self.data_type(),
+            &self.value,
+            chunk.len(),
+        )?))
     }
 }
 
@@ -181,7 +214,10 @@ impl PhysicalExpr for NotExpr {
             return Err(EngineError::type_err("NOT over non-boolean column"));
         };
         let values: Vec<bool> = v.values.iter().map(|b| !b).collect();
-        Ok(Arc::new(Column::Boolean(PrimVec { values, validity: v.validity.clone() })))
+        Ok(Arc::new(Column::Boolean(PrimVec {
+            values,
+            validity: v.validity.clone(),
+        })))
     }
 }
 
@@ -198,8 +234,9 @@ impl PhysicalExpr for IsNullExpr {
 
     fn evaluate(&self, chunk: &Chunk) -> Result<ColumnRef> {
         let c = self.input.evaluate(chunk)?;
-        let values: Vec<bool> =
-            (0..c.len()).map(|i| c.is_valid(i) == self.negated).collect();
+        let values: Vec<bool> = (0..c.len())
+            .map(|i| c.is_valid(i) == self.negated)
+            .collect();
         Ok(Arc::new(Column::Boolean(PrimVec::from_values(values))))
     }
 }
@@ -260,8 +297,9 @@ impl PhysicalExpr for ScalarFuncExpr {
                 let Column::Utf8(v) = cols[0].as_ref() else {
                     return Err(EngineError::type_err("length over non-string"));
                 };
-                let values: Vec<i64> =
-                    (0..v.len()).map(|i| v.get(i).map_or(0, |s| s.len() as i64)).collect();
+                let values: Vec<i64> = (0..v.len())
+                    .map(|i| v.get(i).map_or(0, |s| s.len() as i64))
+                    .collect();
                 Ok(Arc::new(Column::Int64(PrimVec {
                     values,
                     validity: v.validity.clone(),
@@ -412,7 +450,8 @@ impl PhysicalExpr for LikeExpr {
         };
         let values: Vec<bool> = (0..v.len())
             .map(|i| {
-                v.get(i).is_some_and(|s| like_match(s, &self.pattern) != self.negated)
+                v.get(i)
+                    .is_some_and(|s| like_match(s, &self.pattern) != self.negated)
             })
             .collect();
         Ok(Arc::new(Column::Boolean(PrimVec {
@@ -520,7 +559,10 @@ pub(crate) mod kernels {
         let values: Vec<bool> = (0..len)
             .map(|i| cmp_outcome(a.values[i], op, b.values[i]))
             .collect();
-        Column::Boolean(PrimVec { values, validity: merged_validity(&a.validity, &b.validity, len) })
+        Column::Boolean(PrimVec {
+            values,
+            validity: merged_validity(&a.validity, &b.validity, len),
+        })
     }
 
     /// Comparison over same-typed columns; null if either side is null.
@@ -535,8 +577,9 @@ pub(crate) mod kernels {
             (Column::Float64(a), Column::Float64(b)) => compare_prim(a, op, b),
             (Column::Boolean(a), Column::Boolean(b)) => {
                 let len = a.len();
-                let values: Vec<bool> =
-                    (0..len).map(|i| cmp_outcome(a.values[i], op, b.values[i])).collect();
+                let values: Vec<bool> = (0..len)
+                    .map(|i| cmp_outcome(a.values[i], op, b.values[i]))
+                    .collect();
                 Column::Boolean(PrimVec {
                     values,
                     validity: merged_validity(&a.validity, &b.validity, len),
@@ -551,7 +594,10 @@ pub(crate) mod kernels {
                 }
                 let av = a.validity.clone();
                 let bv = b.validity.clone();
-                Column::Boolean(PrimVec { values, validity: merged_validity(&av, &bv, len) })
+                Column::Boolean(PrimVec {
+                    values,
+                    validity: merged_validity(&av, &bv, len),
+                })
             }
             (a, b) => {
                 return Err(EngineError::type_err(format!(
@@ -590,7 +636,10 @@ pub(crate) mod kernels {
                     }
                 }
             }
-            Column::$variant(PrimVec { values, validity: Some(validity) })
+            Column::$variant(PrimVec {
+                values,
+                validity: Some(validity),
+            })
         }};
     }
 
@@ -718,8 +767,18 @@ mod tests {
                     Value::Utf8("x".into()),
                     Value::Float64(0.5),
                 ],
-                vec![Value::Int64(2), Value::Null, Value::Utf8("y".into()), Value::Float64(1.5)],
-                vec![Value::Int64(3), Value::Int64(30), Value::Null, Value::Float64(2.5)],
+                vec![
+                    Value::Int64(2),
+                    Value::Null,
+                    Value::Utf8("y".into()),
+                    Value::Float64(1.5),
+                ],
+                vec![
+                    Value::Int64(3),
+                    Value::Int64(30),
+                    Value::Null,
+                    Value::Float64(2.5),
+                ],
             ],
         )
         .unwrap()

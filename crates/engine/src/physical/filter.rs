@@ -58,9 +58,9 @@ mod tests {
     use crate::analyzer::resolve_expr;
     use crate::chunk::Chunk;
     use crate::expr::{col, lit};
+    use crate::physical::execute_collect;
     use crate::physical::expr::create_physical_expr;
     use crate::physical::scan::ValuesExec;
-    use crate::physical::execute_collect;
     use crate::schema::{Field, Schema};
     use crate::types::{DataType, Value};
 

@@ -39,8 +39,10 @@ impl BuildTable {
         };
         let mut index: HashMap<Vec<Value>, Vec<u32>> = HashMap::new();
         if !chunk.is_empty() {
-            let key_cols =
-                keys.iter().map(|k| k.evaluate(&chunk)).collect::<Result<Vec<_>>>()?;
+            let key_cols = keys
+                .iter()
+                .map(|k| k.evaluate(&chunk))
+                .collect::<Result<Vec<_>>>()?;
             let mut key: Vec<Value> = Vec::with_capacity(key_cols.len());
             'rows: for row in 0..chunk.len() {
                 key.clear();
@@ -92,7 +94,11 @@ fn gather_left_outer(
     let mut cols = Vec::with_capacity(schema.len());
     cols.extend(l.columns().iter().cloned());
     for f in &right_schema.fields {
-        cols.push(Arc::new(Column::repeat(f.data_type, &Value::Null, left_rows.len())?));
+        cols.push(Arc::new(Column::repeat(
+            f.data_type,
+            &Value::Null,
+            left_rows.len(),
+        )?));
     }
     Chunk::new(cols)
 }
@@ -105,8 +111,10 @@ fn probe_matches(
     probe_keys: &[PhysicalExprRef],
     mut mark_build_matched: Option<&mut [bool]>,
 ) -> Result<(Vec<u32>, Vec<u32>)> {
-    let key_cols =
-        probe_keys.iter().map(|k| k.evaluate(probe_chunk)).collect::<Result<Vec<_>>>()?;
+    let key_cols = probe_keys
+        .iter()
+        .map(|k| k.evaluate(probe_chunk))
+        .collect::<Result<Vec<_>>>()?;
     let mut build_rows = Vec::new();
     let mut probe_rows = Vec::new();
     let mut key = Vec::with_capacity(key_cols.len());
@@ -150,7 +158,12 @@ fn finish_preserved(
                 .map(|(i, _)| i as u32)
                 .collect();
             if !unmatched.is_empty() {
-                out.push(gather_left_outer(&build.chunk, &unmatched, right_schema, schema)?);
+                out.push(gather_left_outer(
+                    &build.chunk,
+                    &unmatched,
+                    right_schema,
+                    schema,
+                )?);
             }
         }
         JoinType::Semi => {
@@ -214,13 +227,10 @@ impl ExecutionPlan for HashJoinExec {
                 "hash join children must share partition counts (planner bug)",
             ));
         }
-        let build_keys: Vec<PhysicalExprRef> =
-            self.on.iter().map(|(l, _)| Arc::clone(l)).collect();
-        let probe_keys: Vec<PhysicalExprRef> =
-            self.on.iter().map(|(_, r)| Arc::clone(r)).collect();
+        let build_keys: Vec<PhysicalExprRef> = self.on.iter().map(|(l, _)| Arc::clone(l)).collect();
+        let probe_keys: Vec<PhysicalExprRef> = self.on.iter().map(|(_, r)| Arc::clone(r)).collect();
         // Build phase: drain the left partition.
-        let build_chunks: Vec<Chunk> =
-            self.left.execute(partition, ctx)?.collect::<Result<_>>()?;
+        let build_chunks: Vec<Chunk> = self.left.execute(partition, ctx)?.collect::<Result<_>>()?;
         let build = BuildTable::build(build_chunks, &build_keys)?;
         let mut matched = vec![false; build.chunk.len()];
         let track = !matches!(self.join_type, JoinType::Inner);
@@ -234,9 +244,14 @@ impl ExecutionPlan for HashJoinExec {
                 &probe_keys,
                 track.then_some(matched.as_mut_slice()),
             )?;
-            if matches!(self.join_type, JoinType::Inner | JoinType::Left) && !b_rows.is_empty()
-            {
-                out.push(gather_joined(&build.chunk, &b_rows, &chunk, &p_rows, &self.schema)?);
+            if matches!(self.join_type, JoinType::Inner | JoinType::Left) && !b_rows.is_empty() {
+                out.push(gather_joined(
+                    &build.chunk,
+                    &b_rows,
+                    &chunk,
+                    &p_rows,
+                    &self.schema,
+                )?);
             }
         }
         finish_preserved(
@@ -289,7 +304,14 @@ impl BroadcastHashJoinExec {
         join_type: JoinType,
         schema: SchemaRef,
     ) -> Self {
-        BroadcastHashJoinExec { left, right, on, join_type, schema, broadcast: OnceLock::new() }
+        BroadcastHashJoinExec {
+            left,
+            right,
+            on,
+            join_type,
+            schema,
+            broadcast: OnceLock::new(),
+        }
     }
 
     fn broadcast_side(&self, ctx: &TaskContext) -> Result<Arc<BuildTable>> {
@@ -327,8 +349,7 @@ impl ExecutionPlan for BroadcastHashJoinExec {
 
     fn execute(&self, partition: usize, ctx: &TaskContext) -> Result<ChunkIter> {
         let build = self.broadcast_side(ctx)?;
-        let left_keys: Vec<PhysicalExprRef> =
-            self.on.iter().map(|(l, _)| Arc::clone(l)).collect();
+        let left_keys: Vec<PhysicalExprRef> = self.on.iter().map(|(l, _)| Arc::clone(l)).collect();
         let mut out: Vec<Chunk> = Vec::new();
         for chunk in self.left.execute(partition, ctx)? {
             let chunk = chunk?;
@@ -391,7 +412,11 @@ impl ExecutionPlan for BroadcastHashJoinExec {
     }
 
     fn detail(&self) -> String {
-        format!("{} on {} keys, broadcast right", self.join_type, self.on.len())
+        format!(
+            "{} on {} keys, broadcast right",
+            self.join_type,
+            self.on.len()
+        )
     }
 }
 
@@ -416,7 +441,13 @@ mod tests {
             vec![Value::Int64(2), Value::Utf8("bob".into())],
             vec![Value::Int64(3), Value::Utf8("carol".into())],
         ];
-        (Arc::new(ValuesExec { schema: Arc::clone(&schema), rows }), schema)
+        (
+            Arc::new(ValuesExec {
+                schema: Arc::clone(&schema),
+                rows,
+            }),
+            schema,
+        )
     }
 
     fn orders() -> (ExecPlanRef, SchemaRef) {
@@ -430,7 +461,13 @@ mod tests {
             vec![Value::Int64(3), Value::Int64(30)],
             vec![Value::Null, Value::Int64(99)],
         ];
-        (Arc::new(ValuesExec { schema: Arc::clone(&schema), rows }), schema)
+        (
+            Arc::new(ValuesExec {
+                schema: Arc::clone(&schema),
+                rows,
+            }),
+            schema,
+        )
     }
 
     fn key(schema: &SchemaRef, name: &str) -> PhysicalExprRef {
@@ -540,8 +577,10 @@ mod tests {
     #[test]
     fn empty_build_side() {
         let (_, ps) = people();
-        let empty: ExecPlanRef =
-            Arc::new(ValuesExec { schema: Arc::clone(&ps), rows: vec![] });
+        let empty: ExecPlanRef = Arc::new(ValuesExec {
+            schema: Arc::clone(&ps),
+            rows: vec![],
+        });
         let (o, os) = orders();
         let plan: ExecPlanRef = Arc::new(HashJoinExec {
             left: shuffle(empty, key(&ps, "id"), 2),

@@ -60,8 +60,8 @@ impl ExecutionPlan for LimitExec {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::physical::scan::ValuesExec;
     use crate::physical::execute_collect;
+    use crate::physical::scan::ValuesExec;
     use crate::schema::{Field, Schema};
     use crate::types::{DataType, Value};
 
@@ -81,8 +81,10 @@ mod tests {
     #[test]
     fn limit_zero() {
         let schema = Arc::new(Schema::new(vec![Field::new("x", DataType::Int64)]));
-        let inp: ExecPlanRef =
-            Arc::new(ValuesExec { schema, rows: vec![vec![Value::Int64(1)]] });
+        let inp: ExecPlanRef = Arc::new(ValuesExec {
+            schema,
+            rows: vec![vec![Value::Int64(1)]],
+        });
         let plan: ExecPlanRef = Arc::new(LimitExec { input: inp, n: 0 });
         let out = execute_collect(&plan, &TaskContext::default()).unwrap();
         assert_eq!(out.len(), 0);

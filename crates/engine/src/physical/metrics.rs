@@ -95,7 +95,10 @@ impl MetricsRegistry {
 /// Wrap `iter` so rows/time are attributed to `metrics`.
 pub fn instrument(metrics: Arc<OperatorMetrics>, iter: ChunkIter) -> ChunkIter {
     metrics.invocations.fetch_add(1, Ordering::Relaxed);
-    Box::new(InstrumentedIter { metrics, inner: iter })
+    Box::new(InstrumentedIter {
+        metrics,
+        inner: iter,
+    })
 }
 
 struct InstrumentedIter {
@@ -113,7 +116,9 @@ impl Iterator for InstrumentedIter {
             .elapsed_ns
             .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
         if let Some(Ok(chunk)) = &item {
-            self.metrics.rows.fetch_add(chunk.len() as u64, Ordering::Relaxed);
+            self.metrics
+                .rows
+                .fetch_add(chunk.len() as u64, Ordering::Relaxed);
             self.metrics.chunks.fetch_add(1, Ordering::Relaxed);
         }
         item
@@ -129,8 +134,10 @@ mod tests {
     fn counts_rows_and_time() {
         let reg = MetricsRegistry::new();
         let m = reg.operator("Scan: t");
-        let chunks: Vec<crate::error::Result<Chunk>> =
-            vec![Ok(Chunk::new_empty_columns(10)), Ok(Chunk::new_empty_columns(5))];
+        let chunks: Vec<crate::error::Result<Chunk>> = vec![
+            Ok(Chunk::new_empty_columns(10)),
+            Ok(Chunk::new_empty_columns(5)),
+        ];
         let it = instrument(Arc::clone(&m), Box::new(chunks.into_iter()));
         assert_eq!(it.count(), 2);
         assert_eq!(m.rows.load(Ordering::Relaxed), 15);
@@ -147,8 +154,7 @@ mod tests {
         let reg = MetricsRegistry::new();
         for _ in 0..3 {
             let m = reg.operator("Filter");
-            let chunks: Vec<crate::error::Result<Chunk>> =
-                vec![Ok(Chunk::new_empty_columns(1))];
+            let chunks: Vec<crate::error::Result<Chunk>> = vec![Ok(Chunk::new_empty_columns(1))];
             let _ = instrument(m, Box::new(chunks.into_iter())).count();
         }
         assert_eq!(reg.report()[0].4, 3, "three partition invocations");

@@ -5,15 +5,17 @@
 //! for output partition `p`; the driver runs all output partitions on a
 //! thread pool. Pipeline breakers ([`ShuffleExec`], [`SortExec`],
 //! [`HashAggregateExec`] and join build sides) materialize lazily and
-//! exactly once behind `OnceLock`s, which is the single-process analogue of
-//! Spark's shuffle files and broadcast variables.
+//! exactly once *per execution* behind [`ExecCache`]s, which is the
+//! single-process analogue of Spark's shuffle files and broadcast
+//! variables (re-keyed per job so re-running a plan over a live, updatable
+//! source sees fresh data).
 
 mod aggregate;
 pub mod expr;
-pub mod metrics;
 mod filter;
 mod join;
 mod limit;
+pub mod metrics;
 mod project;
 mod scan;
 mod shuffle;
@@ -43,25 +45,58 @@ use crate::schema::SchemaRef;
 use crate::types::Value;
 
 /// Per-query execution context handed to every operator.
+///
+/// Every constructed context gets a fresh [`TaskContext::execution_id`];
+/// *clones* share it. The driver clones one context across the partition
+/// tasks of a single collect, so the id identifies "one execution of one
+/// plan" — which is exactly the lifetime pipeline-breaker results cached
+/// in an [`ExecCache`] are valid for.
 #[derive(Debug, Clone)]
-#[derive(Default)]
 pub struct TaskContext {
     /// Engine configuration snapshot.
     pub config: EngineConfig,
     /// When present, operators report per-operator metrics here
     /// (`EXPLAIN ANALYZE`).
     pub metrics: Option<Arc<MetricsRegistry>>,
+    execution_id: u64,
 }
+
+impl Default for TaskContext {
+    fn default() -> Self {
+        Self::new(EngineConfig::default())
+    }
+}
+
+/// Source of fresh [`TaskContext::execution_id`]s.
+static NEXT_EXECUTION_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
 
 impl TaskContext {
     /// Context with the given configuration.
     pub fn new(config: EngineConfig) -> Self {
-        TaskContext { config, metrics: None }
+        TaskContext {
+            config,
+            metrics: None,
+            execution_id: Self::fresh_execution_id(),
+        }
     }
 
     /// Context that records per-operator metrics into `registry`.
     pub fn with_metrics(config: EngineConfig, registry: Arc<MetricsRegistry>) -> Self {
-        TaskContext { config, metrics: Some(registry) }
+        TaskContext {
+            config,
+            metrics: Some(registry),
+            execution_id: Self::fresh_execution_id(),
+        }
+    }
+
+    fn fresh_execution_id() -> u64 {
+        NEXT_EXECUTION_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// The id of the plan execution this context belongs to (shared by
+    /// clones, unique per constructed context).
+    pub fn execution_id(&self) -> u64 {
+        self.execution_id
     }
 
     /// Attribute `iter`'s output to `plan` in the metrics registry
@@ -82,6 +117,51 @@ impl TaskContext {
     }
 }
 
+/// Once-per-execution cache for pipeline-breaker results (shuffle
+/// spills, broadcast build sides), keyed by [`TaskContext::execution_id`].
+///
+/// A bare `OnceLock` in an operator caches *forever*: re-executing the
+/// same physical plan against a live, updatable source would replay the
+/// first execution's data. `ExecCache` recomputes whenever the context's
+/// execution id differs from the cached one, while partition tasks of the
+/// *same* execution (which share a cloned context, hence the id) still
+/// compute the value exactly once — the mutex is held for the duration of
+/// `init`, so same-execution callers block and then reuse the result.
+#[derive(Debug, Default)]
+pub struct ExecCache<T> {
+    slot: std::sync::Mutex<Option<(u64, T)>>,
+}
+
+impl<T: Clone> ExecCache<T> {
+    /// An empty cache.
+    pub fn new() -> Self {
+        ExecCache {
+            slot: std::sync::Mutex::new(None),
+        }
+    }
+
+    /// The value for `ctx`'s execution: cached if this execution already
+    /// computed it, otherwise freshly built by `init` (replacing any value
+    /// a previous execution left behind).
+    pub fn get_or_try_init(
+        &self,
+        ctx: &TaskContext,
+        init: impl FnOnce() -> Result<T>,
+    ) -> Result<T> {
+        let mut slot = self
+            .slot
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some((id, value)) = slot.as_ref() {
+            if *id == ctx.execution_id() {
+                return Ok(value.clone());
+            }
+        }
+        let value = init()?;
+        *slot = Some((ctx.execution_id(), value.clone()));
+        Ok(value)
+    }
+}
 
 /// An executable operator.
 pub trait ExecutionPlan: Send + Sync + fmt::Debug {
@@ -208,7 +288,9 @@ mod idf_hash {
 
     impl Default for FxHasher {
         fn default() -> Self {
-            FxHasher { state: 0xcbf2_9ce4_8422_2325 }
+            FxHasher {
+                state: 0xcbf2_9ce4_8422_2325,
+            }
         }
     }
 
@@ -221,8 +303,7 @@ mod idf_hash {
         #[inline]
         fn write(&mut self, bytes: &[u8]) {
             for &b in bytes {
-                self.state =
-                    (self.state ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+                self.state = (self.state ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
             }
         }
 
@@ -256,6 +337,30 @@ mod idf_hash {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn exec_cache_is_keyed_by_execution_id() {
+        let cache: ExecCache<u64> = ExecCache::new();
+        let ctx_a = TaskContext::default();
+        let calls = std::sync::atomic::AtomicU64::new(0);
+        let bump = || Ok(calls.fetch_add(1, std::sync::atomic::Ordering::SeqCst) + 1);
+        // First call computes; same-execution calls (clones included) hit
+        // the cache.
+        assert_eq!(cache.get_or_try_init(&ctx_a, bump).unwrap(), 1);
+        assert_eq!(cache.get_or_try_init(&ctx_a, bump).unwrap(), 1);
+        assert_eq!(cache.get_or_try_init(&ctx_a.clone(), bump).unwrap(), 1);
+        // A fresh context is a new execution: recompute.
+        let ctx_b = TaskContext::default();
+        assert_eq!(cache.get_or_try_init(&ctx_b, bump).unwrap(), 2);
+        // Errors are not cached — the next caller retries.
+        let err = cache
+            .get_or_try_init(&TaskContext::default(), || {
+                Err::<u64, _>(crate::error::EngineError::internal("boom"))
+            })
+            .unwrap_err();
+        assert!(err.to_string().contains("boom"));
+        assert_eq!(cache.get_or_try_init(&ctx_b, bump).unwrap(), 2);
+    }
 
     #[test]
     fn hash_value_stable_and_type_tagged() {

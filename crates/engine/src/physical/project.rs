@@ -47,8 +47,10 @@ impl ExecutionPlan for ProjectionExec {
                 // COUNT(*)-style projections: carry the row count only.
                 return Ok(Chunk::new_empty_columns(chunk.len()));
             }
-            let columns =
-                exprs.iter().map(|e| e.evaluate(&chunk)).collect::<Result<Vec<_>>>()?;
+            let columns = exprs
+                .iter()
+                .map(|e| e.evaluate(&chunk))
+                .collect::<Result<Vec<_>>>()?;
             Chunk::new(columns)
         }));
         Ok(ctx.instrument(self, iter))
@@ -64,9 +66,9 @@ mod tests {
     use super::*;
     use crate::analyzer::{expr_to_field, resolve_expr};
     use crate::expr::{col, lit};
+    use crate::physical::execute_collect;
     use crate::physical::expr::create_physical_expr;
     use crate::physical::scan::ValuesExec;
-    use crate::physical::execute_collect;
     use crate::schema::{Field, Schema};
     use crate::types::{DataType, Value};
 
@@ -83,10 +85,15 @@ mod tests {
                 vec![Value::Int64(2), Value::Int64(20)],
             ],
         });
-        let exprs = [resolve_expr(&col("y"), &schema).unwrap(),
-            resolve_expr(&col("x").add(lit(100i64)).alias("x100"), &schema).unwrap()];
+        let exprs = [
+            resolve_expr(&col("y"), &schema).unwrap(),
+            resolve_expr(&col("x").add(lit(100i64)).alias("x100"), &schema).unwrap(),
+        ];
         let out_schema = Arc::new(Schema::new(
-            exprs.iter().map(|e| expr_to_field(e, &schema).unwrap()).collect(),
+            exprs
+                .iter()
+                .map(|e| expr_to_field(e, &schema).unwrap())
+                .collect(),
         ));
         let plan: ExecPlanRef = Arc::new(ProjectionExec {
             input,

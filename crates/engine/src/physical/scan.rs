@@ -51,11 +51,8 @@ impl ExecutionPlan for SourceScanExec {
         let iter = if self.filters.is_empty() {
             self.source.scan(partition, self.projection.as_deref())?
         } else {
-            self.source.scan_with_filters(
-                partition,
-                self.projection.as_deref(),
-                &self.filters,
-            )?
+            self.source
+                .scan_with_filters(partition, self.projection.as_deref(), &self.filters)?
         };
         Ok(_ctx.instrument(self, iter))
     }

@@ -2,18 +2,20 @@
 //!
 //! The single-process analogue of Spark's shuffle: the first output
 //! partition to be pulled materializes *all* input partitions in parallel
-//! behind a `OnceLock`, bucketing rows by key hash; every output partition
-//! then reads its bucket. The Indexed DataFrame's hash partitioning on the
+//! behind an [`ExecCache`] keyed by the execution id, bucketing rows by
+//! key hash; every output partition of the same execution then reads its
+//! bucket, while a later execution of the same plan recomputes (the input
+//! may be a live, updatable source). The Indexed DataFrame's hash partitioning on the
 //! indexed key uses the same [`hash_values`] function, which is what makes
 //! its indexed joins co-partitioned with shuffled probe sides.
 
-use std::sync::{Arc, OnceLock};
+use std::sync::Arc;
 
 use crate::catalog::ChunkIter;
 use crate::chunk::Chunk;
 use crate::error::Result;
 use crate::physical::{
-    hash_values, ExecPlanRef, ExecutionPlan, PhysicalExprRef, TaskContext,
+    hash_values, ExecCache, ExecPlanRef, ExecutionPlan, PhysicalExprRef, TaskContext,
 };
 use crate::schema::SchemaRef;
 
@@ -25,7 +27,7 @@ pub struct ShuffleExec {
     pub keys: Vec<PhysicalExprRef>,
     /// Number of output partitions.
     pub num_partitions: usize,
-    state: OnceLock<Result<Arc<Vec<Vec<Chunk>>>>>,
+    state: ExecCache<Arc<Vec<Vec<Chunk>>>>,
 }
 
 impl std::fmt::Debug for ShuffleExec {
@@ -37,17 +39,20 @@ impl std::fmt::Debug for ShuffleExec {
 impl ShuffleExec {
     /// Create a shuffle of `input` on `keys`.
     pub fn new(input: ExecPlanRef, keys: Vec<PhysicalExprRef>, num_partitions: usize) -> Self {
-        ShuffleExec { input, keys, num_partitions: num_partitions.max(1), state: OnceLock::new() }
+        ShuffleExec {
+            input,
+            keys,
+            num_partitions: num_partitions.max(1),
+            state: ExecCache::new(),
+        }
     }
 
     /// Bucket one chunk's rows by key hash.
-    fn bucket_chunk(
-        chunk: &Chunk,
-        keys: &[PhysicalExprRef],
-        n: usize,
-    ) -> Result<Vec<Vec<u32>>> {
-        let key_cols =
-            keys.iter().map(|k| k.evaluate(chunk)).collect::<Result<Vec<_>>>()?;
+    fn bucket_chunk(chunk: &Chunk, keys: &[PhysicalExprRef], n: usize) -> Result<Vec<Vec<u32>>> {
+        let key_cols = keys
+            .iter()
+            .map(|k| k.evaluate(chunk))
+            .collect::<Result<Vec<_>>>()?;
         let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); n];
         let mut key = Vec::with_capacity(key_cols.len());
         for row in 0..chunk.len() {
@@ -62,27 +67,25 @@ impl ShuffleExec {
     }
 
     fn materialize(&self, ctx: &TaskContext) -> Result<Arc<Vec<Vec<Chunk>>>> {
-        self.state
-            .get_or_init(|| {
-                let n = self.num_partitions;
-                let inputs = crate::physical::execute_collect_partitions(&self.input, ctx)?;
-                let mut out: Vec<Vec<Chunk>> = vec![Vec::new(); n];
-                for chunks in inputs {
-                    for chunk in chunks {
-                        if chunk.is_empty() {
-                            continue;
-                        }
-                        let buckets = Self::bucket_chunk(&chunk, &self.keys, n)?;
-                        for (b, rows) in buckets.into_iter().enumerate() {
-                            if !rows.is_empty() {
-                                out[b].push(chunk.take(&rows)?);
-                            }
+        self.state.get_or_try_init(ctx, || {
+            let n = self.num_partitions;
+            let inputs = crate::physical::execute_collect_partitions(&self.input, ctx)?;
+            let mut out: Vec<Vec<Chunk>> = vec![Vec::new(); n];
+            for chunks in inputs {
+                for chunk in chunks {
+                    if chunk.is_empty() {
+                        continue;
+                    }
+                    let buckets = Self::bucket_chunk(&chunk, &self.keys, n)?;
+                    for (b, rows) in buckets.into_iter().enumerate() {
+                        if !rows.is_empty() {
+                            out[b].push(chunk.take(&rows)?);
                         }
                     }
                 }
-                Ok(Arc::new(out))
-            })
-            .clone()
+            }
+            Ok(Arc::new(out))
+        })
     }
 }
 
@@ -118,7 +121,7 @@ impl ExecutionPlan for ShuffleExec {
 pub struct CoalesceExec {
     /// Input operator.
     pub input: ExecPlanRef,
-    state: OnceLock<Result<Arc<Vec<Chunk>>>>,
+    state: ExecCache<Arc<Vec<Chunk>>>,
 }
 
 impl std::fmt::Debug for CoalesceExec {
@@ -130,7 +133,10 @@ impl std::fmt::Debug for CoalesceExec {
 impl CoalesceExec {
     /// Coalesce `input` into a single partition.
     pub fn new(input: ExecPlanRef) -> Self {
-        CoalesceExec { input, state: OnceLock::new() }
+        CoalesceExec {
+            input,
+            state: ExecCache::new(),
+        }
     }
 }
 
@@ -152,13 +158,12 @@ impl ExecutionPlan for CoalesceExec {
     }
 
     fn execute(&self, _partition: usize, ctx: &TaskContext) -> Result<ChunkIter> {
-        let chunks = self
-            .state
-            .get_or_init(|| {
-                let parts = crate::physical::execute_collect_partitions(&self.input, ctx)?;
-                Ok(Arc::new(parts.into_iter().flatten().collect::<Vec<Chunk>>()))
-            })
-            .clone()?;
+        let chunks = self.state.get_or_try_init(ctx, || {
+            let parts = crate::physical::execute_collect_partitions(&self.input, ctx)?;
+            Ok(Arc::new(
+                parts.into_iter().flatten().collect::<Vec<Chunk>>(),
+            ))
+        })?;
         Ok(ctx.instrument(self, Box::new(chunks.as_ref().clone().into_iter().map(Ok))))
     }
 }
@@ -179,12 +184,13 @@ mod tests {
         let schema = Arc::new(Schema::new(vec![Field::new("k", DataType::Int64)]));
         let chunk = Chunk::from_rows(
             &schema,
-            &(0..n_rows).map(|i| vec![Value::Int64(i % 10)]).collect::<Vec<_>>(),
+            &(0..n_rows)
+                .map(|i| vec![Value::Int64(i % 10)])
+                .collect::<Vec<_>>(),
         )
         .unwrap();
-        let source = Arc::new(
-            MemTable::from_chunk_partitioned(Arc::clone(&schema), chunk, parts).unwrap(),
-        );
+        let source =
+            Arc::new(MemTable::from_chunk_partitioned(Arc::clone(&schema), chunk, parts).unwrap());
         (
             Arc::new(SourceScanExec {
                 table: "t".into(),
@@ -215,7 +221,9 @@ mod tests {
             for c in chunks {
                 total += c.len();
                 for r in 0..c.len() {
-                    let Value::Int64(k) = c.value_at(0, r) else { panic!() };
+                    let Value::Int64(k) = c.value_at(0, r) else {
+                        panic!()
+                    };
                     if let Some(prev) = seen.insert(k, p) {
                         assert_eq!(prev, p, "key {k} split across partitions");
                     }
@@ -234,6 +242,130 @@ mod tests {
         assert_eq!(out.len(), 50);
     }
 
+    /// A single-partition source whose contents can grow between scans —
+    /// a stand-in for the live Indexed DataFrame source.
+    struct LiveSource {
+        schema: SchemaRef,
+        chunks: std::sync::Mutex<Vec<Chunk>>,
+        scans: std::sync::atomic::AtomicUsize,
+    }
+
+    impl crate::catalog::TableSource for LiveSource {
+        fn schema(&self) -> SchemaRef {
+            Arc::clone(&self.schema)
+        }
+
+        fn num_partitions(&self) -> usize {
+            1
+        }
+
+        fn scan(&self, _partition: usize, _projection: Option<&[usize]>) -> Result<ChunkIter> {
+            self.scans.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            let chunks = self.chunks.lock().unwrap().clone();
+            Ok(Box::new(chunks.into_iter().map(Ok)))
+        }
+
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+    }
+
+    /// Regression test: `ShuffleExec` used to cache its materialized
+    /// buckets in a `OnceLock`, so a second execution of the *same
+    /// physical plan* over a source that had since grown replayed the
+    /// first execution's rows. The cache is now keyed by execution id.
+    #[test]
+    fn shuffle_recomputes_for_a_new_execution_over_a_live_source() {
+        let schema = Arc::new(Schema::new(vec![Field::new("k", DataType::Int64)]));
+        let rows = |lo: i64, hi: i64| (lo..hi).map(|i| vec![Value::Int64(i)]).collect::<Vec<_>>();
+        let source = Arc::new(LiveSource {
+            schema: Arc::clone(&schema),
+            chunks: std::sync::Mutex::new(vec![Chunk::from_rows(&schema, &rows(0, 10)).unwrap()]),
+            scans: std::sync::atomic::AtomicUsize::new(0),
+        });
+        let input: ExecPlanRef = Arc::new(SourceScanExec {
+            table: "live".into(),
+            source: Arc::clone(&source) as _,
+            schema: Arc::clone(&schema),
+            projection: None,
+            filters: vec![],
+        });
+        let key = resolve_expr(&col("k"), &schema).unwrap();
+        let plan: ExecPlanRef = Arc::new(ShuffleExec::new(
+            input,
+            vec![create_physical_expr(&key, &schema).unwrap()],
+            4,
+        ));
+
+        let total =
+            |parts: &[Vec<Chunk>]| -> usize { parts.iter().flatten().map(Chunk::len).sum() };
+
+        // First execution sees the initial 10 rows, scanning the input
+        // exactly once even though 4 output partitions pull from the cache.
+        let ctx_a = TaskContext::default();
+        let first = execute_collect_partitions(&plan, &ctx_a).unwrap();
+        assert_eq!(total(&first), 10);
+        assert_eq!(source.scans.load(std::sync::atomic::Ordering::SeqCst), 1);
+
+        // The source grows between executions.
+        source
+            .chunks
+            .lock()
+            .unwrap()
+            .push(Chunk::from_rows(&schema, &rows(10, 30)).unwrap());
+
+        // Re-executing with the SAME context stays within the original
+        // execution: cached buckets, no rescan (snapshot stability).
+        let again = execute_collect_partitions(&plan, &ctx_a).unwrap();
+        assert_eq!(total(&again), 10);
+        assert_eq!(source.scans.load(std::sync::atomic::Ordering::SeqCst), 1);
+
+        // A fresh context is a new execution and must see the new rows —
+        // the OnceLock bug returned 10 here.
+        let second = execute_collect_partitions(&plan, &TaskContext::default()).unwrap();
+        assert_eq!(total(&second), 30);
+        assert_eq!(source.scans.load(std::sync::atomic::Ordering::SeqCst), 2);
+    }
+
+    /// Same regression for `CoalesceExec`, which shared the stale-cache
+    /// pattern.
+    #[test]
+    fn coalesce_recomputes_for_a_new_execution_over_a_live_source() {
+        let schema = Arc::new(Schema::new(vec![Field::new("k", DataType::Int64)]));
+        let rows = |lo: i64, hi: i64| (lo..hi).map(|i| vec![Value::Int64(i)]).collect::<Vec<_>>();
+        let source = Arc::new(LiveSource {
+            schema: Arc::clone(&schema),
+            chunks: std::sync::Mutex::new(vec![Chunk::from_rows(&schema, &rows(0, 5)).unwrap()]),
+            scans: std::sync::atomic::AtomicUsize::new(0),
+        });
+        let input: ExecPlanRef = Arc::new(SourceScanExec {
+            table: "live".into(),
+            source: Arc::clone(&source) as _,
+            schema: Arc::clone(&schema),
+            projection: None,
+            filters: vec![],
+        });
+        let plan: ExecPlanRef = Arc::new(CoalesceExec::new(input));
+
+        assert_eq!(
+            execute_collect(&plan, &TaskContext::default())
+                .unwrap()
+                .len(),
+            5
+        );
+        source
+            .chunks
+            .lock()
+            .unwrap()
+            .push(Chunk::from_rows(&schema, &rows(5, 12)).unwrap());
+        assert_eq!(
+            execute_collect(&plan, &TaskContext::default())
+                .unwrap()
+                .len(),
+            12
+        );
+    }
+
     #[test]
     fn shuffle_is_deterministic_across_runs() {
         for _ in 0..2 {
@@ -244,10 +376,11 @@ mod tests {
                 vec![create_physical_expr(&key, &schema).unwrap()],
                 4,
             ));
-            let parts =
-                execute_collect_partitions(&plan, &TaskContext::default()).unwrap();
-            let sizes: Vec<usize> =
-                parts.iter().map(|c| c.iter().map(Chunk::len).sum()).collect();
+            let parts = execute_collect_partitions(&plan, &TaskContext::default()).unwrap();
+            let sizes: Vec<usize> = parts
+                .iter()
+                .map(|c| c.iter().map(Chunk::len).sum())
+                .collect();
             assert_eq!(sizes.iter().sum::<usize>(), 40);
         }
     }

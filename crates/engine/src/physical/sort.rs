@@ -99,9 +99,9 @@ mod tests {
     use super::*;
     use crate::analyzer::resolve_expr;
     use crate::expr::col;
+    use crate::physical::execute_collect;
     use crate::physical::expr::create_physical_expr;
     use crate::physical::scan::ValuesExec;
-    use crate::physical::execute_collect;
     use crate::schema::{Field, Schema};
     use crate::types::{DataType, Value};
 
@@ -116,12 +116,21 @@ mod tests {
             vec![Value::Null, Value::Utf8("n".into())],
             vec![Value::Int64(2), Value::Utf8("x".into())],
         ];
-        (Arc::new(ValuesExec { schema: Arc::clone(&schema), rows }), schema)
+        (
+            Arc::new(ValuesExec {
+                schema: Arc::clone(&schema),
+                rows,
+            }),
+            schema,
+        )
     }
 
     fn key(schema: &SchemaRef, name: &str, asc: bool) -> PhysicalSortKey {
         let e = resolve_expr(&col(name), schema).unwrap();
-        PhysicalSortKey { expr: create_physical_expr(&e, schema).unwrap(), ascending: asc }
+        PhysicalSortKey {
+            expr: create_physical_expr(&e, schema).unwrap(),
+            ascending: asc,
+        }
     }
 
     #[test]
@@ -154,10 +163,15 @@ mod tests {
     #[test]
     fn empty_input_ok() {
         let schema = Arc::new(Schema::new(vec![Field::new("a", DataType::Int64)]));
-        let inp: ExecPlanRef =
-            Arc::new(ValuesExec { schema: Arc::clone(&schema), rows: vec![] });
-        let plan: ExecPlanRef =
-            Arc::new(SortExec { input: inp, keys: vec![key(&schema, "a", true)], fetch: None });
+        let inp: ExecPlanRef = Arc::new(ValuesExec {
+            schema: Arc::clone(&schema),
+            rows: vec![],
+        });
+        let plan: ExecPlanRef = Arc::new(SortExec {
+            input: inp,
+            keys: vec![key(&schema, "a", true)],
+            fetch: None,
+        });
         let out = execute_collect(&plan, &TaskContext::default()).unwrap();
         assert_eq!(out.len(), 0);
     }

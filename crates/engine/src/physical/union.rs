@@ -43,7 +43,9 @@ impl ExecutionPlan for UnionExec {
             }
             p -= n;
         }
-        Err(EngineError::internal(format!("union partition {partition} out of range")))
+        Err(EngineError::internal(format!(
+            "union partition {partition} out of range"
+        )))
     }
 
     fn detail(&self) -> String {
@@ -54,8 +56,8 @@ impl ExecutionPlan for UnionExec {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::physical::scan::ValuesExec;
     use crate::physical::execute_collect;
+    use crate::physical::scan::ValuesExec;
     use crate::schema::{Field, Schema};
     use crate::types::{DataType, Value};
 
@@ -70,7 +72,10 @@ mod tests {
             schema: Arc::clone(&schema),
             rows: vec![vec![Value::Int64(2)], vec![Value::Int64(3)]],
         });
-        let plan: ExecPlanRef = Arc::new(UnionExec { inputs: vec![a, b], schema });
+        let plan: ExecPlanRef = Arc::new(UnionExec {
+            inputs: vec![a, b],
+            schema,
+        });
         assert_eq!(plan.output_partitions(), 2);
         let out = execute_collect(&plan, &TaskContext::default()).unwrap();
         assert_eq!(out.len(), 3);

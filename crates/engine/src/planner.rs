@@ -60,15 +60,19 @@ impl Planner {
     /// Built-in planning rules.
     fn default_plan(&self, plan: &LogicalPlan) -> Result<ExecPlanRef> {
         Ok(match plan {
-            LogicalPlan::Scan { table, source, schema, projection, filters } => {
-                Arc::new(SourceScanExec {
-                    table: table.clone(),
-                    source: Arc::clone(source),
-                    schema: Arc::clone(schema),
-                    projection: projection.clone(),
-                    filters: filters.clone(),
-                })
-            }
+            LogicalPlan::Scan {
+                table,
+                source,
+                schema,
+                projection,
+                filters,
+            } => Arc::new(SourceScanExec {
+                table: table.clone(),
+                source: Arc::clone(source),
+                schema: Arc::clone(schema),
+                projection: projection.clone(),
+                filters: filters.clone(),
+            }),
             LogicalPlan::Filter { input, predicate } => {
                 let child = self.create_plan(input)?;
                 let schema = input.schema();
@@ -78,7 +82,11 @@ impl Planner {
                     display: predicate.to_string(),
                 })
             }
-            LogicalPlan::Projection { input, exprs, schema } => {
+            LogicalPlan::Projection {
+                input,
+                exprs,
+                schema,
+            } => {
                 let child = self.create_plan(input)?;
                 let in_schema = input.schema();
                 Arc::new(ProjectionExec {
@@ -92,7 +100,12 @@ impl Planner {
                 })
             }
             LogicalPlan::Join { .. } => self.plan_join(plan)?,
-            LogicalPlan::Aggregate { input, group_exprs, agg_exprs, schema } => {
+            LogicalPlan::Aggregate {
+                input,
+                group_exprs,
+                agg_exprs,
+                schema,
+            } => {
                 let in_schema = input.schema();
                 let mut child = self.create_plan(input)?;
                 let group: Vec<_> = group_exprs
@@ -133,11 +146,19 @@ impl Planner {
                         })
                     })
                     .collect::<Result<Vec<_>>>()?;
-                Arc::new(SortExec { input: child, keys, fetch: None })
+                Arc::new(SortExec {
+                    input: child,
+                    keys,
+                    fetch: None,
+                })
             }
             LogicalPlan::Limit { input, n } => {
                 // Fuse Limit over Sort into a top-k sort.
-                if let LogicalPlan::Sort { input: sort_input, exprs } = input.as_ref() {
+                if let LogicalPlan::Sort {
+                    input: sort_input,
+                    exprs,
+                } = input.as_ref()
+                {
                     let child = self.single_partition(self.create_plan(sort_input)?);
                     let in_schema = sort_input.schema();
                     let keys = exprs
@@ -149,16 +170,26 @@ impl Planner {
                             })
                         })
                         .collect::<Result<Vec<_>>>()?;
-                    return Ok(Arc::new(SortExec { input: child, keys, fetch: Some(*n) }));
+                    return Ok(Arc::new(SortExec {
+                        input: child,
+                        keys,
+                        fetch: Some(*n),
+                    }));
                 }
                 let child = self.create_plan(input)?;
                 if child.output_partitions() > 1 {
                     // Per-partition pre-limit, then a global limit.
-                    let pre: ExecPlanRef = Arc::new(LimitExec { input: child, n: *n });
+                    let pre: ExecPlanRef = Arc::new(LimitExec {
+                        input: child,
+                        n: *n,
+                    });
                     let one = Arc::new(CoalesceExec::new(pre));
                     Arc::new(LimitExec { input: one, n: *n })
                 } else {
-                    Arc::new(LimitExec { input: child, n: *n })
+                    Arc::new(LimitExec {
+                        input: child,
+                        n: *n,
+                    })
                 }
             }
             LogicalPlan::Union { inputs, schema } => {
@@ -166,18 +197,29 @@ impl Planner {
                     .iter()
                     .map(|i| self.create_plan(i))
                     .collect::<Result<Vec<_>>>()?;
-                Arc::new(UnionExec { inputs: children, schema: Arc::clone(schema) })
+                Arc::new(UnionExec {
+                    inputs: children,
+                    schema: Arc::clone(schema),
+                })
             }
-            LogicalPlan::Values { schema, rows } => {
-                Arc::new(ValuesExec { schema: Arc::clone(schema), rows: rows.clone() })
-            }
+            LogicalPlan::Values { schema, rows } => Arc::new(ValuesExec {
+                schema: Arc::clone(schema),
+                rows: rows.clone(),
+            }),
         })
     }
 
     /// Default join planning: broadcast the right side when it is small,
     /// otherwise shuffle both sides on the join keys.
     fn plan_join(&self, plan: &LogicalPlan) -> Result<ExecPlanRef> {
-        let LogicalPlan::Join { left, right, on, join_type, schema } = plan else {
+        let LogicalPlan::Join {
+            left,
+            right,
+            on,
+            join_type,
+            schema,
+        } = plan
+        else {
             return Err(EngineError::internal("plan_join on non-join node"));
         };
         if on.is_empty() {
@@ -198,8 +240,8 @@ impl Planner {
                 ))
             })
             .collect::<Result<Vec<_>>>()?;
-        let right_small = estimate_rows(right)
-            .is_some_and(|n| n <= self.config.broadcast_threshold_rows);
+        let right_small =
+            estimate_rows(right).is_some_and(|n| n <= self.config.broadcast_threshold_rows);
         if right_small {
             return Ok(Arc::new(BroadcastHashJoinExec::new(
                 left_exec,
@@ -212,14 +254,16 @@ impl Planner {
         // Inner joins with a small *left* side broadcast it instead,
         // streaming the big right side; a reordering projection restores
         // the (left ++ right) output column order.
-        let left_small = estimate_rows(left)
-            .is_some_and(|n| n <= self.config.broadcast_threshold_rows);
+        let left_small =
+            estimate_rows(left).is_some_and(|n| n <= self.config.broadcast_threshold_rows);
         if left_small && matches!(join_type, JoinType::Inner) {
             let left_width = left.schema().len();
             let right_width = right.schema().len();
             let swapped_schema = Arc::new(right.schema().join(&left.schema()));
-            let flipped: Vec<_> =
-                keys.iter().map(|(l, r)| (Arc::clone(r), Arc::clone(l))).collect();
+            let flipped: Vec<_> = keys
+                .iter()
+                .map(|(l, r)| (Arc::clone(r), Arc::clone(l)))
+                .collect();
             let swapped: ExecPlanRef = Arc::new(BroadcastHashJoinExec::new(
                 right_exec,
                 left_exec,
@@ -230,12 +274,7 @@ impl Planner {
             let reorder: Vec<_> = (0..left_width)
                 .map(|i| right_width + i)
                 .chain(0..right_width)
-                .map(|i| {
-                    crate::physical::expr::column_expr(
-                        i,
-                        swapped_schema.field(i).data_type,
-                    )
-                })
+                .map(|i| crate::physical::expr::column_expr(i, swapped_schema.field(i).data_type))
                 .collect();
             return Ok(Arc::new(ProjectionExec {
                 input: swapped,
@@ -249,18 +288,16 @@ impl Planner {
         let right_keys: Vec<_> = keys.iter().map(|(_, r)| Arc::clone(r)).collect();
         // Trivially co-partitioned single-partition children need no
         // exchange.
-        let co_partitioned = n == 1
-            && left_exec.output_partitions() == 1
-            && right_exec.output_partitions() == 1;
-        let (shuffled_left, shuffled_right): (ExecPlanRef, ExecPlanRef) =
-            if co_partitioned {
-                (left_exec, right_exec)
-            } else {
-                (
-                    Arc::new(ShuffleExec::new(left_exec, left_keys, n)),
-                    Arc::new(ShuffleExec::new(right_exec, right_keys, n)),
-                )
-            };
+        let co_partitioned =
+            n == 1 && left_exec.output_partitions() == 1 && right_exec.output_partitions() == 1;
+        let (shuffled_left, shuffled_right): (ExecPlanRef, ExecPlanRef) = if co_partitioned {
+            (left_exec, right_exec)
+        } else {
+            (
+                Arc::new(ShuffleExec::new(left_exec, left_keys, n)),
+                Arc::new(ShuffleExec::new(right_exec, right_keys, n)),
+            )
+        };
         Ok(Arc::new(HashJoinExec {
             left: shuffled_left,
             right: shuffled_right,
@@ -311,13 +348,12 @@ pub fn estimate_rows(plan: &LogicalPlan) -> Option<usize> {
         LogicalPlan::Projection { input, .. } | LogicalPlan::Sort { input, .. } => {
             estimate_rows(input)
         }
-        LogicalPlan::Limit { input, n } => {
-            Some(estimate_rows(input).map_or(*n, |r| r.min(*n)))
-        }
+        LogicalPlan::Limit { input, n } => Some(estimate_rows(input).map_or(*n, |r| r.min(*n))),
         LogicalPlan::Values { rows, .. } => Some(rows.len()),
-        LogicalPlan::Union { inputs, .. } => {
-            inputs.iter().map(|i| estimate_rows(i)).sum::<Option<usize>>()
-        }
+        LogicalPlan::Union { inputs, .. } => inputs
+            .iter()
+            .map(|i| estimate_rows(i))
+            .sum::<Option<usize>>(),
         LogicalPlan::Aggregate { input, .. } => estimate_rows(input),
         LogicalPlan::Join { .. } => None,
     }
@@ -342,9 +378,8 @@ mod tests {
             &(0..n).map(|i| vec![Value::Int64(i)]).collect::<Vec<_>>(),
         )
         .unwrap();
-        let source = Arc::new(
-            MemTable::from_chunk_partitioned(Arc::clone(&schema), chunk, 2).unwrap(),
-        );
+        let source =
+            Arc::new(MemTable::from_chunk_partitioned(Arc::clone(&schema), chunk, 2).unwrap());
         LogicalPlan::Scan {
             table: "t".into(),
             source,
@@ -356,7 +391,10 @@ mod tests {
 
     fn planner() -> Planner {
         Planner::new(
-            EngineConfig { broadcast_threshold_rows: 100, ..Default::default() },
+            EngineConfig {
+                broadcast_threshold_rows: 100,
+                ..Default::default()
+            },
             vec![],
         )
     }
@@ -379,7 +417,12 @@ mod tests {
     #[test]
     fn small_right_side_broadcasts() {
         let exec = planner().create_plan(&join_plan(10)).unwrap();
-        assert_eq!(exec.name(), "BroadcastHashJoin", "{}", display_exec(exec.as_ref()));
+        assert_eq!(
+            exec.name(),
+            "BroadcastHashJoin",
+            "{}",
+            display_exec(exec.as_ref())
+        );
     }
 
     #[test]
@@ -410,10 +453,9 @@ mod tests {
         assert_eq!(exec.name(), "Projection", "{}", display_exec(exec.as_ref()));
         assert_eq!(exec.children()[0].name(), "BroadcastHashJoin");
         // Results must still come out in (left ++ right) column order.
-        let out =
-            crate::physical::execute_collect(&exec, &TaskContext::default()).unwrap();
+        let out = crate::physical::execute_collect(&exec, &TaskContext::default()).unwrap();
         assert_eq!(out.num_columns(), 2);
-        assert!(out.len() > 0);
+        assert!(!out.is_empty());
     }
 
     #[test]
@@ -457,8 +499,11 @@ mod tests {
         };
         let exec = p.create_plan(&plan).unwrap();
         let shown = display_exec(exec.as_ref());
-        assert!(!shown.contains("Shuffle"), "trivially co-partitioned:
-{shown}");
+        assert!(
+            !shown.contains("Shuffle"),
+            "trivially co-partitioned:
+{shown}"
+        );
     }
 
     #[test]
@@ -517,11 +562,7 @@ mod tests {
             fn name(&self) -> &str {
                 "claim_scans"
             }
-            fn plan(
-                &self,
-                plan: &LogicalPlan,
-                _planner: &Planner,
-            ) -> Result<Option<ExecPlanRef>> {
+            fn plan(&self, plan: &LogicalPlan, _planner: &Planner) -> Result<Option<ExecPlanRef>> {
                 if let LogicalPlan::Scan { schema, .. } = plan {
                     return Ok(Some(Arc::new(ValuesExec {
                         schema: Arc::clone(schema),

@@ -6,11 +6,14 @@ use crate::schema::Schema;
 
 /// Format `chunk` as a boxed ASCII table with `schema`'s column names.
 pub fn format_chunk(schema: &Schema, chunk: &Chunk) -> String {
-    let headers: Vec<String> =
-        schema.fields.iter().map(|f| f.qualified_name()).collect();
+    let headers: Vec<String> = schema.fields.iter().map(|f| f.qualified_name()).collect();
     let mut rows: Vec<Vec<String>> = Vec::with_capacity(chunk.len());
     for r in 0..chunk.len() {
-        rows.push((0..chunk.num_columns()).map(|c| chunk.value_at(c, r).to_string()).collect());
+        rows.push(
+            (0..chunk.num_columns())
+                .map(|c| chunk.value_at(c, r).to_string())
+                .collect(),
+        );
     }
     format_table(&headers, &rows)
 }

@@ -23,17 +23,30 @@ pub struct Field {
 impl Field {
     /// A nullable field with no qualifier.
     pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
-        Field { name: name.into(), data_type, nullable: true, qualifier: None }
+        Field {
+            name: name.into(),
+            data_type,
+            nullable: true,
+            qualifier: None,
+        }
     }
 
     /// A non-nullable field with no qualifier.
     pub fn required(name: impl Into<String>, data_type: DataType) -> Self {
-        Field { name: name.into(), data_type, nullable: false, qualifier: None }
+        Field {
+            name: name.into(),
+            data_type,
+            nullable: false,
+            qualifier: None,
+        }
     }
 
     /// Copy of the field carrying `qualifier`.
     pub fn with_qualifier(&self, qualifier: impl Into<String>) -> Self {
-        Field { qualifier: Some(qualifier.into()), ..self.clone() }
+        Field {
+            qualifier: Some(qualifier.into()),
+            ..self.clone()
+        }
     }
 
     /// `qualifier.name` if qualified, else `name`.
@@ -113,12 +126,20 @@ impl Schema {
 
     /// Schema with only the columns at `indices`.
     pub fn project(&self, indices: &[usize]) -> Schema {
-        Schema { fields: indices.iter().map(|&i| self.fields[i].clone()).collect() }
+        Schema {
+            fields: indices.iter().map(|&i| self.fields[i].clone()).collect(),
+        }
     }
 
     /// Copy of the schema with every field re-qualified as `qualifier`.
     pub fn qualified(&self, qualifier: &str) -> Schema {
-        Schema { fields: self.fields.iter().map(|f| f.with_qualifier(qualifier)).collect() }
+        Schema {
+            fields: self
+                .fields
+                .iter()
+                .map(|f| f.with_qualifier(qualifier))
+                .collect(),
+        }
     }
 }
 
@@ -165,7 +186,10 @@ mod tests {
     #[test]
     fn index_of_missing_errors() {
         let s = sample();
-        assert!(matches!(s.index_of(None, "zzz"), Err(EngineError::ColumnNotFound(_))));
+        assert!(matches!(
+            s.index_of(None, "zzz"),
+            Err(EngineError::ColumnNotFound(_))
+        ));
         assert!(s.index_of(Some("nope"), "id").is_err());
     }
 

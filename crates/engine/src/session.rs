@@ -12,7 +12,7 @@ use crate::dataframe::DataFrame;
 use crate::error::Result;
 use crate::logical::LogicalPlan;
 use crate::optimizer::{Optimizer, OptimizerRule};
-use crate::planner::{Planner, PhysicalStrategy};
+use crate::planner::{PhysicalStrategy, Planner};
 use crate::schema::SchemaRef;
 use crate::types::Value;
 
@@ -92,7 +92,12 @@ impl Session {
 
     /// Names of the registered strategies, in consultation order.
     pub fn strategy_names(&self) -> Vec<String> {
-        self.state.strategies.read().iter().map(|s| s.name().to_string()).collect()
+        self.state
+            .strategies
+            .read()
+            .iter()
+            .map(|s| s.name().to_string())
+            .collect()
     }
 
     /// A DataFrame scanning a registered table.
@@ -143,7 +148,10 @@ impl Session {
 
     /// The planner for this session (registered strategies first).
     pub fn planner(&self) -> Planner {
-        Planner::new(self.state.config.clone(), self.state.strategies.read().clone())
+        Planner::new(
+            self.state.config.clone(),
+            self.state.strategies.read().clone(),
+        )
     }
 }
 

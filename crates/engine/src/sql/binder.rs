@@ -44,8 +44,7 @@ pub fn bind(session: &Session, stmt: &SelectStmt) -> Result<DataFrame> {
             }
         }
     }
-    let group_exprs: Vec<Expr> =
-        stmt.group_by.iter().map(to_expr).collect::<Result<_>>()?;
+    let group_exprs: Vec<Expr> = stmt.group_by.iter().map(to_expr).collect::<Result<_>>()?;
     let having = stmt.having.as_ref().map(to_expr).transpose()?;
     let is_aggregate = !group_exprs.is_empty()
         || select_exprs.iter().any(Expr::has_aggregate)
@@ -89,7 +88,11 @@ pub fn bind(session: &Session, stmt: &SelectStmt) -> Result<DataFrame> {
     };
 
     // DISTINCT: deduplicate the projected rows.
-    let projected = if stmt.distinct { projected.distinct()? } else { projected };
+    let projected = if stmt.distinct {
+        projected.distinct()?
+    } else {
+        projected
+    };
 
     // ORDER BY over the projected output.
     let sorted = if stmt.order_by.is_empty() {
@@ -113,7 +116,10 @@ pub fn bind(session: &Session, stmt: &SelectStmt) -> Result<DataFrame> {
                     }
                 }
             };
-            keys.push(SortExpr { expr: key, ascending: *asc });
+            keys.push(SortExpr {
+                expr: key,
+                ascending: *asc,
+            });
         }
         projected.sort(keys)?
     };
@@ -144,7 +150,12 @@ fn bind_join(session: &Session, left: DataFrame, j: &JoinClause) -> Result<DataF
     let rs = right.schema();
     let mut pairs = Vec::new();
     for c in on.split_conjunction() {
-        let Expr::Binary { left: a, op: BinaryOp::Eq, right: b } = c else {
+        let Expr::Binary {
+            left: a,
+            op: BinaryOp::Eq,
+            right: b,
+        } = c
+        else {
             return Err(EngineError::Unsupported(format!(
                 "JOIN ON supports conjunctions of equalities, got {c}"
             )));
@@ -199,17 +210,30 @@ pub fn to_expr(e: &SqlExpr) -> Result<Expr> {
             expr: Box::new(to_expr(expr)?),
             to: type_from_name(ty)?,
         },
-        SqlExpr::InList { expr, list, negated } => Expr::InList {
+        SqlExpr::InList {
+            expr,
+            list,
+            negated,
+        } => Expr::InList {
             expr: Box::new(to_expr(expr)?),
             list: list.iter().map(to_expr).collect::<Result<_>>()?,
             negated: *negated,
         },
-        SqlExpr::Like { expr, pattern, negated } => Expr::Like {
+        SqlExpr::Like {
+            expr,
+            pattern,
+            negated,
+        } => Expr::Like {
             expr: Box::new(to_expr(expr)?),
             pattern: pattern.clone(),
             negated: *negated,
         },
-        SqlExpr::Between { expr, low, high, negated } => {
+        SqlExpr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => {
             let e = to_expr(expr)?;
             let b = e.between(to_expr(low)?, to_expr(high)?);
             if *negated {
@@ -243,9 +267,7 @@ pub fn to_expr(e: &SqlExpr) -> Result<Expr> {
                 "min" => AggFunc::Min,
                 "max" => AggFunc::Max,
                 "avg" => AggFunc::Avg,
-                other => {
-                    return Err(EngineError::Unsupported(format!("function {other}()")))
-                }
+                other => return Err(EngineError::Unsupported(format!("function {other}()"))),
             };
             if *star {
                 if func != AggFunc::Count {
@@ -258,7 +280,10 @@ pub fn to_expr(e: &SqlExpr) -> Result<Expr> {
                         "{name}() takes exactly one argument"
                     )));
                 };
-                Expr::Aggregate { func, arg: Some(Box::new(to_expr(arg)?)) }
+                Expr::Aggregate {
+                    func,
+                    arg: Some(Box::new(to_expr(arg)?)),
+                }
             }
         }
     })
@@ -341,7 +366,9 @@ fn rebase(
         return Ok(col(&agg_schema.field(i).qualified_name()));
     }
     if let Some(j) = agg_calls.iter().position(|a| a == inner) {
-        return Ok(col(&agg_schema.field(group_exprs.len() + j).qualified_name()));
+        return Ok(col(&agg_schema
+            .field(group_exprs.len() + j)
+            .qualified_name()));
     }
     Ok(match inner {
         Expr::Literal(v) => Expr::Literal(v.clone()),
@@ -350,12 +377,8 @@ fn rebase(
             op: *op,
             right: Box::new(rebase(right, group_exprs, agg_calls, agg_schema)?),
         },
-        Expr::Not(i) => {
-            Expr::Not(Box::new(rebase(i, group_exprs, agg_calls, agg_schema)?))
-        }
-        Expr::IsNull(i) => {
-            Expr::IsNull(Box::new(rebase(i, group_exprs, agg_calls, agg_schema)?))
-        }
+        Expr::Not(i) => Expr::Not(Box::new(rebase(i, group_exprs, agg_calls, agg_schema)?)),
+        Expr::IsNull(i) => Expr::IsNull(Box::new(rebase(i, group_exprs, agg_calls, agg_schema)?)),
         Expr::IsNotNull(i) => {
             Expr::IsNotNull(Box::new(rebase(i, group_exprs, agg_calls, agg_schema)?))
         }
@@ -370,7 +393,11 @@ fn rebase(
                 .map(|a| rebase(a, group_exprs, agg_calls, agg_schema))
                 .collect::<Result<_>>()?,
         },
-        Expr::InList { expr, list, negated } => Expr::InList {
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => Expr::InList {
             expr: Box::new(rebase(expr, group_exprs, agg_calls, agg_schema)?),
             list: list
                 .iter()
@@ -378,7 +405,11 @@ fn rebase(
                 .collect::<Result<_>>()?,
             negated: *negated,
         },
-        Expr::Like { expr, pattern, negated } => Expr::Like {
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => Expr::Like {
             expr: Box::new(rebase(expr, group_exprs, agg_calls, agg_schema)?),
             pattern: pattern.clone(),
             negated: *negated,

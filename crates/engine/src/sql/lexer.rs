@@ -141,9 +141,7 @@ pub fn lex(input: &str) -> Result<Vec<Token>> {
                 loop {
                     match bytes.get(i) {
                         None => {
-                            return Err(EngineError::Sql(
-                                "unterminated string literal".to_string(),
-                            ))
+                            return Err(EngineError::Sql("unterminated string literal".to_string()))
                         }
                         Some(&b'\'') => {
                             // '' escapes a quote
@@ -192,8 +190,7 @@ pub fn lex(input: &str) -> Result<Vec<Token>> {
             }
             c if c.is_alphabetic() || c == '_' => {
                 let start = i;
-                while i < bytes.len()
-                    && ((bytes[i] as char).is_alphanumeric() || bytes[i] == b'_')
+                while i < bytes.len() && ((bytes[i] as char).is_alphanumeric() || bytes[i] == b'_')
                 {
                     i += 1;
                 }

@@ -219,7 +219,10 @@ impl Parser {
         if self.eat_kw(kw) {
             Ok(())
         } else {
-            Err(EngineError::Sql(format!("expected {kw}, found {:?}", self.peek())))
+            Err(EngineError::Sql(format!(
+                "expected {kw}, found {:?}",
+                self.peek()
+            )))
         }
     }
 
@@ -228,7 +231,10 @@ impl Parser {
             self.next();
             Ok(())
         } else {
-            Err(EngineError::Sql(format!("expected {t:?}, found {:?}", self.peek())))
+            Err(EngineError::Sql(format!(
+                "expected {t:?}, found {:?}",
+                self.peek()
+            )))
         }
     }
 
@@ -236,21 +242,26 @@ impl Parser {
         if *self.peek() == Token::Eof {
             Ok(())
         } else {
-            Err(EngineError::Sql(format!("trailing tokens: {:?}", self.peek())))
+            Err(EngineError::Sql(format!(
+                "trailing tokens: {:?}",
+                self.peek()
+            )))
         }
     }
 
     fn ident(&mut self) -> Result<String> {
         match self.next() {
             Token::Ident(s) => Ok(s),
-            other => Err(EngineError::Sql(format!("expected identifier, found {other:?}"))),
+            other => Err(EngineError::Sql(format!(
+                "expected identifier, found {other:?}"
+            ))),
         }
     }
 
     const RESERVED: &'static [&'static str] = &[
-        "FROM", "WHERE", "GROUP", "HAVING", "ORDER", "LIMIT", "JOIN", "INNER", "LEFT",
-        "OUTER", "ON", "AS", "AND", "OR", "NOT", "IS", "NULL", "ASC", "DESC", "BY",
-        "SELECT", "CAST", "TRUE", "FALSE", "UNION", "DISTINCT", "IN", "LIKE", "BETWEEN",
+        "FROM", "WHERE", "GROUP", "HAVING", "ORDER", "LIMIT", "JOIN", "INNER", "LEFT", "OUTER",
+        "ON", "AS", "AND", "OR", "NOT", "IS", "NULL", "ASC", "DESC", "BY", "SELECT", "CAST",
+        "TRUE", "FALSE", "UNION", "DISTINCT", "IN", "LIKE", "BETWEEN",
     ];
 
     /// An alias candidate: identifier that is not a reserved keyword.
@@ -294,9 +305,17 @@ impl Parser {
             let table = self.parse_table_ref()?;
             self.expect_kw("ON")?;
             let on = self.parse_expr()?;
-            joins.push(JoinClause { join_type, table, on });
+            joins.push(JoinClause {
+                join_type,
+                table,
+                on,
+            });
         }
-        let selection = if self.eat_kw("WHERE") { Some(self.parse_expr()?) } else { None };
+        let selection = if self.eat_kw("WHERE") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
         let mut group_by = Vec::new();
         if self.eat_kw("GROUP") {
             self.expect_kw("BY")?;
@@ -306,7 +325,11 @@ impl Parser {
                 group_by.push(self.parse_expr()?);
             }
         }
-        let having = if self.eat_kw("HAVING") { Some(self.parse_expr()?) } else { None };
+        let having = if self.eat_kw("HAVING") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
         let mut order_by = Vec::new();
         if self.eat_kw("ORDER") {
             self.expect_kw("BY")?;
@@ -369,7 +392,10 @@ impl Parser {
             let alias = self.maybe_alias().ok_or_else(|| {
                 EngineError::Sql("subquery in FROM requires an alias".to_string())
             })?;
-            return Ok(TableRef::Subquery { query: Box::new(query), alias });
+            return Ok(TableRef::Subquery {
+                query: Box::new(query),
+                alias,
+            });
         }
         let name = self.ident()?;
         let alias = self.maybe_alias();
@@ -419,7 +445,10 @@ impl Parser {
         if self.eat_kw("IS") {
             let negated = self.eat_kw("NOT");
             self.expect_kw("NULL")?;
-            return Ok(SqlExpr::IsNull { expr: Box::new(e), negated });
+            return Ok(SqlExpr::IsNull {
+                expr: Box::new(e),
+                negated,
+            });
         }
         // Postfix predicates: [NOT] IN / LIKE / BETWEEN.
         let negated = if self.at_kw("NOT") {
@@ -448,13 +477,23 @@ impl Parser {
                 list.push(self.parse_expr()?);
             }
             self.expect_token(Token::RParen)?;
-            return Ok(SqlExpr::InList { expr: Box::new(e), list, negated });
+            return Ok(SqlExpr::InList {
+                expr: Box::new(e),
+                list,
+                negated,
+            });
         }
         if self.eat_kw("LIKE") {
             let Token::Str(pattern) = self.next() else {
-                return Err(EngineError::Sql("LIKE expects a string pattern".to_string()));
+                return Err(EngineError::Sql(
+                    "LIKE expects a string pattern".to_string(),
+                ));
             };
-            return Ok(SqlExpr::Like { expr: Box::new(e), pattern, negated });
+            return Ok(SqlExpr::Like {
+                expr: Box::new(e),
+                pattern,
+                negated,
+            });
         }
         if self.eat_kw("BETWEEN") {
             let low = self.parse_cmp()?;
@@ -488,7 +527,11 @@ impl Parser {
         };
         self.next();
         let right = self.parse_add()?;
-        Ok(SqlExpr::Binary { left: Box::new(left), op, right: Box::new(right) })
+        Ok(SqlExpr::Binary {
+            left: Box::new(left),
+            op,
+            right: Box::new(right),
+        })
     }
 
     fn parse_add(&mut self) -> Result<SqlExpr> {
@@ -501,7 +544,11 @@ impl Parser {
             };
             self.next();
             let right = self.parse_mul()?;
-            left = SqlExpr::Binary { left: Box::new(left), op, right: Box::new(right) };
+            left = SqlExpr::Binary {
+                left: Box::new(left),
+                op,
+                right: Box::new(right),
+            };
         }
     }
 
@@ -516,7 +563,11 @@ impl Parser {
             };
             self.next();
             let right = self.parse_unary()?;
-            left = SqlExpr::Binary { left: Box::new(left), op, right: Box::new(right) };
+            left = SqlExpr::Binary {
+                left: Box::new(left),
+                op,
+                right: Box::new(right),
+            };
         }
     }
 
@@ -563,7 +614,10 @@ impl Parser {
                     self.expect_kw("AS")?;
                     let ty = self.ident()?;
                     self.expect_token(Token::RParen)?;
-                    return Ok(SqlExpr::Cast { expr: Box::new(e), ty });
+                    return Ok(SqlExpr::Cast {
+                        expr: Box::new(e),
+                        ty,
+                    });
                 }
                 // Function call?
                 if *self.peek() == Token::LParen {
@@ -586,15 +640,25 @@ impl Parser {
                         }
                     }
                     self.expect_token(Token::RParen)?;
-                    return Ok(SqlExpr::Func { name: id.to_lowercase(), args, star: false });
+                    return Ok(SqlExpr::Func {
+                        name: id.to_lowercase(),
+                        args,
+                        star: false,
+                    });
                 }
                 // Qualified column?
                 if *self.peek() == Token::Dot {
                     self.next();
                     let name = self.ident()?;
-                    return Ok(SqlExpr::Column { qualifier: Some(id), name });
+                    return Ok(SqlExpr::Column {
+                        qualifier: Some(id),
+                        name,
+                    });
                 }
-                Ok(SqlExpr::Column { qualifier: None, name: id })
+                Ok(SqlExpr::Column {
+                    qualifier: None,
+                    name: id,
+                })
             }
             other => Err(EngineError::Sql(format!("unexpected token {other:?}"))),
         }
@@ -657,10 +721,21 @@ mod tests {
     #[test]
     fn parses_precedence() {
         let q = parse("SELECT * FROM t WHERE a + 1 * 2 = 3 AND NOT b OR c").unwrap();
-        let Some(SqlExpr::Binary { op: BinaryOp::Or, left, .. }) = q.selection else {
+        let Some(SqlExpr::Binary {
+            op: BinaryOp::Or,
+            left,
+            ..
+        }) = q.selection
+        else {
             panic!("OR must be outermost");
         };
-        assert!(matches!(*left, SqlExpr::Binary { op: BinaryOp::And, .. }));
+        assert!(matches!(
+            *left,
+            SqlExpr::Binary {
+                op: BinaryOp::And,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -672,9 +747,13 @@ mod tests {
     #[test]
     fn parses_count_star_and_cast() {
         let q = parse("SELECT count(*), CAST(a AS BIGINT) FROM t").unwrap();
-        let SelectItem::Expr { expr, .. } = &q.projection[0] else { panic!() };
+        let SelectItem::Expr { expr, .. } = &q.projection[0] else {
+            panic!()
+        };
         assert!(matches!(expr, SqlExpr::Func { star: true, .. }));
-        let SelectItem::Expr { expr, .. } = &q.projection[1] else { panic!() };
+        let SelectItem::Expr { expr, .. } = &q.projection[1] else {
+            panic!()
+        };
         assert!(matches!(expr, SqlExpr::Cast { .. }));
     }
 
@@ -688,7 +767,10 @@ mod tests {
     fn rejects_trailing_tokens() {
         assert!(parse("SELECT a FROM t extra garbage ,").is_err());
         assert!(parse("SELECT FROM t").is_err());
-        assert!(parse("SELECT a FROM (SELECT a FROM t)").is_err(), "subquery needs alias");
+        assert!(
+            parse("SELECT a FROM (SELECT a FROM t)").is_err(),
+            "subquery needs alias"
+        );
     }
 
     #[test]

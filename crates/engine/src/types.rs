@@ -279,7 +279,10 @@ mod tests {
     #[test]
     fn value_casts() {
         assert_eq!(Value::Int32(5).cast(DataType::Int64), Some(Value::Int64(5)));
-        assert_eq!(Value::Int64(5).cast(DataType::Float64), Some(Value::Float64(5.0)));
+        assert_eq!(
+            Value::Int64(5).cast(DataType::Float64),
+            Some(Value::Float64(5.0))
+        );
         assert_eq!(Value::Null.cast(DataType::Int64), Some(Value::Null));
         assert_eq!(Value::Utf8("x".into()).cast(DataType::Int64), None);
         assert_eq!(

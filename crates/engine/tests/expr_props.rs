@@ -1,6 +1,7 @@
-//! Property-based tests: the vectorized expression kernels must agree with
+//! Randomized tests: the vectorized expression kernels must agree with
 //! a naive scalar interpreter over random chunks, and relational-algebra
-//! identities must hold end to end.
+//! identities must hold end to end. Seeded generation keeps every case
+//! reproducible: a failure message names the seed that replays it.
 
 use std::sync::Arc;
 
@@ -9,7 +10,8 @@ use idf_engine::chunk::Chunk;
 use idf_engine::expr::{col, lit, BinaryOp, Expr};
 use idf_engine::physical::create_physical_expr;
 use idf_engine::prelude::*;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 fn schema() -> SchemaRef {
     Arc::new(Schema::new(vec![
@@ -19,16 +21,29 @@ fn schema() -> SchemaRef {
     ]))
 }
 
-fn rows_strategy() -> impl Strategy<Value = Vec<Vec<Value>>> {
-    proptest::collection::vec(
-        (
-            prop_oneof![1 => Just(Value::Null), 4 => (-50i64..50).prop_map(Value::Int64)],
-            prop_oneof![1 => Just(Value::Null), 4 => (-50i64..50).prop_map(Value::Int64)],
-            prop_oneof![1 => Just(Value::Null), 4 => "[a-c]{0,3}".prop_map(Value::Utf8)],
-        )
-            .prop_map(|(a, b, s)| vec![a, b, s]),
-        1..60,
-    )
+fn random_rows(rng: &mut StdRng) -> Vec<Vec<Value>> {
+    let int = |rng: &mut StdRng| {
+        if rng.gen_bool(0.2) {
+            Value::Null
+        } else {
+            Value::Int64(rng.gen_range(-50..50i64))
+        }
+    };
+    let s = |rng: &mut StdRng| {
+        if rng.gen_bool(0.2) {
+            Value::Null
+        } else {
+            let len = rng.gen_range(0..4usize);
+            Value::Utf8(
+                (0..len)
+                    .map(|_| char::from(b'a' + rng.gen_range(0..3u8)))
+                    .collect(),
+            )
+        }
+    };
+    (0..rng.gen_range(1..60usize))
+        .map(|_| vec![int(rng), int(rng), s(rng)])
+        .collect()
 }
 
 /// Naive scalar three-valued-logic interpreter for the expression subset
@@ -37,9 +52,7 @@ fn scalar_eval(e: &Expr, row: &[Value]) -> Value {
     match e {
         Expr::Column(c) => row[c.index.expect("bound")].clone(),
         Expr::Literal(v) => v.clone(),
-        Expr::Cast { expr, to } => {
-            scalar_eval(expr, row).cast(*to).unwrap_or(Value::Null)
-        }
+        Expr::Cast { expr, to } => scalar_eval(expr, row).cast(*to).unwrap_or(Value::Null),
         Expr::Not(i) => match scalar_eval(i, row) {
             Value::Boolean(b) => Value::Boolean(!b),
             _ => Value::Null,
@@ -101,74 +114,93 @@ fn scalar_eval(e: &Expr, row: &[Value]) -> Value {
     }
 }
 
-/// Random integer-typed expressions over (a, b) — arithmetic only, so
-/// every nesting is well typed.
-fn int_expr_strategy() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        Just(col("a")),
-        Just(col("b")),
-        (-20i64..20).prop_map(lit),
-    ];
-    leaf.prop_recursive(3, 16, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(l, r)| l.add(r)),
-            (inner.clone(), inner.clone()).prop_map(|(l, r)| l.sub(r)),
-            (inner.clone(), inner.clone()).prop_map(|(l, r)| l.mul(r)),
-            (inner.clone(), inner.clone()).prop_map(|(l, r)| l.div(r)),
-            (inner.clone(), inner.clone()).prop_map(|(l, r)| l.rem(r)),
-        ]
-    })
+/// Random integer-typed expression over (a, b) — arithmetic only, so
+/// every nesting is well typed. `depth` bounds recursion.
+fn random_int_expr(rng: &mut StdRng, depth: usize) -> Expr {
+    if depth == 0 || rng.gen_bool(0.3) {
+        return match rng.gen_range(0..3) {
+            0 => col("a"),
+            1 => col("b"),
+            _ => lit(rng.gen_range(-20..20i64)),
+        };
+    }
+    let l = random_int_expr(rng, depth - 1);
+    let r = random_int_expr(rng, depth - 1);
+    match rng.gen_range(0..5) {
+        0 => l.add(r),
+        1 => l.sub(r),
+        2 => l.mul(r),
+        3 => l.div(r),
+        _ => l.rem(r),
+    }
 }
 
-/// Random well-typed expressions: integer arithmetic optionally capped by
+/// Random well-typed expression: integer arithmetic optionally capped by
 /// a boolean combinator layer.
-fn expr_strategy() -> impl Strategy<Value = Expr> {
-    let ie = int_expr_strategy;
-    prop_oneof![
-        ie(),
-        (ie(), ie()).prop_map(|(l, r)| l.eq(r)),
-        (ie(), ie()).prop_map(|(l, r)| l.not_eq(r)),
-        (ie(), ie()).prop_map(|(l, r)| l.lt_eq(r)),
-        (ie(), ie(), ie(), ie()).prop_map(|(a, b, c, d)| a.eq(b).and(c.lt(d))),
-        (ie(), ie(), ie(), ie()).prop_map(|(a, b, c, d)| a.gt(b).or(c.gt_eq(d))),
-        (ie(), ie()).prop_map(|(l, r)| l.eq(r).not()),
-        ie().prop_map(|e| e.is_null()),
-        ie().prop_map(|e| e.is_not_null()),
-    ]
+fn random_expr(rng: &mut StdRng) -> Expr {
+    let ie = |rng: &mut StdRng| random_int_expr(rng, 3);
+    match rng.gen_range(0..9) {
+        0 => ie(rng),
+        1 => {
+            let (l, r) = (ie(rng), ie(rng));
+            l.eq(r)
+        }
+        2 => {
+            let (l, r) = (ie(rng), ie(rng));
+            l.not_eq(r)
+        }
+        3 => {
+            let (l, r) = (ie(rng), ie(rng));
+            l.lt_eq(r)
+        }
+        4 => {
+            let (a, b, c, d) = (ie(rng), ie(rng), ie(rng), ie(rng));
+            a.eq(b).and(c.lt(d))
+        }
+        5 => {
+            let (a, b, c, d) = (ie(rng), ie(rng), ie(rng), ie(rng));
+            a.gt(b).or(c.gt_eq(d))
+        }
+        6 => {
+            let (l, r) = (ie(rng), ie(rng));
+            l.eq(r).not()
+        }
+        7 => ie(rng).is_null(),
+        _ => ie(rng).is_not_null(),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
-
-    #[test]
-    fn kernels_agree_with_scalar_interpreter(
-        rows in rows_strategy(),
-        expr in expr_strategy(),
-    ) {
+#[test]
+fn kernels_agree_with_scalar_interpreter() {
+    for seed in 0..96u64 {
+        let mut rng = StdRng::seed_from_u64(0xe49_0000 + seed);
+        let rows = random_rows(&mut rng);
+        let expr = random_expr(&mut rng);
         let schema = schema();
         let chunk = Chunk::from_rows(&schema, &rows).expect("chunk");
         let bound = resolve_expr(&expr, &schema).expect("analyzable");
         let pe = create_physical_expr(&bound, &schema).expect("compile");
         let out = pe.evaluate(&chunk).expect("evaluate");
-        prop_assert_eq!(out.len(), rows.len());
+        assert_eq!(out.len(), rows.len(), "seed {seed}");
         for (i, row) in rows.iter().enumerate() {
             let expected = scalar_eval(&bound, row);
-            prop_assert_eq!(
+            assert_eq!(
                 out.value_at(i),
                 expected,
-                "row {} of {} under {}",
-                i,
+                "seed {seed}: row {i} of {} under {}",
                 rows.len(),
                 bound
             );
         }
     }
+}
 
-    #[test]
-    fn filter_then_count_equals_scalar_count(
-        rows in rows_strategy(),
-        threshold in -50i64..50,
-    ) {
+#[test]
+fn filter_then_count_equals_scalar_count() {
+    for seed in 0..48u64 {
+        let mut rng = StdRng::seed_from_u64(0xf117_0000 + seed);
+        let rows = random_rows(&mut rng);
+        let threshold = rng.gen_range(-50..50i64);
         let session = Session::new();
         let df = session.create_dataframe(schema(), rows.clone());
         let n = df
@@ -180,15 +212,23 @@ proptest! {
             .iter()
             .filter(|r| matches!(r[0], Value::Int64(v) if v > threshold))
             .count();
-        prop_assert_eq!(n, expected);
+        assert_eq!(n, expected, "seed {seed}, threshold {threshold}");
     }
+}
 
-    #[test]
-    fn union_is_additive_and_sort_is_total(rows in rows_strategy()) {
+#[test]
+fn union_is_additive_and_sort_is_total() {
+    for seed in 0..48u64 {
+        let mut rng = StdRng::seed_from_u64(0x5047_0000 + seed);
+        let rows = random_rows(&mut rng);
         let session = Session::new();
         let df = session.create_dataframe(schema(), rows.clone());
         let doubled = df.union(&df).expect("union");
-        prop_assert_eq!(doubled.count().expect("count"), rows.len() * 2);
+        assert_eq!(
+            doubled.count().expect("count"),
+            rows.len() * 2,
+            "seed {seed}"
+        );
         let sorted = doubled
             .sort(vec![SortExpr::asc(col("a")), SortExpr::asc(col("s"))])
             .expect("sort")
@@ -197,7 +237,10 @@ proptest! {
         for i in 1..sorted.len() {
             let prev = (sorted.value_at(0, i - 1), sorted.value_at(2, i - 1));
             let cur = (sorted.value_at(0, i), sorted.value_at(2, i));
-            prop_assert!(prev <= cur, "row {i} out of order: {prev:?} > {cur:?}");
+            assert!(
+                prev <= cur,
+                "seed {seed}: row {i} out of order: {prev:?} > {cur:?}"
+            );
         }
     }
 }

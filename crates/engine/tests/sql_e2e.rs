@@ -54,7 +54,11 @@ fn session() -> Session {
 #[test]
 fn point_select() {
     let s = session();
-    let out = s.sql("SELECT name FROM person WHERE id = 42").unwrap().collect().unwrap();
+    let out = s
+        .sql("SELECT name FROM person WHERE id = 42")
+        .unwrap()
+        .collect()
+        .unwrap();
     assert_eq!(out.len(), 1);
     assert_eq!(out.value_at(0, 0), Value::Utf8("p42".into()));
 }
@@ -62,7 +66,11 @@ fn point_select() {
 #[test]
 fn select_star_with_limit() {
     let s = session();
-    let out = s.sql("SELECT * FROM person LIMIT 5").unwrap().collect().unwrap();
+    let out = s
+        .sql("SELECT * FROM person LIMIT 5")
+        .unwrap()
+        .collect()
+        .unwrap();
     assert_eq!(out.len(), 5);
     assert_eq!(out.num_columns(), 4);
 }
@@ -75,7 +83,9 @@ fn range_filter_count() {
         .unwrap()
         .collect()
         .unwrap();
-    let Value::Int64(n) = out.value_at(0, 0) else { panic!() };
+    let Value::Int64(n) = out.value_at(0, 0) else {
+        panic!()
+    };
     // ages cycle 18..78, so 10 of every 60.
     assert_eq!(n, (0..1000).filter(|i| (18 + i % 60) < 28).count() as i64);
 }
@@ -110,7 +120,9 @@ fn group_by_having_order() {
         .unwrap();
     assert_eq!(out.len(), 3);
     assert_eq!(out.value_at(0, 0), Value::Utf8("ams".into()));
-    let Value::Int64(n) = out.value_at(1, 0) else { panic!() };
+    let Value::Int64(n) = out.value_at(1, 0) else {
+        panic!()
+    };
     assert_eq!(n, 334); // ceil(1000/3)
 }
 
@@ -142,7 +154,9 @@ fn left_join_preserves_unmatched() {
         .unwrap();
     // ids 0..10 match 5 edges each → 50 rows; ids 10..20 unmatched → 10 rows.
     assert_eq!(out.len(), 60);
-    let nulls = (0..out.len()).filter(|&r| out.value_at(1, r) == Value::Null).count();
+    let nulls = (0..out.len())
+        .filter(|&r| out.value_at(1, r) == Value::Null)
+        .count();
     assert_eq!(nulls, 10);
 }
 
@@ -203,8 +217,12 @@ fn error_cases() {
     assert!(s.sql("SELECT nope FROM person").is_err());
     assert!(s.sql("SELECT * FROM missing_table").is_err());
     assert!(s.sql("SELECT city FROM person GROUP BY age").is_err());
-    assert!(s.sql("SELECT count(*) FROM person WHERE count(*) > 1").is_err());
-    assert!(s.sql("SELECT * FROM person JOIN knows ON person.id < knows.src").is_err());
+    assert!(s
+        .sql("SELECT count(*) FROM person WHERE count(*) > 1")
+        .is_err());
+    assert!(s
+        .sql("SELECT * FROM person JOIN knows ON person.id < knows.src")
+        .is_err());
 }
 
 #[test]
@@ -241,7 +259,11 @@ fn cast_in_sql() {
 #[test]
 fn distinct_deduplicates() {
     let s = session();
-    let out = s.sql("SELECT DISTINCT city FROM person").unwrap().collect().unwrap();
+    let out = s
+        .sql("SELECT DISTINCT city FROM person")
+        .unwrap()
+        .collect()
+        .unwrap();
     assert_eq!(out.len(), 3);
     let n = s
         .sql("SELECT count(*) FROM (SELECT DISTINCT city, age FROM person) d")
@@ -261,7 +283,9 @@ fn in_list_predicate() {
         .unwrap()
         .collect()
         .unwrap();
-    let Value::Int64(n) = out.value_at(0, 0) else { panic!() };
+    let Value::Int64(n) = out.value_at(0, 0) else {
+        panic!()
+    };
     assert_eq!(n, (0..1000).filter(|i| i % 3 != 1).count() as i64);
     let none = s
         .sql("SELECT count(*) FROM person WHERE id NOT IN (1, 2, 3)")
@@ -337,8 +361,14 @@ fn scalar_function_type_errors() {
     assert!(s.sql("SELECT upper(id) FROM person").is_err());
     assert!(s.sql("SELECT abs(name) FROM person").is_err());
     assert!(s.sql("SELECT length() FROM person").is_err());
-    assert!(s.sql("SELECT id IN ('x') FROM person").is_err(), "IN type mismatch");
-    assert!(s.sql("SELECT id LIKE 'x' FROM person").is_err(), "LIKE over int");
+    assert!(
+        s.sql("SELECT id IN ('x') FROM person").is_err(),
+        "IN type mismatch"
+    );
+    assert!(
+        s.sql("SELECT id LIKE 'x' FROM person").is_err(),
+        "LIKE over int"
+    );
 }
 
 #[test]

@@ -1,0 +1,234 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to a crates.io mirror, so the
+//! workspace vendors the API subset it actually uses:
+//! `StdRng::seed_from_u64`, `Rng::gen_range` over half-open integer and
+//! float ranges, and `Rng::gen_bool`. The generator is xoshiro256++
+//! seeded through splitmix64 — deterministic per seed, which is all the
+//! data generators and tests rely on (they never depend on matching the
+//! real `StdRng`'s stream).
+
+use std::ops::Range;
+
+/// Low-level uniform u64 source.
+pub trait RngCore {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Deterministic generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// A half-open range a uniform `T` can be drawn from. Blanket-implemented
+/// over [`SampleUniform`] types (like rand's `SampleRange<T>`) so integer
+/// literals in a range infer their type from the call site's context.
+pub trait SampleRange<T> {
+    /// Draw one uniform sample from `self`.
+    fn sample_from(self, rng: &mut dyn RngCore) -> T;
+}
+
+/// Types `gen_range` can sample uniformly.
+pub trait SampleUniform: Sized {
+    /// Uniform sample from `[low, high)` (`high` exclusive).
+    fn sample_half_open(rng: &mut dyn RngCore, low: Self, high: Self) -> Self;
+    /// Uniform sample from `[low, high]` (`high` inclusive).
+    fn sample_inclusive(rng: &mut dyn RngCore, low: Self, high: Self) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from(self, rng: &mut dyn RngCore) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_from(self, rng: &mut dyn RngCore) -> T {
+        let (start, end) = self.into_inner();
+        T::sample_inclusive(rng, start, end)
+    }
+}
+
+/// Lemire-style unbiased bounded sampling over `[0, n)`.
+fn bounded_u64(rng: &mut dyn RngCore, n: u64) -> u64 {
+    debug_assert!(n > 0);
+    // Rejection zone keeps the sample exactly uniform.
+    let zone = n.wrapping_neg() % n;
+    loop {
+        let v = rng.next_u64();
+        let (hi, lo) = {
+            let wide = u128::from(v) * u128::from(n);
+            ((wide >> 64) as u64, wide as u64)
+        };
+        if lo >= zone {
+            return hi;
+        }
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open(rng: &mut dyn RngCore, low: $t, high: $t) -> $t {
+                assert!(low < high, "gen_range: empty range");
+                let span = high.abs_diff(low) as u64;
+                low.wrapping_add(bounded_u64(rng, span) as $t)
+            }
+
+            fn sample_inclusive(rng: &mut dyn RngCore, low: $t, high: $t) -> $t {
+                assert!(low <= high, "gen_range: empty range");
+                let span = high.abs_diff(low) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                low.wrapping_add(bounded_u64(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl SampleUniform for f64 {
+    fn sample_half_open(rng: &mut dyn RngCore, low: f64, high: f64) -> f64 {
+        assert!(low < high, "gen_range: empty range");
+        // 53 uniform mantissa bits in [0, 1).
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        low + unit * (high - low)
+    }
+
+    fn sample_inclusive(rng: &mut dyn RngCore, low: f64, high: f64) -> f64 {
+        Self::sample_half_open(rng, low, high)
+    }
+}
+
+/// High-level sampling helpers, implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from `range`.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p={p} out of [0, 1]");
+        self.gen_range(0.0..1.0) < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++ (Blackman/Vigna),
+    /// seeded via splitmix64.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut state = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut state),
+                    splitmix64(&mut state),
+                    splitmix64(&mut state),
+                    splitmix64(&mut state),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0..1_000_000i64), b.gen_range(0..1_000_000i64));
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        let same = (0..100)
+            .filter(|_| StdRng::seed_from_u64(7).gen_range(0..u64::MAX) == c.gen_range(0..u64::MAX))
+            .count();
+        assert!(same < 100, "different seeds must diverge");
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(10..20i32);
+            assert!((10..20).contains(&v));
+            let u = rng.gen_range(0..7usize);
+            assert!(u < 7);
+            let f = rng.gen_range(1e-9..1.0);
+            assert!((1e-9..1.0).contains(&f));
+            let n = rng.gen_range(-50..50i64);
+            assert!((-50..50).contains(&n));
+        }
+    }
+
+    #[test]
+    fn bounded_sampling_hits_every_bucket() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0usize; 5];
+        for _ in 0..5_000 {
+            counts[rng.gen_range(0..5usize)] += 1;
+        }
+        for (i, c) in counts.iter().enumerate() {
+            assert!(*c > 700, "bucket {i} starved: {c}");
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "p=0.25 gave {hits}/10000");
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+}

@@ -150,17 +150,17 @@ pub fn forum_hasmember_schema() -> SchemaRef {
 }
 
 const FIRST_NAMES: &[&str] = &[
-    "Jan", "Maria", "Ahmed", "Wei", "Olga", "Carlos", "Aiko", "Lena", "Raj", "Emma",
-    "Noah", "Ana", "Ivan", "Sofia", "Liam", "Chen", "Fatima", "Jo", "Kim", "Ali",
+    "Jan", "Maria", "Ahmed", "Wei", "Olga", "Carlos", "Aiko", "Lena", "Raj", "Emma", "Noah", "Ana",
+    "Ivan", "Sofia", "Liam", "Chen", "Fatima", "Jo", "Kim", "Ali",
 ];
 const LAST_NAMES: &[&str] = &[
-    "Smith", "Garcia", "Khan", "Wang", "Ivanova", "Silva", "Tanaka", "Muller", "Patel",
-    "Brown", "Jensen", "Rossi", "Novak", "Kowalski", "Nguyen", "Sato", "Haddad", "Berg",
+    "Smith", "Garcia", "Khan", "Wang", "Ivanova", "Silva", "Tanaka", "Muller", "Patel", "Brown",
+    "Jensen", "Rossi", "Novak", "Kowalski", "Nguyen", "Sato", "Haddad", "Berg",
 ];
 const BROWSERS: &[&str] = &["Firefox", "Chrome", "Safari", "Internet Explorer", "Opera"];
 const WORDS: &[&str] = &[
-    "graph", "query", "stream", "update", "index", "spark", "social", "network", "photo",
-    "travel", "music", "match", "learn", "scale", "cache", "latency", "join", "friend",
+    "graph", "query", "stream", "update", "index", "spark", "social", "network", "photo", "travel",
+    "music", "match", "learn", "scale", "cache", "latency", "join", "friend",
 ];
 
 /// Power-law-ish degree: Pareto via inverse transform, clamped.
@@ -279,7 +279,10 @@ pub fn generate(config: SnbConfig) -> Result<SnbData> {
             let (forum_id, reply_of) = if is_comment {
                 (Value::Null, Value::Int64(rng.gen_range(0..id)))
             } else {
-                (Value::Int64(rng.gen_range(0..config.forums as i64)), Value::Null)
+                (
+                    Value::Int64(rng.gen_range(0..config.forums as i64)),
+                    Value::Null,
+                )
             };
             let n_words = rng.gen_range(3..20);
             let content = random_content(&mut rng, n_words);
@@ -342,7 +345,9 @@ mod tests {
         // Count out-degrees.
         let mut degrees = std::collections::HashMap::new();
         for r in 0..data.knows.len() {
-            let Value::Int64(p1) = data.knows.value_at(0, r) else { panic!() };
+            let Value::Int64(p1) = data.knows.value_at(0, r) else {
+                panic!()
+            };
             *degrees.entry(p1).or_insert(0usize) += 1;
         }
         let max = degrees.values().copied().max().unwrap();
@@ -358,14 +363,22 @@ mod tests {
         let data = generate(SnbConfig::with_scale(0.1)).unwrap();
         let n = data.max_person_id;
         for r in 0..data.knows.len() {
-            let Value::Int64(p1) = data.knows.value_at(0, r) else { panic!() };
-            let Value::Int64(p2) = data.knows.value_at(1, r) else { panic!() };
+            let Value::Int64(p1) = data.knows.value_at(0, r) else {
+                panic!()
+            };
+            let Value::Int64(p2) = data.knows.value_at(1, r) else {
+                panic!()
+            };
             assert!(p1 <= n && p2 <= n && p1 != p2);
         }
         for r in 0..data.message.len() {
-            let Value::Int64(creator) = data.message.value_at(4, r) else { panic!() };
+            let Value::Int64(creator) = data.message.value_at(4, r) else {
+                panic!()
+            };
             assert!(creator <= n);
-            let Value::Int64(id) = data.message.value_at(0, r) else { panic!() };
+            let Value::Int64(id) = data.message.value_at(0, r) else {
+                panic!()
+            };
             match data.message.value_at(6, r) {
                 Value::Int64(reply_of) => {
                     assert!(reply_of < id, "replies reference earlier messages");

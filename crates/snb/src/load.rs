@@ -69,7 +69,9 @@ impl IndexedTables {
 
 fn mem_table(session: &Session, schema: SchemaRef, chunk: Chunk) -> Result<Arc<MemTable>> {
     let parts = session.config().target_partitions;
-    Ok(Arc::new(MemTable::from_chunk_partitioned(schema, chunk, parts)?))
+    Ok(Arc::new(MemTable::from_chunk_partitioned(
+        schema, chunk, parts,
+    )?))
 }
 
 /// Register everything vanilla: partitioned, cached, columnar.
@@ -99,8 +101,7 @@ pub fn register_vanilla(session: &Session, data: &SnbData) -> Result<()> {
 pub fn register_indexed(session: &Session, data: &SnbData) -> Result<IndexedTables> {
     let cfg = IndexConfig::default();
     let mk = |schema: SchemaRef, chunk: &Chunk, key: usize| -> Result<IndexedDataFrame> {
-        let table =
-            Arc::new(IndexedTable::from_chunk(schema, key, cfg.clone(), chunk)?);
+        let table = Arc::new(IndexedTable::from_chunk(schema, key, cfg.clone(), chunk)?);
         Ok(IndexedDataFrame::from_table(session.clone(), table))
     };
     let person = mk(crate::gen::person_schema(), &data.person, 0)?;
@@ -122,7 +123,13 @@ pub fn register_indexed(session: &Session, data: &SnbData) -> Result<IndexedTabl
         data.forum_hasmember.clone(),
     )?;
     session.register_table("forum_hasmember", hasmember);
-    Ok(IndexedTables { person, knows, message, message_by_creator, message_by_reply })
+    Ok(IndexedTables {
+        person,
+        knows,
+        message,
+        message_by_creator,
+        message_by_reply,
+    })
 }
 
 /// Register per `mode`; returns index handles in indexed mode.

@@ -202,11 +202,7 @@ mod tests {
                 let a = query(&vanilla, q, &p).unwrap().collect().unwrap();
                 let b = query(&indexed, q, &p).unwrap().collect().unwrap();
                 // Ordered queries compare row-for-row; SQ1 has ≤1 row.
-                assert_eq!(
-                    a.to_rows(),
-                    b.to_rows(),
-                    "SQ{q} diverged for params {p:?}"
-                );
+                assert_eq!(a.to_rows(), b.to_rows(), "SQ{q} diverged for params {p:?}");
             }
         }
     }
@@ -223,8 +219,7 @@ mod tests {
         for q in 1..=7 {
             let plan = query(&indexed, q, &p).unwrap().explain().unwrap();
             let physical = plan.split("== Physical ==").nth(1).unwrap().to_string();
-            let is_indexed =
-                physical.contains("IndexedJoin") || physical.contains("pushed=");
+            let is_indexed = physical.contains("IndexedJoin") || physical.contains("pushed=");
             assert_eq!(
                 is_indexed,
                 uses_index(q),
@@ -262,7 +257,11 @@ mod tests {
     #[test]
     fn invalid_query_number_rejected() {
         let (vanilla, _, _) = sessions();
-        let p = QueryParams { person_id: 0, message_id: 0, forum_id: 0 };
+        let p = QueryParams {
+            person_id: 0,
+            message_id: 0,
+            forum_id: 0,
+        };
         assert!(query(&vanilla, 0, &p).is_err());
         assert!(query(&vanilla, 8, &p).is_err());
     }

@@ -78,8 +78,8 @@ impl UpdateStream {
             ])
         } else if roll < 30 {
             let p1 = self.rng.gen_range(0..self.next_person);
-            let p2 = (p1 + self.rng.gen_range(1..self.next_person.max(2)))
-                % self.next_person.max(1);
+            let p2 =
+                (p1 + self.rng.gen_range(1..self.next_person.max(2))) % self.next_person.max(1);
             let ts = Value::Timestamp(self.clock);
             UpdateEvent::AddKnows(
                 vec![Value::Int64(p1), Value::Int64(p2), ts.clone()],
@@ -93,7 +93,10 @@ impl UpdateStream {
             let (forum, reply) = if is_comment {
                 (Value::Null, Value::Int64(self.rng.gen_range(0..id)))
             } else {
-                (Value::Int64(self.rng.gen_range(0..self.forums.max(1))), Value::Null)
+                (
+                    Value::Int64(self.rng.gen_range(0..self.forums.max(1))),
+                    Value::Null,
+                )
             };
             UpdateEvent::AddMessage(vec![
                 Value::Int64(id),
@@ -177,8 +180,9 @@ mod tests {
         }
         assert!(tables.person.row_count() >= persons_before);
         // New messages are queryable through every message index.
-        if let Some(UpdateEvent::AddMessage(row)) =
-            events.iter().find(|e| matches!(e, UpdateEvent::AddMessage(_)))
+        if let Some(UpdateEvent::AddMessage(row)) = events
+            .iter()
+            .find(|e| matches!(e, UpdateEvent::AddMessage(_)))
         {
             let Value::Int64(id) = row[0] else { panic!() };
             let out = session

@@ -13,10 +13,8 @@ fn sessions() -> (Session, Session, idf_snb::SnbData) {
     (vanilla, indexed, data)
 }
 
-type QueryFn = fn(
-    &Session,
-    &QueryParams,
-) -> idf_engine::error::Result<idf_engine::dataframe::DataFrame>;
+type QueryFn =
+    fn(&Session, &QueryParams) -> idf_engine::error::Result<idf_engine::dataframe::DataFrame>;
 
 const QUERIES: [(&str, QueryFn); 3] = [("cq1", cq1), ("cq2", cq2), ("cq3", cq3)];
 

@@ -88,9 +88,7 @@ fn main() -> Result<()> {
     println!("\napplied {total} streaming updates while the dashboard ran");
 
     // Prove the updates are queryable: the newest person arrived live.
-    let newest = session
-        .sql("SELECT count(*) FROM person")?
-        .collect()?;
+    let newest = session.sql("SELECT count(*) FROM person")?.collect()?;
     println!(
         "person rows now: {} (started with {})",
         newest.value_at(0, 0),

@@ -8,9 +8,7 @@
 use std::time::Instant;
 
 use indexed_dataframe::engine::prelude::*;
-use indexed_dataframe::snb::{
-    generate, query, register, uses_index, Mode, QueryParams, SnbConfig,
-};
+use indexed_dataframe::snb::{generate, query, register, uses_index, Mode, QueryParams, SnbConfig};
 
 fn main() -> Result<()> {
     let scale = 1.0;
@@ -58,7 +56,11 @@ fn main() -> Result<()> {
             indexed_us / 10,
             vanilla_us / 10,
             vanilla_us as f64 / indexed_us as f64,
-            if uses_index(q) { "yes" } else { "no (forum path)" }
+            if uses_index(q) {
+                "yes"
+            } else {
+                "no (forum path)"
+            }
         );
     }
 

@@ -91,7 +91,11 @@ fn main() -> Result<()> {
     let matches = hits
         .aggregate(vec![col("campaign")], vec![count_star()])?
         .sort(vec![SortExpr::asc(col("campaign"))])?;
-    println!("\nwatchlist sweep ({:.2?}):\n{}", t0.elapsed(), matches.show(10)?);
+    println!(
+        "\nwatchlist sweep ({:.2?}):\n{}",
+        t0.elapsed(),
+        matches.show(10)?
+    );
 
     // Live response: new events stream in and are immediately visible.
     println!("streaming 10k live events while re-running the triage query...");

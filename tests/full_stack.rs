@@ -41,7 +41,10 @@ fn paper_listing1_lifecycle() {
     );
     let joined = indexed.join(&knows, "id", "person1_id").expect("join");
     assert!(joined.explain().unwrap().contains("IndexedJoin"));
-    assert!(joined.count().unwrap() > data.knows.len(), "dup of person 5 fans out");
+    assert!(
+        joined.count().unwrap() > data.knows.len(),
+        "dup of person 5 fans out"
+    );
 }
 
 #[test]
@@ -117,7 +120,9 @@ fn ctrie_is_the_index_under_the_hood() {
     let indexed = df.create_index("k").unwrap();
     let frozen = indexed.snapshot_df();
     for ver in 1..=10i64 {
-        indexed.append_row(&[Value::Int64(1), Value::Int64(ver)]).unwrap();
+        indexed
+            .append_row(&[Value::Int64(1), Value::Int64(ver)])
+            .unwrap();
     }
     assert_eq!(frozen.count().unwrap(), 1, "snapshot stays at version 0");
     let chain = indexed.get_rows_chunk(1i64).unwrap();

@@ -52,7 +52,12 @@ fn dashboard_queries_stay_correct_under_update_stream() {
         );
         // SQ1: the original person is always present exactly once.
         let profile = query(&session, 1, &p).unwrap().collect().unwrap();
-        assert_eq!(profile.len(), 1, "round {round}: person {} profile", p.person_id);
+        assert_eq!(
+            profile.len(),
+            1,
+            "round {round}: person {} profile",
+            p.person_id
+        );
         // SQ3: every returned friend row references the queried person's
         // edges; result sizes only grow over time for a fixed person.
         let friends = query(&session, 3, &p).unwrap().collect().unwrap();
@@ -72,11 +77,17 @@ fn dashboard_queries_stay_correct_under_update_stream() {
 
     stop.store(true, Ordering::Relaxed);
     let (persons_added, knows_added, messages_added) = writer.join().unwrap();
-    assert!(persons_added + knows_added + messages_added > 0, "stream made progress");
+    assert!(
+        persons_added + knows_added + messages_added > 0,
+        "stream made progress"
+    );
 
     // Final accounting: every applied event is queryable.
     assert_eq!(tables.person.row_count(), initial_persons + persons_added);
-    assert_eq!(tables.message.row_count(), initial_messages + messages_added);
+    assert_eq!(
+        tables.message.row_count(),
+        initial_messages + messages_added
+    );
     let count = session
         .sql("SELECT count(*) FROM person")
         .unwrap()
@@ -91,7 +102,10 @@ fn dashboard_queries_stay_correct_under_update_stream() {
         tables.message.row_count(),
         tables.message_by_creator.row_count()
     );
-    assert_eq!(tables.message.row_count(), tables.message_by_reply.row_count());
+    assert_eq!(
+        tables.message.row_count(),
+        tables.message_by_reply.row_count()
+    );
 }
 
 #[test]
