@@ -130,6 +130,7 @@ impl RowBatch {
     /// # Errors
     /// Fails when `offset` does not point at a committed, well-formed row.
     pub fn row_at(&self, offset: usize) -> Result<(usize, RowPtr, &[u8])> {
+        crate::failpoints::check(crate::failpoints::BATCH_READ)?;
         let head = self.read(offset, ROW_HEADER)?;
         let stored = u16::from_le_bytes(head[..2].try_into().expect("u16")) as usize;
         if stored < ROW_HEADER {

@@ -1,0 +1,38 @@
+//! Named fault-injection sites in the Indexed DataFrame's storage layer.
+//!
+//! Each constant names a site where `idf_fail::eval` is called; tests
+//! configure sites via `idf_fail::FailGuard` to return errors, panic, or
+//! delay, exercising read/append failure paths. The chaos suite
+//! (`tests/chaos.rs`) iterates [`SITES`] and asserts the snapshot
+//! consistency invariants hold with a fault at every one of them.
+
+use idf_engine::error::{EngineError, Result};
+
+/// A committed-row read from a row batch (`RowBatch::row_at`): hit by
+/// every point-lookup chain walk.
+pub const BATCH_READ: &str = "core::batch::read";
+
+/// Entry of a partition probe (`PartitionSnapshot::lookup_chunk` /
+/// `lookup_chunk_multi`): hit once per probed partition.
+pub const PARTITION_PROBE: &str = "core::probe::partition";
+
+/// Row encoding/validation, before any shared state is touched: phase 1
+/// of a chunk append and the start of a single-row append.
+pub const APPEND_ENCODE: &str = "core::append::encode";
+
+/// The append commit point: after every row of a chunk append has been
+/// validated and before the first row becomes visible (also checked at
+/// the head of a single-row append). A fault here must leave the table
+/// exactly as it was.
+pub const APPEND_PUBLISH: &str = "core::append::publish";
+
+/// Every registered storage-layer site, for chaos suites to iterate.
+pub const SITES: &[&str] = &[BATCH_READ, PARTITION_PROBE, APPEND_ENCODE, APPEND_PUBLISH];
+
+/// Evaluate the failpoint at `site`, mapping an injected error into a
+/// typed execution error that names the site.
+#[inline]
+pub fn check(site: &str) -> Result<()> {
+    idf_fail::eval(site)
+        .map_err(|msg| EngineError::exec(format!("injected failure at {site}: {msg}")))
+}

@@ -53,6 +53,7 @@
 pub mod api;
 pub mod batch;
 pub mod config;
+pub mod failpoints;
 pub mod join_exec;
 pub mod layout;
 pub mod partition;

@@ -24,6 +24,7 @@ use idf_ctrie::CTrie;
 use idf_engine::chunk::Chunk;
 use idf_engine::column::ColumnBuilder;
 use idf_engine::error::{EngineError, Result};
+use idf_engine::query::QueryContext;
 use idf_engine::schema::SchemaRef;
 use idf_engine::types::Value;
 use parking_lot::{Mutex, RwLock};
@@ -81,19 +82,55 @@ impl IndexedPartition {
 
     /// Append one row. Rows with a NULL key are stored (visible to scans)
     /// but not indexed, matching SQL equality semantics.
+    ///
+    /// All fallible work (encoding, the size check, both failpoints)
+    /// happens before any shared state is touched, so a failed append is
+    /// never partially visible.
     pub fn append_row(&self, values: &[Value]) -> Result<()> {
+        crate::failpoints::check(crate::failpoints::APPEND_ENCODE)?;
         let mut payload = self.append_lock.lock();
         payload.clear();
         self.layout.encode(values, &mut payload)?;
         let stored = ROW_HEADER + payload.len();
         if stored > self.config.max_row_size {
-            return Err(EngineError::exec(format!(
-                "encoded row is {stored} bytes; the Indexed DataFrame stores rows of at \
-                 most {} bytes (configure IndexConfig.max_row_size)",
-                self.config.max_row_size
-            )));
+            return Err(EngineError::RowTooLarge {
+                size: stored,
+                max: self.config.max_row_size,
+            });
         }
-        let key = &values[self.key_col];
+        self.publish_locked(&values[self.key_col], &payload)
+    }
+
+    /// Encode + validate one row without touching any shared state,
+    /// returning the payload bytes for a later [`Self::append_encoded`].
+    /// This is phase 1 of the two-phase (validate-all-then-publish)
+    /// chunk-append protocol in [`crate::table::IndexedTable`].
+    pub fn encode_row(&self, values: &[Value]) -> Result<Vec<u8>> {
+        crate::failpoints::check(crate::failpoints::APPEND_ENCODE)?;
+        let mut payload = Vec::new();
+        self.layout.encode(values, &mut payload)?;
+        let stored = ROW_HEADER + payload.len();
+        if stored > self.config.max_row_size {
+            return Err(EngineError::RowTooLarge {
+                size: stored,
+                max: self.config.max_row_size,
+            });
+        }
+        Ok(payload)
+    }
+
+    /// Append a row pre-encoded by [`Self::encode_row`] (phase 2 of a
+    /// chunk append). `key` must be the row's `key_col` value.
+    pub fn append_encoded(&self, key: &Value, payload: &[u8]) -> Result<()> {
+        let _writer = self.append_lock.lock();
+        self.publish_locked(key, payload)
+    }
+
+    /// Steps 1–3 of the append protocol. The caller holds `append_lock`
+    /// (single writer per partition); `payload` is validated.
+    fn publish_locked(&self, key: &Value, payload: &[u8]) -> Result<()> {
+        crate::failpoints::check(crate::failpoints::APPEND_PUBLISH)?;
+        let stored = ROW_HEADER + payload.len();
         // 1. current chain head becomes the new row's backward pointer.
         let prev_raw = if key.is_null() {
             None
@@ -102,7 +139,7 @@ impl IndexedPartition {
         };
         let prev = prev_raw.map(RowPtr::from_raw).unwrap_or(RowPtr::NULL);
         // 2. write + publish the row bytes.
-        let (batch_idx, offset) = self.write_row(prev, &payload)?;
+        let (batch_idx, offset) = self.write_row(prev, payload)?;
         let ptr = RowPtr::new(batch_idx, offset, stored);
         // 3. point the index at the new head.
         if !key.is_null() {
@@ -130,9 +167,15 @@ impl IndexedPartition {
             return Err(EngineError::exec("partition exceeded 2^31 row batches"));
         }
         let batch = Arc::new(RowBatch::with_capacity(self.config.batch_size));
-        let offset = batch
-            .append_row(prev, payload)
-            .ok_or_else(|| EngineError::internal("fresh batch rejected a validated row"))?;
+        let offset = batch.append_row(prev, payload).ok_or(
+            // Only reachable if a row outgrows a whole batch, which
+            // `IndexConfig::validate` (max_row_size <= batch_size) rules
+            // out for vetted configs.
+            EngineError::RowTooLarge {
+                size: ROW_HEADER + payload.len(),
+                max: self.config.batch_size,
+            },
+        )?;
         batches.push(batch);
         Ok((batches.len() - 1, offset))
     }
@@ -240,6 +283,7 @@ impl PartitionSnapshot {
     /// All rows bound to `key` as a chunk (latest first), with optional
     /// column projection. This is the paper's `getRows` on one partition.
     pub fn lookup_chunk(&self, key: &Value, projection: Option<&[usize]>) -> Result<Chunk> {
+        crate::failpoints::check(crate::failpoints::PARTITION_PROBE)?;
         let cols = self.projected_cols(projection);
         let mut builders = self.new_builders(&cols);
         let n = self.decode_chain_into(key, &cols, &mut builders)?;
@@ -259,16 +303,36 @@ impl PartitionSnapshot {
         keys: &[Value],
         projection: Option<&[usize]>,
     ) -> Result<Chunk> {
+        self.lookup_chunk_multi_ctx(keys, projection, None)
+    }
+
+    /// [`Self::lookup_chunk_multi`] under a query lifecycle token:
+    /// cancellation/deadline is checked between key probes and the result
+    /// chunk is billed to the query's memory budget.
+    pub fn lookup_chunk_multi_ctx(
+        &self,
+        keys: &[Value],
+        projection: Option<&[usize]>,
+        query: Option<&QueryContext>,
+    ) -> Result<Chunk> {
+        crate::failpoints::check(crate::failpoints::PARTITION_PROBE)?;
         let cols = self.projected_cols(projection);
         let mut builders = self.new_builders(&cols);
         let mut n = 0usize;
         for key in keys {
+            if let Some(q) = query {
+                q.check()?;
+            }
             n += self.decode_chain_into(key, &cols, &mut builders)?;
         }
         if builders.is_empty() {
             return Ok(Chunk::new_empty_columns(n));
         }
-        Chunk::new(builders.into_iter().map(|b| Arc::new(b.finish())).collect())
+        let chunk = Chunk::new(builders.into_iter().map(|b| Arc::new(b.finish())).collect())?;
+        if let Some(q) = query {
+            q.charge_memory(chunk.byte_size())?;
+        }
+        Ok(chunk)
     }
 
     fn projected_cols(&self, projection: Option<&[usize]>) -> Vec<usize> {
@@ -317,6 +381,18 @@ impl PartitionSnapshot {
         projection: Option<&[usize]>,
         chunk_rows: usize,
     ) -> Result<Vec<Chunk>> {
+        self.scan_chunks_ctx(projection, chunk_rows, None)
+    }
+
+    /// [`Self::scan_chunks`] under a query lifecycle token:
+    /// cancellation/deadline is checked at every chunk boundary and each
+    /// produced chunk is billed to the query's memory budget.
+    pub fn scan_chunks_ctx(
+        &self,
+        projection: Option<&[usize]>,
+        chunk_rows: usize,
+        query: Option<&QueryContext>,
+    ) -> Result<Vec<Chunk>> {
         let cols = self.projected_cols(projection);
         let mut out = Vec::new();
         let mut builders = self.new_builders(&cols);
@@ -327,12 +403,14 @@ impl PartitionSnapshot {
                 self.layout.decode_into(payload, &cols, &mut builders)?;
                 rows_in_chunk += 1;
                 if rows_in_chunk >= chunk_rows {
-                    out.push(finish_chunk(
-                        &cols,
-                        &mut builders,
-                        self.schema(),
-                        rows_in_chunk,
-                    )?);
+                    if let Some(q) = query {
+                        q.check()?;
+                    }
+                    let chunk = finish_chunk(&cols, &mut builders, self.schema(), rows_in_chunk)?;
+                    if let Some(q) = query {
+                        q.charge_memory(chunk.byte_size())?;
+                    }
+                    out.push(chunk);
                     rows_in_chunk = 0;
                 }
             }

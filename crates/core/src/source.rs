@@ -18,6 +18,7 @@ use idf_engine::catalog::{ChunkIter, Statistics, TableSource};
 use idf_engine::chunk::Chunk;
 use idf_engine::error::Result;
 use idf_engine::expr::{BinaryOp, Expr};
+use idf_engine::query::QueryContext;
 use idf_engine::schema::SchemaRef;
 use idf_engine::types::Value;
 
@@ -143,6 +144,71 @@ impl IndexedSource {
             )),
         }
     }
+
+    /// Full scan of one partition, optionally under a query lifecycle
+    /// context (cancellation checks and memory charging per emitted chunk).
+    fn scan_ctx(
+        &self,
+        partition: usize,
+        projection: Option<&[usize]>,
+        query: Option<&QueryContext>,
+    ) -> Result<ChunkIter> {
+        let view = self.partition_snapshot(partition)?;
+        let chunks =
+            view.get()
+                .scan_chunks_ctx(projection, self.table.config().scan_chunk_rows, query)?;
+        Ok(Box::new(chunks.into_iter().map(Ok)))
+    }
+
+    /// Filtered scan of one partition under an optional lifecycle context:
+    /// pushed key filters become index probes that honour cancellation and
+    /// charge their result chunks against the query's memory budget.
+    fn scan_with_filters_ctx(
+        &self,
+        partition: usize,
+        projection: Option<&[usize]>,
+        filters: &[Expr],
+        query: Option<&QueryContext>,
+    ) -> Result<ChunkIter> {
+        // Intersect the key sets of the pushed filters (they are ANDed);
+        // any filter we did not claim would not be here.
+        let mut keys: Option<Vec<Value>> = None;
+        for f in filters {
+            let Some(set) = self.key_set_of(f) else {
+                // Defensive: fall back to a full scan + let the engine
+                // re-filter (should not happen with the built-in rule).
+                return self.scan_ctx(partition, projection, query);
+            };
+            keys = Some(match keys {
+                None => set,
+                Some(prev) => prev.into_iter().filter(|k| set.contains(k)).collect(),
+            });
+        }
+        // Keep the keys that hash-route to THIS partition; the rest are
+        // pruned — their home partitions answer for them.
+        let local: Vec<Value> = keys
+            .unwrap_or_default()
+            .into_iter()
+            .filter(|k| self.table.partition_of(k) == partition)
+            .collect();
+        let view = self.partition_snapshot(partition)?;
+        let chunk = match local.as_slice() {
+            // Empty intersection (or no local keys): nothing here.
+            [] => Chunk::empty(&project_schema(&self.table.schema(), projection)),
+            // Index lookup instead of a scan; the result is billed to the
+            // query (the multi-key path bills inside the probe).
+            [key] => {
+                let chunk = view.get().lookup_chunk(key, projection)?;
+                if let Some(q) = query {
+                    q.charge_memory(chunk.byte_size())?;
+                }
+                chunk
+            }
+            // Multi-key probe sharing one set of column builders.
+            many => view.get().lookup_chunk_multi_ctx(many, projection, query)?,
+        };
+        Ok(Box::new(std::iter::once(Ok(chunk))))
+    }
 }
 
 enum PartitionView<'a> {
@@ -169,11 +235,7 @@ impl TableSource for IndexedSource {
     }
 
     fn scan(&self, partition: usize, projection: Option<&[usize]>) -> Result<ChunkIter> {
-        let view = self.partition_snapshot(partition)?;
-        let chunks = view
-            .get()
-            .scan_chunks(projection, self.table.config().scan_chunk_rows)?;
-        Ok(Box::new(chunks.into_iter().map(Ok)))
+        self.scan_ctx(partition, projection, None)
     }
 
     fn supports_filter_pushdown(&self, filter: &Expr) -> bool {
@@ -186,37 +248,21 @@ impl TableSource for IndexedSource {
         projection: Option<&[usize]>,
         filters: &[Expr],
     ) -> Result<ChunkIter> {
-        // Intersect the key sets of the pushed filters (they are ANDed);
-        // any filter we did not claim would not be here.
-        let mut keys: Option<Vec<Value>> = None;
-        for f in filters {
-            let Some(set) = self.key_set_of(f) else {
-                // Defensive: fall back to a full scan + let the engine
-                // re-filter (should not happen with the built-in rule).
-                return self.scan(partition, projection);
-            };
-            keys = Some(match keys {
-                None => set,
-                Some(prev) => prev.into_iter().filter(|k| set.contains(k)).collect(),
-            });
+        self.scan_with_filters_ctx(partition, projection, filters, None)
+    }
+
+    fn scan_with_ctx(
+        &self,
+        partition: usize,
+        projection: Option<&[usize]>,
+        filters: &[Expr],
+        query: &Arc<QueryContext>,
+    ) -> Result<ChunkIter> {
+        if filters.is_empty() {
+            self.scan_ctx(partition, projection, Some(query))
+        } else {
+            self.scan_with_filters_ctx(partition, projection, filters, Some(query))
         }
-        // Keep the keys that hash-route to THIS partition; the rest are
-        // pruned — their home partitions answer for them.
-        let local: Vec<Value> = keys
-            .unwrap_or_default()
-            .into_iter()
-            .filter(|k| self.table.partition_of(k) == partition)
-            .collect();
-        let view = self.partition_snapshot(partition)?;
-        let chunk = match local.as_slice() {
-            // Empty intersection (or no local keys): nothing here.
-            [] => Chunk::empty(&project_schema(&self.table.schema(), projection)),
-            // Index lookup instead of a scan.
-            [key] => view.get().lookup_chunk(key, projection)?,
-            // Multi-key probe sharing one set of column builders.
-            many => view.get().lookup_chunk_multi(many, projection)?,
-        };
-        Ok(Box::new(std::iter::once(Ok(chunk))))
     }
 
     fn statistics(&self) -> Statistics {

@@ -12,8 +12,9 @@
 use std::sync::Arc;
 
 use idf_engine::chunk::Chunk;
-use idf_engine::error::{EngineError, Result};
+use idf_engine::error::{catch_panics, panic_message, EngineError, Result};
 use idf_engine::physical::hash_values;
+use idf_engine::query::QueryContext;
 use idf_engine::schema::SchemaRef;
 use idf_engine::types::Value;
 
@@ -114,6 +115,14 @@ impl IndexedTable {
 
     /// Append every row of `chunk`, routing by key hash. Rows for distinct
     /// partitions are inserted in parallel.
+    ///
+    /// The append is two-phase so a failure never publishes a partial
+    /// batch: phase 1 encodes and validates every row (oversized rows,
+    /// encoding faults) without touching any shared state; only once every
+    /// partition's rows have validated does phase 2 publish them. A worker
+    /// that errors or panics in phase 1 therefore leaves the table exactly
+    /// as it was. Phase 2 publish failures are partition-local by design —
+    /// the same per-partition atomicity the snapshot contract documents.
     pub fn append_chunk(&self, chunk: &Chunk) -> Result<()> {
         if chunk.num_columns() != self.schema.len() {
             return Err(EngineError::type_err(format!(
@@ -131,31 +140,73 @@ impl IndexedTable {
             let p = (hash_values(std::slice::from_ref(&key)) % n as u64) as usize;
             buckets[p].push(row as u32);
         }
-        // Insert per-partition, in parallel.
+        let involved: Vec<(usize, &Vec<u32>)> = buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, rows)| !rows.is_empty())
+            .collect();
+        if involved.is_empty() {
+            return Ok(());
+        }
+        // Phase 1: encode + validate every partition's rows in parallel,
+        // touching no shared state.
+        type Encoded = Vec<(Value, Vec<u8>)>;
+        let key_col_idx = self.key_col;
+        let encode_bucket = |p: usize, rows: &[u32]| -> Result<(usize, Encoded)> {
+            catch_panics(|| {
+                let partition = &self.partitions[p];
+                let sub = chunk.take(rows)?;
+                let mut encoded = Vec::with_capacity(sub.len());
+                for r in 0..sub.len() {
+                    let values = sub.row_values(r);
+                    let payload = partition.encode_row(&values)?;
+                    encoded.push((values[key_col_idx].clone(), payload));
+                }
+                Ok((p, encoded))
+            })
+        };
+        let encoded: Vec<(usize, Encoded)> = if involved.len() == 1 {
+            let (p, rows) = involved[0];
+            vec![encode_bucket(p, rows)?]
+        } else {
+            let results: Vec<Result<(usize, Encoded)>> = std::thread::scope(|s| {
+                let encode = &encode_bucket;
+                let handles: Vec<_> = involved
+                    .iter()
+                    .map(|&(p, rows)| s.spawn(move || encode(p, rows)))
+                    .collect();
+                handles.into_iter().map(join_isolated).collect()
+            });
+            results.into_iter().collect::<Result<_>>()?
+        };
+        // Commit point: past here rows start becoming visible.
+        crate::failpoints::check(crate::failpoints::APPEND_PUBLISH)?;
+        // Phase 2: publish per-partition, in parallel.
+        let publish_bucket = |p: usize, encoded: &[(Value, Vec<u8>)]| -> Result<()> {
+            catch_panics(|| {
+                let partition = &self.partitions[p];
+                for (key, payload) in encoded {
+                    partition.append_encoded(key, payload)?;
+                }
+                Ok(())
+            })
+        };
+        if encoded.len() == 1 {
+            let (p, rows) = &encoded[0];
+            return publish_bucket(*p, rows);
+        }
         let results: Vec<Result<()>> = std::thread::scope(|s| {
-            let handles: Vec<_> = buckets
+            let publish = &publish_bucket;
+            let handles: Vec<_> = encoded
                 .iter()
-                .enumerate()
-                .filter(|(_, rows)| !rows.is_empty())
                 .map(|(p, rows)| {
-                    let partition = Arc::clone(&self.partitions[p]);
-                    s.spawn(move || -> Result<()> {
-                        let sub = chunk.take(rows)?;
-                        for r in 0..sub.len() {
-                            partition.append_row(&sub.row_values(r))?;
-                        }
-                        Ok(())
-                    })
+                    let p = *p;
+                    s.spawn(move || publish(p, rows))
                 })
                 .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("append task panicked"))
-                .collect()
+            handles.into_iter().map(join_isolated).collect()
         });
-        for r in results {
-            r?;
-        }
+        results.into_iter().collect::<Result<Vec<()>>>()?;
         Ok(())
     }
 
@@ -213,6 +264,18 @@ impl IndexedTable {
         }
         total
     }
+}
+
+/// Join a scoped worker, converting a panic that escaped `catch_panics`
+/// (or tore down the unwind machinery) into an engine error instead of
+/// propagating it into the caller.
+fn join_isolated<'scope, T>(h: std::thread::ScopedJoinHandle<'scope, Result<T>>) -> Result<T> {
+    h.join().unwrap_or_else(|payload| {
+        Err(EngineError::internal(format!(
+            "storage task panicked: {}",
+            panic_message(payload.as_ref())
+        )))
+    })
 }
 
 impl std::fmt::Debug for IndexedTable {
@@ -282,6 +345,19 @@ impl TableSnapshot {
     /// first-occurrence order, each key's chain latest-first. Callers that
     /// need a specific order sort the resulting chunk.
     pub fn lookup_batch(&self, keys: &[Value], projection: Option<&[usize]>) -> Result<Chunk> {
+        self.lookup_batch_ctx(keys, projection, None)
+    }
+
+    /// [`lookup_batch`](Self::lookup_batch) with query lifecycle hooks:
+    /// per-key cancellation/deadline checks and result-memory charging
+    /// against `query` when one is supplied. Partition probes are
+    /// panic-isolated — a worker that dies surfaces as an engine error.
+    pub fn lookup_batch_ctx(
+        &self,
+        keys: &[Value],
+        projection: Option<&[usize]>,
+        query: Option<&QueryContext>,
+    ) -> Result<Chunk> {
         let n = self.partitions.len();
         // Route distinct non-null keys to their partitions.
         let mut buckets: Vec<Vec<&Value>> = vec![Vec::new(); n];
@@ -299,6 +375,9 @@ impl TableSnapshot {
             .filter(|(_, keys)| !keys.is_empty())
             .map(|(p, keys)| (p, keys.into_iter().cloned().collect()))
             .collect();
+        let probe = |p: usize, keys: &[Value]| -> Result<Chunk> {
+            catch_panics(|| self.partitions[p].lookup_chunk_multi_ctx(keys, projection, query))
+        };
         let chunks: Vec<Chunk> = match involved.len() {
             0 => {
                 let proj: Vec<usize> =
@@ -308,21 +387,16 @@ impl TableSnapshot {
             // One partition involved: probe inline, no thread overhead.
             1 => {
                 let (p, keys) = &involved[0];
-                vec![self.partitions[*p].lookup_chunk_multi(keys, projection)?]
+                vec![probe(*p, keys)?]
             }
             _ => {
                 let results: Vec<Result<Chunk>> = std::thread::scope(|s| {
+                    let probe = &probe;
                     let handles: Vec<_> = involved
                         .iter()
-                        .map(|(p, keys)| {
-                            let part = &self.partitions[*p];
-                            s.spawn(move || part.lookup_chunk_multi(keys, projection))
-                        })
+                        .map(|(p, keys)| s.spawn(move || probe(*p, keys)))
                         .collect();
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().expect("lookup task panicked"))
-                        .collect()
+                    handles.into_iter().map(join_isolated).collect()
                 });
                 results.into_iter().collect::<Result<_>>()?
             }

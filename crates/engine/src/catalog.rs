@@ -9,6 +9,7 @@ use parking_lot::RwLock;
 use crate::chunk::Chunk;
 use crate::error::{EngineError, Result};
 use crate::expr::Expr;
+use crate::query::QueryContext;
 use crate::schema::SchemaRef;
 
 /// Iterator of chunks produced by one partition of a source or operator.
@@ -57,6 +58,27 @@ pub trait TableSource: Send + Sync {
         _filters: &[Expr],
     ) -> Result<ChunkIter> {
         self.scan(partition, projection)
+    }
+
+    /// Scan one partition under a query lifecycle token. Sources that run
+    /// long per-partition work (index probes, large decodes) should
+    /// override this to check `query` for cancellation between units of
+    /// work and charge it for materialized buffers; the default ignores
+    /// `query` and delegates to the plain scan methods (per-chunk
+    /// lifecycle checks still apply via the operator wrapper).
+    fn scan_with_ctx(
+        &self,
+        partition: usize,
+        projection: Option<&[usize]>,
+        filters: &[Expr],
+        query: &Arc<QueryContext>,
+    ) -> Result<ChunkIter> {
+        let _ = query;
+        if filters.is_empty() {
+            self.scan(partition, projection)
+        } else {
+            self.scan_with_filters(partition, projection, filters)
+        }
     }
 
     /// Planning statistics.

@@ -12,6 +12,14 @@ pub struct EngineConfig {
     pub broadcast_threshold_rows: usize,
     /// Preferred maximum rows per produced chunk.
     pub batch_size: usize,
+    /// Per-query cap, in bytes, on materialized buffers (shuffle buffers,
+    /// join build sides, aggregation hash tables, sort buffers). `None`
+    /// (the default) means unlimited. Exceeding it fails that query with
+    /// `ResourceExhausted`; other queries are unaffected.
+    pub query_memory_limit: Option<usize>,
+    /// Session-wide cap, in bytes, shared by all concurrent queries via a
+    /// `MemoryGovernor`. `None` (the default) means unlimited.
+    pub total_memory_limit: Option<usize>,
 }
 
 impl Default for EngineConfig {
@@ -20,6 +28,8 @@ impl Default for EngineConfig {
             target_partitions: default_parallelism(),
             broadcast_threshold_rows: 10_000,
             batch_size: 8192,
+            query_memory_limit: None,
+            total_memory_limit: None,
         }
     }
 }

@@ -283,16 +283,42 @@ impl DataFrame {
     // Actions
     // ------------------------------------------------------------------
 
-    /// Optimize + plan + execute, concatenating all partitions.
+    /// Optimize + plan + execute, concatenating all partitions. Runs
+    /// under a fresh query context carrying the session's configured
+    /// memory limits (no deadline).
     pub fn collect(&self) -> Result<Chunk> {
+        self.collect_ctx(&self.session.new_query())
+    }
+
+    /// Like [`DataFrame::collect`], but under an explicit query lifecycle
+    /// token: cancel it from another thread (`query.cancel()`) to stop
+    /// the query with `EngineError::Cancelled` within a bounded latency.
+    pub fn collect_ctx(&self, query: &Arc<crate::query::QueryContext>) -> Result<Chunk> {
         let exec = self.physical_plan()?;
-        execute_collect(&exec, &TaskContext::new(self.session.config().clone()))
+        let ctx = TaskContext::with_query(self.session.config().clone(), Arc::clone(query));
+        execute_collect(&exec, &ctx)
+    }
+
+    /// Like [`DataFrame::collect`], but stops with
+    /// `EngineError::DeadlineExceeded` if execution runs past `timeout`.
+    pub fn collect_timeout(&self, timeout: std::time::Duration) -> Result<Chunk> {
+        self.collect_ctx(&self.session.new_query_with_timeout(timeout))
     }
 
     /// Optimize + plan + execute, keeping partition boundaries.
     pub fn collect_partitions(&self) -> Result<Vec<Vec<Chunk>>> {
+        self.collect_partitions_ctx(&self.session.new_query())
+    }
+
+    /// Like [`DataFrame::collect_partitions`], under an explicit query
+    /// lifecycle token.
+    pub fn collect_partitions_ctx(
+        &self,
+        query: &Arc<crate::query::QueryContext>,
+    ) -> Result<Vec<Vec<Chunk>>> {
         let exec = self.physical_plan()?;
-        execute_collect_partitions(&exec, &TaskContext::new(self.session.config().clone()))
+        let ctx = TaskContext::with_query(self.session.config().clone(), Arc::clone(query));
+        execute_collect_partitions(&exec, &ctx)
     }
 
     /// Number of rows the query produces.

@@ -21,6 +21,22 @@ pub enum EngineError {
     Unsupported(String),
     /// Internal invariant violation — a bug in the engine.
     Internal(String),
+    /// The query was cancelled cooperatively (see `QueryContext::cancel`).
+    Cancelled,
+    /// The query ran past its deadline and was stopped cooperatively.
+    DeadlineExceeded,
+    /// A per-query or global memory budget was exceeded; the query unwound
+    /// cleanly and other in-flight queries are unaffected.
+    ResourceExhausted(String),
+    /// A single row exceeded the configured encoded-size limit (rows are
+    /// capped at `IndexConfig::max_row_size`; batches at
+    /// `IndexConfig::batch_size`).
+    RowTooLarge {
+        /// Encoded size of the offending row in bytes.
+        size: usize,
+        /// The limit that was exceeded, in bytes.
+        max: usize,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -34,6 +50,13 @@ impl fmt::Display for EngineError {
             EngineError::Execution(m) => write!(f, "execution error: {m}"),
             EngineError::Unsupported(m) => write!(f, "unsupported: {m}"),
             EngineError::Internal(m) => write!(f, "internal error (bug): {m}"),
+            EngineError::Cancelled => write!(f, "query cancelled"),
+            EngineError::DeadlineExceeded => write!(f, "query deadline exceeded"),
+            EngineError::ResourceExhausted(m) => write!(f, "resource exhausted: {m}"),
+            EngineError::RowTooLarge { size, max } => write!(
+                f,
+                "row too large: encoded row is {size} bytes; at most {max} bytes are allowed"
+            ),
         }
     }
 }
@@ -64,6 +87,43 @@ impl EngineError {
     pub fn plan(msg: impl Into<String>) -> Self {
         EngineError::Plan(msg.into())
     }
+
+    /// Build a resource-exhaustion (memory budget) error.
+    pub fn resource(msg: impl Into<String>) -> Self {
+        EngineError::ResourceExhausted(msg.into())
+    }
+
+    /// True for the cooperative-stop errors ([`EngineError::Cancelled`] and
+    /// [`EngineError::DeadlineExceeded`]) that mean the query was asked to
+    /// stop rather than that it failed.
+    pub fn is_cancellation(&self) -> bool {
+        matches!(self, EngineError::Cancelled | EngineError::DeadlineExceeded)
+    }
+}
+
+/// Run `f`, converting a panic into an [`EngineError::Internal`] carrying
+/// the panic message. Used by every scoped worker so that a panicking
+/// partition task surfaces as a query error instead of aborting the
+/// process.
+pub fn catch_panics<T>(f: impl FnOnce() -> Result<T>) -> Result<T> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        Ok(result) => result,
+        Err(payload) => Err(EngineError::Internal(format!(
+            "worker panicked: {}",
+            panic_message(payload.as_ref())
+        ))),
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
 }
 
 #[cfg(test)]
@@ -77,5 +137,29 @@ mod tests {
             "column not found: x"
         );
         assert!(EngineError::internal("oops").to_string().contains("bug"));
+        assert_eq!(EngineError::Cancelled.to_string(), "query cancelled");
+        assert!(EngineError::RowTooLarge {
+            size: 2048,
+            max: 1024
+        }
+        .to_string()
+        .contains("at most 1024 bytes"));
+    }
+
+    #[test]
+    fn cancellation_classification() {
+        assert!(EngineError::Cancelled.is_cancellation());
+        assert!(EngineError::DeadlineExceeded.is_cancellation());
+        assert!(!EngineError::resource("x").is_cancellation());
+    }
+
+    #[test]
+    fn catch_panics_converts_panics_to_internal_errors() {
+        assert_eq!(catch_panics(|| Ok(1)), Ok(1));
+        let err = catch_panics::<()>(|| panic!("kapow")).unwrap_err();
+        match err {
+            EngineError::Internal(m) => assert!(m.contains("kapow"), "got: {m}"),
+            other => panic!("expected Internal, got {other:?}"),
+        }
     }
 }

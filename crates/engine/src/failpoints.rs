@@ -1,0 +1,26 @@
+//! Named fault-injection sites in the engine's physical layer.
+//!
+//! Each constant names a site where `idf_fail::eval` is called; tests
+//! configure sites via `idf_fail::FailGuard` to return errors, panic, or
+//! delay. See the workspace `idf-fail` crate and the "Robustness" section
+//! of DESIGN.md for the full catalogue.
+
+use crate::error::{EngineError, Result};
+
+/// Start of a shuffle exchange: triggered once per `ShuffleExec`
+/// materialization, before any input chunk is buffered.
+pub const SHUFFLE_EXCHANGE: &str = "engine::shuffle::exchange";
+
+/// Start of a partition worker task inside `execute_collect_partitions`.
+pub const WORKER_START: &str = "engine::exec::worker";
+
+/// Every registered engine site, for chaos suites that iterate them.
+pub const SITES: &[&str] = &[SHUFFLE_EXCHANGE, WORKER_START];
+
+/// Evaluate the failpoint at `site`, mapping an injected error into a
+/// typed [`EngineError::Execution`] that names the site.
+#[inline]
+pub fn check(site: &str) -> Result<()> {
+    idf_fail::eval(site)
+        .map_err(|msg| EngineError::exec(format!("injected failure at {site}: {msg}")))
+}

@@ -50,11 +50,13 @@ pub mod csv;
 pub mod dataframe;
 pub mod error;
 pub mod expr;
+pub mod failpoints;
 pub mod logical;
 pub mod optimizer;
 pub mod physical;
 pub mod planner;
 pub mod pretty;
+pub mod query;
 pub mod schema;
 pub mod session;
 pub mod sql;
@@ -68,6 +70,7 @@ pub mod prelude {
     pub use crate::error::{EngineError, Result};
     pub use crate::expr::{avg, col, count, count_star, lit, max, min, sum, Expr, SortExpr};
     pub use crate::logical::JoinType;
+    pub use crate::query::{MemoryGovernor, QueryContext};
     pub use crate::schema::{Field, Schema, SchemaRef};
     pub use crate::session::Session;
     pub use crate::types::{DataType, Value};

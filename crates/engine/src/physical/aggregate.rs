@@ -201,6 +201,24 @@ impl Acc {
     }
 }
 
+/// Approximate resident bytes of one aggregation hash-table entry: the
+/// key values (with string payloads), the accumulator vec, and map
+/// overhead. Used to bill the query's memory budget.
+fn group_entry_bytes(key: &[Value], num_aggs: usize) -> usize {
+    const ENTRY_OVERHEAD: usize = 64;
+    let key_bytes: usize = key
+        .iter()
+        .map(|v| {
+            std::mem::size_of::<Value>()
+                + match v {
+                    Value::Utf8(s) => s.len(),
+                    _ => 0,
+                }
+        })
+        .sum();
+    ENTRY_OVERHEAD + key_bytes + num_aggs * std::mem::size_of::<Acc>()
+}
+
 /// Hash-based grouped aggregation over one partition.
 #[derive(Debug)]
 pub struct HashAggregateExec {
@@ -266,15 +284,19 @@ impl ExecutionPlan for HashAggregateExec {
                 .map(|a| a.arg.as_ref().map(|e| e.evaluate(&chunk)).transpose())
                 .collect::<Result<Vec<_>>>()?;
             let mut key: Vec<Value> = Vec::with_capacity(key_cols.len());
+            let mut new_group_bytes = 0usize;
             for row in 0..chunk.len() {
                 key.clear();
                 key.extend(key_cols.iter().map(|c| c.value_at(row)));
                 // Reuse the key buffer; clone only for new groups.
                 let accs = match groups.get_mut(key.as_slice()) {
                     Some(accs) => accs,
-                    None => groups
-                        .entry(key.clone())
-                        .or_insert_with(|| self.aggs.iter().map(Acc::new).collect()),
+                    None => {
+                        new_group_bytes += group_entry_bytes(&key, self.aggs.len());
+                        groups
+                            .entry(key.clone())
+                            .or_insert_with(|| self.aggs.iter().map(Acc::new).collect())
+                    }
                 };
                 for (i, acc) in accs.iter_mut().enumerate() {
                     match &arg_cols[i] {
@@ -284,6 +306,10 @@ impl ExecutionPlan for HashAggregateExec {
                     }
                 }
             }
+            // Bill hash-table growth per chunk, so an over-budget
+            // aggregation fails before the table outgrows the budget by
+            // more than one chunk's worth of groups.
+            ctx.charge_memory(new_group_bytes)?;
         }
         // Global aggregate over empty input still yields one identity row.
         if groups.is_empty() && self.group_exprs.is_empty() && partition == 0 {

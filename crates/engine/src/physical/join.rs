@@ -63,6 +63,15 @@ impl BuildTable {
         }
         Ok(BuildTable { chunk, index })
     }
+
+    /// Approximate resident bytes: materialized rows plus hash-table
+    /// entries (key vec + row-id vec overhead per distinct key).
+    pub(crate) fn approx_bytes(&self) -> usize {
+        const ENTRY_OVERHEAD: usize = 64;
+        self.chunk.byte_size()
+            + self.index.len() * ENTRY_OVERHEAD
+            + self.index.values().map(|v| v.len() * 4).sum::<usize>()
+    }
 }
 
 /// Gather the combined output chunk for matched (left_rows, right_rows).
@@ -232,6 +241,7 @@ impl ExecutionPlan for HashJoinExec {
         // Build phase: drain the left partition.
         let build_chunks: Vec<Chunk> = self.left.execute(partition, ctx)?.collect::<Result<_>>()?;
         let build = BuildTable::build(build_chunks, &build_keys)?;
+        ctx.charge_memory(build.approx_bytes())?;
         let mut matched = vec![false; build.chunk.len()];
         let track = !matches!(self.join_type, JoinType::Inner);
         // Probe phase.
@@ -324,7 +334,9 @@ impl BroadcastHashJoinExec {
                         .collect();
                 let keys: Vec<PhysicalExprRef> =
                     self.on.iter().map(|(_, r)| Arc::clone(r)).collect();
-                Ok(Arc::new(BuildTable::build(chunks, &keys)?))
+                let build = BuildTable::build(chunks, &keys)?;
+                ctx.charge_memory(build.approx_bytes())?;
+                Ok(Arc::new(build))
             })
             .clone()
     }

@@ -40,7 +40,8 @@ use std::sync::Arc;
 pub use crate::catalog::ChunkIter;
 use crate::chunk::Chunk;
 use crate::config::EngineConfig;
-use crate::error::Result;
+use crate::error::{catch_panics, Result};
+use crate::query::QueryContext;
 use crate::schema::SchemaRef;
 use crate::types::Value;
 
@@ -51,6 +52,12 @@ use crate::types::Value;
 /// tasks of a single collect, so the id identifies "one execution of one
 /// plan" — which is exactly the lifetime pipeline-breaker results cached
 /// in an [`ExecCache`] are valid for.
+///
+/// The context also carries the query's [`QueryContext`] (cancellation
+/// token, deadline, memory account); [`TaskContext::instrument`] wraps
+/// every operator's output iterator with a per-chunk lifecycle check, so
+/// cancellation and deadlines take effect within one chunk of work at
+/// every pipeline stage.
 #[derive(Debug, Clone)]
 pub struct TaskContext {
     /// Engine configuration snapshot.
@@ -58,6 +65,7 @@ pub struct TaskContext {
     /// When present, operators report per-operator metrics here
     /// (`EXPLAIN ANALYZE`).
     pub metrics: Option<Arc<MetricsRegistry>>,
+    query: Arc<QueryContext>,
     execution_id: u64,
 }
 
@@ -71,11 +79,18 @@ impl Default for TaskContext {
 static NEXT_EXECUTION_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
 
 impl TaskContext {
-    /// Context with the given configuration.
+    /// Context with the given configuration and an unbounded
+    /// [`QueryContext`] (no deadline, no memory limits).
     pub fn new(config: EngineConfig) -> Self {
+        Self::with_query(config, QueryContext::unbounded())
+    }
+
+    /// Context bound to an existing query lifecycle token.
+    pub fn with_query(config: EngineConfig, query: Arc<QueryContext>) -> Self {
         TaskContext {
             config,
             metrics: None,
+            query,
             execution_id: Self::fresh_execution_id(),
         }
     }
@@ -85,8 +100,28 @@ impl TaskContext {
         TaskContext {
             config,
             metrics: Some(registry),
+            query: QueryContext::unbounded(),
             execution_id: Self::fresh_execution_id(),
         }
+    }
+
+    /// The query lifecycle token (cancellation, deadline, memory budget)
+    /// this execution runs under.
+    pub fn query(&self) -> &Arc<QueryContext> {
+        &self.query
+    }
+
+    /// Return the typed stop error if the query was cancelled or is past
+    /// its deadline. Long-running loops that do not go through
+    /// [`TaskContext::instrument`] call this directly.
+    pub fn check_cancelled(&self) -> Result<()> {
+        self.query.check()
+    }
+
+    /// Charge `bytes` of materialized buffer against the query's memory
+    /// budgets (see [`QueryContext::charge_memory`]).
+    pub fn charge_memory(&self, bytes: usize) -> Result<()> {
+        self.query.charge_memory(bytes)
     }
 
     fn fresh_execution_id() -> u64 {
@@ -99,9 +134,13 @@ impl TaskContext {
         self.execution_id
     }
 
-    /// Attribute `iter`'s output to `plan` in the metrics registry
-    /// (no-op without one). Operators call this on their result.
+    /// Wrap `iter` with the query's per-chunk lifecycle check
+    /// (cancellation + deadline) and, when a metrics registry is present,
+    /// attribute its output to `plan`. Operators call this on their
+    /// result, which is what bounds cancellation latency to one chunk per
+    /// pipeline stage.
     pub fn instrument(&self, plan: &dyn ExecutionPlan, iter: ChunkIter) -> ChunkIter {
+        let iter = guard_lifecycle(Arc::clone(&self.query), iter);
         match &self.metrics {
             Some(registry) => {
                 let detail = plan.detail();
@@ -115,6 +154,46 @@ impl TaskContext {
             None => iter,
         }
     }
+}
+
+/// Iterator adapter that checks the query lifecycle before yielding each
+/// chunk; fused after the first error so a cancelled pipeline stops
+/// cleanly.
+struct LifecycleGuard {
+    query: Arc<QueryContext>,
+    inner: ChunkIter,
+    done: bool,
+}
+
+impl Iterator for LifecycleGuard {
+    type Item = Result<Chunk>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        if let Err(e) = self.query.check() {
+            self.done = true;
+            return Some(Err(e));
+        }
+        match self.inner.next() {
+            Some(Err(e)) => {
+                self.done = true;
+                Some(Err(e))
+            }
+            other => other,
+        }
+    }
+}
+
+/// Wrap `iter` so each `next()` first checks `query` for cancellation or
+/// an elapsed deadline.
+fn guard_lifecycle(query: Arc<QueryContext>, inner: ChunkIter) -> ChunkIter {
+    Box::new(LifecycleGuard {
+        query,
+        inner,
+        done: false,
+    })
 }
 
 /// Once-per-execution cache for pipeline-breaker results (shuffle
@@ -207,29 +286,49 @@ pub fn display_exec(plan: &dyn ExecutionPlan) -> String {
 
 /// Drain every output partition of `plan` in parallel and return the chunks
 /// per partition. This is the driver's "run the job" entry point.
+///
+/// Every partition task runs inside [`catch_panics`], so a panicking
+/// operator (or injected fault) surfaces as an [`EngineError::Internal`]
+/// on this query instead of aborting the process.
+///
+/// [`EngineError::Internal`]: crate::error::EngineError::Internal
 pub fn execute_collect_partitions(
     plan: &ExecPlanRef,
     ctx: &TaskContext,
 ) -> Result<Vec<Vec<Chunk>>> {
+    ctx.check_cancelled()?;
     let n = plan.output_partitions();
     if n == 0 {
         return Ok(Vec::new());
     }
+    let run_partition = |p: usize, ctx: &TaskContext| -> Result<Vec<Chunk>> {
+        catch_panics(|| {
+            crate::failpoints::check(crate::failpoints::WORKER_START)?;
+            plan.execute(p, ctx)?.collect()
+        })
+    };
     if n == 1 {
-        let chunks: Result<Vec<Chunk>> = plan.execute(0, ctx)?.collect();
-        return Ok(vec![chunks?]);
+        return Ok(vec![run_partition(0, ctx)?]);
     }
     let mut out: Vec<Result<Vec<Chunk>>> = Vec::with_capacity(n);
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..n)
             .map(|p| {
-                let plan = Arc::clone(plan);
                 let ctx = ctx.clone();
-                s.spawn(move || -> Result<Vec<Chunk>> { plan.execute(p, &ctx)?.collect() })
+                let run = &run_partition;
+                s.spawn(move || run(p, &ctx))
             })
             .collect();
         for h in handles {
-            out.push(h.join().expect("partition task panicked"));
+            // The body is already panic-isolated; a panicking *join* can
+            // only mean the unwind escaped `catch_unwind` (e.g. an abort),
+            // so treat it the same way instead of propagating.
+            out.push(h.join().unwrap_or_else(|payload| {
+                Err(crate::error::EngineError::Internal(format!(
+                    "partition task panicked: {}",
+                    crate::error::panic_message(payload.as_ref())
+                )))
+            }));
         }
     });
     out.into_iter().collect()

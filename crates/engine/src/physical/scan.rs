@@ -47,14 +47,14 @@ impl ExecutionPlan for SourceScanExec {
         vec![]
     }
 
-    fn execute(&self, partition: usize, _ctx: &TaskContext) -> Result<ChunkIter> {
-        let iter = if self.filters.is_empty() {
-            self.source.scan(partition, self.projection.as_deref())?
-        } else {
-            self.source
-                .scan_with_filters(partition, self.projection.as_deref(), &self.filters)?
-        };
-        Ok(_ctx.instrument(self, iter))
+    fn execute(&self, partition: usize, ctx: &TaskContext) -> Result<ChunkIter> {
+        let iter = self.source.scan_with_ctx(
+            partition,
+            self.projection.as_deref(),
+            &self.filters,
+            ctx.query(),
+        )?;
+        Ok(ctx.instrument(self, iter))
     }
 
     fn detail(&self) -> String {

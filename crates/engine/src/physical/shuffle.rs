@@ -68,6 +68,7 @@ impl ShuffleExec {
 
     fn materialize(&self, ctx: &TaskContext) -> Result<Arc<Vec<Vec<Chunk>>>> {
         self.state.get_or_try_init(ctx, || {
+            crate::failpoints::check(crate::failpoints::SHUFFLE_EXCHANGE)?;
             let n = self.num_partitions;
             let inputs = crate::physical::execute_collect_partitions(&self.input, ctx)?;
             let mut out: Vec<Vec<Chunk>> = vec![Vec::new(); n];
@@ -76,6 +77,9 @@ impl ShuffleExec {
                     if chunk.is_empty() {
                         continue;
                     }
+                    // The whole exchange is buffered until consumed; bill
+                    // it to the query's memory budget.
+                    ctx.charge_memory(chunk.byte_size())?;
                     let buckets = Self::bucket_chunk(&chunk, &self.keys, n)?;
                     for (b, rows) in buckets.into_iter().enumerate() {
                         if !rows.is_empty() {
@@ -160,9 +164,9 @@ impl ExecutionPlan for CoalesceExec {
     fn execute(&self, _partition: usize, ctx: &TaskContext) -> Result<ChunkIter> {
         let chunks = self.state.get_or_try_init(ctx, || {
             let parts = crate::physical::execute_collect_partitions(&self.input, ctx)?;
-            Ok(Arc::new(
-                parts.into_iter().flatten().collect::<Vec<Chunk>>(),
-            ))
+            let chunks: Vec<Chunk> = parts.into_iter().flatten().collect();
+            ctx.charge_memory(chunks.iter().map(Chunk::byte_size).sum())?;
+            Ok(Arc::new(chunks))
         })?;
         Ok(ctx.instrument(self, Box::new(chunks.as_ref().clone().into_iter().map(Ok))))
     }

@@ -60,6 +60,11 @@ impl ExecutionPlan for SortExec {
         if chunk.is_empty() {
             return Ok(ctx.instrument(self, Box::new(std::iter::once(Ok(chunk)))));
         }
+        // The whole input is buffered for sorting; bill it (plus the
+        // index vec) to the query's memory budget before the O(n log n)
+        // work starts.
+        ctx.charge_memory(chunk.byte_size() + chunk.len() * 4)?;
+        ctx.check_cancelled()?;
         // Evaluate all keys once, then sort row indices.
         let key_cols = self
             .keys

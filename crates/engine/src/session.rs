@@ -13,6 +13,7 @@ use crate::error::Result;
 use crate::logical::LogicalPlan;
 use crate::optimizer::{Optimizer, OptimizerRule};
 use crate::planner::{PhysicalStrategy, Planner};
+use crate::query::{MemoryGovernor, QueryContext, QueryContextBuilder};
 use crate::schema::SchemaRef;
 use crate::types::Value;
 
@@ -21,6 +22,9 @@ struct SessionState {
     config: EngineConfig,
     rules: RwLock<Vec<Arc<dyn OptimizerRule>>>,
     strategies: RwLock<Vec<Arc<dyn PhysicalStrategy>>>,
+    /// Session-wide memory budget, present when
+    /// `EngineConfig::total_memory_limit` is set; shared by every query.
+    governor: Option<Arc<MemoryGovernor>>,
 }
 
 /// A query session. Cheap to clone (shared state).
@@ -43,14 +47,46 @@ impl Session {
 
     /// Session with explicit configuration.
     pub fn with_config(config: EngineConfig) -> Self {
+        let governor = config.total_memory_limit.map(MemoryGovernor::new);
         Session {
             state: Arc::new(SessionState {
                 catalog: Catalog::new(),
                 config,
                 rules: RwLock::new(Vec::new()),
                 strategies: RwLock::new(Vec::new()),
+                governor,
             }),
         }
+    }
+
+    /// The session-wide memory governor, if `total_memory_limit` is set.
+    pub fn memory_governor(&self) -> Option<Arc<MemoryGovernor>> {
+        self.state.governor.clone()
+    }
+
+    /// A fresh [`QueryContext`] carrying the session's configured limits
+    /// (per-query memory cap, global governor; no deadline). Hold a clone
+    /// to cancel the query from another thread while it runs via
+    /// `DataFrame::collect_ctx`.
+    pub fn new_query(&self) -> Arc<QueryContext> {
+        self.query_builder().build()
+    }
+
+    /// A fresh [`QueryContext`] with the session's limits plus a deadline
+    /// of `timeout` from now.
+    pub fn new_query_with_timeout(&self, timeout: std::time::Duration) -> Arc<QueryContext> {
+        self.query_builder().timeout(timeout).build()
+    }
+
+    fn query_builder(&self) -> QueryContextBuilder {
+        let mut builder = QueryContext::builder();
+        if let Some(limit) = self.state.config.query_memory_limit {
+            builder = builder.memory_limit(limit);
+        }
+        if let Some(governor) = &self.state.governor {
+            builder = builder.governor(Arc::clone(governor));
+        }
+        builder
     }
 
     /// The session configuration.

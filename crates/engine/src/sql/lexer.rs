@@ -155,8 +155,11 @@ pub fn lex(input: &str) -> Result<Vec<Token>> {
                         }
                         Some(_) => {
                             // handle multi-byte UTF-8 correctly
-                            let rest = &input[i..];
-                            let ch = rest.chars().next().expect("non-empty");
+                            let Some(ch) = input[i..].chars().next() else {
+                                return Err(EngineError::Sql(
+                                    "unterminated string literal".to_string(),
+                                ));
+                            };
                             s.push(ch);
                             i += ch.len_utf8();
                         }
@@ -188,18 +191,30 @@ pub fn lex(input: &str) -> Result<Vec<Token>> {
                     })?));
                 }
             }
-            c if c.is_alphabetic() || c == '_' => {
-                let start = i;
-                while i < bytes.len() && ((bytes[i] as char).is_alphanumeric() || bytes[i] == b'_')
-                {
-                    i += 1;
+            _ => {
+                // Identifier start or junk. `bytes[i] as char` misreads
+                // multi-byte UTF-8 (the lead byte of 'é' looks like the
+                // alphabetic 'Ã'), so decode the real character and walk
+                // the identifier char-wise — advancing byte-wise would
+                // split a multi-byte character and panic on the slice.
+                let Some(ch) = input[i..].chars().next() else {
+                    return Err(EngineError::Sql(format!("invalid character at byte {i}")));
+                };
+                if ch.is_alphabetic() || ch == '_' {
+                    let start = i;
+                    for ch in input[i..].chars() {
+                        if ch.is_alphanumeric() || ch == '_' {
+                            i += ch.len_utf8();
+                        } else {
+                            break;
+                        }
+                    }
+                    tokens.push(Token::Ident(input[start..i].to_string()));
+                } else {
+                    return Err(EngineError::Sql(format!(
+                        "unexpected character '{ch}' at byte {i}"
+                    )));
                 }
-                tokens.push(Token::Ident(input[start..i].to_string()));
-            }
-            other => {
-                return Err(EngineError::Sql(format!(
-                    "unexpected character '{other}' at byte {i}"
-                )))
             }
         }
     }
@@ -257,5 +272,17 @@ mod tests {
     fn unicode_in_strings() {
         let t = lex("'héllo wörld'").unwrap();
         assert_eq!(t[0], Token::Str("héllo wörld".into()));
+    }
+
+    #[test]
+    fn unicode_identifiers_lex_whole() {
+        // Multi-byte identifier characters must not split: the old
+        // byte-wise walk panicked slicing 'é' in half.
+        let t = lex("SELECT é FROM tablé").unwrap();
+        assert_eq!(t[1], Token::Ident("é".into()));
+        assert_eq!(t[3], Token::Ident("tablé".into()));
+        // Non-alphabetic multi-byte junk is an error, not a panic.
+        assert!(lex("a € b").is_err());
+        assert!(lex("날짜 = 1").unwrap().contains(&Token::Eq));
     }
 }

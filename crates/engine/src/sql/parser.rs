@@ -176,7 +176,11 @@ pub enum SqlExpr {
 /// Parse one SELECT statement from `input`.
 pub fn parse(input: &str) -> Result<SelectStmt> {
     let tokens = lex(input)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        depth: 0,
+    };
     let stmt = p.parse_query()?;
     p.expect_eof()?;
     Ok(stmt)
@@ -185,6 +189,10 @@ pub fn parse(input: &str) -> Result<SelectStmt> {
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    /// Current nesting depth of `parse_query`/`parse_expr` recursion —
+    /// bounded so adversarial inputs (`((((…`) error instead of
+    /// overflowing the stack.
+    depth: usize,
 }
 
 impl Parser {
@@ -258,6 +266,21 @@ impl Parser {
         }
     }
 
+    /// Maximum recursion depth across nested subqueries and
+    /// parenthesized expressions.
+    const MAX_DEPTH: usize = 128;
+
+    fn enter(&mut self) -> Result<()> {
+        self.depth += 1;
+        if self.depth > Self::MAX_DEPTH {
+            return Err(EngineError::Sql(format!(
+                "query nesting exceeds the maximum depth of {}",
+                Self::MAX_DEPTH
+            )));
+        }
+        Ok(())
+    }
+
     const RESERVED: &'static [&'static str] = &[
         "FROM", "WHERE", "GROUP", "HAVING", "ORDER", "LIMIT", "JOIN", "INNER", "LEFT", "OUTER",
         "ON", "AS", "AND", "OR", "NOT", "IS", "NULL", "ASC", "DESC", "BY", "SELECT", "CAST",
@@ -280,6 +303,13 @@ impl Parser {
     }
 
     fn parse_query(&mut self) -> Result<SelectStmt> {
+        self.enter()?;
+        let stmt = self.parse_query_inner();
+        self.depth -= 1;
+        stmt
+    }
+
+    fn parse_query_inner(&mut self) -> Result<SelectStmt> {
         self.expect_kw("SELECT")?;
         let distinct = self.eat_kw("DISTINCT");
         let mut projection = vec![self.parse_select_item()?];
@@ -404,7 +434,10 @@ impl Parser {
 
     // Expression precedence: OR < AND < NOT < IS NULL < cmp < add < mul < unary
     fn parse_expr(&mut self) -> Result<SqlExpr> {
-        self.parse_or()
+        self.enter()?;
+        let expr = self.parse_or();
+        self.depth -= 1;
+        expr
     }
 
     fn parse_or(&mut self) -> Result<SqlExpr> {
@@ -434,10 +467,24 @@ impl Parser {
     }
 
     fn parse_not(&mut self) -> Result<SqlExpr> {
-        if self.eat_kw("NOT") {
-            return Ok(SqlExpr::Not(Box::new(self.parse_not()?)));
+        // Collect NOTs iteratively: a long `NOT NOT NOT …` chain must not
+        // recurse once per keyword. The count is still bounded — the AST
+        // it builds is walked recursively downstream (binder, drop).
+        let mut negations = 0usize;
+        while self.eat_kw("NOT") {
+            negations += 1;
         }
-        self.parse_is_null()
+        if negations > Self::MAX_DEPTH {
+            return Err(EngineError::Sql(format!(
+                "NOT chain exceeds the maximum depth of {}",
+                Self::MAX_DEPTH
+            )));
+        }
+        let mut e = self.parse_is_null()?;
+        for _ in 0..negations {
+            e = SqlExpr::Not(Box::new(e));
+        }
+        Ok(e)
     }
 
     fn parse_is_null(&mut self) -> Result<SqlExpr> {
@@ -572,10 +619,25 @@ impl Parser {
     }
 
     fn parse_unary(&mut self) -> Result<SqlExpr> {
-        if *self.peek() == Token::Minus {
+        // Collect minus signs iteratively (a `-----x` chain must not
+        // recurse once per sign), then fold them over the operand. The
+        // count is bounded: over a non-literal operand each sign adds an
+        // AST level, which downstream recursion has to walk.
+        let mut negations = 0usize;
+        while *self.peek() == Token::Minus {
             self.next();
+            negations += 1;
+        }
+        if negations > Self::MAX_DEPTH {
+            return Err(EngineError::Sql(format!(
+                "unary minus chain exceeds the maximum depth of {}",
+                Self::MAX_DEPTH
+            )));
+        }
+        let mut e = self.parse_primary()?;
+        for _ in 0..negations {
             // -literal folds; -expr becomes 0 - expr
-            return Ok(match self.parse_unary()? {
+            e = match e {
                 SqlExpr::Int(v) => SqlExpr::Int(-v),
                 SqlExpr::Float(v) => SqlExpr::Float(-v),
                 e => SqlExpr::Binary {
@@ -583,9 +645,9 @@ impl Parser {
                     op: BinaryOp::Minus,
                     right: Box::new(e),
                 },
-            });
+            };
         }
-        self.parse_primary()
+        Ok(e)
     }
 
     fn parse_primary(&mut self) -> Result<SqlExpr> {
@@ -807,6 +869,33 @@ mod tests {
     fn like_requires_string_pattern() {
         assert!(parse("SELECT * FROM t WHERE s LIKE 5").is_err());
         assert!(parse("SELECT * FROM t WHERE s NOT 5").is_err());
+    }
+
+    #[test]
+    fn deep_nesting_errors_instead_of_overflowing() {
+        // Parenthesized expressions.
+        let q = format!("SELECT {}1{} FROM t", "(".repeat(5000), ")".repeat(5000));
+        let err = parse(&q).unwrap_err();
+        assert!(err.to_string().contains("maximum depth"), "got: {err}");
+        // Nested subqueries.
+        let mut q = "SELECT a FROM t".to_string();
+        for _ in 0..5000 {
+            q = format!("SELECT a FROM ({q}) s");
+        }
+        assert!(parse(&q).is_err());
+        // Long NOT / unary-minus chains error cleanly (no per-token
+        // parser frame, and no unboundedly deep AST for the binder).
+        let q = format!("SELECT * FROM t WHERE {} a = 1", "NOT ".repeat(5000));
+        assert!(parse(&q).is_err());
+        let q = format!("SELECT {}5 FROM t", "- ".repeat(5000));
+        assert!(parse(&q).is_err());
+        let q = format!("SELECT * FROM t WHERE {} a = 1", "NOT ".repeat(40));
+        parse(&q).unwrap();
+        let q = format!("SELECT {}5 FROM t", "- ".repeat(40));
+        parse(&q).unwrap();
+        // Reasonable nesting still parses.
+        let q = format!("SELECT {}1{} FROM t", "(".repeat(40), ")".repeat(40));
+        parse(&q).unwrap();
     }
 
     #[test]

@@ -1,0 +1,112 @@
+//! The SQL front end must never panic: any junk input — truncated
+//! queries, mangled bytes, pathological nesting, multi-byte characters in
+//! odd places — produces either a plan or a typed error. Each candidate
+//! runs under `catch_unwind` so one panic fails the test with the
+//! offending input instead of aborting the suite.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use idf_engine::prelude::*;
+
+fn session() -> Session {
+    let s = Session::new();
+    let schema = Arc::new(Schema::new(vec![
+        Field::new("id", DataType::Int64),
+        Field::new("name", DataType::Utf8),
+        Field::new("age", DataType::Int64),
+    ]));
+    let rows: Vec<Vec<Value>> = (0..10)
+        .map(|i| {
+            vec![
+                Value::Int64(i),
+                Value::Utf8(format!("p{i}")),
+                Value::Int64(20 + i),
+            ]
+        })
+        .collect();
+    let chunk = Chunk::from_rows(&schema, &rows).unwrap();
+    s.register_table(
+        "t",
+        Arc::new(MemTable::from_chunk_partitioned(schema, chunk, 2).unwrap()),
+    );
+    s
+}
+
+/// `session.sql(query)` must return, not panic. The result (Ok or Err)
+/// is irrelevant here.
+fn assert_no_panic(s: &Session, query: &str) {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let _ = s.sql(query);
+    }));
+    assert!(result.is_ok(), "sql() panicked on input: {query:?}");
+}
+
+const SEEDS: &[&str] = &[
+    "SELECT id, name FROM t WHERE id = 1",
+    "SELECT * FROM t WHERE name LIKE 'p%' ORDER BY age DESC LIMIT 3",
+    "SELECT age, count(*) FROM t GROUP BY age HAVING count(*) > 1",
+    "SELECT a.id FROM t a JOIN t b ON a.id = b.age",
+    "SELECT x FROM (SELECT id AS x FROM t) sub WHERE x IN (1, 2, 3)",
+    "SELECT CAST(id AS DOUBLE) FROM t WHERE id BETWEEN 1 AND 5",
+    "SELECT id FROM t WHERE name = 'it''s -- tricky'",
+];
+
+#[test]
+fn truncated_queries_never_panic() {
+    let s = session();
+    for seed in SEEDS {
+        for (end, _) in seed.char_indices() {
+            assert_no_panic(&s, &seed[..end]);
+        }
+    }
+}
+
+#[test]
+fn mangled_queries_never_panic() {
+    let s = session();
+    let junk = ['\'', '(', ')', '.', '-', '%', 'é', '\u{0}', '🔥', '\\'];
+    for seed in SEEDS {
+        for pos in 0..seed.chars().count() {
+            for j in junk {
+                // Replace the pos-th character with a junk character.
+                let mangled: String = seed
+                    .chars()
+                    .enumerate()
+                    .map(|(i, c)| if i == pos { j } else { c })
+                    .collect();
+                assert_no_panic(&s, &mangled);
+            }
+        }
+    }
+}
+
+#[test]
+fn pathological_inputs_never_panic() {
+    let s = session();
+    let cases = [
+        String::new(),
+        " \t\n ".to_string(),
+        "SELECT".to_string(),
+        format!(
+            "SELECT {}1{} FROM t",
+            "(".repeat(10_000),
+            ")".repeat(10_000)
+        ),
+        format!("SELECT id FROM t WHERE {} id = 1", "NOT ".repeat(10_000)),
+        format!("SELECT {}1 FROM t", "-".repeat(10_000)),
+        format!("SELECT id FROM t WHERE id IN ({}1)", "1, ".repeat(5_000)),
+        "SELECT é FROM tablé WHERE é = 'ünïcödé'".to_string(),
+        "SELECT 날짜 FROM t".to_string(),
+        "SELECT id FROM t WHERE id = 99999999999999999999999999".to_string(),
+        "SELECT id FROM t WHERE id = 1e999".to_string(),
+        "'".to_string(),
+        "''".to_string(),
+        "\u{feff}SELECT id FROM t".to_string(),
+        "SELECT /*/ id FROM t".to_string(),
+        "SELECT id FROM t --".to_string(),
+    ];
+    for q in &cases {
+        assert_no_panic(&s, q);
+    }
+}
