@@ -20,6 +20,7 @@ pub mod fig3;
 pub mod json;
 pub mod lookup;
 pub mod memory;
+pub mod meta;
 pub mod speedup;
 pub mod workload;
 

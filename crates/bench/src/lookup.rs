@@ -50,6 +50,78 @@ impl LookupConfig {
     }
 }
 
+/// Delta of the process-global `idf-obs` storage counters across one
+/// benchmark run (all zeros when the `obs` feature is compiled out, so
+/// the JSON shape is stable either way).
+#[derive(Debug, Clone)]
+pub struct ObsSnapshot {
+    /// Whether `idf-obs` was compiled in for this run.
+    pub obs_enabled: bool,
+    /// cTrie probe hits during the run.
+    pub probe_hits: u64,
+    /// cTrie probe misses during the run.
+    pub probe_misses: u64,
+    /// hits / (hits + misses); 0 when no probes were recorded.
+    pub probe_hit_rate: f64,
+    /// 99th-percentile backward-pointer chain-walk length (process
+    /// lifetime — histograms cannot be delta'd).
+    pub chain_walk_p99: u64,
+    /// Rows committed through `publish_locked` during the run.
+    pub append_rows: u64,
+    /// Payload bytes appended during the run.
+    pub append_bytes: u64,
+}
+
+/// Counters we diff around the workload: (probe_hits, probe_misses,
+/// append_rows, append_bytes).
+fn obs_counters() -> (u64, u64, u64, u64) {
+    let m = idf_obs::global();
+    (
+        m.probe_hits.get(),
+        m.probe_misses.get(),
+        m.append_rows.get(),
+        m.append_bytes.get(),
+    )
+}
+
+impl ObsSnapshot {
+    fn capture(base: (u64, u64, u64, u64)) -> ObsSnapshot {
+        let (hits0, misses0, rows0, bytes0) = base;
+        let (hits1, misses1, rows1, bytes1) = obs_counters();
+        let hits = hits1.saturating_sub(hits0);
+        let misses = misses1.saturating_sub(misses0);
+        let probed = hits + misses;
+        ObsSnapshot {
+            obs_enabled: idf_obs::enabled(),
+            probe_hits: hits,
+            probe_misses: misses,
+            probe_hit_rate: if probed == 0 {
+                0.0
+            } else {
+                hits as f64 / probed as f64
+            },
+            chain_walk_p99: idf_obs::global().chain_walk.percentile(99.0),
+            append_rows: rows1.saturating_sub(rows0),
+            append_bytes: bytes1.saturating_sub(bytes0),
+        }
+    }
+}
+
+impl crate::json::ToJson for ObsSnapshot {
+    fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        Json::obj([
+            ("obs_enabled", Json::Bool(self.obs_enabled)),
+            ("probe_hits", Json::Int(self.probe_hits as i64)),
+            ("probe_misses", Json::Int(self.probe_misses as i64)),
+            ("probe_hit_rate", Json::Num(self.probe_hit_rate)),
+            ("chain_walk_p99", Json::Int(self.chain_walk_p99 as i64)),
+            ("append_rows", Json::Int(self.append_rows as i64)),
+            ("append_bytes", Json::Int(self.append_bytes as i64)),
+        ])
+    }
+}
+
 /// Results of one lookup benchmark run (the `BENCH_lookup.json` payload).
 #[derive(Debug, Clone)]
 pub struct LookupReport {
@@ -75,6 +147,13 @@ pub struct LookupReport {
     pub storm_p99_us: f64,
     /// Rows the storm writer appended while probes ran.
     pub storm_appends: usize,
+    /// `idf-obs` storage counters observed across the run.
+    pub obs: ObsSnapshot,
+    /// Git commit the numbers were produced from (`"unknown"` outside a
+    /// checkout).
+    pub git_commit: String,
+    /// ISO-8601 UTC timestamp of the run.
+    pub timestamp: String,
 }
 
 impl LookupReport {
@@ -100,6 +179,9 @@ impl crate::json::ToJson for LookupReport {
             ("storm_p50_us", Json::Num(self.storm_p50_us)),
             ("storm_p99_us", Json::Num(self.storm_p99_us)),
             ("storm_appends", Json::Int(self.storm_appends as i64)),
+            ("obs", self.obs.to_json()),
+            ("git_commit", Json::Str(self.git_commit.clone())),
+            ("timestamp", Json::Str(self.timestamp.clone())),
         ])
     }
 }
@@ -155,6 +237,7 @@ fn probe_latencies(
 
 /// Run the full lookup benchmark.
 pub fn run(cfg: &LookupConfig) -> Result<LookupReport> {
+    let obs_base = obs_counters();
     let idf = build_table(cfg.n_keys, cfg.versions)?;
     let mut rng = StdRng::seed_from_u64(0x1df_b00c);
 
@@ -220,6 +303,9 @@ pub fn run(cfg: &LookupConfig) -> Result<LookupReport> {
         storm_p50_us: percentile_us(&storm, 50.0),
         storm_p99_us: percentile_us(&storm, 99.0),
         storm_appends: appended.load(Ordering::Relaxed),
+        obs: ObsSnapshot::capture(obs_base),
+        git_commit: crate::meta::git_commit(),
+        timestamp: crate::meta::iso_timestamp(),
     })
 }
 
@@ -260,6 +346,41 @@ pub fn render(r: &LookupReport) -> String {
             "rows appended during storm".into(),
             r.storm_appends.to_string(),
         ],
+        vec![
+            "obs probe hit rate".into(),
+            if r.obs.obs_enabled {
+                format!(
+                    "{:.4} ({} hits / {} misses)",
+                    r.obs.probe_hit_rate, r.obs.probe_hits, r.obs.probe_misses
+                )
+            } else {
+                "n/a (obs compiled out)".into()
+            },
+        ],
+        vec![
+            "obs chain-walk p99".into(),
+            if r.obs.obs_enabled {
+                format!("<= {}", r.obs.chain_walk_p99)
+            } else {
+                "n/a".into()
+            },
+        ],
+        vec![
+            "obs append bytes".into(),
+            if r.obs.obs_enabled {
+                r.obs.append_bytes.to_string()
+            } else {
+                "n/a".into()
+            },
+        ],
+        vec![
+            "provenance".into(),
+            format!(
+                "{} @ {}",
+                &r.git_commit[..r.git_commit.len().min(12)],
+                r.timestamp
+            ),
+        ],
     ];
     format!(
         "== BENCH-lookup: point-lookup hot path ==\n{}",
@@ -287,8 +408,29 @@ mod tests {
         assert!(r.batch_keys_per_sec > 0.0 && r.looped_keys_per_sec > 0.0);
         assert!(r.storm_p99_us >= r.storm_p50_us);
         assert!(r.storm_appends > 0, "storm writer never ran");
+        if idf_obs::enabled() {
+            // Weak bounds only: lib tests share the process-global
+            // registry, so other tests' probes can land in the delta.
+            assert!(r.obs.obs_enabled);
+            assert!(r.obs.probe_hits > 0, "no probe hits recorded");
+            assert!(r.obs.append_rows >= r.rows as u64, "build appends missing");
+            assert!(r.obs.append_bytes > 0);
+            assert!(r.obs.probe_hit_rate > 0.0 && r.obs.probe_hit_rate <= 1.0);
+        } else {
+            assert!(!r.obs.obs_enabled);
+            assert_eq!(r.obs.probe_hits + r.obs.probe_misses, 0);
+        }
+        assert!(!r.git_commit.is_empty());
+        assert!(
+            r.timestamp.ends_with('Z'),
+            "not UTC ISO-8601: {}",
+            r.timestamp
+        );
         let json = crate::json::to_string_pretty(&r);
         assert!(json.contains("\"batch_speedup\""));
+        assert!(json.contains("\"probe_hit_rate\""));
+        assert!(json.contains("\"git_commit\""));
+        assert!(json.contains("\"timestamp\""));
     }
 
     #[test]

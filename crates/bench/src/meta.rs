@@ -1,0 +1,84 @@
+//! Provenance stamps for benchmark reports: the git commit the numbers
+//! were produced from and an ISO-8601 UTC timestamp, so `BENCH_*.json`
+//! files are diffable across PRs without guessing their origin.
+
+use std::process::Command;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// The current git commit hash, or `"unknown"` when git (or the repo)
+/// is unavailable. Never fails — benches must run outside a checkout.
+pub fn git_commit() -> String {
+    Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Now, as `YYYY-MM-DDTHH:MM:SSZ` (UTC). Hand-rolled civil-date
+/// conversion — the harness has no chrono dependency.
+pub fn iso_timestamp() -> String {
+    let secs = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    iso_from_unix(secs as i64)
+}
+
+/// Format a unix timestamp (seconds) as ISO-8601 UTC.
+pub fn iso_from_unix(secs: i64) -> String {
+    let days = secs.div_euclid(86_400);
+    let tod = secs.rem_euclid(86_400);
+    let (year, month, day) = civil_from_days(days);
+    format!(
+        "{year:04}-{month:02}-{day:02}T{:02}:{:02}:{:02}Z",
+        tod / 3600,
+        (tod / 60) % 60,
+        tod % 60,
+    )
+}
+
+/// Days-since-epoch → (year, month, day), Howard Hinnant's
+/// `civil_from_days` algorithm (public domain).
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097); // [0, 146096]
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32; // [1, 12]
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_dates_round_trip() {
+        assert_eq!(iso_from_unix(0), "1970-01-01T00:00:00Z");
+        assert_eq!(iso_from_unix(951_782_400), "2000-02-29T00:00:00Z");
+        assert_eq!(iso_from_unix(1_735_689_599), "2024-12-31T23:59:59Z");
+        assert_eq!(iso_from_unix(1_785_888_000), "2026-08-05T00:00:00Z");
+    }
+
+    #[test]
+    fn timestamp_shape() {
+        let t = iso_timestamp();
+        assert_eq!(t.len(), 20, "unexpected shape: {t}");
+        assert!(t.ends_with('Z') && t.contains('T'));
+    }
+
+    #[test]
+    fn git_commit_never_panics() {
+        let c = git_commit();
+        assert!(!c.is_empty());
+    }
+}

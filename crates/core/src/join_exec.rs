@@ -188,11 +188,15 @@ impl ExecutionPlan for IndexedJoinExec {
         let snapshot = self.table.partition(partition).snapshot();
         let mut out = Vec::new();
         for chunk in self.probe_chunks(partition, ctx)? {
+            ctx.check_cancelled()?;
             if let Some(joined) = self.join_chunk(&snapshot, &chunk, &indexed_cols)? {
                 out.push(joined);
             }
         }
-        Ok(Box::new(out.into_iter().map(Ok)))
+        // Route through the context like every other operator so the join
+        // shows up in EXPLAIN ANALYZE and respects per-chunk lifecycle
+        // checks downstream.
+        Ok(ctx.instrument(self, Box::new(out.into_iter().map(Ok))))
     }
 
     fn detail(&self) -> String {

@@ -147,6 +147,9 @@ impl IndexedPartition {
             debug_assert_eq!(old, prev_raw, "single-writer invariant violated");
         }
         self.row_count.fetch_add(1, Ordering::AcqRel);
+        let m = idf_obs::global();
+        m.append_rows.inc();
+        m.append_bytes.add(stored as u64);
         Ok(())
     }
 
@@ -177,6 +180,7 @@ impl IndexedPartition {
             },
         )?;
         batches.push(batch);
+        idf_obs::global().batch_seals.inc();
         Ok((batches.len() - 1, offset))
     }
 
@@ -187,12 +191,19 @@ impl IndexedPartition {
         let index = self.index.read_only_snapshot();
         let batches: Vec<Arc<RowBatch>> = self.batches.read().clone();
         let watermarks: Vec<usize> = batches.iter().map(|b| b.len()).collect();
+        let m = idf_obs::global();
+        m.snapshots_taken.inc();
         PartitionSnapshot {
             layout: self.layout.clone(),
             key_col: self.key_col,
             index,
             batches,
             watermarks,
+            // The clock read is the expensive part of snapshot telemetry,
+            // so only sampled snapshots carry a timestamp; the rest skip
+            // both `Instant::now()` here and `elapsed()` at probe time.
+            #[cfg(feature = "obs")]
+            created_at: m.probe_sampler.tick().then(std::time::Instant::now),
         }
     }
 
@@ -241,9 +252,23 @@ pub struct PartitionSnapshot {
     index: CTrie<Value, u64>,
     batches: Vec<Arc<RowBatch>>,
     watermarks: Vec<usize>,
+    /// When the snapshot was taken, feeding the snapshot-age histogram at
+    /// probe time. `Some` only for 1-in-`idf_obs::SAMPLE_PERIOD` snapshots
+    /// (and absent entirely in compiled-out builds), so the steady-state
+    /// probe path pays no clock reads.
+    #[cfg(feature = "obs")]
+    created_at: Option<std::time::Instant>,
 }
 
 impl PartitionSnapshot {
+    /// Whether the probe sampler picked this snapshot to carry detailed
+    /// telemetry (snapshot age, chain-walk length).
+    #[cfg(feature = "obs")]
+    #[inline]
+    fn sampled(&self) -> bool {
+        self.created_at.is_some()
+    }
+
     /// The row schema.
     pub fn schema(&self) -> &SchemaRef {
         self.layout.schema()
@@ -274,11 +299,37 @@ impl PartitionSnapshot {
                 .lookup_with_borrowed(key, |raw| RowPtr::from_raw(*raw))
                 .unwrap_or(RowPtr::NULL)
         };
+        if idf_obs::enabled() && !key.is_null() {
+            let m = idf_obs::global();
+            if head.is_null() {
+                m.probe_misses.inc();
+            } else {
+                m.probe_hits.inc();
+            }
+            self.record_probe_age();
+        }
         ChainIter {
             snapshot: self,
             next: head,
+            hit: !head.is_null(),
+            walked: 0,
         }
     }
+
+    /// Record how stale the probed snapshot is. Only snapshots the
+    /// sampler stamped carry a timestamp, so most probes skip the
+    /// `elapsed()` clock read; compiled-out builds skip it entirely.
+    #[cfg(feature = "obs")]
+    fn record_probe_age(&self) {
+        if let Some(t) = self.created_at {
+            idf_obs::global()
+                .snapshot_age_ns
+                .record(t.elapsed().as_nanos() as u64);
+        }
+    }
+
+    #[cfg(not(feature = "obs"))]
+    fn record_probe_age(&self) {}
 
     /// All rows bound to `key` as a chunk (latest first), with optional
     /// column projection. This is the paper's `getRows` on one partition.
@@ -485,9 +536,16 @@ fn finish_chunk(
 
 /// Iterator over a key's backward-pointer chain (latest row first).
 /// Fused: a corrupt pointer yields one `Err` and then terminates.
+///
+/// On drop, a chain that started from a successful probe records how many
+/// rows it walked into the global chain-walk-length histogram.
 pub struct ChainIter<'a> {
     snapshot: &'a PartitionSnapshot,
     next: RowPtr,
+    /// Whether the probe found a head (misses are not chain walks).
+    hit: bool,
+    /// Rows yielded so far.
+    walked: u32,
 }
 
 impl<'a> Iterator for ChainIter<'a> {
@@ -510,12 +568,25 @@ impl<'a> Iterator for ChainIter<'a> {
             Ok((stored, prev, payload)) => {
                 debug_assert_eq!(stored, ptr.size(), "pointer size must match stored row");
                 self.next = prev;
+                self.walked += 1;
                 Some(Ok(payload))
             }
             Err(e) => {
                 self.next = RowPtr::NULL;
                 Some(Err(e))
             }
+        }
+    }
+}
+
+impl Drop for ChainIter<'_> {
+    fn drop(&mut self) {
+        // Chain-walk length is a distribution, not an exact count, so it
+        // rides the same 1-in-N probe sample as the snapshot-age clock —
+        // unsampled probes pay only this flag check.
+        #[cfg(feature = "obs")]
+        if self.hit && self.snapshot.sampled() {
+            idf_obs::global().chain_walk.record(u64::from(self.walked));
         }
     }
 }

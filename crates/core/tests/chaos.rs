@@ -223,6 +223,70 @@ fn failed_chunk_append_is_never_partially_visible() {
     }
 }
 
+/// Query-lifecycle metrics must stay internally consistent while faults
+/// fire in the storage layer: every started query settles exactly once
+/// (finished + cancelled + failed), and the in-flight gauge returns to
+/// its baseline — no double counting, no leaks, whatever the failpoints
+/// do to the queries themselves.
+#[cfg(feature = "obs")]
+#[test]
+fn metrics_stay_consistent_under_chaos() {
+    let _s = serial();
+    idf_fail::reset();
+    let m = idf_obs::global();
+    let started0 = m.queries_started.get();
+    let settled = |m: &idf_obs::MetricsRegistry| {
+        m.queries_finished.get() + m.queries_cancelled.get() + m.queries_failed.get()
+    };
+    let settled0 = settled(m);
+    let inflight0 = m.queries_in_flight.get();
+    let cancelled0 = m.queries_cancelled.get();
+
+    let session = idf_engine::prelude::Session::new();
+    let t = table();
+    t.append_chunk(&chunk((0..64).map(|i| (i % 8, i / 8))))
+        .unwrap();
+    let indexed = idf_core::api::IndexedDataFrame::from_table(session.clone(), Arc::clone(&t));
+    indexed.register("chaos_t");
+    let df = session.sql("SELECT v FROM chaos_t WHERE k = 3").unwrap();
+
+    let mut rng = Lcg(0xC0FFEE);
+    let n = rounds().max(8);
+    for round in 0..n {
+        let site = fp::SITES[(rng.next() as usize) % fp::SITES.len()];
+        let cfg = match rng.next() % 2 {
+            0 => FailConfig::error("chaos"),
+            _ => FailConfig::panic("chaos"),
+        };
+        let guard = FailGuard::new(site, cfg.times(1 + rng.next() % 3));
+        let q = session.new_query();
+        if round % 3 == 0 {
+            q.cancel();
+        }
+        // Outcome is irrelevant — only the accounting is under test.
+        let _ = df.collect_ctx(&q);
+        drop(guard);
+    }
+    idf_fail::reset();
+
+    let started = m.queries_started.get() - started0;
+    assert!(started >= n as u64, "every round issues at least one query");
+    assert_eq!(
+        started,
+        settled(m) - settled0,
+        "every started query must settle exactly once"
+    );
+    assert!(
+        m.queries_cancelled.get() - cancelled0 >= (n as u64).div_ceil(3),
+        "pre-cancelled rounds must be counted as cancelled"
+    );
+    assert_eq!(
+        m.queries_in_flight.get(),
+        inflight0,
+        "in-flight gauge must return to baseline"
+    );
+}
+
 /// Deterministic xorshift-style generator so every run of a seed is
 /// identical.
 struct Lcg(u64);

@@ -1,0 +1,271 @@
+//! End-to-end observability: `EXPLAIN ANALYZE` per-operator counters must
+//! agree with the rows a query actually returns on the three indexed hot
+//! paths (point lookup, batched IN-list probe, indexed join), the global
+//! Prometheus exposition must show the storage counters moving under a
+//! mixed workload, and the query-lifecycle accounting must classify
+//! cancellations as `cancelled` — not `failed` — without ever wedging the
+//! registry or the slow-query log.
+
+#![cfg(feature = "obs")]
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use idf_core::prelude::*;
+use idf_engine::config::EngineConfig;
+use idf_engine::prelude::*;
+
+fn person_schema() -> SchemaRef {
+    Arc::new(Schema::new(vec![
+        Field::new("id", DataType::Int64),
+        Field::new("name", DataType::Utf8),
+        Field::new("age", DataType::Int64),
+    ]))
+}
+
+fn setup(session: &Session) -> IndexedDataFrame {
+    let rows: Vec<Vec<Value>> = (0..500)
+        .map(|i| {
+            vec![
+                Value::Int64(i),
+                Value::Utf8(format!("p{i}")),
+                Value::Int64(20 + i % 40),
+            ]
+        })
+        .collect();
+    let chunk = Chunk::from_rows(&person_schema(), &rows).unwrap();
+    session.register_table(
+        "person_plain",
+        Arc::new(MemTable::from_chunk_partitioned(person_schema(), chunk, 4).unwrap()),
+    );
+    let indexed = session
+        .table("person_plain")
+        .unwrap()
+        .create_index("id")
+        .unwrap();
+    indexed.cache().register("person");
+    indexed
+}
+
+/// The stats of the indexed scan operator (the scan with pushed key
+/// filters), or a panic listing what did execute.
+fn indexed_scan_stats(
+    registry: &idf_engine::physical::MetricsRegistry,
+) -> idf_engine::physical::OperatorStats {
+    let report = registry.report();
+    report
+        .iter()
+        .find(|s| s.key.starts_with("SourceScan") && s.key.contains("pushed="))
+        .unwrap_or_else(|| panic!("no indexed scan operator in report: {report:?}"))
+        .clone()
+}
+
+#[test]
+fn explain_analyze_point_lookup_rows_match() {
+    let session = Session::new();
+    setup(&session);
+    let df = session
+        .sql("SELECT name FROM person WHERE id = 123")
+        .unwrap();
+    let query = session.new_query();
+    let (out, exec, registry) = df.collect_instrumented(&query).unwrap();
+    assert_eq!(out.len(), 1);
+    let scan = indexed_scan_stats(&registry);
+    assert_eq!(
+        scan.rows,
+        out.len() as u64,
+        "scan rows-out must equal collected rows: {:?}",
+        registry.report()
+    );
+    // The annotated tree shows the indexed operator with actuals — and
+    // the pushed filter means there is no residual Filter doing the work.
+    let annotated = registry.render_annotated(exec.as_ref());
+    assert!(annotated.contains("pushed="), "{annotated}");
+    assert!(!annotated.contains("Filter"), "{annotated}");
+    let scan_line = annotated.lines().find(|l| l.contains("pushed=")).unwrap();
+    assert!(
+        scan_line.contains("rows=1") && scan_line.contains("time="),
+        "scan line must carry actuals: {scan_line}"
+    );
+}
+
+#[test]
+fn explain_analyze_in_list_probe_rows_match() {
+    let session = Session::new();
+    setup(&session);
+    let df = session
+        .sql("SELECT name FROM person WHERE id IN (1, 5, 123, 400)")
+        .unwrap();
+    let query = session.new_query();
+    let (out, _exec, registry) = df.collect_instrumented(&query).unwrap();
+    assert_eq!(out.len(), 4);
+    let scan = indexed_scan_stats(&registry);
+    assert_eq!(scan.rows, out.len() as u64, "{:?}", registry.report());
+}
+
+#[test]
+fn explain_analyze_indexed_join_rows_match() {
+    let session = Session::new();
+    let indexed = setup(&session);
+    let knows_schema: SchemaRef = Arc::new(Schema::new(vec![
+        Field::new("src", DataType::Int64),
+        Field::new("dst", DataType::Int64),
+    ]));
+    let knows_rows: Vec<Vec<Value>> = (0..2000)
+        .map(|i| vec![Value::Int64(i % 500), Value::Int64((i * 13 + 1) % 500)])
+        .collect();
+    let chunk = Chunk::from_rows(&knows_schema, &knows_rows).unwrap();
+    session.register_table(
+        "knows",
+        Arc::new(MemTable::from_chunk_partitioned(knows_schema, chunk, 4).unwrap()),
+    );
+    let joined = indexed
+        .join(&session.table("knows").unwrap(), "id", "src")
+        .unwrap();
+    let query = session.new_query();
+    let (out, exec, registry) = joined.collect_instrumented(&query).unwrap();
+    assert_eq!(out.len(), 2000);
+    let join = registry
+        .report()
+        .into_iter()
+        .find(|s| s.key.starts_with("IndexedJoin"))
+        .expect("IndexedJoin must be instrumented");
+    assert_eq!(join.rows, out.len() as u64);
+    assert!(
+        registry
+            .render_annotated(exec.as_ref())
+            .lines()
+            .any(|l| l.contains("IndexedJoin") && l.contains("rows=2000")),
+        "{}",
+        registry.render_annotated(exec.as_ref())
+    );
+}
+
+#[test]
+fn explain_analyze_via_sql_reports_actuals() {
+    let session = Session::new();
+    setup(&session);
+    let out = session
+        .sql("EXPLAIN ANALYZE SELECT name FROM person WHERE id = 42")
+        .unwrap()
+        .collect()
+        .unwrap();
+    let text: Vec<String> = (0..out.len())
+        .map(|r| match out.value_at(0, r) {
+            Value::Utf8(s) => s,
+            other => panic!("plan column must be text, got {other:?}"),
+        })
+        .collect();
+    let joined = text.join("\n");
+    assert!(joined.contains("Physical (analyzed)"), "{joined}");
+    assert!(joined.contains("pushed="), "{joined}");
+    assert!(joined.contains("rows=1"), "{joined}");
+    assert!(joined.contains("1 result rows"), "{joined}");
+}
+
+/// Value of a counter line in the Prometheus exposition, e.g.
+/// `idf_storage_append_rows_total 42`.
+fn expo_value(text: &str, metric: &str) -> u64 {
+    text.lines()
+        .find(|l| l.starts_with(metric) && !l.starts_with('#'))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("metric {metric} missing from exposition:\n{text}"))
+}
+
+#[test]
+fn metrics_text_nonzero_after_mixed_workload() {
+    let session = Session::new();
+    let indexed = setup(&session);
+    for i in 0..50 {
+        indexed
+            .append_row(&[
+                Value::Int64(1000 + i),
+                Value::Utf8(format!("n{i}")),
+                Value::Int64(30),
+            ])
+            .unwrap();
+    }
+    for i in 0..20i64 {
+        assert!(!indexed.get_rows_chunk(1000 + i).unwrap().is_empty());
+    }
+    let _ = indexed.get_rows_chunk(999_999i64).unwrap(); // a miss
+    let text = session.metrics_text();
+    assert!(expo_value(&text, "idf_storage_append_rows_total") >= 50);
+    assert!(expo_value(&text, "idf_storage_append_bytes_total") > 0);
+    assert!(expo_value(&text, "idf_index_probe_hits_total") >= 20);
+    assert!(expo_value(&text, "idf_index_probe_misses_total") >= 1);
+    assert!(expo_value(&text, "idf_query_started_total") >= 1);
+    // Histogram exposition is well-formed: cumulative buckets + count.
+    assert!(
+        text.contains("idf_index_chain_walk_length_bucket"),
+        "{text}"
+    );
+    assert!(text.contains("le=\"+Inf\""), "{text}");
+}
+
+#[test]
+fn cancelled_query_counts_as_cancelled_and_slow_log_stays_live() {
+    let m = idf_obs::global();
+    let cancelled0 = m.queries_cancelled.get();
+    let failed0 = m.queries_failed.get();
+
+    let config = EngineConfig {
+        slow_query_threshold: Some(Duration::ZERO),
+        ..EngineConfig::default()
+    };
+    let session = Session::with_config(config);
+    setup(&session);
+
+    // A pre-cancelled context: execution must stop with a cancellation
+    // error, counted as `cancelled`, never `failed`.
+    let df = session.sql("SELECT name FROM person WHERE id = 7").unwrap();
+    let query = session.new_query();
+    query.cancel();
+    let err = df.collect_ctx(&query).unwrap_err();
+    assert!(err.is_cancellation(), "got: {err}");
+    assert!(m.queries_cancelled.get() > cancelled0);
+    assert_eq!(
+        m.queries_failed.get(),
+        failed0,
+        "cancellation must not count as failure"
+    );
+
+    // With a zero threshold every query is "slow": both the finished and
+    // the cancelled query land in the log, labelled with their SQL text.
+    let ok = session.sql("SELECT name FROM person WHERE id = 8").unwrap();
+    assert_eq!(ok.collect().unwrap().len(), 1);
+    let entries = session.slow_queries();
+    assert!(
+        entries
+            .iter()
+            .any(|e| e.label.contains("id = 8") && e.outcome == idf_obs::QueryOutcome::Finished),
+        "finished slow query missing: {entries:?}"
+    );
+    assert!(
+        entries
+            .iter()
+            .any(|e| e.label.contains("id = 7") && e.outcome == idf_obs::QueryOutcome::Cancelled),
+        "cancelled slow query missing: {entries:?}"
+    );
+
+    // The registry never deadlocks: reading the exposition and the log
+    // while queries run concurrently always returns.
+    std::thread::scope(|s| {
+        let runner = s.spawn(|| {
+            for i in 0..50 {
+                let q = session.new_query();
+                if i % 2 == 0 {
+                    q.cancel();
+                }
+                let _ = df.collect_ctx(&q);
+            }
+        });
+        for _ in 0..50 {
+            let _ = session.metrics_text();
+            let _ = session.slow_queries();
+        }
+        runner.join().unwrap();
+    });
+    assert!(!session.metrics_text().is_empty());
+}

@@ -20,6 +20,9 @@ pub struct EngineConfig {
     /// Session-wide cap, in bytes, shared by all concurrent queries via a
     /// `MemoryGovernor`. `None` (the default) means unlimited.
     pub total_memory_limit: Option<usize>,
+    /// Queries slower than this end-to-end are recorded in the global
+    /// slow-query log (see `idf-obs`). `None` disables the log.
+    pub slow_query_threshold: Option<std::time::Duration>,
 }
 
 impl Default for EngineConfig {
@@ -30,6 +33,7 @@ impl Default for EngineConfig {
             batch_size: 8192,
             query_memory_limit: None,
             total_memory_limit: None,
+            slow_query_threshold: Some(std::time::Duration::from_millis(100)),
         }
     }
 }

@@ -13,7 +13,10 @@ use crate::chunk::Chunk;
 use crate::error::{EngineError, Result};
 use crate::expr::{Expr, SortExpr};
 use crate::logical::{JoinType, LogicalPlan};
-use crate::physical::{display_exec, execute_collect, execute_collect_partitions, TaskContext};
+use crate::physical::{
+    display_exec, execute_collect, execute_collect_partitions, ExecPlanRef, MetricsRegistry,
+    TaskContext,
+};
 use crate::schema::{Schema, SchemaRef};
 use crate::session::Session;
 use crate::types::DataType;
@@ -23,6 +26,9 @@ use crate::types::DataType;
 pub struct DataFrame {
     session: Session,
     plan: Arc<LogicalPlan>,
+    /// Original SQL text when the frame came from `Session::sql` — used
+    /// to label the slow-query log.
+    sql: Option<Arc<str>>,
 }
 
 impl DataFrame {
@@ -31,6 +37,30 @@ impl DataFrame {
         DataFrame {
             session,
             plan: Arc::new(plan),
+            sql: None,
+        }
+    }
+
+    /// Attach the originating SQL text (used by the SQL front end so the
+    /// slow-query log shows queries as written).
+    pub fn with_sql_text(mut self, sql: &str) -> Self {
+        self.sql = Some(Arc::from(sql));
+        self
+    }
+
+    /// Label identifying this query in the slow-query log: the SQL text
+    /// when known, else the root line of the logical plan.
+    fn query_label(&self) -> String {
+        match &self.sql {
+            Some(sql) => sql.to_string(),
+            None => self
+                .plan
+                .display_indent()
+                .lines()
+                .next()
+                .unwrap_or("<empty plan>")
+                .trim()
+                .to_string(),
         }
     }
 
@@ -296,7 +326,7 @@ impl DataFrame {
     pub fn collect_ctx(&self, query: &Arc<crate::query::QueryContext>) -> Result<Chunk> {
         let exec = self.physical_plan()?;
         let ctx = TaskContext::with_query(self.session.config().clone(), Arc::clone(query));
-        execute_collect(&exec, &ctx)
+        self.track_query(query, || execute_collect(&exec, &ctx))
     }
 
     /// Like [`DataFrame::collect`], but stops with
@@ -318,7 +348,49 @@ impl DataFrame {
     ) -> Result<Vec<Vec<Chunk>>> {
         let exec = self.physical_plan()?;
         let ctx = TaskContext::with_query(self.session.config().clone(), Arc::clone(query));
-        execute_collect_partitions(&exec, &ctx)
+        self.track_query(query, || execute_collect_partitions(&exec, &ctx))
+    }
+
+    /// Run `run` with query-lifecycle accounting: started/finished/
+    /// cancelled/failed counters, the end-to-end latency histogram, the
+    /// peak-memory high-water mark, and — past the configured threshold —
+    /// a slow-query log entry. Compiles to a plain `run()` call when the
+    /// `obs` feature is off.
+    fn track_query<T>(
+        &self,
+        query: &Arc<crate::query::QueryContext>,
+        run: impl FnOnce() -> Result<T>,
+    ) -> Result<T> {
+        if !idf_obs::enabled() {
+            return run();
+        }
+        let m = idf_obs::global();
+        m.queries_started.inc();
+        m.queries_in_flight.add(1);
+        let start = std::time::Instant::now();
+        let result = run();
+        let elapsed = start.elapsed();
+        m.queries_in_flight.sub(1);
+        m.query_latency_ns.record(elapsed.as_nanos() as u64);
+        m.query_peak_memory_bytes
+            .set_max(query.memory_peak() as i64);
+        let outcome = match &result {
+            Ok(_) => idf_obs::QueryOutcome::Finished,
+            Err(e) if e.is_cancellation() => idf_obs::QueryOutcome::Cancelled,
+            Err(_) => idf_obs::QueryOutcome::Failed,
+        };
+        match outcome {
+            idf_obs::QueryOutcome::Finished => m.queries_finished.inc(),
+            idf_obs::QueryOutcome::Cancelled => m.queries_cancelled.inc(),
+            idf_obs::QueryOutcome::Failed => m.queries_failed.inc(),
+        }
+        if let Some(threshold) = self.session.config().slow_query_threshold {
+            if elapsed >= threshold {
+                m.slow_queries
+                    .push(self.query_label(), elapsed.as_nanos() as u64, outcome);
+            }
+        }
+        result
     }
 
     /// Number of rows the query produces.
@@ -344,20 +416,37 @@ impl DataFrame {
         self.session.planner().create_plan(&optimized)
     }
 
-    /// Execute the query with per-operator instrumentation and return the
-    /// physical plan annotated with a metrics table (`EXPLAIN ANALYZE`).
-    pub fn explain_analyze(&self) -> Result<String> {
+    /// Execute the query with per-operator instrumentation under a fresh
+    /// query context; returns the collected result, the executed physical
+    /// plan, and the per-operator metrics. This is the programmatic form
+    /// of `EXPLAIN ANALYZE`.
+    pub fn collect_instrumented(
+        &self,
+        query: &Arc<crate::query::QueryContext>,
+    ) -> Result<(Chunk, ExecPlanRef, Arc<MetricsRegistry>)> {
         let exec = self.physical_plan()?;
-        let registry = Arc::new(crate::physical::MetricsRegistry::new());
-        let ctx = crate::physical::TaskContext::with_metrics(
+        let registry = Arc::new(MetricsRegistry::new());
+        let ctx = TaskContext::with_query_metrics(
             self.session.config().clone(),
+            Arc::clone(query),
             Arc::clone(&registry),
         );
-        let out = execute_collect(&exec, &ctx)?;
+        let out = self.track_query(query, || execute_collect(&exec, &ctx))?;
+        Ok((out, exec, registry))
+    }
+
+    /// Execute the query with per-operator instrumentation and return the
+    /// physical plan tree annotated with each operator's actual rows,
+    /// chunks, bytes, and time, followed by the aggregate metrics table
+    /// (`EXPLAIN ANALYZE`).
+    pub fn explain_analyze(&self) -> Result<String> {
+        let query = self.session.new_query();
+        let (out, exec, registry) = self.collect_instrumented(&query)?;
         Ok(format!(
-            "== Physical ==\n{}== Metrics ({} result rows) ==\n{}",
-            display_exec(exec.as_ref()),
+            "== Physical (analyzed) ==\n{}== Metrics ({} result rows, peak memory {} bytes) ==\n{}",
+            registry.render_annotated(exec.as_ref()),
             out.len(),
+            query.memory_peak(),
             registry.render(),
         ))
     }
@@ -400,6 +489,8 @@ impl DataFrame {
         DataFrame {
             session: self.session.clone(),
             plan: Arc::new(plan),
+            // A derived frame is no longer the query the SQL text named.
+            sql: None,
         }
     }
 }

@@ -23,10 +23,42 @@ pub struct OperatorMetrics {
     pub rows: AtomicU64,
     /// Chunks produced.
     pub chunks: AtomicU64,
+    /// Estimated bytes of produced chunks.
+    pub bytes: AtomicU64,
     /// Nanoseconds spent producing them (summed across partitions).
     pub elapsed_ns: AtomicU64,
     /// Partition executions.
     pub invocations: AtomicU64,
+}
+
+/// Point-in-time snapshot of one operator's counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OperatorStats {
+    /// Operator key: `"{name}: {detail}"` (or just the name).
+    pub key: String,
+    /// Rows produced.
+    pub rows: u64,
+    /// Chunks produced.
+    pub chunks: u64,
+    /// Estimated bytes of produced chunks.
+    pub bytes: u64,
+    /// Nanoseconds spent producing them (summed across partitions).
+    pub elapsed_ns: u64,
+    /// Partition executions.
+    pub invocations: u64,
+}
+
+impl OperatorMetrics {
+    fn stats(&self, key: &str) -> OperatorStats {
+        OperatorStats {
+            key: key.to_string(),
+            rows: self.rows.load(Ordering::Relaxed),
+            chunks: self.chunks.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+            elapsed_ns: self.elapsed_ns.load(Ordering::Relaxed),
+            invocations: self.invocations.load(Ordering::Relaxed),
+        }
+    }
 }
 
 /// Registry shared by all operators of one query execution.
@@ -47,23 +79,16 @@ impl MetricsRegistry {
     }
 
     /// Snapshot of all operators, sorted by elapsed time descending.
-    pub fn report(&self) -> Vec<(String, u64, u64, u64, u64)> {
-        let mut rows: Vec<(String, u64, u64, u64, u64)> = self
-            .ops
-            .lock()
-            .iter()
-            .map(|(k, m)| {
-                (
-                    k.clone(),
-                    m.rows.load(Ordering::Relaxed),
-                    m.chunks.load(Ordering::Relaxed),
-                    m.elapsed_ns.load(Ordering::Relaxed),
-                    m.invocations.load(Ordering::Relaxed),
-                )
-            })
-            .collect();
-        rows.sort_by_key(|r| std::cmp::Reverse(r.3));
+    pub fn report(&self) -> Vec<OperatorStats> {
+        let mut rows: Vec<OperatorStats> =
+            self.ops.lock().iter().map(|(k, m)| m.stats(k)).collect();
+        rows.sort_by_key(|r| std::cmp::Reverse(r.elapsed_ns));
         rows
+    }
+
+    /// The stats snapshot for one operator key, if it executed.
+    pub fn operator_stats(&self, key: &str) -> Option<OperatorStats> {
+        self.ops.lock().get(key).map(|m| m.stats(key))
     }
 
     /// Render the report as an ASCII table.
@@ -72,23 +97,61 @@ impl MetricsRegistry {
             "operator".to_string(),
             "rows".to_string(),
             "chunks".to_string(),
+            "bytes".to_string(),
             "time [ms]".to_string(),
             "partitions".to_string(),
         ];
         let body: Vec<Vec<String>> = self
             .report()
             .into_iter()
-            .map(|(k, rows, chunks, ns, inv)| {
+            .map(|s| {
                 vec![
-                    k,
-                    rows.to_string(),
-                    chunks.to_string(),
-                    format!("{:.3}", ns as f64 / 1e6),
-                    inv.to_string(),
+                    s.key,
+                    s.rows.to_string(),
+                    s.chunks.to_string(),
+                    s.bytes.to_string(),
+                    format!("{:.3}", s.elapsed_ns as f64 / 1e6),
+                    s.invocations.to_string(),
                 ]
             })
             .collect();
         crate::pretty::format_table(&headers, &body)
+    }
+
+    /// Render a physical plan tree with each node annotated by its actual
+    /// execution stats (`EXPLAIN ANALYZE`). Nodes sharing a key (same
+    /// name + detail) show the same aggregated counters.
+    pub fn render_annotated(&self, plan: &dyn crate::physical::ExecutionPlan) -> String {
+        fn rec(
+            reg: &MetricsRegistry,
+            plan: &dyn crate::physical::ExecutionPlan,
+            out: &mut String,
+            indent: usize,
+        ) {
+            out.push_str(&"  ".repeat(indent));
+            let key = crate::physical::operator_key(plan);
+            out.push_str(&key);
+            match reg.operator_stats(&key) {
+                Some(s) => {
+                    out.push_str(&format!(
+                        "  [rows={} chunks={} bytes={} time={:.3}ms partitions={}]",
+                        s.rows,
+                        s.chunks,
+                        s.bytes,
+                        s.elapsed_ns as f64 / 1e6,
+                        s.invocations
+                    ));
+                }
+                None => out.push_str("  [not executed]"),
+            }
+            out.push('\n');
+            for c in plan.children() {
+                rec(reg, c.as_ref(), out, indent + 1);
+            }
+        }
+        let mut s = String::new();
+        rec(self, plan, &mut s, 0);
+        s
     }
 }
 
@@ -120,6 +183,9 @@ impl Iterator for InstrumentedIter {
                 .rows
                 .fetch_add(chunk.len() as u64, Ordering::Relaxed);
             self.metrics.chunks.fetch_add(1, Ordering::Relaxed);
+            self.metrics
+                .bytes
+                .fetch_add(chunk.byte_size() as u64, Ordering::Relaxed);
         }
         item
     }
@@ -145,7 +211,7 @@ mod tests {
         assert_eq!(m.invocations.load(Ordering::Relaxed), 1);
         let report = reg.report();
         assert_eq!(report.len(), 1);
-        assert_eq!(report[0].1, 15);
+        assert_eq!(report[0].rows, 15);
         assert!(reg.render().contains("Scan: t"));
     }
 
@@ -157,7 +223,11 @@ mod tests {
             let chunks: Vec<crate::error::Result<Chunk>> = vec![Ok(Chunk::new_empty_columns(1))];
             let _ = instrument(m, Box::new(chunks.into_iter())).count();
         }
-        assert_eq!(reg.report()[0].4, 3, "three partition invocations");
-        assert_eq!(reg.report()[0].1, 3);
+        assert_eq!(
+            reg.report()[0].invocations,
+            3,
+            "three partition invocations"
+        );
+        assert_eq!(reg.report()[0].rows, 3);
     }
 }

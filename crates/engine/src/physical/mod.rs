@@ -27,7 +27,7 @@ pub use expr::{create_physical_expr, evaluate_predicate, PhysicalExpr, PhysicalE
 pub use filter::FilterExec;
 pub use join::{BroadcastHashJoinExec, HashJoinExec};
 pub use limit::LimitExec;
-pub use metrics::MetricsRegistry;
+pub use metrics::{MetricsRegistry, OperatorStats};
 pub use project::ProjectionExec;
 pub use scan::{SourceScanExec, ValuesExec};
 pub use shuffle::{CoalesceExec, ShuffleExec};
@@ -97,10 +97,21 @@ impl TaskContext {
 
     /// Context that records per-operator metrics into `registry`.
     pub fn with_metrics(config: EngineConfig, registry: Arc<MetricsRegistry>) -> Self {
+        Self::with_query_metrics(config, QueryContext::unbounded(), registry)
+    }
+
+    /// Context bound to a query lifecycle token that also records
+    /// per-operator metrics into `registry` (`EXPLAIN ANALYZE` under
+    /// cancellation/deadline/memory budgets).
+    pub fn with_query_metrics(
+        config: EngineConfig,
+        query: Arc<QueryContext>,
+        registry: Arc<MetricsRegistry>,
+    ) -> Self {
         TaskContext {
             config,
             metrics: Some(registry),
-            query: QueryContext::unbounded(),
+            query,
             execution_id: Self::fresh_execution_id(),
         }
     }
@@ -142,15 +153,7 @@ impl TaskContext {
     pub fn instrument(&self, plan: &dyn ExecutionPlan, iter: ChunkIter) -> ChunkIter {
         let iter = guard_lifecycle(Arc::clone(&self.query), iter);
         match &self.metrics {
-            Some(registry) => {
-                let detail = plan.detail();
-                let key = if detail.is_empty() {
-                    plan.name().to_string()
-                } else {
-                    format!("{}: {}", plan.name(), detail)
-                };
-                metrics::instrument(registry.operator(&key), iter)
-            }
+            Some(registry) => metrics::instrument(registry.operator(&operator_key(plan)), iter),
             None => iter,
         }
     }
@@ -263,6 +266,19 @@ pub trait ExecutionPlan: Send + Sync + fmt::Debug {
 
 /// Shared physical plan handle.
 pub type ExecPlanRef = Arc<dyn ExecutionPlan>;
+
+/// The key operator metrics are recorded and looked up under:
+/// `"{name}: {detail}"`, or just the name when there is no detail.
+/// Nodes with identical keys (e.g. two scans of the same table)
+/// aggregate into one entry.
+pub fn operator_key(plan: &dyn ExecutionPlan) -> String {
+    let detail = plan.detail();
+    if detail.is_empty() {
+        plan.name().to_string()
+    } else {
+        format!("{}: {}", plan.name(), detail)
+    }
+}
 
 /// Render a physical plan tree as indented text.
 pub fn display_exec(plan: &dyn ExecutionPlan) -> String {

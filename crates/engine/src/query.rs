@@ -110,6 +110,7 @@ impl QueryContextBuilder {
             deadline: self.deadline,
             memory_limit: self.memory_limit,
             memory_used: AtomicUsize::new(0),
+            memory_peak: AtomicUsize::new(0),
             governor: self.governor,
         })
     }
@@ -124,6 +125,7 @@ pub struct QueryContext {
     deadline: Option<Instant>,
     memory_limit: Option<usize>,
     memory_used: AtomicUsize,
+    memory_peak: AtomicUsize,
     governor: Option<Arc<MemoryGovernor>>,
 }
 
@@ -191,6 +193,7 @@ impl QueryContext {
                 )));
             }
         }
+        self.memory_peak.fetch_max(prev + bytes, Ordering::Relaxed);
         Ok(())
     }
 
@@ -208,6 +211,11 @@ impl QueryContext {
     /// Bytes currently charged to this query.
     pub fn memory_used(&self) -> usize {
         self.memory_used.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of bytes charged to this query.
+    pub fn memory_peak(&self) -> usize {
+        self.memory_peak.load(Ordering::Relaxed)
     }
 }
 

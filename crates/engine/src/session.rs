@@ -177,6 +177,20 @@ impl Session {
         crate::sql::plan_sql(self, query)
     }
 
+    /// The process-global metrics in Prometheus text exposition format:
+    /// storage counters (appends, probes, chain walks), query lifecycle
+    /// counters, and latency histograms. Empty string when the `obs`
+    /// feature is compiled out.
+    pub fn metrics_text(&self) -> String {
+        idf_obs::global().prometheus()
+    }
+
+    /// Entries currently retained in the global slow-query log (queries
+    /// slower than `EngineConfig::slow_query_threshold`), oldest first.
+    pub fn slow_queries(&self) -> Vec<idf_obs::SlowQueryEntry> {
+        idf_obs::global().slow_queries.entries()
+    }
+
     /// The optimizer for this session (built-ins + registered rules).
     pub fn optimizer(&self) -> Optimizer {
         Optimizer::with_rules(self.state.rules.read().clone())

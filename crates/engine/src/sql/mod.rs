@@ -11,14 +11,42 @@ pub mod lexer;
 pub mod parser;
 
 pub use binder::to_expr;
-pub use parser::parse;
+pub use parser::{parse, parse_statement, Statement};
+
+use std::sync::Arc;
 
 use crate::dataframe::DataFrame;
 use crate::error::Result;
+use crate::schema::{Field, Schema};
 use crate::session::Session;
+use crate::types::{DataType, Value};
 
 /// Parse `query` and bind it against `session`'s catalog.
+///
+/// `EXPLAIN <select>` returns a frame of plan text (one `plan` column,
+/// one row per line: logical → optimized → physical). `EXPLAIN ANALYZE
+/// <select>` *executes the query at planning time* and returns the
+/// physical tree annotated with actual per-operator rows/chunks/bytes/
+/// time.
 pub fn plan_sql(session: &Session, query: &str) -> Result<DataFrame> {
-    let stmt = parser::parse(query)?;
-    binder::bind(session, &stmt)
+    match parser::parse_statement(query)? {
+        Statement::Select(stmt) => Ok(binder::bind(session, &stmt)?.with_sql_text(query)),
+        Statement::Explain {
+            analyze,
+            query: stmt,
+        } => {
+            let df = binder::bind(session, &stmt)?;
+            let text = if analyze {
+                df.explain_analyze()?
+            } else {
+                df.explain()?
+            };
+            let schema = Arc::new(Schema::new(vec![Field::new("plan", DataType::Utf8)]));
+            let rows: Vec<Vec<Value>> = text
+                .lines()
+                .map(|line| vec![Value::Utf8(line.to_string())])
+                .collect();
+            Ok(session.create_dataframe(schema, rows))
+        }
+    }
 }

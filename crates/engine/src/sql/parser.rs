@@ -173,6 +173,21 @@ pub enum SqlExpr {
     },
 }
 
+/// A top-level SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// A plain SELECT query.
+    Select(SelectStmt),
+    /// `EXPLAIN [ANALYZE] <select>`: render (and for ANALYZE, execute and
+    /// annotate) the query plan instead of returning its rows.
+    Explain {
+        /// `true` for `EXPLAIN ANALYZE`.
+        analyze: bool,
+        /// The query being explained.
+        query: SelectStmt,
+    },
+}
+
 /// Parse one SELECT statement from `input`.
 pub fn parse(input: &str) -> Result<SelectStmt> {
     let tokens = lex(input)?;
@@ -182,6 +197,33 @@ pub fn parse(input: &str) -> Result<SelectStmt> {
         depth: 0,
     };
     let stmt = p.parse_query()?;
+    p.expect_eof()?;
+    Ok(stmt)
+}
+
+/// Parse one top-level statement from `input`: a SELECT query,
+/// optionally prefixed by `EXPLAIN` or `EXPLAIN ANALYZE`.
+pub fn parse_statement(input: &str) -> Result<Statement> {
+    let tokens = lex(input)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        depth: 0,
+    };
+    let stmt = if p.eat_kw("EXPLAIN") {
+        let analyze = p.eat_kw("ANALYZE");
+        if p.at_kw("EXPLAIN") {
+            return Err(EngineError::Sql(
+                "EXPLAIN cannot be nested: EXPLAIN takes a SELECT query".to_string(),
+            ));
+        }
+        Statement::Explain {
+            analyze,
+            query: p.parse_query()?,
+        }
+    } else {
+        Statement::Select(p.parse_query()?)
+    };
     p.expect_eof()?;
     Ok(stmt)
 }
@@ -284,7 +326,7 @@ impl Parser {
     const RESERVED: &'static [&'static str] = &[
         "FROM", "WHERE", "GROUP", "HAVING", "ORDER", "LIMIT", "JOIN", "INNER", "LEFT", "OUTER",
         "ON", "AS", "AND", "OR", "NOT", "IS", "NULL", "ASC", "DESC", "BY", "SELECT", "CAST",
-        "TRUE", "FALSE", "UNION", "DISTINCT", "IN", "LIKE", "BETWEEN",
+        "TRUE", "FALSE", "UNION", "DISTINCT", "IN", "LIKE", "BETWEEN", "EXPLAIN", "ANALYZE",
     ];
 
     /// An alias candidate: identifier that is not a reserved keyword.

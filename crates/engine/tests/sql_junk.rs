@@ -110,3 +110,81 @@ fn pathological_inputs_never_panic() {
         assert_no_panic(&s, q);
     }
 }
+
+/// EXPLAIN runs the planner (and for ANALYZE, the executor) at planning
+/// time — junk behind the EXPLAIN prefix must still come back as a typed
+/// error, never a panic.
+#[test]
+fn explain_prefixed_junk_never_panics() {
+    let s = session();
+    for seed in SEEDS {
+        for prefix in ["EXPLAIN ", "EXPLAIN ANALYZE "] {
+            assert_no_panic(&s, &format!("{prefix}{seed}"));
+            // Truncations of the prefixed query, covering cut-offs both
+            // inside the EXPLAIN keywords and inside the payload.
+            let full = format!("{prefix}{seed}");
+            for (end, _) in full.char_indices().step_by(3) {
+                assert_no_panic(&s, &full[..end]);
+            }
+        }
+    }
+}
+
+#[test]
+fn explain_of_broken_queries_is_typed_error() {
+    let s = session();
+    let cases = [
+        "EXPLAIN",
+        "EXPLAIN ANALYZE",
+        "EXPLAIN SELEC id FROM t",
+        "EXPLAIN ANALYZE SELECT FROM WHERE",
+        "EXPLAIN SELECT id FROM no_such_table",
+        "EXPLAIN ANALYZE SELECT id FROM t WHERE",
+        "EXPLAIN SELECT id FROM t; DROP TABLE t",
+        "EXPLAIN 🔥",
+    ];
+    for q in cases {
+        let err = match s.sql(q) {
+            Err(e) => e,
+            Ok(_) => panic!("expected error for {q:?}"),
+        };
+        // Typed error, and displayable without panicking.
+        let _ = err.to_string();
+    }
+}
+
+#[test]
+fn nested_explain_is_rejected_not_planned() {
+    let s = session();
+    for q in [
+        "EXPLAIN EXPLAIN SELECT id FROM t",
+        "EXPLAIN ANALYZE EXPLAIN SELECT id FROM t",
+        "EXPLAIN EXPLAIN ANALYZE SELECT id FROM t",
+    ] {
+        let err = match s.sql(q) {
+            Err(e) => e,
+            Ok(_) => panic!("expected error for {q:?}"),
+        };
+        assert!(
+            err.to_string().to_lowercase().contains("explain"),
+            "error for {q:?} should mention EXPLAIN, got: {err}"
+        );
+    }
+}
+
+/// Well-formed EXPLAIN still works end to end (guards against the junk
+/// tests passing because EXPLAIN is broken outright).
+#[test]
+fn explain_happy_path_produces_plan_rows() {
+    let s = session();
+    let out = s
+        .sql("EXPLAIN SELECT id FROM t WHERE id = 1")
+        .unwrap()
+        .collect()
+        .unwrap();
+    assert!(!out.is_empty(), "EXPLAIN returned no plan rows");
+    let all: String = (0..out.len())
+        .map(|r| format!("{:?}", out.value_at(0, r)))
+        .collect();
+    assert!(all.contains("Logical") || all.contains("Physical"));
+}

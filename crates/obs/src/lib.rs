@@ -1,0 +1,113 @@
+//! Lock-minimal observability core for the indexed-dataframe engine.
+//!
+//! The crate provides four primitives — [`Counter`] (sharded atomic,
+//! exact totals), [`Gauge`] (signed level / high-water mark),
+//! [`Histogram`] (fixed log2-bucket latency histogram with monotone
+//! p50/p95/p99 readout) and [`SlowQueryLog`] (bounded ring buffer) —
+//! plus a process-global [`MetricsRegistry`] that owns one well-known
+//! instance of each engine metric and renders them all as Prometheus
+//! text exposition.
+//!
+//! Everything is behind the default-on `obs` feature. With the feature
+//! disabled (`--no-default-features`) the same API exists but every
+//! method is an inlined no-op and every readout returns zero — callers
+//! never need `#[cfg]` guards, mirroring the `idf-fail` crate.
+//!
+//! # Example
+//!
+//! ```
+//! let m = idf_obs::global();
+//! m.probe_hits.inc();
+//! m.chain_walk.record(3);
+//! let text = m.prometheus();
+//! if idf_obs::enabled() {
+//!     assert!(text.contains("idf_index_probe_hits_total"));
+//! }
+//! ```
+
+#![deny(missing_docs)]
+
+/// `true` when the `obs` feature is compiled in. Callers may use this to
+/// skip *argument computation* (e.g. reading a clock) that would
+/// otherwise be paid even though the recording itself is a no-op.
+#[inline(always)]
+pub const fn enabled() -> bool {
+    cfg!(feature = "obs")
+}
+
+/// How a tracked query ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryOutcome {
+    /// Ran to completion and returned rows (or an empty result).
+    Finished,
+    /// Stopped by explicit cancellation or a deadline.
+    Cancelled,
+    /// Stopped by any other error.
+    Failed,
+}
+
+impl QueryOutcome {
+    /// Stable lowercase label used in logs and exposition.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            QueryOutcome::Finished => "finished",
+            QueryOutcome::Cancelled => "cancelled",
+            QueryOutcome::Failed => "failed",
+        }
+    }
+}
+
+/// One recorded slow query.
+#[derive(Debug, Clone)]
+pub struct SlowQueryEntry {
+    /// Monotonically increasing sequence number (process-wide).
+    pub seq: u64,
+    /// Human-readable description — the SQL text or plan root.
+    pub label: String,
+    /// End-to-end wall time in nanoseconds.
+    pub elapsed_ns: u64,
+    /// How the query ended.
+    pub outcome: QueryOutcome,
+}
+
+/// Point-in-time percentile readout of a [`Histogram`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of all recorded values.
+    pub sum: u64,
+    /// 50th percentile (bucket upper bound).
+    pub p50: u64,
+    /// 95th percentile (bucket upper bound).
+    pub p95: u64,
+    /// 99th percentile (bucket upper bound).
+    pub p99: u64,
+}
+
+#[cfg(feature = "obs")]
+mod counter;
+#[cfg(feature = "obs")]
+mod histogram;
+#[cfg(feature = "obs")]
+mod registry;
+#[cfg(feature = "obs")]
+mod sampler;
+
+#[cfg(feature = "obs")]
+pub use counter::{Counter, Gauge};
+#[cfg(feature = "obs")]
+pub use histogram::Histogram;
+#[cfg(feature = "obs")]
+pub use registry::{global, MetricsRegistry, SlowQueryLog, SLOW_LOG_CAPACITY};
+#[cfg(feature = "obs")]
+pub use sampler::{Sampler, SAMPLE_PERIOD};
+
+#[cfg(not(feature = "obs"))]
+mod noop;
+
+#[cfg(not(feature = "obs"))]
+pub use noop::{
+    global, Counter, Gauge, Histogram, MetricsRegistry, Sampler, SlowQueryLog, SAMPLE_PERIOD,
+    SLOW_LOG_CAPACITY,
+};

@@ -1,0 +1,384 @@
+//! Process-global metrics registry, slow-query log, and Prometheus
+//! text exposition.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock, PoisonError};
+
+use crate::histogram::{bucket_upper_bound, BUCKETS};
+use crate::{Counter, Gauge, Histogram, QueryOutcome, SlowQueryEntry};
+
+/// Maximum entries retained by the slow-query log; older entries are
+/// evicted FIFO.
+pub const SLOW_LOG_CAPACITY: usize = 128;
+
+/// Bounded ring buffer of slow queries. `push` takes a short mutex
+/// critical section (a deque rotate) and is only reached for queries
+/// that already blew the slowness threshold, so it is never on a hot
+/// path and can never deadlock against metric reads (counters and
+/// histograms are lock-free).
+#[derive(Default)]
+pub struct SlowQueryLog {
+    entries: Mutex<VecDeque<SlowQueryEntry>>,
+    next_seq: AtomicU64,
+}
+
+impl SlowQueryLog {
+    /// New empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<SlowQueryEntry>> {
+        self.entries.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Record a slow query, evicting the oldest entry when full.
+    pub fn push(&self, label: impl Into<String>, elapsed_ns: u64, outcome: QueryOutcome) {
+        let entry = SlowQueryEntry {
+            seq: self.next_seq.fetch_add(1, Ordering::Relaxed),
+            label: label.into(),
+            elapsed_ns,
+            outcome,
+        };
+        let mut q = self.lock();
+        if q.len() == SLOW_LOG_CAPACITY {
+            q.pop_front();
+        }
+        q.push_back(entry);
+    }
+
+    /// All retained entries, oldest first.
+    pub fn entries(&self) -> Vec<SlowQueryEntry> {
+        self.lock().iter().cloned().collect()
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// `true` when nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop all retained entries (test support).
+    pub fn reset(&self) {
+        self.lock().clear();
+    }
+}
+
+impl std::fmt::Debug for SlowQueryLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("SlowQueryLog").field(&self.len()).finish()
+    }
+}
+
+/// The engine's metric inventory. One process-global instance lives
+/// behind [`global`]; tests may build private instances.
+///
+/// Every field is individually lock-free (the slow log uses a short
+/// mutex but sits off the hot path), so storage and operator code may
+/// hit these from arbitrary threads.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    // Storage layer.
+    /// Rows published by `append_chunk` across all tables.
+    pub append_rows: Counter,
+    /// Encoded payload bytes published by `append_chunk`.
+    pub append_bytes: Counter,
+    /// Row batches sealed (rolled over) by appends.
+    pub batch_seals: Counter,
+    /// Immutable partition snapshots taken.
+    pub snapshots_taken: Counter,
+    /// Age of a partition snapshot at probe time, nanoseconds.
+    /// Sampled 1-in-[`crate::SAMPLE_PERIOD`] by [`Self::probe_sampler`]
+    /// so the probe hot path pays no clock read on unsampled events.
+    pub snapshot_age_ns: Histogram,
+    /// Gates the clock reads behind [`Self::snapshot_age_ns`].
+    pub probe_sampler: crate::Sampler,
+
+    // Index probe path.
+    /// cTrie probes that found the key.
+    pub probe_hits: Counter,
+    /// cTrie probes that missed.
+    pub probe_misses: Counter,
+    /// Version-chain rows walked per successful probe.
+    pub chain_walk: Histogram,
+
+    // Query lifecycle (session layer).
+    /// Queries that began executing.
+    pub queries_started: Counter,
+    /// Queries that ran to completion.
+    pub queries_finished: Counter,
+    /// Queries stopped by cancellation or deadline.
+    pub queries_cancelled: Counter,
+    /// Queries stopped by any other error.
+    pub queries_failed: Counter,
+    /// Queries currently executing.
+    pub queries_in_flight: Gauge,
+    /// End-to-end query latency, nanoseconds.
+    pub query_latency_ns: Histogram,
+    /// High-water mark of per-query reserved memory, bytes.
+    pub query_peak_memory_bytes: Gauge,
+
+    /// Ring buffer of queries slower than the session threshold.
+    pub slow_queries: SlowQueryLog,
+}
+
+impl MetricsRegistry {
+    /// New registry with all metrics at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The process-global registry all engine layers report into.
+    pub fn global() -> &'static MetricsRegistry {
+        static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+        GLOBAL.get_or_init(MetricsRegistry::new)
+    }
+
+    /// Reset every metric to zero (test support). Racing writers may
+    /// land on either side of the reset; callers serialize.
+    pub fn reset(&self) {
+        self.append_rows.reset();
+        self.append_bytes.reset();
+        self.batch_seals.reset();
+        self.snapshots_taken.reset();
+        self.snapshot_age_ns.reset();
+        self.probe_sampler.reset();
+        self.probe_hits.reset();
+        self.probe_misses.reset();
+        self.chain_walk.reset();
+        self.queries_started.reset();
+        self.queries_finished.reset();
+        self.queries_cancelled.reset();
+        self.queries_failed.reset();
+        self.queries_in_flight.reset();
+        self.query_latency_ns.reset();
+        self.query_peak_memory_bytes.reset();
+        self.slow_queries.reset();
+    }
+
+    /// Render every metric in Prometheus text exposition format
+    /// (`# TYPE` lines, `_bucket{le=...}` cumulative histograms).
+    pub fn prometheus(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        write_counter(
+            &mut out,
+            "idf_storage_append_rows_total",
+            "Rows published by append_chunk.",
+            &self.append_rows,
+        );
+        write_counter(
+            &mut out,
+            "idf_storage_append_bytes_total",
+            "Encoded payload bytes published by append_chunk.",
+            &self.append_bytes,
+        );
+        write_counter(
+            &mut out,
+            "idf_storage_batch_seals_total",
+            "Row batches sealed by append rollover.",
+            &self.batch_seals,
+        );
+        write_counter(
+            &mut out,
+            "idf_storage_snapshots_total",
+            "Immutable partition snapshots taken.",
+            &self.snapshots_taken,
+        );
+        write_histogram(
+            &mut out,
+            "idf_storage_snapshot_age_ns",
+            "Snapshot age at probe time, nanoseconds.",
+            &self.snapshot_age_ns,
+        );
+        write_counter(
+            &mut out,
+            "idf_index_probe_hits_total",
+            "Index probes that found the key.",
+            &self.probe_hits,
+        );
+        write_counter(
+            &mut out,
+            "idf_index_probe_misses_total",
+            "Index probes that missed.",
+            &self.probe_misses,
+        );
+        write_histogram(
+            &mut out,
+            "idf_index_chain_walk_length",
+            "Version-chain rows walked per successful probe.",
+            &self.chain_walk,
+        );
+        write_counter(
+            &mut out,
+            "idf_query_started_total",
+            "Queries that began executing.",
+            &self.queries_started,
+        );
+        write_counter(
+            &mut out,
+            "idf_query_finished_total",
+            "Queries that ran to completion.",
+            &self.queries_finished,
+        );
+        write_counter(
+            &mut out,
+            "idf_query_cancelled_total",
+            "Queries stopped by cancellation or deadline.",
+            &self.queries_cancelled,
+        );
+        write_counter(
+            &mut out,
+            "idf_query_failed_total",
+            "Queries stopped by any other error.",
+            &self.queries_failed,
+        );
+        write_gauge(
+            &mut out,
+            "idf_query_in_flight",
+            "Queries currently executing.",
+            &self.queries_in_flight,
+        );
+        write_histogram(
+            &mut out,
+            "idf_query_latency_ns",
+            "End-to-end query latency, nanoseconds.",
+            &self.query_latency_ns,
+        );
+        write_gauge(
+            &mut out,
+            "idf_query_peak_memory_bytes",
+            "High-water mark of per-query reserved memory.",
+            &self.query_peak_memory_bytes,
+        );
+        write_gauge_value(
+            &mut out,
+            "idf_slow_query_log_entries",
+            "Entries retained in the slow-query log.",
+            self.slow_queries.len() as i64,
+        );
+        out
+    }
+}
+
+/// The process-global registry (free-function alias for
+/// [`MetricsRegistry::global`], the form hot paths call).
+#[inline]
+pub fn global() -> &'static MetricsRegistry {
+    MetricsRegistry::global()
+}
+
+fn write_counter(out: &mut String, name: &str, help: &str, c: &Counter) {
+    use std::fmt::Write;
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} counter");
+    let _ = writeln!(out, "{name} {}", c.get());
+}
+
+fn write_gauge(out: &mut String, name: &str, help: &str, g: &Gauge) {
+    write_gauge_value(out, name, help, g.get());
+}
+
+fn write_gauge_value(out: &mut String, name: &str, help: &str, v: i64) {
+    use std::fmt::Write;
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} gauge");
+    let _ = writeln!(out, "{name} {v}");
+}
+
+fn write_histogram(out: &mut String, name: &str, help: &str, h: &Histogram) {
+    use std::fmt::Write;
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    let counts = h.bucket_counts();
+    let mut cumulative = 0u64;
+    for (i, &c) in counts.iter().enumerate() {
+        // Skip empty leading/inner buckets to keep the exposition
+        // readable; cumulative counts stay correct because `cumulative`
+        // carries across skipped buckets.
+        cumulative += c;
+        if c == 0 {
+            continue;
+        }
+        if i == BUCKETS - 1 {
+            // Top bucket is only reachable via +Inf below.
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "{name}_bucket{{le=\"{}\"}} {cumulative}",
+            bucket_upper_bound(i)
+        );
+    }
+    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+    let _ = writeln!(out, "{name}_sum {}", h.sum());
+    let _ = writeln!(out, "{name}_count {cumulative}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slow_log_is_bounded_fifo() {
+        let log = SlowQueryLog::new();
+        for i in 0..(SLOW_LOG_CAPACITY + 10) {
+            log.push(format!("q{i}"), i as u64, QueryOutcome::Finished);
+        }
+        let entries = log.entries();
+        assert_eq!(entries.len(), SLOW_LOG_CAPACITY);
+        assert_eq!(entries[0].label, "q10");
+        assert_eq!(
+            entries.last().unwrap().label,
+            format!("q{}", SLOW_LOG_CAPACITY + 9)
+        );
+        // Sequence numbers stay monotone across eviction.
+        for w in entries.windows(2) {
+            assert!(w[0].seq < w[1].seq);
+        }
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let m = MetricsRegistry::new();
+        m.append_rows.add(7);
+        m.probe_hits.add(3);
+        m.probe_misses.inc();
+        m.chain_walk.record(1);
+        m.chain_walk.record(5);
+        m.queries_in_flight.set(2);
+        let text = m.prometheus();
+        assert!(text.contains("# TYPE idf_storage_append_rows_total counter"));
+        assert!(text.contains("idf_storage_append_rows_total 7"));
+        assert!(text.contains("idf_index_probe_hits_total 3"));
+        assert!(text.contains("idf_index_probe_misses_total 1"));
+        assert!(text.contains("# TYPE idf_index_chain_walk_length histogram"));
+        assert!(text.contains("idf_index_chain_walk_length_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("idf_index_chain_walk_length_sum 6"));
+        assert!(text.contains("idf_index_chain_walk_length_count 2"));
+        assert!(text.contains("idf_query_in_flight 2"));
+        // Every line is a comment or `name[{labels}] value`.
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#') || line.splitn(2, ' ').count() == 2,
+                "malformed line: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let m = MetricsRegistry::new();
+        m.append_rows.add(5);
+        m.query_latency_ns.record(1000);
+        m.slow_queries.push("q", 1, QueryOutcome::Failed);
+        m.reset();
+        assert_eq!(m.append_rows.get(), 0);
+        assert_eq!(m.query_latency_ns.count(), 0);
+        assert!(m.slow_queries.is_empty());
+    }
+}

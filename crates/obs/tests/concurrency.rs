@@ -1,0 +1,131 @@
+//! Concurrent-correctness tests for the metrics primitives: N writer
+//! threads race M reader threads; totals must come out exact and every
+//! percentile readout must be internally monotone (p50 ≤ p95 ≤ p99)
+//! at all times, including mid-write.
+
+#![cfg(feature = "obs")]
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use idf_obs::{Counter, Histogram, MetricsRegistry, QueryOutcome};
+
+const WRITERS: usize = 8;
+const READERS: usize = 4;
+const PER_WRITER: u64 = 50_000;
+
+#[test]
+fn counter_totals_exact_under_contention() {
+    let counter = Arc::new(Counter::new());
+    let stop = Arc::new(AtomicBool::new(false));
+
+    std::thread::scope(|scope| {
+        for _ in 0..READERS {
+            let counter = Arc::clone(&counter);
+            let stop = Arc::clone(&stop);
+            scope.spawn(move || {
+                let mut last = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let now = counter.get();
+                    // A monotone counter can never appear to go backwards.
+                    assert!(now >= last, "counter regressed: {last} -> {now}");
+                    last = now;
+                }
+            });
+        }
+        let writers: Vec<_> = (0..WRITERS)
+            .map(|w| {
+                let counter = Arc::clone(&counter);
+                scope.spawn(move || {
+                    for i in 0..PER_WRITER {
+                        if (i + w as u64).is_multiple_of(2) {
+                            counter.inc();
+                        } else {
+                            counter.add(1);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for w in writers {
+            w.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    assert_eq!(counter.get(), WRITERS as u64 * PER_WRITER);
+}
+
+#[test]
+fn histogram_counts_exact_and_percentiles_monotone_under_contention() {
+    let hist = Arc::new(Histogram::new());
+    let stop = Arc::new(AtomicBool::new(false));
+
+    std::thread::scope(|scope| {
+        for _ in 0..READERS {
+            let hist = Arc::clone(&hist);
+            let stop = Arc::clone(&stop);
+            scope.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let s = hist.snapshot();
+                    assert!(
+                        s.p50 <= s.p95 && s.p95 <= s.p99,
+                        "percentiles not monotone: {s:?}"
+                    );
+                    // Ranked readouts agree with the snapshot invariant.
+                    assert!(hist.percentile(10.0) <= hist.percentile(90.0));
+                }
+            });
+        }
+        let writers: Vec<_> = (0..WRITERS)
+            .map(|w| {
+                let hist = Arc::clone(&hist);
+                scope.spawn(move || {
+                    for i in 0..PER_WRITER {
+                        // Spread samples across many buckets.
+                        hist.record((i % 1000) * (w as u64 + 1));
+                    }
+                })
+            })
+            .collect();
+        for w in writers {
+            w.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    let s = hist.snapshot();
+    assert_eq!(s.count, WRITERS as u64 * PER_WRITER);
+    let expected_sum: u64 = (0..WRITERS as u64)
+        .map(|w| (0..PER_WRITER).map(|i| (i % 1000) * (w + 1)).sum::<u64>())
+        .sum();
+    assert_eq!(s.sum, expected_sum);
+    assert!(s.p50 <= s.p95 && s.p95 <= s.p99);
+}
+
+#[test]
+fn slow_log_survives_concurrent_pushes_and_reads() {
+    let m = Arc::new(MetricsRegistry::new());
+    std::thread::scope(|scope| {
+        for w in 0..WRITERS {
+            let m = Arc::clone(&m);
+            scope.spawn(move || {
+                for i in 0..500u64 {
+                    m.slow_queries
+                        .push(format!("w{w}-q{i}"), i, QueryOutcome::Finished);
+                }
+            });
+        }
+        for _ in 0..READERS {
+            let m = Arc::clone(&m);
+            scope.spawn(move || {
+                for _ in 0..200 {
+                    let entries = m.slow_queries.entries();
+                    assert!(entries.len() <= idf_obs::SLOW_LOG_CAPACITY);
+                    let _ = m.prometheus();
+                }
+            });
+        }
+    });
+    assert_eq!(m.slow_queries.len(), idf_obs::SLOW_LOG_CAPACITY);
+}
