@@ -13,6 +13,7 @@
 //! The `harness` binary prints the same rows/series the paper plots;
 //! `cargo bench` runs the Criterion counterparts.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod fig2;

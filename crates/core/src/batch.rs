@@ -32,6 +32,16 @@ use crate::pointer::RowPtr;
 /// Bytes of per-row framing: u16 stored length + u64 backward pointer.
 pub const ROW_HEADER: usize = 2 + 8;
 
+/// Checked fixed-width read of `W` header bytes at `at` — a corrupt or
+/// truncated header surfaces as a typed error, never a slice panic.
+#[inline]
+fn header_bytes<const W: usize>(head: &[u8], at: usize) -> Result<[u8; W]> {
+    at.checked_add(W)
+        .and_then(|end| head.get(at..end))
+        .and_then(|s| s.try_into().ok())
+        .ok_or_else(|| EngineError::internal(format!("row header truncated at byte {at}")))
+}
+
 /// One append-only binary row batch.
 pub struct RowBatch {
     buf: Box<[UnsafeCell<u8>]>,
@@ -39,10 +49,13 @@ pub struct RowBatch {
     len: AtomicUsize,
 }
 
-// SAFETY: bytes below `len` are immutable once published (Release store
-// after the writes, Acquire load before the reads); bytes above `len` are
-// touched only by the partition's single writer.
+// SAFETY: sending a batch moves the whole buffer; bytes below `len` are
+// immutable once published (Release store after the writes, Acquire load
+// before the reads) and bytes above `len` are touched only by the
+// partition's single writer.
 unsafe impl Send for RowBatch {}
+// SAFETY: shared readers only dereference bytes below the Acquire-loaded
+// watermark, which the single writer froze with its Release store.
 unsafe impl Sync for RowBatch {}
 
 impl RowBatch {
@@ -122,7 +135,9 @@ impl RowBatch {
         // SAFETY: the committed prefix is immutable.
         let committed_slice =
             unsafe { std::slice::from_raw_parts(self.buf.as_ptr() as *const u8, committed) };
-        Ok(&committed_slice[offset..end])
+        committed_slice
+            .get(offset..end)
+            .ok_or_else(|| EngineError::internal(format!("read [{offset}, {end}) out of bounds")))
     }
 
     /// Decode the stored row at `offset`: `(stored_size, prev, payload)`.
@@ -132,14 +147,17 @@ impl RowBatch {
     pub fn row_at(&self, offset: usize) -> Result<(usize, RowPtr, &[u8])> {
         crate::failpoints::check(crate::failpoints::BATCH_READ)?;
         let head = self.read(offset, ROW_HEADER)?;
-        let stored = u16::from_le_bytes(head[..2].try_into().expect("u16")) as usize;
+        let stored = u16::from_le_bytes(header_bytes::<2>(head, 0)?) as usize;
         if stored < ROW_HEADER {
             return Err(EngineError::internal(format!(
                 "row at {offset} declares {stored} stored bytes, below the {ROW_HEADER}-byte header"
             )));
         }
-        let prev = RowPtr::from_raw(u64::from_le_bytes(head[2..].try_into().expect("u64")));
-        let payload = &self.read(offset, stored)?[ROW_HEADER..];
+        let prev = RowPtr::from_raw(u64::from_le_bytes(header_bytes::<8>(head, 2)?));
+        let row = self.read(offset, stored)?;
+        let payload = row.get(ROW_HEADER..).ok_or_else(|| {
+            EngineError::internal(format!("row at {offset} shorter than its header"))
+        })?;
         Ok((stored, prev, payload))
     }
 
@@ -263,6 +281,9 @@ mod tests {
         let bad_stored = 3u16;
         b.append_row(RowPtr::NULL, b"ok").unwrap();
         let off = b.len();
+        // SAFETY: the forged bytes land past the committed watermark in a
+        // buffer allocated at full capacity; no reader observes them until
+        // the Release store below publishes the new length.
         unsafe {
             let base = b.buf.as_ptr() as *mut u8;
             let dst = base.add(off);

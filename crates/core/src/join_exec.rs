@@ -133,7 +133,7 @@ impl IndexedJoinExec {
                 if c == key_col {
                     Ok(Arc::new(keys.take(&probe_rows)))
                 } else {
-                    Ok(Arc::new(snapshot.decode_column_batch(&matched, c)))
+                    Ok(Arc::new(snapshot.decode_column_batch(&matched, c)?))
                 }
             })
             .collect::<Result<_>>()?;

@@ -23,6 +23,34 @@ pub struct RowLayout {
     null_bytes: usize,
 }
 
+/// A payload that does not match the layout — truncated fixed section,
+/// var-section pointer past the end, or invalid UTF-8. Decoding is the
+/// untrusted half of the row format: a corrupt backward pointer can hand
+/// us arbitrary committed bytes, and that must surface as a typed error,
+/// never a slice panic that poisons the append mutex.
+#[cold]
+fn corrupt(what: &str) -> EngineError {
+    EngineError::internal(format!("corrupt row payload: {what}"))
+}
+
+/// Checked fixed-width read of `W` bytes at `at`.
+#[inline]
+fn fixed<const W: usize>(payload: &[u8], at: usize) -> Result<[u8; W]> {
+    at.checked_add(W)
+        .and_then(|end| payload.get(at..end))
+        .and_then(|s| s.try_into().ok())
+        .ok_or_else(|| corrupt("fixed slot out of bounds"))
+}
+
+/// Write `bytes` into the fixed section at `at` during encoding. The
+/// encoder just resized the buffer to cover the whole fixed section, so
+/// a miss is a programmer error in the offset arithmetic.
+#[inline]
+fn put(out: &mut [u8], at: usize, bytes: &[u8]) {
+    // idf-lint: allow(hot-path-panic) -- indexing a buffer encode just resized
+    out[at..at + bytes.len()].copy_from_slice(bytes);
+}
+
 impl RowLayout {
     /// Layout for `schema`.
     pub fn new(schema: SchemaRef) -> Self {
@@ -57,31 +85,31 @@ impl RowLayout {
         }
         let base = out.len();
         out.resize(base + self.var_start(), 0);
+        // The writes below index into the section the resize just sized:
+        // a miss is a programmer error in the offset arithmetic, not
+        // data-dependent, so plain indexing is in-contract here (the
+        // decode half is where bytes are untrusted).
         for (col, v) in values.iter().enumerate() {
             if v.is_null() {
+                // idf-lint: allow(hot-path-panic) -- bitmap byte sized by the resize above
                 out[base + col / 8] |= 1 << (col % 8);
                 continue;
             }
             let slot = base + self.fixed_offset(col);
             let dt = self.schema.field(col).data_type;
             match (dt, v) {
-                (DataType::Boolean, Value::Boolean(b)) => out[slot] = u8::from(*b),
-                (DataType::Int32, Value::Int32(x)) => {
-                    out[slot..slot + 4].copy_from_slice(&x.to_le_bytes())
-                }
+                (DataType::Boolean, Value::Boolean(b)) => put(out, slot, &[u8::from(*b)]),
+                (DataType::Int32, Value::Int32(x)) => put(out, slot, &x.to_le_bytes()),
                 (DataType::Int64, Value::Int64(x)) | (DataType::Timestamp, Value::Timestamp(x)) => {
-                    out[slot..slot + 8].copy_from_slice(&x.to_le_bytes())
+                    put(out, slot, &x.to_le_bytes())
                 }
-                (DataType::Float64, Value::Float64(x)) => {
-                    out[slot..slot + 8].copy_from_slice(&x.to_le_bytes())
-                }
+                (DataType::Float64, Value::Float64(x)) => put(out, slot, &x.to_le_bytes()),
                 (DataType::Utf8, Value::Utf8(s)) => {
                     let var_off = (out.len() - base - self.var_start()) as u32;
                     let len = s.len() as u32;
                     out.extend_from_slice(s.as_bytes());
-                    let slot = &mut out[slot..slot + 8];
-                    slot[..4].copy_from_slice(&var_off.to_le_bytes());
-                    slot[4..].copy_from_slice(&len.to_le_bytes());
+                    put(out, slot, &var_off.to_le_bytes());
+                    put(out, slot + 4, &len.to_le_bytes());
                 }
                 (dt, v) => {
                     return Err(EngineError::type_err(format!(
@@ -95,49 +123,58 @@ impl RowLayout {
     }
 
     #[inline]
-    fn is_null(&self, payload: &[u8], col: usize) -> bool {
-        payload[col / 8] & (1 << (col % 8)) != 0
+    fn is_null(&self, payload: &[u8], col: usize) -> Result<bool> {
+        let byte = payload
+            .get(col / 8)
+            .ok_or_else(|| corrupt("null bitmap truncated"))?;
+        Ok(byte & (1 << (col % 8)) != 0)
     }
 
     /// Decode one column of an encoded payload.
-    pub fn decode_column(&self, payload: &[u8], col: usize) -> Value {
-        if self.is_null(payload, col) {
-            return Value::Null;
+    ///
+    /// # Errors
+    /// Fails when the payload does not match this layout (truncated,
+    /// out-of-range var pointer, or invalid UTF-8) — see [`corrupt`].
+    pub fn decode_column(&self, payload: &[u8], col: usize) -> Result<Value> {
+        if self.is_null(payload, col)? {
+            return Ok(Value::Null);
         }
         let slot = self.fixed_offset(col);
-        match self.schema.field(col).data_type {
-            DataType::Boolean => Value::Boolean(payload[slot] != 0),
-            DataType::Int32 => Value::Int32(i32::from_le_bytes(
-                payload[slot..slot + 4].try_into().expect("slot width"),
-            )),
-            DataType::Int64 => Value::Int64(i64::from_le_bytes(
-                payload[slot..slot + 8].try_into().expect("slot width"),
-            )),
-            DataType::Timestamp => Value::Timestamp(i64::from_le_bytes(
-                payload[slot..slot + 8].try_into().expect("slot width"),
-            )),
-            DataType::Float64 => Value::Float64(f64::from_le_bytes(
-                payload[slot..slot + 8].try_into().expect("slot width"),
-            )),
-            DataType::Utf8 => {
-                let s = self.decode_str(payload, slot);
-                Value::Utf8(s.to_owned())
+        Ok(match self.schema.field(col).data_type {
+            DataType::Boolean => {
+                let [b] = fixed::<1>(payload, slot)?;
+                Value::Boolean(b != 0)
             }
-        }
+            DataType::Int32 => Value::Int32(i32::from_le_bytes(fixed(payload, slot)?)),
+            DataType::Int64 => Value::Int64(i64::from_le_bytes(fixed(payload, slot)?)),
+            DataType::Timestamp => Value::Timestamp(i64::from_le_bytes(fixed(payload, slot)?)),
+            DataType::Float64 => Value::Float64(f64::from_le_bytes(fixed(payload, slot)?)),
+            DataType::Utf8 => Value::Utf8(self.decode_str(payload, slot)?.to_owned()),
+        })
     }
 
     #[inline]
-    fn decode_str<'a>(&self, payload: &'a [u8], slot: usize) -> &'a str {
-        let var_off =
-            u32::from_le_bytes(payload[slot..slot + 4].try_into().expect("slot")) as usize;
-        let len =
-            u32::from_le_bytes(payload[slot + 4..slot + 8].try_into().expect("slot")) as usize;
-        let start = self.var_start() + var_off;
-        std::str::from_utf8(&payload[start..start + len]).expect("row holds valid utf8")
+    fn decode_str<'a>(&self, payload: &'a [u8], slot: usize) -> Result<&'a str> {
+        let var_off = u32::from_le_bytes(fixed(payload, slot)?) as usize;
+        let len = u32::from_le_bytes(fixed(payload, slot + 4)?) as usize;
+        let start = self
+            .var_start()
+            .checked_add(var_off)
+            .ok_or_else(|| corrupt("var offset overflows"))?;
+        let end = start
+            .checked_add(len)
+            .ok_or_else(|| corrupt("var length overflows"))?;
+        let bytes = payload
+            .get(start..end)
+            .ok_or_else(|| corrupt("var section out of bounds"))?;
+        std::str::from_utf8(bytes).map_err(|_| corrupt("string column is not valid utf8"))
     }
 
     /// Decode an entire row.
-    pub fn decode_row(&self, payload: &[u8]) -> Vec<Value> {
+    ///
+    /// # Errors
+    /// Fails when the payload does not match this layout.
+    pub fn decode_row(&self, payload: &[u8]) -> Result<Vec<Value>> {
         (0..self.schema.len())
             .map(|c| self.decode_column(payload, c))
             .collect()
@@ -146,16 +183,18 @@ impl RowLayout {
     /// Decode one column across many payloads into a column vector —
     /// the vectorized gather used by the indexed join's output
     /// materialization.
-    pub fn decode_column_batch(&self, payloads: &[&[u8]], col: usize) -> Column {
+    /// # Errors
+    /// Fails when any payload does not match this layout.
+    pub fn decode_column_batch(&self, payloads: &[&[u8]], col: usize) -> Result<Column> {
         use idf_engine::column::{PrimVec, StrVec};
         let slot = self.fixed_offset(col);
         let n = payloads.len();
         macro_rules! prim {
-            ($ty:ty, $width:expr, $variant:ident) => {{
+            ($ty:ty, $variant:ident) => {{
                 let mut values: Vec<$ty> = Vec::with_capacity(n);
                 let mut validity: Option<idf_engine::bitmap::Bitmap> = None;
                 for (i, p) in payloads.iter().enumerate() {
-                    if self.is_null(p, col) {
+                    if self.is_null(p, col)? {
                         values.push(Default::default());
                         validity
                             .get_or_insert_with(|| {
@@ -167,9 +206,7 @@ impl RowLayout {
                             })
                             .set(i, false);
                     } else {
-                        values.push(<$ty>::from_le_bytes(
-                            p[slot..slot + $width].try_into().expect("slot width"),
-                        ));
+                        values.push(<$ty>::from_le_bytes(fixed(p, slot)?));
                         if let Some(b) = &mut validity {
                             b.set(i, true);
                         }
@@ -178,20 +215,21 @@ impl RowLayout {
                 Column::$variant(PrimVec { values, validity })
             }};
         }
-        match self.schema.field(col).data_type {
-            DataType::Int32 => prim!(i32, 4, Int32),
-            DataType::Int64 => prim!(i64, 8, Int64),
-            DataType::Timestamp => prim!(i64, 8, Timestamp),
-            DataType::Float64 => prim!(f64, 8, Float64),
+        Ok(match self.schema.field(col).data_type {
+            DataType::Int32 => prim!(i32, Int32),
+            DataType::Int64 => prim!(i64, Int64),
+            DataType::Timestamp => prim!(i64, Timestamp),
+            DataType::Float64 => prim!(f64, Float64),
             DataType::Boolean => {
                 let mut values = Vec::with_capacity(n);
                 let mut nulls = Vec::new();
                 for (i, p) in payloads.iter().enumerate() {
-                    if self.is_null(p, col) {
+                    if self.is_null(p, col)? {
                         values.push(false);
                         nulls.push(i);
                     } else {
-                        values.push(p[slot] != 0);
+                        let [b] = fixed::<1>(p, slot)?;
+                        values.push(b != 0);
                     }
                 }
                 let validity = (!nulls.is_empty()).then(|| {
@@ -206,15 +244,15 @@ impl RowLayout {
             DataType::Utf8 => {
                 let mut v = StrVec::new();
                 for p in payloads {
-                    if self.is_null(p, col) {
+                    if self.is_null(p, col)? {
                         v.push(None);
                     } else {
-                        v.push(Some(self.decode_str(p, slot)));
+                        v.push(Some(self.decode_str(p, slot)?));
                     }
                 }
                 Column::Utf8(v)
             }
-        }
+        })
     }
 
     /// Append the projected columns of a payload into per-column builders
@@ -233,30 +271,45 @@ impl RowLayout {
     ) -> Result<()> {
         debug_assert_eq!(cols.len(), builders.len());
         for (b, &col) in builders.iter_mut().zip(cols) {
-            let valid = !self.is_null(payload, col);
+            let valid = !self.is_null(payload, col)?;
             let slot = self.fixed_offset(col);
             match b {
                 ColumnBuilder::Boolean(v) => {
-                    v.push(valid.then(|| payload[slot] != 0));
+                    let val = if valid {
+                        let [b] = fixed::<1>(payload, slot)?;
+                        Some(b != 0)
+                    } else {
+                        None
+                    };
+                    v.push(val);
                 }
                 ColumnBuilder::Int32(v) => {
-                    v.push(valid.then(|| {
-                        i32::from_le_bytes(payload[slot..slot + 4].try_into().expect("slot width"))
-                    }));
+                    let val = if valid {
+                        Some(i32::from_le_bytes(fixed(payload, slot)?))
+                    } else {
+                        None
+                    };
+                    v.push(val);
                 }
                 ColumnBuilder::Int64(v) | ColumnBuilder::Timestamp(v) => {
-                    v.push(valid.then(|| {
-                        i64::from_le_bytes(payload[slot..slot + 8].try_into().expect("slot width"))
-                    }));
+                    let val = if valid {
+                        Some(i64::from_le_bytes(fixed(payload, slot)?))
+                    } else {
+                        None
+                    };
+                    v.push(val);
                 }
                 ColumnBuilder::Float64(v) => {
-                    v.push(valid.then(|| {
-                        f64::from_le_bytes(payload[slot..slot + 8].try_into().expect("slot width"))
-                    }));
+                    let val = if valid {
+                        Some(f64::from_le_bytes(fixed(payload, slot)?))
+                    } else {
+                        None
+                    };
+                    v.push(val);
                 }
                 ColumnBuilder::Utf8(v) => {
                     if valid {
-                        v.push(Some(self.decode_str(payload, slot)));
+                        v.push(Some(self.decode_str(payload, slot)?));
                     } else {
                         v.push(None);
                     }
@@ -288,7 +341,7 @@ mod tests {
         let l = layout();
         let mut buf = Vec::new();
         l.encode(&values, &mut buf).unwrap();
-        assert_eq!(l.decode_row(&buf), values);
+        assert_eq!(l.decode_row(&buf).unwrap(), values);
     }
 
     #[test]
@@ -326,6 +379,46 @@ mod tests {
             Value::Int32(0),
             Value::Timestamp(0),
         ]);
+    }
+
+    #[test]
+    fn corrupt_payloads_error_instead_of_panicking() {
+        let l = layout();
+        let mut buf = Vec::new();
+        l.encode(
+            &[
+                Value::Int64(1),
+                Value::Utf8("abc".into()),
+                Value::Float64(0.5),
+                Value::Boolean(true),
+                Value::Int32(2),
+                Value::Timestamp(3),
+            ],
+            &mut buf,
+        )
+        .unwrap();
+
+        // Empty payload: even the null bitmap is missing.
+        assert!(l.decode_row(&[]).is_err());
+        // Truncated fixed section.
+        assert!(l.decode_row(&buf[..3]).is_err());
+        assert!(l.decode_column(&buf[..3], 0).is_err());
+        // String length pointing past the var section (slot of column 1 is
+        // null_bytes + 8 = 9; its len field sits at slot + 4).
+        let mut evil = buf.clone();
+        evil[13..17].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(l.decode_column(&evil, 1).is_err());
+        assert!(l.decode_column_batch(&[&evil], 1).is_err());
+        // Invalid UTF-8 in the var section.
+        let mut bad_utf8 = buf.clone();
+        let var = bad_utf8.len() - 3;
+        bad_utf8[var] = 0xFF;
+        assert!(l.decode_column(&bad_utf8, 1).is_err());
+        // Other columns of a partly corrupt row still decode.
+        assert_eq!(l.decode_column(&bad_utf8, 0).unwrap(), Value::Int64(1));
+        // decode_into surfaces the same errors.
+        let mut builders = vec![ColumnBuilder::new(DataType::Utf8)];
+        assert!(l.decode_into(&evil, &[1], &mut builders).is_err());
     }
 
     #[test]
@@ -385,6 +478,6 @@ mod tests {
         ];
         l.encode(&row, &mut buf).unwrap();
         assert_eq!(&buf[..2], &[0xAA, 0xBB]);
-        assert_eq!(l.decode_row(&buf[2..]), row);
+        assert_eq!(l.decode_row(&buf[2..]).unwrap(), row);
     }
 }

@@ -478,28 +478,40 @@ impl PartitionSnapshot {
     }
 
     /// Decode one payload into scalars.
-    pub fn decode_row(&self, payload: &[u8]) -> Vec<Value> {
+    ///
+    /// # Errors
+    /// Fails on a payload that does not match the partition's layout.
+    pub fn decode_row(&self, payload: &[u8]) -> Result<Vec<Value>> {
         self.layout.decode_row(payload)
     }
 
     /// Decode the projected columns of one payload.
-    pub fn decode_projected(&self, payload: &[u8], cols: &[usize]) -> Vec<Value> {
+    ///
+    /// # Errors
+    /// Fails on a payload that does not match the partition's layout.
+    pub fn decode_projected(&self, payload: &[u8], cols: &[usize]) -> Result<Vec<Value>> {
         cols.iter()
             .map(|&c| self.layout.decode_column(payload, c))
             .collect()
     }
 
     /// Decode a single column of one payload without allocation overhead.
-    pub fn decode_value(&self, payload: &[u8], col: usize) -> Value {
+    ///
+    /// # Errors
+    /// Fails on a payload that does not match the partition's layout.
+    pub fn decode_value(&self, payload: &[u8], col: usize) -> Result<Value> {
         self.layout.decode_column(payload, col)
     }
 
     /// Vectorized gather: decode one column across many payloads.
+    ///
+    /// # Errors
+    /// Fails on a payload that does not match the partition's layout.
     pub fn decode_column_batch(
         &self,
         payloads: &[&[u8]],
         col: usize,
-    ) -> idf_engine::column::Column {
+    ) -> Result<idf_engine::column::Column> {
         self.layout.decode_column_batch(payloads, col)
     }
 
@@ -645,9 +657,9 @@ mod tests {
             .lookup_payloads(&Value::Int64(7))
             .collect::<Result<_>>()
             .unwrap();
-        let first = s.decode_row(payloads[0]);
+        let first = s.decode_row(payloads[0]).unwrap();
         assert_eq!(first[1], Value::Utf8("v499".into()));
-        let last = s.decode_row(payloads[499]);
+        let last = s.decode_row(payloads[499]).unwrap();
         assert_eq!(last[1], Value::Utf8("v0".into()));
     }
 
@@ -738,7 +750,7 @@ mod tests {
                         last_total = total;
                         // every chain is readable end-to-end
                         for payload in s.lookup_payloads(&Value::Int64(0)) {
-                            let vals = s.decode_row(payload.unwrap());
+                            let vals = s.decode_row(payload.unwrap()).unwrap();
                             assert_eq!(vals[0], Value::Int64(0));
                         }
                     }

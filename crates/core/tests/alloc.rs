@@ -25,17 +25,24 @@ struct CountingAllocator;
 
 static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
 
+// SAFETY: pure pass-through to `System`; the only extra work is a relaxed
+// atomic bump, which allocates nothing and upholds `GlobalAlloc`'s contract
+// exactly as `System` does.
 unsafe impl GlobalAlloc for CountingAllocator {
+    // SAFETY: delegates to `System.alloc` with the caller's layout unchanged.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
         System.alloc(layout)
     }
 
+    // SAFETY: delegates to `System.realloc`; ptr/layout/new_size come from
+    // the caller under the same contract.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
         System.realloc(ptr, layout, new_size)
     }
 
+    // SAFETY: delegates to `System.dealloc` with the caller's ptr and layout.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         System.dealloc(ptr, layout)
     }
@@ -87,7 +94,7 @@ fn single_key_lookups_do_not_allocate() {
             // payloads are borrowed slices, values are inline.
             for payload in snap.lookup_payloads(&key) {
                 let payload = payload.expect("chain");
-                match snap.decode_value(payload, 1) {
+                match snap.decode_value(payload, 1).expect("decode") {
                     Value::Int64(v) => checksum ^= v,
                     other => panic!("unexpected value {other:?}"),
                 }

@@ -94,7 +94,7 @@ fn row_layout_roundtrips() {
         let row = random_row(&mut rng, &schema);
         let mut buf = Vec::new();
         layout.encode(&row, &mut buf).expect("encode");
-        assert_eq!(layout.decode_row(&buf), row, "seed {seed}");
+        assert_eq!(layout.decode_row(&buf).expect("decode"), row, "seed {seed}");
     }
 }
 
@@ -116,7 +116,7 @@ fn rows_in_one_buffer_do_not_interfere() {
         }
         for (i, (row, (start, end))) in rows.iter().zip(spans).enumerate() {
             assert_eq!(
-                &layout.decode_row(&buf[start..end]),
+                &layout.decode_row(&buf[start..end]).expect("decode"),
                 row,
                 "seed {seed}, row {i}"
             );

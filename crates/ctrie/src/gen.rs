@@ -37,6 +37,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "loop/thread count too heavy for the interpreter")]
     fn generations_are_unique_across_threads() {
         let handles: Vec<_> = (0..8)
             .map(|_| std::thread::spawn(|| (0..1000).map(|_| Gen::fresh().0).collect::<Vec<_>>()))

@@ -238,12 +238,11 @@ impl<K: Eq + Clone, V: Clone> Node<K, V> {
                 let old = entries[pos].1.clone();
                 let mut ne = entries.clone();
                 ne.remove(pos);
-                let node = if ne.len() == 1 {
-                    let (k, v) = ne.pop().expect("len checked");
+                let node = if let [(k, v)] = ne.as_slice() {
                     Arc::new(Node::Leaf {
                         hash: *h,
-                        key: k,
-                        value: v,
+                        key: k.clone(),
+                        value: v.clone(),
                     })
                 } else {
                     Arc::new(Node::Collision {
@@ -465,6 +464,7 @@ mod tests {
     use std::hash::Hasher;
 
     #[test]
+    #[cfg_attr(miri, ignore = "loop/thread count too heavy for the interpreter")]
     fn insert_lookup_remove() {
         let h: Hamt<u64, u64> = Hamt::new();
         for i in 0..5000 {
@@ -495,6 +495,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "loop/thread count too heavy for the interpreter")]
     fn entries_complete() {
         let h: Hamt<u64, u64> = Hamt::new();
         for i in 0..1000 {
@@ -541,6 +542,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "loop/thread count too heavy for the interpreter")]
     fn concurrent_readers_during_writes() {
         let h = std::sync::Arc::new(Hamt::<u64, u64>::new());
         let writer = {

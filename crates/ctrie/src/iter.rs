@@ -56,7 +56,9 @@ where
                         self.stack.pop();
                         continue;
                     }
-                    self.stack.last_mut().expect("frame").1 += 1;
+                    if let Some(top) = self.stack.last_mut() {
+                        top.1 += 1;
+                    }
                     match &cn.array[idx] {
                         Branch::S(sn) => return Some((sn.key.clone(), sn.value.clone())),
                         Branch::I(inode) => {
@@ -75,7 +77,9 @@ where
                         self.stack.pop();
                         continue;
                     }
-                    self.stack.last_mut().expect("frame").1 += 1;
+                    if let Some(top) = self.stack.last_mut() {
+                        top.1 += 1;
+                    }
                     let sn = &ln.entries[idx];
                     return Some((sn.key.clone(), sn.value.clone()));
                 }
@@ -89,6 +93,7 @@ mod tests {
     use crate::CTrie;
 
     #[test]
+    #[cfg_attr(miri, ignore = "loop/thread count too heavy for the interpreter")]
     fn iterates_all_entries_once() {
         let t: CTrie<u64, u64> = CTrie::new();
         for i in 0..5000 {

@@ -451,9 +451,13 @@ mod tests {
                     assert!(depth < 20, "unbounded descent");
                     match &c.array[0] {
                         Branch::I(i) => {
-                            // Tests are single-threaded here; raw read is fine.
+                            // SAFETY: this test is single-threaded, so no
+                            // node can be retired concurrently; the unprotected
+                            // guard and the raw deref both stay valid.
                             let g = unsafe { crossbeam_epoch::unprotected() };
                             let p = i.main.load(Ordering::Relaxed, g);
+                            // SAFETY: `p` was just loaded from a live INode and
+                            // nothing frees it in this single-threaded test.
                             find_lnode(unsafe { p.deref() }, depth + 1)
                         }
                         Branch::S(_) => false,
@@ -485,6 +489,8 @@ mod tests {
         let a = MainNode::<u64, u64>::lnode(LNode { entries: vec![] });
         let inner = Arc::clone(&a);
         let s = arc_into_shared(inner);
+        // SAFETY: `s` was produced by `arc_into_shared` one line up and is
+        // reclaimed exactly once here.
         let back = unsafe { arc_from_shared(s) };
         assert_eq!(Arc::strong_count(&a), 2);
         drop(back);

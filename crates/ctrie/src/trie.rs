@@ -64,6 +64,8 @@ pub struct CTrie<K, V, S = FxBuildHasher> {
 // SAFETY: all shared mutation goes through atomic cells with the ownership
 // protocol documented in `node`; `K`/`V` cross threads via `Arc`.
 unsafe impl<K: Send + Sync, V: Send + Sync, S: Send + Sync> Send for CTrie<K, V, S> {}
+// SAFETY: same argument as Send — concurrent readers/writers synchronize
+// exclusively through the atomic root cell and GCAS, never through `&mut`.
 unsafe impl<K: Send + Sync, V: Send + Sync, S: Send + Sync> Sync for CTrie<K, V, S> {}
 
 impl<K, V> CTrie<K, V, FxBuildHasher>
@@ -176,13 +178,18 @@ where
             .compare_exchange(ov, desc_shared, SeqCst, SeqCst, g)
         {
             Ok(_) => {
-                // The cell's former count of `ov` is now orphaned.
+                // SAFETY: the CAS succeeded, so the cell's former strong
+                // count of `ov` is orphaned and ours to release; readers
+                // pinned by older guards still hold it until the epoch
+                // flips, which defer_drop_root respects.
                 unsafe { Self::defer_drop_root(g, ov) };
                 self.rdcss_complete(false, g);
                 desc_probe.committed.load(SeqCst)
             }
             Err(_) => {
-                // Nobody saw the descriptor; reclaim it immediately.
+                // SAFETY: the CAS failed, so no other thread ever saw
+                // `desc_shared`; the strong count minted by Arc::into_raw
+                // above is exclusively ours to reclaim, immediately.
                 unsafe {
                     drop(Arc::from_raw(
                         desc_shared.with_tag(0).as_raw() as *const Descriptor<K, V>
@@ -208,10 +215,16 @@ where
                     Shared::from(Arc::into_raw(target).cast::<u64>()).with_tag(ROOT_INODE);
                 match self.root.compare_exchange(r, shared, SeqCst, SeqCst, g) {
                     Ok(_) => {
+                        // SAFETY: CAS success orphans the descriptor's
+                        // strong count held by the cell; defer its drop
+                        // past every pinned reader.
                         unsafe { Self::defer_drop_root(g, r) };
                         true
                     }
                     Err(_) => {
+                        // SAFETY: CAS failure means `shared` was never
+                        // published; the count from Arc::into_raw above
+                        // is still exclusively ours.
                         unsafe {
                             drop(Arc::from_raw(
                                 shared.with_tag(0).as_raw() as *const INode<K, V>
@@ -292,19 +305,24 @@ where
             // current generation for the validity check.
             let (_, root) = self.read_root(true, g);
             if prev.tag() == PREV_FAILED {
-                // Roll back: inode.main: m → old. The cell needs its own
-                // count of `old`; `m.prev`'s count is released by m's Drop.
+                // Roll back: inode.main: m → old.
                 let old = prev.with_tag(0);
+                // SAFETY: `old` is kept live by `m.prev`'s strong count
+                // (released only by m's Drop); the cell needs its own
+                // count, minted here before the CAS can publish it.
                 unsafe { Arc::increment_strong_count(old.as_raw()) };
                 match inode.main.compare_exchange(m, old, SeqCst, SeqCst, g) {
                     Ok(_) => {
-                        // The cell's count of `m` is orphaned.
+                        // SAFETY: the CAS orphaned the cell's count of
+                        // `m`; defer its release past pinned readers.
                         unsafe { defer_drop_arc(g, m) };
                         m = old;
                         continue;
                     }
                     Err(e) => {
-                        // Undo our speculative count; nobody saw it.
+                        // SAFETY: the CAS failed, so the speculative
+                        // count minted above was never published and is
+                        // exclusively ours to undo.
                         unsafe { drop(Arc::from_raw(old.as_raw())) };
                         m = e.current;
                         continue;
@@ -319,7 +337,9 @@ where
                     .compare_exchange(prev, Shared::null(), SeqCst, SeqCst, g)
                 {
                     Ok(_) => {
-                        // prev's count of the old main is released.
+                        // SAFETY: clearing `prev` orphans its strong
+                        // count of the old main; defer its release past
+                        // pinned readers.
                         unsafe { defer_drop_arc(g, prev) };
                         return m;
                     }
@@ -344,6 +364,8 @@ where
         g: &Guard,
     ) -> bool {
         // Point new.prev at old (pending), giving the prev cell its count.
+        // SAFETY: `old` is live — it is the current main node of `inode`,
+        // held by the cell's own strong count while we are pinned.
         unsafe { Arc::increment_strong_count(old.as_raw()) };
         new.prev.store(old.with_tag(PREV_PENDING), SeqCst);
         let new_shared = arc_into_shared(new);
@@ -352,16 +374,20 @@ where
             .compare_exchange(old, new_shared, SeqCst, SeqCst, g)
         {
             Ok(_) => {
-                // The cell's count of `old` is orphaned (rollback takes a
-                // fresh count if needed).
+                // SAFETY: the CAS orphaned the cell's count of `old`
+                // (rollback takes a fresh count if needed); defer its
+                // release past pinned readers.
                 unsafe { defer_drop_arc(g, old) };
                 self.gcas_commit(inode, new_shared, g);
                 // Committed iff the proposal survived with prev cleared.
+                // SAFETY: `new_shared` is the cell's current-or-recent
+                // main node, pinned by `g`.
                 unsafe { new_shared.deref() }.prev.load(SeqCst, g).is_null()
             }
             Err(_) => {
-                // CAS failed: nobody saw `new`; reclaim it (its Drop
-                // releases prev's count of `old`).
+                // SAFETY: the CAS failed, so `new` was never published;
+                // the count from arc_into_shared is exclusively ours to
+                // reclaim (its Drop releases prev's count of `old`).
                 unsafe { drop(arc_from_shared(new_shared)) };
                 false
             }
@@ -681,6 +707,7 @@ where
                         }
                         Branch::S(sn) => {
                             if sn.hash == hash && sn.key.borrow() == key {
+                                // idf-lint: allow(hot-path-panic) -- lookup_with invariant: the projection is taken once per call
                                 let func = f.take().expect("projection applied twice");
                                 return Op::Done(Some(func(&sn.value)));
                             }
@@ -692,6 +719,7 @@ where
                     if self.read_only {
                         // Snapshots never clean; answer straight from the tomb.
                         if sn.hash == hash && sn.key.borrow() == key {
+                            // idf-lint: allow(hot-path-panic) -- lookup_with invariant: the projection is taken once per call
                             let func = f.take().expect("projection applied twice");
                             return Op::Done(Some(func(&sn.value)));
                         }
@@ -704,6 +732,7 @@ where
                 }
                 MainKind::L(ln) => {
                     let r = ln.get(key).map(|sn| {
+                        // idf-lint: allow(hot-path-panic) -- lookup_with invariant: the projection is taken once per call
                         let func = f.take().expect("projection applied twice");
                         func(&sn.value)
                     });
@@ -924,6 +953,8 @@ where
                     root_shared.with_tag(0).as_raw() as *const INode<K, V>
                 ))
             };
+            // SAFETY: `main` is pinned by `g`; mint a fresh count for the
+            // RDCSS expected value.
             let exp = unsafe { arc_clone_from_shared(main) };
             if self.rdcss_root(root_shared, exp, nv, g) {
                 return CTrie {
@@ -1049,6 +1080,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "loop/thread count too heavy for the interpreter")]
     fn many_keys() {
         let t: CTrie<u64, u64> = CTrie::new();
         for i in 0..10_000 {
@@ -1076,6 +1108,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "loop/thread count too heavy for the interpreter")]
     fn remove_contracts_structure() {
         let t: CTrie<u64, u64> = CTrie::new();
         for i in 0..5000 {
@@ -1089,6 +1122,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "loop/thread count too heavy for the interpreter")]
     fn borrowed_lookup_never_builds_an_owned_key() {
         let t: CTrie<String, u64> = CTrie::new();
         for i in 0..1000u64 {
@@ -1174,6 +1208,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "loop/thread count too heavy for the interpreter")]
     fn string_keys() {
         let t: CTrie<String, u64> = CTrie::new();
         for i in 0..1000 {
@@ -1233,6 +1268,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "loop/thread count too heavy for the interpreter")]
     fn concurrent_inserts_disjoint_ranges() {
         let t = Arc::new(CTrie::<u64, u64>::new());
         let threads: Vec<_> = (0..8u64)
@@ -1259,6 +1295,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "loop/thread count too heavy for the interpreter")]
     fn concurrent_inserts_same_keys_last_writer_wins() {
         let t = Arc::new(CTrie::<u64, u64>::new());
         let threads: Vec<_> = (0..4u64)
@@ -1282,6 +1319,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "loop/thread count too heavy for the interpreter")]
     fn concurrent_snapshot_under_writes() {
         const TOTAL: u64 = 100_000;
         let t = Arc::new(CTrie::<u64, u64>::new());
@@ -1323,6 +1361,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "loop/thread count too heavy for the interpreter")]
     fn concurrent_removes_and_inserts() {
         let t = Arc::new(CTrie::<u64, u64>::new());
         for i in 0..10_000 {

@@ -38,6 +38,7 @@
 //! assert_eq!(out.len(), 1);
 //! ```
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod analyzer;

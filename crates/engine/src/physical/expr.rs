@@ -546,6 +546,7 @@ pub(crate) mod kernels {
             BinaryOp::LtEq => a <= b,
             BinaryOp::Gt => a > b,
             BinaryOp::GtEq => a >= b,
+            // idf-lint: allow(hot-path-panic) -- comparison() dispatches only comparison ops here
             _ => unreachable!("comparison kernel on non-comparison op"),
         }
     }
@@ -626,7 +627,8 @@ pub(crate) mod kernels {
                     BinaryOp::Multiply => x.checked_mul(y),
                     BinaryOp::Divide => x.checked_div(y),
                     BinaryOp::Modulo => x.checked_rem(y),
-                    _ => unreachable!(),
+                    // idf-lint: allow(hot-path-panic) -- arithmetic() dispatches only arithmetic ops here
+                    _ => unreachable!("arithmetic kernel on non-arithmetic op"),
                 };
                 match out {
                     Some(v) => values.push(v),
@@ -662,7 +664,8 @@ pub(crate) mod kernels {
                             BinaryOp::Multiply => x * y,
                             BinaryOp::Divide => x / y,
                             BinaryOp::Modulo => x % y,
-                            _ => unreachable!(),
+                            // idf-lint: allow(hot-path-panic) -- arithmetic() dispatches only arithmetic ops here
+                            _ => unreachable!("arithmetic kernel on non-arithmetic op"),
                         }
                     })
                     .collect();

@@ -354,13 +354,13 @@ pub fn execute_collect_partitions(
 pub fn execute_collect(plan: &ExecPlanRef, ctx: &TaskContext) -> Result<Chunk> {
     let parts = execute_collect_partitions(plan, ctx)?;
     let mut chunks: Vec<Chunk> = parts.into_iter().flatten().collect();
-    if chunks.is_empty() {
-        return Ok(Chunk::empty(&plan.schema()));
+    if chunks.len() > 1 {
+        return Chunk::concat(&chunks);
     }
-    if chunks.len() == 1 {
-        return Ok(chunks.pop().expect("len checked"));
+    match chunks.pop() {
+        Some(only) => Ok(only),
+        None => Ok(Chunk::empty(&plan.schema())),
     }
-    Chunk::concat(&chunks)
 }
 
 /// Stable 64-bit hash of a scalar, used for shuffle partitioning and join

@@ -1,0 +1,116 @@
+//! The no-op half (`failpoints` feature disabled).
+//!
+//! Every public item of `registry.rs` exists here with the same
+//! signature so downstream code and tests compile unchanged in either
+//! configuration — the `idf-lint` `api-parity` rule enforces the match.
+//! Configuration calls are accepted and discarded; [`eval`] compiles to
+//! an inlined `Ok(())` with zero cost at the call site.
+
+use std::time::Duration;
+
+/// What a triggered failpoint does (never triggers in a no-op build).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailAction {
+    /// Return `Err(message)` from [`eval`].
+    Error(String),
+    /// Panic with the given message.
+    Panic(String),
+    /// Sleep for the given duration, then return `Ok(())`.
+    Delay(Duration),
+}
+
+/// Per-site trigger configuration. Carried for API parity; a no-op
+/// build never consults it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailConfig {
+    action: FailAction,
+    skip: u64,
+    times: Option<u64>,
+}
+
+impl FailConfig {
+    /// Trigger by returning `Err(message)`.
+    pub fn error(message: impl Into<String>) -> Self {
+        Self::new(FailAction::Error(message.into()))
+    }
+
+    /// Trigger by panicking with `message`.
+    pub fn panic(message: impl Into<String>) -> Self {
+        Self::new(FailAction::Panic(message.into()))
+    }
+
+    /// Trigger by sleeping `millis` milliseconds.
+    pub fn delay(millis: u64) -> Self {
+        Self::new(FailAction::Delay(Duration::from_millis(millis)))
+    }
+
+    /// Build a config from a raw [`FailAction`].
+    pub fn new(action: FailAction) -> Self {
+        Self {
+            action,
+            skip: 0,
+            times: None,
+        }
+    }
+
+    /// Let the first `n` evaluations pass before triggering.
+    pub fn skip(mut self, n: u64) -> Self {
+        self.skip = n;
+        self
+    }
+
+    /// Trigger at most `n` times, then behave as if unconfigured.
+    pub fn times(mut self, n: u64) -> Self {
+        self.times = Some(n);
+        self
+    }
+}
+
+/// Configure `site` to trigger per `config` (no-op build: discarded).
+pub fn configure(site: impl Into<String>, config: FailConfig) {
+    let _ = site.into();
+    let _ = config;
+}
+
+/// Remove the configuration for `site` (no-op build: always `false`).
+pub fn remove(site: &str) -> bool {
+    let _ = site;
+    false
+}
+
+/// Remove every configured site (no-op build: nothing to remove).
+pub fn reset() {}
+
+/// Number of evaluations of `site` so far (no-op build: always `None`).
+pub fn hit_count(site: &str) -> Option<u64> {
+    let _ = site;
+    None
+}
+
+/// Evaluate the failpoint named `site` (no-op build: always `Ok(())`).
+#[inline(always)]
+pub fn eval(site: &str) -> Result<(), String> {
+    let _ = site;
+    Ok(())
+}
+
+/// RAII handle that configures a site on construction and removes it
+/// on drop (no-op build: holds the name, does nothing).
+#[derive(Debug)]
+pub struct FailGuard {
+    site: String,
+}
+
+impl FailGuard {
+    /// Configure `site` with `config`; the configuration is removed
+    /// when the returned guard drops.
+    pub fn new(site: impl Into<String>, config: FailConfig) -> Self {
+        let _ = config;
+        Self { site: site.into() }
+    }
+
+    /// The site this guard controls.
+    pub fn site(&self) -> &str {
+        &self.site
+    }
+}

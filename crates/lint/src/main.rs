@@ -1,0 +1,119 @@
+//! `idf-lint` CLI: walk the workspace and report invariant violations.
+//!
+//! ```text
+//! cargo run -p idf-lint -- [--deny-all] [--root PATH] [--format human|json]
+//!                          [--rule ID]... [--list-rules]
+//! ```
+//!
+//! Exit status: 0 when clean (or informational modes), 1 on findings
+//! under `--deny-all`, 2 on usage/IO errors. `--format json` emits one
+//! JSON object per line for machine consumption.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut deny_all = false;
+    let mut format = Format::Human;
+    let mut only: Vec<String> = Vec::new();
+    let mut list_rules = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny-all" => deny_all = true,
+            "--list-rules" => list_rules = true,
+            "--root" => match args.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => return usage("--root needs a path"),
+            },
+            "--format" => match args.next().as_deref() {
+                Some("human") => format = Format::Human,
+                Some("json") => format = Format::Json,
+                _ => return usage("--format needs `human` or `json`"),
+            },
+            "--rule" => match args.next() {
+                Some(r) => only.push(r),
+                None => return usage("--rule needs a rule id"),
+            },
+            "--help" | "-h" => {
+                print_help();
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    if list_rules {
+        for rule in idf_lint::all_rules() {
+            println!("{:<22} {}", rule.id(), rule.describe());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let known: Vec<&'static str> = idf_lint::all_rules().iter().map(|r| r.id()).collect();
+    for r in &only {
+        if !known.contains(&r.as_str()) {
+            return usage(&format!("unknown rule `{r}` (known: {})", known.join(", ")));
+        }
+    }
+
+    let files = match idf_lint::collect_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("idf-lint: cannot read workspace at {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let cfg = idf_lint::LintConfig::workspace_default();
+    let filter = if only.is_empty() {
+        None
+    } else {
+        Some(only.as_slice())
+    };
+    let findings = idf_lint::lint_files_filtered(&files, &cfg, filter);
+
+    match format {
+        Format::Human => {
+            for f in &findings {
+                println!("{f}");
+            }
+            if findings.is_empty() {
+                eprintln!("idf-lint: {} files clean", files.len());
+            } else {
+                eprintln!("idf-lint: {} finding(s)", findings.len());
+            }
+        }
+        Format::Json => {
+            for f in &findings {
+                println!("{}", f.to_json());
+            }
+        }
+    }
+
+    if deny_all && !findings.is_empty() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Format {
+    Human,
+    Json,
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("idf-lint: {msg}");
+    print_help();
+    ExitCode::from(2)
+}
+
+fn print_help() {
+    eprintln!(
+        "usage: idf-lint [--deny-all] [--root PATH] [--format human|json] \
+         [--rule ID]... [--list-rules]"
+    );
+}

@@ -1,0 +1,381 @@
+//! Rule `api-parity`: the `idf-obs` and `idf-fail` no-op mirrors must
+//! expose exactly the public API of their real halves.
+//!
+//! The workspace compiles every feature-gated subsystem down to an
+//! API-identical no-op (`--no-default-features`), so a `pub fn` added to
+//! the real module but not the mirror only breaks the *stripped* build —
+//! which local `cargo test` never exercises. This rule diffs the public
+//! surface (top-level and inherent-impl `pub fn` signatures, `pub const`
+//! names and types) between the real file set and the mirror file set of
+//! each configured [`crate::ParityPair`].
+//!
+//! Signatures are compared token-normalized: whitespace is canonical,
+//! leading underscores on parameter names are stripped (no-op bodies
+//! conventionally take `_name: T`), and trait impls are ignored on both
+//! sides (their methods are not `pub` surface).
+
+use crate::{Finding, LintConfig, Rule, SourceFile, TokKind};
+use std::collections::BTreeMap;
+
+/// See module docs.
+pub struct ApiParity;
+
+const ID: &str = "api-parity";
+
+impl Rule for ApiParity {
+    fn id(&self) -> &'static str {
+        ID
+    }
+
+    fn describe(&self) -> &'static str {
+        "feature-gated no-op mirrors (idf-obs, idf-fail) expose the exact real public API"
+    }
+
+    fn check(&self, files: &[SourceFile], cfg: &LintConfig, out: &mut Vec<Finding>) {
+        for pair in &cfg.parity_pairs {
+            let real = extract_set(files, &pair.real);
+            let mirror = extract_set(files, &pair.mirror);
+            // Skip the pair entirely when neither side is present in the
+            // file set (fixture runs lint single files).
+            if real.is_empty() && mirror.is_empty() {
+                continue;
+            }
+            let anchor = pair
+                .mirror
+                .first()
+                .map(|p| p.to_string())
+                .unwrap_or_default();
+            for (key, item) in &real {
+                match mirror.get(key) {
+                    None => out.push(Finding {
+                        rule: ID,
+                        file: anchor.clone(),
+                        line: 1,
+                        message: format!(
+                            "{}: `{}` ({}:{}) has no counterpart in the no-op mirror",
+                            pair.name,
+                            display_key(key),
+                            item.file,
+                            item.line
+                        ),
+                    }),
+                    Some(m) if m.sig != item.sig => out.push(Finding {
+                        rule: ID,
+                        file: m.file.clone(),
+                        line: m.line,
+                        message: format!(
+                            "{}: `{}` signature drifted from the real half: mirror `{}` vs real `{}`",
+                            pair.name,
+                            display_key(key),
+                            m.sig,
+                            item.sig
+                        ),
+                    }),
+                    Some(_) => {}
+                }
+            }
+            for (key, item) in &mirror {
+                if !real.contains_key(key) {
+                    out.push(Finding {
+                        rule: ID,
+                        file: item.file.clone(),
+                        line: item.line,
+                        message: format!(
+                            "{}: mirror-only item `{}` does not exist in the real half",
+                            pair.name,
+                            display_key(key)
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+fn display_key(key: &(String, String)) -> String {
+    if key.0.is_empty() {
+        key.1.clone()
+    } else {
+        format!("{}::{}", key.0, key.1)
+    }
+}
+
+/// One extracted public API item.
+#[derive(Debug)]
+struct ApiItem {
+    file: String,
+    line: u32,
+    /// Normalized signature (fns) or `const NAME : Type` (consts).
+    sig: String,
+}
+
+/// Extract the public surface of the files in `paths`, keyed by
+/// `(impl target or "", item name)`.
+fn extract_set(files: &[SourceFile], paths: &[&str]) -> BTreeMap<(String, String), ApiItem> {
+    let mut out = BTreeMap::new();
+    for sf in files {
+        if paths.iter().any(|p| *p == sf.path) {
+            extract_file(sf, &mut out);
+        }
+    }
+    out
+}
+
+fn extract_file(sf: &SourceFile, out: &mut BTreeMap<(String, String), ApiItem>) {
+    let toks = &sf.lexed.toks;
+    let n = toks.len();
+    let mut i = 0usize;
+    let mut depth = 0i32;
+    // Stack of (brace depth inside the impl body, impl target or None for
+    // trait impls / non-impl braces). Only inherent impl bodies at their
+    // immediate depth contribute items.
+    let mut impl_stack: Vec<(i32, Option<String>)> = Vec::new();
+    while i < n {
+        let t = &toks[i];
+        match (t.kind, t.text.as_str()) {
+            (TokKind::Punct, "{") => {
+                depth += 1;
+                i += 1;
+                continue;
+            }
+            (TokKind::Punct, "}") => {
+                depth -= 1;
+                impl_stack.retain(|(d, _)| *d <= depth);
+                i += 1;
+                continue;
+            }
+            (TokKind::Ident, "impl") if depth == 0 => {
+                // Parse header up to `{`.
+                let mut j = i + 1;
+                let mut saw_for = false;
+                let mut target_before_for: Option<String> = None;
+                let mut target_after_for: Option<String> = None;
+                while j < n && !(toks[j].kind == TokKind::Punct && toks[j].text == "{") {
+                    if toks[j].kind == TokKind::Ident {
+                        if toks[j].text == "for" {
+                            saw_for = true;
+                        } else if saw_for {
+                            if target_after_for.is_none() {
+                                target_after_for = Some(toks[j].text.clone());
+                            }
+                        } else if target_before_for.is_none() {
+                            target_before_for = Some(toks[j].text.clone());
+                        }
+                    }
+                    j += 1;
+                }
+                // Trait impls contribute nothing; inherent impls set the
+                // target for items at depth+1.
+                let target = if saw_for { None } else { target_before_for };
+                impl_stack.push((depth + 1, target));
+                i = j;
+                continue;
+            }
+            (TokKind::Ident, "pub") => {
+                let target = if depth == 0 {
+                    Some(String::new())
+                } else {
+                    impl_stack
+                        .iter()
+                        .rev()
+                        .find(|(d, _)| *d == depth)
+                        .and_then(|(_, t)| t.clone())
+                };
+                if let Some(target) = target {
+                    if let Some((name, sig, end)) = parse_pub_item(toks, i) {
+                        out.insert(
+                            (target, name),
+                            ApiItem {
+                                file: sf.path.clone(),
+                                line: t.line,
+                                sig,
+                            },
+                        );
+                        i = end;
+                        continue;
+                    }
+                }
+                i += 1;
+            }
+            _ => {
+                i += 1;
+            }
+        }
+    }
+}
+
+/// Parse a `pub fn` / `pub const` item starting at the `pub` token.
+/// Returns `(name, normalized signature, index of the token the caller
+/// should resume at)` — for fns that is the body `{`/`;` so brace depth
+/// tracking stays correct.
+fn parse_pub_item(toks: &[crate::lexer::Tok], i: usize) -> Option<(String, String, usize)> {
+    let n = toks.len();
+    let mut j = i + 1;
+    // Optional visibility scope `pub(crate)` — such items are not public
+    // API surface; skip them entirely.
+    if toks.get(j).is_some_and(|t| t.text == "(") {
+        return None;
+    }
+    let mut quals: Vec<&str> = Vec::new();
+    while j < n
+        && toks[j].kind == TokKind::Ident
+        && matches!(
+            toks[j].text.as_str(),
+            "const" | "unsafe" | "async" | "extern"
+        )
+    {
+        quals.push(toks[j].text.as_str());
+        j += 1;
+    }
+    let head = toks.get(j)?;
+    if head.kind != TokKind::Ident {
+        return None;
+    }
+    match head.text.as_str() {
+        "fn" => {
+            let name = toks.get(j + 1)?.text.clone();
+            // Signature runs to the body `{` or a trailing `;`.
+            let mut k = j;
+            let mut sig = String::new();
+            for q in &quals {
+                push_tok_text(&mut sig, q);
+            }
+            while k < n {
+                match (toks[k].kind, toks[k].text.as_str()) {
+                    (TokKind::Punct, "{") | (TokKind::Punct, ";") => break,
+                    _ => {}
+                }
+                let text = normalized_tok_text(toks, k);
+                push_tok_text(&mut sig, &text);
+                k += 1;
+            }
+            Some((name, sig, k))
+        }
+        "const" => unreachable!("const is consumed as a qualifier"),
+        _ => {
+            // `pub const NAME: Type = …` — `const` landed in quals and the
+            // head is the const's name.
+            if quals == ["const"] {
+                let name = head.text.clone();
+                // Type tokens run from after `:` to `=` or `;`.
+                let mut k = j;
+                let mut sig = String::from("const");
+                while k < n {
+                    match (toks[k].kind, toks[k].text.as_str()) {
+                        (TokKind::Punct, "=") | (TokKind::Punct, ";") => break,
+                        _ => {}
+                    }
+                    push_tok_text(&mut sig, &toks[k].text);
+                    k += 1;
+                }
+                Some((name, sig, k))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// Token text with no-op parameter-name normalization: an ident starting
+/// with `_` whose next token is `:` has the underscores stripped.
+fn normalized_tok_text(toks: &[crate::lexer::Tok], k: usize) -> String {
+    let t = &toks[k];
+    if t.kind == TokKind::Ident
+        && t.text.starts_with('_')
+        && toks.get(k + 1).is_some_and(|n| n.text == ":")
+    {
+        let stripped = t.text.trim_start_matches('_');
+        if !stripped.is_empty() {
+            return stripped.to_string();
+        }
+    }
+    if t.kind == TokKind::Lifetime {
+        return format!("'{}", t.text);
+    }
+    t.text.clone()
+}
+
+fn push_tok_text(sig: &mut String, text: &str) {
+    // Glue punctuation tightly so `& self` and `&self` normalize equal.
+    let tight = matches!(
+        text,
+        ":" | "<" | ">" | "&" | "'" | "(" | ")" | "[" | "]" | "," | ";"
+    );
+    if !sig.is_empty() && !tight && !sig.ends_with(['<', '&', '(', '[', ':', '\'']) {
+        sig.push(' ');
+    }
+    sig.push_str(text);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lint_files;
+
+    fn run(real: &str, mirror: &str) -> Vec<Finding> {
+        lint_files(
+            &[
+                ("crates/fail/src/registry.rs".to_string(), real.to_string()),
+                ("crates/fail/src/noop.rs".to_string(), mirror.to_string()),
+            ],
+            &LintConfig::workspace_default(),
+        )
+        .into_iter()
+        .filter(|f| f.rule == ID)
+        .collect()
+    }
+
+    #[test]
+    fn identical_surfaces_pass() {
+        let real = "pub struct G;\nimpl G {\n pub fn site(&self) -> &str { \"x\" }\n}\npub fn eval(site: &str) -> Result<(), String> { Ok(()) }";
+        let mirror = "pub struct G;\nimpl G {\n pub fn site(&self) -> &str { \"\" }\n}\npub fn eval(_site: &str) -> Result<(), String> { Ok(()) }";
+        assert!(run(real, mirror).is_empty(), "{:?}", run(real, mirror));
+    }
+
+    #[test]
+    fn missing_mirror_fn_is_flagged() {
+        let real = "pub fn eval(site: &str) {}\npub fn hit_count(site: &str) -> u64 { 0 }";
+        let mirror = "pub fn eval(_site: &str) {}";
+        let f = run(real, mirror);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("hit_count"));
+    }
+
+    #[test]
+    fn signature_drift_is_flagged() {
+        let real = "pub fn eval(site: &str) -> Result<(), String> { Ok(()) }";
+        let mirror = "pub fn eval(_site: &str) {}";
+        let f = run(real, mirror);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("drifted"));
+    }
+
+    #[test]
+    fn mirror_only_item_is_flagged() {
+        let f = run("", "pub fn extra() {}");
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("mirror-only"));
+    }
+
+    #[test]
+    fn trait_impls_and_private_items_are_ignored() {
+        let real = "impl Drop for G {\n fn drop(&mut self) {}\n}\nfn private() {}\npub(crate) fn scoped() {}";
+        let mirror = "";
+        assert!(run(real, mirror).is_empty());
+    }
+
+    #[test]
+    fn const_type_mismatch_is_flagged() {
+        let real = "pub const CAP: usize = 128;";
+        let mirror = "pub const CAP: u32 = 128;";
+        let f = run(real, mirror);
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn nested_fn_inside_body_is_not_surface() {
+        let real = "pub fn outer() { pub fn inner() {} }";
+        let mirror = "pub fn outer() {}";
+        assert!(run(real, mirror).is_empty());
+    }
+}

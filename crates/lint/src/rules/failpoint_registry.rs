@@ -1,0 +1,274 @@
+//! Rule `failpoint-registry`: every failpoint site name is declared as a
+//! named const, registered exactly once in its file's `SITES` table, and
+//! call sites never pass raw string literals.
+//!
+//! The chaos suite iterates `SITES` and asserts the snapshot invariants
+//! hold with a fault injected at every registered site — a site that is
+//! declared but not registered silently escapes chaos coverage, and a raw
+//! `eval("...")` literal can drift from the const without any compiler
+//! help. Concretely, per registry file (`crates/{core,engine}/src/
+//! failpoints.rs`):
+//!
+//! 1. every `pub const NAME: &str = "..."` appears exactly once in that
+//!    file's `pub const SITES: &[&str] = &[...]` table;
+//! 2. every entry of `SITES` resolves to a declared const;
+//! 3. no two consts (across all registry files) share a string value;
+//! 4. outside the `idf-fail` crate, the registry files themselves, and
+//!    test code, `eval(...)`/`check(...)` never takes a string literal —
+//!    sites must be referenced by const.
+
+use crate::{Finding, LintConfig, Rule, SourceFile, TokKind};
+use std::collections::BTreeMap;
+
+/// See module docs.
+pub struct FailpointRegistry;
+
+const ID: &str = "failpoint-registry";
+
+impl Rule for FailpointRegistry {
+    fn id(&self) -> &'static str {
+        ID
+    }
+
+    fn describe(&self) -> &'static str {
+        "failpoint consts registered exactly once in SITES; no raw string literals at call sites"
+    }
+
+    fn check(&self, files: &[SourceFile], cfg: &LintConfig, out: &mut Vec<Finding>) {
+        // (value, file, line) of every declared site const, across files.
+        let mut all_values: Vec<(String, String, u32)> = Vec::new();
+        for sf in files {
+            if cfg.failpoint_registries.iter().any(|p| *p == sf.path) {
+                check_registry(sf, &mut all_values, out);
+            }
+        }
+        // Cross-registry duplicate string values.
+        let mut by_value: BTreeMap<&str, Vec<&(String, String, u32)>> = BTreeMap::new();
+        for v in &all_values {
+            by_value.entry(v.0.as_str()).or_default().push(v);
+        }
+        for (value, decls) in by_value {
+            if decls.len() > 1 {
+                for d in &decls[1..] {
+                    out.push(Finding {
+                        rule: ID,
+                        file: d.1.clone(),
+                        line: d.2,
+                        message: format!(
+                            "duplicate failpoint name \"{}\" (first declared in {}:{})",
+                            value, decls[0].1, decls[0].2
+                        ),
+                    });
+                }
+            }
+        }
+        // Raw literal call sites.
+        for sf in files {
+            let exempt = sf.path.starts_with(cfg.fail_crate_prefix)
+                || cfg.failpoint_registries.iter().any(|p| *p == sf.path)
+                || sf.is_test_path();
+            if exempt {
+                continue;
+            }
+            check_call_sites(sf, out);
+        }
+    }
+}
+
+/// Validate one registry file and collect its const values.
+fn check_registry(
+    sf: &SourceFile,
+    values: &mut Vec<(String, String, u32)>,
+    out: &mut Vec<Finding>,
+) {
+    let toks = &sf.lexed.toks;
+    let n = toks.len();
+    // name -> (value, line)
+    let mut consts: BTreeMap<String, (String, u32)> = BTreeMap::new();
+    let mut sites: Vec<(String, u32)> = Vec::new();
+    let mut sites_line: Option<u32> = None;
+    let mut i = 0usize;
+    while i < n {
+        // `const NAME : … = …` — visibility does not matter for the
+        // registry contract.
+        if toks[i].kind == TokKind::Ident && toks[i].text == "const" {
+            let Some(name_tok) = toks.get(i + 1) else {
+                break;
+            };
+            if name_tok.kind != TokKind::Ident {
+                i += 1;
+                continue;
+            }
+            let name = name_tok.text.clone();
+            let line = name_tok.line;
+            // Scan to `=`, then classify the initializer.
+            let mut j = i + 2;
+            while j < n && toks[j].text != "=" && toks[j].text != ";" {
+                j += 1;
+            }
+            if name == "SITES" {
+                sites_line = Some(line);
+                // Collect idents of the `&[A, B, …]` initializer.
+                while j < n && toks[j].text != ";" {
+                    if toks[j].kind == TokKind::Ident {
+                        sites.push((toks[j].text.clone(), toks[j].line));
+                    }
+                    j += 1;
+                }
+            } else if let Some(val) = toks.get(j + 1).filter(|v| v.kind == TokKind::Str) {
+                consts.insert(name, (val.text.clone(), line));
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+    if sites_line.is_none() && !consts.is_empty() {
+        out.push(Finding {
+            rule: ID,
+            file: sf.path.clone(),
+            line: 1,
+            message: "registry file declares site consts but no SITES table".to_string(),
+        });
+        // Still record values for the duplicate check.
+        for (value, line) in consts.values() {
+            values.push((value.clone(), sf.path.clone(), *line));
+        }
+        return;
+    }
+    for (name, (value, line)) in &consts {
+        let count = sites.iter().filter(|(s, _)| s == name).count();
+        if count != 1 {
+            out.push(Finding {
+                rule: ID,
+                file: sf.path.clone(),
+                line: *line,
+                message: format!(
+                    "site const {name} (\"{value}\") appears {count} times in SITES (want exactly 1)"
+                ),
+            });
+        }
+        values.push((value.clone(), sf.path.clone(), *line));
+    }
+    for (entry, line) in &sites {
+        if !consts.contains_key(entry) {
+            out.push(Finding {
+                rule: ID,
+                file: sf.path.clone(),
+                line: *line,
+                message: format!("SITES entry {entry} is not a site const declared in this file"),
+            });
+        }
+    }
+}
+
+/// Flag `eval("…")` / `check("…")` with raw string-literal arguments.
+fn check_call_sites(sf: &SourceFile, out: &mut Vec<Finding>) {
+    let toks = &sf.lexed.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if sf.test_mask[i] {
+            continue;
+        }
+        if t.kind != TokKind::Ident || (t.text != "eval" && t.text != "check") {
+            continue;
+        }
+        let open = toks.get(i + 1);
+        let arg = toks.get(i + 2);
+        if open.is_some_and(|o| o.kind == TokKind::Punct && o.text == "(")
+            && arg.is_some_and(|a| a.kind == TokKind::Str)
+        {
+            let name = arg.map(|a| a.text.clone()).unwrap_or_default();
+            out.push(Finding {
+                rule: ID,
+                file: sf.path.clone(),
+                line: t.line,
+                message: format!(
+                    "raw failpoint name \"{name}\" at a {} call; use a named const from failpoints.rs",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lint_files;
+
+    fn run(files: &[(&str, &str)]) -> Vec<Finding> {
+        let files: Vec<(String, String)> = files
+            .iter()
+            .map(|(p, s)| (p.to_string(), s.to_string()))
+            .collect();
+        lint_files(&files, &LintConfig::workspace_default())
+            .into_iter()
+            .filter(|f| f.rule == ID)
+            .collect()
+    }
+
+    const GOOD: &str = "pub const A: &str = \"core::a\";\npub const B: &str = \"core::b\";\npub const SITES: &[&str] = &[A, B];\n";
+
+    #[test]
+    fn well_formed_registry_passes() {
+        assert!(run(&[("crates/core/src/failpoints.rs", GOOD)]).is_empty());
+    }
+
+    #[test]
+    fn unregistered_const_is_flagged() {
+        let src = "pub const A: &str = \"core::a\";\npub const B: &str = \"core::b\";\npub const SITES: &[&str] = &[A];\n";
+        let f = run(&[("crates/core/src/failpoints.rs", src)]);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains('B'));
+    }
+
+    #[test]
+    fn double_registration_is_flagged() {
+        let src = "pub const A: &str = \"core::a\";\npub const SITES: &[&str] = &[A, A];\n";
+        let f = run(&[("crates/core/src/failpoints.rs", src)]);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("2 times"));
+    }
+
+    #[test]
+    fn unknown_sites_entry_is_flagged() {
+        let src = "pub const A: &str = \"core::a\";\npub const SITES: &[&str] = &[A, GHOST];\n";
+        let f = run(&[("crates/core/src/failpoints.rs", src)]);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("GHOST"));
+    }
+
+    #[test]
+    fn duplicate_values_across_files_are_flagged() {
+        let other = "pub const X: &str = \"core::a\";\npub const SITES: &[&str] = &[X];\n";
+        let f = run(&[
+            ("crates/core/src/failpoints.rs", GOOD),
+            ("crates/engine/src/failpoints.rs", other),
+        ]);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("duplicate"));
+    }
+
+    #[test]
+    fn raw_literal_call_site_is_flagged() {
+        let f = run(&[(
+            "crates/core/src/partition.rs",
+            "fn f() { failpoints::check(\"core::probe::partition\")?; }",
+        )]);
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn const_call_site_and_tests_are_fine() {
+        assert!(run(&[(
+            "crates/core/src/partition.rs",
+            "fn f() { failpoints::check(failpoints::PARTITION_PROBE)?; }",
+        )])
+        .is_empty());
+        assert!(run(&[(
+            "crates/core/tests/chaos.rs",
+            "fn f() { idf_fail::eval(\"core::a\").unwrap(); }",
+        )])
+        .is_empty());
+    }
+}

@@ -1,0 +1,200 @@
+//! Rule `hot-path-panic`: no `unwrap`/`expect`/`panic!`-family macros in
+//! non-test code on the query hot paths (`idf-ctrie`, the `idf-core`
+//! storage modules, `idf-engine` physical operators), and no panicking
+//! slice indexing in the binary row decode files (`batch.rs`,
+//! `layout.rs`) where payload bytes may be corrupt.
+//!
+//! A point lookup that panics poisons the append mutex and kills the
+//! worker; PR 2 made these paths return typed errors instead, and this
+//! rule keeps them that way. `assert!`/`debug_assert!` are allowed —
+//! invariant checks on programmer error are in-contract — and intentional
+//! exceptions carry an inline `// idf-lint: allow(hot-path-panic)` with a
+//! justification, which doubles as the audit trail the issue calls an
+//! "explicit allowlist".
+
+use crate::{Finding, LintConfig, Rule, SourceFile, TokKind};
+
+/// See module docs.
+pub struct HotPathPanic;
+
+const ID: &str = "hot-path-panic";
+
+/// Panicking macros (when followed by `!`).
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Panicking methods (when preceded by `.`).
+const PANIC_METHODS: &[&str] = &["unwrap", "expect"];
+
+impl Rule for HotPathPanic {
+    fn id(&self) -> &'static str {
+        ID
+    }
+
+    fn describe(&self) -> &'static str {
+        "no unwrap/expect/panic!/indexing panics in hot-path non-test code"
+    }
+
+    fn check(&self, files: &[SourceFile], cfg: &LintConfig, out: &mut Vec<Finding>) {
+        for sf in files {
+            let in_scope = cfg.hot_path_prefixes.iter().any(|p| sf.path.starts_with(p));
+            if !in_scope || sf.is_test_path() {
+                continue;
+            }
+            let index_checked = cfg.index_check_files.iter().any(|p| sf.path == *p);
+            check_file(sf, index_checked, out);
+        }
+    }
+}
+
+fn check_file(sf: &SourceFile, index_checked: bool, out: &mut Vec<Finding>) {
+    let toks = &sf.lexed.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if sf.test_mask[i] {
+            continue;
+        }
+        match t.kind {
+            TokKind::Ident => {
+                let prev = i.checked_sub(1).map(|p| &toks[p]);
+                let next = toks.get(i + 1);
+                let is_method_call = prev
+                    .is_some_and(|p| p.kind == TokKind::Punct && p.text == ".")
+                    && next.is_some_and(|n| n.kind == TokKind::Punct && n.text == "(");
+                if is_method_call && PANIC_METHODS.contains(&t.text.as_str()) {
+                    out.push(finding(
+                        sf,
+                        t.line,
+                        format!(
+                            ".{}() can panic on a hot path; return a typed error",
+                            t.text
+                        ),
+                    ));
+                    continue;
+                }
+                let is_macro = next.is_some_and(|n| n.kind == TokKind::Punct && n.text == "!");
+                if is_macro && PANIC_MACROS.contains(&t.text.as_str()) {
+                    out.push(finding(
+                        sf,
+                        t.line,
+                        format!("{}! aborts the query worker on a hot path", t.text),
+                    ));
+                }
+            }
+            TokKind::Punct if index_checked && t.text == "[" => {
+                // `expr[...]` indexing: `[` directly after an ident or a
+                // closing bracket. Attribute `#[...]`, slice patterns and
+                // array literals have other predecessors.
+                let Some(prev) = i.checked_sub(1).map(|p| &toks[p]) else {
+                    continue;
+                };
+                let is_index = match prev.kind {
+                    TokKind::Ident => !is_keyword(&prev.text),
+                    TokKind::Punct => matches!(prev.text.as_str(), ")" | "]" | "?"),
+                    _ => false,
+                };
+                if is_index {
+                    out.push(finding(
+                        sf,
+                        t.line,
+                        "slice indexing can panic on corrupt payload bytes; use get()/split checks"
+                            .to_string(),
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Keywords that can directly precede `[` without forming an index
+/// expression (e.g. `return [..]`, `let [a, b] = ..`, `in [..]`).
+fn is_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "return"
+            | "in"
+            | "if"
+            | "else"
+            | "match"
+            | "break"
+            | "mut"
+            | "const"
+            | "static"
+            | "let"
+            | "ref"
+            | "box"
+    )
+}
+
+fn finding(sf: &SourceFile, line: u32, message: String) -> Finding {
+    Finding {
+        rule: ID,
+        file: sf.path.clone(),
+        line,
+        message,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lint_files;
+
+    fn run_at(path: &str, src: &str) -> Vec<Finding> {
+        lint_files(
+            &[(path.to_string(), src.to_string())],
+            &LintConfig::workspace_default(),
+        )
+        .into_iter()
+        .filter(|f| f.rule == ID)
+        .collect()
+    }
+
+    #[test]
+    fn unwrap_in_hot_path_is_flagged() {
+        let f = run_at("crates/ctrie/src/x.rs", "fn f() { a.unwrap(); }");
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn unwrap_outside_scope_is_fine() {
+        assert!(run_at("crates/bench/src/x.rs", "fn f() { a.unwrap(); }").is_empty());
+    }
+
+    #[test]
+    fn panic_macros_flagged_asserts_allowed() {
+        let src = "fn f() { assert!(x); debug_assert!(y); panic!(\"no\"); unreachable!(); }";
+        let f = run_at("crates/engine/src/physical/x.rs", src);
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn test_regions_are_skipped() {
+        let src = "#[cfg(test)]\nmod tests {\n fn t() { a.unwrap(); panic!(); }\n}";
+        assert!(run_at("crates/ctrie/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn indexing_only_flagged_in_decode_files() {
+        let idx = "fn f(p: &[u8]) -> u8 { p[0] }";
+        assert_eq!(run_at("crates/core/src/layout.rs", idx).len(), 1);
+        assert!(run_at("crates/core/src/partition.rs", idx).is_empty());
+    }
+
+    #[test]
+    fn attributes_and_array_literals_are_not_indexing() {
+        let src = "#[derive(Debug)]\nfn f() -> [u8; 2] { let a = [1, 2]; a.into() }";
+        assert!(run_at("crates/core/src/batch.rs", src).is_empty());
+    }
+
+    #[test]
+    fn slice_patterns_are_not_indexing() {
+        let src = "fn f(p: &[u8]) -> Result<u8> { let [b] = fixed::<1>(p, 0)?; Ok(b) }";
+        assert!(run_at("crates/core/src/layout.rs", src).is_empty());
+    }
+
+    #[test]
+    fn inline_allow_suppresses() {
+        let src = "fn f() {\n    // idf-lint: allow(hot-path-panic) -- len checked above\n    a.unwrap();\n}";
+        assert!(run_at("crates/ctrie/src/x.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,197 @@
+//! Rule `instrument-routing`: every physical operator's `execute` routes
+//! its output through `TaskContext::instrument` (or delegates wholesale
+//! to a child's `execute`).
+//!
+//! The `LifecycleGuard` wrapper installed by `instrument` is what makes
+//! every operator cancellable, deadline-checked, and metered — an
+//! operator that returns a bare iterator silently opts out of the entire
+//! PR 2/PR 3 lifecycle machinery. This rule scans `impl … ExecutionPlan
+//! for …` blocks under `crates/engine/src/physical/` and requires the
+//! `execute` body to mention `instrument` or contain an `.execute(`
+//! delegation (e.g. `UnionExec` concatenating already-instrumented child
+//! streams).
+
+use crate::{Finding, LintConfig, Rule, SourceFile, TokKind};
+
+/// See module docs.
+pub struct InstrumentRouting;
+
+const ID: &str = "instrument-routing";
+
+impl Rule for InstrumentRouting {
+    fn id(&self) -> &'static str {
+        ID
+    }
+
+    fn describe(&self) -> &'static str {
+        "physical operators' execute() must route output through TaskContext::instrument"
+    }
+
+    fn check(&self, files: &[SourceFile], cfg: &LintConfig, out: &mut Vec<Finding>) {
+        for sf in files {
+            if !sf.path.starts_with(cfg.physical_prefix) {
+                continue;
+            }
+            check_file(sf, out);
+        }
+    }
+}
+
+fn check_file(sf: &SourceFile, out: &mut Vec<Finding>) {
+    let toks = &sf.lexed.toks;
+    let n = toks.len();
+    let mut i = 0usize;
+    while i < n {
+        if !(toks[i].kind == TokKind::Ident && toks[i].text == "impl") {
+            i += 1;
+            continue;
+        }
+        // Header up to `{`: must contain `ExecutionPlan` and `for`.
+        let mut j = i + 1;
+        let mut saw_plan = false;
+        let mut saw_for = false;
+        let mut operator = String::new();
+        while j < n && !(toks[j].kind == TokKind::Punct && toks[j].text == "{") {
+            if toks[j].kind == TokKind::Ident {
+                match toks[j].text.as_str() {
+                    "ExecutionPlan" => saw_plan = true,
+                    "for" => saw_for = true,
+                    id if saw_for && operator.is_empty() => operator = id.to_string(),
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        if !(saw_plan && saw_for) || j >= n {
+            i = j;
+            continue;
+        }
+        // Brace-match the impl body.
+        let body_start = j;
+        let mut depth = 1i32;
+        let mut k = body_start + 1;
+        while k < n && depth > 0 {
+            match (toks[k].kind, toks[k].text.as_str()) {
+                (TokKind::Punct, "{") => depth += 1,
+                (TokKind::Punct, "}") => depth -= 1,
+                _ => {}
+            }
+            k += 1;
+        }
+        let body_end = k;
+        check_execute(sf, &operator, body_start + 1, body_end, out);
+        i = body_end;
+    }
+}
+
+/// Within impl body tokens `[lo, hi)`, find `fn execute` and verify its
+/// body mentions `instrument` or delegates via `.execute(`.
+fn check_execute(sf: &SourceFile, operator: &str, lo: usize, hi: usize, out: &mut Vec<Finding>) {
+    let toks = &sf.lexed.toks;
+    let mut i = lo;
+    while i < hi {
+        let is_fn_execute = toks[i].kind == TokKind::Ident
+            && toks[i].text == "fn"
+            && toks
+                .get(i + 1)
+                .is_some_and(|t| t.kind == TokKind::Ident && t.text == "execute");
+        if !is_fn_execute {
+            i += 1;
+            continue;
+        }
+        let fn_line = toks[i].line;
+        // Skip the signature to the body `{`.
+        let mut j = i + 2;
+        while j < hi && !(toks[j].kind == TokKind::Punct && toks[j].text == "{") {
+            j += 1;
+        }
+        let mut depth = 1i32;
+        let mut k = j + 1;
+        let mut routed = false;
+        while k < hi && depth > 0 {
+            match (toks[k].kind, toks[k].text.as_str()) {
+                (TokKind::Punct, "{") => depth += 1,
+                (TokKind::Punct, "}") => depth -= 1,
+                (TokKind::Ident, "instrument") => routed = true,
+                (TokKind::Ident, "execute") => {
+                    // `.execute(` delegation to a child operator.
+                    let dotted = k > 0 && toks[k - 1].text == ".";
+                    let called = toks.get(k + 1).is_some_and(|t| t.text == "(");
+                    if dotted && called {
+                        routed = true;
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        if !routed {
+            out.push(Finding {
+                rule: ID,
+                file: sf.path.clone(),
+                line: fn_line,
+                message: format!(
+                    "{operator}::execute returns a bare iterator; route it through \
+                     TaskContext::instrument (or delegate to a child's execute)"
+                ),
+            });
+        }
+        return; // One execute per impl block.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lint_files;
+
+    fn run(src: &str) -> Vec<Finding> {
+        lint_files(
+            &[(
+                "crates/engine/src/physical/x.rs".to_string(),
+                src.to_string(),
+            )],
+            &LintConfig::workspace_default(),
+        )
+        .into_iter()
+        .filter(|f| f.rule == ID)
+        .collect()
+    }
+
+    #[test]
+    fn instrumented_operator_passes() {
+        let src = "impl ExecutionPlan for ScanExec {\n fn execute(&self, p: usize, ctx: &TaskContext) -> ChunkIter {\n  ctx.instrument(self, raw)\n }\n}";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn delegating_operator_passes() {
+        let src = "impl ExecutionPlan for UnionExec {\n fn execute(&self, p: usize, ctx: &TaskContext) -> ChunkIter {\n  self.input.execute(p, ctx)\n }\n}";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn bare_iterator_is_flagged() {
+        let src = "impl ExecutionPlan for RogueExec {\n fn execute(&self, p: usize, ctx: &TaskContext) -> ChunkIter {\n  Box::new(raw_chunks(p))\n }\n}";
+        let f = run(src);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("RogueExec"));
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn non_plan_impls_and_other_fns_are_ignored() {
+        let src = "impl RogueExec {\n fn execute_helper(&self) { }\n fn new() -> Self { Self }\n}\nimpl fmt::Debug for RogueExec { fn fmt(&self) {} }";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn files_outside_physical_are_ignored() {
+        let src = "impl ExecutionPlan for X {\n fn execute(&self) { bare() }\n}";
+        let f = lint_files(
+            &[("crates/engine/src/logical.rs".to_string(), src.to_string())],
+            &LintConfig::workspace_default(),
+        );
+        assert!(f.iter().all(|f| f.rule != ID));
+    }
+}

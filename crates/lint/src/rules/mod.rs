@@ -1,0 +1,9 @@
+//! The rule set. Each module exports one [`crate::Rule`] implementation;
+//! the inventory lives in [`crate::all_rules`].
+
+pub mod api_parity;
+pub mod failpoint_registry;
+pub mod hot_path_panic;
+pub mod instrument_routing;
+pub mod raw_clock;
+pub mod safety_comment;

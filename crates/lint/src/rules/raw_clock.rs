@@ -1,0 +1,130 @@
+//! Rule `raw-clock`: no raw `Instant::now()`/`SystemTime::now()` in the
+//! storage and probe modules (`crates/core/src`, `crates/ctrie/src`)
+//! unless the read is `Sampler`-gated.
+//!
+//! PR 3's overhead budget (instrumented ≤ 1.05× stripped on the
+//! point-lookup bench) holds because unsampled probes never touch the
+//! clock: every clock read on a probe path goes through
+//! `sampler.tick().then(Instant::now)`. A site counts as gated when the
+//! ident `tick` appears on the same line or within the two lines above
+//! the clock read. Test regions and test files are exempt (tests time
+//! things freely).
+
+use crate::{Finding, LintConfig, Rule, SourceFile, TokKind};
+
+/// See module docs.
+pub struct RawClock;
+
+const ID: &str = "raw-clock";
+
+impl Rule for RawClock {
+    fn id(&self) -> &'static str {
+        ID
+    }
+
+    fn describe(&self) -> &'static str {
+        "no raw Instant::now()/SystemTime::now() in storage/probe modules unless Sampler-gated"
+    }
+
+    fn check(&self, files: &[SourceFile], cfg: &LintConfig, out: &mut Vec<Finding>) {
+        for sf in files {
+            let in_scope = cfg.clock_prefixes.iter().any(|p| sf.path.starts_with(p));
+            if !in_scope || sf.is_test_path() {
+                continue;
+            }
+            check_file(sf, out);
+        }
+    }
+}
+
+fn check_file(sf: &SourceFile, out: &mut Vec<Finding>) {
+    let toks = &sf.lexed.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if sf.test_mask[i] {
+            continue;
+        }
+        if t.kind != TokKind::Ident || (t.text != "Instant" && t.text != "SystemTime") {
+            continue;
+        }
+        // Match `Instant::now` — `::` lexes as two `:` puncts.
+        let is_now = toks.get(i + 1).is_some_and(|a| a.text == ":")
+            && toks.get(i + 2).is_some_and(|b| b.text == ":")
+            && toks
+                .get(i + 3)
+                .is_some_and(|c| c.kind == TokKind::Ident && c.text == "now");
+        if !is_now {
+            continue;
+        }
+        if is_sampler_gated(sf, t.line) {
+            continue;
+        }
+        out.push(Finding {
+            rule: ID,
+            file: sf.path.clone(),
+            line: t.line,
+            message: format!(
+                "raw {}::now() on a storage/probe path; gate it behind Sampler::tick()",
+                t.text
+            ),
+        });
+    }
+}
+
+/// True when the ident `tick` appears on `line` or the two lines above.
+fn is_sampler_gated(sf: &SourceFile, line: u32) -> bool {
+    let lo = line.saturating_sub(2);
+    (lo..=line).any(|l| {
+        sf.tokens_on(l)
+            .iter()
+            .any(|&i| sf.tok(i).kind == TokKind::Ident && sf.tok(i).text == "tick")
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lint_files;
+
+    fn run_at(path: &str, src: &str) -> Vec<Finding> {
+        lint_files(
+            &[(path.to_string(), src.to_string())],
+            &LintConfig::workspace_default(),
+        )
+        .into_iter()
+        .filter(|f| f.rule == ID)
+        .collect()
+    }
+
+    #[test]
+    fn raw_clock_in_core_is_flagged() {
+        let f = run_at("crates/core/src/x.rs", "fn f() { let t = Instant::now(); }");
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn sampler_gated_read_is_allowed() {
+        let src =
+            "fn f(m: &M) {\n let t = m.probe_sampler.tick()\n   .then(std::time::Instant::now);\n}";
+        assert!(run_at("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn outside_scope_is_fine() {
+        assert!(run_at("crates/engine/src/x.rs", "fn f() { Instant::now(); }").is_empty());
+    }
+
+    #[test]
+    fn test_regions_and_test_files_exempt() {
+        let src = "#[cfg(test)]\nmod tests { fn t() { Instant::now(); } }";
+        assert!(run_at("crates/core/src/x.rs", src).is_empty());
+        assert!(run_at("crates/core/tests/t.rs", "fn f() { Instant::now(); }").is_empty());
+    }
+
+    #[test]
+    fn system_time_also_flagged() {
+        assert_eq!(
+            run_at("crates/ctrie/src/x.rs", "fn f() { SystemTime::now(); }").len(),
+            1
+        );
+    }
+}

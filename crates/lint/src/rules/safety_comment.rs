@@ -1,0 +1,212 @@
+//! Rule `safety-comment`: every `unsafe` block, impl, and trait carries a
+//! `// SAFETY:` justification, and every `unsafe fn` documents its
+//! contract with a `# Safety` doc section.
+//!
+//! The comment may sit on the same line as the `unsafe` keyword or in the
+//! contiguous comment block above it. The upward walk crosses attribute
+//! lines (`#[...]`) and statement-continuation lines (a line whose last
+//! token is one of `= ( , . & | <`), so the common
+//!
+//! ```text
+//! // SAFETY: …
+//! let value =
+//!     unsafe { … };
+//! ```
+//!
+//! shape is recognized. This is deliberately stricter in scope than
+//! `clippy::undocumented_unsafe_blocks` (it also covers `unsafe fn` and
+//! `unsafe trait`) and runs on every file in the workspace, tests
+//! included: an unjustified `unsafe` in a test can still be UB.
+
+use crate::{Finding, LintConfig, Rule, SourceFile, TokKind};
+
+/// See module docs.
+pub struct SafetyComment;
+
+const ID: &str = "safety-comment";
+
+impl Rule for SafetyComment {
+    fn id(&self) -> &'static str {
+        ID
+    }
+
+    fn describe(&self) -> &'static str {
+        "unsafe blocks/impls need a SAFETY: comment; unsafe fns need a # Safety doc"
+    }
+
+    fn check(&self, files: &[SourceFile], _cfg: &LintConfig, out: &mut Vec<Finding>) {
+        for sf in files {
+            check_file(sf, out);
+        }
+    }
+}
+
+fn check_file(sf: &SourceFile, out: &mut Vec<Finding>) {
+    let toks = &sf.lexed.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || t.text != "unsafe" {
+            continue;
+        }
+        // Classify the site from the next token.
+        let next = toks.get(i + 1);
+        let kind = match next.map(|n| (n.kind, n.text.as_str())) {
+            Some((TokKind::Punct, "{")) => Site::Block,
+            Some((TokKind::Ident, "impl")) => Site::Impl,
+            Some((TokKind::Ident, "trait")) => Site::Trait,
+            Some((TokKind::Ident, "fn")) | Some((TokKind::Ident, "extern")) => Site::Fn,
+            // `unsafe` inside a type position (`unsafe fn` pointer types)
+            // or anything unrecognized: treat as a block for safety.
+            _ => Site::Block,
+        };
+        let line = t.line;
+        let ok = match kind {
+            Site::Fn => has_marker(sf, line, &["# Safety", "SAFETY:"]),
+            _ => has_marker(sf, line, &["SAFETY:"]),
+        };
+        if !ok {
+            let what = match kind {
+                Site::Block => "unsafe block",
+                Site::Impl => "unsafe impl",
+                Site::Trait => "unsafe trait",
+                Site::Fn => "unsafe fn",
+            };
+            let want = match kind {
+                Site::Fn => "`# Safety` doc section (or SAFETY: comment)",
+                _ => "`// SAFETY:` comment",
+            };
+            out.push(Finding {
+                rule: ID,
+                file: sf.path.clone(),
+                line,
+                message: format!("{what} without a {want} justifying it"),
+            });
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Site {
+    Block,
+    Impl,
+    Trait,
+    Fn,
+}
+
+/// True when a comment containing one of `markers` covers `line` or sits
+/// in the contiguous comment block above it (crossing attribute and
+/// continuation lines).
+fn has_marker(sf: &SourceFile, line: u32, markers: &[&str]) -> bool {
+    let contains = |l: u32| {
+        sf.lexed
+            .comments_on(l)
+            .any(|c| markers.iter().any(|m| c.text.contains(m)))
+    };
+    if contains(line) {
+        return true;
+    }
+    let mut cur = line;
+    while cur > 1 {
+        cur -= 1;
+        if contains(cur) {
+            return true;
+        }
+        let has_comment = sf.lexed.comments_on(cur).next().is_some();
+        let toks = sf.tokens_on(cur);
+        if toks.is_empty() {
+            if has_comment {
+                // Non-matching comment line: keep scanning the block.
+                continue;
+            }
+            // Blank line ends the search.
+            return false;
+        }
+        // Attribute-only line: `#[...]` — cross it.
+        let first = sf.tok(toks[0]);
+        if first.kind == TokKind::Punct && first.text == "#" {
+            continue;
+        }
+        // Statement-continuation line: the unsafe expression started on a
+        // later line of a multi-line statement; cross it.
+        let last = sf.tok(*toks.last().expect("non-empty"));
+        if last.kind == TokKind::Punct
+            && matches!(last.text.as_str(), "=" | "(" | "," | "." | "&" | "|" | "<")
+        {
+            continue;
+        }
+        return false;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lint_files;
+
+    fn run(src: &str) -> Vec<Finding> {
+        lint_files(
+            &[("crates/x/src/a.rs".to_string(), src.to_string())],
+            &LintConfig::workspace_default(),
+        )
+        .into_iter()
+        .filter(|f| f.rule == ID)
+        .collect()
+    }
+
+    #[test]
+    fn bare_unsafe_block_is_flagged() {
+        let f = run("fn f() { unsafe { g() } }");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn comment_above_satisfies() {
+        assert!(
+            run("fn f() {\n    // SAFETY: g has no preconditions\n    unsafe { g() }\n}")
+                .is_empty()
+        );
+    }
+
+    #[test]
+    fn same_line_comment_satisfies() {
+        assert!(run("fn f() { unsafe { g() } /* SAFETY: fine */ }").is_empty());
+    }
+
+    #[test]
+    fn walk_crosses_continuation_and_attributes() {
+        let src = "// SAFETY: justified\n#[allow(dead_code)]\nlet x =\n    unsafe { g() };";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn blank_line_breaks_the_walk() {
+        let src = "// SAFETY: stale\n\nunsafe { g() }";
+        assert_eq!(run(src).len(), 1);
+    }
+
+    #[test]
+    fn unsafe_impl_needs_per_impl_comment() {
+        let src = "// SAFETY: only covers the first\nunsafe impl Send for X {}\nunsafe impl Sync for X {}";
+        let f = run(src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn unsafe_fn_wants_safety_doc() {
+        assert_eq!(run("pub unsafe fn f() {}").len(), 1);
+        assert!(run("/// # Safety\n/// caller ensures x\npub unsafe fn f() {}").is_empty());
+    }
+
+    #[test]
+    fn unsafe_in_string_or_comment_is_ignored() {
+        assert!(run("// unsafe\nfn f() { let s = \"unsafe {\"; }").is_empty());
+    }
+
+    #[test]
+    fn suppression_comment_applies() {
+        let src = "// idf-lint: allow(safety-comment) -- audited elsewhere\nunsafe { g() }";
+        assert!(run(src).is_empty());
+    }
+}

@@ -1,0 +1,133 @@
+//! Fixture-corpus self-test: every rule has a seeded-violation fixture
+//! (asserted down to exact rule ids and line numbers) and a suppressed
+//! twin that must lint clean — proving both the detector and the
+//! suppression mechanism work end to end.
+//!
+//! Fixture sources live under `tests/fixtures/` (a directory name
+//! [`collect_workspace`](idf_lint::collect_workspace) skips, so the
+//! seeded violations never pollute the workspace run). Each fixture is
+//! linted under a synthetic workspace path so the path-scoped rules
+//! apply to it.
+
+use idf_lint::{lint_files, Finding, LintConfig};
+
+/// Lint fixture files, each masqueraded under the given workspace path.
+fn lint(mapped: &[(&str, &str)]) -> Vec<Finding> {
+    let files: Vec<(String, String)> = mapped
+        .iter()
+        .map(|(path, fixture)| {
+            let on_disk = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("tests/fixtures")
+                .join(fixture);
+            let src = std::fs::read_to_string(&on_disk)
+                .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", on_disk.display()));
+            (path.to_string(), src)
+        })
+        .collect();
+    lint_files(&files, &LintConfig::workspace_default())
+}
+
+/// `(rule, line)` of every finding, for exact-match assertions.
+fn keys(findings: &[Finding]) -> Vec<(&str, u32)> {
+    findings.iter().map(|f| (f.rule, f.line)).collect()
+}
+
+#[test]
+fn safety_comment_fixture() {
+    let bad = lint(&[("crates/snb/src/fixture.rs", "safety_comment_bad.rs")]);
+    assert_eq!(
+        keys(&bad),
+        vec![
+            ("safety-comment", 5),  // unsafe block
+            ("safety-comment", 8),  // unsafe impl
+            ("safety-comment", 10), // unsafe fn
+        ],
+        "{bad:#?}"
+    );
+    assert!(bad[0].message.contains("unsafe block"));
+    assert!(bad[1].message.contains("unsafe impl"));
+    assert!(bad[2].message.contains("unsafe fn"));
+
+    let ok = lint(&[("crates/snb/src/fixture.rs", "safety_comment_suppressed.rs")]);
+    assert!(ok.is_empty(), "allow-file must silence all three: {ok:#?}");
+}
+
+#[test]
+fn hot_path_panic_fixture() {
+    let bad = lint(&[("crates/core/src/layout.rs", "hot_path_panic_bad.rs")]);
+    assert_eq!(
+        keys(&bad),
+        vec![
+            ("hot-path-panic", 5), // p[0] indexing in a decode file
+            ("hot-path-panic", 6), // .unwrap()
+            ("hot-path-panic", 8), // panic!
+        ],
+        "{bad:#?}"
+    );
+
+    let ok = lint(&[("crates/core/src/layout.rs", "hot_path_panic_suppressed.rs")]);
+    assert!(ok.is_empty(), "inline allows must silence: {ok:#?}");
+}
+
+#[test]
+fn raw_clock_fixture() {
+    let bad = lint(&[("crates/core/src/probe_timer.rs", "raw_clock_bad.rs")]);
+    assert_eq!(keys(&bad), vec![("raw-clock", 5)], "{bad:#?}");
+    assert!(bad[0].message.contains("Instant::now()"));
+
+    let ok = lint(&[("crates/core/src/probe_timer.rs", "raw_clock_suppressed.rs")]);
+    assert!(
+        ok.is_empty(),
+        "tick-gated and allow-annotated reads must pass: {ok:#?}"
+    );
+}
+
+#[test]
+fn api_parity_fixture() {
+    let bad = lint(&[
+        ("crates/fail/src/registry.rs", "api_parity_real.rs"),
+        ("crates/fail/src/noop.rs", "api_parity_mirror_bad.rs"),
+    ]);
+    assert_eq!(keys(&bad), vec![("api-parity", 1)], "{bad:#?}");
+    assert_eq!(bad[0].file, "crates/fail/src/noop.rs");
+    assert!(bad[0].message.contains("drifted_extra"));
+
+    let ok = lint(&[
+        ("crates/fail/src/registry.rs", "api_parity_real.rs"),
+        ("crates/fail/src/noop.rs", "api_parity_mirror_suppressed.rs"),
+    ]);
+    assert!(ok.is_empty(), "allow-file on the mirror must pass: {ok:#?}");
+}
+
+#[test]
+fn failpoint_registry_fixture() {
+    let bad = lint(&[("crates/core/src/failpoints.rs", "failpoint_registry_bad.rs")]);
+    assert_eq!(keys(&bad), vec![("failpoint-registry", 4)], "{bad:#?}");
+    assert!(bad[0].message.contains("ORPHAN"));
+    assert!(bad[0].message.contains("0 times"));
+
+    let ok = lint(&[(
+        "crates/core/src/failpoints.rs",
+        "failpoint_registry_suppressed.rs",
+    )]);
+    assert!(
+        ok.is_empty(),
+        "line allow above the const must pass: {ok:#?}"
+    );
+}
+
+#[test]
+fn instrument_routing_fixture() {
+    let bad = lint(&[(
+        "crates/engine/src/physical/fixture.rs",
+        "instrument_routing_bad.rs",
+    )]);
+    assert_eq!(keys(&bad), vec![("instrument-routing", 5)], "{bad:#?}");
+    assert!(bad[0].message.contains("RogueExec"));
+
+    let ok = lint(&[(
+        "crates/engine/src/physical/fixture.rs",
+        "instrument_routing_suppressed.rs",
+    )]);
+    assert!(ok.is_empty(), "allow above execute must pass: {ok:#?}");
+}

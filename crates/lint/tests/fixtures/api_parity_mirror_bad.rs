@@ -1,0 +1,6 @@
+// Fixture: mirror missing `drifted_extra` — the api-parity finding is
+// anchored at line 1 of this file.
+
+pub fn eval(_site: &str) -> Result<(), String> {
+    Ok(())
+}

@@ -1,0 +1,6 @@
+// idf-lint: allow-file(api-parity) -- fixture: intentionally incomplete
+// mirror; the twin file shows the unsuppressed finding.
+
+pub fn eval(_site: &str) -> Result<(), String> {
+    Ok(())
+}

@@ -1,0 +1,11 @@
+// Fixture: the real half of a parity pair; `drifted_extra` has no
+// counterpart in the mirror fixtures.
+
+pub fn eval(site: &str) -> Result<(), String> {
+    let _ = site;
+    Ok(())
+}
+
+pub fn drifted_extra(site: &str) -> bool {
+    site.is_empty()
+}

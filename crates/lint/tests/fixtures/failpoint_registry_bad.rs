@@ -1,0 +1,6 @@
+// Fixture: `ORPHAN` is declared but never registered in SITES.
+
+pub const PROBE: &str = "fx::probe";
+pub const ORPHAN: &str = "fx::orphan";
+
+pub const SITES: &[&str] = &[PROBE];

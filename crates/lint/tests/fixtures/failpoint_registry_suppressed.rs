@@ -1,0 +1,7 @@
+// Fixture: the same orphan const, silenced with an inline allow.
+
+pub const PROBE: &str = "fx::probe";
+// idf-lint: allow(failpoint-registry) -- fixture: staged site, registered next PR
+pub const ORPHAN: &str = "fx::orphan";
+
+pub const SITES: &[&str] = &[PROBE];

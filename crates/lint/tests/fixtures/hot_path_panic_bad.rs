@@ -1,0 +1,11 @@
+// Fixture: seeded `hot-path-panic` violations. Mapped to a decode file
+// (layout.rs) so the panicking-indexing check applies too.
+
+pub fn decode(v: Option<u8>, p: &[u8]) -> u8 {
+    let first = p[0];
+    let val = v.unwrap();
+    if val == 0 {
+        panic!("zero");
+    }
+    first + val
+}

@@ -1,0 +1,10 @@
+// Fixture: the same panic sites as the bad twin, each silenced with an
+// inline line allow carrying a justification.
+
+pub fn decode(v: Option<u8>, p: &[u8]) -> u8 {
+    // idf-lint: allow(hot-path-panic) -- fixture: length pre-checked by caller
+    let first = p[0];
+    // idf-lint: allow(hot-path-panic) -- fixture: presence pre-checked by caller
+    let val = v.unwrap();
+    first + val
+}

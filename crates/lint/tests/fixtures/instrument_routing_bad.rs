@@ -1,0 +1,8 @@
+// Fixture: a physical operator whose execute returns a bare iterator
+// instead of routing through TaskContext::instrument.
+
+impl ExecutionPlan for RogueExec {
+    fn execute(&self, partition: usize, _ctx: &TaskContext) -> ChunkIter {
+        Box::new(self.chunks(partition).into_iter())
+    }
+}

@@ -1,0 +1,9 @@
+// Fixture: the same bare-iterator operator, silenced with an inline
+// allow directly above the execute fn.
+
+impl ExecutionPlan for RogueExec {
+    // idf-lint: allow(instrument-routing) -- fixture: metadata-only operator
+    fn execute(&self, partition: usize, _ctx: &TaskContext) -> ChunkIter {
+        Box::new(self.chunks(partition).into_iter())
+    }
+}

@@ -1,0 +1,6 @@
+// Fixture: seeded `raw-clock` violation — an ungated clock read on a
+// storage-path file.
+
+pub fn probe_started() -> std::time::Instant {
+    std::time::Instant::now()
+}

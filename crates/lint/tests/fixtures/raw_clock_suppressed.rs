@@ -1,0 +1,11 @@
+// Fixture: a Sampler-gated clock read (passes without any directive)
+// plus a raw read silenced with an inline allow.
+
+pub fn gated(s: &Sampler) -> Option<std::time::Instant> {
+    s.tick().then(std::time::Instant::now)
+}
+
+pub fn suppressed() -> std::time::Instant {
+    // idf-lint: allow(raw-clock) -- fixture: startup-only, not a probe path
+    std::time::Instant::now()
+}

@@ -1,0 +1,12 @@
+// Fixture: seeded `safety-comment` violations — an unjustified unsafe
+// block, impl, and fn. tests/fixtures.rs asserts the exact lines.
+
+pub fn read(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+unsafe impl Send for Wrapper {}
+
+pub unsafe fn transmute_it(x: u64) -> f64 {
+    f64::from_bits(x)
+}

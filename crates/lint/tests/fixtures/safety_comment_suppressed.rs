@@ -1,0 +1,12 @@
+// idf-lint: allow-file(safety-comment) -- fixture: exercises the
+// allow-file directive; the twin file seeds the same three violations.
+
+pub fn read(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+unsafe impl Send for Wrapper {}
+
+pub unsafe fn transmute_it(x: u64) -> f64 {
+    f64::from_bits(x)
+}

@@ -1,0 +1,35 @@
+//! The workspace itself must lint clean — the same invariant CI's
+//! `cargo run -p idf-lint -- --deny-all` gate enforces, kept here too so
+//! a plain `cargo test` catches regressions without the extra step.
+
+use idf_lint::{collect_workspace, lint_files, LintConfig};
+
+#[test]
+fn workspace_has_no_findings() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf();
+    assert!(
+        root.join("Cargo.toml").is_file(),
+        "workspace root not found at {}",
+        root.display()
+    );
+    let files = collect_workspace(&root).expect("collect workspace sources");
+    assert!(
+        files.len() > 50,
+        "suspiciously few sources ({}) — walk broken?",
+        files.len()
+    );
+    let findings = lint_files(&files, &LintConfig::workspace_default());
+    assert!(
+        findings.is_empty(),
+        "workspace must lint clean:\n{}",
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

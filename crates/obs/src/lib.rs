@@ -25,6 +25,7 @@
 //! }
 //! ```
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 /// `true` when the `obs` feature is compiled in. Callers may use this to

@@ -213,7 +213,14 @@ pub struct Atomic<T> {
     _marker: PhantomData<*mut T>,
 }
 
+// SAFETY: `Atomic<T>` is just an `AtomicUsize` holding a tagged address; the
+// `PhantomData<*mut T>` only exists for variance. Sending the cell moves no
+// `T`, and the `T: Send + Sync` bound ensures the pointee itself may be
+// reached from another thread.
 unsafe impl<T: Send + Sync> Send for Atomic<T> {}
+// SAFETY: all shared access goes through the inner `AtomicUsize`; concurrent
+// loads/stores are synchronized by the atomic, and `T: Send + Sync` covers
+// the pointee reached through loaded `Shared` handles.
 unsafe impl<T: Send + Sync> Sync for Atomic<T> {}
 
 impl<T> Atomic<T> {
@@ -291,6 +298,7 @@ mod tests {
         assert_eq!(t.as_raw(), b as *const u64);
         assert!(!t.is_null());
         assert!(Shared::<u64>::null().is_null());
+        // SAFETY: `b` came from `Box::into_raw` above and is freed once.
         unsafe { drop(Box::from_raw(b)) };
     }
 
@@ -309,6 +317,8 @@ mod tests {
             panic!("stale CAS must fail")
         };
         assert_eq!(err.current.as_raw(), b);
+        // SAFETY: `a` and `b` came from `Box::into_raw` above; the cell holds
+        // only copies of the addresses, so each box is freed exactly once.
         unsafe {
             drop(Box::from_raw(a as *mut u64));
             drop(Box::from_raw(b as *mut u64));
@@ -334,6 +344,8 @@ mod tests {
     fn unprotected_defers_run_inline() {
         let n = Counter::new(0);
         let n_ref: &'static Counter = Box::leak(Box::new(n));
+        // SAFETY: nothing in this test dereferences retired pointers; the
+        // unprotected guard is only used to observe inline defer execution.
         let g = unsafe { unprotected() };
         g.defer(move || {
             n_ref.fetch_add(1, SeqCst);

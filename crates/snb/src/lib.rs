@@ -7,6 +7,7 @@
 //! and run against either a vanilla (cached columnar) or an indexed
 //! registration of the same data.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod gen;
