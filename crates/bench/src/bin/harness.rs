@@ -8,13 +8,14 @@
 //! harness speedup [--runs N]                 §5 "up to 8×" scale sweep
 //! harness memory  [--scale S]                ABL-MEM memory overhead
 //! harness lookup  [--scale S]                BENCH-lookup point-lookup path (writes BENCH_lookup.json)
+//! harness recovery [--scale S]               BENCH-recovery durability costs (writes BENCH_recovery.json)
 //! harness all     [--scale S] [--runs N]     everything above
 //! ```
 //!
 //! Use `--release` for meaningful numbers.
 
 use idf_bench::workload::Workload;
-use idf_bench::{fig2, fig3, lookup, memory, render_comparisons, speedup};
+use idf_bench::{fig2, fig3, lookup, memory, recovery, render_comparisons, speedup};
 
 struct Args {
     command: String,
@@ -57,7 +58,7 @@ fn parse_args() -> Args {
 
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
-    eprintln!("usage: harness [fig2|fig3|complex|speedup|memory|lookup|all] [--scale S] [--runs N] [--json]");
+    eprintln!("usage: harness [fig2|fig3|complex|speedup|memory|lookup|recovery|all] [--scale S] [--runs N] [--json]");
     std::process::exit(2);
 }
 
@@ -164,6 +165,23 @@ fn main() {
                     println!("{}", lookup::render(&report));
                 }
             }
+            "recovery" => {
+                let cfg = recovery::RecoveryConfig::for_scale(args.scale);
+                eprintln!("# BENCH-recovery: {} row corpus...", cfg.rows);
+                let report = recovery::run(&cfg)?;
+                let json = idf_bench::json::to_string_pretty(&report);
+                std::fs::write("BENCH_recovery.json", format!("{json}\n")).map_err(|e| {
+                    idf_engine::error::EngineError::exec(format!(
+                        "writing BENCH_recovery.json: {e}"
+                    ))
+                })?;
+                eprintln!("# wrote BENCH_recovery.json");
+                if args.json {
+                    println!("{json}");
+                } else {
+                    println!("{}", recovery::render(&report));
+                }
+            }
             "memory" => {
                 let rows = memory::run(args.scale)?;
                 if args.json {
@@ -177,10 +195,12 @@ fn main() {
         Ok(())
     };
     let commands: Vec<String> = match args.command.as_str() {
-        "all" => ["fig2", "fig3", "complex", "speedup", "memory", "lookup"]
-            .into_iter()
-            .map(String::from)
-            .collect(),
+        "all" => [
+            "fig2", "fig3", "complex", "speedup", "memory", "lookup", "recovery",
+        ]
+        .into_iter()
+        .map(String::from)
+        .collect(),
         single => vec![single.to_string()],
     };
     for c in &commands {

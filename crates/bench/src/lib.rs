@@ -8,6 +8,8 @@
 //! * [`lookup`] — BENCH-lookup: the point-lookup hot path (single-key
 //!   p50/p99, batched probe throughput, lookup-under-append).
 //! * [`memory`] — ABL-MEM: memory overhead of the indexed representation.
+//! * [`recovery`] — BENCH-recovery: WAL append throughput per durability
+//!   level, group-commit latency, checkpoint-restore vs full-WAL-replay.
 //! * [`workload`] — shared setup: datasets, dual-mode sessions, timing.
 //!
 //! The `harness` binary prints the same rows/series the paper plots;
@@ -22,6 +24,7 @@ pub mod json;
 pub mod lookup;
 pub mod memory;
 pub mod meta;
+pub mod recovery;
 pub mod speedup;
 pub mod workload;
 

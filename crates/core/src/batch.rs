@@ -69,6 +69,38 @@ impl RowBatch {
         }
     }
 
+    /// Rebuild a batch from `data`, the committed bytes of a checkpointed
+    /// batch, inside a fresh `capacity`-byte allocation. The restored
+    /// committed prefix is immutable exactly as if the rows had been
+    /// appended live, so the partition's single writer may keep appending
+    /// after `data.len()`.
+    ///
+    /// # Errors
+    /// Fails when `data` does not fit in `capacity` — a checkpoint that
+    /// claims more committed bytes than the batch can hold is corrupt.
+    pub fn from_committed_bytes(capacity: usize, data: &[u8]) -> Result<Self> {
+        if data.len() > capacity {
+            return Err(EngineError::corrupt(format!(
+                "restored batch claims {} committed bytes in a {capacity}-byte batch",
+                data.len()
+            )));
+        }
+        let mut v: Vec<UnsafeCell<u8>> = Vec::with_capacity(capacity);
+        v.extend(data.iter().map(|&b| UnsafeCell::new(b)));
+        v.resize_with(capacity, || UnsafeCell::new(0));
+        Ok(RowBatch {
+            buf: v.into_boxed_slice(),
+            len: AtomicUsize::new(data.len()),
+        })
+    }
+
+    /// The committed prefix as a byte slice (checkpoint serialization).
+    pub fn committed_bytes(&self) -> &[u8] {
+        let committed = self.len();
+        // SAFETY: the committed prefix is immutable.
+        unsafe { std::slice::from_raw_parts(self.buf.as_ptr() as *const u8, committed) }
+    }
+
     /// Total capacity in bytes.
     pub fn capacity(&self) -> usize {
         self.buf.len()
@@ -230,6 +262,25 @@ mod tests {
         assert_eq!(pay2, b"world!");
         assert_eq!(p2.offset(), off1);
         assert_eq!(p2.size(), ROW_HEADER + 5);
+    }
+
+    #[test]
+    fn restore_roundtrip_and_continue_appending() {
+        let b = RowBatch::with_capacity(1024);
+        let off1 = b.append_row(RowPtr::NULL, b"hello").unwrap();
+        b.append_row(RowPtr::new(0, off1, ROW_HEADER + 5), b"world!")
+            .unwrap();
+        let restored = RowBatch::from_committed_bytes(1024, b.committed_bytes()).unwrap();
+        assert_eq!(restored.len(), b.len());
+        assert_eq!(restored.capacity(), 1024);
+        let (_, _, pay) = restored.row_at(off1).unwrap();
+        assert_eq!(pay, b"hello");
+        // The restored batch keeps accepting appends after the prefix.
+        let off3 = restored.append_row(RowPtr::NULL, b"more").unwrap();
+        assert_eq!(off3, b.len());
+        assert_eq!(restored.row_at(off3).unwrap().2, b"more");
+        // Oversized committed prefixes are corrupt, not a panic.
+        assert!(RowBatch::from_committed_bytes(4, b.committed_bytes()).is_err());
     }
 
     #[test]

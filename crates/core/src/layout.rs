@@ -134,7 +134,7 @@ impl RowLayout {
     ///
     /// # Errors
     /// Fails when the payload does not match this layout (truncated,
-    /// out-of-range var pointer, or invalid UTF-8) — see [`corrupt`].
+    /// out-of-range var pointer, or invalid UTF-8) — a typed `corrupt row payload` error.
     pub fn decode_column(&self, payload: &[u8], col: usize) -> Result<Value> {
         if self.is_null(payload, col)? {
             return Ok(Value::Null);

@@ -58,6 +58,7 @@ pub mod join_exec;
 pub mod layout;
 pub mod partition;
 pub mod pointer;
+pub mod sink;
 pub mod source;
 pub mod strategy;
 pub mod table;

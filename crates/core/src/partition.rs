@@ -65,6 +65,54 @@ impl IndexedPartition {
         }
     }
 
+    /// Rebuild a partition from checkpointed state: restored row batches
+    /// plus the dumped `key → packed pointer` index entries, bulk-loaded
+    /// into a fresh cTrie (one epoch pin for the whole load — far cheaper
+    /// than replaying every append). The partition is immediately
+    /// writable; new rows continue into the last restored batch.
+    ///
+    /// # Errors
+    /// Fails with a corrupt-state error when an index entry's pointer does
+    /// not resolve to a committed row in the restored batches.
+    pub fn restore(
+        schema: SchemaRef,
+        key_col: usize,
+        config: IndexConfig,
+        batches: Vec<Arc<RowBatch>>,
+        index_entries: Vec<(Value, u64)>,
+        row_count: usize,
+    ) -> Result<Self> {
+        for (key, raw) in &index_entries {
+            let ptr = RowPtr::from_raw(*raw);
+            let committed = batches.get(ptr.batch()).map(|b| b.len()).ok_or_else(|| {
+                EngineError::corrupt(format!(
+                    "restored index entry for key {key:?} names batch {} of {}",
+                    ptr.batch(),
+                    batches.len()
+                ))
+            })?;
+            let end = ptr.offset().saturating_add(ptr.size());
+            if end > committed {
+                return Err(EngineError::corrupt(format!(
+                    "restored index entry for key {key:?} points at [{}, {end}) \
+                     beyond committed {committed}",
+                    ptr.offset()
+                )));
+            }
+        }
+        let index = CTrie::new();
+        index.from_entries(index_entries);
+        Ok(IndexedPartition {
+            layout: RowLayout::new(schema),
+            key_col,
+            config,
+            index,
+            batches: RwLock::new(batches),
+            append_lock: Mutex::new(Vec::new()),
+            row_count: AtomicUsize::new(row_count),
+        })
+    }
+
     /// The row schema.
     pub fn schema(&self) -> &SchemaRef {
         self.layout.schema()
@@ -117,6 +165,16 @@ impl IndexedPartition {
             });
         }
         Ok(payload)
+    }
+
+    /// Decode one encoded payload (as produced by [`Self::encode_row`])
+    /// back into scalars — the WAL replay path re-derives the typed rows
+    /// it feeds through the regular append protocol.
+    ///
+    /// # Errors
+    /// Fails on a payload that does not match the partition's layout.
+    pub fn decode_payload(&self, payload: &[u8]) -> Result<Vec<Value>> {
+        self.layout.decode_row(payload)
     }
 
     /// Append a row pre-encoded by [`Self::encode_row`] (phase 2 of a
@@ -523,6 +581,24 @@ impl PartitionSnapshot {
     /// Distinct keys in the snapshot's index.
     pub fn key_count(&self) -> usize {
         self.index.len()
+    }
+
+    /// The snapshot's row batches as `(capacity, committed_prefix)` pairs
+    /// for checkpoint serialization. The prefix is cut at the snapshot
+    /// watermark, so bytes appended after the snapshot never leak into a
+    /// checkpoint.
+    pub fn export_batches(&self) -> Vec<(usize, &[u8])> {
+        self.batches
+            .iter()
+            .zip(&self.watermarks)
+            .map(|(b, &w)| (b.capacity(), &b.committed_bytes()[..w]))
+            .collect()
+    }
+
+    /// The snapshot's index as `(key, packed pointer)` pairs for
+    /// checkpoint serialization; restored via [`IndexedPartition::restore`].
+    pub fn export_index(&self) -> Vec<(Value, u64)> {
+        self.index.iter().collect()
     }
 }
 

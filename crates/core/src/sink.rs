@@ -1,0 +1,46 @@
+//! The append-sink seam between the in-memory table and a durability
+//! layer.
+//!
+//! `idf-core` sits *below* `idf-durable` in the dependency graph, so the
+//! table cannot call the WAL directly; instead the durable session
+//! installs an [`AppendSink`] on the table and the append path calls it
+//! at the commit point. Ordering contract (see
+//! [`crate::table::IndexedTable::append_chunk`]):
+//!
+//! 1. phase 1 validates every row without touching shared state;
+//! 2. the commit-point failpoint fires — an injected abort here leaves
+//!    **neither** memory nor WAL touched, so a failed append can never be
+//!    resurrected by recovery;
+//! 3. [`AppendSink::begin_commit`] logs the encoded rows (honouring the
+//!    configured durability level: `Sync` waits for the group-commit
+//!    fsync, `Async` returns once staged);
+//! 4. phase 2 publishes to memory; the returned [`CommitGuard`] is
+//!    dropped only after publish completes, which is what lets a
+//!    checkpoint quiesce the WAL: it waits for every guard to drop before
+//!    snapshotting, so the snapshot covers every logged-and-acknowledged
+//!    commit and the WAL prefix can be truncated safely.
+//!
+//! A crash between 3 and 4 means an *unacknowledged* append may still be
+//! replayed on recovery — the classic "unknown outcome" window every
+//! write-ahead-logged store has — but an acknowledged append is always
+//! recovered and a failed append never is.
+
+use idf_engine::error::Result;
+
+/// Receiver for committed append payloads (the WAL, in practice).
+pub trait AppendSink: Send + Sync {
+    /// Log one committed append: `rows` are the encoded row payloads of
+    /// the whole chunk, in publish order. Blocks according to the sink's
+    /// durability level and returns a guard the caller holds until the
+    /// rows are published to memory.
+    fn begin_commit(&self, rows: &[&[u8]]) -> Result<Box<dyn CommitGuard>>;
+}
+
+/// Marker for an in-flight commit; dropping it tells the sink the rows
+/// are visible in memory (see module docs for why checkpoints need this).
+pub trait CommitGuard: Send {}
+
+/// Guard for sinks with no quiesce bookkeeping (tests, no-op sinks).
+pub struct NoopCommitGuard;
+
+impl CommitGuard for NoopCommitGuard {}

@@ -18,8 +18,11 @@ use idf_engine::query::QueryContext;
 use idf_engine::schema::SchemaRef;
 use idf_engine::types::Value;
 
+use parking_lot::RwLock;
+
 use crate::config::IndexConfig;
 use crate::partition::{IndexedPartition, PartitionMemory, PartitionSnapshot};
+use crate::sink::AppendSink;
 
 /// A partitioned, updatable, indexed, in-memory table.
 pub struct IndexedTable {
@@ -27,6 +30,9 @@ pub struct IndexedTable {
     key_col: usize,
     config: IndexConfig,
     partitions: Vec<Arc<IndexedPartition>>,
+    /// Durability hook; appends log through it when present (see
+    /// [`crate::sink`] for the ordering contract).
+    sink: RwLock<Option<Arc<dyn AppendSink>>>,
 }
 
 impl IndexedTable {
@@ -53,7 +59,61 @@ impl IndexedTable {
             key_col,
             config,
             partitions,
+            sink: RwLock::new(None),
         })
+    }
+
+    /// Rebuild a table around partitions restored from a checkpoint (see
+    /// [`IndexedPartition::restore`]). The partition count must match the
+    /// configured hash fan-out — keys would otherwise route to the wrong
+    /// partition and every probe after recovery would silently miss.
+    pub fn from_restored_partitions(
+        schema: SchemaRef,
+        key_col: usize,
+        config: IndexConfig,
+        partitions: Vec<Arc<IndexedPartition>>,
+    ) -> Result<Self> {
+        config.validate().map_err(EngineError::Plan)?;
+        if key_col >= schema.len() {
+            return Err(EngineError::plan(format!(
+                "index column {key_col} out of range for schema of width {}",
+                schema.len()
+            )));
+        }
+        if partitions.len() != config.num_partitions {
+            return Err(EngineError::corrupt(format!(
+                "restored {} partitions for a table configured with {}",
+                partitions.len(),
+                config.num_partitions
+            )));
+        }
+        Ok(IndexedTable {
+            schema,
+            key_col,
+            config,
+            partitions,
+            sink: RwLock::new(None),
+        })
+    }
+
+    /// Install (or replace) the append sink all later appends log through.
+    /// The durable session installs it *after* WAL replay, so replayed
+    /// appends are not re-logged.
+    pub fn set_append_sink(&self, sink: Arc<dyn AppendSink>) {
+        *self.sink.write() = Some(sink);
+    }
+
+    /// Decode an encoded row payload (as handed to the append sink) back
+    /// into scalars — the recovery path uses this to replay WAL records
+    /// through the regular typed append protocol.
+    ///
+    /// # Errors
+    /// Fails on a payload that does not match the table's row layout.
+    pub fn decode_payload(&self, payload: &[u8]) -> Result<Vec<Value>> {
+        match self.partitions.first() {
+            Some(p) => p.decode_payload(payload),
+            None => Err(EngineError::internal("table has no partitions")),
+        }
     }
 
     /// Build from an existing chunk (index creation): rows are routed to
@@ -110,7 +170,18 @@ impl IndexedTable {
             )));
         }
         let p = self.partition_of(&values[self.key_col]);
-        self.partitions[p].append_row(values)
+        let sink = self.sink.read().clone();
+        match sink {
+            // No durability attached: the original zero-extra-work path.
+            None => self.partitions[p].append_row(values),
+            // Durable path: validate/encode first, log, then publish —
+            // same ordering contract as `append_chunk`.
+            Some(sink) => {
+                let payload = self.partitions[p].encode_row(values)?;
+                let _guard = sink.begin_commit(&[payload.as_slice()])?;
+                self.partitions[p].append_encoded(&values[self.key_col], &payload)
+            }
+        }
     }
 
     /// Append every row of `chunk`, routing by key hash. Rows for distinct
@@ -181,6 +252,22 @@ impl IndexedTable {
         };
         // Commit point: past here rows start becoming visible.
         crate::failpoints::check(crate::failpoints::APPEND_PUBLISH)?;
+        // Log the whole validated chunk before anything becomes visible;
+        // an abort at the commit point above leaves the WAL untouched, so
+        // a failed append is never resurrected by recovery. The guard is
+        // held through phase 2 so a checkpoint cannot truncate the WAL
+        // under a commit that is logged but not yet published.
+        let sink = self.sink.read().clone();
+        let _guard = match &sink {
+            Some(sink) => {
+                let rows: Vec<&[u8]> = encoded
+                    .iter()
+                    .flat_map(|(_, rows)| rows.iter().map(|(_, payload)| payload.as_slice()))
+                    .collect();
+                Some(sink.begin_commit(&rows)?)
+            }
+            None => None,
+        };
         // Phase 2: publish per-partition, in parallel.
         let publish_bucket = |p: usize, encoded: &[(Value, Vec<u8>)]| -> Result<()> {
             catch_panics(|| {

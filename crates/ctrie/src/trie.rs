@@ -495,6 +495,38 @@ where
         }
     }
 
+    /// Bulk-load `entries` into an empty (or existing) trie.
+    ///
+    /// Equivalent to calling [`CTrie::insert`] once per entry but pins the
+    /// epoch a single time for the whole load, which is what makes
+    /// checkpoint-restore (rebuilding a partition index from a serialized
+    /// key → pointer dump) markedly cheaper than replaying every append.
+    /// Later duplicates of a key overwrite earlier ones, matching the
+    /// sequential-insert semantics.
+    ///
+    /// # Panics
+    /// Panics if called on a read-only snapshot.
+    pub fn from_entries<I>(&self, entries: I)
+    where
+        I: IntoIterator<Item = (K, V)>,
+    {
+        assert!(
+            !self.read_only,
+            "from_entries on a read-only cTrie snapshot"
+        );
+        let g = &epoch::pin();
+        for (key, value) in entries {
+            let hash = self.hash_key(&key);
+            loop {
+                let (_, root) = self.read_root(false, g);
+                match self.rec_insert(root, hash, &key, &value, 0, None, root.gen, g) {
+                    Op::Done(_) => break,
+                    Op::Restart => continue,
+                }
+            }
+        }
+    }
+
     #[allow(clippy::too_many_arguments)]
     fn rec_insert(
         &self,
@@ -1091,6 +1123,24 @@ mod tests {
         }
         assert_eq!(t.lookup(&10_000), None);
         assert_eq!(t.len(), 10_000);
+    }
+
+    #[test]
+    #[cfg_attr(miri, ignore = "loop/thread count too heavy for the interpreter")]
+    fn from_entries_matches_sequential_inserts() {
+        let bulk: CTrie<u64, u64> = CTrie::new();
+        bulk.from_entries((0..5000).map(|i| (i, i * 3)));
+        let seq: CTrie<u64, u64> = CTrie::new();
+        for i in 0..5000 {
+            seq.insert(i, i * 3);
+        }
+        assert_eq!(bulk.len(), seq.len());
+        for i in 0..5000 {
+            assert_eq!(bulk.lookup(&i), Some(i * 3), "key {i}");
+        }
+        // Later duplicates overwrite earlier ones, like repeated insert.
+        bulk.from_entries([(7u64, 1u64), (7, 2)]);
+        assert_eq!(bulk.lookup(&7), Some(2));
     }
 
     #[test]

@@ -1,0 +1,40 @@
+//! Named fault-injection sites in the durability layer.
+//!
+//! Same contract as the storage-layer registry
+//! (`crates/core/src/failpoints.rs`): each constant names an
+//! `idf_fail::eval` site, every constant is registered exactly once in
+//! [`SITES`], and the crash-consistency chaos suite iterates the table
+//! asserting that a fault at any site leaves a reopened table equal to a
+//! prefix of the committed appends.
+
+use idf_engine::error::{EngineError, Result};
+
+/// Head of a WAL commit (`TableWal::begin_commit`), before the record is
+/// staged: a fault here fails the append with nothing logged and nothing
+/// published.
+pub const WAL_APPEND: &str = "durable::wal::append";
+
+/// The group-commit writer's flush, before bytes reach the file: a fault
+/// here poisons the WAL — `Sync` commits in the batch fail, and the
+/// error is sticky until the WAL is reopened.
+pub const WAL_FSYNC: &str = "durable::wal::fsync";
+
+/// Checkpoint serialization, before the snapshot file is renamed into
+/// place: a fault here must leave the previous checkpoint (and the
+/// untruncated WAL) fully authoritative.
+pub const CHECKPOINT_WRITE: &str = "durable::checkpoint::write";
+
+/// Per-record WAL replay during recovery: a fault here must fail the
+/// open with a typed error, and a later clean open must succeed.
+pub const RECOVERY_REPLAY: &str = "durable::recovery::replay";
+
+/// Every registered durability site, for chaos suites to iterate.
+pub const SITES: &[&str] = &[WAL_APPEND, WAL_FSYNC, CHECKPOINT_WRITE, RECOVERY_REPLAY];
+
+/// Evaluate the failpoint at `site`, mapping an injected fault into a
+/// typed durability error that names the site.
+#[inline]
+pub fn check(site: &str) -> Result<()> {
+    idf_fail::eval(site)
+        .map_err(|msg| EngineError::durability(format!("injected failure at {site}: {msg}")))
+}

@@ -1,0 +1,529 @@
+//! The durable session: open-with-recovery, durable table creation, and
+//! the checkpoint hook behind `CHECKPOINT`.
+//!
+//! A [`DurableSession`] wraps the regular engine [`Session`]. Opening one
+//! validates (creating if absent) `EngineConfig::data_dir`, then for every
+//! table directory found there: restores the newest valid checkpoint,
+//! replays the WAL tail through the ordinary two-phase append path (so
+//! PR-2's no-partial-visibility invariant holds during recovery too), and
+//! registers the table for SQL — point lookups, indexed joins and scans
+//! work on the recovered data exactly as they did before the crash.
+//!
+//! The append sink is installed *after* replay, so replayed records are
+//! not re-logged; at [`DurabilityLevel::None`] no sink is installed at all
+//! and durability is checkpoint-only.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+
+use idf_core::api::IndexedDataFrame;
+use idf_core::config::IndexConfig;
+use idf_core::table::IndexedTable;
+use idf_engine::chunk::Chunk;
+use idf_engine::config::{DurabilityLevel, EngineConfig};
+use idf_engine::error::{EngineError, Result};
+use idf_engine::schema::SchemaRef;
+use idf_engine::session::{DurabilityHook, Session};
+
+use parking_lot::Mutex;
+
+use crate::checkpoint;
+use crate::wal::{TableWal, WalSink};
+
+/// One durable table: the live in-memory table, its WAL, and its
+/// directory on disk.
+struct DurableTable {
+    table: Arc<IndexedTable>,
+    /// Kept even at [`DurabilityLevel::None`] so checkpoints can quiesce
+    /// and truncate a WAL left behind by an earlier session at a stricter
+    /// level.
+    wal: Arc<TableWal>,
+    dir: PathBuf,
+}
+
+/// Shared durable state; installed into the engine session as its
+/// [`DurabilityHook`], so `CHECKPOINT` (SQL or programmatic) lands here.
+struct DurableState {
+    level: DurabilityLevel,
+    tables: Mutex<HashMap<String, Arc<DurableTable>>>,
+}
+
+impl DurableState {
+    fn checkpoint_one(&self, name: &str, t: &DurableTable) -> Result<()> {
+        let started = Instant::now();
+        let id = checkpoint::read_manifest(&t.dir)?.map_or(1, |id| id + 1);
+        let table = &t.table;
+        // Quiesce the WAL (every logged commit flushed *and* published),
+        // snapshot inside the quiet window, flip the manifest, and only
+        // then truncate — the checkpoint provably covers every WAL record
+        // it retires. At `DurabilityLevel::None` the WAL is trivially
+        // drained and this degrades to snapshot-plus-truncate.
+        t.wal.quiesce_and_truncate(|| {
+            checkpoint::write_snapshot(&t.dir, id, &table.snapshot(), table.config())?;
+            checkpoint::write_manifest(&t.dir, id)
+        })?;
+        checkpoint::remove_stale_snapshots(&t.dir, id);
+        if idf_obs::enabled() {
+            idf_obs::global()
+                .checkpoint_duration_ns
+                .record(started.elapsed().as_nanos() as u64);
+        }
+        let _ = name;
+        Ok(())
+    }
+}
+
+impl DurabilityHook for DurableState {
+    fn checkpoint(&self, table: Option<&str>) -> Result<Vec<String>> {
+        let targets: Vec<(String, Arc<DurableTable>)> = {
+            let tables = self.tables.lock();
+            match table {
+                Some(name) => {
+                    let t = tables.get(name).ok_or_else(|| {
+                        EngineError::plan(format!("CHECKPOINT: unknown durable table '{name}'"))
+                    })?;
+                    vec![(name.to_string(), Arc::clone(t))]
+                }
+                None => {
+                    let mut all: Vec<_> = tables
+                        .iter()
+                        .map(|(n, t)| (n.clone(), Arc::clone(t)))
+                        .collect();
+                    all.sort_by(|a, b| a.0.cmp(&b.0));
+                    all
+                }
+            }
+        };
+        let mut done = Vec::with_capacity(targets.len());
+        for (name, t) in &targets {
+            self.checkpoint_one(name, t)?;
+            done.push(name.clone());
+        }
+        Ok(done)
+    }
+}
+
+/// An engine session with the durability layer attached. See the module
+/// docs; construct with [`DurableSession::open`].
+pub struct DurableSession {
+    session: Session,
+    state: Arc<DurableState>,
+    data_dir: PathBuf,
+}
+
+impl std::fmt::Debug for DurableSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DurableSession")
+            .field("data_dir", &self.data_dir)
+            .field("level", &self.state.level)
+            .field("tables", &self.table_names())
+            .finish()
+    }
+}
+
+impl DurableSession {
+    /// Open (or create) the durable store at `config.data_dir` and
+    /// recover every table found there.
+    ///
+    /// # Errors
+    /// - `Durability` when `data_dir` is unset, collides with a
+    ///   non-directory path, or is not writable;
+    /// - `Corrupt` when a manifest or snapshot fails validation;
+    /// - any replay error surfaced by the regular append path.
+    pub fn open(config: EngineConfig) -> Result<Self> {
+        let Some(data_dir) = config.data_dir.clone() else {
+            return Err(EngineError::durability(
+                "DurableSession::open requires EngineConfig::data_dir",
+            ));
+        };
+        validate_data_dir(&data_dir)?;
+        let level = config.durability;
+        let session = Session::with_config(config);
+        let state = Arc::new(DurableState {
+            level,
+            tables: Mutex::new(HashMap::new()),
+        });
+        let started = Instant::now();
+        let mut replayed = 0u64;
+        for name in table_dirs(&data_dir)? {
+            let dir = data_dir.join(&name);
+            replayed += recover_table(&session, &state, &name, &dir)?;
+        }
+        if idf_obs::enabled() {
+            let m = idf_obs::global();
+            m.recovery_duration_ns
+                .record(started.elapsed().as_nanos() as u64);
+            m.recovery_replayed_records.add(replayed);
+        }
+        session.set_durability_hook(Arc::clone(&state) as Arc<dyn DurabilityHook>);
+        Ok(DurableSession {
+            session,
+            state,
+            data_dir,
+        })
+    }
+
+    /// The wrapped engine session (SQL, catalog, metrics…).
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
+    /// The store's root directory.
+    pub fn data_dir(&self) -> &Path {
+        &self.data_dir
+    }
+
+    /// Parse and bind a SQL query — passthrough to [`Session::sql`].
+    pub fn sql(&self, query: &str) -> Result<idf_engine::dataframe::DataFrame> {
+        self.session.sql(query)
+    }
+
+    /// Checkpoint `table`, or every durable table when `None`; returns
+    /// the names checkpointed. Equivalent to SQL `CHECKPOINT [table]`.
+    pub fn checkpoint(&self, table: Option<&str>) -> Result<Vec<String>> {
+        self.session.checkpoint(table)
+    }
+
+    /// Names of the durable tables, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.state.tables.lock().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// The indexed handle for a recovered or created durable table.
+    pub fn dataframe(&self, name: &str) -> Result<IndexedDataFrame> {
+        let tables = self.state.tables.lock();
+        let t = tables
+            .get(name)
+            .ok_or_else(|| EngineError::plan(format!("unknown durable table '{name}'")))?;
+        Ok(IndexedDataFrame::from_table(
+            self.session.clone(),
+            Arc::clone(&t.table),
+        ))
+    }
+
+    /// Create a durable indexed table: its directory, an initial (empty)
+    /// checkpoint so the table survives a crash before its first append,
+    /// and its WAL; then register it for SQL like any indexed table.
+    pub fn create_table(
+        &self,
+        name: &str,
+        schema: SchemaRef,
+        key_col: usize,
+        config: IndexConfig,
+    ) -> Result<IndexedDataFrame> {
+        validate_table_name(name)?;
+        let mut tables = self.state.tables.lock();
+        if tables.contains_key(name) {
+            return Err(EngineError::plan(format!(
+                "durable table '{name}' already exists"
+            )));
+        }
+        let dir = self.data_dir.join(name);
+        if checkpoint::manifest_path(&dir).exists() {
+            return Err(EngineError::durability(format!(
+                "table directory {} already holds durable state",
+                dir.display()
+            )));
+        }
+        std::fs::create_dir_all(&dir).map_err(|e| {
+            EngineError::durability(format!("creating table directory {}: {e}", dir.display()))
+        })?;
+        let table = Arc::new(IndexedTable::new(schema, key_col, config)?);
+        // Empty checkpoint first: a crash between now and the first
+        // successful checkpoint recovers an empty table plus the WAL tail.
+        checkpoint::write_snapshot(&dir, 1, &table.snapshot(), table.config())?;
+        checkpoint::write_manifest(&dir, 1)?;
+        let (wal, records) = TableWal::open(&checkpoint::wal_path(&dir), self.state.level)?;
+        debug_assert!(records.is_empty(), "fresh table with a non-empty WAL");
+        let wal = Arc::new(wal);
+        if self.state.level != DurabilityLevel::None {
+            table.set_append_sink(Arc::new(WalSink::new(Arc::clone(&wal))));
+        }
+        tables.insert(
+            name.to_string(),
+            Arc::new(DurableTable {
+                table: Arc::clone(&table),
+                wal,
+                dir,
+            }),
+        );
+        drop(tables);
+        let df = IndexedDataFrame::from_table(self.session.clone(), table);
+        df.register(name);
+        Ok(df)
+    }
+}
+
+/// Restore one table directory: checkpoint, WAL replay, registration.
+/// Returns the number of WAL records replayed.
+fn recover_table(
+    session: &Session,
+    state: &Arc<DurableState>,
+    name: &str,
+    dir: &Path,
+) -> Result<u64> {
+    let id = checkpoint::read_manifest(dir)?.ok_or_else(|| {
+        EngineError::corrupt(format!("table directory {} has no manifest", dir.display()))
+    })?;
+    let table = Arc::new(checkpoint::load_table(dir, id)?);
+    let (wal, records) = TableWal::open(&checkpoint::wal_path(dir), state.level)?;
+    let schema = table.schema();
+    let mut replayed = 0u64;
+    for record in &records {
+        crate::failpoints::check(crate::failpoints::RECOVERY_REPLAY)?;
+        let mut rows = Vec::with_capacity(record.rows.len());
+        for payload in &record.rows {
+            rows.push(table.decode_payload(payload)?);
+        }
+        let chunk = Chunk::from_rows(&schema, &rows)?;
+        // Replaying through the regular append path re-runs routing,
+        // validation and the two-phase publish, so recovered state obeys
+        // every invariant live appends do.
+        table.append_chunk(&chunk)?;
+        replayed += 1;
+    }
+    // Sink goes in only now: replayed records must not be re-logged.
+    let wal = Arc::new(wal);
+    if state.level != DurabilityLevel::None {
+        table.set_append_sink(Arc::new(WalSink::new(Arc::clone(&wal))));
+    }
+    state.tables.lock().insert(
+        name.to_string(),
+        Arc::new(DurableTable {
+            table: Arc::clone(&table),
+            wal,
+            dir: dir.to_path_buf(),
+        }),
+    );
+    let df = IndexedDataFrame::from_table(session.clone(), table);
+    df.register(name);
+    Ok(replayed)
+}
+
+/// Table directories under `data_dir`: immediate subdirectories holding a
+/// manifest. Anything else (probe files, litter) is ignored.
+fn table_dirs(data_dir: &Path) -> Result<Vec<String>> {
+    let entries = std::fs::read_dir(data_dir).map_err(|e| {
+        EngineError::durability(format!("reading data_dir {}: {e}", data_dir.display()))
+    })?;
+    let mut names = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| {
+            EngineError::durability(format!("reading data_dir {}: {e}", data_dir.display()))
+        })?;
+        let path = entry.path();
+        if !path.is_dir() || !checkpoint::manifest_path(&path).exists() {
+            continue;
+        }
+        match entry.file_name().into_string() {
+            Ok(name) => names.push(name),
+            Err(raw) => {
+                return Err(EngineError::corrupt(format!(
+                    "table directory with non-UTF-8 name {raw:?} in {}",
+                    data_dir.display()
+                )))
+            }
+        }
+    }
+    names.sort();
+    Ok(names)
+}
+
+/// Create `data_dir` if absent and verify it is a writable directory.
+fn validate_data_dir(dir: &Path) -> Result<()> {
+    if dir.exists() && !dir.is_dir() {
+        return Err(EngineError::durability(format!(
+            "data_dir {} exists and is not a directory",
+            dir.display()
+        )));
+    }
+    std::fs::create_dir_all(dir).map_err(|e| {
+        EngineError::durability(format!("creating data_dir {}: {e}", dir.display()))
+    })?;
+    let probe = dir.join(".idf-write-probe");
+    std::fs::write(&probe, b"ok").map_err(|e| {
+        EngineError::durability(format!("data_dir {} is not writable: {e}", dir.display()))
+    })?;
+    let _ = std::fs::remove_file(&probe);
+    Ok(())
+}
+
+/// Durable table names become directory names, so they are restricted to
+/// a filesystem-safe alphabet.
+fn validate_table_name(name: &str) -> Result<()> {
+    let ok = !name.is_empty()
+        && name.len() <= 128
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-');
+    if ok {
+        Ok(())
+    } else {
+        Err(EngineError::plan(format!(
+            "invalid durable table name {name:?}: use up to 128 ASCII letters, digits, '_' or '-'"
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TempDir;
+    use idf_engine::schema::{Field, Schema};
+    use idf_engine::types::{DataType, Value};
+
+    fn cfg(dir: &Path, level: DurabilityLevel) -> EngineConfig {
+        EngineConfig {
+            data_dir: Some(dir.to_path_buf()),
+            durability: level,
+            ..EngineConfig::default()
+        }
+    }
+
+    fn people_schema() -> SchemaRef {
+        Arc::new(Schema::new(vec![
+            Field::required("id", DataType::Int64),
+            Field::new("name", DataType::Utf8),
+        ]))
+    }
+
+    fn small_index() -> IndexConfig {
+        IndexConfig {
+            num_partitions: 4,
+            ..IndexConfig::default()
+        }
+    }
+
+    #[test]
+    fn open_requires_and_validates_data_dir() {
+        let err = DurableSession::open(EngineConfig::default()).unwrap_err();
+        assert!(err.to_string().contains("data_dir"), "{err}");
+        // Colliding with a plain file is a typed error.
+        let dir = TempDir::new("sess-collide");
+        let file = dir.path().join("not-a-dir");
+        std::fs::write(&file, b"x").unwrap();
+        let err = DurableSession::open(cfg(&file, DurabilityLevel::Sync)).unwrap_err();
+        assert!(err.to_string().contains("not a directory"), "{err}");
+        // A missing directory is created.
+        let fresh = dir.path().join("a").join("b");
+        let sess = DurableSession::open(cfg(&fresh, DurabilityLevel::Sync)).unwrap();
+        assert!(fresh.is_dir());
+        assert!(sess.table_names().is_empty());
+    }
+
+    #[test]
+    fn table_names_are_validated() {
+        let dir = TempDir::new("sess-names");
+        let sess = DurableSession::open(cfg(dir.path(), DurabilityLevel::Sync)).unwrap();
+        for bad in ["", "a/b", "..", "a b", "naïve"] {
+            let err = sess
+                .create_table(bad, people_schema(), 0, small_index())
+                .unwrap_err();
+            assert!(err.to_string().contains("table name"), "{bad:?}: {err}");
+        }
+        sess.create_table("ok_name-1", people_schema(), 0, small_index())
+            .unwrap();
+    }
+
+    #[test]
+    fn sync_appends_survive_reopen_without_checkpoint() {
+        let dir = TempDir::new("sess-reopen");
+        {
+            let sess = DurableSession::open(cfg(dir.path(), DurabilityLevel::Sync)).unwrap();
+            let df = sess
+                .create_table("people", people_schema(), 0, small_index())
+                .unwrap();
+            for i in 0..200i64 {
+                df.append_row(&[Value::Int64(i % 40), Value::Utf8(format!("p{i}"))])
+                    .unwrap();
+            }
+        }
+        let sess = DurableSession::open(cfg(dir.path(), DurabilityLevel::Sync)).unwrap();
+        assert_eq!(sess.table_names(), vec!["people".to_string()]);
+        let df = sess.dataframe("people").unwrap();
+        assert_eq!(df.table().row_count(), 200);
+        let rows = df.get_rows(7i64).unwrap().collect().unwrap();
+        assert_eq!(rows.len(), 5);
+        // SQL works on the recovered table.
+        let out = sess
+            .sql("SELECT COUNT(*) FROM people")
+            .unwrap()
+            .collect()
+            .unwrap();
+        assert_eq!(out.to_rows()[0][0], Value::Int64(200));
+    }
+
+    #[test]
+    fn checkpoint_truncates_wal_and_reopen_restores_from_snapshot() {
+        let dir = TempDir::new("sess-ckpt");
+        {
+            let sess = DurableSession::open(cfg(dir.path(), DurabilityLevel::Sync)).unwrap();
+            let df = sess
+                .create_table("people", people_schema(), 0, small_index())
+                .unwrap();
+            for i in 0..100i64 {
+                df.append_row(&[Value::Int64(i), Value::Utf8(format!("p{i}"))])
+                    .unwrap();
+            }
+            let done = sess.checkpoint(None).unwrap();
+            assert_eq!(done, vec!["people".to_string()]);
+            let wal = checkpoint::wal_path(&dir.path().join("people"));
+            assert_eq!(std::fs::metadata(&wal).unwrap().len(), 0);
+            // Post-checkpoint appends land in the fresh WAL.
+            df.append_row(&[Value::Int64(100), Value::Utf8("tail".into())])
+                .unwrap();
+            assert!(std::fs::metadata(&wal).unwrap().len() > 0);
+        }
+        let sess = DurableSession::open(cfg(dir.path(), DurabilityLevel::Sync)).unwrap();
+        assert_eq!(sess.dataframe("people").unwrap().table().row_count(), 101);
+    }
+
+    #[test]
+    fn checkpoint_via_sql_and_unknown_table_is_typed() {
+        let dir = TempDir::new("sess-sql-ckpt");
+        let sess = DurableSession::open(cfg(dir.path(), DurabilityLevel::Async)).unwrap();
+        sess.create_table("t1", people_schema(), 0, small_index())
+            .unwrap();
+        let out = sess.sql("CHECKPOINT t1").unwrap().collect().unwrap();
+        assert_eq!(out.to_rows(), vec![vec![Value::Utf8("t1".into())]]);
+        let err = sess.sql("CHECKPOINT nope").err().unwrap();
+        assert!(err.to_string().contains("unknown durable table"), "{err}");
+    }
+
+    #[test]
+    fn level_none_is_checkpoint_only() {
+        let dir = TempDir::new("sess-none");
+        {
+            let sess = DurableSession::open(cfg(dir.path(), DurabilityLevel::None)).unwrap();
+            let df = sess
+                .create_table("t", people_schema(), 0, small_index())
+                .unwrap();
+            df.append_row(&[Value::Int64(1), Value::Utf8("kept".into())])
+                .unwrap();
+            sess.checkpoint(Some("t")).unwrap();
+            df.append_row(&[Value::Int64(2), Value::Utf8("lost".into())])
+                .unwrap();
+            // No WAL at level None: the post-checkpoint row is volatile.
+            let wal = checkpoint::wal_path(&dir.path().join("t"));
+            assert_eq!(std::fs::metadata(&wal).unwrap().len(), 0);
+        }
+        let sess = DurableSession::open(cfg(dir.path(), DurabilityLevel::None)).unwrap();
+        assert_eq!(sess.dataframe("t").unwrap().table().row_count(), 1);
+    }
+
+    #[test]
+    fn duplicate_create_is_rejected() {
+        let dir = TempDir::new("sess-dup");
+        let sess = DurableSession::open(cfg(dir.path(), DurabilityLevel::Sync)).unwrap();
+        sess.create_table("t", people_schema(), 0, small_index())
+            .unwrap();
+        let err = sess
+            .create_table("t", people_schema(), 0, small_index())
+            .unwrap_err();
+        assert!(err.to_string().contains("already exists"), "{err}");
+    }
+}

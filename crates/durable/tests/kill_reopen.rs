@@ -1,0 +1,140 @@
+//! Real crash-recovery round trip: a child *process* appends with `Sync`
+//! durability and is SIGKILLed mid-stream; the parent reopens the store
+//! and asserts the recovered table is a contiguous prefix of the appends
+//! that covers everything the child acknowledged. This is the only test
+//! that exercises recovery after an actual process death (the in-process
+//! suites simulate crashes by dropping the session).
+//!
+//! Mechanism: the parent re-executes its own test binary filtered to
+//! [`kill_reopen_child_helper`], which is a no-op unless
+//! `IDF_KILL_TEST_DIR` is set — the standard self-exec trick, so no extra
+//! binary target is needed.
+
+use std::path::Path;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use idf_core::config::IndexConfig;
+use idf_durable::{DurableSession, TempDir};
+use idf_engine::config::{DurabilityLevel, EngineConfig};
+use idf_engine::schema::{Field, Schema, SchemaRef};
+use idf_engine::types::{DataType, Value};
+
+const DIR_ENV: &str = "IDF_KILL_TEST_DIR";
+/// The child rewrites this file with the count of acknowledged appends.
+const ACK_FILE: &str = "acked";
+const CHILD_MAX_APPENDS: i64 = 500_000;
+
+fn config(dir: &Path) -> EngineConfig {
+    EngineConfig {
+        data_dir: Some(dir.to_path_buf()),
+        durability: DurabilityLevel::Sync,
+        ..EngineConfig::default()
+    }
+}
+
+fn schema() -> SchemaRef {
+    Arc::new(Schema::new(vec![
+        Field::required("k", DataType::Int64),
+        Field::new("v", DataType::Int64),
+    ]))
+}
+
+/// Child body: appends `0, 1, 2, …` with `Sync` durability, persisting
+/// the acknowledged count after every append, until killed. **Not a test
+/// of its own** — exits immediately unless the parent set the env var.
+#[test]
+fn kill_reopen_child_helper() {
+    let Ok(dir) = std::env::var(DIR_ENV) else {
+        return;
+    };
+    let dir = std::path::PathBuf::from(dir);
+    let sess = DurableSession::open(config(&dir)).expect("child open");
+    let df = sess
+        .create_table(
+            "t",
+            schema(),
+            0,
+            IndexConfig {
+                num_partitions: 4,
+                ..IndexConfig::default()
+            },
+        )
+        .expect("child create_table");
+    let ack_tmp = dir.join(format!("{ACK_FILE}.tmp"));
+    let ack = dir.join(ACK_FILE);
+    for v in 0..CHILD_MAX_APPENDS {
+        df.append_row(&[Value::Int64(v), Value::Int64(v)])
+            .expect("child append");
+        // Acknowledged ⇒ durable (Sync). Publish the count atomically so
+        // the parent never reads a half-written number.
+        std::fs::write(&ack_tmp, (v + 1).to_string()).expect("child ack write");
+        std::fs::rename(&ack_tmp, &ack).expect("child ack rename");
+    }
+}
+
+fn read_acked(dir: &Path) -> i64 {
+    std::fs::read_to_string(dir.join(ACK_FILE))
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(0)
+}
+
+#[test]
+fn sigkill_mid_append_recovers_every_acknowledged_row() {
+    let dir = TempDir::new("kill-reopen");
+    let exe = std::env::current_exe().unwrap();
+    let mut child = std::process::Command::new(exe)
+        .args(["kill_reopen_child_helper", "--exact", "--nocapture"])
+        .env(DIR_ENV, dir.path())
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn child");
+
+    // Let the child make real progress, then kill it mid-stream.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        if read_acked(dir.path()) >= 100 {
+            break;
+        }
+        if let Some(status) = child.try_wait().expect("try_wait") {
+            panic!(
+                "child exited early ({status}) with {} acks",
+                read_acked(dir.path())
+            );
+        }
+        assert!(Instant::now() < deadline, "child made no progress");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    child.kill().expect("SIGKILL child");
+    let _ = child.wait();
+
+    // The ack file may lag the WAL by one in-flight append, never lead it.
+    let acked = read_acked(dir.path());
+    assert!(acked >= 100);
+
+    let sess = DurableSession::open(config(dir.path())).expect("reopen after SIGKILL");
+    let df = sess.dataframe("t").expect("recovered table");
+    let recovered = df.row_count() as i64;
+    assert!(
+        recovered >= acked,
+        "recovered {recovered} rows but the child had {acked} acknowledged"
+    );
+    // Contiguous prefix, nothing torn or reordered.
+    let snap = df.table().snapshot();
+    for v in 0..recovered {
+        let c = snap.lookup_chunk(&Value::Int64(v), None).unwrap();
+        assert_eq!(c.len(), 1, "recovered row {v}");
+        assert_eq!(c.value_at(1, 0), Value::Int64(v));
+    }
+    assert!(snap
+        .lookup_chunk(&Value::Int64(recovered), None)
+        .unwrap()
+        .is_empty());
+    // Recovered store stays fully usable: append, checkpoint, re-query.
+    df.append_row(&[Value::Int64(recovered), Value::Int64(recovered)])
+        .unwrap();
+    sess.checkpoint(None).unwrap();
+    assert_eq!(df.row_count() as i64, recovered + 1);
+}

@@ -23,6 +23,31 @@ pub struct EngineConfig {
     /// Queries slower than this end-to-end are recorded in the global
     /// slow-query log (see `idf-obs`). `None` disables the log.
     pub slow_query_threshold: Option<std::time::Duration>,
+    /// Root directory for durable state (per-table WAL segments and
+    /// checkpoints). `None` (the default) keeps the engine purely
+    /// in-memory. Validated — created if absent, typed error on
+    /// unwritable/colliding paths — by the durability layer on open.
+    pub data_dir: Option<std::path::PathBuf>,
+    /// How strongly appends are persisted when a durability layer is
+    /// attached. Ignored (and irrelevant) while `data_dir` is `None`.
+    pub durability: DurabilityLevel,
+}
+
+/// When an acknowledged append is guaranteed to be on disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DurabilityLevel {
+    /// No write-ahead logging at all: tables are in-memory only, exactly
+    /// as before the durability subsystem existed. The default, so
+    /// existing tests and benches are unchanged.
+    #[default]
+    None,
+    /// Appends are acknowledged once staged with the group-commit writer;
+    /// the WAL record reaches disk shortly after, but a crash can lose
+    /// the last few acknowledged commits.
+    Async,
+    /// Appends are acknowledged only after their WAL record is fsync'd.
+    /// Concurrent commits are coalesced into one fsync (group commit).
+    Sync,
 }
 
 impl Default for EngineConfig {
@@ -34,6 +59,8 @@ impl Default for EngineConfig {
             query_memory_limit: None,
             total_memory_limit: None,
             slow_query_threshold: Some(std::time::Duration::from_millis(100)),
+            data_dir: None,
+            durability: DurabilityLevel::None,
         }
     }
 }
@@ -55,5 +82,7 @@ mod tests {
         assert!(c.target_partitions >= 1);
         assert!(c.batch_size > 0);
         assert!(c.broadcast_threshold_rows > 0);
+        assert_eq!(c.data_dir, None);
+        assert_eq!(c.durability, DurabilityLevel::None);
     }
 }

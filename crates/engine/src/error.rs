@@ -28,6 +28,14 @@ pub enum EngineError {
     /// A per-query or global memory budget was exceeded; the query unwound
     /// cleanly and other in-flight queries are unaffected.
     ResourceExhausted(String),
+    /// A durability I/O operation (WAL append, fsync, checkpoint write,
+    /// data-dir validation) failed. `std::io::Error` is neither `Clone` nor
+    /// `Eq`, so the message is stringified at the boundary.
+    Durability(String),
+    /// On-disk state (manifest, checkpoint, WAL segment) failed validation:
+    /// bad magic, version, checksum, or a pointer that does not resolve.
+    /// Recovery refuses corrupt input with this error instead of panicking.
+    Corrupt(String),
     /// A single row exceeded the configured encoded-size limit (rows are
     /// capped at `IndexConfig::max_row_size`; batches at
     /// `IndexConfig::batch_size`).
@@ -53,6 +61,8 @@ impl fmt::Display for EngineError {
             EngineError::Cancelled => write!(f, "query cancelled"),
             EngineError::DeadlineExceeded => write!(f, "query deadline exceeded"),
             EngineError::ResourceExhausted(m) => write!(f, "resource exhausted: {m}"),
+            EngineError::Durability(m) => write!(f, "durability error: {m}"),
+            EngineError::Corrupt(m) => write!(f, "corrupt on-disk state: {m}"),
             EngineError::RowTooLarge { size, max } => write!(
                 f,
                 "row too large: encoded row is {size} bytes; at most {max} bytes are allowed"
@@ -91,6 +101,17 @@ impl EngineError {
     /// Build a resource-exhaustion (memory budget) error.
     pub fn resource(msg: impl Into<String>) -> Self {
         EngineError::ResourceExhausted(msg.into())
+    }
+
+    /// Build a durability (I/O) error. Accepts anything displayable so
+    /// `std::io::Error` values can be passed straight through.
+    pub fn durability(msg: impl fmt::Display) -> Self {
+        EngineError::Durability(msg.to_string())
+    }
+
+    /// Build a corrupt-on-disk-state error.
+    pub fn corrupt(msg: impl Into<String>) -> Self {
+        EngineError::Corrupt(msg.into())
     }
 
     /// True for the cooperative-stop errors ([`EngineError::Cancelled`] and
@@ -138,6 +159,14 @@ mod tests {
         );
         assert!(EngineError::internal("oops").to_string().contains("bug"));
         assert_eq!(EngineError::Cancelled.to_string(), "query cancelled");
+        assert_eq!(
+            EngineError::durability("disk full").to_string(),
+            "durability error: disk full"
+        );
+        assert_eq!(
+            EngineError::corrupt("bad checksum").to_string(),
+            "corrupt on-disk state: bad checksum"
+        );
         assert!(EngineError::RowTooLarge {
             size: 2048,
             max: 1024

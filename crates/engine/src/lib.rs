@@ -67,6 +67,7 @@ pub mod types;
 pub mod prelude {
     pub use crate::catalog::{MemTable, TableSource};
     pub use crate::chunk::Chunk;
+    pub use crate::config::{DurabilityLevel, EngineConfig};
     pub use crate::dataframe::DataFrame;
     pub use crate::error::{EngineError, Result};
     pub use crate::expr::{avg, col, count, count_star, lit, max, min, sum, Expr, SortExpr};

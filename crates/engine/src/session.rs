@@ -17,6 +17,16 @@ use crate::query::{MemoryGovernor, QueryContext, QueryContextBuilder};
 use crate::schema::SchemaRef;
 use crate::types::Value;
 
+/// Extension point a durability layer installs on a session so the engine
+/// can dispatch `CHECKPOINT` statements (and `Session::checkpoint`) without
+/// depending on the layer itself — the storage crates sit *above* the
+/// engine in the dependency graph, so the engine only sees this trait.
+pub trait DurabilityHook: Send + Sync {
+    /// Checkpoint `table` (or every durable table when `None`); returns the
+    /// names of the tables checkpointed.
+    fn checkpoint(&self, table: Option<&str>) -> Result<Vec<String>>;
+}
+
 struct SessionState {
     catalog: Catalog,
     config: EngineConfig,
@@ -25,6 +35,8 @@ struct SessionState {
     /// Session-wide memory budget, present when
     /// `EngineConfig::total_memory_limit` is set; shared by every query.
     governor: Option<Arc<MemoryGovernor>>,
+    /// Installed durability layer, if any (see [`DurabilityHook`]).
+    durability: RwLock<Option<Arc<dyn DurabilityHook>>>,
 }
 
 /// A query session. Cheap to clone (shared state).
@@ -55,6 +67,7 @@ impl Session {
                 rules: RwLock::new(Vec::new()),
                 strategies: RwLock::new(Vec::new()),
                 governor,
+                durability: RwLock::new(None),
             }),
         }
     }
@@ -177,6 +190,27 @@ impl Session {
         crate::sql::plan_sql(self, query)
     }
 
+    /// Install the durability layer that `CHECKPOINT` dispatches to.
+    /// Called by `idf-durable` when a session is opened with a data
+    /// directory; replaces any previously installed hook.
+    pub fn set_durability_hook(&self, hook: Arc<dyn DurabilityHook>) {
+        *self.state.durability.write() = Some(hook);
+    }
+
+    /// Checkpoint `table` (or every durable table when `None`) through the
+    /// installed [`DurabilityHook`]; returns the names of the tables
+    /// checkpointed. Errors with `Unsupported` when the session has no
+    /// durability layer attached.
+    pub fn checkpoint(&self, table: Option<&str>) -> Result<Vec<String>> {
+        let hook = self.state.durability.read().clone();
+        match hook {
+            Some(hook) => hook.checkpoint(table),
+            None => Err(crate::error::EngineError::Unsupported(
+                "CHECKPOINT requires a durable session (no data_dir is configured)".to_string(),
+            )),
+        }
+    }
+
     /// The process-global metrics in Prometheus text exposition format:
     /// storage counters (appends, probes, chain walks), query lifecycle
     /// counters, and latency histograms. Empty string when the `obs`
@@ -262,6 +296,27 @@ mod tests {
             .unwrap();
         assert_eq!(out.len(), 1);
         assert_eq!(out.value_at(1, 0), Value::Utf8("b".into()));
+    }
+
+    #[test]
+    fn checkpoint_without_hook_is_unsupported() {
+        let s = Session::new();
+        let err = s.checkpoint(None).unwrap_err();
+        assert!(matches!(err, crate::error::EngineError::Unsupported(_)));
+    }
+
+    #[test]
+    fn checkpoint_dispatches_to_installed_hook() {
+        struct Recorder;
+        impl DurabilityHook for Recorder {
+            fn checkpoint(&self, table: Option<&str>) -> Result<Vec<String>> {
+                Ok(vec![table.unwrap_or("all").to_string()])
+            }
+        }
+        let s = Session::new();
+        s.set_durability_hook(Arc::new(Recorder));
+        assert_eq!(s.checkpoint(Some("t")).unwrap(), vec!["t".to_string()]);
+        assert_eq!(s.checkpoint(None).unwrap(), vec!["all".to_string()]);
     }
 
     #[test]

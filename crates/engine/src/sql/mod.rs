@@ -48,5 +48,11 @@ pub fn plan_sql(session: &Session, query: &str) -> Result<DataFrame> {
                 .collect();
             Ok(session.create_dataframe(schema, rows))
         }
+        Statement::Checkpoint { table } => {
+            let tables = session.checkpoint(table.as_deref())?;
+            let schema = Arc::new(Schema::new(vec![Field::new("table", DataType::Utf8)]));
+            let rows: Vec<Vec<Value>> = tables.into_iter().map(|t| vec![Value::Utf8(t)]).collect();
+            Ok(session.create_dataframe(schema, rows))
+        }
     }
 }

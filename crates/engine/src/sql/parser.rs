@@ -186,6 +186,12 @@ pub enum Statement {
         /// The query being explained.
         query: SelectStmt,
     },
+    /// `CHECKPOINT [table]`: flush a durable table (or all durable tables)
+    /// to a checkpoint, truncating the WAL prefix it covers.
+    Checkpoint {
+        /// The table to checkpoint, or `None` for every durable table.
+        table: Option<String>,
+    },
 }
 
 /// Parse one SELECT statement from `input`.
@@ -210,7 +216,13 @@ pub fn parse_statement(input: &str) -> Result<Statement> {
         pos: 0,
         depth: 0,
     };
-    let stmt = if p.eat_kw("EXPLAIN") {
+    let stmt = if p.eat_kw("CHECKPOINT") {
+        let table = match p.peek() {
+            Token::Ident(_) => Some(p.ident()?),
+            _ => None,
+        };
+        Statement::Checkpoint { table }
+    } else if p.eat_kw("EXPLAIN") {
         let analyze = p.eat_kw("ANALYZE");
         if p.at_kw("EXPLAIN") {
             return Err(EngineError::Sql(
@@ -779,6 +791,24 @@ mod tests {
         assert_eq!(q.projection.len(), 2);
         assert!(q.selection.is_some());
         assert!(matches!(q.from, TableRef::Named { ref name, .. } if name == "t"));
+    }
+
+    #[test]
+    fn parses_checkpoint() {
+        assert_eq!(
+            parse_statement("CHECKPOINT").unwrap(),
+            Statement::Checkpoint { table: None }
+        );
+        assert_eq!(
+            parse_statement("checkpoint person").unwrap(),
+            Statement::Checkpoint {
+                table: Some("person".to_string())
+            }
+        );
+        // Trailing tokens are rejected, and `checkpoint` stays usable as a
+        // plain table name in SELECT.
+        assert!(parse_statement("CHECKPOINT a b").is_err());
+        assert!(parse_statement("SELECT * FROM checkpoint").is_ok());
     }
 
     #[test]

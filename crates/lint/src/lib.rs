@@ -387,6 +387,7 @@ impl LintConfig {
             ],
             failpoint_registries: vec![
                 "crates/core/src/failpoints.rs",
+                "crates/durable/src/failpoints.rs",
                 "crates/engine/src/failpoints.rs",
             ],
             fail_crate_prefix: "crates/fail/",

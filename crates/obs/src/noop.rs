@@ -193,6 +193,20 @@ pub struct MetricsRegistry {
     /// Stub.
     pub query_peak_memory_bytes: Gauge,
     /// Stub.
+    pub wal_records: Counter,
+    /// Stub.
+    pub wal_bytes: Counter,
+    /// Stub.
+    pub wal_fsyncs: Counter,
+    /// Stub.
+    pub wal_group_commit_batch: Histogram,
+    /// Stub.
+    pub checkpoint_duration_ns: Histogram,
+    /// Stub.
+    pub recovery_duration_ns: Histogram,
+    /// Stub.
+    pub recovery_replayed_records: Counter,
+    /// Stub.
     pub slow_queries: SlowQueryLog,
 }
 
@@ -221,6 +235,13 @@ impl MetricsRegistry {
             queries_in_flight: Gauge,
             query_latency_ns: Histogram,
             query_peak_memory_bytes: Gauge,
+            wal_records: Counter,
+            wal_bytes: Counter,
+            wal_fsyncs: Counter,
+            wal_group_commit_batch: Histogram,
+            checkpoint_duration_ns: Histogram,
+            recovery_duration_ns: Histogram,
+            recovery_replayed_records: Counter,
             slow_queries: SlowQueryLog,
         };
         &GLOBAL

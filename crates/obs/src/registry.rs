@@ -123,6 +123,22 @@ pub struct MetricsRegistry {
     /// High-water mark of per-query reserved memory, bytes.
     pub query_peak_memory_bytes: Gauge,
 
+    // Durability layer (WAL + checkpoints + recovery).
+    /// WAL records appended (one per committed chunk).
+    pub wal_records: Counter,
+    /// WAL bytes appended (framed record bytes, header included).
+    pub wal_bytes: Counter,
+    /// fsync calls issued by the group-commit writer.
+    pub wal_fsyncs: Counter,
+    /// Records coalesced into each group-commit flush.
+    pub wal_group_commit_batch: Histogram,
+    /// Wall-clock time to write one table checkpoint, nanoseconds.
+    pub checkpoint_duration_ns: Histogram,
+    /// Wall-clock time to recover one table on open, nanoseconds.
+    pub recovery_duration_ns: Histogram,
+    /// WAL records replayed during recovery.
+    pub recovery_replayed_records: Counter,
+
     /// Ring buffer of queries slower than the session threshold.
     pub slow_queries: SlowQueryLog,
 }
@@ -158,6 +174,13 @@ impl MetricsRegistry {
         self.queries_in_flight.reset();
         self.query_latency_ns.reset();
         self.query_peak_memory_bytes.reset();
+        self.wal_records.reset();
+        self.wal_bytes.reset();
+        self.wal_fsyncs.reset();
+        self.wal_group_commit_batch.reset();
+        self.checkpoint_duration_ns.reset();
+        self.recovery_duration_ns.reset();
+        self.recovery_replayed_records.reset();
         self.slow_queries.reset();
     }
 
@@ -254,6 +277,48 @@ impl MetricsRegistry {
             "idf_query_peak_memory_bytes",
             "High-water mark of per-query reserved memory.",
             &self.query_peak_memory_bytes,
+        );
+        write_counter(
+            &mut out,
+            "idf_wal_records_total",
+            "WAL records appended (one per committed chunk).",
+            &self.wal_records,
+        );
+        write_counter(
+            &mut out,
+            "idf_wal_bytes_total",
+            "WAL bytes appended, framing included.",
+            &self.wal_bytes,
+        );
+        write_counter(
+            &mut out,
+            "idf_wal_fsyncs_total",
+            "fsync calls issued by the group-commit writer.",
+            &self.wal_fsyncs,
+        );
+        write_histogram(
+            &mut out,
+            "idf_wal_group_commit_batch",
+            "Records coalesced into each group-commit flush.",
+            &self.wal_group_commit_batch,
+        );
+        write_histogram(
+            &mut out,
+            "idf_checkpoint_duration_ns",
+            "Time to write one table checkpoint, nanoseconds.",
+            &self.checkpoint_duration_ns,
+        );
+        write_histogram(
+            &mut out,
+            "idf_recovery_duration_ns",
+            "Time to recover one table on open, nanoseconds.",
+            &self.recovery_duration_ns,
+        );
+        write_counter(
+            &mut out,
+            "idf_recovery_replayed_records_total",
+            "WAL records replayed during recovery.",
+            &self.recovery_replayed_records,
         );
         write_gauge_value(
             &mut out,
@@ -361,6 +426,14 @@ mod tests {
         assert!(text.contains("idf_index_chain_walk_length_sum 6"));
         assert!(text.contains("idf_index_chain_walk_length_count 2"));
         assert!(text.contains("idf_query_in_flight 2"));
+        m.wal_records.add(4);
+        m.wal_fsyncs.inc();
+        m.wal_group_commit_batch.record(4);
+        let text = m.prometheus();
+        assert!(text.contains("idf_wal_records_total 4"));
+        assert!(text.contains("idf_wal_fsyncs_total 1"));
+        assert!(text.contains("# TYPE idf_wal_group_commit_batch histogram"));
+        assert!(text.contains("# TYPE idf_recovery_replayed_records_total counter"));
         // Every line is a comment or `name[{labels}] value`.
         for line in text.lines() {
             assert!(

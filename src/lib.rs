@@ -5,8 +5,12 @@
 //! - [`idf_ctrie`] — the concurrent trie index structure
 //! - [`idf_core`] — the Indexed DataFrame itself
 //! - [`idf_snb`] — the SNB-like benchmark data generator and queries
+//! - [`idf_durable`] — WAL, checkpoints and crash recovery (feature
+//!   `durability`, on by default)
 
 pub use idf_core as core;
 pub use idf_ctrie as ctrie;
+#[cfg(feature = "durability")]
+pub use idf_durable as durable;
 pub use idf_engine as engine;
 pub use idf_snb as snb;
