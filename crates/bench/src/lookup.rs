@@ -284,6 +284,16 @@ pub fn run(cfg: &LookupConfig) -> Result<LookupReport> {
             }
             Ok(())
         });
+        // Measure only while the storm is actually running: on a loaded
+        // machine a short probe run can finish before the writer thread
+        // is first scheduled. Bounded so a writer that errors out on its
+        // first append cannot spin this forever.
+        let warmup = std::time::Instant::now();
+        while appended.load(Ordering::Relaxed) == 0
+            && warmup.elapsed() < std::time::Duration::from_secs(2)
+        {
+            std::thread::yield_now();
+        }
         let probed = probe_latencies(&idf, cfg.n_keys, cfg.storm_probes, &mut rng);
         stop.store(true, Ordering::Relaxed);
         writer.join().expect("storm writer panicked")?;

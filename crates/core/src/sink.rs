@@ -18,7 +18,7 @@
 //!    dropped only after publish completes, which is what lets a
 //!    checkpoint quiesce the WAL: it waits for every guard to drop before
 //!    snapshotting, so the snapshot covers every logged-and-acknowledged
-//!    commit and the WAL prefix can be truncated safely.
+//!    commit and the covered WAL segment can be retired safely.
 //!
 //! A crash between 3 and 4 means an *unacknowledged* append may still be
 //! replayed on recovery — the classic "unknown outcome" window every

@@ -5,10 +5,17 @@
 //!
 //! ```text
 //! data_dir/<table>/
-//!   wal.log            append segment (see [`crate::wal`])
-//!   ckpt-<id>.snap     full table image, highest id wins
+//!   wal-<id>.log       append segment paired with snapshot <id>
+//!   ckpt-<id>.snap     full table image, the manifest's id wins
 //!   MANIFEST           the id of the authoritative snapshot
 //! ```
+//!
+//! The WAL segment is *named by checkpoint id*: segment `id` holds
+//! exactly the commits made after snapshot `id` was taken. Recovery
+//! opens only the segment paired with the manifest's snapshot, so a
+//! crash between the manifest flip and the old segment's deletion
+//! leaves stale litter (swept by the next checkpoint's GC), never a
+//! covered prefix that would replay as duplicate rows.
 //!
 //! A snapshot file is `b"IDFSNAP1"` followed by **one** CRC frame whose
 //! body serializes the schema, index configuration, and every partition:
@@ -35,8 +42,8 @@ use idf_engine::error::{EngineError, Result};
 use idf_engine::schema::{Field, Schema, SchemaRef};
 
 use crate::codec::{
-    frame, put_bytes, put_data_type, put_u32, put_u64, put_value, read_frame, Cursor, FrameRead,
-    MAX_SNAPSHOT_FRAME,
+    check_frame_len, frame, put_bytes, put_data_type, put_u32, put_u64, put_value, read_frame,
+    Cursor, FrameRead, MAX_SNAPSHOT_FRAME,
 };
 
 /// Magic prefix of a snapshot file.
@@ -45,9 +52,10 @@ pub const SNAP_MAGIC: &[u8; 8] = b"IDFSNAP1";
 /// Magic prefix of a manifest file.
 pub const MANIFEST_MAGIC: &[u8; 8] = b"IDFMANI1";
 
-/// The WAL segment of a table directory.
-pub fn wal_path(table_dir: &Path) -> PathBuf {
-    table_dir.join("wal.log")
+/// The WAL segment paired with checkpoint `id` of a table directory:
+/// it holds the commits made after snapshot `id` was taken.
+pub fn wal_path(table_dir: &Path, id: u64) -> PathBuf {
+    table_dir.join(format!("wal-{id}.log"))
 }
 
 /// The manifest of a table directory.
@@ -87,7 +95,7 @@ pub fn write_manifest(table_dir: &Path, id: u64) -> Result<()> {
     let mut body = Vec::with_capacity(8);
     put_u64(&mut body, id);
     let mut bytes = MANIFEST_MAGIC.to_vec();
-    bytes.extend_from_slice(&frame(&body));
+    bytes.extend_from_slice(&frame(&body)?);
     write_atomic(table_dir, "MANIFEST", &bytes)
 }
 
@@ -170,25 +178,33 @@ pub fn write_snapshot(
 ) -> Result<()> {
     crate::failpoints::check(crate::failpoints::CHECKPOINT_WRITE)?;
     let body = encode_table(snap, config);
+    // Refuse before anything durable changes: an over-cap body would
+    // wrap the u32 length prefix (or be rejected by the reader), leaving
+    // a checkpoint that "succeeded" but can never be loaded.
+    check_frame_len(body.len(), MAX_SNAPSHOT_FRAME, "checkpoint snapshot")?;
     let mut bytes = SNAP_MAGIC.to_vec();
-    bytes.extend_from_slice(&frame(&body));
+    bytes.extend_from_slice(&frame(&body)?);
     write_atomic(table_dir, &format!("ckpt-{id}.snap"), &bytes)
 }
 
-/// Best-effort removal of snapshot files other than `keep_id`. Failures
-/// are ignored — stale snapshots are litter, never a correctness problem.
-pub fn remove_stale_snapshots(table_dir: &Path, keep_id: u64) {
+/// Best-effort removal of snapshot files *and* WAL segments other than
+/// `keep_id`'s. Failures are ignored — stale files (e.g. a covered
+/// segment left by a crash between the manifest flip and rotation's
+/// delete) are litter recovery never reads, never a correctness problem.
+pub fn remove_stale_files(table_dir: &Path, keep_id: u64) {
     let Ok(entries) = std::fs::read_dir(table_dir) else {
         return;
     };
     for entry in entries.flatten() {
         let name = entry.file_name();
         let Some(name) = name.to_str() else { continue };
-        let Some(id) = name
+        let snap_id = name
             .strip_prefix("ckpt-")
-            .and_then(|rest| rest.strip_suffix(".snap"))
-            .and_then(|id| id.parse::<u64>().ok())
-        else {
+            .and_then(|rest| rest.strip_suffix(".snap"));
+        let wal_id = name
+            .strip_prefix("wal-")
+            .and_then(|rest| rest.strip_suffix(".log"));
+        let Some(id) = snap_id.or(wal_id).and_then(|id| id.parse::<u64>().ok()) else {
             continue;
         };
         if id != keep_id {
@@ -368,17 +384,21 @@ mod tests {
     }
 
     #[test]
-    fn stale_snapshots_are_garbage_collected() {
+    fn stale_snapshots_and_wal_segments_are_garbage_collected() {
         let dir = TempDir::new("ckpt-gc");
         let table = sample_table();
         for id in 1..=3 {
             write_snapshot(dir.path(), id, &table.snapshot(), table.config()).unwrap();
+            std::fs::write(wal_path(dir.path(), id), b"segment").unwrap();
         }
         write_manifest(dir.path(), 3).unwrap();
-        remove_stale_snapshots(dir.path(), 3);
+        remove_stale_files(dir.path(), 3);
         assert!(!snap_path(dir.path(), 1).exists());
         assert!(!snap_path(dir.path(), 2).exists());
         assert!(snap_path(dir.path(), 3).exists());
+        assert!(!wal_path(dir.path(), 1).exists());
+        assert!(!wal_path(dir.path(), 2).exists());
+        assert!(wal_path(dir.path(), 3).exists(), "live segment kept");
         load_table(dir.path(), 3).unwrap();
     }
 

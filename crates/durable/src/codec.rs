@@ -16,12 +16,16 @@ use idf_engine::types::{DataType, Value};
 use crate::crc::crc32;
 
 /// Hard cap on one frame body (64 MiB for WAL records; checkpoints use
-/// [`MAX_SNAPSHOT_FRAME`]). A length prefix beyond the cap is treated as
-/// corruption rather than an allocation request.
+/// [`MAX_SNAPSHOT_FRAME`]). Enforced symmetrically: writers refuse to
+/// frame a larger body (see [`check_frame_len`]) and readers treat a
+/// length prefix beyond the cap as corruption rather than an allocation
+/// request.
 pub const MAX_WAL_FRAME: usize = 64 << 20;
 
-/// Hard cap on a checkpoint snapshot frame (a full table image).
-pub const MAX_SNAPSHOT_FRAME: usize = 4 << 30;
+/// Hard cap on a checkpoint snapshot frame (a full table image). One
+/// below `1 << 32` so every permitted body length round-trips through
+/// the `u32` frame prefix without wrapping.
+pub const MAX_SNAPSHOT_FRAME: usize = (4 << 30) - 1;
 
 // ---------------------------------------------------------------------
 // Writing
@@ -43,13 +47,34 @@ pub fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
     out.extend_from_slice(b);
 }
 
+/// Refuse to frame a body longer than `max_body` bytes. Writers call
+/// this *before* a frame is staged or acknowledged — a reader-side cap
+/// alone would let an oversized frame be fsync'd, then silently dropped
+/// as a "torn tail" on reopen, losing an acknowledged commit.
+pub fn check_frame_len(len: usize, max_body: usize, what: &str) -> Result<()> {
+    if len > max_body {
+        return Err(EngineError::durability(format!(
+            "{what} of {len} bytes exceeds the {max_body}-byte frame cap"
+        )));
+    }
+    Ok(())
+}
+
 /// Frame `body` for appending to a segment: length, checksum, body.
-pub fn frame(body: &[u8]) -> Vec<u8> {
+/// Errors when the body cannot be represented by the `u32` length prefix
+/// (callers normally reject far earlier via [`check_frame_len`]).
+pub fn frame(body: &[u8]) -> Result<Vec<u8>> {
+    let len = u32::try_from(body.len()).map_err(|_| {
+        EngineError::durability(format!(
+            "frame body of {} bytes overflows the u32 length prefix",
+            body.len()
+        ))
+    })?;
     let mut out = Vec::with_capacity(8 + body.len());
-    put_u32(&mut out, body.len() as u32);
+    put_u32(&mut out, len);
     put_u32(&mut out, crc32(body));
     out.extend_from_slice(body);
-    out
+    Ok(out)
 }
 
 /// Encode one scalar: tag byte + payload.
@@ -335,9 +360,24 @@ mod tests {
     }
 
     #[test]
+    fn oversized_bodies_are_rejected_at_write_time() {
+        // No allocation needed: the checks are pure length arithmetic.
+        check_frame_len(MAX_WAL_FRAME, MAX_WAL_FRAME, "WAL record").unwrap();
+        let err = check_frame_len(MAX_WAL_FRAME + 1, MAX_WAL_FRAME, "WAL record").unwrap_err();
+        assert!(err.to_string().contains("frame cap"), "{err}");
+        check_frame_len(MAX_SNAPSHOT_FRAME, MAX_SNAPSHOT_FRAME, "snapshot").unwrap();
+        let err =
+            check_frame_len(MAX_SNAPSHOT_FRAME + 1, MAX_SNAPSHOT_FRAME, "snapshot").unwrap_err();
+        assert!(err.to_string().contains("frame cap"), "{err}");
+        // The snapshot cap itself must fit the u32 length prefix, so a
+        // cap-respecting body can never wrap it.
+        assert!(MAX_SNAPSHOT_FRAME <= u32::MAX as usize);
+    }
+
+    #[test]
     fn frame_roundtrip_and_torn_tail() {
-        let a = frame(b"alpha");
-        let b = frame(b"bravo-bravo");
+        let a = frame(b"alpha").unwrap();
+        let b = frame(b"bravo-bravo").unwrap();
         let mut buf = [a.clone(), b.clone()].concat();
         match read_frame(&buf, 0, MAX_WAL_FRAME) {
             FrameRead::Ok { body, next } => {

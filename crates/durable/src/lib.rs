@@ -15,7 +15,8 @@
 //!    of the workspace is unchanged unless durability is asked for).
 //! 2. **Checkpoints** ([`checkpoint`]): a consistent [`TableSnapshot`] —
 //!    row batches verbatim plus a compact cTrie dump — serialized to a
-//!    manifest-versioned file; the WAL prefix it covers is truncated.
+//!    manifest-versioned file; the WAL then rotates to a fresh segment
+//!    named by the new checkpoint id, retiring the covered one.
 //! 3. **Recovery** ([`DurableSession::open`]): the newest valid
 //!    checkpoint is restored (bulk cTrie load, no per-row work), the WAL
 //!    tail is replayed through the regular two-phase append path, and

@@ -53,18 +53,23 @@ struct DurableState {
 impl DurableState {
     fn checkpoint_one(&self, name: &str, t: &DurableTable) -> Result<()> {
         let started = Instant::now();
-        let id = checkpoint::read_manifest(&t.dir)?.map_or(1, |id| id + 1);
         let table = &t.table;
         // Quiesce the WAL (every logged commit flushed *and* published),
-        // snapshot inside the quiet window, flip the manifest, and only
-        // then truncate — the checkpoint provably covers every WAL record
-        // it retires. At `DurabilityLevel::None` the WAL is trivially
-        // drained and this degrades to snapshot-plus-truncate.
-        t.wal.quiesce_and_truncate(|| {
+        // then — inside the quiet window, which also serializes
+        // concurrent checkpointers, so the id read here cannot race —
+        // pick the next id, snapshot, flip the manifest, and rotate to
+        // the segment paired with the new id. Recovery reads only that
+        // pairing, so the old (covered) segment is dead the instant the
+        // manifest flips, crash or no crash. At `DurabilityLevel::None`
+        // the WAL is trivially drained and this degrades to
+        // snapshot-plus-rotate.
+        let id = t.wal.quiesce_and_rotate(|| {
+            let id = checkpoint::read_manifest(&t.dir)?.map_or(1, |id| id + 1);
             checkpoint::write_snapshot(&t.dir, id, &table.snapshot(), table.config())?;
-            checkpoint::write_manifest(&t.dir, id)
+            checkpoint::write_manifest(&t.dir, id)?;
+            Ok((id, checkpoint::wal_path(&t.dir, id)))
         })?;
-        checkpoint::remove_stale_snapshots(&t.dir, id);
+        checkpoint::remove_stale_files(&t.dir, id);
         if idf_obs::enabled() {
             idf_obs::global()
                 .checkpoint_duration_ns
@@ -237,7 +242,7 @@ impl DurableSession {
         // successful checkpoint recovers an empty table plus the WAL tail.
         checkpoint::write_snapshot(&dir, 1, &table.snapshot(), table.config())?;
         checkpoint::write_manifest(&dir, 1)?;
-        let (wal, records) = TableWal::open(&checkpoint::wal_path(&dir), self.state.level)?;
+        let (wal, records) = TableWal::open(&checkpoint::wal_path(&dir, 1), self.state.level)?;
         debug_assert!(records.is_empty(), "fresh table with a non-empty WAL");
         let wal = Arc::new(wal);
         if self.state.level != DurabilityLevel::None {
@@ -270,7 +275,10 @@ fn recover_table(
         EngineError::corrupt(format!("table directory {} has no manifest", dir.display()))
     })?;
     let table = Arc::new(checkpoint::load_table(dir, id)?);
-    let (wal, records) = TableWal::open(&checkpoint::wal_path(dir), state.level)?;
+    // The segment named by the manifest's id holds exactly the commits
+    // made after that snapshot; a covered segment a crash left behind
+    // has a different id and is never opened.
+    let (wal, records) = TableWal::open(&checkpoint::wal_path(dir, id), state.level)?;
     let schema = table.schema();
     let mut replayed = 0u64;
     for record in &records {
@@ -458,7 +466,7 @@ mod tests {
     }
 
     #[test]
-    fn checkpoint_truncates_wal_and_reopen_restores_from_snapshot() {
+    fn checkpoint_rotates_wal_and_reopen_restores_from_snapshot() {
         let dir = TempDir::new("sess-ckpt");
         {
             let sess = DurableSession::open(cfg(dir.path(), DurabilityLevel::Sync)).unwrap();
@@ -471,15 +479,57 @@ mod tests {
             }
             let done = sess.checkpoint(None).unwrap();
             assert_eq!(done, vec!["people".to_string()]);
-            let wal = checkpoint::wal_path(&dir.path().join("people"));
+            // Creation wrote checkpoint 1, so this checkpoint is id 2:
+            // the covered segment is gone, the paired one starts empty.
+            let tdir = dir.path().join("people");
+            assert!(!checkpoint::wal_path(&tdir, 1).exists());
+            let wal = checkpoint::wal_path(&tdir, 2);
             assert_eq!(std::fs::metadata(&wal).unwrap().len(), 0);
-            // Post-checkpoint appends land in the fresh WAL.
+            // Post-checkpoint appends land in the fresh segment.
             df.append_row(&[Value::Int64(100), Value::Utf8("tail".into())])
                 .unwrap();
             assert!(std::fs::metadata(&wal).unwrap().len() > 0);
         }
         let sess = DurableSession::open(cfg(dir.path(), DurabilityLevel::Sync)).unwrap();
         assert_eq!(sess.dataframe("people").unwrap().table().row_count(), 101);
+    }
+
+    /// The exact crash window rotation exists for: the manifest has
+    /// flipped to the new checkpoint, but the covered segment was never
+    /// deleted. Recovery must ignore it — replaying it would duplicate
+    /// every row the snapshot already contains.
+    #[test]
+    fn covered_wal_segment_left_by_crash_is_not_replayed() {
+        let dir = TempDir::new("sess-crashwin");
+        let tdir = dir.path().join("people");
+        let covered;
+        {
+            let sess = DurableSession::open(cfg(dir.path(), DurabilityLevel::Sync)).unwrap();
+            let df = sess
+                .create_table("people", people_schema(), 0, small_index())
+                .unwrap();
+            for i in 0..50i64 {
+                df.append_row(&[Value::Int64(i), Value::Utf8(format!("p{i}"))])
+                    .unwrap();
+            }
+            // Capture segment 1's bytes (all 50 appends), checkpoint to
+            // id 2, then resurrect segment 1 as the crash would have
+            // left it.
+            covered = std::fs::read(checkpoint::wal_path(&tdir, 1)).unwrap();
+            assert!(!covered.is_empty());
+            sess.checkpoint(Some("people")).unwrap();
+        }
+        std::fs::write(checkpoint::wal_path(&tdir, 1), &covered).unwrap();
+        let sess = DurableSession::open(cfg(dir.path(), DurabilityLevel::Sync)).unwrap();
+        let df = sess.dataframe("people").unwrap();
+        assert_eq!(df.table().row_count(), 50, "covered segment replayed");
+        for key in [0i64, 25, 49] {
+            let rows = df.get_rows(key).unwrap().collect().unwrap();
+            assert_eq!(rows.len(), 1, "key {key} duplicated");
+        }
+        // The next checkpoint sweeps the stale segment.
+        sess.checkpoint(Some("people")).unwrap();
+        assert!(!checkpoint::wal_path(&tdir, 1).exists());
     }
 
     #[test]
@@ -507,8 +557,10 @@ mod tests {
             sess.checkpoint(Some("t")).unwrap();
             df.append_row(&[Value::Int64(2), Value::Utf8("lost".into())])
                 .unwrap();
-            // No WAL at level None: the post-checkpoint row is volatile.
-            let wal = checkpoint::wal_path(&dir.path().join("t"));
+            // No WAL sink at level None: the post-checkpoint row is
+            // volatile and the rotated segment (checkpoint id 2) stays
+            // empty.
+            let wal = checkpoint::wal_path(&dir.path().join("t"), 2);
             assert_eq!(std::fs::metadata(&wal).unwrap().len(), 0);
         }
         let sess = DurableSession::open(cfg(dir.path(), DurabilityLevel::None)).unwrap();

@@ -12,11 +12,16 @@
 //! the segment is scanned frame by frame and truncated at the first
 //! length or CRC violation, so exactly the durable prefix survives.
 //!
-//! Checkpoint coordination: [`TableWal::quiesce_and_truncate`] closes the
+//! Checkpoint coordination: [`TableWal::quiesce_and_rotate`] closes the
 //! commit gate, waits until every logged commit is both flushed and
 //! published to memory (the [`WalTicket`] dropped), runs the caller's
-//! snapshot write, and only then truncates the segment — so the
-//! checkpoint provably covers every record it drops.
+//! snapshot write, and then **rotates** to the new segment path the
+//! caller returned (deleting the old segment best-effort). Segments are
+//! named by checkpoint id, so recovery opens only the segment paired
+//! with the manifest's snapshot — a crash anywhere between the manifest
+//! flip and the old segment's deletion leaves a stale segment that
+//! recovery never reads, instead of a covered prefix it would replay as
+//! duplicates.
 
 use std::fs::{File, OpenOptions};
 use std::io::Write;
@@ -28,7 +33,9 @@ use idf_core::sink::{AppendSink, CommitGuard};
 use idf_engine::config::DurabilityLevel;
 use idf_engine::error::{EngineError, Result};
 
-use crate::codec::{frame, put_bytes, put_u32, read_frame, Cursor, FrameRead, MAX_WAL_FRAME};
+use crate::codec::{
+    check_frame_len, frame, put_bytes, put_u32, read_frame, Cursor, FrameRead, MAX_WAL_FRAME,
+};
 
 /// One decoded WAL record: the encoded row payloads of one committed
 /// append, in publish order.
@@ -117,12 +124,34 @@ impl WalInner {
     }
 }
 
+/// Open (creating if absent) the segment file at `path` and fsync its
+/// parent directory so the entry survives a crash — a freshly created
+/// segment whose directory entry is not durable could vanish along with
+/// every record fsync'd into it.
+fn open_segment(path: &Path) -> Result<File> {
+    let file = OpenOptions::new()
+        .read(true)
+        .append(true)
+        .create(true)
+        .open(path)
+        .map_err(|e| {
+            EngineError::durability(format!("opening WAL segment {}: {e}", path.display()))
+        })?;
+    if let Some(dir) = path.parent() {
+        File::open(dir).and_then(|d| d.sync_all()).map_err(|e| {
+            EngineError::durability(format!("syncing WAL directory {}: {e}", dir.display()))
+        })?;
+    }
+    Ok(file)
+}
+
 /// The per-table write-ahead log. Owns the group-commit writer thread;
 /// dropping the log drains the queue and joins the writer.
 pub struct TableWal {
     inner: Arc<WalInner>,
     writer: Option<std::thread::JoinHandle<()>>,
-    path: PathBuf,
+    /// Current segment path; swapped under the lock by rotation.
+    path: Mutex<PathBuf>,
 }
 
 impl TableWal {
@@ -131,14 +160,7 @@ impl TableWal {
     /// the records that survived — the caller replays them.
     pub fn open(path: &Path, level: DurabilityLevel) -> Result<(Self, Vec<WalRecord>)> {
         let (records, valid_len) = read_records(path)?;
-        let file = OpenOptions::new()
-            .read(true)
-            .append(true)
-            .create(true)
-            .open(path)
-            .map_err(|e| {
-                EngineError::durability(format!("opening WAL segment {}: {e}", path.display()))
-            })?;
+        let file = open_segment(path)?;
         file.set_len(valid_len).map_err(|e| {
             EngineError::durability(format!(
                 "truncating torn WAL tail of {}: {e}",
@@ -171,28 +193,37 @@ impl TableWal {
             TableWal {
                 inner,
                 writer: Some(writer),
-                path: path.to_path_buf(),
+                path: Mutex::new(path.to_path_buf()),
             },
             records,
         ))
     }
 
-    /// The segment path.
-    pub fn path(&self) -> &Path {
-        &self.path
+    /// The current segment path.
+    pub fn path(&self) -> PathBuf {
+        lock(&self.path).clone()
     }
 
     /// Log one committed append. Blocks per the configured durability
     /// level (see module docs); the returned ticket must be held until
     /// the rows are published to memory.
+    ///
+    /// Commits whose encoded record exceeds [`MAX_WAL_FRAME`] are
+    /// rejected here, before anything is staged or acknowledged: the
+    /// read side treats an over-cap length prefix as a torn tail, so
+    /// fsync'ing such a frame would silently drop it (and every record
+    /// after it) on reopen. The error is the caller's — the WAL itself
+    /// is not poisoned.
     pub fn begin_commit(&self, rows: &[&[u8]]) -> Result<WalTicket> {
         crate::failpoints::check(crate::failpoints::WAL_APPEND)?;
-        let mut body = Vec::with_capacity(8 + rows.iter().map(|r| r.len() + 4).sum::<usize>());
+        let body_len = 4 + rows.iter().map(|r| r.len() + 4).sum::<usize>();
+        check_frame_len(body_len, MAX_WAL_FRAME, "WAL record")?;
+        let mut body = Vec::with_capacity(body_len);
         put_u32(&mut body, rows.len() as u32);
         for r in rows {
             put_bytes(&mut body, r);
         }
-        let framed = frame(&body);
+        let framed = frame(&body)?;
 
         let mut st = lock(&self.inner.state);
         while st.gate_closed && !st.shutdown && st.io_error.is_none() {
@@ -231,9 +262,25 @@ impl TableWal {
     }
 
     /// Quiesce the log (no new commits; every logged commit flushed *and*
-    /// published), run `write_snapshot`, and truncate the segment if it
-    /// succeeded. The gate reopens on every path.
-    pub fn quiesce_and_truncate(&self, write_snapshot: impl FnOnce() -> Result<()>) -> Result<()> {
+    /// published), run `write_snapshot`, and — if it succeeded — rotate
+    /// to the fresh segment path it returned, deleting the old segment
+    /// best-effort. The gate reopens on every path.
+    ///
+    /// `write_snapshot` runs entirely inside the quiesced window (so it
+    /// can read the manifest, pick the next checkpoint id, and flip the
+    /// manifest without racing another checkpointer) and returns the new
+    /// segment path, conventionally named by the checkpoint id it just
+    /// committed. Rotation rather than in-place truncation is what makes
+    /// the checkpoint crash-atomic: once the manifest points at snapshot
+    /// N, recovery reads only segment N — the covered records sit in the
+    /// old segment, which recovery never opens, whether or not the
+    /// deletion happened. If the new segment cannot be created after the
+    /// manifest has flipped, the WAL is poisoned (appending to the old,
+    /// covered segment would make commits invisible to recovery).
+    pub fn quiesce_and_rotate<T>(
+        &self,
+        write_snapshot: impl FnOnce() -> Result<(T, PathBuf)>,
+    ) -> Result<T> {
         {
             let mut st = lock(&self.inner.state);
             // One checkpointer at a time; a second caller queues here.
@@ -276,22 +323,42 @@ impl TableWal {
                     idf_engine::error::panic_message(payload.as_ref())
                 )))
             });
-        let result = result.and_then(|()| {
-            let file = lock(&self.inner.file);
-            file.set_len(0)
-                .and_then(|()| file.sync_data())
-                .map_err(|e| {
-                    EngineError::durability(format!(
-                        "truncating WAL segment {}: {e}",
-                        self.path.display()
-                    ))
-                })
+        let result = result.and_then(|(value, new_path)| match self.rotate_to(&new_path) {
+            Ok(()) => Ok(value),
+            Err(e) => {
+                // The manifest has already flipped inside `write_snapshot`:
+                // recovery will read the new segment, so the old one must
+                // never accept another commit. Poison the WAL.
+                let mut st = lock(&self.inner.state);
+                st.io_error.get_or_insert(e.clone());
+                drop(st);
+                Err(e)
+            }
         });
         let mut st = lock(&self.inner.state);
         st.gate_closed = false;
         drop(st);
         self.inner.done.notify_all();
         result
+    }
+
+    /// Swap the live segment for a fresh one at `new_path` and delete
+    /// the old segment best-effort (a leftover is stale litter recovery
+    /// ignores; the next checkpoint's GC sweeps it). Only called with the
+    /// gate closed and the queue drained, so no frame can land in either
+    /// file mid-swap.
+    fn rotate_to(&self, new_path: &Path) -> Result<()> {
+        let new_file = open_segment(new_path)?;
+        let old_path = {
+            let mut file = lock(&self.inner.file);
+            let mut path = lock(&self.path);
+            *file = new_file;
+            std::mem::replace(&mut *path, new_path.to_path_buf())
+        };
+        if old_path != new_path {
+            let _ = std::fs::remove_file(&old_path);
+        }
+        Ok(())
     }
 }
 
@@ -381,7 +448,18 @@ fn writer_loop(inner: &Arc<WalInner>) {
                 m.wal_group_commit_batch.record(record_count);
             }
             Err(e) => {
+                // Poison and stop. Frames still queued behind the failed
+                // batch belong to commits that observe the sticky error
+                // and report failure — writing them on a later iteration
+                // (e.g. after a transient fsync error clears) would make
+                // recovery resurrect appends the caller was told did not
+                // happen. `begin_commit` refuses new work once poisoned,
+                // so exiting leaves nothing unserved.
                 st.io_error.get_or_insert(e);
+                st.queue.clear();
+                drop(st);
+                inner.done.notify_all();
+                return;
             }
         }
         drop(st);
@@ -525,24 +603,50 @@ mod tests {
     }
 
     #[test]
-    fn quiesce_truncates_only_on_success() {
+    fn quiesce_rotates_only_on_success() {
         let dir = TempDir::new("wal-quiesce");
-        let path = dir.path().join("wal.log");
+        let path = dir.path().join("wal-1.log");
+        let next = dir.path().join("wal-2.log");
         let (wal, _) = TableWal::open(&path, DurabilityLevel::Sync).unwrap();
         commit(&wal, &payloads(2));
-        // Failed snapshot write: WAL untouched.
+        // Failed snapshot write: old segment untouched, no new segment.
         let err = wal
-            .quiesce_and_truncate(|| Err(EngineError::durability("boom")))
+            .quiesce_and_rotate::<()>(|| Err(EngineError::durability("boom")))
             .unwrap_err();
         assert!(err.to_string().contains("boom"));
         assert!(std::fs::metadata(&path).unwrap().len() > 0);
-        // Successful snapshot write: WAL truncated, commits keep working.
-        wal.quiesce_and_truncate(|| Ok(())).unwrap();
-        assert_eq!(std::fs::metadata(&path).unwrap().len(), 0);
+        assert!(!next.exists());
+        assert_eq!(wal.path(), path);
+        // Successful snapshot write: rotated to the fresh segment, old
+        // one deleted, commits keep working and land in the new file.
+        let id = wal.quiesce_and_rotate(|| Ok((2u64, next.clone()))).unwrap();
+        assert_eq!(id, 2);
+        assert_eq!(wal.path(), next);
+        assert!(!path.exists(), "covered segment deleted");
+        assert_eq!(std::fs::metadata(&next).unwrap().len(), 0);
         commit(&wal, &payloads(1));
         drop(wal);
-        let (_, records) = TableWal::open(&path, DurabilityLevel::Sync).unwrap();
+        let (_, records) = TableWal::open(&next, DurabilityLevel::Sync).unwrap();
         assert_eq!(records.len(), 1, "only the post-checkpoint commit");
+    }
+
+    #[test]
+    fn oversized_commit_is_rejected_before_acknowledgement() {
+        let dir = TempDir::new("wal-oversize");
+        let path = dir.path().join("wal-1.log");
+        let (wal, _) = TableWal::open(&path, DurabilityLevel::Sync).unwrap();
+        // One row whose record body (4-byte count + 4-byte len + row)
+        // lands just past the cap.
+        let big = vec![0xA5u8; MAX_WAL_FRAME - 7];
+        let err = wal.begin_commit(&[big.as_slice()]).unwrap_err();
+        assert!(err.to_string().contains("frame cap"), "{err}");
+        // A client error, not an I/O failure: nothing was staged and the
+        // WAL keeps accepting normal commits.
+        commit(&wal, &payloads(2));
+        drop(wal);
+        let (_, records) = TableWal::open(&path, DurabilityLevel::Sync).unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].rows, payloads(2));
     }
 
     #[cfg(feature = "failpoints")]
@@ -568,5 +672,53 @@ mod tests {
         // Reopen recovers the pre-fault prefix.
         let (_, records) = TableWal::open(&path, DurabilityLevel::Sync).unwrap();
         assert_eq!(records.len(), 1);
+    }
+
+    /// A *transient* flush failure (here: a failpoint armed for exactly
+    /// one hit) must not let frames queued behind the failing batch reach
+    /// disk on a later writer iteration — their commits observed the
+    /// sticky error and were reported failed, so flushing them would
+    /// resurrect refused appends on recovery.
+    #[cfg(feature = "failpoints")]
+    #[test]
+    fn transient_fsync_failure_never_flushes_queued_commits() {
+        let dir = TempDir::new("wal-transient");
+        let path = dir.path().join("wal.log");
+        let (wal, _) = TableWal::open(&path, DurabilityLevel::Async).unwrap();
+        let _guard = idf_fail::FailGuard::new(
+            crate::failpoints::WAL_FSYNC,
+            idf_fail::FailConfig::error("transient disk error").times(1),
+        );
+        // Async commits are acknowledged once staged; pile several up so
+        // some are queued behind the batch that hits the (single-shot)
+        // fault.
+        for i in 0..16 {
+            let row = format!("async-{i}").into_bytes();
+            if wal.begin_commit(&[row.as_slice()]).is_err() {
+                break; // poisoning already surfaced
+            }
+        }
+        // Wait for the writer to hit the fault and poison the log.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        loop {
+            let row = b"probe".as_slice();
+            if wal.begin_commit(&[row]).is_err() {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "WAL never became poisoned"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        drop(wal);
+        // The fault fired exactly once, so every later iteration *could*
+        // have written — the fix is that there is no later iteration.
+        let (_, records) = TableWal::open(&path, DurabilityLevel::Async).unwrap();
+        assert!(
+            records.is_empty(),
+            "{} refused commits were flushed after the transient fault",
+            records.len()
+        );
     }
 }

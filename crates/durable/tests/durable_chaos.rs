@@ -249,8 +249,10 @@ fn torn_wal_tail_recovers_complete_prefix() {
             df.append_row(&[Value::Int64(v), Value::Int64(v)]).unwrap();
         }
     }
-    // Tear the last record's tail off, as a crash mid-write would.
-    let wal = dir.path().join("t").join("wal.log");
+    // Tear the last record's tail off, as a crash mid-write would. No
+    // checkpoint has run since creation, so the live segment is the one
+    // paired with checkpoint 1.
+    let wal = idf_durable::checkpoint::wal_path(&dir.path().join("t"), 1);
     let bytes = std::fs::read(&wal).unwrap();
     std::fs::write(&wal, &bytes[..bytes.len() - 5]).unwrap();
     let sess = DurableSession::open(config(dir.path())).unwrap();
