@@ -9,18 +9,22 @@
 //! harness memory  [--scale S]                ABL-MEM memory overhead
 //! harness lookup  [--scale S]                BENCH-lookup point-lookup path (writes BENCH_lookup.json)
 //! harness recovery [--scale S]               BENCH-recovery durability costs (writes BENCH_recovery.json)
+//! harness serve   [--scale S] [--clients N] [--secs S]
+//!                                            BENCH-serve wire-protocol load (writes BENCH_serve.json)
 //! harness all     [--scale S] [--runs N]     everything above
 //! ```
 //!
 //! Use `--release` for meaningful numbers.
 
 use idf_bench::workload::Workload;
-use idf_bench::{fig2, fig3, lookup, memory, recovery, render_comparisons, speedup};
+use idf_bench::{fig2, fig3, lookup, memory, recovery, render_comparisons, serve_bench, speedup};
 
 struct Args {
     command: String,
     scale: f64,
     runs: usize,
+    clients: usize,
+    secs: f64,
     json: bool,
 }
 
@@ -29,6 +33,8 @@ fn parse_args() -> Args {
         command: "all".to_string(),
         scale: 2.0,
         runs: 5,
+        clients: 32,
+        secs: 4.0,
         json: false,
     };
     let mut it = std::env::args().skip(1);
@@ -49,6 +55,18 @@ fn parse_args() -> Args {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| die("--runs expects an integer"));
             }
+            "--clients" => {
+                args.clients = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--clients expects an integer"));
+            }
+            "--secs" => {
+                args.secs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--secs expects a number"));
+            }
             "--json" => args.json = true,
             other => die(&format!("unknown flag {other}")),
         }
@@ -58,7 +76,10 @@ fn parse_args() -> Args {
 
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
-    eprintln!("usage: harness [fig2|fig3|complex|speedup|memory|lookup|recovery|all] [--scale S] [--runs N] [--json]");
+    eprintln!(
+        "usage: harness [fig2|fig3|complex|speedup|memory|lookup|recovery|serve|all] \
+         [--scale S] [--runs N] [--clients N] [--secs S] [--json]"
+    );
     std::process::exit(2);
 }
 
@@ -182,6 +203,26 @@ fn main() {
                     println!("{}", recovery::render(&report));
                 }
             }
+            "serve" => {
+                let mut cfg = serve_bench::ServeBenchConfig::for_scale(args.scale);
+                cfg.max_clients = args.clients.max(1);
+                cfg.step_secs = args.secs;
+                eprintln!(
+                    "# BENCH-serve: {} keys, sweeping up to {} clients...",
+                    cfg.n_keys, cfg.max_clients
+                );
+                let report = serve_bench::run(&cfg)?;
+                let json = idf_bench::json::to_string_pretty(&report);
+                std::fs::write("BENCH_serve.json", format!("{json}\n")).map_err(|e| {
+                    idf_engine::error::EngineError::exec(format!("writing BENCH_serve.json: {e}"))
+                })?;
+                eprintln!("# wrote BENCH_serve.json");
+                if args.json {
+                    println!("{json}");
+                } else {
+                    println!("{}", serve_bench::render(&report));
+                }
+            }
             "memory" => {
                 let rows = memory::run(args.scale)?;
                 if args.json {
@@ -196,7 +237,7 @@ fn main() {
     };
     let commands: Vec<String> = match args.command.as_str() {
         "all" => [
-            "fig2", "fig3", "complex", "speedup", "memory", "lookup", "recovery",
+            "fig2", "fig3", "complex", "speedup", "memory", "lookup", "recovery", "serve",
         ]
         .into_iter()
         .map(String::from)

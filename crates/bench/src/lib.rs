@@ -10,6 +10,8 @@
 //! * [`memory`] — ABL-MEM: memory overhead of the indexed representation.
 //! * [`recovery`] — BENCH-recovery: WAL append throughput per durability
 //!   level, group-commit latency, checkpoint-restore vs full-WAL-replay.
+//! * [`serve_bench`] — BENCH-serve: closed-loop wire-protocol load
+//!   (p50/p99/p999 latency and saturation throughput vs client count).
 //! * [`workload`] — shared setup: datasets, dual-mode sessions, timing.
 //!
 //! The `harness` binary prints the same rows/series the paper plots;
@@ -25,6 +27,7 @@ pub mod lookup;
 pub mod memory;
 pub mod meta;
 pub mod recovery;
+pub mod serve_bench;
 pub mod speedup;
 pub mod workload;
 

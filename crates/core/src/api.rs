@@ -20,7 +20,7 @@ use idf_engine::dataframe::DataFrame;
 use idf_engine::error::{EngineError, Result};
 use idf_engine::logical::{JoinType, LogicalPlan};
 use idf_engine::schema::{Schema, SchemaRef};
-use idf_engine::session::Session;
+use idf_engine::session::{Session, TableFactory};
 use idf_engine::types::Value;
 
 use crate::config::IndexConfig;
@@ -241,4 +241,42 @@ impl std::fmt::Debug for IndexedDataFrame {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "IndexedDataFrame({:?})", self.table)
     }
+}
+
+/// [`TableFactory`] minting indexed tables for SQL `CREATE TABLE`: each
+/// created table is an empty [`IndexedTable`] indexed on its first column,
+/// registered as a live [`IndexedSource`] so SQL `INSERT`s become indexed
+/// appends and key-equality lookups use the cTrie. Install with
+/// [`install_indexed_ddl`].
+pub struct IndexedTableFactory {
+    config: IndexConfig,
+}
+
+impl IndexedTableFactory {
+    /// Factory with explicit index tuning for every created table.
+    pub fn new(config: IndexConfig) -> Self {
+        IndexedTableFactory { config }
+    }
+}
+
+impl Default for IndexedTableFactory {
+    fn default() -> Self {
+        Self::new(IndexConfig::default())
+    }
+}
+
+impl TableFactory for IndexedTableFactory {
+    fn create(&self, _name: &str, schema: SchemaRef) -> Result<Arc<dyn TableSource>> {
+        let table = Arc::new(IndexedTable::new(schema, 0, self.config.clone())?);
+        Ok(Arc::new(IndexedSource::live(table)))
+    }
+}
+
+/// Make `session`'s SQL DDL produce indexed tables: installs an
+/// [`IndexedTableFactory`] and the index-aware planning strategy
+/// (idempotent), so `CREATE TABLE` + `INSERT` + key-equality `SELECT`s
+/// run the paper's indexed path end to end.
+pub fn install_indexed_ddl(session: &Session, config: IndexConfig) {
+    session.register_strategy(Arc::new(IndexedJoinStrategy));
+    session.set_table_factory(Arc::new(IndexedTableFactory::new(config)));
 }

@@ -65,7 +65,9 @@ pub mod table;
 
 /// Convenience re-exports.
 pub mod prelude {
-    pub use crate::api::{CreateIndexExt, IndexedDataFrame};
+    pub use crate::api::{
+        install_indexed_ddl, CreateIndexExt, IndexedDataFrame, IndexedTableFactory,
+    };
     pub use crate::config::IndexConfig;
     pub use crate::source::IndexedSource;
     pub use crate::strategy::IndexedJoinStrategy;

@@ -48,6 +48,11 @@ pub struct IndexedPartition {
     /// steady-state append path performs no allocation.
     append_lock: Mutex<Vec<u8>>,
     row_count: AtomicUsize,
+    /// Distinct indexed keys. Maintained here because `CTrie::len()` is an
+    /// O(n) traversal, and this count feeds planner statistics on every
+    /// query: a single writer appends (under `append_lock`), keys are
+    /// never removed, so a counter bumped on first-insert stays exact.
+    key_count: AtomicUsize,
 }
 
 impl IndexedPartition {
@@ -62,6 +67,7 @@ impl IndexedPartition {
             batches: RwLock::new(Vec::new()),
             append_lock: Mutex::new(Vec::new()),
             row_count: AtomicUsize::new(0),
+            key_count: AtomicUsize::new(0),
         }
     }
 
@@ -100,6 +106,7 @@ impl IndexedPartition {
                 )));
             }
         }
+        let keys = index_entries.len();
         let index = CTrie::new();
         index.from_entries(index_entries);
         Ok(IndexedPartition {
@@ -110,6 +117,7 @@ impl IndexedPartition {
             batches: RwLock::new(batches),
             append_lock: Mutex::new(Vec::new()),
             row_count: AtomicUsize::new(row_count),
+            key_count: AtomicUsize::new(keys),
         })
     }
 
@@ -203,6 +211,9 @@ impl IndexedPartition {
         if !key.is_null() {
             let old = self.index.insert(key.clone(), ptr.raw());
             debug_assert_eq!(old, prev_raw, "single-writer invariant violated");
+            if prev_raw.is_none() {
+                self.key_count.fetch_add(1, Ordering::AcqRel);
+            }
         }
         self.row_count.fetch_add(1, Ordering::AcqRel);
         let m = idf_obs::global();
@@ -273,7 +284,10 @@ impl IndexedPartition {
         PartitionMemory {
             data_bytes,
             reserved_bytes,
-            index_entries: self.index.len(),
+            // The maintained counter, NOT `index.len()`: these stats feed
+            // planner row estimates on every query, and the trie's own
+            // `len()` is a full O(n) traversal.
+            index_entries: self.key_count.load(Ordering::Acquire),
             rows: self.row_count(),
         }
     }
@@ -714,6 +728,46 @@ mod tests {
         assert_eq!(chunk.value_at(1, 1), Value::Utf8("a".into()));
         assert_eq!(s.lookup_count(&Value::Int64(2)).unwrap(), 1);
         assert_eq!(s.lookup_count(&Value::Int64(99)).unwrap(), 0);
+    }
+
+    /// The maintained key counter must agree with the trie's O(n) count
+    /// through duplicate keys, NULL keys, and checkpoint restore — it is
+    /// what planner statistics report as `index_entries`.
+    #[test]
+    fn key_count_tracks_the_index_exactly() {
+        let p = partition();
+        for i in 0..50 {
+            p.append_row(&row(i, "first")).unwrap();
+            p.append_row(&row(i, "dup")).unwrap();
+        }
+        p.append_row(&[Value::Null, Value::Utf8("unindexed".into())])
+            .unwrap();
+        let m = p.memory_stats();
+        assert_eq!(m.index_entries, 50);
+        assert_eq!(m.index_entries, p.index.len(), "counter drifted from trie");
+        assert_eq!(m.rows, 101);
+
+        // Restore seeds the counter from the dumped entries (the same
+        // export/rebuild path the checkpoint reader uses).
+        let s = p.snapshot();
+        let batches: Vec<Arc<RowBatch>> = s
+            .export_batches()
+            .into_iter()
+            .map(|(cap, bytes)| Arc::new(RowBatch::from_committed_bytes(cap, bytes).unwrap()))
+            .collect();
+        let restored = IndexedPartition::restore(
+            schema(),
+            0,
+            IndexConfig::default(),
+            batches,
+            s.export_index(),
+            101,
+        )
+        .unwrap();
+        assert_eq!(restored.memory_stats().index_entries, 50);
+        restored.append_row(&row(999, "new")).unwrap();
+        restored.append_row(&row(0, "dup-after-restore")).unwrap();
+        assert_eq!(restored.memory_stats().index_entries, 51);
     }
 
     #[test]

@@ -14,9 +14,9 @@
 use std::any::Any;
 use std::sync::Arc;
 
-use idf_engine::catalog::{ChunkIter, Statistics, TableSource};
+use idf_engine::catalog::{check_append_rows, ChunkIter, Statistics, TableSource};
 use idf_engine::chunk::Chunk;
-use idf_engine::error::Result;
+use idf_engine::error::{EngineError, Result};
 use idf_engine::expr::{BinaryOp, Expr};
 use idf_engine::query::QueryContext;
 use idf_engine::schema::SchemaRef;
@@ -271,6 +271,18 @@ impl TableSource for IndexedSource {
             row_count: Some(m.rows),
             byte_size: Some(m.data_bytes),
         }
+    }
+
+    fn append_rows(&self, rows: &[Vec<Value>]) -> Result<usize> {
+        if self.is_frozen() {
+            return Err(EngineError::Unsupported(
+                "cannot INSERT through a frozen (snapshot-pinned) source".to_string(),
+            ));
+        }
+        check_append_rows(&self.table.schema(), rows)?;
+        let chunk = Chunk::from_rows(&self.table.schema(), rows)?;
+        self.table.append_chunk(&chunk)?;
+        Ok(rows.len())
     }
 
     fn as_any(&self) -> &dyn Any {

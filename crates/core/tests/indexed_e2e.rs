@@ -367,3 +367,53 @@ fn multi_version_lookup_counts_grow() {
         );
     }
 }
+
+#[test]
+fn indexed_ddl_create_insert_lookup() {
+    let session = Session::new();
+    install_indexed_ddl(&session, IndexConfig::default());
+    session
+        .sql("CREATE TABLE events (id BIGINT, name VARCHAR)")
+        .unwrap();
+    session
+        .sql("INSERT INTO events VALUES (1, 'a'), (2, 'b'), (1, 'a2')")
+        .unwrap();
+    // Key-equality SELECT on the indexed (first) column pushes into the
+    // scan, where IndexedSource answers it with a cTrie lookup.
+    let df = session.sql("SELECT name FROM events WHERE id = 1").unwrap();
+    let plan = df.explain().unwrap();
+    assert!(plan.contains("pushed=[(id = 1)]"), "{plan}");
+    assert_eq!(df.count().unwrap(), 2);
+    // Duplicate CREATE is a typed error and leaves the table intact.
+    let err = session
+        .sql("CREATE TABLE events (id BIGINT)")
+        .map(|_| ())
+        .unwrap_err();
+    assert!(matches!(err, EngineError::TableAlreadyExists(_)), "{err}");
+    let out = session.sql("SELECT * FROM events").unwrap();
+    assert_eq!(out.count().unwrap(), 3);
+    session.sql("DROP TABLE events").unwrap();
+    let err = session.sql("SELECT * FROM events").map(|_| ()).unwrap_err();
+    assert!(matches!(err, EngineError::TableNotFound(_)), "{err}");
+}
+
+#[test]
+fn frozen_source_rejects_append_rows() {
+    let (_, indexed) = setup();
+    let live = IndexedSource::live(Arc::clone(indexed.table()));
+    let frozen = IndexedSource::frozen(Arc::clone(indexed.table()));
+    use idf_engine::catalog::TableSource;
+    let row = vec![vec![
+        Value::Int64(9001),
+        Value::Utf8("new".into()),
+        Value::Int64(1),
+    ]];
+    let err = frozen.append_rows(&row).unwrap_err();
+    assert!(matches!(err, EngineError::Unsupported(_)), "{err}");
+    assert_eq!(live.append_rows(&row).unwrap(), 1);
+    assert_eq!(indexed.get_rows_chunk(9001i64).unwrap().len(), 1);
+    // Typed validation comes from the shared check.
+    let bad = vec![vec![Value::Int64(1)]];
+    let err = live.append_rows(&bad).unwrap_err();
+    assert!(matches!(err, EngineError::Type(_)), "{err}");
+}

@@ -11,6 +11,7 @@ use crate::error::{EngineError, Result};
 use crate::expr::Expr;
 use crate::query::QueryContext;
 use crate::schema::SchemaRef;
+use crate::types::Value;
 
 /// Iterator of chunks produced by one partition of a source or operator.
 pub type ChunkIter = Box<dyn Iterator<Item = Result<Chunk>> + Send>;
@@ -84,6 +85,18 @@ pub trait TableSource: Send + Sync {
     /// Planning statistics.
     fn statistics(&self) -> Statistics {
         Statistics::default()
+    }
+
+    /// Append rows to this source (SQL `INSERT`). Sources default to
+    /// read-only; updatable sources (the engine's [`AppendTable`], the
+    /// Indexed DataFrame's live source) override this. Implementations
+    /// must validate row width and value types against
+    /// [`TableSource::schema`] and return the number of rows appended.
+    fn append_rows(&self, rows: &[Vec<Value>]) -> Result<usize> {
+        let _ = rows;
+        Err(EngineError::Unsupported(
+            "this table source does not support INSERT".to_string(),
+        ))
     }
 
     /// Downcast support for custom planning strategies.
@@ -171,6 +184,105 @@ impl TableSource for MemTable {
     }
 }
 
+/// Validate `rows` against `schema` for an append: exact width, and every
+/// value either NULL or of the column's type. Shared by every
+/// [`TableSource::append_rows`] implementation so INSERT has one
+/// type-checking contract.
+pub fn check_append_rows(schema: &SchemaRef, rows: &[Vec<Value>]) -> Result<()> {
+    for row in rows {
+        if row.len() != schema.len() {
+            return Err(EngineError::type_err(format!(
+                "INSERT row has {} values; table has {} columns",
+                row.len(),
+                schema.len()
+            )));
+        }
+        for (value, field) in row.iter().zip(&schema.fields) {
+            match value.data_type() {
+                None => {}
+                Some(dt) if dt == field.data_type => {}
+                Some(dt) => {
+                    return Err(EngineError::type_err(format!(
+                        "INSERT value {value} has type {dt}; column {} is {}",
+                        field.name, field.data_type
+                    )));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// An appendable in-memory table: the engine's default backing for SQL
+/// `CREATE TABLE` when no [`crate::session::TableFactory`] is installed.
+/// Appends take a short write lock; scans clone the chunk list under a
+/// read lock, so readers in flight keep the rows they saw (appends are
+/// only ever additive).
+pub struct AppendTable {
+    schema: SchemaRef,
+    chunks: RwLock<Vec<Chunk>>,
+}
+
+impl AppendTable {
+    /// An empty appendable table with `schema`.
+    pub fn new(schema: SchemaRef) -> Self {
+        AppendTable {
+            schema,
+            chunks: RwLock::new(Vec::new()),
+        }
+    }
+
+    /// Total rows currently stored.
+    pub fn row_count(&self) -> usize {
+        self.chunks.read().iter().map(Chunk::len).sum()
+    }
+}
+
+impl TableSource for AppendTable {
+    fn schema(&self) -> SchemaRef {
+        Arc::clone(&self.schema)
+    }
+
+    fn num_partitions(&self) -> usize {
+        1
+    }
+
+    fn scan(&self, partition: usize, projection: Option<&[usize]>) -> Result<ChunkIter> {
+        let chunks: Vec<Chunk> = if partition == 0 {
+            self.chunks.read().clone()
+        } else {
+            Vec::new()
+        };
+        let projected: Vec<Chunk> = match projection {
+            Some(idx) => {
+                let idx = idx.to_vec();
+                chunks.iter().map(|c| c.project(&idx)).collect()
+            }
+            None => chunks,
+        };
+        Ok(Box::new(projected.into_iter().map(Ok)))
+    }
+
+    fn statistics(&self) -> Statistics {
+        let chunks = self.chunks.read();
+        Statistics {
+            row_count: Some(chunks.iter().map(Chunk::len).sum()),
+            byte_size: Some(chunks.iter().map(Chunk::byte_size).sum()),
+        }
+    }
+
+    fn append_rows(&self, rows: &[Vec<Value>]) -> Result<usize> {
+        check_append_rows(&self.schema, rows)?;
+        let chunk = Chunk::from_rows(&self.schema, rows)?;
+        self.chunks.write().push(chunk);
+        Ok(rows.len())
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
 /// The session's table registry.
 #[derive(Default)]
 pub struct Catalog {
@@ -186,6 +298,25 @@ impl Catalog {
     /// Register (or replace) a table under `name`.
     pub fn register(&self, name: impl Into<String>, table: Arc<dyn TableSource>) {
         self.tables.write().insert(name.into(), table);
+    }
+
+    /// Register a table under `name` only if the name is free, atomically:
+    /// the vacancy check and the insert happen under one write lock, so of
+    /// two racing registrations exactly one wins and the loser gets a
+    /// typed [`EngineError::TableAlreadyExists`] — the winner's source is
+    /// never silently replaced (the DDL path; contrast
+    /// [`Catalog::register`], which replaces).
+    pub fn register_new(&self, name: impl Into<String>, table: Arc<dyn TableSource>) -> Result<()> {
+        let name = name.into();
+        match self.tables.write().entry(name.clone()) {
+            std::collections::hash_map::Entry::Occupied(_) => {
+                Err(EngineError::TableAlreadyExists(name))
+            }
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(table);
+                Ok(())
+            }
+        }
     }
 
     /// Remove the table registered under `name`.
@@ -273,6 +404,71 @@ mod tests {
         assert_eq!(c.table_names(), vec!["t"]);
         c.deregister("t");
         assert!(c.get("t").is_err());
+    }
+
+    #[test]
+    fn register_new_is_first_writer_wins() {
+        let c = Catalog::new();
+        c.register_new("t", Arc::new(table())).unwrap();
+        let err = c.register_new("t", Arc::new(table())).unwrap_err();
+        assert_eq!(err, EngineError::TableAlreadyExists("t".into()));
+        // Plain register still replaces.
+        c.register("t", Arc::new(table()));
+        assert!(c.get("t").is_ok());
+    }
+
+    #[test]
+    fn append_table_appends_and_scans() {
+        let schema = Arc::new(Schema::new(vec![
+            Field::new("id", DataType::Int64),
+            Field::new("name", DataType::Utf8),
+        ]));
+        let t = AppendTable::new(Arc::clone(&schema));
+        assert_eq!(t.row_count(), 0);
+        let n = t
+            .append_rows(&[
+                vec![Value::Int64(1), Value::Utf8("a".into())],
+                vec![Value::Int64(2), Value::Null],
+            ])
+            .unwrap();
+        assert_eq!(n, 2);
+        t.append_rows(&[vec![Value::Int64(3), Value::Utf8("c".into())]])
+            .unwrap();
+        assert_eq!(t.row_count(), 3);
+        let chunks: Vec<Chunk> = t.scan(0, None).unwrap().collect::<Result<_>>().unwrap();
+        assert_eq!(chunks.iter().map(Chunk::len).sum::<usize>(), 3);
+        // Projection works and off-range partitions are empty.
+        let projected: Vec<Chunk> = t
+            .scan(0, Some(&[1]))
+            .unwrap()
+            .collect::<Result<_>>()
+            .unwrap();
+        assert_eq!(projected[0].num_columns(), 1);
+        assert_eq!(t.scan(1, None).unwrap().count(), 0);
+        assert_eq!(t.statistics().row_count, Some(3));
+    }
+
+    #[test]
+    fn append_table_rejects_bad_rows() {
+        let schema = Arc::new(Schema::new(vec![Field::new("id", DataType::Int64)]));
+        let t = AppendTable::new(Arc::clone(&schema));
+        // Wrong arity.
+        let err = t
+            .append_rows(&[vec![Value::Int64(1), Value::Int64(2)]])
+            .unwrap_err();
+        assert!(matches!(err, EngineError::Type(_)), "got {err:?}");
+        // Wrong type.
+        let err = t.append_rows(&[vec![Value::Utf8("x".into())]]).unwrap_err();
+        assert!(matches!(err, EngineError::Type(_)), "got {err:?}");
+        // Nothing was appended by the failed calls.
+        assert_eq!(t.row_count(), 0);
+    }
+
+    #[test]
+    fn memtable_is_read_only() {
+        let t = table();
+        let err = t.append_rows(&[vec![Value::Int64(1)]]).unwrap_err();
+        assert!(matches!(err, EngineError::Unsupported(_)), "got {err:?}");
     }
 
     #[test]

@@ -325,6 +325,10 @@ impl DataFrame {
     /// the query with `EngineError::Cancelled` within a bounded latency.
     pub fn collect_ctx(&self, query: &Arc<crate::query::QueryContext>) -> Result<Chunk> {
         let exec = self.physical_plan()?;
+        // Anchor any timeout now that planning is done: the client's
+        // timeout buys execution time (see `QueryContext` deadline
+        // contract), not optimizer time.
+        query.arm_deadline();
         let ctx = TaskContext::with_query(self.session.config().clone(), Arc::clone(query));
         self.track_query(query, || execute_collect(&exec, &ctx))
     }
@@ -347,6 +351,7 @@ impl DataFrame {
         query: &Arc<crate::query::QueryContext>,
     ) -> Result<Vec<Vec<Chunk>>> {
         let exec = self.physical_plan()?;
+        query.arm_deadline();
         let ctx = TaskContext::with_query(self.session.config().clone(), Arc::clone(query));
         self.track_query(query, || execute_collect_partitions(&exec, &ctx))
     }
@@ -425,6 +430,7 @@ impl DataFrame {
         query: &Arc<crate::query::QueryContext>,
     ) -> Result<(Chunk, ExecPlanRef, Arc<MetricsRegistry>)> {
         let exec = self.physical_plan()?;
+        query.arm_deadline();
         let registry = Arc::new(MetricsRegistry::new());
         let ctx = TaskContext::with_query_metrics(
             self.session.config().clone(),
@@ -441,9 +447,25 @@ impl DataFrame {
     /// (`EXPLAIN ANALYZE`).
     pub fn explain_analyze(&self) -> Result<String> {
         let query = self.session.new_query();
-        let (out, exec, registry) = self.collect_instrumented(&query)?;
+        let plan_start = std::time::Instant::now();
+        let exec = self.physical_plan()?;
+        let plan_time = plan_start.elapsed();
+        // Same anchor the ordinary collect path uses: the timeout starts
+        // when execution starts, and the plan/exec split below shows the
+        // two phases the contract separates.
+        query.arm_deadline();
+        let registry = Arc::new(MetricsRegistry::new());
+        let ctx = TaskContext::with_query_metrics(
+            self.session.config().clone(),
+            Arc::clone(&query),
+            Arc::clone(&registry),
+        );
+        let exec_start = std::time::Instant::now();
+        let out = self.track_query(&query, || execute_collect(&exec, &ctx))?;
+        let exec_time = exec_start.elapsed();
         Ok(format!(
-            "== Physical (analyzed) ==\n{}== Metrics ({} result rows, peak memory {} bytes) ==\n{}",
+            "== Physical (analyzed) ==\n{}== Metrics ({} result rows, peak memory {} bytes, \
+             plan {plan_time:?}, exec {exec_time:?}) ==\n{}",
             registry.render_annotated(exec.as_ref()),
             out.len(),
             query.memory_peak(),
@@ -639,6 +661,19 @@ mod tests {
             .unwrap()
             .filter(col("id").add(lit(1i64)))
             .is_err());
+    }
+
+    #[test]
+    fn explain_analyze_reports_plan_and_exec_time() {
+        let s = session();
+        let df = s
+            .table("people")
+            .unwrap()
+            .filter(col("id").lt(lit(10i64)))
+            .unwrap();
+        let text = df.explain_analyze().unwrap();
+        assert!(text.contains("plan "), "missing plan time: {text}");
+        assert!(text.contains("exec "), "missing exec time: {text}");
     }
 
     #[test]

@@ -9,6 +9,11 @@ pub enum EngineError {
     ColumnNotFound(String),
     /// A query referenced a table that is not registered.
     TableNotFound(String),
+    /// `CREATE TABLE` (or an atomic registration) targeted a name that is
+    /// already registered. Registration is atomic: of two racing creates,
+    /// exactly one wins and the loser gets this error — the winner's
+    /// table is never silently overwritten.
+    TableAlreadyExists(String),
     /// The expression or plan is not well typed.
     Type(String),
     /// SQL text failed to lex or parse.
@@ -52,6 +57,7 @@ impl fmt::Display for EngineError {
         match self {
             EngineError::ColumnNotFound(c) => write!(f, "column not found: {c}"),
             EngineError::TableNotFound(t) => write!(f, "table not found: {t}"),
+            EngineError::TableAlreadyExists(t) => write!(f, "table already exists: {t}"),
             EngineError::Type(m) => write!(f, "type error: {m}"),
             EngineError::Sql(m) => write!(f, "SQL error: {m}"),
             EngineError::Plan(m) => write!(f, "planning error: {m}"),

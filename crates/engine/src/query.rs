@@ -25,7 +25,7 @@
 //! true peak residency.
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 use crate::error::{EngineError, Result};
@@ -78,16 +78,22 @@ impl MemoryGovernor {
 /// Builder for a [`QueryContext`]; obtained via [`QueryContext::builder`].
 #[derive(Debug, Default)]
 pub struct QueryContextBuilder {
-    deadline: Option<Instant>,
+    timeout: Option<Duration>,
     memory_limit: Option<usize>,
     governor: Option<Arc<MemoryGovernor>>,
 }
 
 impl QueryContextBuilder {
     /// Stop the query with [`EngineError::DeadlineExceeded`] once `timeout`
-    /// has elapsed from this call.
+    /// has elapsed from *execution start*, not from this call: the
+    /// deadline is armed when [`QueryContext::arm_deadline`] runs (the
+    /// engine calls it as execution begins, and the first
+    /// [`QueryContext::check`] arms it as a fallback). Parse, bind, and
+    /// plan time are therefore never charged against the client's
+    /// execution timeout — a long optimizer pass cannot make a short
+    /// timeout fire before the first chunk is produced.
     pub fn timeout(mut self, timeout: Duration) -> Self {
-        self.deadline = Some(Instant::now() + timeout);
+        self.timeout = Some(timeout);
         self
     }
 
@@ -107,7 +113,8 @@ impl QueryContextBuilder {
     pub fn build(self) -> Arc<QueryContext> {
         Arc::new(QueryContext {
             cancelled: AtomicBool::new(false),
-            deadline: self.deadline,
+            timeout: self.timeout,
+            deadline: OnceLock::new(),
             memory_limit: self.memory_limit,
             memory_used: AtomicUsize::new(0),
             memory_peak: AtomicUsize::new(0),
@@ -119,10 +126,21 @@ impl QueryContextBuilder {
 /// Cooperative cancellation token, deadline, and memory account for one
 /// query. Cheap to clone via `Arc`; hold a clone to cancel from another
 /// thread while the query runs.
+///
+/// # Deadline contract
+///
+/// A timeout set via [`QueryContextBuilder::timeout`] measures *execution*
+/// time only. The deadline is armed — once, idempotently — by
+/// [`QueryContext::arm_deadline`] when execution starts (or by the first
+/// [`QueryContext::check`] if nothing armed it earlier), so time spent
+/// parsing, binding, optimizing, and physical-planning between minting
+/// the context and starting execution is not charged against the
+/// client's timeout.
 #[derive(Debug)]
 pub struct QueryContext {
     cancelled: AtomicBool,
-    deadline: Option<Instant>,
+    timeout: Option<Duration>,
+    deadline: OnceLock<Instant>,
     memory_limit: Option<usize>,
     memory_used: AtomicUsize,
     memory_peak: AtomicUsize,
@@ -151,15 +169,34 @@ impl QueryContext {
         self.cancelled.load(Ordering::Acquire)
     }
 
+    /// Anchor the configured timeout at the current instant (idempotent:
+    /// only the first call arms; later calls and checks reuse that
+    /// anchor). The engine calls this as execution starts so plan time is
+    /// excluded from the timeout — see the deadline contract on
+    /// [`QueryContext`]. No-op when the context has no timeout.
+    pub fn arm_deadline(&self) {
+        if let Some(timeout) = self.timeout {
+            let _ = self.deadline.get_or_init(|| Instant::now() + timeout);
+        }
+    }
+
+    /// The configured execution timeout, if any.
+    pub fn timeout(&self) -> Option<Duration> {
+        self.timeout
+    }
+
     /// Return the typed stop error if this query should stop (cancelled
     /// or past its deadline), else `Ok(())`. Called by every operator at
-    /// chunk granularity.
+    /// chunk granularity. Arms the deadline if nothing armed it yet, so a
+    /// bare context used without the engine's execution wrapper still
+    /// times out relative to its first check.
     pub fn check(&self) -> Result<()> {
         if self.is_cancelled() {
             return Err(EngineError::Cancelled);
         }
-        if let Some(deadline) = self.deadline {
-            if Instant::now() > deadline {
+        if let Some(timeout) = self.timeout {
+            let deadline = *self.deadline.get_or_init(|| Instant::now() + timeout);
+            if Instant::now() >= deadline {
                 return Err(EngineError::DeadlineExceeded);
             }
         }
@@ -253,6 +290,35 @@ mod tests {
             .timeout(Duration::from_millis(0))
             .build();
         std::thread::sleep(Duration::from_millis(5));
+        assert_eq!(q.check(), Err(EngineError::DeadlineExceeded));
+    }
+
+    /// Regression: the deadline used to be anchored when the context was
+    /// minted, so time spent planning before execution was charged
+    /// against the client's timeout. It now anchors at `arm_deadline`
+    /// (execution start); mint-to-arm latency is free.
+    #[test]
+    fn deadline_is_anchored_at_execution_start_not_mint() {
+        let q = QueryContext::builder()
+            .timeout(Duration::from_millis(40))
+            .build();
+        // Simulated plan time longer than the whole timeout.
+        std::thread::sleep(Duration::from_millis(60));
+        q.arm_deadline();
+        assert!(q.check().is_ok(), "plan time must not consume the timeout");
+        std::thread::sleep(Duration::from_millis(60));
+        assert_eq!(q.check(), Err(EngineError::DeadlineExceeded));
+    }
+
+    #[test]
+    fn arm_deadline_is_idempotent() {
+        let q = QueryContext::builder()
+            .timeout(Duration::from_millis(30))
+            .build();
+        q.arm_deadline();
+        std::thread::sleep(Duration::from_millis(45));
+        // Re-arming must not extend the original anchor.
+        q.arm_deadline();
         assert_eq!(q.check(), Err(EngineError::DeadlineExceeded));
     }
 

@@ -27,6 +27,17 @@ pub trait DurabilityHook: Send + Sync {
     fn checkpoint(&self, table: Option<&str>) -> Result<Vec<String>>;
 }
 
+/// Extension point a storage layer installs so SQL `CREATE TABLE` (and
+/// [`Session::create_table`]) can mint that layer's table sources instead
+/// of the engine's plain [`crate::catalog::AppendTable`]. Same inversion
+/// as [`DurabilityHook`]: the Indexed DataFrame crates sit above the
+/// engine, so the engine only sees this trait.
+pub trait TableFactory: Send + Sync {
+    /// Build an empty, appendable table source with `schema` for a table
+    /// that will be registered under `name`.
+    fn create(&self, name: &str, schema: SchemaRef) -> Result<Arc<dyn TableSource>>;
+}
+
 struct SessionState {
     catalog: Catalog,
     config: EngineConfig,
@@ -37,6 +48,8 @@ struct SessionState {
     governor: Option<Arc<MemoryGovernor>>,
     /// Installed durability layer, if any (see [`DurabilityHook`]).
     durability: RwLock<Option<Arc<dyn DurabilityHook>>>,
+    /// Installed DDL table factory, if any (see [`TableFactory`]).
+    table_factory: RwLock<Option<Arc<dyn TableFactory>>>,
 }
 
 /// A query session. Cheap to clone (shared state).
@@ -68,6 +81,7 @@ impl Session {
                 strategies: RwLock::new(Vec::new()),
                 governor,
                 durability: RwLock::new(None),
+                table_factory: RwLock::new(None),
             }),
         }
     }
@@ -112,9 +126,56 @@ impl Session {
         &self.state.catalog
     }
 
-    /// Register a table source under `name`.
+    /// Register a table source under `name`, replacing any existing
+    /// registration. Library code re-registering a known table uses this;
+    /// DDL must use [`Session::register_table_new`] so racing creates
+    /// cannot silently overwrite each other.
     pub fn register_table(&self, name: impl Into<String>, table: Arc<dyn TableSource>) {
         self.state.catalog.register(name, table);
+    }
+
+    /// Atomically register a table source under `name` only if the name is
+    /// free. The vacancy check and the insert happen under one catalog
+    /// write lock: of two racing registrations exactly one wins and the
+    /// loser gets [`crate::error::EngineError::TableAlreadyExists`].
+    pub fn register_table_new(
+        &self,
+        name: impl Into<String>,
+        table: Arc<dyn TableSource>,
+    ) -> Result<()> {
+        self.state.catalog.register_new(name, table)
+    }
+
+    /// Install the factory SQL `CREATE TABLE` mints table sources with
+    /// (e.g. `idf-core`'s indexed tables); replaces any previous factory.
+    pub fn set_table_factory(&self, factory: Arc<dyn TableFactory>) {
+        *self.state.table_factory.write() = Some(factory);
+    }
+
+    /// Create and atomically register an empty appendable table — the SQL
+    /// `CREATE TABLE` path. The source comes from the installed
+    /// [`TableFactory`], or the engine's [`crate::catalog::AppendTable`]
+    /// when none is installed. Errors with
+    /// [`crate::error::EngineError::TableAlreadyExists`] if `name` is
+    /// taken; a racing duplicate create never overwrites the winner.
+    pub fn create_table(&self, name: &str, schema: SchemaRef) -> Result<()> {
+        let factory = self.state.table_factory.read().clone();
+        let source: Arc<dyn TableSource> = match factory {
+            Some(f) => f.create(name, Arc::clone(&schema))?,
+            None => Arc::new(crate::catalog::AppendTable::new(schema)),
+        };
+        self.state.catalog.register_new(name, source)
+    }
+
+    /// Drop the table registered under `name` — the SQL `DROP TABLE` path.
+    /// Errors with [`crate::error::EngineError::TableNotFound`] when no
+    /// such table exists. In-flight scans keep the source alive via their
+    /// `Arc` and finish with the rows they saw.
+    pub fn drop_table(&self, name: &str) -> Result<()> {
+        match self.state.catalog.deregister(name) {
+            Some(_) => Ok(()),
+            None => Err(crate::error::EngineError::TableNotFound(name.to_string())),
+        }
     }
 
     /// Register an extra logical optimizer rule (runs after the built-ins).
@@ -317,6 +378,75 @@ mod tests {
         s.set_durability_hook(Arc::new(Recorder));
         assert_eq!(s.checkpoint(Some("t")).unwrap(), vec!["t".to_string()]);
         assert_eq!(s.checkpoint(None).unwrap(), vec!["all".to_string()]);
+    }
+
+    #[test]
+    fn create_and_drop_table() {
+        let s = Session::new();
+        let schema = Arc::new(Schema::new(vec![Field::new("x", DataType::Int64)]));
+        s.create_table("t", Arc::clone(&schema)).unwrap();
+        assert_eq!(s.table("t").unwrap().collect().unwrap().len(), 0);
+        let err = s.create_table("t", Arc::clone(&schema)).unwrap_err();
+        assert!(
+            matches!(err, crate::error::EngineError::TableAlreadyExists(_)),
+            "got {err:?}"
+        );
+        s.drop_table("t").unwrap();
+        assert!(s.table("t").is_err());
+        let err = s.drop_table("t").unwrap_err();
+        assert!(matches!(err, crate::error::EngineError::TableNotFound(_)));
+    }
+
+    #[test]
+    fn create_table_dispatches_to_installed_factory() {
+        struct Counting(std::sync::atomic::AtomicUsize);
+        impl TableFactory for Counting {
+            fn create(&self, _name: &str, schema: SchemaRef) -> Result<Arc<dyn TableSource>> {
+                self.0.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                Ok(Arc::new(crate::catalog::AppendTable::new(schema)))
+            }
+        }
+        let s = Session::new();
+        let factory = Arc::new(Counting(std::sync::atomic::AtomicUsize::new(0)));
+        s.set_table_factory(Arc::clone(&factory) as Arc<dyn TableFactory>);
+        let schema = Arc::new(Schema::new(vec![Field::new("x", DataType::Int64)]));
+        s.create_table("t", schema).unwrap();
+        assert_eq!(factory.0.load(std::sync::atomic::Ordering::SeqCst), 1);
+    }
+
+    /// Regression: concurrent `CREATE TABLE` of the same name used to be
+    /// check-then-insert with no lock held across the check — both racing
+    /// creates could "succeed", one silently overwriting the other's
+    /// source. Now exactly one create wins per round and every loser gets
+    /// the typed `TableAlreadyExists` error.
+    #[test]
+    fn concurrent_create_table_has_one_winner() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let s = Session::new();
+        for round in 0..16 {
+            let name = format!("race_{round}");
+            let wins = AtomicUsize::new(0);
+            let dupes = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..8 {
+                    scope.spawn(|| {
+                        let schema = Arc::new(Schema::new(vec![Field::new("x", DataType::Int64)]));
+                        match s.create_table(&name, schema) {
+                            Ok(()) => {
+                                wins.fetch_add(1, Ordering::SeqCst);
+                            }
+                            Err(crate::error::EngineError::TableAlreadyExists(t)) => {
+                                assert_eq!(t, name);
+                                dupes.fetch_add(1, Ordering::SeqCst);
+                            }
+                            Err(other) => panic!("unexpected error: {other:?}"),
+                        }
+                    });
+                }
+            });
+            assert_eq!(wins.load(Ordering::SeqCst), 1);
+            assert_eq!(dupes.load(Ordering::SeqCst), 7);
+        }
     }
 
     #[test]

@@ -289,7 +289,9 @@ pub fn to_expr(e: &SqlExpr) -> Result<Expr> {
     })
 }
 
-fn type_from_name(ty: &str) -> Result<DataType> {
+/// Resolve a SQL type name (as written in `CAST` or `CREATE TABLE`) to a
+/// [`DataType`].
+pub fn type_from_name(ty: &str) -> Result<DataType> {
     Ok(match ty.to_ascii_uppercase().as_str() {
         "INT" | "INTEGER" => DataType::Int32,
         "BIGINT" | "LONG" => DataType::Int64,

@@ -16,9 +16,10 @@ pub use parser::{parse, parse_statement, Statement};
 use std::sync::Arc;
 
 use crate::dataframe::DataFrame;
-use crate::error::Result;
+use crate::error::{EngineError, Result};
 use crate::schema::{Field, Schema};
 use crate::session::Session;
+use crate::sql::parser::SqlExpr;
 use crate::types::{DataType, Value};
 
 /// Parse `query` and bind it against `session`'s catalog.
@@ -54,5 +55,73 @@ pub fn plan_sql(session: &Session, query: &str) -> Result<DataFrame> {
             let rows: Vec<Vec<Value>> = tables.into_iter().map(|t| vec![Value::Utf8(t)]).collect();
             Ok(session.create_dataframe(schema, rows))
         }
+        Statement::CreateTable { name, columns } => {
+            let fields = columns
+                .iter()
+                .map(|(col, ty)| Ok(Field::new(col, binder::type_from_name(ty)?)))
+                .collect::<Result<Vec<_>>>()?;
+            session.create_table(&name, Arc::new(Schema::new(fields)))?;
+            Ok(status_frame(session, "table", name))
+        }
+        Statement::DropTable { name } => {
+            session.drop_table(&name)?;
+            Ok(status_frame(session, "table", name))
+        }
+        Statement::Insert { table, rows } => {
+            let source = session.catalog().get(&table)?;
+            let schema = source.schema();
+            let rows: Vec<Vec<Value>> = rows
+                .iter()
+                .map(|row| {
+                    row.iter()
+                        .enumerate()
+                        .map(|(i, e)| {
+                            let v = literal_value(e)?;
+                            Ok(match schema.fields.get(i) {
+                                Some(f) => coerce_literal(v, f.data_type),
+                                None => v,
+                            })
+                        })
+                        .collect::<Result<Vec<_>>>()
+                })
+                .collect::<Result<Vec<_>>>()?;
+            let appended = source.append_rows(&rows)?;
+            let schema = Arc::new(Schema::new(vec![Field::new("rows", DataType::Int64)]));
+            Ok(session.create_dataframe(schema, vec![vec![Value::Int64(appended as i64)]]))
+        }
+    }
+}
+
+/// One-row, one-column acknowledgement frame for DDL statements.
+fn status_frame(session: &Session, column: &str, value: String) -> DataFrame {
+    let schema = Arc::new(Schema::new(vec![Field::new(column, DataType::Utf8)]));
+    session.create_dataframe(schema, vec![vec![Value::Utf8(value)]])
+}
+
+/// Evaluate an `INSERT ... VALUES` entry, which must be a literal.
+fn literal_value(e: &SqlExpr) -> Result<Value> {
+    Ok(match e {
+        SqlExpr::Int(v) => Value::Int64(*v),
+        SqlExpr::Float(v) => Value::Float64(*v),
+        SqlExpr::Str(s) => Value::Utf8(s.clone()),
+        SqlExpr::Bool(b) => Value::Boolean(*b),
+        SqlExpr::Null => Value::Null,
+        other => {
+            return Err(EngineError::Sql(format!(
+                "INSERT VALUES entries must be literals, found {other:?}"
+            )))
+        }
+    })
+}
+
+/// Widen an INSERT literal to the target column type where lossless
+/// (integer literals into INT32/DOUBLE/TIMESTAMP columns); anything else
+/// is left as-is for `check_append_rows` to reject with a typed error.
+fn coerce_literal(v: Value, ty: DataType) -> Value {
+    match (v, ty) {
+        (Value::Int64(x), DataType::Int32) if i32::try_from(x).is_ok() => Value::Int32(x as i32),
+        (Value::Int64(x), DataType::Float64) => Value::Float64(x as f64),
+        (Value::Int64(x), DataType::Timestamp) => Value::Timestamp(x),
+        (v, _) => v,
     }
 }

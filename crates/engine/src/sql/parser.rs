@@ -192,6 +192,30 @@ pub enum Statement {
         /// The table to checkpoint, or `None` for every durable table.
         table: Option<String>,
     },
+    /// `CREATE TABLE name (col TYPE, ...)`: atomically register a new
+    /// empty appendable table. Racing creates of the same name have
+    /// exactly one winner; losers get `TableAlreadyExists`.
+    CreateTable {
+        /// Table name.
+        name: String,
+        /// Column definitions as `(name, type-name)` pairs; type names
+        /// are the binder's CAST vocabulary (INT/BIGINT/DOUBLE/VARCHAR/
+        /// TIMESTAMP/BOOLEAN and synonyms).
+        columns: Vec<(String, String)>,
+    },
+    /// `DROP TABLE name`: deregister a table from the catalog.
+    DropTable {
+        /// Table name.
+        name: String,
+    },
+    /// `INSERT INTO name VALUES (v, ...), (v, ...)`: append literal rows
+    /// to an updatable table.
+    Insert {
+        /// Target table.
+        table: String,
+        /// Literal rows, one inner `Vec` per parenthesized tuple.
+        rows: Vec<Vec<SqlExpr>>,
+    },
 }
 
 /// Parse one SELECT statement from `input`.
@@ -222,6 +246,33 @@ pub fn parse_statement(input: &str) -> Result<Statement> {
             _ => None,
         };
         Statement::Checkpoint { table }
+    } else if p.at_kw("CREATE") {
+        p.next();
+        p.expect_kw("TABLE")?;
+        let name = p.ident()?;
+        p.expect_token(Token::LParen)?;
+        let mut columns = vec![p.parse_column_def()?];
+        while *p.peek() == Token::Comma {
+            p.next();
+            columns.push(p.parse_column_def()?);
+        }
+        p.expect_token(Token::RParen)?;
+        Statement::CreateTable { name, columns }
+    } else if p.at_kw("DROP") {
+        p.next();
+        p.expect_kw("TABLE")?;
+        Statement::DropTable { name: p.ident()? }
+    } else if p.at_kw("INSERT") {
+        p.next();
+        p.expect_kw("INTO")?;
+        let table = p.ident()?;
+        p.expect_kw("VALUES")?;
+        let mut rows = vec![p.parse_values_row()?];
+        while *p.peek() == Token::Comma {
+            p.next();
+            rows.push(p.parse_values_row()?);
+        }
+        Statement::Insert { table, rows }
     } else if p.eat_kw("EXPLAIN") {
         let analyze = p.eat_kw("ANALYZE");
         if p.at_kw("EXPLAIN") {
@@ -456,6 +507,25 @@ impl Parser {
             order_by,
             limit,
         })
+    }
+
+    /// One `name TYPE` column definition in `CREATE TABLE`.
+    fn parse_column_def(&mut self) -> Result<(String, String)> {
+        let name = self.ident()?;
+        let ty = self.ident()?;
+        Ok((name, ty))
+    }
+
+    /// One parenthesized `(expr, ...)` tuple in `INSERT ... VALUES`.
+    fn parse_values_row(&mut self) -> Result<Vec<SqlExpr>> {
+        self.expect_token(Token::LParen)?;
+        let mut row = vec![self.parse_expr()?];
+        while *self.peek() == Token::Comma {
+            self.next();
+            row.push(self.parse_expr()?);
+        }
+        self.expect_token(Token::RParen)?;
+        Ok(row)
     }
 
     fn parse_select_item(&mut self) -> Result<SelectItem> {
@@ -809,6 +879,43 @@ mod tests {
         // plain table name in SELECT.
         assert!(parse_statement("CHECKPOINT a b").is_err());
         assert!(parse_statement("SELECT * FROM checkpoint").is_ok());
+    }
+
+    #[test]
+    fn parses_ddl_and_insert() {
+        let s = parse_statement("CREATE TABLE t (id BIGINT, name VARCHAR)").unwrap();
+        assert_eq!(
+            s,
+            Statement::CreateTable {
+                name: "t".into(),
+                columns: vec![
+                    ("id".into(), "BIGINT".into()),
+                    ("name".into(), "VARCHAR".into())
+                ],
+            }
+        );
+        assert_eq!(
+            parse_statement("drop table t").unwrap(),
+            Statement::DropTable { name: "t".into() }
+        );
+        let s = parse_statement("INSERT INTO t VALUES (1, 'a'), (-2, NULL)").unwrap();
+        let Statement::Insert { table, rows } = s else {
+            panic!()
+        };
+        assert_eq!(table, "t");
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1][0], SqlExpr::Int(-2));
+        assert_eq!(rows[1][1], SqlExpr::Null);
+        // Malformed DDL errors instead of parsing as something else.
+        assert!(parse_statement("CREATE TABLE t ()").is_err());
+        assert!(parse_statement("CREATE TABLE t (id)").is_err());
+        assert!(parse_statement("CREATE t (id BIGINT)").is_err());
+        assert!(parse_statement("INSERT INTO t VALUES ()").is_err());
+        assert!(parse_statement("INSERT INTO t VALUES (1,)").is_err());
+        assert!(parse_statement("DROP TABLE").is_err());
+        // The keywords stay usable as table names inside queries.
+        assert!(parse_statement("SELECT * FROM create").is_ok());
+        assert!(parse_statement("SELECT * FROM t JOIN insert ON t.a = insert.b").is_ok());
     }
 
     #[test]

@@ -402,3 +402,76 @@ fn explain_analyze_reports_operator_metrics() {
     assert!(report.contains("SourceScan"), "{report}");
     assert!(report.contains("Filter"), "{report}");
 }
+
+#[test]
+fn ddl_insert_select_roundtrip() {
+    let s = session();
+    s.sql("CREATE TABLE events (id BIGINT, kind VARCHAR, score DOUBLE, at TIMESTAMP)")
+        .unwrap()
+        .collect()
+        .unwrap();
+    let n = s
+        .sql("INSERT INTO events VALUES (1, 'click', 0.5, 1000), (2, 'view', 2, 2000), (3, NULL, NULL, 3000)")
+        .unwrap()
+        .collect()
+        .unwrap();
+    assert_eq!(n.value_at(0, 0), Value::Int64(3));
+    let out = s
+        .sql("SELECT id, kind FROM events WHERE at >= 2000 ORDER BY id")
+        .unwrap()
+        .collect()
+        .unwrap();
+    assert_eq!(out.len(), 2);
+    assert_eq!(out.value_at(0, 0), Value::Int64(2));
+    // Created tables join against pre-registered ones.
+    let joined = s
+        .sql("SELECT p.name FROM events e JOIN person p ON e.id = p.id")
+        .unwrap()
+        .collect()
+        .unwrap();
+    assert_eq!(joined.len(), 3);
+    // Duplicate create is a typed error; drop removes the table.
+    let err = s
+        .sql("CREATE TABLE events (id BIGINT)")
+        .map(|_| ())
+        .unwrap_err();
+    assert!(matches!(err, EngineError::TableAlreadyExists(_)), "{err:?}");
+    s.sql("DROP TABLE events").unwrap().collect().unwrap();
+    assert!(s.sql("SELECT * FROM events").is_err());
+    assert!(s.sql("DROP TABLE events").is_err());
+    // INSERT into a read-only source and type errors are rejected.
+    let err = s
+        .sql("INSERT INTO person VALUES (1, 'x', 'ams', 30)")
+        .map(|_| ())
+        .unwrap_err();
+    assert!(matches!(err, EngineError::Unsupported(_)), "{err:?}");
+}
+
+#[test]
+fn insert_rejects_mistyped_rows() {
+    let s = Session::new();
+    s.sql("CREATE TABLE t (id BIGINT, name VARCHAR)")
+        .unwrap()
+        .collect()
+        .unwrap();
+    let err = s.sql("INSERT INTO t VALUES (1)").map(|_| ()).unwrap_err();
+    assert!(matches!(err, EngineError::Type(_)), "{err:?}");
+    let err = s
+        .sql("INSERT INTO t VALUES ('oops', 'x')")
+        .map(|_| ())
+        .unwrap_err();
+    assert!(matches!(err, EngineError::Type(_)), "{err:?}");
+    let err = s
+        .sql("INSERT INTO t VALUES (1 + id, 'x')")
+        .map(|_| ())
+        .unwrap_err();
+    assert!(matches!(err, EngineError::Sql(_)), "{err:?}");
+    // Failed inserts leave the table unchanged.
+    let out = s.sql("SELECT count(*) FROM t").unwrap().collect().unwrap();
+    assert_eq!(out.value_at(0, 0), Value::Int64(0));
+    let err = s
+        .sql("CREATE TABLE bad (id WIBBLE)")
+        .map(|_| ())
+        .unwrap_err();
+    assert!(matches!(err, EngineError::Sql(_)), "{err:?}");
+}

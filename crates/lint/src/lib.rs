@@ -389,6 +389,7 @@ impl LintConfig {
                 "crates/core/src/failpoints.rs",
                 "crates/durable/src/failpoints.rs",
                 "crates/engine/src/failpoints.rs",
+                "crates/serve/src/failpoints.rs",
             ],
             fail_crate_prefix: "crates/fail/",
             physical_prefix: "crates/engine/src/physical/",

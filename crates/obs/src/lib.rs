@@ -100,7 +100,7 @@ pub use counter::{Counter, Gauge};
 #[cfg(feature = "obs")]
 pub use histogram::Histogram;
 #[cfg(feature = "obs")]
-pub use registry::{global, MetricsRegistry, SlowQueryLog, SLOW_LOG_CAPACITY};
+pub use registry::{global, MetricsRegistry, SlowQueryLog, SLOW_LOG_CAPACITY, SLOW_LOG_LABEL_MAX};
 #[cfg(feature = "obs")]
 pub use sampler::{Sampler, SAMPLE_PERIOD};
 
@@ -110,5 +110,5 @@ mod noop;
 #[cfg(not(feature = "obs"))]
 pub use noop::{
     global, Counter, Gauge, Histogram, MetricsRegistry, Sampler, SlowQueryLog, SAMPLE_PERIOD,
-    SLOW_LOG_CAPACITY,
+    SLOW_LOG_CAPACITY, SLOW_LOG_LABEL_MAX,
 };

@@ -10,6 +10,9 @@ use crate::{HistogramSnapshot, QueryOutcome, SlowQueryEntry};
 /// Capacity the real slow-query log would have (kept for API parity).
 pub const SLOW_LOG_CAPACITY: usize = 128;
 
+/// Label byte bound the real slow-query log would apply (API parity).
+pub const SLOW_LOG_LABEL_MAX: usize = 1024;
+
 /// Sample period the real sampler would use (kept for API parity).
 pub const SAMPLE_PERIOD: u64 = 64;
 
@@ -207,6 +210,20 @@ pub struct MetricsRegistry {
     /// Stub.
     pub recovery_replayed_records: Counter,
     /// Stub.
+    pub server_connections_total: Counter,
+    /// Stub.
+    pub server_connections_open: Gauge,
+    /// Stub.
+    pub server_in_flight: Gauge,
+    /// Stub.
+    pub server_queue_depth: Gauge,
+    /// Stub.
+    pub server_rejected_busy: Counter,
+    /// Stub.
+    pub server_rejected_quota: Counter,
+    /// Stub.
+    pub server_drain_ns: Histogram,
+    /// Stub.
     pub slow_queries: SlowQueryLog,
 }
 
@@ -242,6 +259,13 @@ impl MetricsRegistry {
             checkpoint_duration_ns: Histogram,
             recovery_duration_ns: Histogram,
             recovery_replayed_records: Counter,
+            server_connections_total: Counter,
+            server_connections_open: Gauge,
+            server_in_flight: Gauge,
+            server_queue_depth: Gauge,
+            server_rejected_busy: Counter,
+            server_rejected_quota: Counter,
+            server_drain_ns: Histogram,
             slow_queries: SlowQueryLog,
         };
         &GLOBAL

@@ -12,6 +12,28 @@ use crate::{Counter, Gauge, Histogram, QueryOutcome, SlowQueryEntry};
 /// evicted FIFO.
 pub const SLOW_LOG_CAPACITY: usize = 128;
 
+/// Longest label prefix (bytes) the slow-query log retains per entry.
+/// A multi-megabyte SQL statement arriving over the wire would otherwise
+/// be pinned ×[`SLOW_LOG_CAPACITY`] entries; anything longer is cut at a
+/// char boundary and marked with a trailing `…`.
+pub const SLOW_LOG_LABEL_MAX: usize = 1024;
+
+/// Truncate `label` to at most [`SLOW_LOG_LABEL_MAX`] bytes (on a char
+/// boundary), appending `…` when anything was cut.
+fn bounded_label(label: String) -> String {
+    if label.len() <= SLOW_LOG_LABEL_MAX {
+        return label;
+    }
+    let mut end = SLOW_LOG_LABEL_MAX;
+    while !label.is_char_boundary(end) {
+        end -= 1;
+    }
+    let mut out = String::with_capacity(end + '…'.len_utf8());
+    out.push_str(&label[..end]);
+    out.push('…');
+    out
+}
+
 /// Bounded ring buffer of slow queries. `push` takes a short mutex
 /// critical section (a deque rotate) and is only reached for queries
 /// that already blew the slowness threshold, so it is never on a hot
@@ -33,11 +55,13 @@ impl SlowQueryLog {
         self.entries.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
-    /// Record a slow query, evicting the oldest entry when full.
+    /// Record a slow query, evicting the oldest entry when full. Labels
+    /// are truncated to [`SLOW_LOG_LABEL_MAX`] bytes with a `…` marker so
+    /// oversized SQL text cannot pin megabytes per ring slot.
     pub fn push(&self, label: impl Into<String>, elapsed_ns: u64, outcome: QueryOutcome) {
         let entry = SlowQueryEntry {
             seq: self.next_seq.fetch_add(1, Ordering::Relaxed),
-            label: label.into(),
+            label: bounded_label(label.into()),
             elapsed_ns,
             outcome,
         };
@@ -139,6 +163,22 @@ pub struct MetricsRegistry {
     /// WAL records replayed during recovery.
     pub recovery_replayed_records: Counter,
 
+    // Service layer (idf-serve).
+    /// Client connections accepted since start.
+    pub server_connections_total: Counter,
+    /// Client connections currently open.
+    pub server_connections_open: Gauge,
+    /// Queries admitted and currently executing on server workers.
+    pub server_in_flight: Gauge,
+    /// Admitted queries waiting for a free worker.
+    pub server_queue_depth: Gauge,
+    /// Queries rejected with `ServerBusy` (admission queue full).
+    pub server_rejected_busy: Counter,
+    /// Queries rejected with `QuotaExceeded` (per-tenant limits).
+    pub server_rejected_quota: Counter,
+    /// Wall-clock time of each graceful drain, nanoseconds.
+    pub server_drain_ns: Histogram,
+
     /// Ring buffer of queries slower than the session threshold.
     pub slow_queries: SlowQueryLog,
 }
@@ -181,6 +221,13 @@ impl MetricsRegistry {
         self.checkpoint_duration_ns.reset();
         self.recovery_duration_ns.reset();
         self.recovery_replayed_records.reset();
+        self.server_connections_total.reset();
+        self.server_connections_open.reset();
+        self.server_in_flight.reset();
+        self.server_queue_depth.reset();
+        self.server_rejected_busy.reset();
+        self.server_rejected_quota.reset();
+        self.server_drain_ns.reset();
         self.slow_queries.reset();
     }
 
@@ -320,6 +367,48 @@ impl MetricsRegistry {
             "WAL records replayed during recovery.",
             &self.recovery_replayed_records,
         );
+        write_counter(
+            &mut out,
+            "idf_server_connections_total",
+            "Client connections accepted since start.",
+            &self.server_connections_total,
+        );
+        write_gauge(
+            &mut out,
+            "idf_server_connections_open",
+            "Client connections currently open.",
+            &self.server_connections_open,
+        );
+        write_gauge(
+            &mut out,
+            "idf_server_in_flight",
+            "Queries admitted and currently executing on server workers.",
+            &self.server_in_flight,
+        );
+        write_gauge(
+            &mut out,
+            "idf_server_queue_depth",
+            "Admitted queries waiting for a free worker.",
+            &self.server_queue_depth,
+        );
+        write_counter(
+            &mut out,
+            "idf_server_rejected_busy_total",
+            "Queries rejected with ServerBusy (admission queue full).",
+            &self.server_rejected_busy,
+        );
+        write_counter(
+            &mut out,
+            "idf_server_rejected_quota_total",
+            "Queries rejected with QuotaExceeded (per-tenant limits).",
+            &self.server_rejected_quota,
+        );
+        write_histogram(
+            &mut out,
+            "idf_server_drain_ns",
+            "Wall-clock time of each graceful drain, nanoseconds.",
+            &self.server_drain_ns,
+        );
         write_gauge_value(
             &mut out,
             "idf_slow_query_log_entries",
@@ -407,6 +496,31 @@ mod tests {
         }
     }
 
+    /// Regression: the ring used to retain full SQL text, so a
+    /// multi-megabyte statement was pinned once per slot. Labels are now
+    /// cut to a bounded prefix with an ellipsis marker.
+    #[test]
+    fn slow_log_truncates_oversized_labels() {
+        let log = SlowQueryLog::new();
+        let huge = "SELECT ".to_string() + &"x".repeat(4 * 1024 * 1024);
+        log.push(huge.clone(), 1, QueryOutcome::Finished);
+        let entry = &log.entries()[0];
+        assert!(entry.label.len() <= SLOW_LOG_LABEL_MAX + '…'.len_utf8());
+        assert!(
+            entry.label.ends_with('…'),
+            "missing marker: {}",
+            entry.label
+        );
+        assert!(entry.label.starts_with("SELECT x"));
+        // Short labels pass through untouched.
+        log.push("SELECT 1", 1, QueryOutcome::Finished);
+        assert_eq!(log.entries()[1].label, "SELECT 1");
+        // Truncation lands on a char boundary even mid-multibyte-run.
+        let multibyte = "é".repeat(SLOW_LOG_LABEL_MAX);
+        log.push(multibyte, 1, QueryOutcome::Finished);
+        assert!(log.entries()[2].label.ends_with('…'));
+    }
+
     #[test]
     fn prometheus_exposition_shape() {
         let m = MetricsRegistry::new();
@@ -429,11 +543,21 @@ mod tests {
         m.wal_records.add(4);
         m.wal_fsyncs.inc();
         m.wal_group_commit_batch.record(4);
+        m.server_connections_total.add(6);
+        m.server_connections_open.set(2);
+        m.server_queue_depth.set(1);
+        m.server_rejected_busy.inc();
+        m.server_drain_ns.record(1_000);
         let text = m.prometheus();
         assert!(text.contains("idf_wal_records_total 4"));
         assert!(text.contains("idf_wal_fsyncs_total 1"));
         assert!(text.contains("# TYPE idf_wal_group_commit_batch histogram"));
         assert!(text.contains("# TYPE idf_recovery_replayed_records_total counter"));
+        assert!(text.contains("idf_server_connections_total 6"));
+        assert!(text.contains("idf_server_connections_open 2"));
+        assert!(text.contains("idf_server_queue_depth 1"));
+        assert!(text.contains("idf_server_rejected_busy_total 1"));
+        assert!(text.contains("# TYPE idf_server_drain_ns histogram"));
         // Every line is a comment or `name[{labels}] value`.
         for line in text.lines() {
             assert!(

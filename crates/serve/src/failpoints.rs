@@ -1,0 +1,32 @@
+//! Named fault-injection sites in the service layer.
+//!
+//! Same contract as the storage- and durability-layer registries
+//! (`crates/core/src/failpoints.rs`, `crates/durable/src/failpoints.rs`):
+//! each constant names an `idf_fail::eval` site, every constant is
+//! registered exactly once in [`SITES`], and the wire abuse suite's chaos
+//! round iterates the table asserting that a fault at any site leaves the
+//! server serving and the memory governor drained back to zero.
+
+use idf_engine::error::{EngineError, Result};
+
+/// A freshly accepted connection, before its reader thread is spawned: a
+/// fault here drops the connection on the floor — the client sees EOF,
+/// the server keeps accepting.
+pub const ACCEPT: &str = "serve::accept";
+
+/// Head of every response-frame write: a fault here abandons the rest of
+/// the response stream and closes the connection, exactly as a transport
+/// failure would — in-flight accounting and governor bytes must still
+/// unwind to zero.
+pub const WRITE_FRAME: &str = "serve::write_frame";
+
+/// Every registered service-layer site, for chaos suites to iterate.
+pub const SITES: &[&str] = &[ACCEPT, WRITE_FRAME];
+
+/// Evaluate the failpoint at `site`, mapping an injected fault into a
+/// typed execution error that names the site.
+#[inline]
+pub fn check(site: &str) -> Result<()> {
+    idf_fail::eval(site)
+        .map_err(|msg| EngineError::exec(format!("injected failure at {site}: {msg}")))
+}

@@ -1,0 +1,42 @@
+//! # idf-serve — the SQL service layer
+//!
+//! Turns the Indexed DataFrame library into a *system*: a TCP server
+//! speaking a length-prefixed binary protocol (the WAL's
+//! `u32 len | u32 crc32 | body` framing, shared via `idf_durable::codec`)
+//! that carries SQL text in and schema + row-chunk results out.
+//!
+//! The paper's demo is exactly this shape — interactive clients issuing
+//! low-latency queries against one shared, updatable indexed table — and
+//! Shared Arrangements (PAPERS.md) motivates the multi-tenant angle:
+//! many concurrent clients multiplexed over one shared arrangement, with
+//! admission control keeping tail latency bounded under overload.
+//!
+//! ```no_run
+//! use idf_engine::session::Session;
+//! use idf_serve::{Client, ServeConfig, Server};
+//!
+//! let server = Server::bind(Session::new(), "127.0.0.1:0", ServeConfig::default()).unwrap();
+//! let mut client = Client::connect(server.local_addr(), "tenant-a").unwrap();
+//! client.query("CREATE TABLE t (id BIGINT, name VARCHAR)").unwrap();
+//! client.query("INSERT INTO t VALUES (1, 'ada')").unwrap();
+//! let reply = client.query("SELECT name FROM t WHERE id = 1").unwrap();
+//! assert_eq!(reply.rows.len(), 1);
+//! let report = server.shutdown();
+//! assert_eq!(report.cancelled, 0);
+//! ```
+//!
+//! See the module docs of [`wire`] (frame format, typed error codes) and
+//! [`server`] (threading model, admission gates, drain protocol), and
+//! DESIGN.md §10.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod client;
+pub mod failpoints;
+pub mod server;
+pub mod wire;
+
+pub use client::{Client, ClientError, QueryReply};
+pub use server::{DrainReport, ServeConfig, Server};
+pub use wire::{ErrorCode, ErrorFrame, FieldDesc, MAX_SQL_BYTES};

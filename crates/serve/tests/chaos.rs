@@ -1,0 +1,204 @@
+//! Seeded chaos round over the service-layer failpoint sites, plus the
+//! drain/deadline/quota behaviors that need deterministic slow queries
+//! (injected via the engine's `WORKER_START` delay site).
+//!
+//! Failpoints are process-global, so everything here runs inside one
+//! `#[test]` per concern and this file is its own test binary.
+
+#![cfg(feature = "failpoints")]
+
+use std::time::{Duration, Instant};
+
+use idf_engine::config::EngineConfig;
+use idf_engine::session::Session;
+use idf_fail::{FailConfig, FailGuard};
+use idf_serve::{failpoints, Client, ClientError, ErrorCode, ServeConfig, Server};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+const BUDGET: usize = 64 << 20;
+
+fn serve(config: ServeConfig) -> (Server, Session) {
+    let engine_config = EngineConfig {
+        total_memory_limit: Some(BUDGET),
+        ..EngineConfig::default()
+    };
+    let session = Session::with_config(engine_config);
+    session
+        .sql("CREATE TABLE kv (id BIGINT, name VARCHAR)")
+        .unwrap();
+    session
+        .sql("INSERT INTO kv VALUES (1, 'a'), (2, 'b'), (3, 'c')")
+        .unwrap();
+    let server = Server::bind(session.clone(), "127.0.0.1:0", config).unwrap();
+    (server, session)
+}
+
+fn assert_governor_zero(session: &Session) {
+    let governor = session.memory_governor().unwrap();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while governor.used() > 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert_eq!(governor.used(), 0, "governor leaked bytes under chaos");
+}
+
+fn query_ok(server: &Server) {
+    let mut client = Client::connect(server.local_addr(), "probe").unwrap();
+    client
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let reply = client.query("SELECT * FROM kv WHERE id = 1").unwrap();
+    assert_eq!(reply.rows.len(), 1);
+}
+
+/// Iterate every registered service site with seeded fault counts: a
+/// fault at any site must leave the server serving, panic-free, with the
+/// governor drained to zero.
+#[test]
+fn seeded_chaos_round_over_all_sites() {
+    let (server, session) = serve(ServeConfig::default());
+    let mut rng = StdRng::seed_from_u64(0x5e7_1e57);
+    for &site in failpoints::SITES {
+        for round in 0..3 {
+            let times = rng.gen_range(1..=3) as u64;
+            let guard = FailGuard::new(site, FailConfig::error("chaos").times(times));
+            for attempt in 0..(times + 2) {
+                let mut client = match Client::connect(server.local_addr(), "chaos") {
+                    Ok(client) => client,
+                    // Connect raced the faulted acceptor; that IS the
+                    // injected failure surfacing.
+                    Err(_) => continue,
+                };
+                client
+                    .set_read_timeout(Some(Duration::from_secs(10)))
+                    .unwrap();
+                // Either outcome is legal under injected faults — a full
+                // reply, a typed error frame, or a cut connection — but
+                // never a hang or a panic.
+                let _ = client.query("SELECT name FROM kv WHERE id = 2");
+                let _ = (site, round, attempt);
+            }
+            drop(guard);
+        }
+        // Site exhausted: service must be fully restored.
+        query_ok(&server);
+        assert_governor_zero(&session);
+    }
+    let report = server.shutdown();
+    assert_eq!(report.cancelled, 0);
+}
+
+/// A tenant at its in-flight quota gets a typed QuotaExceeded while a
+/// different tenant is still admitted.
+#[test]
+fn tenant_quota_is_enforced_per_tenant() {
+    let (server, session) = serve(ServeConfig {
+        tenant_max_in_flight: 1,
+        ..ServeConfig::default()
+    });
+    let addr = server.local_addr();
+    // Make queries measurably slow so one is reliably in flight.
+    let _slow = FailGuard::new(idf_engine::failpoints::WORKER_START, FailConfig::delay(300));
+    let busy_tenant = std::thread::spawn(move || {
+        let mut client = Client::connect(addr, "acme").unwrap();
+        client.query("SELECT * FROM kv").unwrap();
+    });
+    std::thread::sleep(Duration::from_millis(80));
+    let mut same = Client::connect(addr, "acme").unwrap();
+    same.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    match same.query("SELECT * FROM kv") {
+        Err(ClientError::Server(frame)) => {
+            assert_eq!(frame.code, ErrorCode::QuotaExceeded, "{frame}")
+        }
+        other => panic!("expected QuotaExceeded, got {other:?}"),
+    }
+    let mut other_tenant = Client::connect(addr, "globex").unwrap();
+    other_tenant
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let reply = other_tenant.query("SELECT * FROM kv WHERE id = 3").unwrap();
+    assert_eq!(reply.rows.len(), 1);
+    busy_tenant.join().unwrap();
+    assert_governor_zero(&session);
+    server.shutdown();
+}
+
+/// The server-imposed deadline maps to a typed DeadlineExceeded frame.
+#[test]
+fn server_deadline_yields_typed_frame() {
+    let (server, session) = serve(ServeConfig {
+        query_timeout: Some(Duration::from_millis(20)),
+        ..ServeConfig::default()
+    });
+    let _slow = FailGuard::new(idf_engine::failpoints::WORKER_START, FailConfig::delay(200));
+    let mut client = Client::connect(server.local_addr(), "acme").unwrap();
+    client
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    match client.query("SELECT * FROM kv") {
+        Err(ClientError::Server(frame)) => {
+            assert_eq!(frame.code, ErrorCode::DeadlineExceeded, "{frame}")
+        }
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+    assert_governor_zero(&session);
+    server.shutdown();
+}
+
+/// Graceful drain: in-flight queries finish when the deadline allows it;
+/// when it does not, they are cancelled through their QueryContext and
+/// the client sees a typed frame, never a partial stream.
+#[test]
+fn drain_finishes_or_cancels_in_flight_queries() {
+    // Generous deadline: the slow query finishes, nothing is cancelled.
+    let (server, session) = serve(ServeConfig {
+        drain_deadline: Duration::from_secs(10),
+        ..ServeConfig::default()
+    });
+    let addr = server.local_addr();
+    {
+        let _slow = FailGuard::new(idf_engine::failpoints::WORKER_START, FailConfig::delay(200));
+        let inflight = std::thread::spawn(move || {
+            let mut client = Client::connect(addr, "acme").unwrap();
+            client.query("SELECT * FROM kv").unwrap()
+        });
+        std::thread::sleep(Duration::from_millis(60));
+        let report = server.shutdown();
+        let reply = inflight.join().unwrap();
+        assert_eq!(reply.rows.len(), 3);
+        assert_eq!(report.cancelled, 0, "{report:?}");
+    }
+    assert_governor_zero(&session);
+
+    // Tight deadline: the in-flight query is cancelled cooperatively and
+    // answers with a typed Cancelled frame.
+    let (server, session) = serve(ServeConfig {
+        drain_deadline: Duration::from_millis(30),
+        ..ServeConfig::default()
+    });
+    let addr = server.local_addr();
+    {
+        let _slow = FailGuard::new(idf_engine::failpoints::WORKER_START, FailConfig::delay(500));
+        let inflight = std::thread::spawn(move || {
+            let mut client = Client::connect(addr, "acme").unwrap();
+            client.query("SELECT * FROM kv")
+        });
+        std::thread::sleep(Duration::from_millis(60));
+        let t0 = Instant::now();
+        let report = server.shutdown();
+        assert_eq!(report.cancelled, 1, "{report:?}");
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "drain took {:?}",
+            t0.elapsed()
+        );
+        match inflight.join().unwrap() {
+            Err(ClientError::Server(frame)) => {
+                assert_eq!(frame.code, ErrorCode::Cancelled, "{frame}")
+            }
+            other => panic!("expected a typed Cancelled frame, got {other:?}"),
+        }
+    }
+    assert_governor_zero(&session);
+}

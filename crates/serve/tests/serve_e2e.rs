@@ -1,0 +1,174 @@
+//! End-to-end service tests: full DDL/INSERT/SELECT round trips over the
+//! wire, concurrent clients, and server metrics exposition.
+
+use std::time::Duration;
+
+use idf_engine::session::Session;
+use idf_engine::types::{DataType, Value};
+use idf_serve::{Client, ServeConfig, Server};
+
+fn serve() -> (Server, Session) {
+    let session = Session::new();
+    let server = Server::bind(session.clone(), "127.0.0.1:0", ServeConfig::default()).unwrap();
+    (server, session)
+}
+
+#[test]
+fn ddl_insert_select_roundtrip_over_the_wire() {
+    let (server, _session) = serve();
+    let mut client = Client::connect(server.local_addr(), "acme").unwrap();
+    client
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    client
+        .query("CREATE TABLE events (id BIGINT, name VARCHAR, score DOUBLE, at TIMESTAMP)")
+        .unwrap();
+    client
+        .query(
+            "INSERT INTO events VALUES \
+             (1, 'ada', 0.5, 1000), (2, 'bob', 1.5, 2000), (1, NULL, 2.5, 3000)",
+        )
+        .unwrap();
+    let reply = client
+        .query("SELECT id, name, score, at FROM events WHERE id = 1 ORDER BY at")
+        .unwrap();
+    assert_eq!(reply.fields.len(), 4);
+    assert_eq!(reply.fields[0].name, "id");
+    assert_eq!(reply.fields[0].data_type, DataType::Int64);
+    assert_eq!(reply.fields[3].data_type, DataType::Timestamp);
+    assert_eq!(
+        reply.rows,
+        vec![
+            vec![
+                Value::Int64(1),
+                Value::Utf8("ada".into()),
+                Value::Float64(0.5),
+                Value::Timestamp(1000),
+            ],
+            vec![
+                Value::Int64(1),
+                Value::Null,
+                Value::Float64(2.5),
+                Value::Timestamp(3000),
+            ],
+        ]
+    );
+    // A join through the same wire connection.
+    client
+        .query("CREATE TABLE tags (event_id BIGINT, tag VARCHAR)")
+        .unwrap();
+    client
+        .query("INSERT INTO tags VALUES (1, 'hot'), (2, 'cold')")
+        .unwrap();
+    let reply = client
+        .query(
+            "SELECT e.name, t.tag FROM events e JOIN tags t ON e.id = t.event_id \
+             WHERE t.tag = 'cold'",
+        )
+        .unwrap();
+    assert_eq!(
+        reply.rows,
+        vec![vec![Value::Utf8("bob".into()), Value::Utf8("cold".into())]]
+    );
+    let report = server.shutdown();
+    assert_eq!(report.cancelled, 0);
+}
+
+#[test]
+fn result_streams_span_multiple_rows_frames() {
+    let (server, _session) = serve();
+    let mut client = Client::connect(server.local_addr(), "acme").unwrap();
+    client
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    client.query("CREATE TABLE wide (id BIGINT)").unwrap();
+    // More rows than ROWS_PER_FRAME (1024) so the stream has to slice.
+    for batch in 0..5 {
+        let values: Vec<String> = (0..600).map(|i| format!("({})", batch * 600 + i)).collect();
+        client
+            .query(&format!("INSERT INTO wide VALUES {}", values.join(", ")))
+            .unwrap();
+    }
+    let reply = client.query("SELECT id FROM wide ORDER BY id").unwrap();
+    assert_eq!(reply.rows.len(), 3000);
+    assert_eq!(reply.rows[0], vec![Value::Int64(0)]);
+    assert_eq!(reply.rows[2999], vec![Value::Int64(2999)]);
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_clients_share_one_updatable_table() {
+    let (server, _session) = serve();
+    let addr = server.local_addr();
+    {
+        let mut client = Client::connect(addr, "setup").unwrap();
+        client
+            .query("CREATE TABLE counters (id BIGINT, v BIGINT)")
+            .unwrap();
+    }
+    let writers: Vec<_> = (0..4)
+        .map(|w| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr, format!("writer-{w}")).unwrap();
+                client
+                    .set_read_timeout(Some(Duration::from_secs(30)))
+                    .unwrap();
+                for i in 0..25 {
+                    client
+                        .query(&format!("INSERT INTO counters VALUES ({w}, {i})"))
+                        .unwrap();
+                }
+            })
+        })
+        .collect();
+    let readers: Vec<_> = (0..4)
+        .map(|r| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr, format!("reader-{r}")).unwrap();
+                client
+                    .set_read_timeout(Some(Duration::from_secs(30)))
+                    .unwrap();
+                for _ in 0..25 {
+                    // Any consistent snapshot is fine; the query must
+                    // simply never fail.
+                    client.query("SELECT * FROM counters").unwrap();
+                }
+            })
+        })
+        .collect();
+    for handle in writers.into_iter().chain(readers) {
+        handle.join().unwrap();
+    }
+    let mut client = Client::connect(addr, "check").unwrap();
+    let reply = client.query("SELECT * FROM counters").unwrap();
+    assert_eq!(reply.rows.len(), 100);
+    let report = server.shutdown();
+    assert_eq!(report.cancelled, 0);
+}
+
+#[cfg(feature = "obs")]
+#[test]
+fn server_metrics_reach_the_prometheus_exposition() {
+    let (server, session) = serve();
+    let mut client = Client::connect(server.local_addr(), "acme").unwrap();
+    client.query("CREATE TABLE m (id BIGINT)").unwrap();
+    client.query("SELECT * FROM m").unwrap();
+    let text = session.metrics_text();
+    for name in [
+        "idf_server_connections_total",
+        "idf_server_connections_open",
+        "idf_server_in_flight",
+        "idf_server_queue_depth",
+        "idf_server_rejected_busy_total",
+        "idf_server_rejected_quota_total",
+        "idf_server_drain_ns",
+    ] {
+        assert!(text.contains(name), "missing {name} in exposition");
+    }
+    drop(client);
+    server.shutdown();
+    // Drain time is recorded (count is global and monotonic, so only
+    // assert presence of at least our own observation).
+    let after = session.metrics_text();
+    assert!(after.contains("idf_server_drain_ns"));
+}
