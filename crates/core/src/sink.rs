@@ -27,6 +27,16 @@
 
 use idf_engine::error::Result;
 
+/// Whether a sink is accepting commits (see [`AppendSink::status`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SinkStatus {
+    /// Commits are accepted.
+    Writable,
+    /// The sink is degraded read-only; appends fail fast with
+    /// `EngineError::ReadOnly`. Carries the degradation cause.
+    ReadOnly(String),
+}
+
 /// Receiver for committed append payloads (the WAL, in practice).
 pub trait AppendSink: Send + Sync {
     /// Log one committed append: `rows` are the encoded row payloads of
@@ -34,6 +44,12 @@ pub trait AppendSink: Send + Sync {
     /// durability level and returns a guard the caller holds until the
     /// rows are published to memory.
     fn begin_commit(&self, rows: &[&[u8]]) -> Result<Box<dyn CommitGuard>>;
+
+    /// Current write status. Degradation (sticky fsync failure, ENOSPC)
+    /// flips the sink to [`SinkStatus::ReadOnly`]; reads are unaffected.
+    fn status(&self) -> SinkStatus {
+        SinkStatus::Writable
+    }
 }
 
 /// Marker for an in-flight commit; dropping it tells the sink the rows

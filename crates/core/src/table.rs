@@ -22,7 +22,7 @@ use parking_lot::RwLock;
 
 use crate::config::IndexConfig;
 use crate::partition::{IndexedPartition, PartitionMemory, PartitionSnapshot};
-use crate::sink::AppendSink;
+use crate::sink::{AppendSink, SinkStatus};
 
 /// A partitioned, updatable, indexed, in-memory table.
 pub struct IndexedTable {
@@ -101,6 +101,17 @@ impl IndexedTable {
     /// appends are not re-logged.
     pub fn set_append_sink(&self, sink: Arc<dyn AppendSink>) {
         *self.sink.write() = Some(sink);
+    }
+
+    /// Whether appends are currently accepted. A table whose sink has
+    /// degraded (sticky fsync failure, ENOSPC) reports
+    /// [`SinkStatus::ReadOnly`] with the cause; reads, snapshots and
+    /// checkpoints are unaffected. A table with no sink is writable.
+    pub fn write_status(&self) -> SinkStatus {
+        match self.sink.read().as_ref() {
+            Some(sink) => sink.status(),
+            None => SinkStatus::Writable,
+        }
     }
 
     /// Decode an encoded row payload (as handed to the append sink) back

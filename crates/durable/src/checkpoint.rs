@@ -5,17 +5,25 @@
 //!
 //! ```text
 //! data_dir/<table>/
-//!   wal-<id>.log       append segment paired with snapshot <id>
-//!   ckpt-<id>.snap     full table image, the manifest's id wins
-//!   MANIFEST           the id of the authoritative snapshot
+//!   wal-<id>.log              append segment paired with snapshot <id>
+//!   ckpt-<id>.snap            full table image, the manifest's id wins
+//!   ckpt-<id>.snap.quarantine a snapshot scrub found corrupt (evidence)
+//!   MANIFEST                  the id of the authoritative snapshot
 //! ```
 //!
 //! The WAL segment is *named by checkpoint id*: segment `id` holds
 //! exactly the commits made after snapshot `id` was taken. Recovery
-//! opens only the segment paired with the manifest's snapshot, so a
-//! crash between the manifest flip and the old segment's deletion
-//! leaves stale litter (swept by the next checkpoint's GC), never a
-//! covered prefix that would replay as duplicate rows.
+//! replays the contiguous chain of segments at-or-after the manifest's
+//! id (normally just one; more when a checkpoint landed its manifest but
+//! a later crash or fault interrupted cleanup), so a covered prefix can
+//! never replay as duplicate rows.
+//!
+//! **Two-generation retention**: checkpoint GC keeps the authoritative
+//! generation *and* the previous one (snapshot `N-1` plus its segment).
+//! That is what lets scrub quarantine a corrupt snapshot `N` and fall
+//! back: snapshot `N-1` + segment `N-1` + segment `N` together still
+//! reconstruct the full acknowledged state. Generations older than one
+//! are swept.
 //!
 //! A snapshot file is `b"IDFSNAP1"` followed by **one** CRC frame whose
 //! body serializes the schema, index configuration, and every partition:
@@ -27,10 +35,13 @@
 //! Atomicity: snapshot and manifest are written to a temp file, fsynced,
 //! renamed into place, and the directory fsynced. The manifest flips last,
 //! so a crash anywhere mid-checkpoint leaves the previous
-//! snapshot-plus-WAL fully authoritative; stale snapshots are garbage-
+//! snapshot-plus-WAL fully authoritative; stale generations are garbage-
 //! collected only after the flip.
+//!
+//! All file access goes through the [`StorageIo`] seam so the whole
+//! layer runs identically against the real filesystem and the simulated
+//! fault-injecting disk.
 
-use std::fs::File;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
@@ -45,6 +56,7 @@ use crate::codec::{
     check_frame_len, frame, put_bytes, put_data_type, put_u32, put_u64, put_value, read_frame,
     Cursor, FrameRead, MAX_SNAPSHOT_FRAME,
 };
+use crate::io::StorageIo;
 
 /// Magic prefix of a snapshot file.
 pub const SNAP_MAGIC: &[u8; 8] = b"IDFSNAP1";
@@ -68,21 +80,46 @@ pub fn snap_path(table_dir: &Path, id: u64) -> PathBuf {
     table_dir.join(format!("ckpt-{id}.snap"))
 }
 
+/// Where scrub parks a corrupt snapshot: same name with a `.quarantine`
+/// suffix. Kept as evidence (and so the id is never reused) until GC
+/// sweeps its generation.
+pub fn quarantine_path(table_dir: &Path, id: u64) -> PathBuf {
+    table_dir.join(format!("ckpt-{id}.snap.quarantine"))
+}
+
 fn io_err(what: &str, path: &Path, e: &std::io::Error) -> EngineError {
     EngineError::durability(format!("{what} {}: {e}", path.display()))
 }
 
+/// Parse the checkpoint id out of a table-directory file name
+/// (`wal-<id>.log`, `ckpt-<id>.snap`, `ckpt-<id>.snap.quarantine`).
+fn file_id(name: &str) -> Option<u64> {
+    let rest = name
+        .strip_prefix("ckpt-")
+        .and_then(|r| {
+            r.strip_suffix(".snap")
+                .or_else(|| r.strip_suffix(".snap.quarantine"))
+        })
+        .or_else(|| {
+            name.strip_prefix("wal-")
+                .and_then(|r| r.strip_suffix(".log"))
+        });
+    rest.and_then(|id| id.parse::<u64>().ok())
+}
+
 /// Write `bytes` to `dir/name` atomically: temp file, fsync, rename,
 /// directory fsync.
-fn write_atomic(dir: &Path, name: &str, bytes: &[u8]) -> Result<()> {
+fn write_atomic(io: &dyn StorageIo, dir: &Path, name: &str, bytes: &[u8]) -> Result<()> {
     let tmp = dir.join(format!("{name}.tmp"));
     let dst = dir.join(name);
-    std::fs::write(&tmp, bytes).map_err(|e| io_err("writing", &tmp, &e))?;
-    let f = File::open(&tmp).map_err(|e| io_err("opening", &tmp, &e))?;
-    f.sync_all().map_err(|e| io_err("syncing", &tmp, &e))?;
-    std::fs::rename(&tmp, &dst).map_err(|e| io_err("renaming", &dst, &e))?;
-    let d = File::open(dir).map_err(|e| io_err("opening dir", dir, &e))?;
-    d.sync_all().map_err(|e| io_err("syncing dir", dir, &e))?;
+    io.write(&tmp, bytes)
+        .map_err(|e| io_err("writing", &tmp, &e))?;
+    io.sync_file(&tmp)
+        .map_err(|e| io_err("syncing", &tmp, &e))?;
+    io.rename(&tmp, &dst)
+        .map_err(|e| io_err("renaming", &dst, &e))?;
+    io.sync_dir(dir)
+        .map_err(|e| io_err("syncing dir", dir, &e))?;
     Ok(())
 }
 
@@ -91,19 +128,19 @@ fn write_atomic(dir: &Path, name: &str, bytes: &[u8]) -> Result<()> {
 // ---------------------------------------------------------------------
 
 /// Point the manifest at checkpoint `id` (atomic flip).
-pub fn write_manifest(table_dir: &Path, id: u64) -> Result<()> {
+pub fn write_manifest(io: &dyn StorageIo, table_dir: &Path, id: u64) -> Result<()> {
     let mut body = Vec::with_capacity(8);
     put_u64(&mut body, id);
     let mut bytes = MANIFEST_MAGIC.to_vec();
     bytes.extend_from_slice(&frame(&body)?);
-    write_atomic(table_dir, "MANIFEST", &bytes)
+    write_atomic(io, table_dir, "MANIFEST", &bytes)
 }
 
 /// The authoritative checkpoint id, or `None` when no manifest exists.
 /// A present-but-malformed manifest is a typed corruption error.
-pub fn read_manifest(table_dir: &Path) -> Result<Option<u64>> {
+pub fn read_manifest(io: &dyn StorageIo, table_dir: &Path) -> Result<Option<u64>> {
     let path = manifest_path(table_dir);
-    let bytes = match std::fs::read(&path) {
+    let bytes = match io.read(&path) {
         Ok(b) => b,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
         Err(e) => return Err(io_err("reading", &path, &e)),
@@ -121,6 +158,45 @@ pub fn read_manifest(table_dir: &Path) -> Result<Option<u64>> {
         }
         _ => Err(corrupt("bad or torn frame")),
     }
+}
+
+/// The next checkpoint id to allocate: strictly above the manifest *and*
+/// every id any on-disk file (snapshot, segment, quarantined snapshot)
+/// still carries. Scanning the files — not just the manifest — means an
+/// id is never reused even after a fault (a dropped manifest rename, a
+/// quarantined generation) rolled the manifest backwards; reusing an id
+/// would pair a fresh segment with a stale snapshot of the same name.
+pub fn next_checkpoint_id(io: &dyn StorageIo, table_dir: &Path) -> Result<u64> {
+    let mut max = read_manifest(io, table_dir)?.unwrap_or(0);
+    let entries = io
+        .read_dir(table_dir)
+        .map_err(|e| io_err("listing", table_dir, &e))?;
+    for entry in entries {
+        if let Some(id) = file_id(&entry.name) {
+            max = max.max(id);
+        }
+    }
+    Ok(max + 1)
+}
+
+/// The ids of every WAL segment (`wal-<id>.log`) in `table_dir`,
+/// ascending. Recovery replays the contiguous run of these at-or-after
+/// the manifest id.
+pub fn list_segment_ids(io: &dyn StorageIo, table_dir: &Path) -> Result<Vec<u64>> {
+    let entries = io
+        .read_dir(table_dir)
+        .map_err(|e| io_err("listing", table_dir, &e))?;
+    let mut ids: Vec<u64> = entries
+        .iter()
+        .filter_map(|e| {
+            e.name
+                .strip_prefix("wal-")
+                .and_then(|r| r.strip_suffix(".log"))
+                .and_then(|id| id.parse::<u64>().ok())
+        })
+        .collect();
+    ids.sort_unstable();
+    Ok(ids)
 }
 
 // ---------------------------------------------------------------------
@@ -171,6 +247,7 @@ fn encode_table(snap: &TableSnapshot, config: &IndexConfig) -> Vec<u8> {
 /// manifest is *not* flipped — the caller does that once the snapshot is
 /// durable).
 pub fn write_snapshot(
+    io: &dyn StorageIo,
     table_dir: &Path,
     id: u64,
     snap: &TableSnapshot,
@@ -184,32 +261,35 @@ pub fn write_snapshot(
     check_frame_len(body.len(), MAX_SNAPSHOT_FRAME, "checkpoint snapshot")?;
     let mut bytes = SNAP_MAGIC.to_vec();
     bytes.extend_from_slice(&frame(&body)?);
-    write_atomic(table_dir, &format!("ckpt-{id}.snap"), &bytes)
+    write_atomic(io, table_dir, &format!("ckpt-{id}.snap"), &bytes)
 }
 
-/// Best-effort removal of snapshot files *and* WAL segments other than
-/// `keep_id`'s. Failures are ignored — stale files (e.g. a covered
-/// segment left by a crash between the manifest flip and rotation's
-/// delete) are litter recovery never reads, never a correctness problem.
-pub fn remove_stale_files(table_dir: &Path, keep_id: u64) {
-    let Ok(entries) = std::fs::read_dir(table_dir) else {
+/// Best-effort sweep of generations older than the previous one: keeps
+/// every file whose id is `keep_id` or the previous *real* generation —
+/// the largest id below `keep_id` that still has a WAL segment (the
+/// fallback generation scrub needs; a snapshot whose id was burned by a
+/// failed checkpoint attempt has no segment and is useless as a fallback,
+/// so it must not shadow the generation that is). Deletes the rest.
+/// Failures are ignored — stale files are litter recovery never reads,
+/// never a correctness problem.
+pub fn remove_stale_files(io: &dyn StorageIo, table_dir: &Path, keep_id: u64) {
+    let Ok(entries) = io.read_dir(table_dir) else {
         return;
     };
-    for entry in entries.flatten() {
-        let name = entry.file_name();
-        let Some(name) = name.to_str() else { continue };
-        let snap_id = name
-            .strip_prefix("ckpt-")
-            .and_then(|rest| rest.strip_suffix(".snap"));
-        let wal_id = name
-            .strip_prefix("wal-")
-            .and_then(|rest| rest.strip_suffix(".log"));
-        let Some(id) = snap_id.or(wal_id).and_then(|id| id.parse::<u64>().ok()) else {
+    let ids: Vec<(String, u64)> = entries
+        .iter()
+        .filter_map(|e| file_id(&e.name).map(|id| (e.name.clone(), id)))
+        .collect();
+    let prev = ids
+        .iter()
+        .filter(|(name, id)| *id < keep_id && name.starts_with("wal-"))
+        .map(|&(_, id)| id)
+        .max();
+    for (name, id) in ids {
+        if id == keep_id || Some(id) == prev {
             continue;
-        };
-        if id != keep_id {
-            let _ = std::fs::remove_file(entry.path());
         }
+        let _ = io.remove_file(&table_dir.join(name));
     }
 }
 
@@ -221,9 +301,11 @@ pub fn remove_stale_files(table_dir: &Path, keep_id: u64) {
 /// the file is validated (schema shape, partition fan-out, batch bounds,
 /// index pointers) — corruption is a typed error, never a panic and never
 /// a silently wrong table.
-pub fn load_table(table_dir: &Path, id: u64) -> Result<IndexedTable> {
+pub fn load_table(io: &dyn StorageIo, table_dir: &Path, id: u64) -> Result<IndexedTable> {
     let path = snap_path(table_dir, id);
-    let bytes = std::fs::read(&path).map_err(|e| io_err("reading snapshot", &path, &e))?;
+    let bytes = io
+        .read(&path)
+        .map_err(|e| io_err("reading snapshot", &path, &e))?;
     let corrupt = |why: &str| EngineError::corrupt(format!("snapshot {}: {why}", path.display()));
     if bytes.len() < 8 || &bytes[..8] != SNAP_MAGIC {
         return Err(corrupt("bad magic"));
@@ -301,8 +383,11 @@ pub fn load_table(table_dir: &Path, id: u64) -> Result<IndexedTable> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::io::OsIo;
     use crate::TempDir;
     use idf_engine::types::{DataType, Value};
+
+    const IO: OsIo = OsIo;
 
     fn sample_table() -> IndexedTable {
         let schema = Arc::new(Schema::new(vec![
@@ -326,10 +411,10 @@ mod tests {
     fn snapshot_roundtrip_preserves_rows_and_index() {
         let dir = TempDir::new("ckpt-roundtrip");
         let table = sample_table();
-        write_snapshot(dir.path(), 1, &table.snapshot(), table.config()).unwrap();
-        write_manifest(dir.path(), 1).unwrap();
-        assert_eq!(read_manifest(dir.path()).unwrap(), Some(1));
-        let restored = load_table(dir.path(), 1).unwrap();
+        write_snapshot(&IO, dir.path(), 1, &table.snapshot(), table.config()).unwrap();
+        write_manifest(&IO, dir.path(), 1).unwrap();
+        assert_eq!(read_manifest(&IO, dir.path()).unwrap(), Some(1));
+        let restored = load_table(&IO, dir.path(), 1).unwrap();
         assert_eq!(restored.row_count(), 500);
         assert_eq!(restored.schema(), table.schema());
         for key in [0i64, 17, 99] {
@@ -354,22 +439,22 @@ mod tests {
     #[test]
     fn missing_manifest_reads_as_none() {
         let dir = TempDir::new("ckpt-nomani");
-        assert_eq!(read_manifest(dir.path()).unwrap(), None);
+        assert_eq!(read_manifest(&IO, dir.path()).unwrap(), None);
     }
 
     #[test]
     fn corrupt_manifest_and_snapshot_are_typed_errors() {
         let dir = TempDir::new("ckpt-corrupt");
         let table = sample_table();
-        write_snapshot(dir.path(), 3, &table.snapshot(), table.config()).unwrap();
-        write_manifest(dir.path(), 3).unwrap();
+        write_snapshot(&IO, dir.path(), 3, &table.snapshot(), table.config()).unwrap();
+        write_manifest(&IO, dir.path(), 3).unwrap();
         // Manifest with a flipped byte.
         let mpath = manifest_path(dir.path());
         let mut m = std::fs::read(&mpath).unwrap();
         let last = m.len() - 1;
         m[last] ^= 0x01;
         std::fs::write(&mpath, &m).unwrap();
-        let err = read_manifest(dir.path()).unwrap_err();
+        let err = read_manifest(&IO, dir.path()).unwrap_err();
         assert!(err.to_string().contains("corrupt"), "{err}");
         // Snapshot with a flipped payload byte.
         let spath = snap_path(dir.path(), 3);
@@ -377,29 +462,55 @@ mod tests {
         let mid = s.len() / 2;
         s[mid] ^= 0x10;
         std::fs::write(&spath, &s).unwrap();
-        let err = load_table(dir.path(), 3).unwrap_err();
+        let err = load_table(&IO, dir.path(), 3).unwrap_err();
         assert!(err.to_string().contains("corrupt"), "{err}");
         // Missing snapshot is a durability error, not a panic.
-        assert!(load_table(dir.path(), 99).is_err());
+        assert!(load_table(&IO, dir.path(), 99).is_err());
     }
 
     #[test]
-    fn stale_snapshots_and_wal_segments_are_garbage_collected() {
+    fn gc_keeps_two_generations_and_sweeps_older_ones() {
         let dir = TempDir::new("ckpt-gc");
         let table = sample_table();
         for id in 1..=3 {
-            write_snapshot(dir.path(), id, &table.snapshot(), table.config()).unwrap();
+            write_snapshot(&IO, dir.path(), id, &table.snapshot(), table.config()).unwrap();
             std::fs::write(wal_path(dir.path(), id), b"segment").unwrap();
         }
-        write_manifest(dir.path(), 3).unwrap();
-        remove_stale_files(dir.path(), 3);
+        write_manifest(&IO, dir.path(), 3).unwrap();
+        remove_stale_files(&IO, dir.path(), 3);
+        // Generation 1 is older-than-previous: swept. Generation 2 is the
+        // scrub-fallback generation: retained alongside the live one.
         assert!(!snap_path(dir.path(), 1).exists());
+        assert!(!wal_path(dir.path(), 1).exists());
+        assert!(snap_path(dir.path(), 2).exists(), "fallback snapshot kept");
+        assert!(wal_path(dir.path(), 2).exists(), "fallback segment kept");
+        assert!(snap_path(dir.path(), 3).exists());
+        assert!(wal_path(dir.path(), 3).exists(), "live segment kept");
+        load_table(&IO, dir.path(), 3).unwrap();
+        // A second sweep at the next generation retires generation 2.
+        std::fs::write(wal_path(dir.path(), 4), b"segment").unwrap();
+        write_snapshot(&IO, dir.path(), 4, &table.snapshot(), table.config()).unwrap();
+        remove_stale_files(&IO, dir.path(), 4);
         assert!(!snap_path(dir.path(), 2).exists());
         assert!(snap_path(dir.path(), 3).exists());
-        assert!(!wal_path(dir.path(), 1).exists());
-        assert!(!wal_path(dir.path(), 2).exists());
-        assert!(wal_path(dir.path(), 3).exists(), "live segment kept");
-        load_table(dir.path(), 3).unwrap();
+        assert!(snap_path(dir.path(), 4).exists());
+    }
+
+    #[test]
+    fn next_checkpoint_id_never_reuses_an_on_disk_id() {
+        let dir = TempDir::new("ckpt-nextid");
+        // Empty dir: first id is 1.
+        assert_eq!(next_checkpoint_id(&IO, dir.path()).unwrap(), 1);
+        // Manifest at 2, but a quarantined snapshot and a stray segment
+        // carry higher ids (e.g. after scrub rolled the manifest back):
+        // the next id must clear them all.
+        write_manifest(&IO, dir.path(), 2).unwrap();
+        std::fs::write(quarantine_path(dir.path(), 5), b"bad").unwrap();
+        std::fs::write(wal_path(dir.path(), 4), b"seg").unwrap();
+        assert_eq!(next_checkpoint_id(&IO, dir.path()).unwrap(), 6);
+        // Segment listing is ascending and complete.
+        std::fs::write(wal_path(dir.path(), 2), b"seg").unwrap();
+        assert_eq!(list_segment_ids(&IO, dir.path()).unwrap(), vec![2, 4]);
     }
 
     #[cfg(feature = "failpoints")]
@@ -407,8 +518,8 @@ mod tests {
     fn injected_checkpoint_fault_leaves_previous_checkpoint_authoritative() {
         let dir = TempDir::new("ckpt-fault");
         let table = sample_table();
-        write_snapshot(dir.path(), 1, &table.snapshot(), table.config()).unwrap();
-        write_manifest(dir.path(), 1).unwrap();
+        write_snapshot(&IO, dir.path(), 1, &table.snapshot(), table.config()).unwrap();
+        write_manifest(&IO, dir.path(), 1).unwrap();
         table
             .append_row(&[Value::Int64(7), Value::Utf8("extra".into())])
             .unwrap();
@@ -416,9 +527,10 @@ mod tests {
             crate::failpoints::CHECKPOINT_WRITE,
             idf_fail::FailConfig::error("disk full"),
         );
-        let err = write_snapshot(dir.path(), 2, &table.snapshot(), table.config()).unwrap_err();
+        let err =
+            write_snapshot(&IO, dir.path(), 2, &table.snapshot(), table.config()).unwrap_err();
         assert!(err.to_string().contains("injected"), "{err}");
-        assert_eq!(read_manifest(dir.path()).unwrap(), Some(1));
-        assert_eq!(load_table(dir.path(), 1).unwrap().row_count(), 500);
+        assert_eq!(read_manifest(&IO, dir.path()).unwrap(), Some(1));
+        assert_eq!(load_table(&IO, dir.path(), 1).unwrap().row_count(), 500);
     }
 }

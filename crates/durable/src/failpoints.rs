@@ -28,8 +28,25 @@ pub const CHECKPOINT_WRITE: &str = "durable::checkpoint::write";
 /// open with a typed error, and a later clean open must succeed.
 pub const RECOVERY_REPLAY: &str = "durable::recovery::replay";
 
+/// Per-target scrub verification (`DurableSession::scrub`): a fault here
+/// must fail the scrub with a typed error without quarantining anything,
+/// and a later clean scrub must succeed.
+pub const SCRUB_VERIFY: &str = "durable::scrub::verify";
+
+/// Head of `resume_writes` re-arming a degraded WAL: a fault here must
+/// leave the table degraded (still read-only, still serving reads) and a
+/// later clean resume must succeed.
+pub const WAL_RESUME: &str = "durable::wal::resume";
+
 /// Every registered durability site, for chaos suites to iterate.
-pub const SITES: &[&str] = &[WAL_APPEND, WAL_FSYNC, CHECKPOINT_WRITE, RECOVERY_REPLAY];
+pub const SITES: &[&str] = &[
+    WAL_APPEND,
+    WAL_FSYNC,
+    CHECKPOINT_WRITE,
+    RECOVERY_REPLAY,
+    SCRUB_VERIFY,
+    WAL_RESUME,
+];
 
 /// Evaluate the failpoint at `site`, mapping an injected fault into a
 /// typed durability error that names the site.

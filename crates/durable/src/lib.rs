@@ -30,10 +30,16 @@ pub mod checkpoint;
 pub mod codec;
 pub mod crc;
 pub mod failpoints;
+pub mod io;
+pub mod scrub;
 pub mod session;
+pub mod sim;
 pub mod wal;
 
+pub use io::{OsIo, StorageIo};
+pub use scrub::{scrub_data_dir, ScrubReport};
 pub use session::DurableSession;
+pub use sim::{FaultProfile, SimIo};
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};

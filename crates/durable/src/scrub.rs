@@ -1,0 +1,515 @@
+//! Corruption scrubbing: re-walk a table's on-disk state (manifest,
+//! checkpoint snapshots, WAL segments) verifying magic bytes and CRCs,
+//! report typed findings with byte offsets, and — in repair mode —
+//! quarantine a corrupt snapshot and fall back to the previous valid
+//! generation.
+//!
+//! Bytes rot after they are written: latent sector errors, firmware
+//! bugs, bit flips. Recovery only validates what it reads on open; scrub
+//! is the proactive pass that re-verifies everything *before* the next
+//! crash makes a corrupt checkpoint load-bearing.
+//!
+//! Fallback protocol (repair mode, corrupt snapshot `N`):
+//!
+//! 1. verify the fallback is actually viable — snapshot `N-1` loads and
+//!    segments `N-1` and `N` both exist (checkpoint GC retains exactly
+//!    this generation pair for exactly this purpose);
+//! 2. rename `ckpt-N.snap` to `ckpt-N.snap.quarantine` (evidence, and
+//!    the id is never reused — see `checkpoint::next_checkpoint_id`);
+//! 3. flip the manifest back to `N-1`. Recovery then restores snapshot
+//!    `N-1` and replays the contiguous segment chain `N-1`, `N` — the
+//!    full acknowledged state, nothing lost.
+//!
+//! Each step is crash-atomic in itself and the order is chosen so a
+//! crash between any two steps leaves a recoverable store: after (2) the
+//! manifest still points at `N` whose snapshot is gone — recovery fails
+//! typed, and re-running scrub completes the fallback.
+//!
+//! Scrub never deletes anything and never rewrites payload bytes; the
+//! only mutations are the quarantine rename and the manifest flip, both
+//! gated behind `repair`.
+
+use std::path::Path;
+
+use idf_engine::error::{EngineError, Result};
+
+use crate::checkpoint;
+use crate::codec::{read_frame, FrameRead, MAX_WAL_FRAME};
+use crate::io::StorageIo;
+
+/// One verified target within a table directory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScrubEntry {
+    /// File name of the verified target (`MANIFEST`, `ckpt-3.snap`,
+    /// `wal-3.log`, …).
+    pub target: String,
+    /// Outcome: `ok`, `corrupt`, `quarantined`, `fell-back`, `stale` or
+    /// `unrecoverable`.
+    pub status: String,
+    /// Human-readable detail; corruption findings include byte offsets.
+    pub detail: String,
+}
+
+impl ScrubEntry {
+    fn new(target: impl Into<String>, status: &str, detail: impl Into<String>) -> Self {
+        ScrubEntry {
+            target: target.into(),
+            status: status.to_string(),
+            detail: detail.into(),
+        }
+    }
+
+    /// True for findings that indicate damaged bytes (`corrupt`,
+    /// `quarantined`, `unrecoverable`).
+    pub fn is_corruption(&self) -> bool {
+        matches!(
+            self.status.as_str(),
+            "corrupt" | "quarantined" | "unrecoverable"
+        )
+    }
+}
+
+/// The scrub result for one table directory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// Table (directory) name.
+    pub table: String,
+    /// One entry per verified target, manifest first.
+    pub entries: Vec<ScrubEntry>,
+}
+
+impl ScrubReport {
+    /// True when every target verified clean (fallback entries count as
+    /// findings, not clean).
+    pub fn is_clean(&self) -> bool {
+        self.entries
+            .iter()
+            .all(|e| e.status == "ok" || e.status == "stale")
+    }
+}
+
+fn file_name(path: &Path) -> String {
+    path.file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.display().to_string())
+}
+
+/// Scrub one table directory. With `repair` set, a corrupt snapshot is
+/// quarantined and the manifest falls back to the previous generation
+/// when that is verifiably safe; without it, scrub only reports.
+///
+/// The caller must hold the table's WAL quiesced (or know no WAL is
+/// live, e.g. before opening a session) so the live segment is not
+/// appended to mid-walk.
+pub fn scrub_table_dir(io: &dyn StorageIo, dir: &Path, repair: bool) -> Result<Vec<ScrubEntry>> {
+    let mut entries = Vec::new();
+
+    // Manifest first: everything else hangs off its id.
+    crate::failpoints::check(crate::failpoints::SCRUB_VERIFY)?;
+    let id = match checkpoint::read_manifest(io, dir) {
+        Ok(Some(id)) => {
+            entries.push(ScrubEntry::new(
+                "MANIFEST",
+                "ok",
+                format!("points at checkpoint {id}"),
+            ));
+            id
+        }
+        Ok(None) => {
+            return Err(EngineError::corrupt(format!(
+                "scrub: table directory {} has no manifest",
+                dir.display()
+            )))
+        }
+        Err(e) => {
+            // A corrupt manifest has no fallback (it IS the root of
+            // trust); report and stop — nothing else can be attributed
+            // to a generation.
+            idf_obs::global().scrub_corruptions.inc();
+            entries.push(ScrubEntry::new("MANIFEST", "unrecoverable", e.to_string()));
+            idf_obs::global().scrub_runs.inc();
+            return Ok(entries);
+        }
+    };
+
+    // The authoritative snapshot.
+    crate::failpoints::check(crate::failpoints::SCRUB_VERIFY)?;
+    let snap = checkpoint::snap_path(dir, id);
+    let mut effective_id = id;
+    match verify_snapshot(io, dir, id) {
+        Ok(rows) => entries.push(ScrubEntry::new(
+            file_name(&snap),
+            "ok",
+            format!("{rows} rows"),
+        )),
+        Err((detail, _)) => {
+            idf_obs::global().scrub_corruptions.inc();
+            let fell_back = if repair {
+                try_fallback(io, dir, id, &detail, &mut entries)?
+            } else {
+                None
+            };
+            if let Some(prev) = fell_back {
+                effective_id = prev;
+            } else if repair {
+                entries.push(ScrubEntry::new(
+                    file_name(&snap),
+                    "unrecoverable",
+                    format!("{detail}; no valid previous generation to fall back to"),
+                ));
+            } else {
+                entries.push(ScrubEntry::new(file_name(&snap), "corrupt", detail));
+            }
+        }
+    }
+
+    // WAL segments: everything at-or-after the effective id is live
+    // state, replayed ascending; older segments are covered litter
+    // awaiting GC. Id gaps are benign — a checkpoint attempt that fails
+    // after writing its snapshot burns the id without ever creating the
+    // matching segment (and a segment that ever accepted a commit has a
+    // durable directory entry, so acknowledged data cannot hide in a
+    // gap).
+    let seg_ids = checkpoint::list_segment_ids(io, dir)?;
+    for seg_id in seg_ids {
+        crate::failpoints::check(crate::failpoints::SCRUB_VERIFY)?;
+        let seg = checkpoint::wal_path(dir, seg_id);
+        if seg_id < effective_id {
+            entries.push(ScrubEntry::new(
+                file_name(&seg),
+                "stale",
+                "covered by the authoritative checkpoint; never replayed",
+            ));
+            continue;
+        }
+        entries.push(verify_segment(io, &seg)?);
+    }
+    idf_obs::global().scrub_runs.inc();
+    Ok(entries)
+}
+
+/// Full verification of snapshot `id`: magic, frame CRC, and every
+/// structural claim (the same validation recovery runs). Returns the row
+/// count on success, or `(detail-with-offsets, was_readable)` on
+/// failure.
+fn verify_snapshot(
+    io: &dyn StorageIo,
+    dir: &Path,
+    id: u64,
+) -> std::result::Result<usize, (String, bool)> {
+    let path = checkpoint::snap_path(dir, id);
+    let bytes = match io.read(&path) {
+        Ok(b) => b,
+        Err(e) => return Err((format!("unreadable: {e}"), false)),
+    };
+    if bytes.len() < 8 || &bytes[..8] != checkpoint::SNAP_MAGIC {
+        return Err(("bad magic at byte offset 0".to_string(), true));
+    }
+    match read_frame(&bytes, 8, crate::codec::MAX_SNAPSHOT_FRAME) {
+        FrameRead::Ok { next, .. } if next == bytes.len() => {}
+        _ => {
+            return Err((
+                format!(
+                    "frame CRC/length check failed over byte range 8..{}",
+                    bytes.len()
+                ),
+                true,
+            ))
+        }
+    }
+    // CRC passed — validate structure too (a CRC collision or a bug in
+    // the writer would land here).
+    match checkpoint::load_table(io, dir, id) {
+        Ok(table) => Ok(table.row_count()),
+        Err(e) => Err((e.to_string(), true)),
+    }
+}
+
+/// Attempt the quarantine-and-fall-back protocol for corrupt snapshot
+/// `id`. Returns `Ok(Some(prev))` when the manifest now points at the
+/// previous generation `prev`.
+fn try_fallback(
+    io: &dyn StorageIo,
+    dir: &Path,
+    id: u64,
+    detail: &str,
+    entries: &mut Vec<ScrubEntry>,
+) -> Result<Option<u64>> {
+    let snap = checkpoint::snap_path(dir, id);
+    // Viability first, mutation second: a previous generation must load
+    // and leave a complete segment chain behind it, otherwise the
+    // fallback would trade a corrupt snapshot for missing data. The
+    // candidates are segment ids below `id`, newest first — checkpoint
+    // ids burned by failed attempts have a snapshot but no segment and
+    // are skipped by construction; every segment between the chosen
+    // generation and `id` is in the candidate list itself, so the replay
+    // chain from `prev` is complete.
+    if !io.exists(&checkpoint::wal_path(dir, id)) {
+        return Ok(None);
+    }
+    let prev = match checkpoint::list_segment_ids(io, dir)?
+        .into_iter()
+        .filter(|&s| s < id)
+        .rev()
+        .find(|&s| verify_snapshot(io, dir, s).is_ok())
+    {
+        Some(p) => p,
+        None => return Ok(None),
+    };
+    // Flip the manifest first, quarantine second: every crash (or
+    // reported-failed-but-landed rename) window then leaves either the
+    // original broken-but-rescrubable state or a fully valid one. The
+    // reverse order could strand a manifest pointing at a snapshot that
+    // has already moved to quarantine, which a re-run cannot repair.
+    checkpoint::write_manifest(io, dir, prev)?;
+    let qpath = checkpoint::quarantine_path(dir, id);
+    io.rename(&snap, &qpath)
+        .map_err(|e| EngineError::durability(format!("quarantining {}: {e}", snap.display())))?;
+    io.sync_dir(dir)
+        .map_err(|e| EngineError::durability(format!("syncing dir {}: {e}", dir.display())))?;
+    entries.push(ScrubEntry::new(
+        file_name(&snap),
+        "quarantined",
+        format!("{detail}; moved to {}", file_name(&qpath)),
+    ));
+    entries.push(ScrubEntry::new(
+        "MANIFEST",
+        "fell-back",
+        format!("now points at checkpoint {prev}; segments at-or-after {prev} replay on recovery"),
+    ));
+    Ok(Some(prev))
+}
+
+/// Frame-walk one WAL segment verifying every CRC. Trailing bytes past
+/// the last valid frame are reported with their byte offset — a flipped
+/// bit mid-segment and a torn tail both land here; the offset tells them
+/// apart (mid-file vs end-of-file).
+fn verify_segment(io: &dyn StorageIo, path: &Path) -> Result<ScrubEntry> {
+    let bytes = io
+        .read(path)
+        .map_err(|e| EngineError::durability(format!("scrub: reading {}: {e}", path.display())))?;
+    let mut offset = 0usize;
+    let mut frames = 0u64;
+    while let FrameRead::Ok { next, .. } = read_frame(&bytes, offset, MAX_WAL_FRAME) {
+        offset = next;
+        frames += 1;
+    }
+    if offset == bytes.len() {
+        Ok(ScrubEntry::new(
+            file_name(path),
+            "ok",
+            format!("{frames} frames, {} bytes", bytes.len()),
+        ))
+    } else {
+        idf_obs::global().scrub_corruptions.inc();
+        Ok(ScrubEntry::new(
+            file_name(path),
+            "corrupt",
+            format!(
+                "frame CRC/length check failed at byte offset {offset} ({} of {} bytes valid, {frames} whole frames)",
+                offset,
+                bytes.len()
+            ),
+        ))
+    }
+}
+
+/// Scrub every table directory under `data_dir` — usable *without* an
+/// open session, which is how a store whose authoritative snapshot has
+/// rotted is repaired: `DurableSession::open` fails typed, this runs
+/// with `repair`, and the reopen recovers from the fallback generation.
+pub fn scrub_data_dir(
+    io: &dyn StorageIo,
+    data_dir: &Path,
+    repair: bool,
+) -> Result<Vec<ScrubReport>> {
+    let entries = io.read_dir(data_dir).map_err(|e| {
+        EngineError::durability(format!(
+            "scrub: reading data_dir {}: {e}",
+            data_dir.display()
+        ))
+    })?;
+    let mut names: Vec<String> = entries
+        .into_iter()
+        .filter(|e| e.is_dir && io.exists(&checkpoint::manifest_path(&data_dir.join(&e.name))))
+        .map(|e| e.name)
+        .collect();
+    names.sort();
+    let mut reports = Vec::with_capacity(names.len());
+    for name in names {
+        let entries = scrub_table_dir(io, &data_dir.join(&name), repair)?;
+        reports.push(ScrubReport {
+            table: name,
+            entries,
+        });
+    }
+    Ok(reports)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::OsIo;
+    use crate::TempDir;
+    use idf_core::config::IndexConfig;
+    use idf_core::table::IndexedTable;
+    use idf_engine::schema::{Field, Schema};
+    use idf_engine::types::{DataType, Value};
+    use std::sync::Arc;
+
+    const IO: OsIo = OsIo;
+
+    fn sample_table(rows: i64) -> IndexedTable {
+        let schema = Arc::new(Schema::new(vec![
+            Field::required("id", DataType::Int64),
+            Field::new("name", DataType::Utf8),
+        ]));
+        let config = IndexConfig {
+            num_partitions: 2,
+            ..IndexConfig::default()
+        };
+        let table = IndexedTable::new(schema, 0, config).unwrap();
+        for i in 0..rows {
+            table
+                .append_row(&[Value::Int64(i), Value::Utf8(format!("r{i}"))])
+                .unwrap();
+        }
+        table
+    }
+
+    fn write_generation(dir: &Path, id: u64, table: &IndexedTable) {
+        checkpoint::write_snapshot(&IO, dir, id, &table.snapshot(), table.config()).unwrap();
+        std::fs::write(checkpoint::wal_path(dir, id), b"").unwrap();
+        checkpoint::write_manifest(&IO, dir, id).unwrap();
+    }
+
+    #[test]
+    fn clean_directory_scrubs_ok() {
+        let dir = TempDir::new("scrub-clean");
+        let table = sample_table(50);
+        write_generation(dir.path(), 1, &table);
+        let entries = scrub_table_dir(&IO, dir.path(), false).unwrap();
+        assert!(entries.iter().all(|e| e.status == "ok"), "{entries:?}");
+        assert_eq!(entries.len(), 3, "manifest + snapshot + segment");
+    }
+
+    #[test]
+    fn flipped_snapshot_bit_is_reported_with_offsets_and_repair_falls_back() {
+        let dir = TempDir::new("scrub-flip");
+        let table = sample_table(40);
+        write_generation(dir.path(), 1, &table);
+        // Generation 2 covers more rows, then its snapshot rots.
+        table
+            .append_row(&[Value::Int64(40), Value::Utf8("late".into())])
+            .unwrap();
+        checkpoint::write_snapshot(&IO, dir.path(), 2, &table.snapshot(), table.config()).unwrap();
+        std::fs::write(checkpoint::wal_path(dir.path(), 2), b"").unwrap();
+        checkpoint::write_manifest(&IO, dir.path(), 2).unwrap();
+        let spath = checkpoint::snap_path(dir.path(), 2);
+        let mut bytes = std::fs::read(&spath).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x04;
+        std::fs::write(&spath, &bytes).unwrap();
+        // Report-only first.
+        let entries = scrub_table_dir(&IO, dir.path(), false).unwrap();
+        let finding = entries
+            .iter()
+            .find(|e| e.target == "ckpt-2.snap")
+            .expect("snapshot finding");
+        assert_eq!(finding.status, "corrupt");
+        assert!(finding.detail.contains("byte range"), "{finding:?}");
+        assert_eq!(
+            checkpoint::read_manifest(&IO, dir.path()).unwrap(),
+            Some(2),
+            "report-only scrub must not mutate"
+        );
+        // Repair quarantines and falls back to generation 1.
+        let entries = scrub_table_dir(&IO, dir.path(), true).unwrap();
+        assert!(
+            entries.iter().any(|e| e.status == "quarantined"),
+            "{entries:?}"
+        );
+        assert!(entries.iter().any(|e| e.status == "fell-back"));
+        assert_eq!(checkpoint::read_manifest(&IO, dir.path()).unwrap(), Some(1));
+        assert!(checkpoint::quarantine_path(dir.path(), 2).exists());
+        assert!(!spath.exists());
+        // The fallback generation is loadable and the chain is whole.
+        checkpoint::load_table(&IO, dir.path(), 1).unwrap();
+        let entries = scrub_table_dir(&IO, dir.path(), false).unwrap();
+        assert!(entries.iter().all(|e| e.status == "ok"), "{entries:?}");
+        // The quarantined id is never reallocated.
+        assert!(checkpoint::next_checkpoint_id(&IO, dir.path()).unwrap() > 2);
+    }
+
+    #[test]
+    fn repair_refuses_fallback_when_previous_generation_is_missing() {
+        let dir = TempDir::new("scrub-norecover");
+        let table = sample_table(10);
+        write_generation(dir.path(), 1, &table);
+        let spath = checkpoint::snap_path(dir.path(), 1);
+        let mut bytes = std::fs::read(&spath).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&spath, &bytes).unwrap();
+        let entries = scrub_table_dir(&IO, dir.path(), true).unwrap();
+        let finding = entries
+            .iter()
+            .find(|e| e.target == "ckpt-1.snap")
+            .expect("snapshot finding");
+        assert_eq!(finding.status, "unrecoverable", "{entries:?}");
+        // Nothing was quarantined or flipped.
+        assert!(spath.exists());
+        assert_eq!(checkpoint::read_manifest(&IO, dir.path()).unwrap(), Some(1));
+    }
+
+    #[test]
+    fn mid_segment_bit_flip_is_reported_with_its_offset() {
+        let dir = TempDir::new("scrub-walflip");
+        let table = sample_table(5);
+        write_generation(dir.path(), 1, &table);
+        // Three valid frames in the segment, then rot the middle one.
+        let seg = checkpoint::wal_path(dir.path(), 1);
+        let mut bytes = Vec::new();
+        let mut second_frame_at = 0;
+        for i in 0..3 {
+            if i == 1 {
+                second_frame_at = bytes.len();
+            }
+            let body = vec![i as u8; 20];
+            bytes.extend_from_slice(&crate::codec::frame(&body).unwrap());
+        }
+        let flip_at = second_frame_at + 12;
+        bytes[flip_at] ^= 0x01;
+        std::fs::write(&seg, &bytes).unwrap();
+        let entries = scrub_table_dir(&IO, dir.path(), false).unwrap();
+        let finding = entries
+            .iter()
+            .find(|e| e.target == "wal-1.log")
+            .expect("segment finding");
+        assert_eq!(finding.status, "corrupt");
+        assert!(
+            finding
+                .detail
+                .contains(&format!("byte offset {second_frame_at}")),
+            "{finding:?}"
+        );
+        assert!(finding.detail.contains("1 whole frames"), "{finding:?}");
+    }
+
+    #[test]
+    fn scrub_data_dir_walks_every_table() {
+        let dir = TempDir::new("scrub-walk");
+        for name in ["alpha", "beta"] {
+            let tdir = dir.path().join(name);
+            std::fs::create_dir_all(&tdir).unwrap();
+            write_generation(&tdir, 1, &sample_table(3));
+        }
+        // Litter that must be ignored.
+        std::fs::write(dir.path().join("stray-file"), b"x").unwrap();
+        std::fs::create_dir_all(dir.path().join("not-a-table")).unwrap();
+        let reports = scrub_data_dir(&IO, dir.path(), false).unwrap();
+        let names: Vec<&str> = reports.iter().map(|r| r.table.as_str()).collect();
+        assert_eq!(names, vec!["alpha", "beta"]);
+        assert!(reports.iter().all(|r| r.is_clean()));
+    }
+}

@@ -1,0 +1,189 @@
+//! Graceful degradation end-to-end: an exhausted or wedged disk turns a
+//! durable table **read-only** — appends fail fast with the typed
+//! [`EngineError::ReadOnly`] carrying the original cause, reads keep
+//! serving from memory, and `resume_writes` re-arms the log once the
+//! disk recovers. Each scenario runs on [`SimIo`] so the fault and the
+//! recovery are deterministic.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use idf_core::config::IndexConfig;
+use idf_core::sink::SinkStatus;
+use idf_durable::{DurableSession, FaultProfile, SimIo, StorageIo};
+use idf_engine::config::{DurabilityLevel, EngineConfig};
+use idf_engine::error::EngineError;
+use idf_engine::schema::{Field, Schema, SchemaRef};
+use idf_engine::types::{DataType, Value};
+
+fn schema() -> SchemaRef {
+    Arc::new(Schema::new(vec![
+        Field::required("id", DataType::Int64),
+        Field::new("name", DataType::Utf8),
+    ]))
+}
+
+fn cfg() -> EngineConfig {
+    EngineConfig {
+        data_dir: Some(PathBuf::from("/data")),
+        durability: DurabilityLevel::Sync,
+        ..EngineConfig::default()
+    }
+}
+
+fn index() -> IndexConfig {
+    IndexConfig {
+        num_partitions: 4,
+        ..IndexConfig::default()
+    }
+}
+
+fn open(io: &Arc<SimIo>) -> DurableSession {
+    DurableSession::open_with_io(cfg(), Arc::clone(io) as Arc<dyn StorageIo>).unwrap()
+}
+
+fn append(sess: &DurableSession, key: i64) -> idf_engine::error::Result<()> {
+    sess.dataframe("t")
+        .unwrap()
+        .append_row(&[Value::Int64(key), Value::Utf8(format!("row-{key}"))])
+        .map(|_| ())
+}
+
+/// ENOSPC storm: the disk fills, appends degrade to typed read-only,
+/// reads keep serving, a resume attempt under the full disk fails and
+/// stays degraded, and freeing space plus `resume_writes` re-arms.
+/// A crash afterwards loses nothing that was acknowledged.
+#[test]
+fn enospc_storm_degrades_to_read_only_and_resume_rearms_after_freeing() {
+    let io = SimIo::new(7, FaultProfile::none());
+    let sess = open(&io);
+    sess.create_table("t", schema(), 0, index()).unwrap();
+    for key in 0..10 {
+        append(&sess, key).unwrap();
+    }
+
+    // Fill the disk: the very next WAL write hits ENOSPC.
+    io.set_capacity(Some(io.used_bytes()));
+    let err = append(&sess, 10).unwrap_err();
+    assert!(
+        matches!(err, EngineError::ReadOnly(_)),
+        "ENOSPC append must degrade to typed ReadOnly, got {err:?}"
+    );
+    assert!(err.to_string().contains("ENOSPC"), "{err}");
+
+    // Degraded is sticky and observable; reads are untouched.
+    match sess.write_status("t").unwrap() {
+        SinkStatus::ReadOnly(cause) => assert!(cause.contains("ENOSPC"), "{cause}"),
+        SinkStatus::Writable => panic!("table must report read-only"),
+    }
+    let df = sess.dataframe("t").unwrap();
+    assert_eq!(df.table().row_count(), 10);
+    assert_eq!(df.get_rows(3i64).unwrap().collect().unwrap().len(), 1);
+
+    // A checkpoint refuses (it cannot make the log healthy), and a
+    // resume under the still-full disk fails without un-degrading.
+    assert!(matches!(
+        sess.checkpoint(Some("t")).unwrap_err(),
+        EngineError::ReadOnly(_)
+    ));
+    assert!(sess.resume_writes(Some("t")).is_err());
+    assert!(matches!(
+        sess.write_status("t").unwrap(),
+        SinkStatus::ReadOnly(_)
+    ));
+
+    // Free space: resume re-arms (fresh checkpoint + clean segment) and
+    // appends are accepted again.
+    io.set_capacity(None);
+    sess.resume_writes(Some("t")).unwrap();
+    assert_eq!(sess.write_status("t").unwrap(), SinkStatus::Writable);
+    for key in 10..15 {
+        append(&sess, key).unwrap();
+    }
+
+    // Crash: every acknowledged row survives, the refused one never
+    // appears.
+    drop(sess);
+    io.crash();
+    let sess = open(&io);
+    let df = sess.dataframe("t").unwrap();
+    assert_eq!(df.table().row_count(), 15);
+    for key in 0..15i64 {
+        assert_eq!(df.get_rows(key).unwrap().collect().unwrap().len(), 1);
+    }
+    assert_eq!(df.get_rows(15i64).unwrap().collect().unwrap().len(), 0);
+}
+
+/// A sticky fsync failure (the kernel remembers a lost write) wedges the
+/// log until the machine reboots: resume fails while the fault holds,
+/// and the post-crash reopen recovers exactly the acknowledged prefix.
+#[test]
+fn sticky_fsync_wedges_until_reboot() {
+    let io = SimIo::new(11, FaultProfile::none());
+    let sess = open(&io);
+    sess.create_table("t", schema(), 0, index()).unwrap();
+    for key in 0..5 {
+        append(&sess, key).unwrap();
+    }
+
+    io.set_sticky_fsync(true);
+    let err = append(&sess, 5).unwrap_err();
+    assert!(matches!(err, EngineError::ReadOnly(_)), "{err:?}");
+    // Reads keep serving the in-memory table.
+    assert_eq!(sess.dataframe("t").unwrap().table().row_count(), 5);
+    // Resume cannot help: the fresh checkpoint's own fsync fails too.
+    assert!(sess.resume_writes(Some("t")).is_err());
+    assert!(matches!(
+        sess.write_status("t").unwrap(),
+        SinkStatus::ReadOnly(_)
+    ));
+
+    // "Reboot": a crash clears the kernel-held sticky error, and the
+    // acknowledged prefix — nothing more — comes back.
+    drop(sess);
+    io.crash();
+    let sess = open(&io);
+    let df = sess.dataframe("t").unwrap();
+    assert_eq!(df.table().row_count(), 5);
+    assert_eq!(df.get_rows(5i64).unwrap().collect().unwrap().len(), 0);
+    // And the disk is healthy again.
+    append(&sess, 5).unwrap();
+    assert_eq!(df.table().row_count(), 6);
+}
+
+/// Unsynced-data crash: a frame that reached the file but not the
+/// platter is dropped by the crash, and recovery serves exactly the
+/// acknowledged prefix — the refused append's key is absent even though
+/// its bytes were written.
+#[test]
+fn unsynced_frame_dies_in_the_crash_acked_rows_survive() {
+    let io = SimIo::new(13, FaultProfile::none());
+    let sess = open(&io);
+    sess.create_table("t", schema(), 0, index()).unwrap();
+    for key in 0..8 {
+        append(&sess, key).unwrap();
+    }
+
+    // The append's write lands in the file image, but its fsync fails:
+    // the commit is refused and the frame stays unsynced.
+    io.set_sticky_fsync(true);
+    assert!(append(&sess, 8).is_err());
+    drop(sess);
+    io.crash();
+
+    let sess = open(&io);
+    let df = sess.dataframe("t").unwrap();
+    assert_eq!(
+        df.table().row_count(),
+        8,
+        "exactly the acked prefix must survive"
+    );
+    for key in 0..8i64 {
+        assert_eq!(df.get_rows(key).unwrap().collect().unwrap().len(), 1);
+    }
+    assert_eq!(
+        df.get_rows(8i64).unwrap().collect().unwrap().len(),
+        0,
+        "the refused append must not resurrect"
+    );
+}

@@ -37,6 +37,11 @@ pub enum EngineError {
     /// data-dir validation) failed. `std::io::Error` is neither `Clone` nor
     /// `Eq`, so the message is stringified at the boundary.
     Durability(String),
+    /// The table's durability sink is degraded to read-only mode (sticky
+    /// fsync failure, ENOSPC): reads and snapshots keep serving, appends
+    /// fail fast with this error until an explicit `resume_writes`
+    /// re-arms the WAL. Carries the degradation cause.
+    ReadOnly(String),
     /// On-disk state (manifest, checkpoint, WAL segment) failed validation:
     /// bad magic, version, checksum, or a pointer that does not resolve.
     /// Recovery refuses corrupt input with this error instead of panicking.
@@ -68,6 +73,7 @@ impl fmt::Display for EngineError {
             EngineError::DeadlineExceeded => write!(f, "query deadline exceeded"),
             EngineError::ResourceExhausted(m) => write!(f, "resource exhausted: {m}"),
             EngineError::Durability(m) => write!(f, "durability error: {m}"),
+            EngineError::ReadOnly(m) => write!(f, "table is read-only (degraded): {m}"),
             EngineError::Corrupt(m) => write!(f, "corrupt on-disk state: {m}"),
             EngineError::RowTooLarge { size, max } => write!(
                 f,
@@ -118,6 +124,11 @@ impl EngineError {
     /// Build a corrupt-on-disk-state error.
     pub fn corrupt(msg: impl Into<String>) -> Self {
         EngineError::Corrupt(msg.into())
+    }
+
+    /// Build a read-only-degraded error carrying the degradation cause.
+    pub fn read_only(cause: impl Into<String>) -> Self {
+        EngineError::ReadOnly(cause.into())
     }
 
     /// True for the cooperative-stop errors ([`EngineError::Cancelled`] and

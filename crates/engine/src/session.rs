@@ -25,6 +25,42 @@ pub trait DurabilityHook: Send + Sync {
     /// Checkpoint `table` (or every durable table when `None`); returns the
     /// names of the tables checkpointed.
     fn checkpoint(&self, table: Option<&str>) -> Result<Vec<String>>;
+
+    /// Verify the on-disk state of `table` (or every durable table when
+    /// `None`): re-walk checkpoint snapshots and WAL segments checking
+    /// CRCs, quarantine a corrupt snapshot and fall back to the previous
+    /// valid generation. Returns one row per verified target.
+    fn scrub(&self, table: Option<&str>) -> Result<Vec<ScrubRow>> {
+        let _ = table;
+        Err(crate::error::EngineError::Unsupported(
+            "this durability layer does not support SCRUB".to_string(),
+        ))
+    }
+
+    /// Re-arm the write path of `table` (or every durable table when
+    /// `None`) after a read-only degradation: take a fresh checkpoint and
+    /// rotate to a new WAL segment so appends are accepted again. Returns
+    /// the names of the tables resumed.
+    fn resume_writes(&self, table: Option<&str>) -> Result<Vec<String>> {
+        let _ = table;
+        Err(crate::error::EngineError::Unsupported(
+            "this durability layer does not support resume_writes".to_string(),
+        ))
+    }
+}
+
+/// One scrub finding/verification row, as returned by
+/// [`DurabilityHook::scrub`] and surfaced by SQL `SCRUB [table]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScrubRow {
+    /// The durable table the target belongs to.
+    pub table: String,
+    /// The verified target (manifest, snapshot or segment file name).
+    pub target: String,
+    /// Outcome: `ok`, `corrupt`, `quarantined`, `fell-back`, `stale`, …
+    pub status: String,
+    /// Human-readable detail — for corruption, includes byte offsets.
+    pub detail: String,
 }
 
 /// Extension point a storage layer installs so SQL `CREATE TABLE` (and
@@ -268,6 +304,34 @@ impl Session {
             Some(hook) => hook.checkpoint(table),
             None => Err(crate::error::EngineError::Unsupported(
                 "CHECKPOINT requires a durable session (no data_dir is configured)".to_string(),
+            )),
+        }
+    }
+
+    /// Scrub `table` (or every durable table when `None`) through the
+    /// installed [`DurabilityHook`]; returns one [`ScrubRow`] per
+    /// verified target. Errors with `Unsupported` when the session has no
+    /// durability layer attached.
+    pub fn scrub(&self, table: Option<&str>) -> Result<Vec<ScrubRow>> {
+        let hook = self.state.durability.read().clone();
+        match hook {
+            Some(hook) => hook.scrub(table),
+            None => Err(crate::error::EngineError::Unsupported(
+                "SCRUB requires a durable session (no data_dir is configured)".to_string(),
+            )),
+        }
+    }
+
+    /// Re-arm writes on `table` (or every durable table when `None`)
+    /// through the installed [`DurabilityHook`] after a read-only
+    /// degradation; returns the names of the tables resumed. Errors with
+    /// `Unsupported` when the session has no durability layer attached.
+    pub fn resume_writes(&self, table: Option<&str>) -> Result<Vec<String>> {
+        let hook = self.state.durability.read().clone();
+        match hook {
+            Some(hook) => hook.resume_writes(table),
+            None => Err(crate::error::EngineError::Unsupported(
+                "resume_writes requires a durable session (no data_dir is configured)".to_string(),
             )),
         }
     }

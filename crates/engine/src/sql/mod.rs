@@ -55,6 +55,27 @@ pub fn plan_sql(session: &Session, query: &str) -> Result<DataFrame> {
             let rows: Vec<Vec<Value>> = tables.into_iter().map(|t| vec![Value::Utf8(t)]).collect();
             Ok(session.create_dataframe(schema, rows))
         }
+        Statement::Scrub { table } => {
+            let findings = session.scrub(table.as_deref())?;
+            let schema = Arc::new(Schema::new(vec![
+                Field::new("table", DataType::Utf8),
+                Field::new("target", DataType::Utf8),
+                Field::new("status", DataType::Utf8),
+                Field::new("detail", DataType::Utf8),
+            ]));
+            let rows: Vec<Vec<Value>> = findings
+                .into_iter()
+                .map(|r| {
+                    vec![
+                        Value::Utf8(r.table),
+                        Value::Utf8(r.target),
+                        Value::Utf8(r.status),
+                        Value::Utf8(r.detail),
+                    ]
+                })
+                .collect();
+            Ok(session.create_dataframe(schema, rows))
+        }
         Statement::CreateTable { name, columns } => {
             let fields = columns
                 .iter()

@@ -192,6 +192,13 @@ pub enum Statement {
         /// The table to checkpoint, or `None` for every durable table.
         table: Option<String>,
     },
+    /// `SCRUB [table]`: verify the on-disk checkpoint and WAL state of a
+    /// durable table (or all durable tables), quarantining corrupt
+    /// snapshots; returns one row per verified target.
+    Scrub {
+        /// The table to scrub, or `None` for every durable table.
+        table: Option<String>,
+    },
     /// `CREATE TABLE name (col TYPE, ...)`: atomically register a new
     /// empty appendable table. Racing creates of the same name have
     /// exactly one winner; losers get `TableAlreadyExists`.
@@ -246,6 +253,12 @@ pub fn parse_statement(input: &str) -> Result<Statement> {
             _ => None,
         };
         Statement::Checkpoint { table }
+    } else if p.eat_kw("SCRUB") {
+        let table = match p.peek() {
+            Token::Ident(_) => Some(p.ident()?),
+            _ => None,
+        };
+        Statement::Scrub { table }
     } else if p.at_kw("CREATE") {
         p.next();
         p.expect_kw("TABLE")?;
@@ -879,6 +892,24 @@ mod tests {
         // plain table name in SELECT.
         assert!(parse_statement("CHECKPOINT a b").is_err());
         assert!(parse_statement("SELECT * FROM checkpoint").is_ok());
+    }
+
+    #[test]
+    fn parses_scrub() {
+        assert_eq!(
+            parse_statement("SCRUB").unwrap(),
+            Statement::Scrub { table: None }
+        );
+        assert_eq!(
+            parse_statement("scrub person").unwrap(),
+            Statement::Scrub {
+                table: Some("person".to_string())
+            }
+        );
+        // Trailing tokens are rejected, and `scrub` stays usable as a
+        // plain table name in SELECT.
+        assert!(parse_statement("SCRUB a b").is_err());
+        assert!(parse_statement("SELECT * FROM scrub").is_ok());
     }
 
     #[test]

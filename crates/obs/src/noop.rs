@@ -210,6 +210,16 @@ pub struct MetricsRegistry {
     /// Stub.
     pub recovery_replayed_records: Counter,
     /// Stub.
+    pub wal_degraded_transitions: Counter,
+    /// Stub.
+    pub wal_readonly_rejections: Counter,
+    /// Stub.
+    pub wal_resumes: Counter,
+    /// Stub.
+    pub scrub_runs: Counter,
+    /// Stub.
+    pub scrub_corruptions: Counter,
+    /// Stub.
     pub server_connections_total: Counter,
     /// Stub.
     pub server_connections_open: Gauge,
@@ -259,6 +269,11 @@ impl MetricsRegistry {
             checkpoint_duration_ns: Histogram,
             recovery_duration_ns: Histogram,
             recovery_replayed_records: Counter,
+            wal_degraded_transitions: Counter,
+            wal_readonly_rejections: Counter,
+            wal_resumes: Counter,
+            scrub_runs: Counter,
+            scrub_corruptions: Counter,
             server_connections_total: Counter,
             server_connections_open: Gauge,
             server_in_flight: Gauge,

@@ -162,6 +162,16 @@ pub struct MetricsRegistry {
     pub recovery_duration_ns: Histogram,
     /// WAL records replayed during recovery.
     pub recovery_replayed_records: Counter,
+    /// WAL healthy→degraded (read-only) transitions.
+    pub wal_degraded_transitions: Counter,
+    /// Appends rejected because the WAL was degraded read-only.
+    pub wal_readonly_rejections: Counter,
+    /// Successful `resume_writes` re-arms of a degraded WAL.
+    pub wal_resumes: Counter,
+    /// Scrub passes completed (per table target).
+    pub scrub_runs: Counter,
+    /// Corruption findings reported by scrub.
+    pub scrub_corruptions: Counter,
 
     // Service layer (idf-serve).
     /// Client connections accepted since start.
@@ -221,6 +231,11 @@ impl MetricsRegistry {
         self.checkpoint_duration_ns.reset();
         self.recovery_duration_ns.reset();
         self.recovery_replayed_records.reset();
+        self.wal_degraded_transitions.reset();
+        self.wal_readonly_rejections.reset();
+        self.wal_resumes.reset();
+        self.scrub_runs.reset();
+        self.scrub_corruptions.reset();
         self.server_connections_total.reset();
         self.server_connections_open.reset();
         self.server_in_flight.reset();
@@ -366,6 +381,36 @@ impl MetricsRegistry {
             "idf_recovery_replayed_records_total",
             "WAL records replayed during recovery.",
             &self.recovery_replayed_records,
+        );
+        write_counter(
+            &mut out,
+            "idf_wal_degraded_transitions_total",
+            "WAL healthy-to-degraded (read-only) transitions.",
+            &self.wal_degraded_transitions,
+        );
+        write_counter(
+            &mut out,
+            "idf_wal_readonly_rejections_total",
+            "Appends rejected because the WAL was degraded read-only.",
+            &self.wal_readonly_rejections,
+        );
+        write_counter(
+            &mut out,
+            "idf_wal_resumes_total",
+            "Successful resume_writes re-arms of a degraded WAL.",
+            &self.wal_resumes,
+        );
+        write_counter(
+            &mut out,
+            "idf_scrub_runs_total",
+            "Scrub passes completed (per table target).",
+            &self.scrub_runs,
+        );
+        write_counter(
+            &mut out,
+            "idf_scrub_corruptions_total",
+            "Corruption findings reported by scrub.",
+            &self.scrub_corruptions,
         );
         write_counter(
             &mut out,

@@ -84,6 +84,14 @@ pub enum ErrorCode {
     TableAlreadyExists = 9,
     /// Any other engine error (parse, bind, type, execution).
     QueryFailed = 10,
+    /// The target table is degraded to read-only (its WAL was poisoned
+    /// by an I/O fault); reads still serve, writes need `resume_writes`.
+    ReadOnly = 11,
+    /// A durability operation (WAL append, checkpoint, recovery) failed.
+    Durability = 12,
+    /// On-disk state failed validation (CRC mismatch, broken segment
+    /// chain, bad manifest).
+    Corrupt = 13,
 }
 
 impl ErrorCode {
@@ -100,6 +108,9 @@ impl ErrorCode {
             8 => ErrorCode::ResourceExhausted,
             9 => ErrorCode::TableAlreadyExists,
             10 => ErrorCode::QueryFailed,
+            11 => ErrorCode::ReadOnly,
+            12 => ErrorCode::Durability,
+            13 => ErrorCode::Corrupt,
             _ => return None,
         })
     }
@@ -111,6 +122,9 @@ impl ErrorCode {
             EngineError::DeadlineExceeded => ErrorCode::DeadlineExceeded,
             EngineError::ResourceExhausted(_) => ErrorCode::ResourceExhausted,
             EngineError::TableAlreadyExists(_) => ErrorCode::TableAlreadyExists,
+            EngineError::ReadOnly(_) => ErrorCode::ReadOnly,
+            EngineError::Durability(_) => ErrorCode::Durability,
+            EngineError::Corrupt(_) => ErrorCode::Corrupt,
             _ => ErrorCode::QueryFailed,
         }
     }
@@ -129,6 +143,9 @@ impl std::fmt::Display for ErrorCode {
             ErrorCode::ResourceExhausted => "resource exhausted",
             ErrorCode::TableAlreadyExists => "table already exists",
             ErrorCode::QueryFailed => "query failed",
+            ErrorCode::ReadOnly => "table is read-only (degraded)",
+            ErrorCode::Durability => "durability failure",
+            ErrorCode::Corrupt => "on-disk state corrupt",
         };
         f.write_str(name)
     }
@@ -512,11 +529,23 @@ mod tests {
             ErrorCode::for_engine_error(&EngineError::Sql("x".into())),
             ErrorCode::QueryFailed
         );
-        for raw in 1..=10u16 {
+        assert_eq!(
+            ErrorCode::for_engine_error(&EngineError::read_only("fsync died")),
+            ErrorCode::ReadOnly
+        );
+        assert_eq!(
+            ErrorCode::for_engine_error(&EngineError::durability("wal append")),
+            ErrorCode::Durability
+        );
+        assert_eq!(
+            ErrorCode::for_engine_error(&EngineError::corrupt("bad crc")),
+            ErrorCode::Corrupt
+        );
+        for raw in 1..=13u16 {
             let code = ErrorCode::from_u16(raw).unwrap();
             assert_eq!(code as u16, raw);
         }
         assert!(ErrorCode::from_u16(0).is_none());
-        assert!(ErrorCode::from_u16(11).is_none());
+        assert!(ErrorCode::from_u16(14).is_none());
     }
 }

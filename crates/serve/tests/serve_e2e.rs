@@ -172,3 +172,100 @@ fn server_metrics_reach_the_prometheus_exposition() {
     let after = session.metrics_text();
     assert!(after.contains("idf_server_drain_ns"));
 }
+
+/// Satellite: a durable table degraded to read-only must surface over the
+/// wire as a single typed `ReadOnly` error frame — never a partial
+/// Schema/Rows prefix — while reads on the same table keep serving.
+#[cfg(feature = "failpoints")]
+#[test]
+fn degraded_durable_table_returns_one_typed_readonly_frame() {
+    use idf_durable::{failpoints, DurableSession, TempDir};
+    use idf_engine::config::{DurabilityLevel, EngineConfig};
+    use idf_serve::wire::{self, ErrorCode, Response};
+
+    let dir = TempDir::new("serve-degraded");
+    let dsess = DurableSession::open(EngineConfig {
+        data_dir: Some(dir.path().to_path_buf()),
+        durability: DurabilityLevel::Sync,
+        ..EngineConfig::default()
+    })
+    .unwrap();
+    let schema = std::sync::Arc::new(idf_engine::schema::Schema::new(vec![
+        idf_engine::schema::Field::required("id", DataType::Int64),
+        idf_engine::schema::Field::new("name", DataType::Utf8),
+    ]));
+    dsess
+        .create_table(
+            "people",
+            schema,
+            0,
+            idf_core::config::IndexConfig::default(),
+        )
+        .unwrap();
+    let server = Server::bind(
+        dsess.session().clone(),
+        "127.0.0.1:0",
+        ServeConfig::default(),
+    )
+    .unwrap();
+    let mut client = Client::connect(server.local_addr(), "acme").unwrap();
+    client
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    client
+        .query("INSERT INTO people VALUES (1, 'ada')")
+        .unwrap();
+
+    // Poison the WAL with one injected fsync failure (the server shares
+    // this process, so the failpoint hits its write path).
+    {
+        let _guard = idf_fail::FailGuard::new(
+            failpoints::WAL_FSYNC,
+            idf_fail::FailConfig::error("injected disk fault").times(1),
+        );
+        let err = client
+            .query("INSERT INTO people VALUES (2, 'bob')")
+            .unwrap_err();
+        match err {
+            idf_serve::ClientError::Server(frame) => {
+                assert_eq!(frame.code, ErrorCode::ReadOnly, "{frame}");
+                assert!(frame.message.contains("read-only"), "{frame}");
+            }
+            other => panic!("expected a typed server error, got {other:?}"),
+        }
+    }
+
+    // Raw-frame check: the response stream for a degraded write is the
+    // error frame FIRST — no Schema or Rows frame precedes it.
+    let body = wire::encode_query("acme", "INSERT INTO people VALUES (3, 'eve')").unwrap();
+    client
+        .send_raw(&idf_durable::codec::frame(&body).unwrap())
+        .unwrap();
+    let first = client
+        .read_raw()
+        .unwrap()
+        .expect("server closed instead of answering");
+    match wire::decode_response(&first).unwrap() {
+        Response::Error(frame) => {
+            assert_eq!(frame.code, ErrorCode::ReadOnly, "{frame}");
+        }
+        other => panic!("a partial frame preceded the error: {other:?}"),
+    }
+
+    // Reads on the degraded table still serve, with full results.
+    let reply = client.query("SELECT id, name FROM people").unwrap();
+    assert_eq!(
+        reply.rows,
+        vec![vec![Value::Int64(1), Value::Utf8("ada".into())]]
+    );
+
+    // resume_writes re-arms the table; the wire accepts appends again.
+    dsess.resume_writes(Some("people")).unwrap();
+    client
+        .query("INSERT INTO people VALUES (4, 'grace')")
+        .unwrap();
+    let reply = client.query("SELECT COUNT(*) FROM people").unwrap();
+    assert_eq!(reply.rows, vec![vec![Value::Int64(2)]]);
+    let report = server.shutdown();
+    assert_eq!(report.cancelled, 0);
+}
