@@ -11,13 +11,16 @@
 //! harness recovery [--scale S]               BENCH-recovery durability costs (writes BENCH_recovery.json)
 //! harness serve   [--scale S] [--clients N] [--secs S]
 //!                                            BENCH-serve wire-protocol load (writes BENCH_serve.json)
+//! harness views   [--scale S]                BENCH-views materialized views on the update stream (writes BENCH_views.json)
 //! harness all     [--scale S] [--runs N]     everything above
 //! ```
 //!
 //! Use `--release` for meaningful numbers.
 
 use idf_bench::workload::Workload;
-use idf_bench::{fig2, fig3, lookup, memory, recovery, render_comparisons, serve_bench, speedup};
+use idf_bench::{
+    fig2, fig3, lookup, memory, recovery, render_comparisons, serve_bench, speedup, views_bench,
+};
 
 struct Args {
     command: String,
@@ -77,7 +80,7 @@ fn parse_args() -> Args {
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: harness [fig2|fig3|complex|speedup|memory|lookup|recovery|serve|all] \
+        "usage: harness [fig2|fig3|complex|speedup|memory|lookup|recovery|serve|views|all] \
          [--scale S] [--runs N] [--clients N] [--secs S] [--json]"
     );
     std::process::exit(2);
@@ -223,6 +226,24 @@ fn main() {
                     println!("{}", serve_bench::render(&report));
                 }
             }
+            "views" => {
+                let cfg = views_bench::ViewsBenchConfig::for_scale(args.scale);
+                eprintln!(
+                    "# BENCH-views: SNB scale {}, {} stream events...",
+                    cfg.snb_scale, cfg.events
+                );
+                let report = views_bench::run(&cfg)?;
+                let json = idf_bench::json::to_string_pretty(&report);
+                std::fs::write("BENCH_views.json", format!("{json}\n")).map_err(|e| {
+                    idf_engine::error::EngineError::exec(format!("writing BENCH_views.json: {e}"))
+                })?;
+                eprintln!("# wrote BENCH_views.json");
+                if args.json {
+                    println!("{json}");
+                } else {
+                    println!("{}", views_bench::render(&report));
+                }
+            }
             "memory" => {
                 let rows = memory::run(args.scale)?;
                 if args.json {
@@ -237,7 +258,7 @@ fn main() {
     };
     let commands: Vec<String> = match args.command.as_str() {
         "all" => [
-            "fig2", "fig3", "complex", "speedup", "memory", "lookup", "recovery", "serve",
+            "fig2", "fig3", "complex", "speedup", "memory", "lookup", "recovery", "serve", "views",
         ]
         .into_iter()
         .map(String::from)

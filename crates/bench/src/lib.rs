@@ -12,6 +12,9 @@
 //!   level, group-commit latency, checkpoint-restore vs full-WAL-replay.
 //! * [`serve_bench`] — BENCH-serve: closed-loop wire-protocol load
 //!   (p50/p99/p999 latency and saturation throughput vs client count).
+//! * [`views_bench`] — BENCH-views: materialized views maintained live
+//!   from the SNB update stream (view reads vs cold re-execution,
+//!   maintenance lag, refresh cost).
 //! * [`workload`] — shared setup: datasets, dual-mode sessions, timing.
 //!
 //! The `harness` binary prints the same rows/series the paper plots;
@@ -29,6 +32,7 @@ pub mod meta;
 pub mod recovery;
 pub mod serve_bench;
 pub mod speedup;
+pub mod views_bench;
 pub mod workload;
 
 use std::time::Instant;

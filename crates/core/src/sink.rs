@@ -60,3 +60,52 @@ pub trait CommitGuard: Send {}
 pub struct NoopCommitGuard;
 
 impl CommitGuard for NoopCommitGuard {}
+
+/// Fan a commit out to several sinks in order (WAL first, then taps such
+/// as the materialized-view delta capture).
+///
+/// Ordering matters for failure atomicity: `begin_commit` consults the
+/// sinks front-to-back and aborts on the first error, so a *fallible*
+/// sink (the WAL) must come before infallible observers — if the WAL
+/// rejects the commit, no tap ever sees it, and a tap that has no failure
+/// modes of its own can never strand a WAL record. The composite guard
+/// holds every inner guard and releases them together when the rows are
+/// published.
+pub struct FanoutSink {
+    sinks: Vec<std::sync::Arc<dyn AppendSink>>,
+}
+
+impl FanoutSink {
+    /// Compose `sinks`; commits visit them front-to-back.
+    pub fn new(sinks: Vec<std::sync::Arc<dyn AppendSink>>) -> Self {
+        FanoutSink { sinks }
+    }
+}
+
+impl AppendSink for FanoutSink {
+    fn begin_commit(&self, rows: &[&[u8]]) -> Result<Box<dyn CommitGuard>> {
+        let mut guards = Vec::with_capacity(self.sinks.len());
+        for sink in &self.sinks {
+            guards.push(sink.begin_commit(rows)?);
+        }
+        Ok(Box::new(FanoutCommitGuard { guards }))
+    }
+
+    fn status(&self) -> SinkStatus {
+        for sink in &self.sinks {
+            if let SinkStatus::ReadOnly(cause) = sink.status() {
+                return SinkStatus::ReadOnly(cause);
+            }
+        }
+        SinkStatus::Writable
+    }
+}
+
+/// Composite guard: dropping it drops every inner guard (front-to-back),
+/// signalling all fanned-out sinks that the rows are published.
+struct FanoutCommitGuard {
+    #[allow(dead_code)] // held only for its Drop
+    guards: Vec<Box<dyn CommitGuard>>,
+}
+
+impl CommitGuard for FanoutCommitGuard {}

@@ -33,6 +33,31 @@ pub struct IndexedTable {
     /// Durability hook; appends log through it when present (see
     /// [`crate::sink`] for the ordering contract).
     sink: RwLock<Option<Arc<dyn AppendSink>>>,
+    /// Appends currently between the commit point and publish completion
+    /// (see [`IndexedTable::commit_window`]).
+    commit_window: std::sync::atomic::AtomicUsize,
+}
+
+/// RAII scope for one append's commit window: entered at the commit
+/// point (just before the sink is consulted), left once the rows are
+/// published to memory — on every path, including commit-point aborts.
+struct CommitWindowScope<'a>(&'a IndexedTable);
+
+impl<'a> CommitWindowScope<'a> {
+    fn enter(table: &'a IndexedTable) -> Self {
+        table
+            .commit_window
+            .fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        CommitWindowScope(table)
+    }
+}
+
+impl Drop for CommitWindowScope<'_> {
+    fn drop(&mut self) {
+        self.0
+            .commit_window
+            .fetch_sub(1, std::sync::atomic::Ordering::SeqCst);
+    }
 }
 
 impl IndexedTable {
@@ -60,6 +85,7 @@ impl IndexedTable {
             config,
             partitions,
             sink: RwLock::new(None),
+            commit_window: std::sync::atomic::AtomicUsize::new(0),
         })
     }
 
@@ -93,6 +119,7 @@ impl IndexedTable {
             config,
             partitions,
             sink: RwLock::new(None),
+            commit_window: std::sync::atomic::AtomicUsize::new(0),
         })
     }
 
@@ -101,6 +128,21 @@ impl IndexedTable {
     /// appends are not re-logged.
     pub fn set_append_sink(&self, sink: Arc<dyn AppendSink>) {
         *self.sink.write() = Some(sink);
+    }
+
+    /// Add `sink` *alongside* any already-installed sink instead of
+    /// replacing it, composing through [`crate::sink::FanoutSink`]. The
+    /// existing sink (the WAL, when the table is durable) keeps first
+    /// position so its commit decision still gates the added tap — see
+    /// the ordering contract on [`FanoutSink`](crate::sink::FanoutSink).
+    /// The views subsystem uses this to tap committed chunks for
+    /// incremental maintenance without disturbing durability.
+    pub fn add_append_sink(&self, sink: Arc<dyn AppendSink>) {
+        let mut slot = self.sink.write();
+        *slot = Some(match slot.take() {
+            None => sink,
+            Some(existing) => Arc::new(crate::sink::FanoutSink::new(vec![existing, sink])),
+        });
     }
 
     /// Whether appends are currently accepted. A table whose sink has
@@ -181,6 +223,7 @@ impl IndexedTable {
             )));
         }
         let p = self.partition_of(&values[self.key_col]);
+        let _window = CommitWindowScope::enter(self);
         let sink = self.sink.read().clone();
         match sink {
             // No durability attached: the original zero-extra-work path.
@@ -193,6 +236,17 @@ impl IndexedTable {
                 self.partitions[p].append_encoded(&values[self.key_col], &payload)
             }
         }
+    }
+
+    /// Number of appends currently inside the commit window: past phase-1
+    /// validation (about to consult the sink) but not yet fully published
+    /// to memory. The views subsystem polls this while its delta-capture
+    /// gate is closed to wait out appends that raced a tap install — once
+    /// it reads the number of appends parked at the gate itself, every
+    /// earlier commit has published and a base-table read is a consistent
+    /// seed point.
+    pub fn commit_window(&self) -> usize {
+        self.commit_window.load(std::sync::atomic::Ordering::SeqCst)
     }
 
     /// Append every row of `chunk`, routing by key hash. Rows for distinct
@@ -262,6 +316,7 @@ impl IndexedTable {
             results.into_iter().collect::<Result<_>>()?
         };
         // Commit point: past here rows start becoming visible.
+        let _window = CommitWindowScope::enter(self);
         crate::failpoints::check(crate::failpoints::APPEND_PUBLISH)?;
         // Log the whole validated chunk before anything becomes visible;
         // an abort at the commit point above leaves the WAL untouched, so

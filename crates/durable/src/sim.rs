@@ -211,7 +211,10 @@ fn enospc(path: &Path) -> io::Error {
 }
 
 fn stale(path: &Path) -> io::Error {
-    io::Error::other(format!("stale handle for {} (crashed since open)", path.display()))
+    io::Error::other(format!(
+        "stale handle for {} (crashed since open)",
+        path.display()
+    ))
 }
 
 impl SimState {

@@ -46,6 +46,16 @@ pub enum EngineError {
     /// bad magic, version, checksum, or a pointer that does not resolve.
     /// Recovery refuses corrupt input with this error instead of panicking.
     Corrupt(String),
+    /// A statement referenced a materialized view that is not registered
+    /// (`DROP MATERIALIZED VIEW` / `REFRESH MATERIALIZED VIEW` on an
+    /// unknown name). Distinct from [`EngineError::TableNotFound`] so the
+    /// serve layer can emit a typed `UnknownView` error frame.
+    ViewNotFound(String),
+    /// `CREATE MATERIALIZED VIEW` targeted a name that is already a
+    /// registered view. Like table registration, view registration is
+    /// atomic: of two racing creates exactly one wins and the loser gets
+    /// this error.
+    ViewAlreadyExists(String),
     /// A single row exceeded the configured encoded-size limit (rows are
     /// capped at `IndexConfig::max_row_size`; batches at
     /// `IndexConfig::batch_size`).
@@ -75,6 +85,10 @@ impl fmt::Display for EngineError {
             EngineError::Durability(m) => write!(f, "durability error: {m}"),
             EngineError::ReadOnly(m) => write!(f, "table is read-only (degraded): {m}"),
             EngineError::Corrupt(m) => write!(f, "corrupt on-disk state: {m}"),
+            EngineError::ViewNotFound(v) => write!(f, "materialized view not found: {v}"),
+            EngineError::ViewAlreadyExists(v) => {
+                write!(f, "materialized view already exists: {v}")
+            }
             EngineError::RowTooLarge { size, max } => write!(
                 f,
                 "row too large: encoded row is {size} bytes; at most {max} bytes are allowed"

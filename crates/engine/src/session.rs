@@ -74,6 +74,32 @@ pub trait TableFactory: Send + Sync {
     fn create(&self, name: &str, schema: SchemaRef) -> Result<Arc<dyn TableSource>>;
 }
 
+/// Extension point the materialized-view subsystem (`idf-views`) installs
+/// so SQL `CREATE/DROP/REFRESH MATERIALIZED VIEW` can dispatch to it. Same
+/// inversion as [`DurabilityHook`]: the views crate sits above the engine,
+/// so the engine only sees this trait.
+///
+/// Methods take the session by reference rather than the hook holding one:
+/// a hook that captured a `Session` clone would form an `Arc` cycle
+/// (session → hook → session) and never be dropped.
+pub trait ViewsHook: Send + Sync {
+    /// Register a materialized view `name` defined by `query`, seed its
+    /// state at a consistent snapshot, and start incremental maintenance.
+    fn create_view(
+        &self,
+        session: &Session,
+        name: &str,
+        query: &crate::sql::SelectStmt,
+    ) -> Result<()>;
+
+    /// Deregister view `name` and discard its materialized state.
+    fn drop_view(&self, session: &Session, name: &str) -> Result<()>;
+
+    /// Recompute view `name` from scratch at a consistent snapshot of its
+    /// base tables.
+    fn refresh_view(&self, session: &Session, name: &str) -> Result<()>;
+}
+
 struct SessionState {
     catalog: Catalog,
     config: EngineConfig,
@@ -86,6 +112,8 @@ struct SessionState {
     durability: RwLock<Option<Arc<dyn DurabilityHook>>>,
     /// Installed DDL table factory, if any (see [`TableFactory`]).
     table_factory: RwLock<Option<Arc<dyn TableFactory>>>,
+    /// Installed materialized-view subsystem, if any (see [`ViewsHook`]).
+    views: RwLock<Option<Arc<dyn ViewsHook>>>,
 }
 
 /// A query session. Cheap to clone (shared state).
@@ -118,6 +146,7 @@ impl Session {
                 governor,
                 durability: RwLock::new(None),
                 table_factory: RwLock::new(None),
+                views: RwLock::new(None),
             }),
         }
     }
@@ -332,6 +361,53 @@ impl Session {
             Some(hook) => hook.resume_writes(table),
             None => Err(crate::error::EngineError::Unsupported(
                 "resume_writes requires a durable session (no data_dir is configured)".to_string(),
+            )),
+        }
+    }
+
+    /// Install the materialized-view subsystem that
+    /// `CREATE/DROP/REFRESH MATERIALIZED VIEW` dispatch to. Called by
+    /// `idf-views`; replaces any previously installed hook.
+    pub fn set_views_hook(&self, hook: Arc<dyn ViewsHook>) {
+        *self.state.views.write() = Some(hook);
+    }
+
+    /// Register a materialized view through the installed [`ViewsHook`].
+    /// Errors with `Unsupported` when no views subsystem is attached.
+    pub fn create_materialized_view(
+        &self,
+        name: &str,
+        query: &crate::sql::SelectStmt,
+    ) -> Result<()> {
+        let hook = self.state.views.read().clone();
+        match hook {
+            Some(hook) => hook.create_view(self, name, query),
+            None => Err(crate::error::EngineError::Unsupported(
+                "CREATE MATERIALIZED VIEW requires the views subsystem (idf-views)".to_string(),
+            )),
+        }
+    }
+
+    /// Drop a materialized view through the installed [`ViewsHook`].
+    /// Errors with `Unsupported` when no views subsystem is attached.
+    pub fn drop_materialized_view(&self, name: &str) -> Result<()> {
+        let hook = self.state.views.read().clone();
+        match hook {
+            Some(hook) => hook.drop_view(self, name),
+            None => Err(crate::error::EngineError::Unsupported(
+                "DROP MATERIALIZED VIEW requires the views subsystem (idf-views)".to_string(),
+            )),
+        }
+    }
+
+    /// Recompute a materialized view through the installed [`ViewsHook`].
+    /// Errors with `Unsupported` when no views subsystem is attached.
+    pub fn refresh_materialized_view(&self, name: &str) -> Result<()> {
+        let hook = self.state.views.read().clone();
+        match hook {
+            Some(hook) => hook.refresh_view(self, name),
+            None => Err(crate::error::EngineError::Unsupported(
+                "REFRESH MATERIALIZED VIEW requires the views subsystem (idf-views)".to_string(),
             )),
         }
     }

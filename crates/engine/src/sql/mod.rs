@@ -11,7 +11,7 @@ pub mod lexer;
 pub mod parser;
 
 pub use binder::to_expr;
-pub use parser::{parse, parse_statement, Statement};
+pub use parser::{parse, parse_statement, SelectStmt, Statement};
 
 use std::sync::Arc;
 
@@ -109,6 +109,18 @@ pub fn plan_sql(session: &Session, query: &str) -> Result<DataFrame> {
             let appended = source.append_rows(&rows)?;
             let schema = Arc::new(Schema::new(vec![Field::new("rows", DataType::Int64)]));
             Ok(session.create_dataframe(schema, vec![vec![Value::Int64(appended as i64)]]))
+        }
+        Statement::CreateMaterializedView { name, query } => {
+            session.create_materialized_view(&name, &query)?;
+            Ok(status_frame(session, "view", name))
+        }
+        Statement::DropMaterializedView { name } => {
+            session.drop_materialized_view(&name)?;
+            Ok(status_frame(session, "view", name))
+        }
+        Statement::RefreshMaterializedView { name } => {
+            session.refresh_materialized_view(&name)?;
+            Ok(status_frame(session, "view", name))
         }
     }
 }

@@ -223,6 +223,29 @@ pub enum Statement {
         /// Literal rows, one inner `Vec` per parenthesized tuple.
         rows: Vec<Vec<SqlExpr>>,
     },
+    /// `CREATE MATERIALIZED VIEW name AS <select>`: register a
+    /// materialized view over the defining query, maintained
+    /// incrementally from the append path by the views subsystem.
+    CreateMaterializedView {
+        /// View name.
+        name: String,
+        /// The defining SELECT query.
+        query: SelectStmt,
+    },
+    /// `DROP MATERIALIZED VIEW name`: deregister a materialized view and
+    /// discard its materialized state.
+    DropMaterializedView {
+        /// View name.
+        name: String,
+    },
+    /// `REFRESH MATERIALIZED VIEW name`: recompute the view's
+    /// materialized state from scratch at a consistent snapshot of its
+    /// base tables (a repair/defrag operation; normal maintenance is
+    /// incremental).
+    RefreshMaterializedView {
+        /// View name.
+        name: String,
+    },
 }
 
 /// Parse one SELECT statement from `input`.
@@ -261,20 +284,37 @@ pub fn parse_statement(input: &str) -> Result<Statement> {
         Statement::Scrub { table }
     } else if p.at_kw("CREATE") {
         p.next();
-        p.expect_kw("TABLE")?;
-        let name = p.ident()?;
-        p.expect_token(Token::LParen)?;
-        let mut columns = vec![p.parse_column_def()?];
-        while *p.peek() == Token::Comma {
-            p.next();
-            columns.push(p.parse_column_def()?);
+        if p.eat_kw("MATERIALIZED") {
+            p.expect_kw("VIEW")?;
+            let name = p.ident()?;
+            p.expect_kw("AS")?;
+            let query = p.parse_query()?;
+            Statement::CreateMaterializedView { name, query }
+        } else {
+            p.expect_kw("TABLE")?;
+            let name = p.ident()?;
+            p.expect_token(Token::LParen)?;
+            let mut columns = vec![p.parse_column_def()?];
+            while *p.peek() == Token::Comma {
+                p.next();
+                columns.push(p.parse_column_def()?);
+            }
+            p.expect_token(Token::RParen)?;
+            Statement::CreateTable { name, columns }
         }
-        p.expect_token(Token::RParen)?;
-        Statement::CreateTable { name, columns }
     } else if p.at_kw("DROP") {
         p.next();
-        p.expect_kw("TABLE")?;
-        Statement::DropTable { name: p.ident()? }
+        if p.eat_kw("MATERIALIZED") {
+            p.expect_kw("VIEW")?;
+            Statement::DropMaterializedView { name: p.ident()? }
+        } else {
+            p.expect_kw("TABLE")?;
+            Statement::DropTable { name: p.ident()? }
+        }
+    } else if p.eat_kw("REFRESH") {
+        p.expect_kw("MATERIALIZED")?;
+        p.expect_kw("VIEW")?;
+        Statement::RefreshMaterializedView { name: p.ident()? }
     } else if p.at_kw("INSERT") {
         p.next();
         p.expect_kw("INTO")?;
@@ -947,6 +987,38 @@ mod tests {
         // The keywords stay usable as table names inside queries.
         assert!(parse_statement("SELECT * FROM create").is_ok());
         assert!(parse_statement("SELECT * FROM t JOIN insert ON t.a = insert.b").is_ok());
+    }
+
+    #[test]
+    fn parses_materialized_view_ddl() {
+        let s =
+            parse_statement("CREATE MATERIALIZED VIEW v AS SELECT id FROM t WHERE id > 3").unwrap();
+        let Statement::CreateMaterializedView { name, query } = s else {
+            panic!()
+        };
+        assert_eq!(name, "v");
+        assert_eq!(query.projection.len(), 1);
+        assert!(query.selection.is_some());
+        assert_eq!(
+            parse_statement("drop materialized view v").unwrap(),
+            Statement::DropMaterializedView { name: "v".into() }
+        );
+        assert_eq!(
+            parse_statement("REFRESH MATERIALIZED VIEW v").unwrap(),
+            Statement::RefreshMaterializedView { name: "v".into() }
+        );
+        // Malformed view DDL errors instead of parsing as something else.
+        assert!(parse_statement("CREATE MATERIALIZED v AS SELECT 1").is_err());
+        assert!(parse_statement("CREATE MATERIALIZED VIEW v SELECT 1").is_err());
+        assert!(parse_statement("CREATE MATERIALIZED VIEW v AS").is_err());
+        assert!(parse_statement("CREATE MATERIALIZED VIEW AS SELECT 1").is_err());
+        assert!(parse_statement("DROP MATERIALIZED VIEW").is_err());
+        assert!(parse_statement("REFRESH MATERIALIZED VIEW").is_err());
+        assert!(parse_statement("REFRESH VIEW v").is_err());
+        assert!(parse_statement("REFRESH MATERIALIZED VIEW v extra").is_err());
+        // The keywords stay usable as table names inside queries.
+        assert!(parse_statement("SELECT * FROM refresh").is_ok());
+        assert!(parse_statement("SELECT materialized FROM view").is_ok());
     }
 
     #[test]

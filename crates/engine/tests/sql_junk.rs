@@ -111,6 +111,52 @@ fn pathological_inputs_never_panic() {
     }
 }
 
+/// Materialized-view DDL goes through its own parse path (`CREATE
+/// MATERIALIZED VIEW <name> AS <select>`), so junk behind — and inside —
+/// the prefix must come back as a typed error, never a panic. Without the
+/// views subsystem installed the well-formed forms are typed
+/// `Unsupported` errors, which is exactly what this suite wants: the
+/// whole parse happens before the dispatch.
+#[test]
+fn materialized_view_prefixed_junk_never_panics() {
+    let s = session();
+    let prefixes = [
+        "CREATE MATERIALIZED VIEW v AS ",
+        "CREATE MATERIALIZED VIEW ",
+        "DROP MATERIALIZED VIEW ",
+        "REFRESH MATERIALIZED VIEW ",
+    ];
+    for seed in SEEDS {
+        for prefix in prefixes {
+            let full = format!("{prefix}{seed}");
+            assert_no_panic(&s, &full);
+            for (end, _) in full.char_indices().step_by(3) {
+                assert_no_panic(&s, &full[..end]);
+            }
+        }
+    }
+    let cases = [
+        "CREATE MATERIALIZED".to_string(),
+        "CREATE MATERIALIZED VIEW".to_string(),
+        "CREATE MATERIALIZED VIEW v".to_string(),
+        "CREATE MATERIALIZED VIEW v AS".to_string(),
+        "CREATE MATERIALIZED VIEW v AS SELECT".to_string(),
+        "CREATE MATERIALIZED VIEW 🔥 AS SELECT id FROM t".to_string(),
+        "CREATE MATERIALIZED VIEW v AS DROP MATERIALIZED VIEW v".to_string(),
+        "CREATE MATERIALIZED VIEW v AS EXPLAIN SELECT id FROM t".to_string(),
+        "DROP MATERIALIZED VIEW v extra tokens".to_string(),
+        "REFRESH MATERIALIZED VIEW ''".to_string(),
+        format!(
+            "CREATE MATERIALIZED VIEW v AS SELECT {}1{} FROM t",
+            "(".repeat(10_000),
+            ")".repeat(10_000)
+        ),
+    ];
+    for q in &cases {
+        assert_no_panic(&s, q);
+    }
+}
+
 /// EXPLAIN runs the planner (and for ANALYZE, the executor) at planning
 /// time — junk behind the EXPLAIN prefix must still come back as a typed
 /// error, never a panic.

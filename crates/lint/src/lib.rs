@@ -390,6 +390,7 @@ impl LintConfig {
                 "crates/durable/src/failpoints.rs",
                 "crates/engine/src/failpoints.rs",
                 "crates/serve/src/failpoints.rs",
+                "crates/views/src/failpoints.rs",
             ],
             fail_crate_prefix: "crates/fail/",
             physical_prefix: "crates/engine/src/physical/",

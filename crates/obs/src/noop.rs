@@ -234,6 +234,14 @@ pub struct MetricsRegistry {
     /// Stub.
     pub server_drain_ns: Histogram,
     /// Stub.
+    pub views_registered: Gauge,
+    /// Stub.
+    pub view_deltas_applied: Counter,
+    /// Stub.
+    pub view_maintenance_lag_ns: Histogram,
+    /// Stub.
+    pub view_refresh_ns: Histogram,
+    /// Stub.
     pub slow_queries: SlowQueryLog,
 }
 
@@ -281,6 +289,10 @@ impl MetricsRegistry {
             server_rejected_busy: Counter,
             server_rejected_quota: Counter,
             server_drain_ns: Histogram,
+            views_registered: Gauge,
+            view_deltas_applied: Counter,
+            view_maintenance_lag_ns: Histogram,
+            view_refresh_ns: Histogram,
             slow_queries: SlowQueryLog,
         };
         &GLOBAL

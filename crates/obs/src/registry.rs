@@ -189,6 +189,16 @@ pub struct MetricsRegistry {
     /// Wall-clock time of each graceful drain, nanoseconds.
     pub server_drain_ns: Histogram,
 
+    // Materialized views (idf-views).
+    /// Materialized views currently registered.
+    pub views_registered: Gauge,
+    /// Committed deltas applied to a view (one count per view per delta).
+    pub view_deltas_applied: Counter,
+    /// Commit-to-applied latency of each delta application, nanoseconds.
+    pub view_maintenance_lag_ns: Histogram,
+    /// Wall-clock time of each full view recompute (REFRESH), nanoseconds.
+    pub view_refresh_ns: Histogram,
+
     /// Ring buffer of queries slower than the session threshold.
     pub slow_queries: SlowQueryLog,
 }
@@ -243,6 +253,10 @@ impl MetricsRegistry {
         self.server_rejected_busy.reset();
         self.server_rejected_quota.reset();
         self.server_drain_ns.reset();
+        self.views_registered.reset();
+        self.view_deltas_applied.reset();
+        self.view_maintenance_lag_ns.reset();
+        self.view_refresh_ns.reset();
         self.slow_queries.reset();
     }
 
@@ -453,6 +467,30 @@ impl MetricsRegistry {
             "idf_server_drain_ns",
             "Wall-clock time of each graceful drain, nanoseconds.",
             &self.server_drain_ns,
+        );
+        write_gauge(
+            &mut out,
+            "idf_views_registered",
+            "Materialized views currently registered.",
+            &self.views_registered,
+        );
+        write_counter(
+            &mut out,
+            "idf_views_deltas_applied_total",
+            "Committed deltas applied to a view (one count per view per delta).",
+            &self.view_deltas_applied,
+        );
+        write_histogram(
+            &mut out,
+            "idf_views_maintenance_lag_ns",
+            "Commit-to-applied latency of each delta application, nanoseconds.",
+            &self.view_maintenance_lag_ns,
+        );
+        write_histogram(
+            &mut out,
+            "idf_views_refresh_duration_ns",
+            "Wall-clock time of each full view recompute (REFRESH), nanoseconds.",
+            &self.view_refresh_ns,
         );
         write_gauge_value(
             &mut out,

@@ -92,6 +92,11 @@ pub enum ErrorCode {
     /// On-disk state failed validation (CRC mismatch, broken segment
     /// chain, bad manifest).
     Corrupt = 13,
+    /// `DROP`/`REFRESH MATERIALIZED VIEW` named a view that does not
+    /// exist.
+    UnknownView = 14,
+    /// `CREATE MATERIALIZED VIEW` named an already-registered view.
+    ViewAlreadyExists = 15,
 }
 
 impl ErrorCode {
@@ -111,6 +116,8 @@ impl ErrorCode {
             11 => ErrorCode::ReadOnly,
             12 => ErrorCode::Durability,
             13 => ErrorCode::Corrupt,
+            14 => ErrorCode::UnknownView,
+            15 => ErrorCode::ViewAlreadyExists,
             _ => return None,
         })
     }
@@ -125,6 +132,8 @@ impl ErrorCode {
             EngineError::ReadOnly(_) => ErrorCode::ReadOnly,
             EngineError::Durability(_) => ErrorCode::Durability,
             EngineError::Corrupt(_) => ErrorCode::Corrupt,
+            EngineError::ViewNotFound(_) => ErrorCode::UnknownView,
+            EngineError::ViewAlreadyExists(_) => ErrorCode::ViewAlreadyExists,
             _ => ErrorCode::QueryFailed,
         }
     }
@@ -146,6 +155,8 @@ impl std::fmt::Display for ErrorCode {
             ErrorCode::ReadOnly => "table is read-only (degraded)",
             ErrorCode::Durability => "durability failure",
             ErrorCode::Corrupt => "on-disk state corrupt",
+            ErrorCode::UnknownView => "materialized view not found",
+            ErrorCode::ViewAlreadyExists => "materialized view already exists",
         };
         f.write_str(name)
     }
@@ -541,11 +552,19 @@ mod tests {
             ErrorCode::for_engine_error(&EngineError::corrupt("bad crc")),
             ErrorCode::Corrupt
         );
-        for raw in 1..=13u16 {
+        assert_eq!(
+            ErrorCode::for_engine_error(&EngineError::ViewNotFound("v".into())),
+            ErrorCode::UnknownView
+        );
+        assert_eq!(
+            ErrorCode::for_engine_error(&EngineError::ViewAlreadyExists("v".into())),
+            ErrorCode::ViewAlreadyExists
+        );
+        for raw in 1..=15u16 {
             let code = ErrorCode::from_u16(raw).unwrap();
             assert_eq!(code as u16, raw);
         }
         assert!(ErrorCode::from_u16(0).is_none());
-        assert!(ErrorCode::from_u16(14).is_none());
+        assert!(ErrorCode::from_u16(16).is_none());
     }
 }

@@ -1,0 +1,102 @@
+//! Materialized views over the wire: DDL and reads through the service
+//! layer, typed error frames for view failures (no partial result
+//! frames), and the connection staying healthy afterwards.
+
+use std::time::Duration;
+
+use idf_core::prelude::*;
+use idf_engine::session::Session;
+use idf_engine::types::Value;
+use idf_serve::{Client, ClientError, ErrorCode, ServeConfig, Server};
+use idf_views::ViewsConfig;
+
+fn serve_with_views() -> (Server, Session, std::sync::Arc<idf_views::ViewsSystem>) {
+    let session = Session::new();
+    install_indexed_ddl(&session, IndexConfig::default());
+    let views = idf_views::install(&session, ViewsConfig::default());
+    let server = Server::bind(session.clone(), "127.0.0.1:0", ServeConfig::default()).unwrap();
+    (server, session, views)
+}
+
+fn client(server: &Server) -> Client {
+    let c = Client::connect(server.local_addr(), "acme").unwrap();
+    c.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    c
+}
+
+#[test]
+fn materialized_view_round_trip_over_the_wire() {
+    let (server, _session, _views) = serve_with_views();
+    let mut c = client(&server);
+    c.query("CREATE TABLE ev (k BIGINT, v BIGINT)").unwrap();
+    c.query("INSERT INTO ev VALUES (1, 5), (2, 50), (3, 70)")
+        .unwrap();
+    c.query("CREATE MATERIALIZED VIEW big AS SELECT k, v FROM ev WHERE v > 10")
+        .unwrap();
+    // Appends after creation maintain the view incrementally.
+    c.query("INSERT INTO ev VALUES (4, 40), (5, 2)").unwrap();
+    let reply = c.query("SELECT k FROM big ORDER BY k").unwrap();
+    assert_eq!(
+        reply.rows,
+        vec![
+            vec![Value::Int64(2)],
+            vec![Value::Int64(3)],
+            vec![Value::Int64(4)],
+        ]
+    );
+    // REFRESH and DROP both round-trip as plain statements.
+    c.query("REFRESH MATERIALIZED VIEW big").unwrap();
+    let reply = c.query("SELECT k FROM big ORDER BY k").unwrap();
+    assert_eq!(reply.rows.len(), 3);
+    c.query("DROP MATERIALIZED VIEW big").unwrap();
+    let err = c.query("SELECT k FROM big").unwrap_err();
+    match err {
+        ClientError::Server(frame) => assert_eq!(frame.code, ErrorCode::QueryFailed, "{frame}"),
+        other => panic!("expected an error frame, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn view_errors_are_typed_frames_and_never_partial_results() {
+    let (server, _session, _views) = serve_with_views();
+    let mut c = client(&server);
+    c.query("CREATE TABLE t (k BIGINT)").unwrap();
+    c.query("CREATE MATERIALIZED VIEW mv AS SELECT k FROM t WHERE k > 0")
+        .unwrap();
+    // Duplicate CREATE: one typed error frame, nothing else.
+    let err = c
+        .query("CREATE MATERIALIZED VIEW mv AS SELECT k FROM t")
+        .unwrap_err();
+    match err {
+        ClientError::Server(frame) => {
+            assert_eq!(frame.code, ErrorCode::ViewAlreadyExists, "{frame}");
+            assert!(frame.message.contains("mv"), "{frame}");
+        }
+        other => panic!("expected an error frame, got {other:?}"),
+    }
+    // Unknown view on DROP and REFRESH.
+    for stmt in [
+        "DROP MATERIALIZED VIEW nope",
+        "REFRESH MATERIALIZED VIEW nope",
+    ] {
+        let err = c.query(stmt).unwrap_err();
+        match err {
+            ClientError::Server(frame) => {
+                assert_eq!(frame.code, ErrorCode::UnknownView, "{stmt}: {frame}");
+                assert!(frame.message.contains("nope"), "{frame}");
+            }
+            other => panic!("{stmt}: expected an error frame, got {other:?}"),
+        }
+    }
+    // The connection survives every typed failure: the next query on the
+    // same socket streams a complete, well-formed result (a partial
+    // result frame before the error would have corrupted the stream).
+    c.query("INSERT INTO t VALUES (1), (2)").unwrap();
+    let reply = c.query("SELECT k FROM mv ORDER BY k").unwrap();
+    assert_eq!(
+        reply.rows,
+        vec![vec![Value::Int64(1)], vec![Value::Int64(2)]]
+    );
+    server.shutdown();
+}

@@ -1,0 +1,31 @@
+//! Named fault-injection sites in the view-maintenance layer.
+//!
+//! Same contract as the storage-, durability- and service-layer
+//! registries (`crates/core/src/failpoints.rs`, …): each constant names
+//! an `idf_fail::eval` site, every constant is registered exactly once in
+//! [`SITES`], and the view chaos suite iterates the table asserting that
+//! a fault at any site never loses or double-applies a delta — view
+//! contents stay equal to re-running the defining query.
+
+use idf_engine::error::{EngineError, Result};
+
+/// Head of one delta application to one view, *before* any view state is
+/// mutated: a fault here is retried by the maintenance loop, so an
+/// injected storm delays convergence but never corrupts the view.
+pub const MAINTAIN_APPLY: &str = "views::maintain::apply";
+
+/// Head of a full `REFRESH MATERIALIZED VIEW` recompute, *before* the
+/// rebuilt state is swapped in: a fault here fails the statement with a
+/// typed error and leaves the previous materialized state untouched.
+pub const REFRESH: &str = "views::refresh";
+
+/// Every registered view-layer site, for chaos suites to iterate.
+pub const SITES: &[&str] = &[MAINTAIN_APPLY, REFRESH];
+
+/// Evaluate the failpoint at `site`, mapping an injected fault into a
+/// typed execution error that names the site.
+#[inline]
+pub fn check(site: &str) -> Result<()> {
+    idf_fail::eval(site)
+        .map_err(|msg| EngineError::exec(format!("injected failure at {site}: {msg}")))
+}
