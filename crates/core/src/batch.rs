@@ -128,6 +128,7 @@ impl RowBatch {
     /// the partition's append lock).
     pub(crate) fn append_row(&self, prev: RowPtr, payload: &[u8]) -> Option<usize> {
         let stored = ROW_HEADER + payload.len();
+        // idf-lint: allow(atomics-audit) -- single writer re-reads its own store (append lock held); readers see it via the Release publish below
         let offset = self.len.load(Ordering::Relaxed);
         if offset + stored > self.capacity() {
             return None;

@@ -47,6 +47,7 @@ impl<'a> CommitWindowScope<'a> {
     fn enter(table: &'a IndexedTable) -> Self {
         table
             .commit_window
+            // idf-lint: allow(atomics-audit) -- SeqCst pairs the window counter with the tap-gate flag across two atomics; a closed gate must observe every in-window append
             .fetch_add(1, std::sync::atomic::Ordering::SeqCst);
         CommitWindowScope(table)
     }
@@ -56,6 +57,7 @@ impl Drop for CommitWindowScope<'_> {
     fn drop(&mut self) {
         self.0
             .commit_window
+            // idf-lint: allow(atomics-audit) -- SeqCst exit pairs with the SeqCst enter; see commit_window()
             .fetch_sub(1, std::sync::atomic::Ordering::SeqCst);
     }
 }
@@ -246,6 +248,7 @@ impl IndexedTable {
     /// earlier commit has published and a base-table read is a consistent
     /// seed point.
     pub fn commit_window(&self) -> usize {
+        // idf-lint: allow(atomics-audit) -- SeqCst read pairs with enter/exit so a closed gate never misses a parked append
         self.commit_window.load(std::sync::atomic::Ordering::SeqCst)
     }
 

@@ -17,6 +17,7 @@
 
 use std::borrow::Borrow;
 use std::hash::{BuildHasher, Hash};
+// idf-lint: allow(atomics-audit) -- root RDCSS protocol: the CAS, the descriptor commit flag and snapshot reads need one total order
 use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
 use std::sync::Arc;
 

@@ -136,6 +136,7 @@ impl TaskContext {
     }
 
     fn fresh_execution_id() -> u64 {
+        // idf-lint: allow(atomics-audit) -- execution-id minting: uniqueness only, no ordering needed
         NEXT_EXECUTION_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
     }
 

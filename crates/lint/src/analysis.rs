@@ -1,0 +1,1332 @@
+//! Intra-crate concurrency analysis over the token stream.
+//!
+//! The concurrency rules (`lock-order`, `blocking-under-lock`,
+//! `condvar-discipline`) need more than per-line token matching: they
+//! must know *which guards are live* at each call site. This module
+//! builds that model without a syntax tree, using three approximations
+//! that are each conservative in a documented direction:
+//!
+//! 1. **Function bodies** are brace-matched spans starting at `fn name`.
+//! 2. **Guard lifetime** is approximated by scope depth. A guard bound
+//!    with `let g = …` lives until its enclosing brace closes or an
+//!    explicit `drop(g)`. An *unbound* guard (a temporary, e.g. the
+//!    scrutinee of `if let Some(x) = lock(&m).take()`) lives until the
+//!    next `;` at its depth or until the statement's block closes back
+//!    to its depth — which models Rust's temporary-lifetime extension
+//!    through `match`/`if let` blocks.
+//! 3. **One level of intra-crate call inlining**: a direct call to a
+//!    crate function whose body itself acquires, blocks, or waits is
+//!    surfaced at the call site via [`CrateModel::resolve`]. Calls are
+//!    resolved by bare name, only when the name maps to exactly one
+//!    effectful function in the crate; method calls only on a literal
+//!    `self` receiver, and `Type::fn()` calls only when `Type` is
+//!    declared in the crate — both guards against name collisions with
+//!    std/foreign methods.
+//!
+//! Two wrapper shapes are recognized so the workspace's poison-recovering
+//! helpers don't hide the protocol from the walker:
+//!
+//! * a **lock wrapper** (`fn lock<T>(m: &Mutex<T>) -> MutexGuard<T>`)
+//!   whose body acquires on its own parameter — call sites become
+//!   acquisitions of the lock named by the argument;
+//! * a **wait wrapper** (`fn wait(cv: &Condvar, g: MutexGuard<T>)`)
+//!   whose `.wait(g)` guard argument is a parameter — call sites become
+//!   condvar waits, and the loop-discipline obligation moves to them.
+//!
+//! Known false-negative shapes (see DESIGN.md §8): calls through `dyn`
+//! trait objects, guards returned from accessors, guards moved into
+//! struct fields, destructuring `let` patterns, and anything deeper than
+//! one call level.
+
+use crate::{SourceFile, TokKind};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The lock name a guard protects. Receiver paths are normalized to
+/// their **last segment** (`self.inner.state` → `state`), so the same
+/// lock reached through a field and through a local `Arc` clone unifies;
+/// same-named fields on different types within one crate merge into one
+/// graph node (a documented over-approximation).
+pub type LockName = String;
+
+/// Wrapper classification for a crate function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Wrapper {
+    /// Body acquires on its own parameter `param`; call sites acquire
+    /// the lock named by that argument.
+    Lock {
+        /// Zero-based index of the `&Mutex<T>`/`&RwLock<T>` parameter.
+        param: usize,
+    },
+    /// Body condvar-waits on a guard passed as parameter `guard_param`;
+    /// call sites are waits and carry the while-loop obligation.
+    Wait {
+        /// Zero-based index of the `MutexGuard` parameter.
+        guard_param: usize,
+    },
+}
+
+/// A guard live at an operation, with where it was acquired.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Held {
+    /// Normalized lock name.
+    pub lock: LockName,
+    /// 1-based line of the acquisition.
+    pub line: u32,
+}
+
+/// What an operation does.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OpKind {
+    /// A `Mutex`/`RwLock` acquisition (`held` excludes the new guard).
+    Acquire {
+        /// Normalized lock name being acquired.
+        lock: LockName,
+    },
+    /// A condvar wait; the waited guard stays live across it.
+    Wait {
+        /// Lock whose guard is handed to the wait, when resolvable.
+        guard_lock: Option<LockName>,
+    },
+    /// A `notify_one`/`notify_all` call.
+    Notify {
+        /// The notify method name.
+        method: String,
+    },
+    /// A known-blocking call (I/O, join, channel recv, sleep).
+    Blocking {
+        /// The blocking method/function name.
+        what: String,
+    },
+    /// An unresolved call made while guards are held — a candidate for
+    /// one-level inlining via [`CrateModel::resolve`].
+    Call {
+        /// Bare callee name.
+        callee: String,
+        /// `Type::callee(…)` qualifier, when the call was path-qualified.
+        /// Resolution requires the qualifier to be a type declared in
+        /// this crate — `EngineError::corrupt(…)` must not resolve to an
+        /// unrelated local `fn corrupt`.
+        qualifier: Option<String>,
+    },
+}
+
+/// One operation observed in a function body.
+#[derive(Debug, Clone)]
+pub struct Op {
+    /// 1-based source line.
+    pub line: u32,
+    /// What happened.
+    pub kind: OpKind,
+    /// Guards live at this point, in acquisition order.
+    pub held: Vec<Held>,
+    /// True when the op sits lexically inside a `while`/`loop` body.
+    pub in_loop: bool,
+}
+
+/// The analysis result for one function.
+#[derive(Debug)]
+pub struct FnAnalysis {
+    /// Index into the analyzed file slice.
+    pub file: usize,
+    /// Function name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Operations in source order.
+    pub ops: Vec<Op>,
+    /// Wrapper classification, if any.
+    pub wrapper: Option<Wrapper>,
+}
+
+impl FnAnalysis {
+    /// Direct lock acquisitions in this body: `(lock, line)`.
+    pub fn direct_acquires(&self) -> impl Iterator<Item = (&str, u32)> {
+        self.ops.iter().filter_map(|op| match &op.kind {
+            OpKind::Acquire { lock } => Some((lock.as_str(), op.line)),
+            _ => None,
+        })
+    }
+
+    /// Direct blocking calls in this body: `(what, line)`.
+    pub fn direct_blocking(&self) -> impl Iterator<Item = (&str, u32)> {
+        self.ops.iter().filter_map(|op| match &op.kind {
+            OpKind::Blocking { what } => Some((what.as_str(), op.line)),
+            _ => None,
+        })
+    }
+
+    /// Direct condvar waits in this body (wrapper waits excluded at the
+    /// crate level, not here).
+    pub fn direct_waits(&self) -> impl Iterator<Item = u32> + '_ {
+        self.ops.iter().filter_map(|op| match &op.kind {
+            OpKind::Wait { .. } => Some(op.line),
+            _ => None,
+        })
+    }
+
+    fn is_effectful(&self) -> bool {
+        self.ops.iter().any(|op| {
+            matches!(
+                op.kind,
+                OpKind::Acquire { .. } | OpKind::Blocking { .. } | OpKind::Wait { .. }
+            )
+        })
+    }
+}
+
+/// The per-crate model: every analyzed function plus name resolution for
+/// one-level inlining.
+#[derive(Debug)]
+pub struct CrateModel {
+    /// Crate path prefix, e.g. `crates/durable`.
+    pub name: String,
+    /// Analyzed functions across the crate's `src/` files.
+    pub fns: Vec<FnAnalysis>,
+    /// name → index into `fns`, only for unique effectful names.
+    effectful: BTreeMap<String, usize>,
+    /// Type names (`struct`/`enum`/`trait`/`union`) declared in the
+    /// crate, used to vet `Type::fn()` call resolution.
+    types: BTreeSet<String>,
+}
+
+impl CrateModel {
+    /// Resolve a bare callee name to the crate's unique effectful
+    /// function of that name, if any.
+    pub fn effectful(&self, name: &str) -> Option<&FnAnalysis> {
+        self.effectful.get(name).map(|&i| &self.fns[i])
+    }
+
+    /// Resolve a [`OpKind::Call`] for one-level inlining. Unqualified and
+    /// `Self`/`self`-qualified calls resolve by name; `Type::fn()` calls
+    /// resolve only when `Type` is declared in this crate (a foreign
+    /// type's associated fn sharing a local fn's name must not inline).
+    pub fn resolve(&self, callee: &str, qualifier: Option<&str>) -> Option<&FnAnalysis> {
+        match qualifier {
+            None | Some("Self") | Some("self") | Some("crate") => self.effectful(callee),
+            Some(q) if self.types.contains(q) => self.effectful(callee),
+            Some(_) => None,
+        }
+    }
+}
+
+/// The crate a workspace-relative path belongs to (`crates/<…>` up to
+/// `/src/`), or `None` for tests, benches, and out-of-crate files.
+pub fn crate_of(path: &str) -> Option<&str> {
+    let rest = path.strip_prefix("crates/")?;
+    let idx = rest.find("/src/")?;
+    Some(&path[..("crates/".len() + idx)])
+}
+
+/// Build per-crate models for every non-test `crates/*/src/` file.
+/// Returned file indices point into `files`.
+pub fn analyze(files: &[SourceFile]) -> Vec<CrateModel> {
+    // Group file indices by crate.
+    let mut by_crate: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    for (i, sf) in files.iter().enumerate() {
+        if sf.is_test_path() {
+            continue;
+        }
+        if let Some(c) = crate_of(&sf.path) {
+            by_crate.entry(c.to_string()).or_default().push(i);
+        }
+    }
+    let mut out = Vec::new();
+    for (name, file_idxs) in by_crate {
+        let mut raw: Vec<(usize, RawFn)> = Vec::new();
+        for &fi in &file_idxs {
+            for f in extract_fns(&files[fi]) {
+                raw.push((fi, f));
+            }
+        }
+        // Wrapper classification across the crate; same-named functions
+        // must agree on a classification or none applies.
+        let mut wrappers: BTreeMap<String, Option<Wrapper>> = BTreeMap::new();
+        for (fi, f) in &raw {
+            let w = classify_wrapper(&files[*fi], f);
+            match wrappers.get(&f.name) {
+                None => {
+                    wrappers.insert(f.name.clone(), w);
+                }
+                Some(prev) if *prev != w => {
+                    wrappers.insert(f.name.clone(), None);
+                }
+                Some(_) => {}
+            }
+        }
+        let wrappers: BTreeMap<String, Wrapper> = wrappers
+            .into_iter()
+            .filter_map(|(k, v)| v.map(|w| (k, w)))
+            .collect();
+        let mut fns: Vec<FnAnalysis> = raw
+            .iter()
+            .map(|(fi, f)| FnAnalysis {
+                file: *fi,
+                name: f.name.clone(),
+                line: f.line,
+                ops: walk_fn(&files[*fi], f, &wrappers),
+                wrapper: wrappers.get(&f.name).copied(),
+            })
+            .collect();
+        fns.sort_by_key(|f| (f.file, f.line));
+        // Effectful-name resolution: unique names only.
+        let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+        for f in &fns {
+            if f.is_effectful() {
+                *counts.entry(f.name.clone()).or_default() += 1;
+            }
+        }
+        let mut effectful: BTreeMap<String, usize> = BTreeMap::new();
+        for (i, f) in fns.iter().enumerate() {
+            if f.is_effectful() && counts[&f.name] == 1 {
+                effectful.insert(f.name.clone(), i);
+            }
+        }
+        // Declared type names, for vetting `Type::fn()` resolution.
+        let mut types = BTreeSet::new();
+        for &fi in &file_idxs {
+            let toks = &files[fi].lexed.toks;
+            for (i, t) in toks.iter().enumerate() {
+                if t.kind == TokKind::Ident
+                    && matches!(
+                        t.text.as_str(),
+                        "struct" | "enum" | "trait" | "union" | "type"
+                    )
+                {
+                    if let Some(n) = toks.get(i + 1).filter(|n| n.kind == TokKind::Ident) {
+                        types.insert(n.text.clone());
+                    }
+                }
+            }
+        }
+        out.push(CrateModel {
+            name,
+            fns,
+            effectful,
+            types,
+        });
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Function extraction
+// ---------------------------------------------------------------------
+
+struct RawFn {
+    name: String,
+    line: u32,
+    params: Vec<String>,
+    /// Token index range of the body, *inside* the braces.
+    body: (usize, usize),
+}
+
+fn is_punct(sf: &SourceFile, i: usize, p: &str) -> bool {
+    sf.lexed
+        .toks
+        .get(i)
+        .is_some_and(|t| t.kind == TokKind::Punct && t.text == p)
+}
+
+fn ident_at(sf: &SourceFile, i: usize) -> Option<&str> {
+    sf.lexed
+        .toks
+        .get(i)
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| t.text.as_str())
+}
+
+/// Extract brace-matched `fn` bodies, skipping test-masked regions.
+fn extract_fns(sf: &SourceFile) -> Vec<RawFn> {
+    let toks = &sf.lexed.toks;
+    let n = toks.len();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < n {
+        if ident_at(sf, i) != Some("fn") || sf.test_mask[i] {
+            i += 1;
+            continue;
+        }
+        let Some(name) = ident_at(sf, i + 1) else {
+            i += 1;
+            continue;
+        };
+        let name = name.to_string();
+        let line = toks[i].line;
+        let mut j = i + 2;
+        // Skip a generic parameter list, tolerating `->` inside bounds.
+        if is_punct(sf, j, "<") {
+            let mut depth = 1usize;
+            j += 1;
+            while j < n && depth > 0 {
+                if is_punct(sf, j, "-") && is_punct(sf, j + 1, ">") {
+                    j += 2;
+                    continue;
+                }
+                if is_punct(sf, j, "<") {
+                    depth += 1;
+                } else if is_punct(sf, j, ">") {
+                    depth -= 1;
+                }
+                j += 1;
+            }
+        }
+        if !is_punct(sf, j, "(") {
+            i += 1;
+            continue;
+        }
+        // Parameter names: `ident :` at paren depth 1 (skipping `mut`,
+        // and the `self` receiver which is never a named parameter).
+        let mut params = Vec::new();
+        let mut depth = 1usize;
+        j += 1;
+        while j < n && depth > 0 {
+            if is_punct(sf, j, "(") {
+                depth += 1;
+            } else if is_punct(sf, j, ")") {
+                depth -= 1;
+            } else if depth == 1 && is_punct(sf, j + 1, ":") {
+                if let Some(id) = ident_at(sf, j) {
+                    if id != "self" && id != "mut" {
+                        params.push(id.to_string());
+                    }
+                }
+            }
+            j += 1;
+        }
+        // Find the body: first `{` before any `;` (a `;` means a
+        // bodiless trait method / extern decl).
+        let mut open = None;
+        while j < n {
+            if is_punct(sf, j, "{") {
+                open = Some(j);
+                break;
+            }
+            if is_punct(sf, j, ";") {
+                break;
+            }
+            j += 1;
+        }
+        let Some(open) = open else {
+            i = j.max(i + 1);
+            continue;
+        };
+        let mut depth = 1usize;
+        let mut e = open + 1;
+        while e < n && depth > 0 {
+            if is_punct(sf, e, "{") {
+                depth += 1;
+            } else if is_punct(sf, e, "}") {
+                depth -= 1;
+            }
+            e += 1;
+        }
+        out.push(RawFn {
+            name,
+            line,
+            params,
+            body: (open + 1, e.saturating_sub(1)),
+        });
+        // Continue scanning *inside* the body too, so nested fns are
+        // extracted in their own right (the walker skips nested bodies).
+        i += 2;
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Wrapper classification
+// ---------------------------------------------------------------------
+
+/// Token budget above which a function is too big to be a trivial
+/// lock/wait helper — wrappers must be single-expression shims.
+const WRAPPER_MAX_TOKS: usize = 60;
+
+fn classify_wrapper(sf: &SourceFile, f: &RawFn) -> Option<Wrapper> {
+    let (start, end) = f.body;
+    if end.saturating_sub(start) > WRAPPER_MAX_TOKS || f.params.is_empty() {
+        return None;
+    }
+    let mut i = start;
+    while i < end {
+        // `param.lock()` / `param.read()` / `param.write()`
+        if let Some(id) = ident_at(sf, i) {
+            if ACQUIRE_METHODS.contains(&id)
+                && is_punct(sf, i.wrapping_sub(1), ".")
+                && is_punct(sf, i + 1, "(")
+                && is_punct(sf, i + 2, ")")
+            {
+                if let Some(recv) = ident_at(sf, i - 2) {
+                    if !is_punct(sf, i.wrapping_sub(3), ".") {
+                        if let Some(p) = f.params.iter().position(|p| p == recv) {
+                            return Some(Wrapper::Lock { param: p });
+                        }
+                    }
+                }
+            }
+            // `cv.wait(g)` where `g` is a parameter.
+            if (id == "wait" || id == "wait_timeout" || id == "wait_while")
+                && is_punct(sf, i.wrapping_sub(1), ".")
+                && is_punct(sf, i + 1, "(")
+            {
+                if let Some(g) = ident_at(sf, i + 2) {
+                    if is_punct(sf, i + 3, ")") || is_punct(sf, i + 3, ",") {
+                        if let Some(p) = f.params.iter().position(|p| p == g) {
+                            return Some(Wrapper::Wait { guard_param: p });
+                        }
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+// ---------------------------------------------------------------------
+// The guard-liveness walker
+// ---------------------------------------------------------------------
+
+/// Methods whose empty-argument form acquires a guard. The empty-parens
+/// requirement disambiguates from `io::Read::read(&mut buf)` and
+/// friends, which always take arguments.
+pub const ACQUIRE_METHODS: [&str; 3] = ["lock", "read", "write"];
+
+/// Method names that block the calling thread. `join` and `recv`
+/// additionally require empty argument lists (`PathBuf::join(p)` and
+/// `read(&mut buf)`-style callees take arguments).
+const BLOCKING_METHODS: [&str; 12] = [
+    "write_all",
+    "read_exact",
+    "read_to_end",
+    "sync_all",
+    "sync_data",
+    "fsync",
+    "fdatasync",
+    "flush",
+    "recv_timeout",
+    "sleep",
+    "connect",
+    "accept",
+];
+
+const KEYWORDS: [&str; 30] = [
+    "if", "else", "while", "for", "loop", "match", "return", "fn", "let", "move", "in", "as",
+    "ref", "mut", "break", "continue", "unsafe", "impl", "pub", "use", "where", "struct", "enum",
+    "trait", "type", "const", "static", "dyn", "async", "await",
+];
+
+struct GuardState {
+    lock: LockName,
+    binding: Option<String>,
+    depth: usize,
+    line: u32,
+}
+
+struct Walker<'a> {
+    sf: &'a SourceFile,
+    wrappers: &'a BTreeMap<String, Wrapper>,
+    scopes: Vec<bool>, // true = loop body
+    pending_loop: bool,
+    guards: Vec<GuardState>,
+    ops: Vec<Op>,
+}
+
+impl<'a> Walker<'a> {
+    fn held(&self) -> Vec<Held> {
+        self.guards
+            .iter()
+            .map(|g| Held {
+                lock: g.lock.clone(),
+                line: g.line,
+            })
+            .collect()
+    }
+
+    fn in_loop(&self) -> bool {
+        self.scopes.iter().any(|&l| l)
+    }
+
+    fn push_op(&mut self, line: u32, kind: OpKind) {
+        let held = self.held();
+        let in_loop = self.in_loop();
+        self.ops.push(Op {
+            line,
+            kind,
+            held,
+            in_loop,
+        });
+    }
+
+    /// Kill guards on scope exit: everything acquired in the closing
+    /// scope, plus unbound temporaries whose owning statement (a
+    /// `match`/`if let` with a block) just ended.
+    fn close_scope(&mut self) {
+        let d = self.scopes.len();
+        self.guards.retain(|g| g.depth < d);
+        self.scopes.pop();
+        let d = self.scopes.len();
+        self.guards.retain(|g| g.binding.is_some() || g.depth < d);
+    }
+
+    /// Kill unbound temporaries at a statement boundary.
+    fn end_statement(&mut self) {
+        let d = self.scopes.len();
+        self.guards.retain(|g| g.binding.is_some() || g.depth < d);
+    }
+}
+
+/// The receiver path ending just before token `dot` (which holds `.`),
+/// normalized to its last segment. Returns `None` when no identifier
+/// precedes the dot.
+fn receiver_last_segment(sf: &SourceFile, dot: usize) -> Option<(String, usize)> {
+    // Walk backwards over `ident (. ident|num)*`; remember the start.
+    let toks = &sf.lexed.toks;
+    let mut i = dot; // points at `.`
+    let mut last: Option<String> = None;
+    let mut start = dot;
+    loop {
+        if i == 0 {
+            break;
+        }
+        let prev = &toks[i - 1];
+        let is_seg = prev.kind == TokKind::Ident || prev.kind == TokKind::Num;
+        if !is_seg {
+            break;
+        }
+        if last.is_none() && !(prev.kind == TokKind::Ident && prev.text == "self") {
+            last = Some(prev.text.clone());
+        }
+        start = i - 1;
+        if i >= 2 && toks[i - 2].kind == TokKind::Punct && toks[i - 2].text == "." {
+            i -= 2;
+        } else {
+            break;
+        }
+    }
+    let seg = last.or_else(|| {
+        // Pure-`self` receivers normalize to "self".
+        (start < dot).then(|| "self".to_string())
+    })?;
+    Some((seg, start))
+}
+
+/// Detect a `let [mut] NAME =` (or `NAME =` reassignment) immediately
+/// before token `start`, returning the bound name.
+fn binding_before(sf: &SourceFile, start: usize) -> Option<String> {
+    let toks = &sf.lexed.toks;
+    let mut i = start;
+    // Skip over `&`, `*`, `mut` between `=` and the expression.
+    while i > 0 {
+        let t = &toks[i - 1];
+        let skip = (t.kind == TokKind::Punct && (t.text == "&" || t.text == "*"))
+            || (t.kind == TokKind::Ident && t.text == "mut");
+        if skip {
+            i -= 1;
+        } else {
+            break;
+        }
+    }
+    if i == 0 || !(toks[i - 1].kind == TokKind::Punct && toks[i - 1].text == "=") {
+        return None;
+    }
+    // `==`, `!=`, `>=` etc. are two Punct tokens; reject comparisons.
+    if i >= 2
+        && toks[i - 2].kind == TokKind::Punct
+        && matches!(toks[i - 2].text.as_str(), "=" | "!" | "<" | ">" | "+" | "-")
+    {
+        return None;
+    }
+    let name = toks.get(i.wrapping_sub(2))?;
+    if name.kind != TokKind::Ident || KEYWORDS.contains(&name.text.as_str()) {
+        return None;
+    }
+    Some(name.text.clone())
+}
+
+/// True when the acquire expression ending at `close` (the `)` token) is
+/// immediately projected — `lock(&m).field` or `m.lock().len()` — so any
+/// preceding `let` binds the projection, not the guard, and the guard is
+/// a statement temporary. `.unwrap()`/`.expect(…)` return the guard
+/// itself and do not count as projections.
+fn projected_away(sf: &SourceFile, close: usize) -> bool {
+    let mut close = close;
+    loop {
+        if !is_punct(sf, close + 1, ".") {
+            return false;
+        }
+        match ident_at(sf, close + 2) {
+            // These return the guard itself; skip over their `(…)` and
+            // look at what follows.
+            Some("unwrap") | Some("expect") if is_punct(sf, close + 3, "(") => {
+                let (_, c) = split_args(sf, close + 3);
+                close = c;
+            }
+            Some(_) => return true,
+            None => return false,
+        }
+    }
+}
+
+/// Last path segment of a call argument (`&self.inner.state` → `state`).
+fn arg_last_segment(sf: &SourceFile, args: &[(usize, usize)], idx: usize) -> Option<String> {
+    let &(start, end) = args.get(idx)?;
+    let toks = &sf.lexed.toks;
+    let mut last = None;
+    for t in &toks[start..end] {
+        match t.kind {
+            TokKind::Ident if t.text != "self" && t.text != "mut" => {
+                last = Some(t.text.clone());
+            }
+            TokKind::Num => last = Some(t.text.clone()),
+            _ => {}
+        }
+    }
+    last
+}
+
+/// Split the argument tokens of a call whose `(` is at `open` into
+/// top-level comma-separated ranges; returns the ranges and the index of
+/// the closing `)`.
+fn split_args(sf: &SourceFile, open: usize) -> (Vec<(usize, usize)>, usize) {
+    let toks = &sf.lexed.toks;
+    let n = toks.len();
+    let mut depth = 1usize;
+    let mut i = open + 1;
+    let mut start = i;
+    let mut out = Vec::new();
+    while i < n && depth > 0 {
+        let t = &toks[i];
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        if i > start {
+                            out.push((start, i));
+                        }
+                        return (out, i);
+                    }
+                }
+                "," if depth == 1 => {
+                    out.push((start, i));
+                    start = i + 1;
+                }
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    (out, i.min(n.saturating_sub(1)))
+}
+
+fn walk_fn(sf: &SourceFile, f: &RawFn, wrappers: &BTreeMap<String, Wrapper>) -> Vec<Op> {
+    let toks = &sf.lexed.toks;
+    let mut w = Walker {
+        sf,
+        wrappers,
+        scopes: vec![false], // the fn body itself
+        pending_loop: false,
+        guards: Vec::new(),
+        ops: Vec::new(),
+    };
+    let (start, end) = f.body;
+    let mut i = start;
+    while i < end {
+        let t = &toks[i];
+        match (t.kind, t.text.as_str()) {
+            (TokKind::Punct, "{") => {
+                w.scopes.push(std::mem::take(&mut w.pending_loop));
+            }
+            (TokKind::Punct, "}") => {
+                w.close_scope();
+                w.pending_loop = false;
+            }
+            (TokKind::Punct, ";") => {
+                w.end_statement();
+                w.pending_loop = false;
+            }
+            (TokKind::Ident, "while") | (TokKind::Ident, "loop") => {
+                w.pending_loop = true;
+            }
+            (TokKind::Ident, "fn") => {
+                // Skip nested fn bodies — they're analyzed separately.
+                let mut j = i + 1;
+                while j < end && !is_punct(sf, j, "{") && !is_punct(sf, j, ";") {
+                    j += 1;
+                }
+                if is_punct(sf, j, "{") {
+                    let mut depth = 1usize;
+                    j += 1;
+                    while j < end && depth > 0 {
+                        if is_punct(sf, j, "{") {
+                            depth += 1;
+                        } else if is_punct(sf, j, "}") {
+                            depth -= 1;
+                        }
+                        j += 1;
+                    }
+                }
+                i = j;
+                continue;
+            }
+            (TokKind::Ident, "drop") if is_punct(sf, i + 1, "(") && is_punct(sf, i + 3, ")") => {
+                if let Some(name) = ident_at(sf, i + 2) {
+                    if let Some(pos) = w
+                        .guards
+                        .iter()
+                        .rposition(|g| g.binding.as_deref() == Some(name))
+                    {
+                        w.guards.remove(pos);
+                    }
+                }
+                i += 4;
+                continue;
+            }
+            (TokKind::Ident, id) if is_punct(sf, i + 1, "(") => {
+                let method = i > 0 && is_punct(sf, i - 1, ".");
+                let qualified = i > 0 && is_punct(sf, i - 1, ":");
+                if method {
+                    if let Some(advance) = w.method_call(i, id) {
+                        i = advance;
+                        continue;
+                    }
+                } else if let Some(advance) = w.free_call(i, id, qualified) {
+                    i = advance;
+                    continue;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    w.ops
+}
+
+impl<'a> Walker<'a> {
+    /// Handle `recv.NAME(…)`; returns the token index to resume at.
+    fn method_call(&mut self, i: usize, id: &str) -> Option<usize> {
+        let sf = self.sf;
+        let line = sf.tok(i).line;
+        let empty = is_punct(sf, i + 2, ")");
+        if ACQUIRE_METHODS.contains(&id) && empty {
+            let (lock, recv_start) = receiver_last_segment(sf, i - 1)?;
+            let binding = if projected_away(sf, i + 2) {
+                None
+            } else {
+                binding_before(sf, recv_start)
+            };
+            self.push_op(line, OpKind::Acquire { lock: lock.clone() });
+            let depth = self.scopes.len();
+            self.guards.push(GuardState {
+                lock,
+                binding,
+                depth,
+                line,
+            });
+            return Some(i + 3);
+        }
+        if matches!(id, "wait" | "wait_timeout" | "wait_while") && !empty {
+            if let Some(g) = ident_at(sf, i + 2) {
+                if is_punct(sf, i + 3, ")") || is_punct(sf, i + 3, ",") {
+                    let guard_lock = self
+                        .guards
+                        .iter()
+                        .rev()
+                        .find(|gs| gs.binding.as_deref() == Some(g))
+                        .map(|gs| gs.lock.clone());
+                    self.push_op(line, OpKind::Wait { guard_lock });
+                    let (_, close) = split_args(sf, i + 1);
+                    return Some(close + 1);
+                }
+            }
+        }
+        if id == "notify_one" || id == "notify_all" {
+            self.push_op(
+                line,
+                OpKind::Notify {
+                    method: id.to_string(),
+                },
+            );
+            return Some(i + 2);
+        }
+        if self.is_blocking(id, empty) {
+            self.push_op(
+                line,
+                OpKind::Blocking {
+                    what: id.to_string(),
+                },
+            );
+            return Some(i + 2);
+        }
+        // Unresolved method call with guards held → inline candidate.
+        // Only `self.method()` resolves reliably; `map.get()` or
+        // `path.exists()` would collide with same-named crate functions.
+        if !self.guards.is_empty() && !KEYWORDS.contains(&id) {
+            let self_recv = ident_at(sf, i.wrapping_sub(2)) == Some("self")
+                && !is_punct(sf, i.wrapping_sub(3), ".");
+            if self_recv {
+                self.push_op(
+                    line,
+                    OpKind::Call {
+                        callee: id.to_string(),
+                        qualifier: None,
+                    },
+                );
+            }
+        }
+        None
+    }
+
+    /// Handle a free or `::`-qualified call; returns the resume index.
+    fn free_call(&mut self, i: usize, id: &str, qualified: bool) -> Option<usize> {
+        let sf = self.sf;
+        let line = sf.tok(i).line;
+        match self.wrappers.get(id) {
+            Some(&Wrapper::Lock { param }) => {
+                let (args, close) = split_args(sf, i + 1);
+                let lock = arg_last_segment(sf, &args, param)?;
+                let binding = if projected_away(sf, close) {
+                    None
+                } else {
+                    binding_before(sf, i)
+                };
+                self.push_op(line, OpKind::Acquire { lock: lock.clone() });
+                let depth = self.scopes.len();
+                self.guards.push(GuardState {
+                    lock,
+                    binding,
+                    depth,
+                    line,
+                });
+                return Some(close + 1);
+            }
+            Some(&Wrapper::Wait { guard_param }) => {
+                let (args, close) = split_args(sf, i + 1);
+                let guard_lock = args.get(guard_param).and_then(|&(s, e)| {
+                    self.sf.lexed.toks[s..e]
+                        .iter()
+                        .rev()
+                        .find(|t| t.kind == TokKind::Ident)
+                        .and_then(|t| {
+                            self.guards
+                                .iter()
+                                .rev()
+                                .find(|gs| gs.binding.as_deref() == Some(t.text.as_str()))
+                                .map(|gs| gs.lock.clone())
+                        })
+                });
+                self.push_op(line, OpKind::Wait { guard_lock });
+                return Some(close + 1);
+            }
+            None => {}
+        }
+        let empty = is_punct(sf, i + 2, ")");
+        if qualified && self.is_blocking(id, empty) {
+            self.push_op(
+                line,
+                OpKind::Blocking {
+                    what: id.to_string(),
+                },
+            );
+            return Some(i + 2);
+        }
+        if !self.guards.is_empty() && !KEYWORDS.contains(&id) {
+            // `Type::fn(…)` — record the path qualifier so resolution can
+            // reject associated fns of types not declared in this crate.
+            let qualifier = (qualified && is_punct(sf, i.wrapping_sub(2), ":"))
+                .then(|| ident_at(sf, i.wrapping_sub(3)).map(str::to_string))
+                .flatten();
+            self.push_op(
+                line,
+                OpKind::Call {
+                    callee: id.to_string(),
+                    qualifier,
+                },
+            );
+        }
+        None
+    }
+
+    fn is_blocking(&self, id: &str, empty_args: bool) -> bool {
+        if id == "join" || id == "recv" {
+            // `PathBuf::join(p)` / `Read::read`-style callees take args;
+            // only the empty-argument forms block.
+            return empty_args;
+        }
+        BLOCKING_METHODS.contains(&id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(src: &str) -> CrateModel {
+        let files = vec![SourceFile::new("crates/demo/src/lib.rs".into(), src)];
+        let mut models = analyze(&files);
+        assert_eq!(models.len(), 1);
+        models.remove(0)
+    }
+
+    fn find<'m>(m: &'m CrateModel, name: &str) -> &'m FnAnalysis {
+        m.fns.iter().find(|f| f.name == name).unwrap()
+    }
+
+    #[test]
+    fn crate_of_parses_paths() {
+        assert_eq!(
+            crate_of("crates/durable/src/wal.rs"),
+            Some("crates/durable")
+        );
+        assert_eq!(
+            crate_of("crates/shims/parking_lot/src/lib.rs"),
+            Some("crates/shims/parking_lot")
+        );
+        assert_eq!(crate_of("crates/core/tests/chaos.rs"), None);
+        assert_eq!(crate_of("examples/demo.rs"), None);
+    }
+
+    #[test]
+    fn nested_acquisition_records_held_set() {
+        let m = model(
+            "fn f(a: &M, b: &M) {\n\
+             let g1 = a.lock();\n\
+             let g2 = b.lock();\n\
+             }\n",
+        );
+        let f = find(&m, "f");
+        let acquires: Vec<_> = f
+            .ops
+            .iter()
+            .filter(|o| matches!(o.kind, OpKind::Acquire { .. }))
+            .collect();
+        assert_eq!(acquires.len(), 2);
+        assert!(acquires[0].held.is_empty());
+        assert_eq!(acquires[1].held.len(), 1);
+        assert_eq!(acquires[1].held[0].lock, "a");
+    }
+
+    #[test]
+    fn scoped_guard_dies_before_second_acquire() {
+        let m = model(
+            "fn f(s: &S) {\n\
+             { let r = s.batches.read(); r.len(); }\n\
+             let w = s.batches.write();\n\
+             }\n",
+        );
+        let f = find(&m, "f");
+        let acquires: Vec<_> = f
+            .ops
+            .iter()
+            .filter(|o| matches!(o.kind, OpKind::Acquire { .. }))
+            .collect();
+        assert_eq!(acquires.len(), 2);
+        assert!(acquires[1].held.is_empty(), "{:?}", acquires[1]);
+    }
+
+    #[test]
+    fn drop_releases_bound_guard() {
+        let m = model(
+            "fn f(s: &S) {\n\
+             let g = s.m.lock();\n\
+             drop(g);\n\
+             s.file.write_all(b\"x\");\n\
+             }\n",
+        );
+        let f = find(&m, "f");
+        let blocking = f
+            .ops
+            .iter()
+            .find(|o| matches!(o.kind, OpKind::Blocking { .. }))
+            .unwrap();
+        assert!(blocking.held.is_empty());
+    }
+
+    #[test]
+    fn statement_temporary_dies_at_semicolon() {
+        let m = model(
+            "fn f(s: &S) {\n\
+             s.m.lock().push(1);\n\
+             s.file.sync_data();\n\
+             }\n",
+        );
+        let f = find(&m, "f");
+        let blocking = f
+            .ops
+            .iter()
+            .find(|o| matches!(o.kind, OpKind::Blocking { .. }))
+            .unwrap();
+        assert!(blocking.held.is_empty());
+    }
+
+    #[test]
+    fn if_let_scrutinee_temporary_lives_through_block() {
+        let m = model(
+            "fn f(s: &S) {\n\
+             if let Some(h) = s.writer.lock().take() {\n\
+             h.join();\n\
+             }\n\
+             s.file.sync_data();\n\
+             }\n",
+        );
+        let f = find(&m, "f");
+        let join = f
+            .ops
+            .iter()
+            .find(|o| matches!(&o.kind, OpKind::Blocking { what } if what == "join"))
+            .unwrap();
+        assert_eq!(join.held.len(), 1, "{:?}", f.ops);
+        assert_eq!(join.held[0].lock, "writer");
+        let sync = f
+            .ops
+            .iter()
+            .find(|o| matches!(&o.kind, OpKind::Blocking { what } if what == "sync_data"))
+            .unwrap();
+        assert!(sync.held.is_empty(), "temp must die when the if-let closes");
+    }
+
+    #[test]
+    fn lock_wrapper_resolves_at_call_sites() {
+        let m = model(
+            "fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {\n\
+             m.lock().unwrap_or_else(PoisonError::into_inner)\n\
+             }\n\
+             fn f(s: &S) {\n\
+             let st = lock(&s.inner.state);\n\
+             let q = lock(&s.queue);\n\
+             }\n",
+        );
+        assert_eq!(find(&m, "lock").wrapper, Some(Wrapper::Lock { param: 0 }));
+        let f = find(&m, "f");
+        let acquires: Vec<_> = f
+            .ops
+            .iter()
+            .filter_map(|o| match &o.kind {
+                OpKind::Acquire { lock } => Some((lock.clone(), o.held.clone())),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(acquires.len(), 2);
+        assert_eq!(acquires[0].0, "state");
+        assert_eq!(acquires[1].0, "queue");
+        assert_eq!(acquires[1].1[0].lock, "state");
+    }
+
+    #[test]
+    fn wait_wrapper_moves_obligation_to_call_site() {
+        let m = model(
+            "fn wait<'a, T>(cv: &Condvar, g: MutexGuard<'a, T>) -> MutexGuard<'a, T> {\n\
+             cv.wait(g).unwrap_or_else(PoisonError::into_inner)\n\
+             }\n\
+             fn looped(s: &S) {\n\
+             let mut st = s.state.lock();\n\
+             while st.busy {\n\
+             st = wait(&s.cv, st);\n\
+             }\n\
+             }\n\
+             fn unlooped(s: &S) {\n\
+             let mut st = s.state.lock();\n\
+             st = wait(&s.cv, st);\n\
+             }\n",
+        );
+        assert_eq!(
+            find(&m, "wait").wrapper,
+            Some(Wrapper::Wait { guard_param: 1 })
+        );
+        let looped = find(&m, "looped");
+        let wait_op = looped
+            .ops
+            .iter()
+            .find(|o| matches!(o.kind, OpKind::Wait { .. }))
+            .unwrap();
+        assert!(wait_op.in_loop);
+        assert_eq!(
+            wait_op.kind,
+            OpKind::Wait {
+                guard_lock: Some("state".into())
+            }
+        );
+        let unlooped = find(&m, "unlooped");
+        let wait_op = unlooped
+            .ops
+            .iter()
+            .find(|o| matches!(o.kind, OpKind::Wait { .. }))
+            .unwrap();
+        assert!(!wait_op.in_loop);
+    }
+
+    #[test]
+    fn direct_wait_in_while_is_in_loop() {
+        let m = model(
+            "fn f(s: &S) {\n\
+             let mut g = s.m.lock();\n\
+             while !*g {\n\
+             g = s.cv.wait(g).unwrap();\n\
+             }\n\
+             }\n",
+        );
+        let f = find(&m, "f");
+        let wait_op = f
+            .ops
+            .iter()
+            .find(|o| matches!(o.kind, OpKind::Wait { .. }))
+            .unwrap();
+        assert!(wait_op.in_loop);
+        assert_eq!(
+            wait_op.kind,
+            OpKind::Wait {
+                guard_lock: Some("m".into())
+            }
+        );
+    }
+
+    #[test]
+    fn notify_and_call_record_held() {
+        let m = model(
+            "fn helper(s: &S) { s.other.lock(); }\n\
+             fn f(s: &S) {\n\
+             let g = s.m.lock();\n\
+             helper(s);\n\
+             drop(g);\n\
+             s.cv.notify_all();\n\
+             }\n",
+        );
+        let f = find(&m, "f");
+        let call = f
+            .ops
+            .iter()
+            .find(|o| matches!(&o.kind, OpKind::Call { callee, .. } if callee == "helper"))
+            .unwrap();
+        assert_eq!(call.held.len(), 1);
+        let notify = f
+            .ops
+            .iter()
+            .find(|o| matches!(o.kind, OpKind::Notify { .. }))
+            .unwrap();
+        assert!(notify.held.is_empty());
+        assert!(m.effectful("helper").is_some());
+    }
+
+    #[test]
+    fn test_mask_and_test_paths_are_skipped() {
+        let files = vec![
+            SourceFile::new(
+                "crates/demo/src/lib.rs".into(),
+                "#[cfg(test)]\nmod tests {\nfn t(s: &S) { s.m.lock(); }\n}\n",
+            ),
+            SourceFile::new(
+                "crates/demo/tests/x.rs".into(),
+                "fn f(s: &S) { s.m.lock(); }\n",
+            ),
+        ];
+        let models = analyze(&files);
+        assert!(models
+            .iter()
+            .all(|m| m.fns.iter().all(|f| f.ops.is_empty())));
+    }
+
+    #[test]
+    fn projected_acquire_is_a_statement_temporary() {
+        // `let synced = s.state.lock().synced_len;` binds the projection,
+        // not the guard — the guard must be gone by the next statement.
+        let m = model(
+            "fn f(s: &S) {\n\
+             let synced = s.state.lock().synced_len;\n\
+             let g = s.path.lock();\n\
+             }\n",
+        );
+        let f = find(&m, "f");
+        let acq: Vec<_> = f
+            .ops
+            .iter()
+            .filter(|o| matches!(o.kind, OpKind::Acquire { .. }))
+            .collect();
+        assert_eq!(acq.len(), 2);
+        assert!(
+            acq[1].held.is_empty(),
+            "projected guard must not outlive its statement: {:?}",
+            acq[1].held
+        );
+    }
+
+    #[test]
+    fn unwrap_chain_still_binds_the_guard() {
+        let m = model(
+            "fn f(s: &S) {\n\
+             let g = s.state.lock().unwrap();\n\
+             let h = s.path.lock();\n\
+             }\n",
+        );
+        let f = find(&m, "f");
+        let acq: Vec<_> = f
+            .ops
+            .iter()
+            .filter(|o| matches!(o.kind, OpKind::Acquire { .. }))
+            .collect();
+        assert_eq!(acq[1].held.len(), 1, "unwrap() returns the guard itself");
+        assert_eq!(acq[1].held[0].lock, "state");
+    }
+
+    #[test]
+    fn foreign_type_qualified_call_does_not_resolve() {
+        // `Other::effect()` where `Other` is not declared in the crate
+        // must not inline the local effectful `fn effect`.
+        let m = model(
+            "fn effect(s: &S) { s.inner.lock(); }\n\
+             fn f(s: &S) {\n\
+             let g = s.outer.lock();\n\
+             let e = Other::effect(s);\n\
+             }\n",
+        );
+        let f = find(&m, "f");
+        let call = f
+            .ops
+            .iter()
+            .find(|o| matches!(&o.kind, OpKind::Call { callee, .. } if callee == "effect"))
+            .expect("call op recorded");
+        let OpKind::Call { callee, qualifier } = &call.kind else {
+            unreachable!()
+        };
+        assert_eq!(qualifier.as_deref(), Some("Other"));
+        assert!(m.resolve(callee, qualifier.as_deref()).is_none());
+        // Unqualified resolution still works.
+        assert!(m.resolve(callee, None).is_some());
+    }
+
+    #[test]
+    fn local_type_qualified_call_resolves() {
+        let m = model(
+            "struct Gate;\n\
+             fn close(s: &S) { s.gate.lock(); }\n\
+             fn f(s: &S) {\n\
+             let g = s.outer.lock();\n\
+             let c = Gate::close(s);\n\
+             }\n",
+        );
+        assert!(m.resolve("close", Some("Gate")).is_some());
+        assert!(m.resolve("close", Some("Elsewhere")).is_none());
+    }
+
+    #[test]
+    fn non_self_method_call_is_not_an_inline_candidate() {
+        let m = model(
+            "fn get(s: &S) { s.inner.lock(); }\n\
+             fn f(s: &S, map: &Map) {\n\
+             let g = s.outer.lock();\n\
+             let v = map.get(1);\n\
+             let w = s.get(2);\n\
+             }\n",
+        );
+        let f = find(&m, "f");
+        let calls: Vec<_> = f
+            .ops
+            .iter()
+            .filter(|o| matches!(&o.kind, OpKind::Call { callee, .. } if callee == "get"))
+            .collect();
+        assert!(
+            calls.is_empty(),
+            "neither map.get() nor s.get() is a self-receiver call: {calls:?}"
+        );
+    }
+}

@@ -22,6 +22,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod analysis;
 pub mod lexer;
 pub mod rules;
 
@@ -314,6 +315,11 @@ pub trait Rule {
     fn id(&self) -> &'static str;
     /// One-line description for `--list-rules`.
     fn describe(&self) -> &'static str;
+    /// Multi-line rationale + allow syntax for `--explain <rule>`.
+    /// DESIGN.md §8 carries the same contract text.
+    fn explain(&self) -> &'static str {
+        self.describe()
+    }
     /// Append findings for `files` to `out`.
     fn check(&self, files: &[SourceFile], cfg: &LintConfig, out: &mut Vec<Finding>);
 }
@@ -351,6 +357,16 @@ pub struct LintConfig {
     pub fail_crate_prefix: &'static str,
     /// Path prefix of the physical operators (rule `instrument-routing`).
     pub physical_prefix: &'static str,
+    /// Crate `src/` prefixes whose lock guards must not span blocking
+    /// calls (rule `blocking-under-lock`) — the serving hot paths.
+    pub blocking_lock_prefixes: Vec<&'static str>,
+    /// Prefixes where `Ordering::Relaxed` is acceptable without a
+    /// per-site justification (rule `atomics-audit`) — counters and
+    /// metrics modules whose loads never justify other reads.
+    pub relaxed_ok_prefixes: Vec<&'static str>,
+    /// `(file, enum)` pairs whose discriminants are wire-protocol codes
+    /// (rule `wire-error-codes`).
+    pub wire_enums: Vec<(&'static str, &'static str)>,
 }
 
 impl LintConfig {
@@ -394,6 +410,19 @@ impl LintConfig {
             ],
             fail_crate_prefix: "crates/fail/",
             physical_prefix: "crates/engine/src/physical/",
+            blocking_lock_prefixes: vec![
+                "crates/ctrie/src/",
+                "crates/core/src/",
+                "crates/serve/src/",
+                "crates/durable/src/",
+                "crates/views/src/",
+            ],
+            relaxed_ok_prefixes: vec![
+                "crates/obs/src/",
+                "crates/bench/src/",
+                "crates/engine/src/physical/metrics.rs",
+            ],
+            wire_enums: vec![("crates/serve/src/wire.rs", "ErrorCode")],
         }
     }
 }
@@ -407,6 +436,11 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(rules::api_parity::ApiParity),
         Box::new(rules::failpoint_registry::FailpointRegistry),
         Box::new(rules::instrument_routing::InstrumentRouting),
+        Box::new(rules::lock_order::LockOrder),
+        Box::new(rules::blocking_under_lock::BlockingUnderLock),
+        Box::new(rules::condvar_discipline::CondvarDiscipline),
+        Box::new(rules::atomics_audit::AtomicsAudit),
+        Box::new(rules::wire_error_codes::WireErrorCodes),
     ]
 }
 

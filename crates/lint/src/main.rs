@@ -2,12 +2,15 @@
 //!
 //! ```text
 //! cargo run -p idf-lint -- [--deny-all] [--root PATH] [--format human|json]
-//!                          [--rule ID]... [--list-rules]
+//!                          [--rule ID[,ID...]]... [--list-rules]
+//!                          [--explain RULE]
 //! ```
 //!
 //! Exit status: 0 when clean (or informational modes), 1 on findings
 //! under `--deny-all`, 2 on usage/IO errors. `--format json` emits one
-//! JSON object per line for machine consumption.
+//! JSON object per line for machine consumption. `--explain` prints a
+//! rule's rationale and allow syntax (the same text DESIGN.md §8
+//! carries) and exits.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -18,6 +21,7 @@ fn main() -> ExitCode {
     let mut format = Format::Human;
     let mut only: Vec<String> = Vec::new();
     let mut list_rules = false;
+    let mut explain: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -34,8 +38,16 @@ fn main() -> ExitCode {
                 _ => return usage("--format needs `human` or `json`"),
             },
             "--rule" => match args.next() {
-                Some(r) => only.push(r),
-                None => return usage("--rule needs a rule id"),
+                Some(r) => only.extend(
+                    r.split(',')
+                        .map(|s| s.trim().to_string())
+                        .filter(|s| !s.is_empty()),
+                ),
+                None => return usage("--rule needs a rule id (or a comma-separated list)"),
+            },
+            "--explain" => match args.next() {
+                Some(r) => explain = Some(r),
+                None => return usage("--explain needs a rule id"),
             },
             "--help" | "-h" => {
                 print_help();
@@ -53,6 +65,17 @@ fn main() -> ExitCode {
     }
 
     let known: Vec<&'static str> = idf_lint::all_rules().iter().map(|r| r.id()).collect();
+    if let Some(id) = explain {
+        let Some(rule) = idf_lint::all_rules().into_iter().find(|r| r.id() == id) else {
+            return usage(&format!(
+                "unknown rule `{id}` (known: {})",
+                known.join(", ")
+            ));
+        };
+        println!("{} — {}\n", rule.id(), rule.describe());
+        println!("{}", rule.explain());
+        return ExitCode::SUCCESS;
+    }
     for r in &only {
         if !known.contains(&r.as_str()) {
             return usage(&format!("unknown rule `{r}` (known: {})", known.join(", ")));
@@ -114,6 +137,6 @@ fn usage(msg: &str) -> ExitCode {
 fn print_help() {
     eprintln!(
         "usage: idf-lint [--deny-all] [--root PATH] [--format human|json] \
-         [--rule ID]... [--list-rules]"
+         [--rule ID[,ID...]]... [--list-rules] [--explain RULE]"
     );
 }

@@ -31,6 +31,15 @@ impl Rule for ApiParity {
         "feature-gated no-op mirrors (idf-obs, idf-fail) expose the exact real public API"
     }
 
+    fn explain(&self) -> &'static str {
+        "The no-op mirrors compiled in when a feature is off (`parity_pairs`:\n\
+         idf-obs/noop.rs, idf-fail/noop.rs) must expose exactly the real\n\
+         halves' `pub fn`/`pub const` surface with token-identical signatures\n\
+         — drift means code that only compiles with the feature on. Fix by\n\
+         mirroring the item; suppress an intentionally-divergent file with\n\
+         `// idf-lint: allow-file(api-parity) -- why`."
+    }
+
     fn check(&self, files: &[SourceFile], cfg: &LintConfig, out: &mut Vec<Finding>) {
         for pair in &cfg.parity_pairs {
             let real = extract_set(files, &pair.real);

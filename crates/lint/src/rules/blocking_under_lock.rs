@@ -1,0 +1,230 @@
+//! Rule `blocking-under-lock`: no blocking call while a hot-path
+//! `Mutex`/`RwLock` guard is live.
+//!
+//! A guard held across `fsync`/socket I/O/`join`/channel-recv turns one
+//! slow syscall into a convoy: every thread that touches that lock
+//! queues behind the storage stack. The serving paths (ctrie, core
+//! storage, serve, durable, views — [`LintConfig::blocking_lock_prefixes`])
+//! must keep guard scopes free of blocking calls; deliberate cases (the
+//! WAL group-commit drain writes under the file lock *by design*) carry
+//! an inline allow with a one-line why, which is the audit trail this
+//! rule exists to force.
+
+use crate::analysis::{self, OpKind};
+use crate::{Finding, LintConfig, Rule, SourceFile};
+
+/// See module docs.
+pub struct BlockingUnderLock;
+
+const ID: &str = "blocking-under-lock";
+
+/// `--explain` text; DESIGN.md §8 carries the same contract.
+pub const EXPLAIN: &str = "\
+Flags blocking calls made while a Mutex/RwLock guard is live in a\n\
+hot-path crate (ctrie, core, serve, durable, views). Blocking means:\n\
+file I/O (write_all/read_exact/read_to_end/flush/sync_all/sync_data/\n\
+fsync/fdatasync), TcpStream connect/accept, JoinHandle::join (empty\n\
+args), channel recv/recv_timeout, thread::sleep, and condvar waits\n\
+while *another* guard is held. One level of direct intra-crate call\n\
+inlining applies: calling a crate function that itself blocks is\n\
+flagged at the call site.\n\
+\n\
+Deliberate cases carry the audit trail inline:\n\
+\n\
+    // idf-lint: allow(blocking-under-lock) -- group commit: the drain\n\
+    // owns the file lock while batching fsyncs by design\n\
+\n\
+on the flagged line. Fix the rest by shrinking the guard scope\n\
+(drop(guard) before the call, or a `{ }` block).";
+
+impl Rule for BlockingUnderLock {
+    fn id(&self) -> &'static str {
+        ID
+    }
+
+    fn describe(&self) -> &'static str {
+        "no blocking I/O, join, recv, or sleep while a hot-path lock guard is live"
+    }
+
+    fn explain(&self) -> &'static str {
+        EXPLAIN
+    }
+
+    fn check(&self, files: &[SourceFile], cfg: &LintConfig, out: &mut Vec<Finding>) {
+        for model in analysis::analyze(files) {
+            for f in &model.fns {
+                let path = &files[f.file].path;
+                if !cfg
+                    .blocking_lock_prefixes
+                    .iter()
+                    .any(|p| path.starts_with(p))
+                {
+                    continue;
+                }
+                for op in &f.ops {
+                    match &op.kind {
+                        OpKind::Blocking { what } if !op.held.is_empty() => {
+                            out.push(Finding {
+                                rule: ID,
+                                file: path.clone(),
+                                line: op.line,
+                                message: format!(
+                                    "blocking call `{what}` while holding {}; shrink the \
+                                     guard scope or allow with a why",
+                                    held_list(&op.held)
+                                ),
+                            });
+                        }
+                        OpKind::Wait { guard_lock } => {
+                            // Waiting releases *its own* guard; any other
+                            // held guard blocks strangers for the wait.
+                            let mut others = op.held.clone();
+                            if let Some(g) = guard_lock {
+                                if let Some(pos) = others.iter().position(|h| &h.lock == g) {
+                                    others.remove(pos);
+                                }
+                            }
+                            if !others.is_empty() {
+                                out.push(Finding {
+                                    rule: ID,
+                                    file: path.clone(),
+                                    line: op.line,
+                                    message: format!(
+                                        "condvar wait parks the thread while still holding \
+                                         {}; only the waited guard is released",
+                                        held_list(&others)
+                                    ),
+                                });
+                            }
+                        }
+                        OpKind::Call { callee, qualifier } => {
+                            let Some(g) = model.resolve(callee, qualifier.as_deref()) else {
+                                continue;
+                            };
+                            if g.name == f.name {
+                                continue;
+                            }
+                            if let Some((what, bline)) = g.direct_blocking().next() {
+                                out.push(Finding {
+                                    rule: ID,
+                                    file: path.clone(),
+                                    line: op.line,
+                                    message: format!(
+                                        "`{callee}()` blocks (`{what}`, {}:{bline}) while the \
+                                         caller holds {}",
+                                        files[g.file].path,
+                                        held_list(&op.held)
+                                    ),
+                                });
+                            } else if let Some(wline) = g.direct_waits().next() {
+                                out.push(Finding {
+                                    rule: ID,
+                                    file: path.clone(),
+                                    line: op.line,
+                                    message: format!(
+                                        "`{callee}()` waits on a condvar ({}:{wline}) while \
+                                         the caller holds {}",
+                                        files[g.file].path,
+                                        held_list(&op.held)
+                                    ),
+                                });
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn held_list(held: &[analysis::Held]) -> String {
+    let locks: Vec<String> = held
+        .iter()
+        .map(|h| format!("'{}' (line {})", h.lock, h.line))
+        .collect();
+    format!("lock {}", locks.join(", "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{lint_files, LintConfig};
+
+    fn run(src: &str) -> Vec<Finding> {
+        let files = vec![("crates/durable/src/demo.rs".to_string(), src.to_string())];
+        lint_files(&files, &LintConfig::workspace_default())
+            .into_iter()
+            .filter(|f| f.rule == ID)
+            .collect()
+    }
+
+    #[test]
+    fn fsync_under_guard_is_flagged() {
+        let f = run("fn f(s: &S) { let g = s.file.lock(); g.sync_data(); }\n");
+        assert_eq!(f.len(), 1, "{f:#?}");
+        assert!(f[0].message.contains("sync_data"));
+        assert!(f[0].message.contains("'file'"));
+    }
+
+    #[test]
+    fn io_after_drop_is_fine() {
+        assert!(
+            run("fn f(s: &S) { let g = s.m.lock(); drop(g); s.file.sync_data(); }\n").is_empty()
+        );
+    }
+
+    #[test]
+    fn join_under_guard_is_flagged() {
+        let f = run("fn f(s: &S) { if let Some(h) = s.writer.lock().take() { h.join(); } }\n");
+        assert_eq!(f.len(), 1, "{f:#?}");
+        assert!(f[0].message.contains("join"));
+    }
+
+    #[test]
+    fn pathbuf_join_is_not_blocking() {
+        assert!(run("fn f(s: &S) { let g = s.m.lock(); let p = s.dir.join(name); }\n").is_empty());
+    }
+
+    #[test]
+    fn wait_holding_second_guard_is_flagged() {
+        let f = run("fn f(s: &S) {\n\
+             let a = s.a.lock();\n\
+             let mut b = s.b.lock();\n\
+             while b.busy { b = s.cv.wait(b).unwrap(); }\n\
+             }\n");
+        assert_eq!(f.len(), 1, "{f:#?}");
+        assert!(f[0].message.contains("'a'"));
+    }
+
+    #[test]
+    fn wait_holding_only_its_guard_is_fine() {
+        assert!(run("fn f(s: &S) {\n\
+             let mut b = s.b.lock();\n\
+             while b.busy { b = s.cv.wait(b).unwrap(); }\n\
+             }\n")
+        .is_empty());
+    }
+
+    #[test]
+    fn blocking_callee_is_flagged_at_call_site() {
+        let f = run("fn flush_disk(s: &S) { s.file.sync_all(); }\n\
+             fn f(s: &S) { let g = s.m.lock(); flush_disk(s); }\n");
+        assert_eq!(f.len(), 1, "{f:#?}");
+        assert_eq!(f[0].line, 2);
+        assert!(f[0].message.contains("flush_disk"));
+    }
+
+    #[test]
+    fn out_of_scope_crate_is_ignored() {
+        let files = vec![(
+            "crates/bench/src/demo.rs".to_string(),
+            "fn f(s: &S) { let g = s.file.lock(); g.sync_data(); }\n".to_string(),
+        )];
+        let f: Vec<Finding> = lint_files(&files, &LintConfig::workspace_default())
+            .into_iter()
+            .filter(|f| f.rule == ID)
+            .collect();
+        assert!(f.is_empty(), "{f:#?}");
+    }
+}

@@ -1,0 +1,171 @@
+//! Rule `condvar-discipline`: waits re-check their predicate in a loop;
+//! notifies happen with the paired mutex held or carry an allow.
+//!
+//! `Condvar::wait` is specified to wake spuriously, and even without
+//! spurious wakeups a third thread can consume the state between the
+//! notify and the waiter's re-acquisition — an `if`-guarded or bare
+//! wait is a latent hang or double-consume. Likewise, a `notify_*`
+//! issued without the paired mutex held can race a waiter that checked
+//! its predicate but has not yet parked (the classic lost wakeup);
+//! unlock-before-notify is a legitimate throughput optimization *only*
+//! when the predicate was updated under the lock first, which is
+//! exactly what the allow comment must say.
+
+use crate::analysis::{self, OpKind, Wrapper};
+use crate::{Finding, LintConfig, Rule, SourceFile};
+
+/// See module docs.
+pub struct CondvarDiscipline;
+
+const ID: &str = "condvar-discipline";
+
+/// `--explain` text; DESIGN.md §8 carries the same contract.
+pub const EXPLAIN: &str = "\
+Every Condvar wait must sit lexically inside a `while`/`loop` body so\n\
+the predicate is re-checked after every wakeup (spurious wakeups are\n\
+allowed by spec; third threads can steal the state). `if`-waits and\n\
+bare waits are flagged. A poison-recovering wait *wrapper* (a fn whose\n\
+guard argument is a parameter) is exempt inside; its call sites carry\n\
+the loop obligation instead.\n\
+\n\
+Every notify_one/notify_all must run with the paired mutex held, or\n\
+carry an allow stating that the predicate was already updated under\n\
+the lock and the unlock-before-notify is a deliberate wakeup\n\
+optimization:\n\
+\n\
+    // idf-lint: allow(condvar-discipline) -- predicate set under the\n\
+    // lock two lines up; notify after unlock avoids a pessimistic wake\n";
+
+impl Rule for CondvarDiscipline {
+    fn id(&self) -> &'static str {
+        ID
+    }
+
+    fn describe(&self) -> &'static str {
+        "condvar waits re-check predicates in a while/loop; notifies hold the paired mutex"
+    }
+
+    fn explain(&self) -> &'static str {
+        EXPLAIN
+    }
+
+    fn check(&self, files: &[SourceFile], _cfg: &LintConfig, out: &mut Vec<Finding>) {
+        for model in analysis::analyze(files) {
+            for f in &model.fns {
+                if matches!(f.wrapper, Some(Wrapper::Wait { .. })) {
+                    // The wrapper's internal wait is checked at call sites.
+                    continue;
+                }
+                let path = &files[f.file].path;
+                for op in &f.ops {
+                    match &op.kind {
+                        OpKind::Wait { .. } if !op.in_loop => {
+                            out.push(Finding {
+                                rule: ID,
+                                file: path.clone(),
+                                line: op.line,
+                                message: "condvar wait outside a while/loop predicate \
+                                          re-check; spurious wakeups and stolen state make \
+                                          if-waits and bare waits incorrect"
+                                    .to_string(),
+                            });
+                        }
+                        OpKind::Notify { method } if op.held.is_empty() => {
+                            out.push(Finding {
+                                rule: ID,
+                                file: path.clone(),
+                                line: op.line,
+                                message: format!(
+                                    "`{method}` without the paired mutex held; notify under \
+                                     the lock, or allow with a why stating the predicate was \
+                                     updated under the lock before release"
+                                ),
+                            });
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{lint_files, LintConfig};
+
+    fn run(src: &str) -> Vec<Finding> {
+        let files = vec![("crates/demo/src/lib.rs".to_string(), src.to_string())];
+        lint_files(&files, &LintConfig::workspace_default())
+            .into_iter()
+            .filter(|f| f.rule == ID)
+            .collect()
+    }
+
+    #[test]
+    fn while_wait_passes() {
+        assert!(run("fn f(s: &S) {\n\
+             let mut g = s.m.lock();\n\
+             while !*g { g = s.cv.wait(g).unwrap(); }\n\
+             s.cv.notify_all();\n\
+             }\n")
+        .is_empty());
+    }
+
+    #[test]
+    fn if_wait_is_flagged() {
+        let f = run("fn f(s: &S) {\n\
+             let mut g = s.m.lock();\n\
+             if !*g { g = s.cv.wait(g).unwrap(); }\n\
+             }\n");
+        assert_eq!(f.len(), 1, "{f:#?}");
+        assert_eq!(f[0].line, 3);
+        assert!(f[0].message.contains("while/loop"));
+    }
+
+    #[test]
+    fn bare_wait_is_flagged() {
+        let f = run("fn f(s: &S) {\n\
+             let g = s.m.lock();\n\
+             let g = s.cv.wait(g).unwrap();\n\
+             }\n");
+        assert_eq!(f.len(), 1, "{f:#?}");
+    }
+
+    #[test]
+    fn notify_without_mutex_is_flagged() {
+        let f = run("fn f(s: &S) { s.cv.notify_one(); }\n");
+        assert_eq!(f.len(), 1, "{f:#?}");
+        assert!(f[0].message.contains("notify_one"));
+    }
+
+    #[test]
+    fn notify_under_guard_passes() {
+        assert!(run("fn f(s: &S) { let g = s.m.lock(); s.cv.notify_one(); }\n").is_empty());
+    }
+
+    #[test]
+    fn wait_wrapper_checked_at_call_site_not_inside() {
+        let f = run(
+            "fn wait<'a, T>(cv: &Condvar, g: MutexGuard<'a, T>) -> MutexGuard<'a, T> {\n\
+             cv.wait(g).unwrap_or_else(PoisonError::into_inner)\n\
+             }\n\
+             fn bad(s: &S) { let st = s.m.lock(); let st = wait(&s.cv, st); }\n",
+        );
+        assert_eq!(f.len(), 1, "{f:#?}");
+        assert_eq!(
+            f[0].line, 4,
+            "only the un-looped call site, not the wrapper"
+        );
+    }
+
+    #[test]
+    fn allow_comment_suppresses_notify() {
+        assert!(run("fn f(s: &S) {\n\
+             // idf-lint: allow(condvar-discipline) -- predicate set under lock above\n\
+             s.cv.notify_all();\n\
+             }\n")
+        .is_empty());
+    }
+}

@@ -12,18 +12,32 @@
 //! 1. every `pub const NAME: &str = "..."` appears exactly once in that
 //!    file's `pub const SITES: &[&str] = &[...]` table;
 //! 2. every entry of `SITES` resolves to a declared const;
-//! 3. no two consts (across all registry files) share a string value;
+//! 3. no two consts (across all registry files, i.e. spanning every
+//!    crate's SITES table) share a string value **or a const name** —
+//!    chaos tooling and grep address sites by both;
 //! 4. outside the `idf-fail` crate, the registry files themselves, and
 //!    test code, `eval(...)`/`check(...)` never takes a string literal —
 //!    sites must be referenced by const.
 
 use crate::{Finding, LintConfig, Rule, SourceFile, TokKind};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// See module docs.
 pub struct FailpointRegistry;
 
 const ID: &str = "failpoint-registry";
+
+/// `--explain` text; DESIGN.md §8 carries the same contract.
+pub const EXPLAIN: &str = "\
+Each failpoint registry (crates/*/src/failpoints.rs) declares site-name\n\
+consts and a SITES table the chaos suites iterate. The rule checks,\n\
+per file: every const appears exactly once in SITES, and every SITES\n\
+entry resolves to a local const. Across ALL registries (spanning every\n\
+crate's SITES table): no two consts share a string value or a const\n\
+name — chaos tooling addresses sites by both, and a collision silently\n\
+halves coverage. Call sites outside the fail crate and tests must pass\n\
+consts, never raw string literals. Suppress a deliberate exception\n\
+with `// idf-lint: allow(failpoint-registry) -- why`.";
 
 impl Rule for FailpointRegistry {
     fn id(&self) -> &'static str {
@@ -34,29 +48,57 @@ impl Rule for FailpointRegistry {
         "failpoint consts registered exactly once in SITES; no raw string literals at call sites"
     }
 
+    fn explain(&self) -> &'static str {
+        EXPLAIN
+    }
+
     fn check(&self, files: &[SourceFile], cfg: &LintConfig, out: &mut Vec<Finding>) {
-        // (value, file, line) of every declared site const, across files.
-        let mut all_values: Vec<(String, String, u32)> = Vec::new();
+        // (name, value, file, line) of every declared site const, across
+        // all registry files — the cross-crate SITES inventory.
+        let mut all_decls: Vec<(String, String, String, u32)> = Vec::new();
         for sf in files {
             if cfg.failpoint_registries.iter().any(|p| *p == sf.path) {
-                check_registry(sf, &mut all_values, out);
+                check_registry(sf, &mut all_decls, out);
             }
         }
         // Cross-registry duplicate string values.
-        let mut by_value: BTreeMap<&str, Vec<&(String, String, u32)>> = BTreeMap::new();
-        for v in &all_values {
-            by_value.entry(v.0.as_str()).or_default().push(v);
+        let mut by_value: BTreeMap<&str, Vec<&(String, String, String, u32)>> = BTreeMap::new();
+        for d in &all_decls {
+            by_value.entry(d.1.as_str()).or_default().push(d);
         }
         for (value, decls) in by_value {
             if decls.len() > 1 {
                 for d in &decls[1..] {
                     out.push(Finding {
                         rule: ID,
-                        file: d.1.clone(),
-                        line: d.2,
+                        file: d.2.clone(),
+                        line: d.3,
                         message: format!(
                             "duplicate failpoint name \"{}\" (first declared in {}:{})",
-                            value, decls[0].1, decls[0].2
+                            value, decls[0].2, decls[0].3
+                        ),
+                    });
+                }
+            }
+        }
+        // Cross-registry duplicate const *names*: `failpoints::X` in two
+        // crates is legal Rust but ambiguous to grep and chaos tooling.
+        let mut by_name: BTreeMap<&str, Vec<&(String, String, String, u32)>> = BTreeMap::new();
+        for d in &all_decls {
+            by_name.entry(d.0.as_str()).or_default().push(d);
+        }
+        for (name, decls) in by_name {
+            let distinct_files = decls.iter().map(|d| d.2.as_str()).collect::<BTreeSet<_>>();
+            if distinct_files.len() > 1 {
+                for d in &decls[1..] {
+                    out.push(Finding {
+                        rule: ID,
+                        file: d.2.clone(),
+                        line: d.3,
+                        message: format!(
+                            "site const name {name} is declared in multiple registries \
+                             (also {}:{}); const names must be unique across all SITES tables",
+                            decls[0].2, decls[0].3
                         ),
                     });
                 }
@@ -75,10 +117,11 @@ impl Rule for FailpointRegistry {
     }
 }
 
-/// Validate one registry file and collect its const values.
+/// Validate one registry file and collect its const declarations as
+/// `(name, value, file, line)`.
 fn check_registry(
     sf: &SourceFile,
-    values: &mut Vec<(String, String, u32)>,
+    decls: &mut Vec<(String, String, String, u32)>,
     out: &mut Vec<Finding>,
 ) {
     let toks = &sf.lexed.toks;
@@ -130,9 +173,9 @@ fn check_registry(
             line: 1,
             message: "registry file declares site consts but no SITES table".to_string(),
         });
-        // Still record values for the duplicate check.
-        for (value, line) in consts.values() {
-            values.push((value.clone(), sf.path.clone(), *line));
+        // Still record declarations for the duplicate checks.
+        for (name, (value, line)) in &consts {
+            decls.push((name.clone(), value.clone(), sf.path.clone(), *line));
         }
         return;
     }
@@ -148,7 +191,7 @@ fn check_registry(
                 ),
             });
         }
-        values.push((value.clone(), sf.path.clone(), *line));
+        decls.push((name.clone(), value.clone(), sf.path.clone(), *line));
     }
     for (entry, line) in &sites {
         if !consts.contains_key(entry) {
@@ -247,6 +290,18 @@ mod tests {
         ]);
         assert_eq!(f.len(), 1);
         assert!(f[0].message.contains("duplicate"));
+    }
+
+    #[test]
+    fn duplicate_const_names_across_registries_are_flagged() {
+        let other = "pub const A: &str = \"engine::a\";\npub const SITES: &[&str] = &[A];\n";
+        let f = run(&[
+            ("crates/core/src/failpoints.rs", GOOD),
+            ("crates/engine/src/failpoints.rs", other),
+        ]);
+        assert_eq!(f.len(), 1, "{f:#?}");
+        assert!(f[0].message.contains("multiple registries"));
+        assert_eq!(f[0].file, "crates/engine/src/failpoints.rs");
     }
 
     #[test]

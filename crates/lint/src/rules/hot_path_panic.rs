@@ -34,6 +34,17 @@ impl Rule for HotPathPanic {
         "no unwrap/expect/panic!/indexing panics in hot-path non-test code"
     }
 
+    fn explain(&self) -> &'static str {
+        "Non-test code on the hot paths (`hot_path_prefixes`: ctrie, core\n\
+         storage files, physical operators) must not call unwrap/expect or\n\
+         panic!-family macros, and the binary row-decode files\n\
+         (`index_check_files`) must not use panicking slice indexing — a\n\
+         corrupt payload must surface as a typed error, not a crash in the\n\
+         serving thread. Suppress a proven-safe site with\n\
+         `// idf-lint: allow(hot-path-panic) -- why` (e.g. length pre-checked\n\
+         on the line above)."
+    }
+
     fn check(&self, files: &[SourceFile], cfg: &LintConfig, out: &mut Vec<Finding>) {
         for sf in files {
             let in_scope = cfg.hot_path_prefixes.iter().any(|p| sf.path.starts_with(p));

@@ -27,6 +27,16 @@ impl Rule for InstrumentRouting {
         "physical operators' execute() must route output through TaskContext::instrument"
     }
 
+    fn explain(&self) -> &'static str {
+        "Every `ExecutionPlan::execute` in the physical operators\n\
+         (`physical_prefix`) must route its output batches through\n\
+         `TaskContext::instrument` (or delegate to a child's `execute`) so\n\
+         per-operator rows/batches/latency metrics stay complete — one\n\
+         unrouted operator makes the query-profile output lie. Suppress a\n\
+         pass-through operator with\n\
+         `// idf-lint: allow(instrument-routing) -- why` above `fn execute`."
+    }
+
     fn check(&self, files: &[SourceFile], cfg: &LintConfig, out: &mut Vec<Finding>) {
         for sf in files {
             if !sf.path.starts_with(cfg.physical_prefix) {

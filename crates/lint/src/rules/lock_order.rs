@@ -1,0 +1,389 @@
+//! Rule `lock-order`: the per-crate lock-acquisition graph must be
+//! acyclic and every observed edge must match a checked-in `LOCK_ORDER`
+//! manifest.
+//!
+//! The analysis layer (see [`crate::analysis`]) records every point
+//! where a lock B is acquired while a guard for lock A is still live —
+//! directly or one call level deep within the crate. Each such edge
+//! `A → B` must appear in the crate's manifest:
+//!
+//! ```text
+//! /// Crate-wide lock acquisition order …
+//! pub const LOCK_ORDER: &[(&str, &str)] = &[
+//!     ("file", "why this lock is level 0 …"),
+//!     ("state", "why this may be taken under `file` …"),
+//! ];
+//! ```
+//!
+//! Array position *is* the order: an edge `A → B` is legal only when
+//! `A` is listed before `B`. Every entry carries a one-line
+//! justification — the manifest doubles as the deadlock-review record.
+//! Re-acquiring a lock already held (a self-edge) is always an error:
+//! `std::sync` primitives are not reentrant. Cycles are reported even
+//! when no manifest exists.
+
+use crate::analysis::{self, OpKind};
+use crate::{Finding, LintConfig, Rule, SourceFile, TokKind};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// See module docs.
+pub struct LockOrder;
+
+const ID: &str = "lock-order";
+
+/// `--explain` text; DESIGN.md §8 carries the same contract.
+pub const EXPLAIN: &str = "\
+Builds a per-crate lock-acquisition graph: an edge A -> B is recorded\n\
+whenever lock B is acquired while a guard for lock A is still live\n\
+(guard lifetime approximated by scope depth; one level of direct\n\
+intra-crate call inlining). Lock names are the last path segment of the\n\
+receiver (`self.inner.state` -> `state`).\n\
+\n\
+Every edge must match a checked-in manifest in the same crate:\n\
+\n\
+    pub const LOCK_ORDER: &[(&str, &str)] = &[\n\
+        (\"file\", \"level 0: held only by the writer drain\"),\n\
+        (\"state\", \"may be taken under `file` during rotation\"),\n\
+    ];\n\
+\n\
+Array position is the order (edges must go from earlier to later\n\
+entries) and every entry needs a one-line justification. Re-acquiring a\n\
+held lock is always flagged (std::sync is not reentrant); cycles are\n\
+flagged even without a manifest. Suppress a deliberate violation with\n\
+`// idf-lint: allow(lock-order) -- why` on the acquisition line.";
+
+impl Rule for LockOrder {
+    fn id(&self) -> &'static str {
+        ID
+    }
+
+    fn describe(&self) -> &'static str {
+        "per-crate lock-acquisition graph is acyclic and matches the LOCK_ORDER manifest"
+    }
+
+    fn explain(&self) -> &'static str {
+        EXPLAIN
+    }
+
+    fn check(&self, files: &[SourceFile], _cfg: &LintConfig, out: &mut Vec<Finding>) {
+        for model in analysis::analyze(files) {
+            let manifest = parse_manifest(files, &model, out);
+            // Collect edges: (A, B) -> first site (file, line, detail).
+            let mut edges: BTreeMap<(String, String), (String, u32, String)> = BTreeMap::new();
+            for f in &model.fns {
+                let path = &files[f.file].path;
+                for op in &f.ops {
+                    match &op.kind {
+                        OpKind::Acquire { lock } => {
+                            for h in &op.held {
+                                if h.lock == *lock {
+                                    out.push(Finding {
+                                        rule: ID,
+                                        file: path.clone(),
+                                        line: op.line,
+                                        message: format!(
+                                            "lock '{lock}' re-acquired while already held \
+                                             (acquired line {}); std::sync locks are not \
+                                             reentrant — this self-deadlocks",
+                                            h.line
+                                        ),
+                                    });
+                                } else {
+                                    edges
+                                        .entry((h.lock.clone(), lock.clone()))
+                                        .or_insert_with(|| (path.clone(), op.line, String::new()));
+                                }
+                            }
+                        }
+                        OpKind::Call { callee, qualifier } => {
+                            let Some(g) = model.resolve(callee, qualifier.as_deref()) else {
+                                continue;
+                            };
+                            if g.name == f.name {
+                                continue;
+                            }
+                            for (alock, _aline) in g.direct_acquires() {
+                                for h in &op.held {
+                                    if h.lock == alock {
+                                        out.push(Finding {
+                                            rule: ID,
+                                            file: path.clone(),
+                                            line: op.line,
+                                            message: format!(
+                                                "call to `{callee}()` re-acquires lock \
+                                                 '{alock}' already held (acquired line {}); \
+                                                 std::sync locks are not reentrant",
+                                                h.line
+                                            ),
+                                        });
+                                    } else {
+                                        edges
+                                            .entry((h.lock.clone(), alock.to_string()))
+                                            .or_insert_with(|| {
+                                                (
+                                                    path.clone(),
+                                                    op.line,
+                                                    format!(" (via call to `{callee}()`)"),
+                                                )
+                                            });
+                                    }
+                                }
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            // Manifest conformance.
+            for ((a, b), (path, line, via)) in &edges {
+                let ia = manifest.iter().position(|e| &e.name == a);
+                let ib = manifest.iter().position(|e| &e.name == b);
+                match (ia, ib) {
+                    (Some(ia), Some(ib)) if ia < ib => {}
+                    (Some(_), Some(_)) => out.push(Finding {
+                        rule: ID,
+                        file: path.clone(),
+                        line: *line,
+                        message: format!(
+                            "lock '{b}' acquired while '{a}' held{via}, but the {} \
+                             LOCK_ORDER manifest lists '{b}' before '{a}'",
+                            model.name
+                        ),
+                    }),
+                    _ => {
+                        let missing = if ia.is_none() { a } else { b };
+                        let hint = if manifest.is_empty() {
+                            format!("no LOCK_ORDER manifest found in {}", model.name)
+                        } else {
+                            format!("'{missing}' is not a manifest entry")
+                        };
+                        out.push(Finding {
+                            rule: ID,
+                            file: path.clone(),
+                            line: *line,
+                            message: format!(
+                                "lock '{b}' acquired while '{a}' held{via}; {hint} — declare \
+                                 the ordering in a `LOCK_ORDER: &[(&str, &str)]` const"
+                            ),
+                        });
+                    }
+                }
+            }
+            // Cycle detection over the raw edge set.
+            if let Some(cycle) = find_cycle(edges.keys()) {
+                let first = edges
+                    .get(&(cycle[0].clone(), cycle[1].clone()))
+                    .expect("cycle edge has a site");
+                out.push(Finding {
+                    rule: ID,
+                    file: first.0.clone(),
+                    line: first.1,
+                    message: format!(
+                        "lock-order cycle in {}: {} — a thread interleaving exists that \
+                         deadlocks",
+                        model.name,
+                        cycle.join(" -> ")
+                    ),
+                });
+            }
+        }
+    }
+}
+
+struct ManifestEntry {
+    name: String,
+}
+
+/// Parse every `const LOCK_ORDER: … = &[("name", "why"), …];` in the
+/// crate's files, validating justifications as we go.
+fn parse_manifest(
+    files: &[SourceFile],
+    model: &analysis::CrateModel,
+    out: &mut Vec<Finding>,
+) -> Vec<ManifestEntry> {
+    let mut entries = Vec::new();
+    let mut seen_files: BTreeSet<usize> = model.fns.iter().map(|f| f.file).collect();
+    // Manifest may sit in a file with no functions (e.g. lib.rs): scan
+    // every non-test file of the crate.
+    for (i, sf) in files.iter().enumerate() {
+        if !sf.is_test_path() && analysis::crate_of(&sf.path) == Some(model.name.as_str()) {
+            seen_files.insert(i);
+        }
+    }
+    for &fi in &seen_files {
+        let sf = &files[fi];
+        let toks = &sf.lexed.toks;
+        for i in 0..toks.len() {
+            if toks[i].kind != TokKind::Ident || toks[i].text != "LOCK_ORDER" {
+                continue;
+            }
+            if i == 0 || toks[i - 1].kind != TokKind::Ident || toks[i - 1].text != "const" {
+                continue;
+            }
+            // Collect string literals pairwise until the terminating `;`.
+            let mut strs: Vec<(String, u32)> = Vec::new();
+            let mut j = i + 1;
+            while j < toks.len() && toks[j].text != ";" {
+                if toks[j].kind == TokKind::Str {
+                    strs.push((toks[j].text.clone(), toks[j].line));
+                }
+                j += 1;
+            }
+            if !strs.len().is_multiple_of(2) {
+                out.push(Finding {
+                    rule: ID,
+                    file: sf.path.clone(),
+                    line: toks[i].line,
+                    message: "LOCK_ORDER manifest must be (name, justification) pairs".to_string(),
+                });
+            }
+            for pair in strs.chunks_exact(2) {
+                let (name, line) = (&pair[0].0, pair[0].1);
+                let why = &pair[1].0;
+                if why.trim().is_empty() {
+                    out.push(Finding {
+                        rule: ID,
+                        file: sf.path.clone(),
+                        line,
+                        message: format!(
+                            "LOCK_ORDER entry '{name}' has an empty justification — every \
+                             entry must say why the level is safe"
+                        ),
+                    });
+                }
+                if entries.iter().any(|e: &ManifestEntry| &e.name == name) {
+                    out.push(Finding {
+                        rule: ID,
+                        file: sf.path.clone(),
+                        line,
+                        message: format!("duplicate LOCK_ORDER entry '{name}'"),
+                    });
+                } else {
+                    entries.push(ManifestEntry { name: name.clone() });
+                }
+            }
+        }
+    }
+    entries
+}
+
+/// DFS cycle detection; returns the cycle as `[a, b, …, a]`.
+fn find_cycle<'a>(edges: impl Iterator<Item = &'a (String, String)>) -> Option<Vec<String>> {
+    let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (a, b) in edges {
+        adj.entry(a.as_str()).or_default().push(b.as_str());
+    }
+    let mut state: BTreeMap<&str, u8> = BTreeMap::new(); // 1 = on stack, 2 = done
+    let nodes: Vec<&str> = adj.keys().copied().collect();
+    for start in nodes {
+        if state.contains_key(start) {
+            continue;
+        }
+        let mut stack: Vec<(&str, usize)> = vec![(start, 0)];
+        state.insert(start, 1);
+        while let Some(&mut (node, ref mut next)) = stack.last_mut() {
+            let succs = adj.get(node).map(Vec::as_slice).unwrap_or(&[]);
+            if *next < succs.len() {
+                let s = succs[*next];
+                *next += 1;
+                match state.get(s) {
+                    Some(1) => {
+                        // Back edge: slice the stack from s.
+                        let pos = stack.iter().position(|&(n, _)| n == s).unwrap();
+                        let mut cycle: Vec<String> =
+                            stack[pos..].iter().map(|&(n, _)| n.to_string()).collect();
+                        cycle.push(s.to_string());
+                        return Some(cycle);
+                    }
+                    Some(_) => {}
+                    None => {
+                        state.insert(s, 1);
+                        stack.push((s, 0));
+                    }
+                }
+            } else {
+                state.insert(node, 2);
+                stack.pop();
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{lint_files, LintConfig};
+
+    fn run(src: &str) -> Vec<Finding> {
+        let files = vec![("crates/demo/src/lib.rs".to_string(), src.to_string())];
+        lint_files(&files, &LintConfig::workspace_default())
+            .into_iter()
+            .filter(|f| f.rule == ID)
+            .collect()
+    }
+
+    const MANIFEST: &str = "pub const LOCK_ORDER: &[(&str, &str)] = &[\n\
+        (\"a\", \"level 0: outermost\"),\n\
+        (\"b\", \"taken under a during handoff\"),\n\
+        ];\n";
+
+    #[test]
+    fn declared_edge_passes() {
+        let src = format!("{MANIFEST}fn f(s: &S) {{ let g = s.a.lock(); let h = s.b.lock(); }}\n");
+        assert!(run(&src).is_empty(), "{:#?}", run(&src));
+    }
+
+    #[test]
+    fn undeclared_edge_is_flagged() {
+        let src = "fn f(s: &S) { let g = s.a.lock(); let h = s.b.lock(); }\n";
+        let f = run(src);
+        assert_eq!(f.len(), 1, "{f:#?}");
+        assert!(f[0].message.contains("no LOCK_ORDER manifest"));
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn contradicting_order_is_flagged() {
+        let src = format!("{MANIFEST}fn f(s: &S) {{ let g = s.b.lock(); let h = s.a.lock(); }}\n");
+        let f = run(&src);
+        assert_eq!(f.len(), 1, "{f:#?}");
+        assert!(f[0].message.contains("lists 'a' before 'b'"));
+    }
+
+    #[test]
+    fn reacquisition_is_flagged() {
+        let src = format!("{MANIFEST}fn f(s: &S) {{ let g = s.a.lock(); let h = s.a.lock(); }}\n");
+        let f = run(&src);
+        assert_eq!(f.len(), 1, "{f:#?}");
+        assert!(f[0].message.contains("re-acquired"));
+    }
+
+    #[test]
+    fn cycle_is_reported() {
+        let src = "fn f(s: &S) { let g = s.a.lock(); let h = s.b.lock(); }\n\
+                   fn g(s: &S) { let g = s.b.lock(); let h = s.a.lock(); }\n";
+        let f = run(src);
+        assert!(f.iter().any(|f| f.message.contains("cycle")), "{f:#?}");
+    }
+
+    #[test]
+    fn inlined_edge_via_call_is_flagged() {
+        let src = "fn inner(s: &S) { let h = s.b.lock(); }\n\
+                   fn f(s: &S) { let g = s.a.lock(); inner(s); }\n";
+        let f = run(src);
+        assert!(
+            f.iter()
+                .any(|f| f.message.contains("via call to `inner()`")),
+            "{f:#?}"
+        );
+    }
+
+    #[test]
+    fn empty_justification_is_flagged() {
+        let src = "pub const LOCK_ORDER: &[(&str, &str)] = &[(\"a\", \"\")];\n";
+        let f = run(src);
+        assert_eq!(f.len(), 1, "{f:#?}");
+        assert!(f[0].message.contains("empty justification"));
+    }
+}

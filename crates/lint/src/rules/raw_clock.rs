@@ -26,6 +26,15 @@ impl Rule for RawClock {
         "no raw Instant::now()/SystemTime::now() in storage/probe modules unless Sampler-gated"
     }
 
+    fn explain(&self) -> &'static str {
+        "Storage/probe modules (`clock_prefixes`: core, ctrie) must not read\n\
+         the clock directly — per-operation `Instant::now()` calls blew the\n\
+         <=1.05x probe overhead budget in PR 3. Clock reads must flow through\n\
+         `Sampler::tick()` (amortized) or carry\n\
+         `// idf-lint: allow(raw-clock) -- why` for cold paths where a\n\
+         syscall per call is fine (startup, shutdown, error handling)."
+    }
+
     fn check(&self, files: &[SourceFile], cfg: &LintConfig, out: &mut Vec<Finding>) {
         for sf in files {
             let in_scope = cfg.clock_prefixes.iter().any(|p| sf.path.starts_with(p));

@@ -34,6 +34,15 @@ impl Rule for SafetyComment {
         "unsafe blocks/impls need a SAFETY: comment; unsafe fns need a # Safety doc"
     }
 
+    fn explain(&self) -> &'static str {
+        "Every `unsafe` block, `unsafe impl`, and `unsafe trait` must carry a\n\
+         `// SAFETY: …` comment on or directly above the flagged line stating\n\
+         the invariant that makes the operation sound; every `unsafe fn` must\n\
+         document a `# Safety` section. The comments are the audit trail the\n\
+         Miri job triages against. Suppress a deliberate exception with\n\
+         `// idf-lint: allow(safety-comment) -- why`."
+    }
+
     fn check(&self, files: &[SourceFile], _cfg: &LintConfig, out: &mut Vec<Finding>) {
         for sf in files {
             check_file(sf, out);

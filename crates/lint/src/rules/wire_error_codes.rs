@@ -1,0 +1,218 @@
+//! Rule `wire-error-codes`: wire-protocol error enums keep unique,
+//! explicit, contiguous-or-documented discriminants.
+//!
+//! `ErrorCode` values travel over the socket and are decoded by peers
+//! built from other revisions — a reused discriminant silently changes
+//! the meaning of old error frames, and an implicit discriminant moves
+//! every later code when a variant is inserted. Codes 14/15 were added
+//! ad hoc in the views PR; this rule makes the next addition a checked
+//! edit: explicit value, no duplicates, and either contiguous with the
+//! previous variant or carrying an allow that documents the gap.
+
+use crate::{Finding, LintConfig, Rule, SourceFile, TokKind};
+use std::collections::BTreeMap;
+
+/// See module docs.
+pub struct WireErrorCodes;
+
+const ID: &str = "wire-error-codes";
+
+/// `--explain` text; DESIGN.md §8 carries the same contract.
+pub const EXPLAIN: &str = "\
+Checks the wire-protocol error enums named in `wire_enums` (currently\n\
+`ErrorCode` in crates/serve/src/wire.rs):\n\
+\n\
+1. every variant has an explicit `= N` discriminant (implicit ones\n\
+   renumber silently when a variant is inserted above them);\n\
+2. no two variants share a value (a reused code changes the meaning of\n\
+   frames already in the wild);\n\
+3. values are declared in ascending order and contiguous — a gap is\n\
+   legal only when documented with\n\
+   `// idf-lint: allow(wire-error-codes) -- why the range is reserved`.\n\
+\n\
+New codes go at the end with the next value; retired codes keep their\n\
+slot via a documented gap, they are never reused.";
+
+impl Rule for WireErrorCodes {
+    fn id(&self) -> &'static str {
+        ID
+    }
+
+    fn describe(&self) -> &'static str {
+        "wire error-code enums: explicit, unique, contiguous-or-documented discriminants"
+    }
+
+    fn explain(&self) -> &'static str {
+        EXPLAIN
+    }
+
+    fn check(&self, files: &[SourceFile], cfg: &LintConfig, out: &mut Vec<Finding>) {
+        for (path, enum_name) in &cfg.wire_enums {
+            let Some(sf) = files.iter().find(|sf| sf.path == *path) else {
+                continue;
+            };
+            check_enum(sf, enum_name, out);
+        }
+    }
+}
+
+fn check_enum(sf: &SourceFile, enum_name: &str, out: &mut Vec<Finding>) {
+    let toks = &sf.lexed.toks;
+    let n = toks.len();
+    // Locate `enum <name> {`.
+    let mut start = None;
+    for i in 0..n.saturating_sub(1) {
+        if toks[i].kind == TokKind::Ident
+            && toks[i].text == "enum"
+            && toks[i + 1].kind == TokKind::Ident
+            && toks[i + 1].text == enum_name
+        {
+            start = Some(i + 2);
+            break;
+        }
+    }
+    let Some(mut i) = start else {
+        out.push(Finding {
+            rule: ID,
+            file: sf.path.clone(),
+            line: 1,
+            message: format!("configured wire enum `{enum_name}` not found in this file"),
+        });
+        return;
+    };
+    while i < n && toks[i].text != "{" {
+        i += 1;
+    }
+    let mut depth = 1usize;
+    i += 1;
+    let mut seen: BTreeMap<u64, String> = BTreeMap::new();
+    let mut prev: Option<(u64, String)> = None;
+    while i < n && depth > 0 {
+        match (toks[i].kind, toks[i].text.as_str()) {
+            (TokKind::Punct, "{") => depth += 1,
+            (TokKind::Punct, "}") => depth -= 1,
+            (TokKind::Ident, _) if depth == 1 => {
+                let name = toks[i].text.clone();
+                let line = toks[i].line;
+                if toks.get(i + 1).is_some_and(|t| t.text == "=") {
+                    if let Some(num) = toks.get(i + 2).filter(|t| t.kind == TokKind::Num) {
+                        if let Ok(v) = num.text.replace('_', "").parse::<u64>() {
+                            if let Some(first) = seen.get(&v) {
+                                out.push(Finding {
+                                    rule: ID,
+                                    file: sf.path.clone(),
+                                    line,
+                                    message: format!(
+                                        "`{name} = {v}` reuses the discriminant of `{first}`; \
+                                         wire codes are never reused"
+                                    ),
+                                });
+                                // A reuse is already fatal; don't also
+                                // report it as a contiguity break.
+                                prev = Some((v, name));
+                                i += 3;
+                                continue;
+                            }
+                            seen.insert(v, name.clone());
+                            if let Some((pv, pname)) = &prev {
+                                if v != pv + 1 {
+                                    out.push(Finding {
+                                        rule: ID,
+                                        file: sf.path.clone(),
+                                        line,
+                                        message: format!(
+                                            "`{name} = {v}` is not contiguous with \
+                                             `{pname} = {pv}`; renumber, or document the \
+                                             reserved gap with an allow"
+                                        ),
+                                    });
+                                }
+                            }
+                            prev = Some((v, name));
+                            i += 3;
+                            continue;
+                        }
+                    }
+                    out.push(Finding {
+                        rule: ID,
+                        file: sf.path.clone(),
+                        line,
+                        message: format!(
+                            "`{name}` has a non-literal discriminant; wire codes must be \
+                             explicit integer literals"
+                        ),
+                    });
+                } else if toks
+                    .get(i + 1)
+                    .is_some_and(|t| t.text == "," || t.text == "}")
+                {
+                    out.push(Finding {
+                        rule: ID,
+                        file: sf.path.clone(),
+                        line,
+                        message: format!(
+                            "`{name}` has an implicit discriminant; inserting a variant \
+                             above it would renumber the wire protocol — write `= N`"
+                        ),
+                    });
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{lint_files, LintConfig};
+
+    fn run(src: &str) -> Vec<Finding> {
+        let files = vec![("crates/serve/src/wire.rs".to_string(), src.to_string())];
+        lint_files(&files, &LintConfig::workspace_default())
+            .into_iter()
+            .filter(|f| f.rule == ID)
+            .collect()
+    }
+
+    #[test]
+    fn contiguous_explicit_enum_passes() {
+        assert!(run("pub enum ErrorCode { A = 1, B = 2, C = 3 }\n").is_empty());
+    }
+
+    #[test]
+    fn duplicate_discriminant_is_flagged() {
+        let f = run("pub enum ErrorCode { A = 1, B = 1 }\n");
+        assert_eq!(f.len(), 1, "{f:#?}");
+        assert!(f[0].message.contains("reuses"));
+    }
+
+    #[test]
+    fn gap_is_flagged_unless_documented() {
+        let f = run("pub enum ErrorCode { A = 1, B = 3 }\n");
+        assert_eq!(f.len(), 1, "{f:#?}");
+        assert!(f[0].message.contains("not contiguous"));
+
+        assert!(run("pub enum ErrorCode {\n\
+             A = 1,\n\
+             // idf-lint: allow(wire-error-codes) -- 2 was retired in v1, never reuse\n\
+             B = 3,\n\
+             }\n")
+        .is_empty());
+    }
+
+    #[test]
+    fn implicit_discriminant_is_flagged() {
+        let f = run("pub enum ErrorCode { A = 1, B }\n");
+        assert_eq!(f.len(), 1, "{f:#?}");
+        assert!(f[0].message.contains("implicit"));
+    }
+
+    #[test]
+    fn missing_enum_is_flagged() {
+        let f = run("pub enum Other { A = 1 }\n");
+        assert_eq!(f.len(), 1, "{f:#?}");
+        assert!(f[0].message.contains("not found"));
+    }
+}

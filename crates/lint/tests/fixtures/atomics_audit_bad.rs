@@ -1,0 +1,12 @@
+//! Seeded atomics-audit violations: a Relaxed access outside the
+//! counters/metrics allowlist and a SeqCst access on a hot path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn read(c: &AtomicU64) -> u64 {
+    c.load(Ordering::Relaxed)
+}
+
+pub fn publish(c: &AtomicU64) {
+    c.store(1, Ordering::SeqCst);
+}

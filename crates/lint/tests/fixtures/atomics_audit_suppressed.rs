@@ -1,0 +1,14 @@
+//! Suppressed twin: both orderings carry inline allows whose why states
+//! what makes the unordered access safe / what needs the total order.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn read(c: &AtomicU64) -> u64 {
+    // idf-lint: allow(atomics-audit) -- monotonic stats counter; nothing else is published through it
+    c.load(Ordering::Relaxed)
+}
+
+pub fn publish(c: &AtomicU64) {
+    // idf-lint: allow(atomics-audit) -- pairs the flag with a second atomic; two atomics need a single total order
+    c.store(1, Ordering::SeqCst);
+}

@@ -1,0 +1,19 @@
+//! Seeded blocking-under-lock violations: fsync-class I/O and a thread
+//! join while a guard from a hot-path module is live.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+struct S {
+    state: Mutex<u64>,
+}
+
+fn flush(s: &S, f: &std::fs::File, h: std::thread::JoinHandle<()>) {
+    let g = lock(&s.state);
+    let _ = f.sync_all();
+    let _ = h.join();
+    drop(g);
+}

@@ -1,0 +1,21 @@
+//! Suppressed twin: the same blocking calls carry inline allows whose
+//! why states what makes blocking under the guard safe here.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+struct S {
+    state: Mutex<u64>,
+}
+
+fn flush(s: &S, f: &std::fs::File, h: std::thread::JoinHandle<()>) {
+    let g = lock(&s.state);
+    // idf-lint: allow(blocking-under-lock) -- group-commit drain: one fsync per batch under the lock is the design
+    let _ = f.sync_all();
+    // idf-lint: allow(blocking-under-lock) -- the joined thread never takes 'state'; join only reaps it
+    let _ = h.join();
+    drop(g);
+}

@@ -1,0 +1,22 @@
+//! Seeded condvar-discipline violations: a wait with no enclosing loop
+//! re-checking the predicate, and a notify with no lock held.
+
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+struct S {
+    state: Mutex<bool>,
+    cv: Condvar,
+}
+
+fn bad_wait(s: &S) {
+    let g = lock(&s.state);
+    let _g = s.cv.wait(g);
+}
+
+fn bad_notify(s: &S) {
+    s.cv.notify_all();
+}

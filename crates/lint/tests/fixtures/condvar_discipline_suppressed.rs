@@ -1,0 +1,27 @@
+//! Suppressed twin: the wait sits in a predicate re-check loop (the
+//! correct shape, no allow needed) and the bare notify carries an allow
+//! stating why the predicate is safe without the mutex.
+
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+struct S {
+    state: Mutex<bool>,
+    cv: Condvar,
+}
+
+fn good_wait(s: &S) {
+    let mut g = lock(&s.state);
+    while !*g {
+        g = s.cv.wait(g).unwrap_or_else(PoisonError::into_inner);
+    }
+}
+
+fn good_notify(s: &S) {
+    *lock(&s.state) = true;
+    // idf-lint: allow(condvar-discipline) -- predicate was set under the lock on the line above; notify-after-unlock
+    s.cv.notify_all();
+}

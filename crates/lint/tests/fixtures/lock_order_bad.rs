@@ -1,0 +1,29 @@
+//! Seeded lock-order violations: an AB/BA inversion (cycle) in a crate
+//! with no LOCK_ORDER manifest.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+struct S {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl S {
+    fn ab(&self) {
+        let ga = lock(&self.a);
+        let gb = lock(&self.b);
+        drop(gb);
+        drop(ga);
+    }
+
+    fn ba(&self) {
+        let gb = lock(&self.b);
+        let ga = lock(&self.a);
+        drop(ga);
+        drop(gb);
+    }
+}

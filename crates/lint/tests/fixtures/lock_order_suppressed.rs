@@ -1,0 +1,38 @@
+//! Suppressed twin: the AB edge is legalized by the crate's LOCK_ORDER
+//! manifest; the deliberate BA inversion and the resulting cycle report
+//! carry inline allows with a why.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Lock-acquisition order for this fixture crate.
+pub const LOCK_ORDER: &[(&str, &str)] = &[
+    ("a", "outer coordination lock; always first"),
+    ("b", "inner data lock; nested inside a"),
+];
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+struct S {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl S {
+    fn ab(&self) {
+        let ga = lock(&self.a);
+        // idf-lint: allow(lock-order) -- cycle report site: the BA path below is a shutdown-only inversion, see fn ba
+        let gb = lock(&self.b);
+        drop(gb);
+        drop(ga);
+    }
+
+    fn ba(&self) {
+        let gb = lock(&self.b);
+        // idf-lint: allow(lock-order) -- shutdown-only path: no thread can run fn ab concurrently once drain completed
+        let ga = lock(&self.a);
+        drop(ga);
+        drop(gb);
+    }
+}

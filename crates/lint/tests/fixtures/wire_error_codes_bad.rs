@@ -1,0 +1,10 @@
+//! Seeded wire-error-codes violations: a reused discriminant, an
+//! undocumented gap, and an implicit discriminant.
+
+#[repr(u16)]
+pub enum ErrorCode {
+    Ok = 1,
+    Reused = 1,
+    Gapped = 4,
+    Implicit,
+}

@@ -1,0 +1,10 @@
+//! Suppressed twin: explicit unique values throughout; the retired-code
+//! gap is documented with an allow.
+
+#[repr(u16)]
+pub enum ErrorCode {
+    Ok = 1,
+    Second = 2,
+    // idf-lint: allow(wire-error-codes) -- code 3 was retired in v1; wire codes are never reused
+    Resumed = 4,
+}
