@@ -12,6 +12,7 @@
 //! harness serve   [--scale S] [--clients N] [--secs S]
 //!                                            BENCH-serve wire-protocol load (writes BENCH_serve.json)
 //! harness views   [--scale S]                BENCH-views materialized views on the update stream (writes BENCH_views.json)
+//! harness compact [--scale S]                BENCH-compact DML churn + background compaction (writes BENCH_compact.json)
 //! harness all     [--scale S] [--runs N]     everything above
 //! ```
 //!
@@ -19,7 +20,8 @@
 
 use idf_bench::workload::Workload;
 use idf_bench::{
-    fig2, fig3, lookup, memory, recovery, render_comparisons, serve_bench, speedup, views_bench,
+    compact_bench, fig2, fig3, lookup, memory, recovery, render_comparisons, serve_bench, speedup,
+    views_bench,
 };
 
 struct Args {
@@ -80,13 +82,19 @@ fn parse_args() -> Args {
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: harness [fig2|fig3|complex|speedup|memory|lookup|recovery|serve|views|all] \
+        "usage: harness [fig2|fig3|complex|speedup|memory|lookup|recovery|serve|views|compact|all] \
          [--scale S] [--runs N] [--clients N] [--secs S] [--json]"
     );
     std::process::exit(2);
 }
 
 fn main() {
+    // Crash-leg child re-exec for BENCH-compact: when the env var is
+    // set this process churns/compacts until SIGKILLed, never parsing
+    // its args.
+    if compact_bench::crash_child_entry() {
+        return;
+    }
     let args = parse_args();
     if cfg!(debug_assertions) {
         eprintln!("warning: debug build — run with --release for meaningful timings");
@@ -244,6 +252,24 @@ fn main() {
                     println!("{}", views_bench::render(&report));
                 }
             }
+            "compact" => {
+                let cfg = compact_bench::CompactBenchConfig::for_scale(args.scale);
+                eprintln!(
+                    "# BENCH-compact: {} keys, {} churn + {} steady waves...",
+                    cfg.keys, cfg.churn_rounds, cfg.steady_rounds
+                );
+                let report = compact_bench::run(&cfg)?;
+                let json = idf_bench::json::to_string_pretty(&report);
+                std::fs::write("BENCH_compact.json", format!("{json}\n")).map_err(|e| {
+                    idf_engine::error::EngineError::exec(format!("writing BENCH_compact.json: {e}"))
+                })?;
+                eprintln!("# wrote BENCH_compact.json");
+                if args.json {
+                    println!("{json}");
+                } else {
+                    println!("{}", compact_bench::render(&report));
+                }
+            }
             "memory" => {
                 let rows = memory::run(args.scale)?;
                 if args.json {
@@ -259,6 +285,7 @@ fn main() {
     let commands: Vec<String> = match args.command.as_str() {
         "all" => [
             "fig2", "fig3", "complex", "speedup", "memory", "lookup", "recovery", "serve", "views",
+            "compact",
         ]
         .into_iter()
         .map(String::from)

@@ -12,6 +12,10 @@
 //!   level, group-commit latency, checkpoint-restore vs full-WAL-replay.
 //! * [`serve_bench`] — BENCH-serve: closed-loop wire-protocol load
 //!   (p50/p99/p999 latency and saturation throughput vs client count).
+//! * [`compact_bench`] — BENCH-compact: DML churn + background
+//!   compaction (memory steady state, chain-walk p99 before/after a
+//!   rewrite, lookups under the compactor, SIGKILL-during-compaction
+//!   recovery vs an oracle).
 //! * [`views_bench`] — BENCH-views: materialized views maintained live
 //!   from the SNB update stream (view reads vs cold re-execution,
 //!   maintenance lag, refresh cost).
@@ -23,6 +27,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod compact_bench;
 pub mod fig2;
 pub mod fig3;
 pub mod json;

@@ -1,0 +1,65 @@
+//! Compiled-out mirror of the compaction API (`compact` feature off).
+//!
+//! Same pattern as `idf-obs`/`idf-fail`: every public item exists with
+//! the same signature as the real half (`worker.rs`, enforced by
+//! idf-lint's `api-parity` rule), but nothing ever rewrites anything —
+//! `COMPACT` reports zero tables, the worker never spawns, and dead
+//! versions simply accumulate as they would without the subsystem.
+
+use std::sync::Arc;
+
+use idf_core::table::IndexedTable;
+use idf_engine::error::Result;
+use idf_engine::session::{CompactHook, CompactRow, Session};
+
+use crate::CompactConfig;
+
+/// Compactor stub: registers nothing, rewrites nothing.
+pub struct Compactor;
+
+impl Compactor {
+    /// New compactor stub; `config` is discarded.
+    pub fn new(_config: CompactConfig) -> Arc<Compactor> {
+        Arc::new(Compactor)
+    }
+
+    /// No-op.
+    #[inline(always)]
+    pub fn register(&self, _name: &str, _table: Arc<IndexedTable>) {}
+
+    /// No-op.
+    #[inline(always)]
+    pub fn deregister(&self, _name: &str) {}
+
+    /// Always empty.
+    #[inline(always)]
+    pub fn registered(&self) -> Vec<String> {
+        Vec::new()
+    }
+
+    /// Always zero.
+    #[inline(always)]
+    pub fn cycles(&self) -> u64 {
+        0
+    }
+
+    /// No-op: no worker thread is ever spawned.
+    #[inline(always)]
+    pub fn start(self: &Arc<Self>) {}
+
+    /// No-op.
+    #[inline(always)]
+    pub fn stop(&self) {}
+
+    /// Always an empty report.
+    #[inline(always)]
+    pub fn run_once(&self) -> Result<Vec<CompactRow>> {
+        Ok(Vec::new())
+    }
+}
+
+impl CompactHook for Compactor {
+    fn compact(&self, _session: &Session, _table: Option<&str>) -> Result<Vec<CompactRow>> {
+        Ok(Vec::new())
+    }
+}

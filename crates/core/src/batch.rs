@@ -21,6 +21,13 @@
 //! `prev_ptr` is the backward pointer: a packed [`RowPtr`] to the previous
 //! row with the same key (the per-key linked list of the paper), carrying
 //! that row's stored size. `stored_len` makes full scans self-delimiting.
+//!
+//! The top bit of `stored_len` is the **row-kind flag**: set for a
+//! tombstone ([`RowKind::Tombstone`]), clear for a data row. A stored row
+//! is at most `MAX_ROW_SIZE` (1023) bytes, so the true length always fits
+//! in the low bits and the flag costs no extra framing — which is what
+//! lets checkpoints (raw committed bytes) round-trip row kinds
+//! bit-for-bit with no format change.
 
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -28,9 +35,16 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use idf_engine::error::{EngineError, Result};
 
 use crate::pointer::RowPtr;
+use crate::sink::RowKind;
 
 /// Bytes of per-row framing: u16 stored length + u64 backward pointer.
 pub const ROW_HEADER: usize = 2 + 8;
+
+/// Bit 15 of `stored_len`: set when the stored row is a tombstone.
+const KIND_TOMBSTONE_BIT: u16 = 0x8000;
+
+/// Low bits of `stored_len`: the true stored byte count.
+const STORED_LEN_MASK: u16 = 0x7FFF;
 
 /// Checked fixed-width read of `W` header bytes at `at` — a corrupt or
 /// truncated header surfaces as a typed error, never a slice panic.
@@ -121,24 +135,45 @@ impl RowBatch {
         self.capacity() - self.len()
     }
 
-    /// Append one stored row; returns its byte offset, or `None` if the
-    /// batch is full.
+    /// Append one stored data row; returns its byte offset, or `None` if
+    /// the batch is full.
     ///
     /// Must only be called by the partition's single writer (enforced by
     /// the partition's append lock).
+    #[cfg_attr(not(test), allow(dead_code))] // the kind-aware sibling took over production use
     pub(crate) fn append_row(&self, prev: RowPtr, payload: &[u8]) -> Option<usize> {
+        self.append_row_kind(prev, payload, RowKind::Data)
+    }
+
+    /// Append one stored row of the given [`RowKind`]; returns its byte
+    /// offset, or `None` if the batch is full. See [`RowBatch::append_row`]
+    /// for the single-writer contract.
+    pub(crate) fn append_row_kind(
+        &self,
+        prev: RowPtr,
+        payload: &[u8],
+        kind: RowKind,
+    ) -> Option<usize> {
         let stored = ROW_HEADER + payload.len();
+        debug_assert!(
+            stored <= STORED_LEN_MASK as usize,
+            "stored row of {stored} bytes collides with the kind flag"
+        );
         // idf-lint: allow(atomics-audit) -- single writer re-reads its own store (append lock held); readers see it via the Release publish below
         let offset = self.len.load(Ordering::Relaxed);
         if offset + stored > self.capacity() {
             return None;
+        }
+        let mut len_word = stored as u16;
+        if kind == RowKind::Tombstone {
+            len_word |= KIND_TOMBSTONE_BIT;
         }
         // SAFETY: single writer; the region [offset, offset+stored) is
         // above the committed watermark, so no reader can observe it yet.
         unsafe {
             let base = self.buf.as_ptr() as *mut u8;
             let dst = base.add(offset);
-            let len_bytes = (stored as u16).to_le_bytes();
+            let len_bytes = len_word.to_le_bytes();
             std::ptr::copy_nonoverlapping(len_bytes.as_ptr(), dst, 2);
             let prev_bytes = prev.raw().to_le_bytes();
             std::ptr::copy_nonoverlapping(prev_bytes.as_ptr(), dst.add(2), 8);
@@ -178,9 +213,25 @@ impl RowBatch {
     /// # Errors
     /// Fails when `offset` does not point at a committed, well-formed row.
     pub fn row_at(&self, offset: usize) -> Result<(usize, RowPtr, &[u8])> {
+        let (stored, prev, _, payload) = self.row_at_full(offset)?;
+        Ok((stored, prev, payload))
+    }
+
+    /// Decode the stored row at `offset` with its kind:
+    /// `(stored_size, prev, kind, payload)`.
+    ///
+    /// # Errors
+    /// Fails when `offset` does not point at a committed, well-formed row.
+    pub fn row_at_full(&self, offset: usize) -> Result<(usize, RowPtr, RowKind, &[u8])> {
         crate::failpoints::check(crate::failpoints::BATCH_READ)?;
         let head = self.read(offset, ROW_HEADER)?;
-        let stored = u16::from_le_bytes(header_bytes::<2>(head, 0)?) as usize;
+        let len_word = u16::from_le_bytes(header_bytes::<2>(head, 0)?);
+        let kind = if len_word & KIND_TOMBSTONE_BIT != 0 {
+            RowKind::Tombstone
+        } else {
+            RowKind::Data
+        };
+        let stored = (len_word & STORED_LEN_MASK) as usize;
         if stored < ROW_HEADER {
             return Err(EngineError::internal(format!(
                 "row at {offset} declares {stored} stored bytes, below the {ROW_HEADER}-byte header"
@@ -191,14 +242,27 @@ impl RowBatch {
         let payload = row.get(ROW_HEADER..).ok_or_else(|| {
             EngineError::internal(format!("row at {offset} shorter than its header"))
         })?;
-        Ok((stored, prev, payload))
+        Ok((stored, prev, kind, payload))
     }
 
     /// Iterate rows sequentially up to `watermark` committed bytes
-    /// (a snapshot boundary): yields `(offset, prev, payload)`.
+    /// (a snapshot boundary): yields `(offset, prev, payload)` for data
+    /// rows **and** tombstones alike (callers that care use
+    /// [`RowBatch::iter_rows_full`]).
     pub fn iter_rows(&self, watermark: usize) -> RowBatchIter<'_> {
         debug_assert!(watermark <= self.len());
         RowBatchIter {
+            batch: self,
+            offset: 0,
+            watermark,
+        }
+    }
+
+    /// Like [`RowBatch::iter_rows`] but yields each row's [`RowKind`]:
+    /// `(offset, prev, kind, payload)`.
+    pub fn iter_rows_full(&self, watermark: usize) -> RowBatchFullIter<'_> {
+        debug_assert!(watermark <= self.len());
+        RowBatchFullIter {
             batch: self,
             offset: 0,
             watermark,
@@ -231,6 +295,35 @@ impl<'a> Iterator for RowBatchIter<'a> {
                 let offset = self.offset;
                 self.offset += stored;
                 Some(Ok((offset, prev, payload)))
+            }
+            Err(e) => {
+                // Fuse: a malformed row makes every later offset suspect.
+                self.offset = self.watermark;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+/// Kind-aware sequential row iterator (see [`RowBatch::iter_rows_full`]).
+pub struct RowBatchFullIter<'a> {
+    batch: &'a RowBatch,
+    offset: usize,
+    watermark: usize,
+}
+
+impl<'a> Iterator for RowBatchFullIter<'a> {
+    type Item = Result<(usize, RowPtr, RowKind, &'a [u8])>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.offset >= self.watermark {
+            return None;
+        }
+        match self.batch.row_at_full(self.offset) {
+            Ok((stored, prev, kind, payload)) => {
+                let offset = self.offset;
+                self.offset += stored;
+                Some(Ok((offset, prev, kind, payload)))
             }
             Err(e) => {
                 // Fuse: a malformed row makes every later offset suspect.
@@ -347,6 +440,40 @@ mod tests {
         assert!(it.next().unwrap().is_ok(), "first row is fine");
         assert!(it.next().unwrap().is_err(), "forged row surfaces an error");
         assert!(it.next().is_none(), "iterator is fused after the error");
+    }
+
+    #[test]
+    fn tombstone_kind_roundtrips_through_header_and_restore() {
+        let b = RowBatch::with_capacity(1024);
+        let off1 = b.append_row(RowPtr::NULL, b"live").unwrap();
+        let off2 = b
+            .append_row_kind(
+                RowPtr::new(0, off1, ROW_HEADER + 4),
+                b"dead",
+                RowKind::Tombstone,
+            )
+            .unwrap();
+        let (s1, _, k1, p1) = b.row_at_full(off1).unwrap();
+        assert_eq!((s1, k1, p1), (ROW_HEADER + 4, RowKind::Data, &b"live"[..]));
+        let (s2, prev, k2, p2) = b.row_at_full(off2).unwrap();
+        assert_eq!(
+            (s2, k2, p2),
+            (ROW_HEADER + 4, RowKind::Tombstone, &b"dead"[..])
+        );
+        assert_eq!(prev.offset(), off1);
+        // The kind flag must not leak into the plain decode path: stored
+        // sizes and backward pointers are unchanged.
+        let (s2b, prevb, p2b) = b.row_at(off2).unwrap();
+        assert_eq!((s2b, prevb, p2b), (s2, prev, p2));
+        // Checkpoint (raw committed bytes) round-trips the kind bit.
+        let restored = RowBatch::from_committed_bytes(1024, b.committed_bytes()).unwrap();
+        assert_eq!(restored.row_at_full(off2).unwrap().2, RowKind::Tombstone);
+        // Kind-aware iteration sees both rows with their kinds.
+        let kinds: Vec<RowKind> = restored
+            .iter_rows_full(restored.len())
+            .map(|r| r.unwrap().2)
+            .collect();
+        assert_eq!(kinds, vec![RowKind::Data, RowKind::Tombstone]);
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //! published bytes, and chains never dangle. This is the paper's
 //! "multi-version concurrency".
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use idf_ctrie::CTrie;
@@ -33,6 +33,7 @@ use crate::batch::{RowBatch, ROW_HEADER};
 use crate::config::IndexConfig;
 use crate::layout::RowLayout;
 use crate::pointer::RowPtr;
+use crate::sink::RowKind;
 
 /// A single hash partition of an Indexed DataFrame.
 pub struct IndexedPartition {
@@ -53,6 +54,19 @@ pub struct IndexedPartition {
     /// query: a single writer appends (under `append_lock`), keys are
     /// never removed, so a counter bumped on first-insert stays exact.
     key_count: AtomicUsize,
+    /// Tombstone rows currently stored in the batches. Written only under
+    /// `append_lock`; a non-zero count is what routes snapshots onto the
+    /// visibility-aware scan path. Compaction recomputes it.
+    tombstones: AtomicUsize,
+    /// Rows hidden below a tombstone (dead versions a compaction can
+    /// reclaim). Written only under `append_lock`; a policy signal, reset
+    /// to zero by compaction.
+    dead_rows: AtomicUsize,
+    /// Swap epoch for the compaction gate protocol: even = stable, odd =
+    /// a batch/index swap is in progress. [`Self::snapshot`] retries until
+    /// it reads the same even value on both sides of its two reads, so a
+    /// snapshot can never pair a pre-swap index with post-swap batches.
+    generation: AtomicU64,
 }
 
 impl IndexedPartition {
@@ -68,6 +82,9 @@ impl IndexedPartition {
             append_lock: Mutex::new(Vec::new()),
             row_count: AtomicUsize::new(0),
             key_count: AtomicUsize::new(0),
+            tombstones: AtomicUsize::new(0),
+            dead_rows: AtomicUsize::new(0),
+            generation: AtomicU64::new(0),
         }
     }
 
@@ -106,11 +123,48 @@ impl IndexedPartition {
                 )));
             }
         }
+        let layout = RowLayout::new(schema);
+        // Recount row kinds from the restored bytes: the kind flag lives in
+        // the stored headers (checkpoints round-trip it bit-for-bit), so
+        // the counters need no checkpoint-format extension. Unreadable
+        // rows are skipped, matching the best-effort snapshot counts.
+        let mut physical = 0usize;
+        let mut tombstones = 0usize;
+        for b in &batches {
+            for (_, _, kind, _) in b.iter_rows_full(b.len()).map_while(|r| r.ok()) {
+                physical += 1;
+                if kind == RowKind::Tombstone {
+                    tombstones += 1;
+                }
+            }
+        }
+        let dead_rows = if tombstones == 0 {
+            0
+        } else {
+            let mut visible = 0usize;
+            for (_, raw) in &index_entries {
+                visible += visible_chain_len(&batches, RowPtr::from_raw(*raw));
+            }
+            // NULL-key rows are stored outside any chain but always live.
+            for b in &batches {
+                for (_, _, kind, payload) in b.iter_rows_full(b.len()).map_while(|r| r.ok()) {
+                    if kind == RowKind::Data
+                        && layout
+                            .decode_column(payload, key_col)
+                            .map(|v| v.is_null())
+                            .unwrap_or(false)
+                    {
+                        visible += 1;
+                    }
+                }
+            }
+            physical.saturating_sub(tombstones + visible)
+        };
         let keys = index_entries.len();
         let index = CTrie::new();
         index.from_entries(index_entries);
         Ok(IndexedPartition {
-            layout: RowLayout::new(schema),
+            layout,
             key_col,
             config,
             index,
@@ -118,6 +172,9 @@ impl IndexedPartition {
             append_lock: Mutex::new(Vec::new()),
             row_count: AtomicUsize::new(row_count),
             key_count: AtomicUsize::new(keys),
+            tombstones: AtomicUsize::new(tombstones),
+            dead_rows: AtomicUsize::new(dead_rows),
+            generation: AtomicU64::new(0),
         })
     }
 
@@ -192,10 +249,74 @@ impl IndexedPartition {
         self.publish_locked(key, payload)
     }
 
+    /// Append a pre-encoded row of the given [`RowKind`] — the DML replay
+    /// path, which re-applies logged tombstones and re-appended versions
+    /// in their original commit order.
+    pub fn append_encoded_kind(&self, key: &Value, payload: &[u8], kind: RowKind) -> Result<()> {
+        let _writer = self.append_lock.lock();
+        self.publish_locked_kind(key, payload, kind)
+    }
+
+    /// Take this partition's writer lock. The DML commit protocol holds
+    /// the locks of every touched partition from survivor computation
+    /// through publish, so the chains it read cannot shift under it.
+    pub(crate) fn lock_appends(&self) -> parking_lot::MutexGuard<'_, Vec<u8>> {
+        self.append_lock.lock()
+    }
+
+    /// Decode the visible rows of `key`'s chain, latest first, against
+    /// the live partition. The caller holds the append lock (via
+    /// [`Self::lock_appends`]), so the view is stable.
+    pub(crate) fn visible_rows_locked(&self, key: &Value) -> Result<Vec<Vec<Value>>> {
+        let head = self
+            .index
+            .lookup(key)
+            .map(RowPtr::from_raw)
+            .unwrap_or(RowPtr::NULL);
+        let batches = self.batches.read();
+        let mut out = Vec::new();
+        let mut next = head;
+        while !next.is_null() {
+            let batch = batches.get(next.batch()).ok_or_else(|| {
+                EngineError::internal(format!(
+                    "chain pointer names batch {} of {}",
+                    next.batch(),
+                    batches.len()
+                ))
+            })?;
+            let (_, prev, kind, payload) = batch.row_at_full(next.offset())?;
+            if kind == RowKind::Tombstone {
+                break;
+            }
+            out.push(self.layout.decode_row(payload)?);
+            next = prev;
+        }
+        Ok(out)
+    }
+
     /// Steps 1–3 of the append protocol. The caller holds `append_lock`
     /// (single writer per partition); `payload` is validated.
-    fn publish_locked(&self, key: &Value, payload: &[u8]) -> Result<()> {
+    pub(crate) fn publish_locked(&self, key: &Value, payload: &[u8]) -> Result<()> {
+        self.publish_locked_kind(key, payload, RowKind::Data)
+    }
+
+    /// Kind-aware publish (steps 1–3). The caller holds `append_lock`.
+    ///
+    /// Publishing a tombstone makes every older row of `key`'s chain
+    /// invisible: the tombstone becomes the chain head and readers stop
+    /// there. The dead-version counter grows by the rows it hides.
+    pub(crate) fn publish_locked_kind(
+        &self,
+        key: &Value,
+        payload: &[u8],
+        kind: RowKind,
+    ) -> Result<()> {
         crate::failpoints::check(crate::failpoints::APPEND_PUBLISH)?;
+        if kind == RowKind::Tombstone && key.is_null() {
+            return Err(EngineError::exec(
+                "tombstones require a non-NULL key (NULL-key rows are not DML-addressable)",
+            ));
+        }
         let stored = ROW_HEADER + payload.len();
         // 1. current chain head becomes the new row's backward pointer.
         let prev_raw = if key.is_null() {
@@ -205,7 +326,7 @@ impl IndexedPartition {
         };
         let prev = prev_raw.map(RowPtr::from_raw).unwrap_or(RowPtr::NULL);
         // 2. write + publish the row bytes.
-        let (batch_idx, offset) = self.write_row(prev, payload)?;
+        let (batch_idx, offset) = self.write_row_kind(prev, payload, kind)?;
         let ptr = RowPtr::new(batch_idx, offset, stored);
         // 3. point the index at the new head.
         if !key.is_null() {
@@ -215,6 +336,16 @@ impl IndexedPartition {
                 self.key_count.fetch_add(1, Ordering::AcqRel);
             }
         }
+        if kind == RowKind::Tombstone {
+            // The rows this tombstone just hid (stopping at any older
+            // tombstone: those below it were already counted dead).
+            let hidden = {
+                let batches = self.batches.read();
+                visible_chain_len(&batches, prev)
+            };
+            self.tombstones.fetch_add(1, Ordering::AcqRel);
+            self.dead_rows.fetch_add(hidden, Ordering::AcqRel);
+        }
         self.row_count.fetch_add(1, Ordering::AcqRel);
         let m = idf_obs::global();
         m.append_rows.inc();
@@ -223,12 +354,17 @@ impl IndexedPartition {
     }
 
     /// Write into the open batch, rolling over to a fresh batch when full.
-    fn write_row(&self, prev: RowPtr, payload: &[u8]) -> Result<(usize, usize)> {
+    fn write_row_kind(
+        &self,
+        prev: RowPtr,
+        payload: &[u8],
+        kind: RowKind,
+    ) -> Result<(usize, usize)> {
         // Fast path: room in the last batch.
         {
             let batches = self.batches.read();
             if let Some(last) = batches.last() {
-                if let Some(offset) = last.append_row(prev, payload) {
+                if let Some(offset) = last.append_row_kind(prev, payload, kind) {
                     return Ok((batches.len() - 1, offset));
                 }
             }
@@ -239,7 +375,7 @@ impl IndexedPartition {
             return Err(EngineError::exec("partition exceeded 2^31 row batches"));
         }
         let batch = Arc::new(RowBatch::with_capacity(self.config.batch_size));
-        let offset = batch.append_row(prev, payload).ok_or(
+        let offset = batch.append_row_kind(prev, payload, kind).ok_or(
             // Only reachable if a row outgrows a whole batch, which
             // `IndexConfig::validate` (max_row_size <= batch_size) rules
             // out for vetted configs.
@@ -253,13 +389,30 @@ impl IndexedPartition {
         Ok((batches.len() - 1, offset))
     }
 
-    /// Take a consistent point-in-time read view (O(1), non-blocking).
+    /// Take a consistent point-in-time read view (O(1), non-blocking on
+    /// the append path; spins only while a compaction swap — a handful of
+    /// pointer writes — is mid-flight).
     pub fn snapshot(&self) -> PartitionSnapshot {
-        // Order matters: snapshot the index first, then the watermarks, so
-        // every pointer in the index view lands below its watermark.
-        let index = self.index.read_only_snapshot();
-        let batches: Vec<Arc<RowBatch>> = self.batches.read().clone();
-        let watermarks: Vec<usize> = batches.iter().map(|b| b.len()).collect();
+        // Order matters twice over: within one attempt the index is
+        // snapshotted first, then the watermarks, so every pointer in the
+        // index view lands below its watermark; and the generation is read
+        // on both sides so an attempt that interleaved with a compaction
+        // swap (which replaces batches AND republishes the index) is
+        // thrown away instead of pairing old pointers with new batches.
+        let (index, batches, watermarks, tombstones) = loop {
+            let g1 = self.generation.load(Ordering::Acquire);
+            if g1 & 1 == 1 {
+                std::hint::spin_loop();
+                continue;
+            }
+            let index = self.index.read_only_snapshot();
+            let batches: Vec<Arc<RowBatch>> = self.batches.read().clone();
+            let watermarks: Vec<usize> = batches.iter().map(|b| b.len()).collect();
+            let tombstones = self.tombstones.load(Ordering::Acquire);
+            if self.generation.load(Ordering::Acquire) == g1 {
+                break (index, batches, watermarks, tombstones);
+            }
+        };
         let m = idf_obs::global();
         m.snapshots_taken.inc();
         PartitionSnapshot {
@@ -268,12 +421,168 @@ impl IndexedPartition {
             index,
             batches,
             watermarks,
+            tombstones,
             // The clock read is the expensive part of snapshot telemetry,
             // so only sampled snapshots carry a timestamp; the rest skip
             // both `Instant::now()` here and `elapsed()` at probe time.
             #[cfg(feature = "obs")]
             created_at: m.probe_sampler.tick().then(std::time::Instant::now),
         }
+    }
+
+    /// Tombstone rows currently stored (compaction-policy signal; non-zero
+    /// routes snapshots onto the visibility-aware scan path).
+    pub fn tombstone_count(&self) -> usize {
+        self.tombstones.load(Ordering::Acquire)
+    }
+
+    /// Rows hidden below tombstones (dead versions a compaction would
+    /// reclaim; approximate only in that it excludes superseded
+    /// tombstones themselves).
+    pub fn dead_row_count(&self) -> usize {
+        self.dead_rows.load(Ordering::Acquire)
+    }
+
+    /// Rewrite this partition's batches, dropping every dead version
+    /// (rows below a tombstone, superseded tombstones) and re-linking each
+    /// surviving chain contiguously — the chain shortens to its visible
+    /// length. Fully deleted keys keep a single tombstone *sentinel* so
+    /// the key count and restore-time pointer validation stay exact.
+    ///
+    /// Runs under the append lock (writers block, readers do not): the
+    /// rewrite builds fresh batches and a fresh pointer set on the side,
+    /// `pre_swap` runs (the compactor's swap failpoint), and then the swap
+    /// publishes everything inside one odd/even generation window —
+    /// in-flight snapshots keep reading the old `Arc`ed batches, new
+    /// snapshots retry across the window and see only the compacted state.
+    ///
+    /// Not WAL-logged: recovery replays the original appends and DML
+    /// records, which is logically equivalent; the next checkpoint
+    /// persists (and shrinks to) the compacted bytes.
+    ///
+    /// # Errors
+    /// Any error (corrupt chain, injected fault, `pre_swap` veto) aborts
+    /// before the swap with the partition untouched.
+    pub fn compact(&self, pre_swap: &dyn Fn() -> Result<()>) -> Result<CompactStats> {
+        let _writer = self.append_lock.lock();
+        let batches_before: Vec<Arc<RowBatch>> = self.batches.read().clone();
+        let bytes_before: usize = batches_before.iter().map(|b| b.len()).sum();
+        let rows_before = self.row_count.load(Ordering::Acquire);
+        let stats_noop = CompactStats {
+            rows_before,
+            rows_after: rows_before,
+            bytes_before,
+            bytes_after: bytes_before,
+            batches_before: batches_before.len(),
+            batches_after: batches_before.len(),
+        };
+        // Without tombstones every stored row is visible and every chain
+        // is already minimal: nothing to reclaim.
+        if self.tombstones.load(Ordering::Acquire) == 0 {
+            return Ok(stats_noop);
+        }
+        let old_index = self.index.read_only_snapshot();
+        let mut new_batches: Vec<Arc<RowBatch>> = Vec::new();
+        let mut new_entries: Vec<(Value, u64)> = Vec::new();
+        let mut rows_after = 0usize;
+        let mut tombstones_after = 0usize;
+        let append = |new_batches: &mut Vec<Arc<RowBatch>>,
+                      prev: RowPtr,
+                      payload: &[u8],
+                      kind: RowKind|
+         -> Result<RowPtr> {
+            let stored = ROW_HEADER + payload.len();
+            if let Some(last) = new_batches.last() {
+                if let Some(off) = last.append_row_kind(prev, payload, kind) {
+                    return Ok(RowPtr::new(new_batches.len() - 1, off, stored));
+                }
+            }
+            let batch = Arc::new(RowBatch::with_capacity(self.config.batch_size));
+            let off =
+                batch
+                    .append_row_kind(prev, payload, kind)
+                    .ok_or(EngineError::RowTooLarge {
+                        size: stored,
+                        max: self.config.batch_size,
+                    })?;
+            new_batches.push(batch);
+            Ok(RowPtr::new(new_batches.len() - 1, off, stored))
+        };
+        for (key, raw) in old_index.iter() {
+            // Collect the visible chain (latest first); a head tombstone
+            // means the key is fully deleted and keeps a sentinel.
+            let mut visible: Vec<&[u8]> = Vec::new();
+            let mut sentinel: Option<&[u8]> = None;
+            let mut next = RowPtr::from_raw(raw);
+            while !next.is_null() {
+                let batch = batches_before.get(next.batch()).ok_or_else(|| {
+                    EngineError::internal(format!(
+                        "chain pointer names batch {} of {}",
+                        next.batch(),
+                        batches_before.len()
+                    ))
+                })?;
+                let (_, prev, kind, payload) = batch.row_at_full(next.offset())?;
+                if kind == RowKind::Tombstone {
+                    if visible.is_empty() {
+                        sentinel = Some(payload);
+                    }
+                    break;
+                }
+                visible.push(payload);
+                next = prev;
+            }
+            // Re-link contiguously, oldest first, so the rebuilt chain
+            // reads back in the same latest-first order.
+            let mut head = RowPtr::NULL;
+            for payload in visible.iter().rev() {
+                head = append(&mut new_batches, head, payload, RowKind::Data)?;
+                rows_after += 1;
+            }
+            if let Some(payload) = sentinel {
+                head = append(&mut new_batches, RowPtr::NULL, payload, RowKind::Tombstone)?;
+                rows_after += 1;
+                tombstones_after += 1;
+            }
+            debug_assert!(!head.is_null(), "indexed key lost its chain in compaction");
+            new_entries.push((key, head.raw()));
+        }
+        // NULL-key rows live outside every chain and are never deleted;
+        // carry them over with a physical pass.
+        for b in &batches_before {
+            for row in b.iter_rows_full(b.len()) {
+                let (_, _, kind, payload) = row?;
+                if kind == RowKind::Data
+                    && self.layout.decode_column(payload, self.key_col)?.is_null()
+                {
+                    append(&mut new_batches, RowPtr::NULL, payload, RowKind::Data)?;
+                    rows_after += 1;
+                }
+            }
+        }
+        pre_swap()?;
+        // Swap inside the generation gate: an odd value parks snapshot
+        // attempts, and an attempt that straddled the window retries.
+        // Everything in here is infallible, so the gate always closes.
+        self.generation.fetch_add(1, Ordering::AcqRel);
+        let bytes_after: usize = new_batches.iter().map(|b| b.len()).sum();
+        let batches_after = new_batches.len();
+        *self.batches.write() = new_batches;
+        for (key, raw) in new_entries {
+            self.index.insert(key, raw);
+        }
+        self.row_count.store(rows_after, Ordering::Release);
+        self.tombstones.store(tombstones_after, Ordering::Release);
+        self.dead_rows.store(0, Ordering::Release);
+        self.generation.fetch_add(1, Ordering::AcqRel);
+        Ok(CompactStats {
+            rows_before,
+            rows_after,
+            bytes_before,
+            bytes_after,
+            batches_before: batches_before.len(),
+            batches_after,
+        })
     }
 
     /// Memory accounting for the paper's "low memory overhead" claim.
@@ -289,6 +598,8 @@ impl IndexedPartition {
             // `len()` is a full O(n) traversal.
             index_entries: self.key_count.load(Ordering::Acquire),
             rows: self.row_count(),
+            tombstones: self.tombstones.load(Ordering::Acquire),
+            dead_rows: self.dead_rows.load(Ordering::Acquire),
         }
     }
 }
@@ -313,8 +624,71 @@ pub struct PartitionMemory {
     pub reserved_bytes: usize,
     /// Number of distinct indexed keys.
     pub index_entries: usize,
-    /// Number of stored rows.
+    /// Number of stored rows (including tombstones and dead versions).
     pub rows: usize,
+    /// Stored tombstone rows.
+    pub tombstones: usize,
+    /// Rows hidden below tombstones (reclaimable by compaction).
+    pub dead_rows: usize,
+}
+
+/// What one partition compaction did (see [`IndexedPartition::compact`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompactStats {
+    /// Stored rows before the rewrite.
+    pub rows_before: usize,
+    /// Stored rows after (visible rows + delete sentinels).
+    pub rows_after: usize,
+    /// Committed batch bytes before.
+    pub bytes_before: usize,
+    /// Committed batch bytes after.
+    pub bytes_after: usize,
+    /// Row batches before.
+    pub batches_before: usize,
+    /// Row batches after.
+    pub batches_after: usize,
+}
+
+impl CompactStats {
+    /// Rows the rewrite dropped.
+    pub fn rows_reclaimed(&self) -> usize {
+        self.rows_before.saturating_sub(self.rows_after)
+    }
+
+    /// Bytes the rewrite dropped.
+    pub fn bytes_reclaimed(&self) -> usize {
+        self.bytes_before.saturating_sub(self.bytes_after)
+    }
+
+    /// Merge per-partition stats into a per-table total.
+    pub fn merge(&mut self, other: &CompactStats) {
+        self.rows_before += other.rows_before;
+        self.rows_after += other.rows_after;
+        self.bytes_before += other.bytes_before;
+        self.bytes_after += other.bytes_after;
+        self.batches_before += other.batches_before;
+        self.batches_after += other.batches_after;
+    }
+}
+
+/// Walk the chain from `head`, counting rows until the first tombstone,
+/// a corrupt pointer, or the end of the chain — the *visible* length.
+fn visible_chain_len(batches: &[Arc<RowBatch>], head: RowPtr) -> usize {
+    let mut n = 0usize;
+    let mut next = head;
+    while !next.is_null() {
+        let Some(batch) = batches.get(next.batch()) else {
+            break;
+        };
+        match batch.row_at_full(next.offset()) {
+            Ok((_, prev, RowKind::Data, _)) => {
+                n += 1;
+                next = prev;
+            }
+            _ => break,
+        }
+    }
+    n
 }
 
 /// A frozen, consistent view of a partition.
@@ -324,6 +698,10 @@ pub struct PartitionSnapshot {
     index: CTrie<Value, u64>,
     batches: Vec<Arc<RowBatch>>,
     watermarks: Vec<usize>,
+    /// Tombstones stored at snapshot time. Zero keeps scans on the cheap
+    /// physical batch-order path; non-zero routes them through the chains
+    /// so hidden versions stay hidden.
+    tombstones: usize,
     /// When the snapshot was taken, feeding the snapshot-age histogram at
     /// probe time. `Some` only for 1-in-`idf_obs::SAMPLE_PERIOD` snapshots
     /// (and absent entirely in compiled-out builds), so the steady-state
@@ -346,16 +724,50 @@ impl PartitionSnapshot {
         self.layout.schema()
     }
 
-    /// Number of rows visible in this snapshot.
+    /// Number of rows visible in this snapshot (tombstones and the
+    /// versions they hide are not visible).
     ///
     /// Malformed rows (which only a storage bug could produce) terminate
-    /// their batch's walk early rather than failing the count.
+    /// their batch's or chain's walk early rather than failing the count.
     pub fn row_count(&self) -> usize {
-        self.batches
-            .iter()
-            .zip(&self.watermarks)
-            .map(|(b, &w)| b.iter_rows(w).map_while(|r| r.ok()).count())
-            .sum()
+        if self.tombstones == 0 {
+            return self
+                .batches
+                .iter()
+                .zip(&self.watermarks)
+                .map(|(b, &w)| b.iter_rows(w).map_while(|r| r.ok()).count())
+                .sum();
+        }
+        let mut n = 0usize;
+        for (_, raw) in self.index.iter() {
+            n += visible_chain_len(&self.batches, RowPtr::from_raw(raw));
+        }
+        n + self.null_key_payloads().len()
+    }
+
+    /// Whether this snapshot contains tombstones (visibility-aware scan).
+    pub fn has_tombstones(&self) -> bool {
+        self.tombstones > 0
+    }
+
+    /// NULL-key data rows, which live outside every chain: collected via
+    /// a physical pass that skips tombstones and undecodable rows.
+    fn null_key_payloads(&self) -> Vec<&[u8]> {
+        let mut out = Vec::new();
+        for (b, &w) in self.batches.iter().zip(&self.watermarks) {
+            for (_, _, kind, payload) in b.iter_rows_full(w).map_while(|r| r.ok()) {
+                if kind == RowKind::Data
+                    && self
+                        .layout
+                        .decode_column(payload, self.key_col)
+                        .map(|v| v.is_null())
+                        .unwrap_or(false)
+                {
+                    out.push(payload);
+                }
+            }
+        }
+        out
     }
 
     /// Follow the backward-pointer chain for `key`, latest row first,
@@ -520,22 +932,32 @@ impl PartitionSnapshot {
         let mut out = Vec::new();
         let mut builders = self.new_builders(&cols);
         let mut rows_in_chunk = 0usize;
-        for (batch, &watermark) in self.batches.iter().zip(&self.watermarks) {
-            for row in batch.iter_rows(watermark) {
-                let (_, _, payload) = row?;
-                self.layout.decode_into(payload, &cols, &mut builders)?;
-                rows_in_chunk += 1;
-                if rows_in_chunk >= chunk_rows {
-                    if let Some(q) = query {
-                        q.check()?;
-                    }
-                    let chunk = finish_chunk(&cols, &mut builders, self.schema(), rows_in_chunk)?;
-                    if let Some(q) = query {
-                        q.charge_memory(chunk.byte_size())?;
-                    }
-                    out.push(chunk);
-                    rows_in_chunk = 0;
+        // Tombstone-free snapshots scan in physical batch order (the
+        // paper's `transformToRowRDD`); once tombstones exist the scan
+        // walks the chains instead so hidden versions stay hidden.
+        let payloads: Box<dyn Iterator<Item = Result<&[u8]>> + '_> = if self.tombstones == 0 {
+            Box::new(
+                self.batches
+                    .iter()
+                    .zip(&self.watermarks)
+                    .flat_map(|(b, &w)| b.iter_rows(w).map(|r| r.map(|(_, _, p)| p))),
+            )
+        } else {
+            Box::new(self.visible_payloads()?.into_iter().map(Ok))
+        };
+        for payload in payloads {
+            self.layout.decode_into(payload?, &cols, &mut builders)?;
+            rows_in_chunk += 1;
+            if rows_in_chunk >= chunk_rows {
+                if let Some(q) = query {
+                    q.check()?;
                 }
+                let chunk = finish_chunk(&cols, &mut builders, self.schema(), rows_in_chunk)?;
+                if let Some(q) = query {
+                    q.charge_memory(chunk.byte_size())?;
+                }
+                out.push(chunk);
+                rows_in_chunk = 0;
             }
         }
         if rows_in_chunk > 0 || out.is_empty() {
@@ -546,6 +968,33 @@ impl PartitionSnapshot {
                 rows_in_chunk,
             )?);
         }
+        Ok(out)
+    }
+
+    /// Every visible payload of a tombstone-carrying snapshot: each key's
+    /// chain down to its first tombstone (latest first), then the
+    /// chain-less NULL-key rows.
+    fn visible_payloads(&self) -> Result<Vec<&[u8]>> {
+        let mut out = Vec::new();
+        for (_, raw) in self.index.iter() {
+            let mut next = RowPtr::from_raw(raw);
+            while !next.is_null() {
+                let batch = self.batches.get(next.batch()).ok_or_else(|| {
+                    EngineError::internal(format!(
+                        "chain pointer names batch {} of {}",
+                        next.batch(),
+                        self.batches.len()
+                    ))
+                })?;
+                let (_, prev, kind, payload) = batch.row_at_full(next.offset())?;
+                if kind == RowKind::Tombstone {
+                    break;
+                }
+                out.push(payload);
+                next = prev;
+            }
+        }
+        out.extend(self.null_key_payloads());
         Ok(out)
     }
 
@@ -666,9 +1115,19 @@ impl<'a> Iterator for ChainIter<'a> {
                 self.snapshot.batches.len()
             ))));
         };
-        match batch.row_at(ptr.offset()) {
-            Ok((stored, prev, payload)) => {
+        match batch.row_at_full(ptr.offset()) {
+            Ok((stored, prev, kind, payload)) => {
                 debug_assert_eq!(stored, ptr.size(), "pointer size must match stored row");
+                if kind == RowKind::Tombstone {
+                    // The visible chain ends here: every older version of
+                    // this key is deleted. Decoding the tombstone was
+                    // still a physical row read, so it counts toward the
+                    // walk length — this is exactly the hop a compaction
+                    // rewrite removes from every surviving key's probe.
+                    self.walked += 1;
+                    self.next = RowPtr::NULL;
+                    return None;
+                }
                 self.next = prev;
                 self.walked += 1;
                 Some(Ok(payload))
@@ -894,6 +1353,206 @@ mod tests {
         let s = p.snapshot();
         assert_eq!(s.row_count(), 5_000);
         assert_eq!(s.lookup_count(&Value::Int64(5)).unwrap(), 100);
+    }
+
+    fn tombstone_payload(p: &IndexedPartition, k: i64) -> Vec<u8> {
+        p.encode_row(&[Value::Int64(k), Value::Null]).unwrap()
+    }
+
+    #[test]
+    fn tombstone_ends_the_visible_chain() {
+        let p = partition();
+        p.append_row(&row(1, "a")).unwrap();
+        p.append_row(&row(1, "b")).unwrap();
+        p.append_row(&row(2, "other")).unwrap();
+        let before = p.snapshot();
+        let tomb = tombstone_payload(&p, 1);
+        p.append_encoded_kind(&Value::Int64(1), &tomb, RowKind::Tombstone)
+            .unwrap();
+        // A snapshot taken before the delete still sees both versions.
+        assert_eq!(before.lookup_count(&Value::Int64(1)).unwrap(), 2);
+        assert_eq!(before.row_count(), 3);
+        let after = p.snapshot();
+        assert_eq!(after.lookup_count(&Value::Int64(1)).unwrap(), 0);
+        assert_eq!(after.row_count(), 1, "only k=2 stays visible");
+        let chunks = after.scan_chunks(None, 16).unwrap();
+        let total: usize = chunks.iter().map(Chunk::len).sum();
+        assert_eq!(total, 1, "scan hides deleted rows and the tombstone");
+        // Re-insert above the tombstone: only the new version is visible.
+        p.append_row(&row(1, "reborn")).unwrap();
+        let s3 = p.snapshot();
+        assert_eq!(s3.lookup_count(&Value::Int64(1)).unwrap(), 1);
+        let chunk = s3.lookup_chunk(&Value::Int64(1), None).unwrap();
+        assert_eq!(chunk.value_at(1, 0), Value::Utf8("reborn".into()));
+        let m = p.memory_stats();
+        assert_eq!(m.tombstones, 1);
+        assert_eq!(m.dead_rows, 2);
+        assert_eq!(m.rows, 5, "physical rows include the dead chain");
+    }
+
+    #[test]
+    fn tombstones_reject_null_keys() {
+        let p = partition();
+        let payload = p
+            .encode_row(&[Value::Null, Value::Utf8("x".into())])
+            .unwrap();
+        let err = p
+            .append_encoded_kind(&Value::Null, &payload, RowKind::Tombstone)
+            .unwrap_err();
+        assert!(err.to_string().contains("NULL"), "got: {err}");
+        assert_eq!(p.row_count(), 0);
+    }
+
+    #[test]
+    fn compact_drops_dead_versions_and_keeps_answers() {
+        let cfg = IndexConfig {
+            batch_size: 512,
+            max_row_size: 200,
+            ..Default::default()
+        };
+        let p = IndexedPartition::new(schema(), 0, cfg.clone());
+        for i in 0..20 {
+            p.append_row(&row(i, "v0")).unwrap();
+        }
+        p.append_row(&[Value::Null, Value::Utf8("nullkey".into())])
+            .unwrap();
+        // Churn keys 0..10 (delete + re-insert, five rounds) …
+        for round in 0..5 {
+            for k in 0..10 {
+                let tomb = tombstone_payload(&p, k);
+                p.append_encoded_kind(&Value::Int64(k), &tomb, RowKind::Tombstone)
+                    .unwrap();
+                p.append_row(&row(k, &format!("r{round}"))).unwrap();
+            }
+        }
+        // … and fully delete keys 15..20.
+        for k in 15..20 {
+            let tomb = tombstone_payload(&p, k);
+            p.append_encoded_kind(&Value::Int64(k), &tomb, RowKind::Tombstone)
+                .unwrap();
+        }
+        let before = p.snapshot();
+        let stats = p.compact(&|| Ok(())).unwrap();
+        assert!(stats.rows_after < stats.rows_before, "{stats:?}");
+        assert!(stats.bytes_after < stats.bytes_before, "{stats:?}");
+        assert!(stats.batches_after < stats.batches_before, "{stats:?}");
+        // The pre-compaction snapshot is untouched (old Arc'ed batches).
+        assert_eq!(before.lookup_count(&Value::Int64(0)).unwrap(), 1);
+        assert_eq!(before.row_count(), 16);
+        let after = p.snapshot();
+        for k in 0..10 {
+            let c = after.lookup_chunk(&Value::Int64(k), None).unwrap();
+            assert_eq!(c.len(), 1);
+            assert_eq!(c.value_at(1, 0), Value::Utf8("r4".into()));
+        }
+        for k in 10..15 {
+            assert_eq!(after.lookup_count(&Value::Int64(k)).unwrap(), 1);
+        }
+        for k in 15..20 {
+            assert_eq!(after.lookup_count(&Value::Int64(k)).unwrap(), 0);
+        }
+        assert_eq!(after.row_count(), before.row_count());
+        let m = p.memory_stats();
+        assert_eq!(m.index_entries, 20, "sentinels keep deleted keys");
+        assert_eq!(m.dead_rows, 0);
+        assert_eq!(m.tombstones, 5);
+        // Appends keep working after the swap.
+        p.append_row(&row(0, "post")).unwrap();
+        assert_eq!(p.snapshot().lookup_count(&Value::Int64(0)).unwrap(), 2);
+        // Deleted keys resurrect cleanly above their sentinel.
+        p.append_row(&row(15, "back")).unwrap();
+        assert_eq!(p.snapshot().lookup_count(&Value::Int64(15)).unwrap(), 1);
+        // The compacted bytes round-trip through the checkpoint path.
+        let s = p.snapshot();
+        let batches: Vec<Arc<RowBatch>> = s
+            .export_batches()
+            .into_iter()
+            .map(|(cap, bytes)| Arc::new(RowBatch::from_committed_bytes(cap, bytes).unwrap()))
+            .collect();
+        let restored =
+            IndexedPartition::restore(schema(), 0, cfg, batches, s.export_index(), p.row_count())
+                .unwrap();
+        // All five sentinels are still physically present (key 15's new
+        // row sits above its sentinel, it does not remove it).
+        assert_eq!(restored.tombstone_count(), 5);
+        let rs = restored.snapshot();
+        assert_eq!(rs.lookup_count(&Value::Int64(0)).unwrap(), 2);
+        assert_eq!(rs.lookup_count(&Value::Int64(16)).unwrap(), 0);
+        assert_eq!(rs.row_count(), s.row_count());
+    }
+
+    #[test]
+    fn compact_is_a_noop_without_tombstones() {
+        let p = partition();
+        for i in 0..50 {
+            p.append_row(&row(i % 5, "v")).unwrap();
+        }
+        let stats = p.compact(&|| Ok(())).unwrap();
+        assert_eq!(stats.rows_before, stats.rows_after);
+        assert_eq!(stats.rows_reclaimed(), 0);
+        assert_eq!(p.snapshot().row_count(), 50);
+    }
+
+    #[test]
+    fn compact_aborts_cleanly_when_pre_swap_fails() {
+        let p = partition();
+        p.append_row(&row(1, "a")).unwrap();
+        let tomb = tombstone_payload(&p, 1);
+        p.append_encoded_kind(&Value::Int64(1), &tomb, RowKind::Tombstone)
+            .unwrap();
+        let err = p
+            .compact(&|| Err(EngineError::exec("injected swap fault")))
+            .unwrap_err();
+        assert!(err.to_string().contains("injected swap fault"));
+        // Nothing swapped: the dead version is still reclaimable.
+        let m = p.memory_stats();
+        assert_eq!(m.rows, 2);
+        assert_eq!(m.tombstones, 1);
+        assert_eq!(m.dead_rows, 1);
+        let stats = p.compact(&|| Ok(())).unwrap();
+        assert_eq!(stats.rows_after, 1, "retry succeeds");
+    }
+
+    #[test]
+    fn snapshots_stay_consistent_across_concurrent_compaction() {
+        let p = Arc::new(partition());
+        for k in 0..100 {
+            p.append_row(&row(k, "v")).unwrap();
+        }
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let p = Arc::clone(&p);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        let s = p.snapshot();
+                        // One churned key may be mid delete+reinsert.
+                        let n = s.row_count();
+                        assert!((99..=100).contains(&n), "visible rows {n}");
+                        for k in [75i64, 99] {
+                            assert_eq!(s.lookup_count(&Value::Int64(k)).unwrap(), 1);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for round in 0..10 {
+            for k in 0..50 {
+                let tomb = tombstone_payload(&p, k);
+                p.append_encoded_kind(&Value::Int64(k), &tomb, RowKind::Tombstone)
+                    .unwrap();
+                p.append_row(&row(k, &format!("r{round}"))).unwrap();
+            }
+            p.compact(&|| Ok(())).unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            r.join().unwrap();
+        }
+        let s = p.snapshot();
+        assert_eq!(s.row_count(), 100);
+        assert_eq!(p.memory_stats().dead_rows, 0);
     }
 
     #[test]

@@ -27,6 +27,42 @@
 
 use idf_engine::error::Result;
 
+/// The kind of a stored row: a live data version or a tombstone that
+/// terminates the visible part of its key's backward-pointer chain.
+///
+/// The kind travels *beside* the encoded payload — through the sink seam
+/// to the WAL and back through recovery — and is persisted in the stored
+/// row header (bit 15 of `stored_len`, see [`crate::batch`]), so
+/// checkpoints round-trip it bit-for-bit without a separate side table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowKind {
+    /// A regular row version.
+    Data,
+    /// A deletion marker: the chain walk stops here, hiding every older
+    /// version of the key. Its payload is an encoded row carrying the key
+    /// (all other columns NULL) so recovery can route it to a partition.
+    Tombstone,
+}
+
+impl RowKind {
+    /// Wire encoding (one byte) for WAL records.
+    pub fn to_u8(self) -> u8 {
+        match self {
+            RowKind::Data => 0,
+            RowKind::Tombstone => 1,
+        }
+    }
+
+    /// Decode the wire byte; unknown values are `None` (corrupt record).
+    pub fn from_u8(b: u8) -> Option<RowKind> {
+        match b {
+            0 => Some(RowKind::Data),
+            1 => Some(RowKind::Tombstone),
+            _ => None,
+        }
+    }
+}
+
 /// Whether a sink is accepting commits (see [`AppendSink::status`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SinkStatus {
@@ -44,6 +80,24 @@ pub trait AppendSink: Send + Sync {
     /// durability level and returns a guard the caller holds until the
     /// rows are published to memory.
     fn begin_commit(&self, rows: &[&[u8]]) -> Result<Box<dyn CommitGuard>>;
+
+    /// Log one committed DML statement: `rows[i]` is the encoded payload
+    /// and `kinds[i]` its [`RowKind`], in publish order. The whole slice
+    /// is one atomic statement (a single WAL record), which is what bounds
+    /// a crash to at most one ambiguous in-flight DML commit.
+    ///
+    /// The default forwards to [`AppendSink::begin_commit`] — correct for
+    /// sinks that do not persist kinds (tests, taps that only count rows);
+    /// kind-aware sinks (the WAL, the views delta tap) override it.
+    fn begin_commit_kinds(
+        &self,
+        rows: &[&[u8]],
+        kinds: &[RowKind],
+    ) -> Result<Box<dyn CommitGuard>> {
+        debug_assert_eq!(rows.len(), kinds.len());
+        let _ = kinds;
+        self.begin_commit(rows)
+    }
 
     /// Current write status. Degradation (sticky fsync failure, ENOSPC)
     /// flips the sink to [`SinkStatus::ReadOnly`]; reads are unaffected.
@@ -87,6 +141,18 @@ impl AppendSink for FanoutSink {
         let mut guards = Vec::with_capacity(self.sinks.len());
         for sink in &self.sinks {
             guards.push(sink.begin_commit(rows)?);
+        }
+        Ok(Box::new(FanoutCommitGuard { guards }))
+    }
+
+    fn begin_commit_kinds(
+        &self,
+        rows: &[&[u8]],
+        kinds: &[RowKind],
+    ) -> Result<Box<dyn CommitGuard>> {
+        let mut guards = Vec::with_capacity(self.sinks.len());
+        for sink in &self.sinks {
+            guards.push(sink.begin_commit_kinds(rows, kinds)?);
         }
         Ok(Box::new(FanoutCommitGuard { guards }))
     }

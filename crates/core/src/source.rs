@@ -285,6 +285,17 @@ impl TableSource for IndexedSource {
         Ok(rows.len())
     }
 
+    fn apply_dml(&self, deletes: &[Vec<Value>], inserts: &[Vec<Value>]) -> Result<usize> {
+        if self.is_frozen() {
+            return Err(EngineError::Unsupported(
+                "cannot UPDATE/DELETE through a frozen (snapshot-pinned) source".to_string(),
+            ));
+        }
+        check_append_rows(&self.table.schema(), deletes)?;
+        check_append_rows(&self.table.schema(), inserts)?;
+        self.table.apply_dml(deletes, inserts)
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }

@@ -18,11 +18,11 @@ use idf_engine::query::QueryContext;
 use idf_engine::schema::SchemaRef;
 use idf_engine::types::Value;
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
 use crate::config::IndexConfig;
-use crate::partition::{IndexedPartition, PartitionMemory, PartitionSnapshot};
-use crate::sink::{AppendSink, SinkStatus};
+use crate::partition::{CompactStats, IndexedPartition, PartitionMemory, PartitionSnapshot};
+use crate::sink::{AppendSink, RowKind, SinkStatus};
 
 /// A partitioned, updatable, indexed, in-memory table.
 pub struct IndexedTable {
@@ -36,6 +36,11 @@ pub struct IndexedTable {
     /// Appends currently between the commit point and publish completion
     /// (see [`IndexedTable::commit_window`]).
     commit_window: std::sync::atomic::AtomicUsize,
+    /// Serializes DML statements ([`IndexedTable::apply_dml`]): a DML
+    /// commit reads chains, computes survivors, and republishes — two
+    /// interleaved statements could otherwise both re-append the same
+    /// survivor. Plain appends and the compactor do not take this lock.
+    dml_lock: Mutex<()>,
 }
 
 /// RAII scope for one append's commit window: entered at the commit
@@ -88,6 +93,7 @@ impl IndexedTable {
             partitions,
             sink: RwLock::new(None),
             commit_window: std::sync::atomic::AtomicUsize::new(0),
+            dml_lock: Mutex::new(()),
         })
     }
 
@@ -122,6 +128,7 @@ impl IndexedTable {
             partitions,
             sink: RwLock::new(None),
             commit_window: std::sync::atomic::AtomicUsize::new(0),
+            dml_lock: Mutex::new(()),
         })
     }
 
@@ -410,6 +417,8 @@ impl IndexedTable {
             reserved_bytes: 0,
             index_entries: 0,
             rows: 0,
+            tombstones: 0,
+            dead_rows: 0,
         };
         for p in &self.partitions {
             let m = p.memory_stats();
@@ -417,8 +426,200 @@ impl IndexedTable {
             total.reserved_bytes += m.reserved_bytes;
             total.index_entries += m.index_entries;
             total.rows += m.rows;
+            total.tombstones += m.tombstones;
+            total.dead_rows += m.dead_rows;
         }
         total
+    }
+
+    /// Apply one DML statement: delete the rows in `deletes` (by value
+    /// identity — the executor hands back the exact rows its bound scan
+    /// matched) and insert the rows in `inserts` (an `UPDATE`'s new
+    /// images; empty for a plain `DELETE`). Returns the number of rows
+    /// that actually matched, which is the statement's rows-affected.
+    ///
+    /// # Protocol
+    ///
+    /// For every key touched by a delete, the commit appends — in one
+    /// atomic statement per the [`AppendSink::begin_commit_kinds`]
+    /// contract — a tombstone (hiding every existing version of the key),
+    /// then re-appends the *survivors* (visible versions that did not
+    /// match a delete row, oldest-first so chain order is preserved), then
+    /// the new images. Readers keep the plain MVCC contract: a snapshot
+    /// taken before the commit point never sees any of it; one taken after
+    /// sees all of it (per partition).
+    ///
+    /// Rows whose key is NULL are not reachable through the index and are
+    /// therefore not DML-addressable: a delete naming one is a typed
+    /// error. A delete row that no longer exists in the live chain (a
+    /// concurrent statement got there first) is skipped, not an error —
+    /// it simply does not count toward rows-affected.
+    pub fn apply_dml(&self, deletes: &[Vec<Value>], inserts: &[Vec<Value>]) -> Result<usize> {
+        for row in deletes.iter().chain(inserts.iter()) {
+            if row.len() != self.schema.len() {
+                return Err(EngineError::internal(format!(
+                    "DML row width {} vs schema width {}",
+                    row.len(),
+                    self.schema.len()
+                )));
+            }
+        }
+        for row in deletes {
+            if row[self.key_col].is_null() {
+                return Err(EngineError::exec(
+                    "DML cannot address rows whose index key is NULL",
+                ));
+            }
+        }
+        if deletes.is_empty() && inserts.is_empty() {
+            return Ok(0);
+        }
+        let n = self.partitions.len();
+        // Group deletes per partition, per key (first-occurrence order so
+        // the commit is deterministic for a given statement).
+        let mut del_groups: Vec<Vec<(Value, Vec<Vec<Value>>)>> = vec![Vec::new(); n];
+        for row in deletes {
+            let key = &row[self.key_col];
+            let p = self.partition_of(key);
+            match del_groups[p].iter_mut().find(|(k, _)| k == key) {
+                Some((_, rows)) => rows.push(row.clone()),
+                None => del_groups[p].push((key.clone(), vec![row.clone()])),
+            }
+        }
+        let mut ins_groups: Vec<Vec<&Vec<Value>>> = vec![Vec::new(); n];
+        for row in inserts {
+            ins_groups[self.partition_of(&row[self.key_col])].push(row);
+        }
+        // One statement at a time; see the field doc on `dml_lock`.
+        let _stmt = self.dml_lock.lock();
+        // Block writers on every touched partition for the whole
+        // read-compute-publish cycle so the survivor set cannot go stale
+        // between computing it and republishing it. Readers are never
+        // blocked. Locks are taken in ascending partition order.
+        let touched: Vec<usize> = (0..n)
+            .filter(|&p| !del_groups[p].is_empty() || !ins_groups[p].is_empty())
+            .collect();
+        let _locks: Vec<_> = touched
+            .iter()
+            .map(|&p| self.partitions[p].lock_appends())
+            .collect();
+        // Phase 1: with the chains frozen, compute survivors and encode
+        // every payload. Nothing shared is touched; an error here leaves
+        // the table exactly as it was.
+        let mut rows_affected = 0usize;
+        let mut ops: Vec<Vec<(Value, Vec<u8>, RowKind)>> = vec![Vec::new(); n];
+        for &p in &touched {
+            let partition = &self.partitions[p];
+            for (key, rows) in &del_groups[p] {
+                let visible = partition.visible_rows_locked(key)?;
+                let mut pending: Vec<&Vec<Value>> = rows.iter().collect();
+                // `visible` is latest-first; survivors keep that order
+                // here and are re-appended oldest-first below.
+                let mut survivors: Vec<&Vec<Value>> = Vec::new();
+                let mut matched = 0usize;
+                for v in &visible {
+                    if let Some(i) = pending.iter().position(|r| *r == v) {
+                        pending.swap_remove(i);
+                        matched += 1;
+                    } else {
+                        survivors.push(v);
+                    }
+                }
+                if matched == 0 {
+                    // Nothing to hide for this key (raced away or never
+                    // there) — emitting a tombstone would only churn.
+                    continue;
+                }
+                rows_affected += matched;
+                let mut tomb_vals = vec![Value::Null; self.schema.len()];
+                tomb_vals[self.key_col] = key.clone();
+                let tomb = partition.encode_row(&tomb_vals)?;
+                ops[p].push((key.clone(), tomb, RowKind::Tombstone));
+                for v in survivors.iter().rev() {
+                    ops[p].push((key.clone(), partition.encode_row(v)?, RowKind::Data));
+                }
+            }
+            for row in &ins_groups[p] {
+                let payload = partition.encode_row(row)?;
+                ops[p].push((row[self.key_col].clone(), payload, RowKind::Data));
+            }
+        }
+        if ops.iter().all(Vec::is_empty) {
+            return Ok(rows_affected);
+        }
+        // Commit point: log the whole statement as ONE kind-tagged record,
+        // then publish under the already-held append locks. An abort at
+        // the failpoint leaves neither memory nor WAL touched.
+        let _window = CommitWindowScope::enter(self);
+        crate::failpoints::check(crate::failpoints::APPEND_PUBLISH)?;
+        let sink = self.sink.read().clone();
+        let _guard = match &sink {
+            Some(sink) => {
+                let mut rows: Vec<&[u8]> = Vec::new();
+                let mut kinds: Vec<RowKind> = Vec::new();
+                for &p in &touched {
+                    for (_, payload, kind) in &ops[p] {
+                        rows.push(payload.as_slice());
+                        kinds.push(*kind);
+                    }
+                }
+                Some(sink.begin_commit_kinds(&rows, &kinds)?)
+            }
+            None => None,
+        };
+        // Phase 2: publish, partitions in ascending order, each
+        // partition's ops in statement order.
+        for &p in &touched {
+            let partition = &self.partitions[p];
+            for (key, payload, kind) in &ops[p] {
+                partition.publish_locked_kind(key, payload, *kind)?;
+            }
+        }
+        Ok(rows_affected)
+    }
+
+    /// Replay one DML statement's kind-tagged payloads from the WAL:
+    /// append each payload with its recorded kind, routed by its decoded
+    /// key. Replay happens before any sink is installed and before
+    /// concurrent writers exist, so the plain per-row append path
+    /// reproduces the original commit exactly.
+    pub fn replay_dml(&self, payloads: &[Vec<u8>], kinds: &[RowKind]) -> Result<()> {
+        if payloads.len() != kinds.len() {
+            return Err(EngineError::corrupt(format!(
+                "DML record has {} payloads but {} kinds",
+                payloads.len(),
+                kinds.len()
+            )));
+        }
+        for (payload, kind) in payloads.iter().zip(kinds) {
+            let values = self.decode_payload(payload)?;
+            let key = &values[self.key_col];
+            let p = self.partition_of(key);
+            self.partitions[p].append_encoded_kind(key, payload, *kind)?;
+        }
+        Ok(())
+    }
+
+    /// Compact every partition in turn (see [`IndexedPartition::compact`]):
+    /// drop versions hidden below tombstones, shorten chains, release the
+    /// memory. Readers are never blocked; writers wait per partition.
+    /// Returns the merged stats; partitions with no tombstones are no-ops.
+    pub fn compact(&self) -> Result<CompactStats> {
+        self.compact_with(&|| Ok(()))
+    }
+
+    /// [`compact`](Self::compact) with a caller hook invoked on each
+    /// partition just before its rewritten state is swapped in — the
+    /// compaction subsystem injects its swap failpoint here. An error from
+    /// the hook aborts that partition's rewrite with no state change and
+    /// propagates; already-compacted partitions stay compacted (each
+    /// partition swap is individually atomic).
+    pub fn compact_with(&self, pre_swap: &dyn Fn() -> Result<()>) -> Result<CompactStats> {
+        let mut total = CompactStats::default();
+        for p in &self.partitions {
+            total.merge(&p.compact(pre_swap)?);
+        }
+        Ok(total)
     }
 }
 
@@ -791,5 +992,178 @@ mod tests {
         assert_eq!(m.rows, 500);
         assert_eq!(m.index_entries, 500);
         assert!(m.data_bytes > 0);
+        assert_eq!((m.tombstones, m.dead_rows), (0, 0));
+    }
+
+    fn row(k: i64, v: i64) -> Vec<Value> {
+        vec![Value::Int64(k), Value::Int64(v)]
+    }
+
+    #[test]
+    fn delete_hides_rows_and_reports_affected() {
+        let data = chunk((0..100).map(|i| (i % 10, i)));
+        let t = IndexedTable::from_chunk(schema(), 0, cfg(4), &data).unwrap();
+        let pre = t.snapshot();
+        // Delete every version of key 3 (10 rows) and one version of 7.
+        let mut deletes: Vec<Vec<Value>> = (0..10).map(|r| row(3, 3 + 10 * r)).collect();
+        deletes.push(row(7, 7));
+        let affected = t.apply_dml(&deletes, &[]).unwrap();
+        assert_eq!(affected, 11);
+        assert_eq!(t.lookup_chunk(&Value::Int64(3), None).unwrap().len(), 0);
+        let k7 = t.lookup_chunk(&Value::Int64(7), None).unwrap();
+        assert_eq!(k7.len(), 9, "one version of key 7 gone");
+        for r in 0..k7.len() {
+            assert_ne!(k7.value_at(1, r), Value::Int64(7));
+        }
+        // Untouched keys unaffected; pre-DML snapshot still sees it all.
+        assert_eq!(t.lookup_chunk(&Value::Int64(4), None).unwrap().len(), 10);
+        assert_eq!(pre.lookup_chunk(&Value::Int64(3), None).unwrap().len(), 10);
+        assert_eq!(pre.row_count(), 100);
+        assert_eq!(t.snapshot().row_count(), 89);
+        // Deleting something that is not there matches nothing.
+        assert_eq!(t.apply_dml(&[row(3, 3)], &[]).unwrap(), 0);
+        assert_eq!(t.apply_dml(&[row(999, 0)], &[]).unwrap(), 0);
+    }
+
+    #[test]
+    fn update_replaces_versions() {
+        let data = chunk((0..10).map(|i| (i, i)));
+        let t = IndexedTable::from_chunk(schema(), 0, cfg(2), &data).unwrap();
+        // UPDATE t SET v = v + 100 WHERE k < 3: executor hands back the
+        // matched old rows as deletes and the new images as inserts.
+        let deletes: Vec<Vec<Value>> = (0..3).map(|k| row(k, k)).collect();
+        let inserts: Vec<Vec<Value>> = (0..3).map(|k| row(k, k + 100)).collect();
+        assert_eq!(t.apply_dml(&deletes, &inserts).unwrap(), 3);
+        for k in 0..3 {
+            let c = t.lookup_chunk(&Value::Int64(k), None).unwrap();
+            assert_eq!(c.len(), 1, "old version hidden");
+            assert_eq!(c.value_at(1, 0), Value::Int64(k + 100));
+        }
+        assert_eq!(t.snapshot().row_count(), 10);
+        // An update can also move a row to a new key (delete old key's
+        // row, insert under the new key).
+        assert_eq!(
+            t.apply_dml(&[row(5, 5)], &[row(50, 5)]).unwrap(),
+            1,
+            "cross-key update"
+        );
+        assert_eq!(t.lookup_chunk(&Value::Int64(5), None).unwrap().len(), 0);
+        assert_eq!(t.lookup_chunk(&Value::Int64(50), None).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn dml_survivors_keep_chain_order() {
+        let t = IndexedTable::new(schema(), 0, cfg(2)).unwrap();
+        for v in 0..5 {
+            t.append_row(&row(1, v)).unwrap();
+        }
+        // Delete the middle version; the other four survive in order.
+        assert_eq!(t.apply_dml(&[row(1, 2)], &[]).unwrap(), 1);
+        let c = t.lookup_chunk(&Value::Int64(1), None).unwrap();
+        let got: Vec<Value> = (0..c.len()).map(|r| c.value_at(1, r)).collect();
+        let want: Vec<Value> = [4i64, 3, 1, 0].iter().map(|&v| Value::Int64(v)).collect();
+        assert_eq!(got, want, "latest-first, gap where v=2 was");
+    }
+
+    #[test]
+    fn dml_rejects_null_key_deletes_and_bad_widths() {
+        let t = IndexedTable::new(schema(), 0, cfg(2)).unwrap();
+        t.append_row(&[Value::Null, Value::Int64(1)]).unwrap();
+        let err = t
+            .apply_dml(&[vec![Value::Null, Value::Int64(1)]], &[])
+            .unwrap_err();
+        assert!(err.to_string().contains("NULL"), "{err}");
+        assert!(t.apply_dml(&[vec![Value::Int64(1)]], &[]).is_err());
+        assert!(t.apply_dml(&[], &[vec![Value::Int64(1)]]).is_err());
+        // NULL-key *inserts* are fine (they are plain unindexed rows).
+        assert_eq!(
+            t.apply_dml(&[], &[vec![Value::Null, Value::Int64(2)]])
+                .unwrap(),
+            0
+        );
+        assert_eq!(t.snapshot().row_count(), 2);
+    }
+
+    #[test]
+    fn dml_roundtrips_through_replay() {
+        // Capture a DML statement through a recording sink, then replay
+        // the payload/kind stream into a fresh table: same answers.
+        struct Recorder(Mutex<Vec<(Vec<u8>, RowKind)>>);
+        impl AppendSink for Recorder {
+            fn begin_commit(&self, rows: &[&[u8]]) -> Result<Box<dyn crate::sink::CommitGuard>> {
+                self.begin_commit_kinds(rows, &vec![RowKind::Data; rows.len()])
+            }
+            fn begin_commit_kinds(
+                &self,
+                rows: &[&[u8]],
+                kinds: &[RowKind],
+            ) -> Result<Box<dyn crate::sink::CommitGuard>> {
+                let mut log = self.0.lock();
+                for (row, kind) in rows.iter().zip(kinds) {
+                    log.push((row.to_vec(), *kind));
+                }
+                Ok(Box::new(crate::sink::NoopCommitGuard))
+            }
+        }
+        let recorder = Arc::new(Recorder(Mutex::new(Vec::new())));
+        let t = IndexedTable::new(schema(), 0, cfg(4)).unwrap();
+        t.set_append_sink(Arc::clone(&recorder) as Arc<dyn AppendSink>);
+        t.append_chunk(&chunk((0..20).map(|i| (i % 5, i)))).unwrap();
+        assert_eq!(
+            t.apply_dml(&[row(2, 2), row(2, 7)], &[row(2, 777)])
+                .unwrap(),
+            2
+        );
+        assert_eq!(
+            t.apply_dml(&(0..4).map(|v| row(4, 4 + 5 * v)).collect::<Vec<_>>(), &[])
+                .unwrap(),
+            4
+        );
+        // Replay the whole log into a fresh table.
+        let replayed = IndexedTable::new(schema(), 0, cfg(4)).unwrap();
+        let log = recorder.0.lock();
+        let payloads: Vec<Vec<u8>> = log.iter().map(|(p, _)| p.clone()).collect();
+        let kinds: Vec<RowKind> = log.iter().map(|(_, k)| *k).collect();
+        replayed.replay_dml(&payloads, &kinds).unwrap();
+        assert_eq!(replayed.snapshot().row_count(), t.snapshot().row_count());
+        for k in 0..6 {
+            let a = t.lookup_chunk(&Value::Int64(k), None).unwrap();
+            let b = replayed.lookup_chunk(&Value::Int64(k), None).unwrap();
+            assert_eq!(a.len(), b.len(), "key {k}");
+            for r in 0..a.len() {
+                assert_eq!(a.value_at(1, r), b.value_at(1, r), "key {k} row {r}");
+            }
+        }
+        assert!(replayed
+            .replay_dml(&payloads, &kinds[..1.min(kinds.len())])
+            .is_err());
+    }
+
+    #[test]
+    fn table_compact_reclaims_after_churn() {
+        let t =
+            IndexedTable::from_chunk(schema(), 0, cfg(4), &chunk((0..50).map(|i| (i, i)))).unwrap();
+        for round in 1..=10 {
+            let deletes: Vec<Vec<Value>> =
+                (0..50).map(|k| row(k, k + (round - 1) * 1000)).collect();
+            let inserts: Vec<Vec<Value>> = (0..50).map(|k| row(k, k + round * 1000)).collect();
+            assert_eq!(t.apply_dml(&deletes, &inserts).unwrap(), 50);
+        }
+        let before = t.memory_stats();
+        assert!(before.dead_rows > 0 && before.tombstones > 0);
+        let stats = t.compact().unwrap();
+        assert!(stats.rows_reclaimed() > 0);
+        assert!(stats.bytes_reclaimed() > 0);
+        let after = t.memory_stats();
+        assert_eq!((after.tombstones, after.dead_rows), (0, 0));
+        assert!(after.data_bytes < before.data_bytes);
+        assert_eq!(t.snapshot().row_count(), 50);
+        for k in 0..50 {
+            let c = t.lookup_chunk(&Value::Int64(k), None).unwrap();
+            assert_eq!(c.len(), 1);
+            assert_eq!(c.value_at(1, 0), Value::Int64(k + 10_000));
+        }
+        // Second pass is a no-op.
+        assert_eq!(t.compact().unwrap().rows_reclaimed(), 0);
     }
 }

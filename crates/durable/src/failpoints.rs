@@ -38,6 +38,12 @@ pub const SCRUB_VERIFY: &str = "durable::scrub::verify";
 /// later clean resume must succeed.
 pub const WAL_RESUME: &str = "durable::wal::resume";
 
+/// Head of a DML WAL commit (`TableWal::begin_commit_kinds` on a record
+/// that carries tombstones), before the record is staged: a fault here
+/// fails the statement with nothing logged and nothing published — the
+/// table keeps serving its pre-statement contents.
+pub const WAL_DML_FRAME: &str = "durable::wal::dml_frame";
+
 /// Every registered durability site, for chaos suites to iterate.
 pub const SITES: &[&str] = &[
     WAL_APPEND,
@@ -46,6 +52,7 @@ pub const SITES: &[&str] = &[
     RECOVERY_REPLAY,
     SCRUB_VERIFY,
     WAL_RESUME,
+    WAL_DML_FRAME,
 ];
 
 /// Evaluate the failpoint at `site`, mapping an injected fault into a

@@ -46,7 +46,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 
-use idf_core::sink::{AppendSink, CommitGuard, SinkStatus};
+use idf_core::sink::{AppendSink, CommitGuard, RowKind, SinkStatus};
 use idf_engine::config::DurabilityLevel;
 use idf_engine::error::{EngineError, Result};
 
@@ -77,12 +77,22 @@ pub const LOCK_ORDER: &[(&str, &str)] = &[
     ),
 ];
 
+/// Body sentinel distinguishing a DML record from a plain append. A
+/// plain record starts with its row count, and `MAX_WAL_FRAME` caps any
+/// real count far below this, so the value can never be a legal count —
+/// legacy segments decode unchanged.
+pub(crate) const DML_SENTINEL: u32 = 0xFFFF_FFFF;
+
 /// One decoded WAL record: the encoded row payloads of one committed
 /// append, in publish order.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WalRecord {
     /// Encoded row payloads (see `IndexedPartition::encode_row`).
     pub rows: Vec<Vec<u8>>,
+    /// Per-row [`RowKind`] wire bytes for a DML record; empty for a
+    /// plain append (every row is data). Parallel to `rows` when
+    /// non-empty.
+    pub kinds: Vec<u8>,
 }
 
 /// Scan a segment file: `(valid records, valid byte length)`. Bytes past
@@ -111,13 +121,35 @@ pub fn read_records(io: &dyn StorageIo, path: &Path) -> Result<(Vec<WalRecord>, 
 
 pub(crate) fn decode_record(body: &[u8]) -> Result<WalRecord> {
     let mut c = Cursor::new(body, "WAL record");
-    let n = c.u32()? as usize;
+    let head = c.u32()?;
+    if head == DML_SENTINEL {
+        // DML record: count, then per row `kind byte | len | payload`.
+        let n = c.u32()? as usize;
+        let mut rows = Vec::with_capacity(n.min(1 << 20));
+        let mut kinds = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            let k = c.u8()?;
+            if RowKind::from_u8(k).is_none() {
+                return Err(EngineError::corrupt(format!(
+                    "WAL DML record carries unknown row kind {k}"
+                )));
+            }
+            kinds.push(k);
+            rows.push(c.bytes()?.to_vec());
+        }
+        c.expect_end()?;
+        return Ok(WalRecord { rows, kinds });
+    }
+    let n = head as usize;
     let mut rows = Vec::with_capacity(n.min(1 << 20));
     for _ in 0..n {
         rows.push(c.bytes()?.to_vec());
     }
     c.expect_end()?;
-    Ok(WalRecord { rows })
+    Ok(WalRecord {
+        rows,
+        kinds: Vec::new(),
+    })
 }
 
 struct WalState {
@@ -319,8 +351,37 @@ impl TableWal {
         for r in rows {
             put_bytes(&mut body, r);
         }
-        let framed = frame(&body)?;
+        self.stage(frame(&body)?)
+    }
 
+    /// Log one committed DML statement: the same staging/flush contract
+    /// as [`TableWal::begin_commit`], but the record carries a
+    /// [`RowKind`] byte per row so recovery can replay tombstones as
+    /// tombstones. A statement whose rows are all data (a plain append
+    /// routed through the kind-aware seam) uses the legacy record layout
+    /// — pre-DML segments and pure-insert workloads stay bit-compatible.
+    pub fn begin_commit_kinds(&self, rows: &[&[u8]], kinds: &[RowKind]) -> Result<WalTicket> {
+        debug_assert_eq!(rows.len(), kinds.len());
+        if kinds.iter().all(|&k| k == RowKind::Data) {
+            return self.begin_commit(rows);
+        }
+        crate::failpoints::check(crate::failpoints::WAL_APPEND)?;
+        crate::failpoints::check(crate::failpoints::WAL_DML_FRAME)?;
+        let body_len = 8 + rows.iter().map(|r| r.len() + 5).sum::<usize>();
+        check_frame_len(body_len, MAX_WAL_FRAME, "WAL DML record")?;
+        let mut body = Vec::with_capacity(body_len);
+        put_u32(&mut body, DML_SENTINEL);
+        put_u32(&mut body, rows.len() as u32);
+        for (r, k) in rows.iter().zip(kinds) {
+            body.push(k.to_u8());
+            put_bytes(&mut body, r);
+        }
+        self.stage(frame(&body)?)
+    }
+
+    /// Stage one framed record on the writer queue and block per the
+    /// durability level (the tail of both commit paths).
+    fn stage(&self, framed: Vec<u8>) -> Result<WalTicket> {
         let mut st = lock(&self.inner.state);
         loop {
             if st.degraded.is_some() {
@@ -771,6 +832,17 @@ impl AppendSink for WalSink {
         Ok(Box::new(ticket))
     }
 
+    fn begin_commit_kinds(
+        &self,
+        rows: &[&[u8]],
+        kinds: &[RowKind],
+    ) -> Result<Box<dyn CommitGuard>> {
+        let ticket = self.wal.begin_commit_kinds(rows, kinds)?;
+        // idf-lint: allow(atomics-audit) -- monotonic stats counter; nothing else is published through it
+        self.records.fetch_add(1, Ordering::Relaxed);
+        Ok(Box::new(ticket))
+    }
+
     fn status(&self) -> SinkStatus {
         match self.wal.degraded_reason() {
             Some(cause) => SinkStatus::ReadOnly(cause),
@@ -858,6 +930,47 @@ mod tests {
         std::fs::write(&path, &bytes).unwrap();
         let (_, records) = open(&path, DurabilityLevel::Sync);
         assert_eq!(records.len(), 1, "torn second record dropped");
+    }
+
+    #[test]
+    fn dml_records_round_trip_kinds() {
+        let dir = TempDir::new("wal-dml");
+        let path = dir.path().join("wal.log");
+        {
+            let (wal, _) = open(&path, DurabilityLevel::Sync);
+            commit(&wal, &payloads(2));
+            let rows = [b"tomb".as_slice(), b"surv".as_slice(), b"new".as_slice()];
+            let kinds = [RowKind::Tombstone, RowKind::Data, RowKind::Data];
+            let _t = wal.begin_commit_kinds(&rows, &kinds).unwrap();
+            // An all-data statement goes back to the legacy layout.
+            let _t = wal
+                .begin_commit_kinds(&[b"plain".as_slice()], &[RowKind::Data])
+                .unwrap();
+        }
+        let (_, records) = open(&path, DurabilityLevel::Sync);
+        assert_eq!(records.len(), 3);
+        assert!(records[0].kinds.is_empty());
+        assert_eq!(
+            records[1].rows,
+            vec![b"tomb".to_vec(), b"surv".to_vec(), b"new".to_vec()]
+        );
+        assert_eq!(records[1].kinds, vec![1, 0, 0]);
+        assert!(
+            records[2].kinds.is_empty(),
+            "all-data commit must use the legacy record layout"
+        );
+    }
+
+    #[test]
+    fn dml_record_with_unknown_kind_is_corrupt() {
+        // Hand-build a DML body carrying kind byte 7.
+        let mut body = Vec::new();
+        put_u32(&mut body, DML_SENTINEL);
+        put_u32(&mut body, 1);
+        body.push(7);
+        put_bytes(&mut body, b"row");
+        let err = decode_record(&body).unwrap_err();
+        assert!(err.to_string().contains("unknown row kind"), "{err}");
     }
 
     #[test]

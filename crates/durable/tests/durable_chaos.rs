@@ -203,6 +203,146 @@ fn seeded_crash_consistency_fault_rounds() {
     }
 }
 
+/// DML statements under injected faults are all-or-nothing: after every
+/// crash-and-recover, a key shows either its old image or its new one —
+/// never a torn blend — deleted keys never resurrect once the delete is
+/// acked, and acked updates are never lost. Compaction runs mid-round
+/// and must never change an answer.
+#[test]
+fn dml_fault_rounds_are_all_or_nothing() {
+    let _s = serial();
+    idf_fail::reset();
+    const KEYS: i64 = 8;
+    // Sites a DML statement actually crosses: the WAL heads, the fsync,
+    // and the storage layer's publish point.
+    let sites = [
+        dfp::WAL_APPEND,
+        dfp::WAL_DML_FRAME,
+        dfp::WAL_FSYNC,
+        idf_core::failpoints::APPEND_PUBLISH,
+    ];
+    for seed in [7u64, 0xD31B_EEF5, 99] {
+        let dir = TempDir::new(&format!("chaos-dml-{seed:x}"));
+        let mut rng = Lcg(seed);
+        // Per-key committed value; None = deleted/absent. A statement
+        // whose ack a fault swallowed widens the key to two legal values.
+        let mut certain: Vec<Option<i64>> = (0..KEYS).map(Some).collect();
+        let mut ambiguous: Vec<Option<(Option<i64>, Option<i64>)>> = vec![None; KEYS as usize];
+        {
+            let sess = DurableSession::open(config(dir.path())).unwrap();
+            let df = sess.create_table("t", schema(), 0, index()).unwrap();
+            for k in 0..KEYS {
+                df.append_row(&[Value::Int64(k), Value::Int64(k)]).unwrap();
+            }
+        }
+        let mut next_val: i64 = 1000;
+        for _round in 0..rounds() {
+            let sess = DurableSession::open(config(dir.path())).unwrap();
+            let df = sess.dataframe("t").unwrap();
+            let snap = df.table().snapshot();
+            for k in 0..KEYS {
+                let c = snap.lookup_chunk(&Value::Int64(k), None).unwrap();
+                assert!(c.len() <= 1, "key {k} has {} visible rows", c.len());
+                let observed = (c.len() == 1).then(|| match c.value_at(1, 0) {
+                    Value::Int64(v) => v,
+                    other => panic!("key {k} holds {other:?}"),
+                });
+                match ambiguous[k as usize].take() {
+                    Some((a, b)) => assert!(
+                        observed == a || observed == b,
+                        "key {k} recovered {observed:?}, expected {a:?} or {b:?}"
+                    ),
+                    None => assert_eq!(
+                        observed, certain[k as usize],
+                        "key {k} drifted from its acked state"
+                    ),
+                }
+                certain[k as usize] = observed;
+            }
+            let site = sites[(rng.next() as usize) % sites.len()];
+            let cfg = match rng.next() % 3 {
+                0 => FailConfig::error("chaos"),
+                1 => FailConfig::panic("chaos"),
+                _ => FailConfig::delay(1),
+            };
+            let guard = FailGuard::new(site, cfg.skip(rng.next() % 4).times(1 + rng.next() % 2));
+            for _ in 0..(3 + rng.next() % 6) {
+                if rng.next().is_multiple_of(6) {
+                    // Compaction must be invisible to every answer.
+                    df.table().compact().unwrap();
+                    for k in 0..KEYS {
+                        let c = df
+                            .table()
+                            .snapshot()
+                            .lookup_chunk(&Value::Int64(k), None)
+                            .unwrap();
+                        let observed = (c.len() == 1).then(|| c.value_at(1, 0));
+                        assert_eq!(
+                            observed,
+                            certain[k as usize].map(Value::Int64),
+                            "compaction changed key {k}"
+                        );
+                    }
+                    continue;
+                }
+                let k = rng.next() as i64 % KEYS;
+                let cur = certain[k as usize];
+                let (stmt, next) = match (cur, rng.next() % 2) {
+                    (Some(_), 0) => {
+                        next_val += 1;
+                        (
+                            format!("UPDATE t SET v = {next_val} WHERE k = {k}"),
+                            Some(next_val),
+                        )
+                    }
+                    (Some(_), _) => (format!("DELETE FROM t WHERE k = {k}"), None),
+                    (None, _) => {
+                        next_val += 1;
+                        (
+                            format!("INSERT INTO t VALUES ({k}, {next_val})"),
+                            Some(next_val),
+                        )
+                    }
+                };
+                if tolerated(|| sess.sql(&stmt).and_then(|d| d.collect()).map(|_| ())) {
+                    certain[k as usize] = next;
+                } else {
+                    // One statement, one WAL record: either it is durable
+                    // (new state) or it is not (old state). The WAL may
+                    // be degraded now, so crash this round.
+                    ambiguous[k as usize] = Some((cur, next));
+                    break;
+                }
+            }
+            drop(guard);
+            drop(df);
+            drop(sess);
+        }
+        idf_fail::reset();
+        // Final clean recovery: resolve leftovers and prove liveness.
+        let sess = DurableSession::open(config(dir.path())).unwrap();
+        let df = sess.dataframe("t").unwrap();
+        let snap = df.table().snapshot();
+        for k in 0..KEYS {
+            let c = snap.lookup_chunk(&Value::Int64(k), None).unwrap();
+            let observed = (c.len() == 1).then(|| match c.value_at(1, 0) {
+                Value::Int64(v) => v,
+                other => panic!("key {k} holds {other:?}"),
+            });
+            match ambiguous[k as usize].take() {
+                Some((a, b)) => assert!(observed == a || observed == b, "final key {k}"),
+                None => assert_eq!(observed, certain[k as usize], "final key {k}"),
+            }
+        }
+        let out = sess
+            .sql("UPDATE t SET v = 7777 WHERE k = 0")
+            .unwrap()
+            .collect()
+            .unwrap();
+        drop(out);
+    }
+}
+
 /// A fault at the commit point *after* WAL logging (the storage layer's
 /// publish site) is the one place an append can fail yet legitimately
 /// resurrect on recovery — the documented unknown-outcome window. The

@@ -266,6 +266,163 @@ fn run_crash_schedule(seed: u64) {
     assert_contiguous_prefix(&sess, oracle, seed);
 }
 
+/// Committed state of one key in the DML schedule's model. `Either`
+/// records the at-most-one statement whose acknowledgement a fault
+/// swallowed: its single WAL record is either durable (new state) or
+/// absent (old state), never a blend.
+#[derive(Clone, Debug, PartialEq)]
+enum KeyState {
+    Certain(Option<String>),
+    Either(Option<String>, Option<String>),
+}
+
+/// The visible name for `k`, asserting the key has at most one visible
+/// row (DML never duplicates a key's live version).
+fn lookup_name(sess: &DurableSession, k: i64, seed: u64) -> Option<String> {
+    let df = sess
+        .dataframe("t")
+        .unwrap_or_else(|e| panic!("seed {seed}: recovered table missing: {e}"));
+    let rows = df
+        .get_rows(k)
+        .and_then(|d| d.collect())
+        .unwrap_or_else(|e| panic!("seed {seed}: lookup of key {k} failed: {e}"))
+        .to_rows();
+    assert!(
+        rows.len() <= 1,
+        "seed {seed}: key {k} has {} visible rows",
+        rows.len()
+    );
+    rows.first().map(|r| match &r[1] {
+        Value::Utf8(s) => s.clone(),
+        other => panic!("seed {seed}: key {k} holds non-text name {other:?}"),
+    })
+}
+
+/// One full DML schedule: seeded generations of
+/// recover → audit-model → update/delete/insert/checkpoint/compact under
+/// injected write faults → crash. The model tracks every key's committed
+/// state; after each recovery, no deleted key may resurrect, no acked
+/// update may be lost, and only the single statement in flight at the
+/// crash may go either way.
+fn run_dml_schedule(seed: u64) {
+    const KEYS: u64 = 12;
+    let io = SimIo::new(seed, FaultProfile::none());
+    let mut rng = Rng(seed ^ 0x0d31_5eed_0000_0001);
+    let mut version = 0u64;
+    let mut model: Vec<KeyState> = vec![KeyState::Certain(None); KEYS as usize];
+    {
+        // Fault-free creation keeps the schedule focused on DML faults.
+        let sess = open_retrying(&io, DurabilityLevel::Sync, seed).unwrap();
+        sess.create_table("t", schema(), 0, index()).unwrap();
+    }
+    io.crash();
+    io.set_profile(FaultProfile::crash_faults());
+    for _generation in 0..4 {
+        let Some(sess) = open_retrying(&io, DurabilityLevel::Sync, seed) else {
+            unreachable!()
+        };
+        // Audit recovery against the model and resolve ambiguous keys to
+        // what actually survived.
+        for k in 0..KEYS as i64 {
+            let observed = lookup_name(&sess, k, seed);
+            match &model[k as usize] {
+                KeyState::Certain(v) => assert_eq!(
+                    &observed, v,
+                    "seed {seed}: key {k} drifted from its acked state"
+                ),
+                KeyState::Either(a, b) => assert!(
+                    observed == *a || observed == *b,
+                    "seed {seed}: key {k} recovered {observed:?}, expected {a:?} or {b:?}"
+                ),
+            }
+            model[k as usize] = KeyState::Certain(observed);
+        }
+        let ops = 6 + rng.below(12);
+        for _ in 0..ops {
+            let roll = rng.below(100);
+            if roll < 10 {
+                // Checkpoints never change logical data, so the model is
+                // untouched whether they land or fail.
+                let _ = sess.checkpoint(Some("t"));
+                continue;
+            }
+            if roll < 20 {
+                // Compaction is a pure in-memory rewrite: it must never
+                // change an answer, and a crash right after it recovers
+                // from checkpoint + WAL as if it never ran.
+                let df = sess.dataframe("t").unwrap();
+                df.table()
+                    .compact()
+                    .unwrap_or_else(|e| panic!("seed {seed}: compaction failed: {e}"));
+                for k in 0..KEYS as i64 {
+                    let KeyState::Certain(want) = &model[k as usize] else {
+                        unreachable!()
+                    };
+                    let got = lookup_name(&sess, k, seed);
+                    assert_eq!(&got, want, "seed {seed}: compaction changed key {k}");
+                }
+                continue;
+            }
+            let k = rng.below(KEYS) as i64;
+            let KeyState::Certain(cur) = model[k as usize].clone() else {
+                unreachable!()
+            };
+            let (stmt, next) = if cur.is_some() {
+                if rng.below(2) == 0 {
+                    version += 1;
+                    (
+                        format!("UPDATE t SET name = 'v{version}' WHERE id = {k}"),
+                        Some(format!("v{version}")),
+                    )
+                } else {
+                    (format!("DELETE FROM t WHERE id = {k}"), None)
+                }
+            } else {
+                version += 1;
+                (
+                    format!("INSERT INTO t VALUES ({k}, 'v{version}')"),
+                    Some(format!("v{version}")),
+                )
+            };
+            match sess.sql(&stmt).and_then(|d| d.collect()) {
+                Ok(out) => {
+                    assert_eq!(
+                        out.to_rows()[0][0],
+                        Value::Int64(1),
+                        "seed {seed}: {stmt} acked wrong rows-affected"
+                    );
+                    model[k as usize] = KeyState::Certain(next);
+                }
+                Err(
+                    EngineError::ReadOnly(_) | EngineError::Durability(_) | EngineError::Corrupt(_),
+                ) => {
+                    // The statement is one WAL record: durable or absent.
+                    // The log may be degraded now, so reboot.
+                    model[k as usize] = KeyState::Either(cur, next);
+                    break;
+                }
+                Err(other) => panic!("seed {seed}: untyped DML failure for {stmt}: {other}"),
+            }
+        }
+        drop(sess);
+        io.crash();
+    }
+    // Final fault-free recovery holds every certain key and resolves any
+    // leftover ambiguity one last time.
+    io.set_profile(FaultProfile::none());
+    let sess = open_retrying(&io, DurabilityLevel::Sync, seed).unwrap();
+    for k in 0..KEYS as i64 {
+        let observed = lookup_name(&sess, k, seed);
+        match &model[k as usize] {
+            KeyState::Certain(v) => assert_eq!(&observed, v, "seed {seed}: final key {k}"),
+            KeyState::Either(a, b) => assert!(
+                observed == *a || observed == *b,
+                "seed {seed}: final key {k} recovered {observed:?}, expected {a:?} or {b:?}"
+            ),
+        }
+    }
+}
+
 /// Run `f`, converting any panic into one that leads with the seed, so a
 /// failing schedule is reproducible from the test log alone.
 fn with_seed(seed: u64, f: impl FnOnce() + std::panic::UnwindSafe) {
@@ -287,6 +444,17 @@ fn seeded_crash_schedules_recover_every_acked_row() {
     for i in 0..schedules {
         let seed = base.wrapping_add(i);
         with_seed(seed, || run_crash_schedule(seed));
+    }
+}
+
+#[test]
+fn seeded_dml_schedules_never_resurrect_or_lose_acked_statements() {
+    let default = if cfg!(debug_assertions) { 25 } else { 300 };
+    let schedules = env_u64("IDF_SIM_DML_SCHEDULES", default);
+    let base = env_u64("IDF_SIM_SEED_BASE", 0);
+    for i in 0..schedules {
+        let seed = base.wrapping_add(i) ^ 0x0d31_0000_0000_0000;
+        with_seed(seed, || run_dml_schedule(seed));
     }
 }
 

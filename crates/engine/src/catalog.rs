@@ -99,6 +99,21 @@ pub trait TableSource: Send + Sync {
         ))
     }
 
+    /// Apply one DML statement (SQL `UPDATE`/`DELETE`): remove the rows in
+    /// `deletes` (by value identity — the executor hands back exactly the
+    /// rows its bound scan matched) and add the rows in `inserts` (an
+    /// `UPDATE`'s new images; empty for a plain `DELETE`). Returns the
+    /// number of rows that matched — the statement's rows-affected count.
+    ///
+    /// Sources default to read-only. A delete row no longer present (a
+    /// concurrent statement removed it first) is skipped, not an error.
+    fn apply_dml(&self, deletes: &[Vec<Value>], inserts: &[Vec<Value>]) -> Result<usize> {
+        let _ = (deletes, inserts);
+        Err(EngineError::Unsupported(
+            "this table source does not support UPDATE/DELETE".to_string(),
+        ))
+    }
+
     /// Downcast support for custom planning strategies.
     fn as_any(&self) -> &dyn Any;
 }
@@ -276,6 +291,36 @@ impl TableSource for AppendTable {
         let chunk = Chunk::from_rows(&self.schema, rows)?;
         self.chunks.write().push(chunk);
         Ok(rows.len())
+    }
+
+    fn apply_dml(&self, deletes: &[Vec<Value>], inserts: &[Vec<Value>]) -> Result<usize> {
+        check_append_rows(&self.schema, deletes)?;
+        check_append_rows(&self.schema, inserts)?;
+        // One write lock for the whole statement keeps it atomic: readers
+        // see either all of it or none of it.
+        let mut chunks = self.chunks.write();
+        let mut pending: Vec<&Vec<Value>> = deletes.iter().collect();
+        let mut kept: Vec<Vec<Value>> = Vec::new();
+        for chunk in chunks.iter() {
+            for r in 0..chunk.len() {
+                let row = chunk.row_values(r);
+                match pending.iter().position(|d| **d == row) {
+                    Some(i) => {
+                        pending.swap_remove(i);
+                    }
+                    None => kept.push(row),
+                }
+            }
+        }
+        let matched = deletes.len() - pending.len();
+        kept.extend(inserts.iter().cloned());
+        let rebuilt = if kept.is_empty() {
+            Vec::new()
+        } else {
+            vec![Chunk::from_rows(&self.schema, &kept)?]
+        };
+        *chunks = rebuilt;
+        Ok(matched)
     }
 
     fn as_any(&self) -> &dyn Any {
@@ -469,6 +514,46 @@ mod tests {
         let t = table();
         let err = t.append_rows(&[vec![Value::Int64(1)]]).unwrap_err();
         assert!(matches!(err, EngineError::Unsupported(_)), "got {err:?}");
+        let err = t.apply_dml(&[vec![Value::Int64(1)]], &[]).unwrap_err();
+        assert!(matches!(err, EngineError::Unsupported(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn append_table_dml_deletes_and_updates() {
+        let schema = Arc::new(Schema::new(vec![Field::new("id", DataType::Int64)]));
+        let t = AppendTable::new(Arc::clone(&schema));
+        t.append_rows(&(0..5).map(|i| vec![Value::Int64(i)]).collect::<Vec<_>>())
+            .unwrap();
+        // Plain delete; a miss does not count toward rows-affected.
+        let n = t
+            .apply_dml(&[vec![Value::Int64(3)], vec![Value::Int64(99)]], &[])
+            .unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(t.row_count(), 4);
+        // Update = delete old image + insert new image.
+        let n = t
+            .apply_dml(&[vec![Value::Int64(0)]], &[vec![Value::Int64(100)]])
+            .unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(t.row_count(), 4);
+        let chunks: Vec<Chunk> = t.scan(0, None).unwrap().collect::<Result<_>>().unwrap();
+        let mut all: Vec<Value> = chunks
+            .iter()
+            .flat_map(|c| (0..c.len()).map(|r| c.value_at(0, r)))
+            .collect();
+        all.sort();
+        assert_eq!(
+            all,
+            [1i64, 2, 4, 100].map(Value::Int64).to_vec(),
+            "3 gone, 0 became 100"
+        );
+        // Duplicate rows: each delete row consumes one copy.
+        t.append_rows(&[vec![Value::Int64(1)]]).unwrap();
+        assert_eq!(t.apply_dml(&[vec![Value::Int64(1)]], &[]).unwrap(), 1);
+        let total: usize = t.scan(0, None).unwrap().map(|c| c.unwrap().len()).sum();
+        assert_eq!(total, 4, "one of the two copies survives");
+        // Type errors are typed.
+        assert!(t.apply_dml(&[vec![Value::Utf8("x".into())]], &[]).is_err());
     }
 
     #[test]

@@ -100,6 +100,33 @@ pub trait ViewsHook: Send + Sync {
     fn refresh_view(&self, session: &Session, name: &str) -> Result<()>;
 }
 
+/// Extension point the compaction subsystem (`idf-compact`) installs so
+/// SQL `COMPACT [table]` (and [`Session::compact`]) can dispatch to it.
+/// Same inversion as [`DurabilityHook`]: the compaction crate sits above
+/// the engine, so the engine only sees this trait.
+///
+/// Methods take the session by reference rather than the hook holding one
+/// — a hook that captured a `Session` clone would form an `Arc` cycle
+/// (session → hook → session) and never be dropped.
+pub trait CompactHook: Send + Sync {
+    /// Synchronously compact `table` (or every managed table when `None`):
+    /// drop row versions hidden below tombstones, shorten MVCC chains,
+    /// release the memory. Returns one row per compacted table.
+    fn compact(&self, session: &Session, table: Option<&str>) -> Result<Vec<CompactRow>>;
+}
+
+/// One table's compaction outcome, as returned by [`CompactHook::compact`]
+/// and surfaced by SQL `COMPACT [table]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompactRow {
+    /// The compacted table.
+    pub table: String,
+    /// Dead row versions (superseded + tombstoned) dropped.
+    pub rows_reclaimed: usize,
+    /// Stored bytes released.
+    pub bytes_reclaimed: usize,
+}
+
 struct SessionState {
     catalog: Catalog,
     config: EngineConfig,
@@ -114,6 +141,8 @@ struct SessionState {
     table_factory: RwLock<Option<Arc<dyn TableFactory>>>,
     /// Installed materialized-view subsystem, if any (see [`ViewsHook`]).
     views: RwLock<Option<Arc<dyn ViewsHook>>>,
+    /// Installed compaction subsystem, if any (see [`CompactHook`]).
+    compact: RwLock<Option<Arc<dyn CompactHook>>>,
 }
 
 /// A query session. Cheap to clone (shared state).
@@ -147,6 +176,7 @@ impl Session {
                 durability: RwLock::new(None),
                 table_factory: RwLock::new(None),
                 views: RwLock::new(None),
+                compact: RwLock::new(None),
             }),
         }
     }
@@ -408,6 +438,26 @@ impl Session {
             Some(hook) => hook.refresh_view(self, name),
             None => Err(crate::error::EngineError::Unsupported(
                 "REFRESH MATERIALIZED VIEW requires the views subsystem (idf-views)".to_string(),
+            )),
+        }
+    }
+
+    /// Install the compaction subsystem that `COMPACT` dispatches to.
+    /// Called by `idf-compact`; replaces any previously installed hook.
+    pub fn set_compact_hook(&self, hook: Arc<dyn CompactHook>) {
+        *self.state.compact.write() = Some(hook);
+    }
+
+    /// Compact `table` (or every managed table when `None`) through the
+    /// installed [`CompactHook`]; returns one [`CompactRow`] per compacted
+    /// table. Errors with `Unsupported` when no compaction subsystem is
+    /// attached.
+    pub fn compact(&self, table: Option<&str>) -> Result<Vec<CompactRow>> {
+        let hook = self.state.compact.read().clone();
+        match hook {
+            Some(hook) => hook.compact(self, table),
+            None => Err(crate::error::EngineError::Unsupported(
+                "COMPACT requires the compaction subsystem (idf-compact)".to_string(),
             )),
         }
     }

@@ -110,6 +110,37 @@ pub fn plan_sql(session: &Session, query: &str) -> Result<DataFrame> {
             let schema = Arc::new(Schema::new(vec![Field::new("rows", DataType::Int64)]));
             Ok(session.create_dataframe(schema, vec![vec![Value::Int64(appended as i64)]]))
         }
+        Statement::Update {
+            table,
+            assignments,
+            selection,
+        } => {
+            let affected = exec_update(session, &table, &assignments, selection.as_ref())?;
+            Ok(rows_frame(session, affected))
+        }
+        Statement::Delete { table, selection } => {
+            let affected = exec_delete(session, &table, selection.as_ref())?;
+            Ok(rows_frame(session, affected))
+        }
+        Statement::Compact { table } => {
+            let results = session.compact(table.as_deref())?;
+            let schema = Arc::new(Schema::new(vec![
+                Field::new("table", DataType::Utf8),
+                Field::new("rows_reclaimed", DataType::Int64),
+                Field::new("bytes_reclaimed", DataType::Int64),
+            ]));
+            let rows: Vec<Vec<Value>> = results
+                .into_iter()
+                .map(|r| {
+                    vec![
+                        Value::Utf8(r.table),
+                        Value::Int64(r.rows_reclaimed as i64),
+                        Value::Int64(r.bytes_reclaimed as i64),
+                    ]
+                })
+                .collect();
+            Ok(session.create_dataframe(schema, rows))
+        }
         Statement::CreateMaterializedView { name, query } => {
             session.create_materialized_view(&name, &query)?;
             Ok(status_frame(session, "view", name))
@@ -123,6 +154,123 @@ pub fn plan_sql(session: &Session, query: &str) -> Result<DataFrame> {
             Ok(status_frame(session, "view", name))
         }
     }
+}
+
+/// Execute `DELETE FROM table [WHERE ...]`: run the equivalent bound
+/// SELECT to materialize the matched rows, then hand them to the source
+/// as one atomic DML statement. Returns rows-affected.
+fn exec_delete(session: &Session, table: &str, selection: Option<&SqlExpr>) -> Result<usize> {
+    let source = session.catalog().get(table)?;
+    let schema = source.schema();
+    let stmt = dml_select(table, &schema, &[], selection);
+    let matched = binder::bind(session, &stmt)?.collect()?;
+    let deletes: Vec<Vec<Value>> = (0..matched.len()).map(|r| matched.row_values(r)).collect();
+    let affected = source.apply_dml(&deletes, &[])?;
+    let m = idf_obs::global();
+    m.dml_deletes.inc();
+    m.dml_rows_affected.add(affected as u64);
+    m.superseded_versions.add(affected as u64);
+    Ok(affected)
+}
+
+/// Execute `UPDATE table SET ... [WHERE ...]`: one bound SELECT produces,
+/// per matched row, the full old image plus every SET expression evaluated
+/// against it; the old images become deletes and the patched rows become
+/// inserts of one atomic DML statement. Returns rows-affected.
+fn exec_update(
+    session: &Session,
+    table: &str,
+    assignments: &[(String, SqlExpr)],
+    selection: Option<&SqlExpr>,
+) -> Result<usize> {
+    let source = session.catalog().get(table)?;
+    let schema = source.schema();
+    let mut targets: Vec<usize> = Vec::with_capacity(assignments.len());
+    for (col, _) in assignments {
+        let i = schema
+            .fields
+            .iter()
+            .position(|f| f.name == *col)
+            .ok_or_else(|| EngineError::Sql(format!("UPDATE SET targets unknown column {col}")))?;
+        if targets.contains(&i) {
+            return Err(EngineError::Sql(format!(
+                "UPDATE SET assigns column {col} more than once"
+            )));
+        }
+        targets.push(i);
+    }
+    let set_exprs: Vec<SqlExpr> = assignments.iter().map(|(_, e)| e.clone()).collect();
+    let stmt = dml_select(table, &schema, &set_exprs, selection);
+    let matched = binder::bind(session, &stmt)?.collect()?;
+    let width = schema.len();
+    let mut deletes: Vec<Vec<Value>> = Vec::with_capacity(matched.len());
+    let mut inserts: Vec<Vec<Value>> = Vec::with_capacity(matched.len());
+    for r in 0..matched.len() {
+        let row = matched.row_values(r);
+        let (old, set_vals) = row.split_at(width);
+        let mut new = old.to_vec();
+        for (&i, v) in targets.iter().zip(set_vals) {
+            new[i] = coerce_literal(v.clone(), schema.field(i).data_type);
+        }
+        deletes.push(old.to_vec());
+        inserts.push(new);
+    }
+    let affected = source.apply_dml(&deletes, &inserts)?;
+    let m = idf_obs::global();
+    m.dml_updates.inc();
+    m.dml_rows_affected.add(affected as u64);
+    m.superseded_versions.add(affected as u64);
+    Ok(affected)
+}
+
+/// The SELECT equivalent of a DML statement's row-matching phase: every
+/// schema column (by name, so the old image round-trips exactly), then
+/// `extra` expressions (an UPDATE's SET values, aliased out of the way),
+/// with the statement's WHERE.
+fn dml_select(
+    table: &str,
+    schema: &crate::schema::SchemaRef,
+    extra: &[SqlExpr],
+    selection: Option<&SqlExpr>,
+) -> parser::SelectStmt {
+    use parser::{SelectItem, TableRef};
+    let mut projection: Vec<SelectItem> = schema
+        .fields
+        .iter()
+        .map(|f| SelectItem::Expr {
+            expr: SqlExpr::Column {
+                qualifier: None,
+                name: f.name.clone(),
+            },
+            alias: None,
+        })
+        .collect();
+    for (i, e) in extra.iter().enumerate() {
+        projection.push(SelectItem::Expr {
+            expr: e.clone(),
+            alias: Some(format!("__dml_set_{i}")),
+        });
+    }
+    parser::SelectStmt {
+        distinct: false,
+        projection,
+        from: TableRef::Named {
+            name: table.to_string(),
+            alias: None,
+        },
+        joins: Vec::new(),
+        selection: selection.cloned(),
+        group_by: Vec::new(),
+        having: None,
+        order_by: Vec::new(),
+        limit: None,
+    }
+}
+
+/// One-row rows-affected acknowledgement frame for DML statements.
+fn rows_frame(session: &Session, affected: usize) -> DataFrame {
+    let schema = Arc::new(Schema::new(vec![Field::new("rows", DataType::Int64)]));
+    session.create_dataframe(schema, vec![vec![Value::Int64(affected as i64)]])
 }
 
 /// One-row, one-column acknowledgement frame for DDL statements.

@@ -223,6 +223,34 @@ pub enum Statement {
         /// Literal rows, one inner `Vec` per parenthesized tuple.
         rows: Vec<Vec<SqlExpr>>,
     },
+    /// `UPDATE name SET col = expr, ... [WHERE expr]`: rewrite every
+    /// matching row of an updatable table as a delete-old-image /
+    /// insert-new-image pair (versioned append under MVCC storage).
+    Update {
+        /// Target table.
+        table: String,
+        /// `SET` assignments as `(column, value-expression)` pairs; value
+        /// expressions may reference the row's current columns.
+        assignments: Vec<(String, SqlExpr)>,
+        /// WHERE predicate; `None` updates every row.
+        selection: Option<SqlExpr>,
+    },
+    /// `DELETE FROM name [WHERE expr]`: remove every matching row of an
+    /// updatable table (a tombstone append under MVCC storage).
+    Delete {
+        /// Target table.
+        table: String,
+        /// WHERE predicate; `None` deletes every row.
+        selection: Option<SqlExpr>,
+    },
+    /// `COMPACT [table]`: synchronously compact a table (or all tables
+    /// the compaction subsystem manages) — drop row versions hidden below
+    /// tombstones and shorten MVCC chains; returns one stats row per
+    /// compacted table.
+    Compact {
+        /// The table to compact, or `None` for every managed table.
+        table: Option<String>,
+    },
     /// `CREATE MATERIALIZED VIEW name AS <select>`: register a
     /// materialized view over the defining query, maintained
     /// incrementally from the append path by the views subsystem.
@@ -326,6 +354,41 @@ pub fn parse_statement(input: &str) -> Result<Statement> {
             rows.push(p.parse_values_row()?);
         }
         Statement::Insert { table, rows }
+    } else if p.at_kw("UPDATE") {
+        p.next();
+        let table = p.ident()?;
+        p.expect_kw("SET")?;
+        let mut assignments = vec![p.parse_assignment()?];
+        while *p.peek() == Token::Comma {
+            p.next();
+            assignments.push(p.parse_assignment()?);
+        }
+        let selection = if p.eat_kw("WHERE") {
+            Some(p.parse_expr()?)
+        } else {
+            None
+        };
+        Statement::Update {
+            table,
+            assignments,
+            selection,
+        }
+    } else if p.at_kw("DELETE") {
+        p.next();
+        p.expect_kw("FROM")?;
+        let table = p.ident()?;
+        let selection = if p.eat_kw("WHERE") {
+            Some(p.parse_expr()?)
+        } else {
+            None
+        };
+        Statement::Delete { table, selection }
+    } else if p.eat_kw("COMPACT") {
+        let table = match p.peek() {
+            Token::Ident(_) => Some(p.ident()?),
+            _ => None,
+        };
+        Statement::Compact { table }
     } else if p.eat_kw("EXPLAIN") {
         let analyze = p.eat_kw("ANALYZE");
         if p.at_kw("EXPLAIN") {
@@ -567,6 +630,14 @@ impl Parser {
         let name = self.ident()?;
         let ty = self.ident()?;
         Ok((name, ty))
+    }
+
+    /// One `col = expr` assignment in `UPDATE ... SET`.
+    fn parse_assignment(&mut self) -> Result<(String, SqlExpr)> {
+        let col = self.ident()?;
+        self.expect_token(Token::Eq)?;
+        let value = self.parse_expr()?;
+        Ok((col, value))
     }
 
     /// One parenthesized `(expr, ...)` tuple in `INSERT ... VALUES`.
@@ -987,6 +1058,72 @@ mod tests {
         // The keywords stay usable as table names inside queries.
         assert!(parse_statement("SELECT * FROM create").is_ok());
         assert!(parse_statement("SELECT * FROM t JOIN insert ON t.a = insert.b").is_ok());
+    }
+
+    #[test]
+    fn parses_update_delete_compact() {
+        let s = parse_statement("UPDATE t SET v = v + 1, name = 'x' WHERE id > 3").unwrap();
+        let Statement::Update {
+            table,
+            assignments,
+            selection,
+        } = s
+        else {
+            panic!()
+        };
+        assert_eq!(table, "t");
+        assert_eq!(assignments.len(), 2);
+        assert_eq!(assignments[0].0, "v");
+        assert_eq!(assignments[1].1, SqlExpr::Str("x".into()));
+        assert!(selection.is_some());
+        // WHERE-less update touches every row.
+        let s = parse_statement("update t set v = 0").unwrap();
+        assert!(matches!(
+            s,
+            Statement::Update {
+                selection: None,
+                ..
+            }
+        ));
+        let s = parse_statement("DELETE FROM t WHERE id = 7").unwrap();
+        let Statement::Delete { table, selection } = s else {
+            panic!()
+        };
+        assert_eq!(table, "t");
+        assert!(selection.is_some());
+        assert_eq!(
+            parse_statement("delete from t").unwrap(),
+            Statement::Delete {
+                table: "t".into(),
+                selection: None
+            }
+        );
+        assert_eq!(
+            parse_statement("COMPACT").unwrap(),
+            Statement::Compact { table: None }
+        );
+        assert_eq!(
+            parse_statement("compact person").unwrap(),
+            Statement::Compact {
+                table: Some("person".into())
+            }
+        );
+        // Malformed DML errors instead of parsing as something else.
+        assert!(parse_statement("UPDATE t").is_err());
+        assert!(parse_statement("UPDATE SET v = 1").is_err());
+        assert!(parse_statement("UPDATE t SET").is_err());
+        assert!(parse_statement("UPDATE t SET v").is_err());
+        assert!(parse_statement("UPDATE t SET v = ").is_err());
+        assert!(parse_statement("UPDATE t SET v = 1,").is_err());
+        assert!(parse_statement("DELETE t").is_err());
+        assert!(parse_statement("DELETE FROM").is_err());
+        assert!(parse_statement("DELETE FROM t WHERE").is_err());
+        assert!(parse_statement("COMPACT a b").is_err());
+        // The keywords stay usable as table names inside queries.
+        assert!(parse_statement("SELECT * FROM update").is_ok());
+        assert!(parse_statement("SELECT * FROM delete").is_ok());
+        assert!(parse_statement("SELECT * FROM compact").is_ok());
+        assert!(parse_statement("SELECT set FROM t").is_ok());
     }
 
     #[test]

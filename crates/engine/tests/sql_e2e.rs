@@ -475,3 +475,105 @@ fn insert_rejects_mistyped_rows() {
         .unwrap_err();
     assert!(matches!(err, EngineError::Sql(_)), "{err:?}");
 }
+
+#[test]
+fn update_and_delete_end_to_end() {
+    let s = Session::new();
+    s.sql("CREATE TABLE accounts (id BIGINT, owner VARCHAR, balance BIGINT)")
+        .unwrap()
+        .collect()
+        .unwrap();
+    s.sql("INSERT INTO accounts VALUES (1, 'ada', 100), (2, 'bob', 200), (3, 'cy', 300)")
+        .unwrap()
+        .collect()
+        .unwrap();
+    // UPDATE with an expression over the row's current columns.
+    let out = s
+        .sql("UPDATE accounts SET balance = balance + 50 WHERE id <= 2")
+        .unwrap()
+        .collect()
+        .unwrap();
+    assert_eq!(out.value_at(0, 0), Value::Int64(2), "rows affected");
+    let out = s
+        .sql("SELECT id, balance FROM accounts ORDER BY id")
+        .unwrap()
+        .collect()
+        .unwrap();
+    let got: Vec<Value> = (0..3).map(|r| out.value_at(1, r)).collect();
+    assert_eq!(got, [150i64, 250, 300].map(Value::Int64).to_vec());
+    // Multi-column SET.
+    s.sql("UPDATE accounts SET owner = 'eve', balance = 0 WHERE id = 3")
+        .unwrap()
+        .collect()
+        .unwrap();
+    let out = s
+        .sql("SELECT owner, balance FROM accounts WHERE id = 3")
+        .unwrap()
+        .collect()
+        .unwrap();
+    assert_eq!(out.value_at(0, 0), Value::Utf8("eve".into()));
+    assert_eq!(out.value_at(1, 0), Value::Int64(0));
+    // DELETE with predicate; rows-affected reported.
+    let out = s
+        .sql("DELETE FROM accounts WHERE balance = 0")
+        .unwrap()
+        .collect()
+        .unwrap();
+    assert_eq!(out.value_at(0, 0), Value::Int64(1));
+    let out = s
+        .sql("SELECT count(*) FROM accounts")
+        .unwrap()
+        .collect()
+        .unwrap();
+    assert_eq!(out.value_at(0, 0), Value::Int64(2));
+    // WHERE matching nothing affects nothing.
+    let out = s
+        .sql("DELETE FROM accounts WHERE id = 999")
+        .unwrap()
+        .collect()
+        .unwrap();
+    assert_eq!(out.value_at(0, 0), Value::Int64(0));
+    // WHERE-less forms touch every row.
+    let out = s
+        .sql("UPDATE accounts SET balance = 7")
+        .unwrap()
+        .collect()
+        .unwrap();
+    assert_eq!(out.value_at(0, 0), Value::Int64(2));
+    let out = s.sql("DELETE FROM accounts").unwrap().collect().unwrap();
+    assert_eq!(out.value_at(0, 0), Value::Int64(2));
+    let out = s
+        .sql("SELECT count(*) FROM accounts")
+        .unwrap()
+        .collect()
+        .unwrap();
+    assert_eq!(out.value_at(0, 0), Value::Int64(0));
+}
+
+#[test]
+fn dml_errors_are_typed() {
+    let s = session();
+    // person is a read-only MemTable.
+    let err = s
+        .sql("UPDATE person SET age = 1 WHERE id = 1")
+        .map(|_| ())
+        .unwrap_err();
+    assert!(matches!(err, EngineError::Unsupported(_)), "{err:?}");
+    let err = s.sql("DELETE FROM person").map(|_| ()).unwrap_err();
+    assert!(matches!(err, EngineError::Unsupported(_)), "{err:?}");
+    // Unknown table / column / duplicate assignment.
+    let err = s.sql("DELETE FROM nope").map(|_| ()).unwrap_err();
+    assert!(matches!(err, EngineError::TableNotFound(_)), "{err:?}");
+    let err = s.sql("UPDATE person SET nope = 1").map(|_| ()).unwrap_err();
+    assert!(matches!(err, EngineError::Sql(_)), "{err:?}");
+    let err = s
+        .sql("UPDATE person SET age = 1, age = 2")
+        .map(|_| ())
+        .unwrap_err();
+    assert!(matches!(err, EngineError::Sql(_)), "{err:?}");
+    // COMPACT without the subsystem installed is typed, not a panic.
+    let err = s.sql("COMPACT").map(|_| ()).unwrap_err();
+    assert!(matches!(err, EngineError::Unsupported(_)), "{err:?}");
+    let err = s.sql("COMPACT person").map(|_| ()).unwrap_err();
+    assert!(matches!(err, EngineError::Unsupported(_)), "{err:?}");
+}

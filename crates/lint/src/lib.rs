@@ -400,6 +400,11 @@ impl LintConfig {
                     real: vec!["crates/fail/src/registry.rs"],
                     mirror: vec!["crates/fail/src/noop.rs"],
                 },
+                ParityPair {
+                    name: "idf-compact",
+                    real: vec!["crates/compact/src/worker.rs"],
+                    mirror: vec!["crates/compact/src/noop.rs"],
+                },
             ],
             failpoint_registries: vec![
                 "crates/core/src/failpoints.rs",
@@ -407,6 +412,7 @@ impl LintConfig {
                 "crates/engine/src/failpoints.rs",
                 "crates/serve/src/failpoints.rs",
                 "crates/views/src/failpoints.rs",
+                "crates/compact/src/failpoints.rs",
             ],
             fail_crate_prefix: "crates/fail/",
             physical_prefix: "crates/engine/src/physical/",
@@ -416,6 +422,7 @@ impl LintConfig {
                 "crates/serve/src/",
                 "crates/durable/src/",
                 "crates/views/src/",
+                "crates/compact/src/",
             ],
             relaxed_ok_prefixes: vec![
                 "crates/obs/src/",

@@ -242,6 +242,32 @@ pub struct MetricsRegistry {
     /// Stub.
     pub view_refresh_ns: Histogram,
     /// Stub.
+    pub dml_updates: Counter,
+    /// Stub.
+    pub dml_deletes: Counter,
+    /// Stub.
+    pub dml_rows_affected: Counter,
+    /// Stub.
+    pub superseded_versions: Counter,
+    /// Stub.
+    pub tombstones_live: Gauge,
+    /// Stub.
+    pub dead_rows_live: Gauge,
+    /// Stub.
+    pub compaction_runs: Counter,
+    /// Stub.
+    pub compaction_failures: Counter,
+    /// Stub.
+    pub compaction_batches_rewritten: Counter,
+    /// Stub.
+    pub compaction_rows_reclaimed: Counter,
+    /// Stub.
+    pub compaction_bytes_reclaimed: Counter,
+    /// Stub.
+    pub compaction_duration_ns: Histogram,
+    /// Stub.
+    pub post_compaction_chain_walk: Histogram,
+    /// Stub.
     pub slow_queries: SlowQueryLog,
 }
 
@@ -293,6 +319,19 @@ impl MetricsRegistry {
             view_deltas_applied: Counter,
             view_maintenance_lag_ns: Histogram,
             view_refresh_ns: Histogram,
+            dml_updates: Counter,
+            dml_deletes: Counter,
+            dml_rows_affected: Counter,
+            superseded_versions: Counter,
+            tombstones_live: Gauge,
+            dead_rows_live: Gauge,
+            compaction_runs: Counter,
+            compaction_failures: Counter,
+            compaction_batches_rewritten: Counter,
+            compaction_rows_reclaimed: Counter,
+            compaction_bytes_reclaimed: Counter,
+            compaction_duration_ns: Histogram,
+            post_compaction_chain_walk: Histogram,
             slow_queries: SlowQueryLog,
         };
         &GLOBAL

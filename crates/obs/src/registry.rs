@@ -199,6 +199,38 @@ pub struct MetricsRegistry {
     /// Wall-clock time of each full view recompute (REFRESH), nanoseconds.
     pub view_refresh_ns: Histogram,
 
+    // DML (UPDATE/DELETE as versioned appends).
+    /// UPDATE statements executed.
+    pub dml_updates: Counter,
+    /// DELETE statements executed.
+    pub dml_deletes: Counter,
+    /// Rows matched (affected) by UPDATE/DELETE statements.
+    pub dml_rows_affected: Counter,
+    /// Row versions a DML statement hid below a tombstone (the dead
+    /// versions a later compaction reclaims).
+    pub superseded_versions: Counter,
+
+    // Background compaction (idf-compact).
+    /// Live tombstone rows across compactor-surveyed tables.
+    pub tombstones_live: Gauge,
+    /// Dead (reclaimable) row versions across compactor-surveyed tables.
+    pub dead_rows_live: Gauge,
+    /// Table rewrites completed by the compactor.
+    pub compaction_runs: Counter,
+    /// Compaction attempts that failed (fault injection, swap refusal).
+    pub compaction_failures: Counter,
+    /// Row batches replaced by compaction rewrites.
+    pub compaction_batches_rewritten: Counter,
+    /// Dead row versions dropped by compaction.
+    pub compaction_rows_reclaimed: Counter,
+    /// Stored bytes released by compaction.
+    pub compaction_bytes_reclaimed: Counter,
+    /// Wall-clock time of one table compaction, nanoseconds.
+    pub compaction_duration_ns: Histogram,
+    /// Mean stored rows per key right after each compaction — the chain
+    /// length a post-compaction probe walks.
+    pub post_compaction_chain_walk: Histogram,
+
     /// Ring buffer of queries slower than the session threshold.
     pub slow_queries: SlowQueryLog,
 }
@@ -257,6 +289,19 @@ impl MetricsRegistry {
         self.view_deltas_applied.reset();
         self.view_maintenance_lag_ns.reset();
         self.view_refresh_ns.reset();
+        self.dml_updates.reset();
+        self.dml_deletes.reset();
+        self.dml_rows_affected.reset();
+        self.superseded_versions.reset();
+        self.tombstones_live.reset();
+        self.dead_rows_live.reset();
+        self.compaction_runs.reset();
+        self.compaction_failures.reset();
+        self.compaction_batches_rewritten.reset();
+        self.compaction_rows_reclaimed.reset();
+        self.compaction_bytes_reclaimed.reset();
+        self.compaction_duration_ns.reset();
+        self.post_compaction_chain_walk.reset();
         self.slow_queries.reset();
     }
 
@@ -492,6 +537,84 @@ impl MetricsRegistry {
             "Wall-clock time of each full view recompute (REFRESH), nanoseconds.",
             &self.view_refresh_ns,
         );
+        write_counter(
+            &mut out,
+            "idf_dml_updates_total",
+            "UPDATE statements executed.",
+            &self.dml_updates,
+        );
+        write_counter(
+            &mut out,
+            "idf_dml_deletes_total",
+            "DELETE statements executed.",
+            &self.dml_deletes,
+        );
+        write_counter(
+            &mut out,
+            "idf_dml_rows_affected_total",
+            "Rows matched (affected) by UPDATE/DELETE statements.",
+            &self.dml_rows_affected,
+        );
+        write_counter(
+            &mut out,
+            "idf_dml_superseded_versions_total",
+            "Row versions hidden below a tombstone by DML.",
+            &self.superseded_versions,
+        );
+        write_gauge(
+            &mut out,
+            "idf_compaction_tombstones_live",
+            "Live tombstone rows across compactor-surveyed tables.",
+            &self.tombstones_live,
+        );
+        write_gauge(
+            &mut out,
+            "idf_compaction_dead_rows_live",
+            "Dead (reclaimable) row versions across compactor-surveyed tables.",
+            &self.dead_rows_live,
+        );
+        write_counter(
+            &mut out,
+            "idf_compaction_runs_total",
+            "Table rewrites completed by the compactor.",
+            &self.compaction_runs,
+        );
+        write_counter(
+            &mut out,
+            "idf_compaction_failures_total",
+            "Compaction attempts that failed.",
+            &self.compaction_failures,
+        );
+        write_counter(
+            &mut out,
+            "idf_compaction_batches_rewritten_total",
+            "Row batches replaced by compaction rewrites.",
+            &self.compaction_batches_rewritten,
+        );
+        write_counter(
+            &mut out,
+            "idf_compaction_rows_reclaimed_total",
+            "Dead row versions dropped by compaction.",
+            &self.compaction_rows_reclaimed,
+        );
+        write_counter(
+            &mut out,
+            "idf_compaction_bytes_reclaimed_total",
+            "Stored bytes released by compaction.",
+            &self.compaction_bytes_reclaimed,
+        );
+        write_histogram(
+            &mut out,
+            "idf_compaction_duration_ns",
+            "Wall-clock time of one table compaction, nanoseconds.",
+            &self.compaction_duration_ns,
+        );
+        write_histogram(
+            &mut out,
+            "idf_compaction_chain_walk_length",
+            "Mean stored rows per key right after each compaction.",
+            &self.post_compaction_chain_walk,
+        );
         write_gauge_value(
             &mut out,
             "idf_slow_query_log_entries",
@@ -641,6 +764,27 @@ mod tests {
         assert!(text.contains("idf_server_queue_depth 1"));
         assert!(text.contains("idf_server_rejected_busy_total 1"));
         assert!(text.contains("# TYPE idf_server_drain_ns histogram"));
+        m.dml_updates.inc();
+        m.dml_deletes.add(2);
+        m.dml_rows_affected.add(3);
+        m.superseded_versions.add(3);
+        m.tombstones_live.set(5);
+        m.compaction_runs.inc();
+        m.compaction_batches_rewritten.add(4);
+        m.compaction_rows_reclaimed.add(9);
+        m.compaction_duration_ns.record(2_000);
+        m.post_compaction_chain_walk.record(1);
+        let text = m.prometheus();
+        assert!(text.contains("idf_dml_updates_total 1"));
+        assert!(text.contains("idf_dml_deletes_total 2"));
+        assert!(text.contains("idf_dml_rows_affected_total 3"));
+        assert!(text.contains("idf_dml_superseded_versions_total 3"));
+        assert!(text.contains("idf_compaction_tombstones_live 5"));
+        assert!(text.contains("idf_compaction_runs_total 1"));
+        assert!(text.contains("idf_compaction_batches_rewritten_total 4"));
+        assert!(text.contains("idf_compaction_rows_reclaimed_total 9"));
+        assert!(text.contains("# TYPE idf_compaction_duration_ns histogram"));
+        assert!(text.contains("# TYPE idf_compaction_chain_walk_length histogram"));
         // Every line is a comment or `name[{labels}] value`.
         for line in text.lines() {
             assert!(

@@ -1,0 +1,153 @@
+//! DML over the wire: UPDATE/DELETE round trips with rows-affected
+//! acknowledgement frames, COMPACT reports, typed error frames for
+//! malformed DML, and the connection staying healthy afterwards.
+
+use std::time::Duration;
+
+use idf_core::prelude::*;
+use idf_engine::session::Session;
+use idf_engine::types::{DataType, Value};
+use idf_serve::{Client, ClientError, ErrorCode, ServeConfig, Server};
+
+fn serve_indexed() -> (Server, Session) {
+    let session = Session::new();
+    install_indexed_ddl(&session, IndexConfig::default());
+    idf_compact::install(&session, idf_compact::CompactConfig::default());
+    let server = Server::bind(session.clone(), "127.0.0.1:0", ServeConfig::default()).unwrap();
+    (server, session)
+}
+
+fn client(server: &Server) -> Client {
+    let c = Client::connect(server.local_addr(), "acme").unwrap();
+    c.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    c
+}
+
+#[test]
+fn update_delete_ack_rows_affected_over_the_wire() {
+    let (server, _session) = serve_indexed();
+    let mut c = client(&server);
+    c.query("CREATE TABLE inv (k BIGINT, qty BIGINT)").unwrap();
+    c.query("INSERT INTO inv VALUES (1, 10), (2, 20), (3, 30), (4, 40)")
+        .unwrap();
+
+    // UPDATE acks with a one-row `rows` frame carrying rows-affected.
+    let reply = c.query("UPDATE inv SET qty = qty + 5 WHERE k < 3").unwrap();
+    assert_eq!(reply.fields.len(), 1);
+    assert_eq!(reply.fields[0].name, "rows");
+    assert_eq!(reply.fields[0].data_type, DataType::Int64);
+    assert_eq!(reply.rows, vec![vec![Value::Int64(2)]]);
+
+    // DELETE acks the same way; a non-matching WHERE acks zero.
+    let reply = c.query("DELETE FROM inv WHERE k = 4").unwrap();
+    assert_eq!(reply.rows, vec![vec![Value::Int64(1)]]);
+    let reply = c.query("DELETE FROM inv WHERE k = 99").unwrap();
+    assert_eq!(reply.rows, vec![vec![Value::Int64(0)]]);
+
+    // Reads on the same connection see the DML'd state.
+    let reply = c.query("SELECT k, qty FROM inv ORDER BY k").unwrap();
+    assert_eq!(
+        reply.rows,
+        vec![
+            vec![Value::Int64(1), Value::Int64(15)],
+            vec![Value::Int64(2), Value::Int64(25)],
+            vec![Value::Int64(3), Value::Int64(30)],
+        ]
+    );
+
+    // COMPACT streams its report frame back like any statement.
+    let reply = c.query("COMPACT inv").unwrap();
+    assert_eq!(reply.fields[0].name, "table");
+    assert_eq!(reply.rows.len(), 1);
+    assert_eq!(reply.rows[0][0], Value::Utf8("inv".into()));
+    let Value::Int64(reclaimed) = reply.rows[0][1] else {
+        panic!("rows_reclaimed must be an integer: {:?}", reply.rows[0][1]);
+    };
+    assert!(reclaimed > 0, "the superseded versions must be reclaimed");
+
+    // Answers are unchanged after the rewrite.
+    let reply = c.query("SELECT k, qty FROM inv WHERE k = 1").unwrap();
+    assert_eq!(reply.rows, vec![vec![Value::Int64(1), Value::Int64(15)]]);
+    server.shutdown();
+}
+
+#[test]
+fn malformed_dml_is_a_typed_error_and_connection_survives() {
+    let (server, _session) = serve_indexed();
+    let mut c = client(&server);
+    c.query("CREATE TABLE t (k BIGINT, v BIGINT)").unwrap();
+    c.query("INSERT INTO t VALUES (1, 1)").unwrap();
+
+    // Unknown SET column: typed error frame, no partial result stream.
+    let err = c.query("UPDATE t SET nope = 1").unwrap_err();
+    let ClientError::Server(frame) = err else {
+        panic!("expected a server error frame: {err}");
+    };
+    assert_eq!(frame.code, ErrorCode::QueryFailed);
+    assert!(frame.message.contains("nope"), "{}", frame.message);
+
+    // DML against a missing table and COMPACT of one too.
+    for bad in [
+        "DELETE FROM missing WHERE k = 1",
+        "UPDATE missing SET k = 1",
+        "COMPACT missing",
+    ] {
+        let err = c.query(bad).unwrap_err();
+        let ClientError::Server(frame) = err else {
+            panic!("{bad}: expected a server error frame: {err}");
+        };
+        assert_eq!(frame.code, ErrorCode::QueryFailed, "{bad}");
+        assert!(
+            frame.message.contains("missing"),
+            "{bad}: {}",
+            frame.message
+        );
+    }
+
+    // The connection stays healthy: the same socket keeps serving.
+    let reply = c.query("SELECT k, v FROM t").unwrap();
+    assert_eq!(reply.rows, vec![vec![Value::Int64(1), Value::Int64(1)]]);
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_wire_dml_keeps_statements_atomic() {
+    let (server, _session) = serve_indexed();
+    let addr = server.local_addr();
+    {
+        let mut c = Client::connect(addr, "setup").unwrap();
+        c.query("CREATE TABLE acct (k BIGINT, bal BIGINT)").unwrap();
+        c.query("INSERT INTO acct VALUES (1, 0), (2, 0), (3, 0), (4, 0)")
+            .unwrap();
+    }
+    // Four writers, each hammering its own key with UPDATEs.
+    let writers: Vec<_> = (0..4)
+        .map(|w| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr, format!("w{w}")).unwrap();
+                c.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+                for i in 1..=25i64 {
+                    let reply = c
+                        .query(&format!("UPDATE acct SET bal = {i} WHERE k = {}", w + 1))
+                        .unwrap();
+                    assert_eq!(reply.rows, vec![vec![Value::Int64(1)]]);
+                }
+            })
+        })
+        .collect();
+    for w in writers {
+        w.join().unwrap();
+    }
+    let mut c = Client::connect(addr, "check").unwrap();
+    c.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    // Every key ends at its writer's final value — one visible version
+    // per key regardless of interleaving.
+    let reply = c.query("SELECT k, bal FROM acct ORDER BY k").unwrap();
+    assert_eq!(
+        reply.rows,
+        (1..=4)
+            .map(|k| vec![Value::Int64(k), Value::Int64(25)])
+            .collect::<Vec<_>>()
+    );
+    server.shutdown();
+}

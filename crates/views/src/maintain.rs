@@ -46,7 +46,7 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError, TryLockError, Weak
 use std::time::Instant;
 
 use idf_core::config::IndexConfig;
-use idf_core::sink::{AppendSink, CommitGuard, NoopCommitGuard};
+use idf_core::sink::{AppendSink, CommitGuard, NoopCommitGuard, RowKind};
 use idf_core::source::IndexedSource;
 use idf_core::strategy::IndexedJoinStrategy;
 use idf_core::table::IndexedTable;
@@ -111,11 +111,19 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 struct Delta {
     /// Catalog name of the base table the commit landed on.
     table: String,
-    /// Encoded row payloads, in publish order.
+    /// Encoded row payloads, in publish order. Empty for DML barriers.
     payloads: Vec<Vec<u8>>,
     /// Commit time, for the maintenance-lag histogram (`Some` only when
     /// the `obs` feature is compiled in).
     created: Option<Instant>,
+    /// A tombstone-carrying DML statement committed on the table. Its
+    /// effect cannot be replayed as an append-only delta, so instead of
+    /// payloads to apply this delta is a barrier: every dependent view
+    /// (and every arrangement over the table) goes stale, and `REFRESH`
+    /// rebuilds from the post-DML base. Riding the ordinary queue keeps
+    /// the gate/quiesce accounting exact — a seed either predates the
+    /// DML commit or sees its staleness, never a half-applied mix.
+    dml: bool,
 }
 
 /// Gate state of one base table's tap.
@@ -159,6 +167,27 @@ struct DeltaTap {
 
 impl AppendSink for DeltaTap {
     fn begin_commit(&self, rows: &[&[u8]]) -> Result<Box<dyn CommitGuard>> {
+        self.capture(rows, false)
+    }
+
+    /// Kind-aware capture. An all-`Data` statement is an ordinary append
+    /// delta; a tombstone-carrying UPDATE/DELETE commit is captured as a
+    /// DML barrier instead (see [`Delta::dml`]) — append-only delta rules
+    /// cannot retract rows, so dependent views go stale rather than
+    /// silently double-applying survivor re-appends.
+    fn begin_commit_kinds(
+        &self,
+        rows: &[&[u8]],
+        kinds: &[RowKind],
+    ) -> Result<Box<dyn CommitGuard>> {
+        self.capture(rows, kinds.contains(&RowKind::Tombstone))
+    }
+}
+
+impl DeltaTap {
+    /// Shared capture path: park at the gate, count the commit in-flight,
+    /// and hand back the guard whose drop enqueues the delta.
+    fn capture(&self, rows: &[&[u8]], dml: bool) -> Result<Box<dyn CommitGuard>> {
         let Some(shared) = self.shared.upgrade() else {
             return Ok(Box::new(NoopCommitGuard));
         };
@@ -191,8 +220,15 @@ impl AppendSink for DeltaTap {
         Ok(Box::new(TapGuard {
             tap: Arc::clone(&self.tap),
             shared,
-            payloads: rows.iter().map(|r| r.to_vec()).collect(),
+            // A DML barrier carries no payloads — nothing is applied,
+            // only staleness is propagated.
+            payloads: if dml {
+                Vec::new()
+            } else {
+                rows.iter().map(|r| r.to_vec()).collect()
+            },
             created,
+            dml,
         }))
     }
 }
@@ -205,6 +241,8 @@ struct TapGuard {
     shared: Arc<Shared>,
     payloads: Vec<Vec<u8>>,
     created: Option<Instant>,
+    /// Tombstone-carrying commit: enqueue a staleness barrier, not rows.
+    dml: bool,
 }
 
 impl CommitGuard for TapGuard {}
@@ -217,6 +255,7 @@ impl Drop for TapGuard {
             table: self.tap.name.clone(),
             payloads: std::mem::take(&mut self.payloads),
             created: self.created.take(),
+            dml: self.dml,
         });
         {
             let mut gate = lock(&self.tap.gate);
@@ -474,6 +513,21 @@ impl Shared {
             return;
         }
         dependents.sort_by(|a, b| a.name.cmp(&b.name));
+        if delta.dml {
+            // A DML barrier: the statement's tombstones cannot be applied
+            // as appends. Poison every arrangement over the table (its
+            // mirror of the base has diverged) and flag each dependent
+            // stale; REFRESH rebuilds both from the post-DML base.
+            for ((table, _), arr) in lock(&self.arrangements).iter() {
+                if *table == delta.table {
+                    arr.stale.store(true, Ordering::SeqCst);
+                }
+            }
+            for entry in &dependents {
+                entry.stale.store(true, Ordering::SeqCst);
+            }
+            return;
+        }
         let Some(tap) = lock(&self.taps).get(&delta.table).cloned() else {
             return;
         };

@@ -428,3 +428,90 @@ fn view_metrics_reach_the_prometheus_exposition() {
         "gauge must drop back to zero"
     );
 }
+
+#[test]
+fn dml_on_base_marks_views_stale_and_refresh_recovers() {
+    let (session, views) = setup(MaintenanceMode::Sync);
+    sql(&session, "CREATE TABLE d (k BIGINT, v BIGINT)");
+    sql(&session, "INSERT INTO d VALUES (1, 10), (2, 20), (3, 30)");
+    let defining = "SELECT k, v FROM d WHERE v > 5";
+    sql(
+        &session,
+        &format!("CREATE MATERIALIZED VIEW dv AS {defining}"),
+    );
+    assert_matches_query(&session, "dv", defining);
+
+    // An UPDATE appends a tombstone + a new version: the delta cannot be
+    // replayed as an append, so the view must go stale — and must NOT
+    // have half-applied the survivor re-appends in the meantime.
+    sql(&session, "UPDATE d SET v = 11 WHERE k = 1");
+    assert_eq!(views.stale_views(), ["dv"]);
+    assert_eq!(
+        sql(&session, "SELECT k FROM dv").len(),
+        3,
+        "stale view keeps serving its last good state, undoubled"
+    );
+
+    sql(&session, "REFRESH MATERIALIZED VIEW dv");
+    assert!(views.stale_views().is_empty());
+    assert_matches_query(&session, "dv", defining);
+
+    // DELETE behaves the same way.
+    sql(&session, "DELETE FROM d WHERE k = 2");
+    assert_eq!(views.stale_views(), ["dv"]);
+    sql(&session, "REFRESH MATERIALIZED VIEW dv");
+    assert_matches_query(&session, "dv", defining);
+    assert_eq!(sql(&session, "SELECT k FROM dv").len(), 2);
+
+    // Incremental maintenance resumes after the refresh.
+    sql(&session, "INSERT INTO d VALUES (4, 40)");
+    assert!(views.stale_views().is_empty());
+    assert_matches_query(&session, "dv", defining);
+}
+
+#[test]
+fn dml_poisons_join_arrangements_until_refresh() {
+    let (session, views) = setup(MaintenanceMode::Sync);
+    sql(&session, "CREATE TABLE l (k BIGINT, a BIGINT)");
+    sql(&session, "CREATE TABLE r2 (k BIGINT, b BIGINT)");
+    sql(&session, "INSERT INTO l VALUES (1, 10), (2, 20)");
+    sql(&session, "INSERT INTO r2 VALUES (1, 100), (2, 200)");
+    let defining = "SELECT l.a, r2.b FROM l JOIN r2 ON l.k = r2.k";
+    sql(
+        &session,
+        &format!("CREATE MATERIALIZED VIEW jv AS {defining}"),
+    );
+    assert_matches_query(&session, "jv", defining);
+
+    // DML on one side poisons its arrangement; the join view goes stale.
+    sql(&session, "UPDATE r2 SET b = 201 WHERE k = 2");
+    assert_eq!(views.stale_views(), ["jv"]);
+
+    // REFRESH rebuilds the arrangement from the post-DML base and the
+    // view maintains incrementally again afterwards.
+    sql(&session, "REFRESH MATERIALIZED VIEW jv");
+    assert!(views.stale_views().is_empty());
+    assert_matches_query(&session, "jv", defining);
+    sql(&session, "INSERT INTO l VALUES (3, 30)");
+    sql(&session, "INSERT INTO r2 VALUES (3, 300)");
+    assert!(views.stale_views().is_empty());
+    assert_matches_query(&session, "jv", defining);
+}
+
+#[test]
+fn dml_stale_barrier_works_in_async_mode() {
+    let (session, views) = setup(MaintenanceMode::Async);
+    sql(&session, "CREATE TABLE ad (k BIGINT, v BIGINT)");
+    sql(&session, "INSERT INTO ad VALUES (1, 1), (2, 2)");
+    let defining = "SELECT k, v FROM ad WHERE v > 0";
+    sql(
+        &session,
+        &format!("CREATE MATERIALIZED VIEW adv AS {defining}"),
+    );
+    sql(&session, "DELETE FROM ad WHERE k = 1");
+    views.wait_idle();
+    assert_eq!(views.stale_views(), ["adv"]);
+    sql(&session, "REFRESH MATERIALIZED VIEW adv");
+    assert_matches_query(&session, "adv", defining);
+    assert_eq!(sql(&session, "SELECT k FROM adv").len(), 1);
+}
